@@ -1,0 +1,74 @@
+// A1 (extension, paper §VI): "the synchronous algorithm is being expanded to
+// include many of the features found in asynchronous algorithms ... Positive
+// results have been presented ... by Steinman and Noble et al."
+//
+// Bounded-window ("time bucket") synchronous execution: one barrier pair per
+// lookahead window instead of per distinct event time. Sweep the delay
+// heterogeneity at a fixed minimum delay (= lookahead): the wider the spread
+// of event times, the more barriers the window amortizes.
+
+#include <iostream>
+
+#include "netlist/builder.hpp"
+#include "netlist/generators.hpp"
+#include "partition/algorithms.hpp"
+#include "stim/stimulus.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "vp/vp.hpp"
+
+using namespace plsim;
+
+namespace {
+
+// Rebuild `base` with delays uniform in [min_delay, min_delay + spread].
+Circuit with_delays(const Circuit& base, std::uint32_t min_delay,
+                    std::uint32_t spread, std::uint64_t seed) {
+  Rng rng(seed);
+  NetlistBuilder b;
+  for (GateId g = 0; g < base.gate_count(); ++g) {
+    b.add_gate(base.type(g), {}, std::string(base.name(g)));
+    b.set_delay(g, min_delay + static_cast<std::uint32_t>(rng.uniform(spread + 1)));
+  }
+  for (GateId g = 0; g < base.gate_count(); ++g) {
+    const auto fi = base.fanins(g);
+    b.set_fanins(g, {fi.begin(), fi.end()});
+  }
+  for (GateId g : base.primary_outputs()) b.mark_output(g);
+  return b.build();
+}
+
+}  // namespace
+
+int main() {
+  const Circuit base = scaled_circuit(6000, 2);
+  constexpr std::uint32_t kMinDelay = 4;  // = window width
+
+  std::cout << "A1: bounded-window synchronous (lookahead " << kMinDelay
+            << " ticks, 8 processors)\n\n";
+  Table table({"delay_spread", "barriers_plain", "barriers_buckets",
+               "speedup_plain", "speedup_buckets"});
+
+  for (std::uint32_t spread : {0u, 2u, 4u, 8u, 16u}) {
+    const Circuit c = with_delays(base, kMinDelay, spread, 5);
+    const Stimulus stim = random_stimulus(c, 12, 0.3, 9, Tick(40));
+    const Partition p = partition_fm(c, 8, 1);
+
+    VpConfig plain;
+    VpConfig buckets;
+    buckets.sync_time_buckets = true;
+    const SequentialCost seq = sequential_cost(c, stim, plain.cost);
+    const VpResult a = run_sync_vp(c, stim, p, plain);
+    const VpResult w = run_sync_vp(c, stim, p, buckets);
+    table.add_row({Table::fmt(static_cast<std::uint64_t>(spread)),
+                   Table::fmt(a.stats.barriers),
+                   Table::fmt(w.stats.barriers),
+                   Table::fmt(seq.work / a.makespan),
+                   Table::fmt(seq.work / w.makespan)});
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected: with heterogeneous delays the window packs many "
+               "event times behind one barrier pair — the bucketed column "
+               "keeps its speedup while plain synchronous degrades\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// A2 (extension, paper §VI): "Hybrid algorithms are also under
+// investigation ... using either a synchronous or conservative asynchronous
+// algorithm within a cluster of processors and using an optimistic
+// asynchronous algorithm across clusters. This appears especially attractive
+// for naturally hierarchical execution platforms (e.g., networks of
+// workstations where the individual workstations are bus-based
+// multiprocessors)."
+//
+// Sweep the inter-cluster (network) latency on a 16-processor platform of
+// four 4-processor nodes: pure Time Warp treats every boundary alike, while
+// the hybrid pays optimistic machinery only at node boundaries.
+
+#include <iostream>
+
+#include "netlist/generators.hpp"
+#include "partition/algorithms.hpp"
+#include "stim/stimulus.hpp"
+#include "util/table.hpp"
+#include "vp/vp.hpp"
+
+using namespace plsim;
+
+int main() {
+  const Circuit c = scaled_circuit(12000, 6);
+  const Stimulus stim = random_stimulus(c, 15, 0.3, 3);
+  const Partition p = partition_fm(c, 16, 1);
+
+  std::cout << "A2: hybrid hierarchical synchronization "
+               "(16 processors as 4 nodes x 4)\n\n";
+  Table table({"inter_latency", "tw_aggressive", "tw_lazy", "hybrid",
+               "tw_rollbacks", "hybrid_rollbacks", "hybrid_antis"});
+
+  for (double factor : {1.0, 4.0, 10.0, 25.0}) {
+    VpConfig tw_cfg;
+    tw_cfg.cost.msg_latency *= factor;  // a flat network of workstations
+    VpConfig tw_lazy = tw_cfg;
+    tw_lazy.lazy_cancellation = true;
+
+    VpConfig hy_cfg;
+    hy_cfg.hybrid_cluster_size = 4;
+    hy_cfg.inter_latency_factor = factor;
+
+    const SequentialCost seq = sequential_cost(c, stim, VpConfig{}.cost);
+    const VpResult ta = run_timewarp_vp(c, stim, p, tw_cfg);
+    const VpResult tl = run_timewarp_vp(c, stim, p, tw_lazy);
+    const VpResult hy = run_hybrid_vp(c, stim, p, hy_cfg);
+    table.add_row({Table::fmt(VpConfig{}.cost.msg_latency * factor),
+                   Table::fmt(seq.work / ta.makespan),
+                   Table::fmt(seq.work / tl.makespan),
+                   Table::fmt(seq.work / hy.makespan),
+                   Table::fmt(ta.stats.rollbacks),
+                   Table::fmt(hy.stats.rollbacks),
+                   Table::fmt(hy.stats.anti_messages)});
+  }
+  table.print(std::cout);
+  std::cout << "\nmeasured trade-off: clustering slashes rollback and "
+               "anti-message counts (speculation is contained at node "
+               "boundaries), but the intra-node lockstep forfeits the "
+               "latency hiding that makes flat Time Warp strong on "
+               "fine-grain gate workloads — the paper offered the hybrid as "
+               "an open direction, and this harness shows where its win "
+               "would have to come from\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// A3 (extension, paper §VI): "dynamic load balancing is being considered to
+// react to variations in computational workload."
+//
+// Workload: an array of 32 independent modules (paper §II's hierarchical
+// systems); each epoch a random subset of modules goes hot, so no static
+// placement of the 32 module-LPs onto 8 processors is right for every epoch.
+// The dynamic balancer re-measures per-LP load and moves the heaviest
+// misplaced LPs, paying state-migration costs.
+
+#include <iostream>
+
+#include "netlist/generators.hpp"
+#include "partition/algorithms.hpp"
+#include "stim/stimulus.hpp"
+#include "util/table.hpp"
+#include "vp/vp.hpp"
+
+using namespace plsim;
+
+int main() {
+  constexpr std::uint32_t kProcs = 8, kModules = 32;
+  constexpr std::size_t kPerModule = 250;
+  const Circuit c = module_array(kModules, kPerModule, 3);
+
+  Partition p;
+  p.n_blocks = kModules;
+  p.block_of.resize(c.gate_count());
+  for (GateId g = 0; g < c.gate_count(); ++g)
+    p.block_of[g] = static_cast<std::uint32_t>(g / kPerModule);
+
+  const std::size_t pis_per_module = c.primary_inputs().size() / kModules;
+
+  std::cout << "A3: dynamic load balancing, 32 module-LPs on 8 processors, "
+               "random hot subset per epoch\n\n";
+  Table table({"epoch_cycles", "speedup_static", "speedup_dynamic",
+               "migrations", "gain"});
+
+  for (std::size_t epoch : {32u, 16u, 8u, 4u, 2u}) {
+    const Stimulus stim = scattered_hotspot_stimulus(
+        c, 64, 0.01, 0.8, 0.25, epoch, 7, 10, pis_per_module);
+
+    VpConfig stat;
+    stat.block_to_proc = round_robin_mapping(kModules, kProcs);
+    VpConfig dyn = stat;
+    dyn.sync_dynamic_remap = true;
+    dyn.remap_interval = 15;
+
+    const SequentialCost seq = sequential_cost(c, stim, stat.cost);
+    const VpResult rs = run_sync_vp(c, stim, p, stat);
+    const VpResult rd = run_sync_vp(c, stim, p, dyn);
+    const double ss = seq.work / rs.makespan;
+    const double sd = seq.work / rd.makespan;
+    table.add_row({Table::fmt(static_cast<std::uint64_t>(epoch)),
+                   Table::fmt(ss), Table::fmt(sd),
+                   Table::fmt(rd.stats.migrations),
+                   Table::fmt((sd - ss) / ss * 100.0, 1) + "%"});
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected: remapping follows the hot set and beats every "
+               "static placement while epochs are long enough to measure; "
+               "very fast drift leaves the balancer reacting to stale loads "
+               "and the gain shrinks\n";
+  return 0;
+}

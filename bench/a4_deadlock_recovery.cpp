@@ -1,0 +1,69 @@
+// A4 (paper §IV, and the Su & Seitz variants the survey cites [29]):
+// conservative deadlock handling — avoidance via null messages versus
+// detection and recovery via a circulating marker.
+//
+// With logic-simulation lookahead (one gate delay), the detection/recovery
+// variant deadlocks at nearly every simulated time step; null messages trade
+// those stalls for message traffic. Sweep lookahead to show both regimes.
+
+#include <iostream>
+
+#include "netlist/builder.hpp"
+#include "netlist/generators.hpp"
+#include "partition/algorithms.hpp"
+#include "stim/stimulus.hpp"
+#include "util/table.hpp"
+#include "vp/vp.hpp"
+
+using namespace plsim;
+
+namespace {
+
+Circuit scale_delays(const Circuit& base, std::uint32_t factor) {
+  NetlistBuilder b;
+  for (GateId g = 0; g < base.gate_count(); ++g) {
+    b.add_gate(base.type(g), {}, std::string(base.name(g)));
+    b.set_delay(g, base.delay(g) * factor);
+  }
+  for (GateId g = 0; g < base.gate_count(); ++g) {
+    const auto fi = base.fanins(g);
+    b.set_fanins(g, {fi.begin(), fi.end()});
+  }
+  for (GateId g : base.primary_outputs()) b.mark_output(g);
+  return b.build();
+}
+
+}  // namespace
+
+int main() {
+  const Circuit base = scaled_circuit(4000, 8);
+
+  std::cout << "A4: conservative deadlock handling (4000 gates, 8 "
+               "processors)\n\n";
+  Table table({"lookahead", "nulls", "speedup_nulls", "deadlocks",
+               "speedup_recovery"});
+
+  for (std::uint32_t lookahead : {1u, 4u, 16u}) {
+    const Circuit c = scale_delays(base, lookahead);
+    const Stimulus stim = random_stimulus(c, 12, 0.3, 5, Tick(64));
+    const Partition p = partition_fm(c, 8, 1);
+
+    VpConfig nulls;
+    VpConfig recovery;
+    recovery.cons_null_messages = false;
+
+    const SequentialCost seq = sequential_cost(c, stim, nulls.cost);
+    const VpResult rn = run_conservative_vp(c, stim, p, nulls);
+    const VpResult rr = run_conservative_vp(c, stim, p, recovery);
+    table.add_row({Table::fmt(static_cast<std::uint64_t>(lookahead)),
+                   Table::fmt(rn.stats.null_messages),
+                   Table::fmt(seq.work / rn.makespan),
+                   Table::fmt(rr.stats.deadlocks),
+                   Table::fmt(seq.work / rr.makespan)});
+  }
+  table.print(std::cout);
+  std::cout << "\npaper: with logic-sim lookahead both variants struggle; "
+               "null messages pay in traffic, detection/recovery pays in "
+               "global stalls at nearly every time step\n";
+  return 0;
+}

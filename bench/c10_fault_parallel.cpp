@@ -1,0 +1,65 @@
+// C10 — paper §II: "Data parallelism uses different processors to simulate
+// the circuit for distinct input vectors. This technique is quite effective
+// for fault simulation, where a large number of independent input vectors
+// need to be simulated."
+//
+// Compare serial single-fault simulation against bit-parallel (63 faults +
+// the good machine per 64-bit word) fault simulation: identical coverage,
+// ~63x fewer gate evaluations.
+
+#include <iostream>
+
+#include "fault/fault.hpp"
+#include "netlist/generators.hpp"
+#include "stim/stimulus.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace plsim;
+
+int main() {
+  std::cout << "C10: serial vs bit-parallel stuck-at fault simulation\n\n";
+  Table table({"circuit", "faults", "coverage", "evals_serial",
+               "evals_parallel", "eval_ratio", "wall_speedup"});
+
+  struct Case {
+    const char* name;
+    Circuit circuit;
+  };
+  Case cases[] = {
+      {"adder16", ripple_adder(16)},
+      {"mult6", array_multiplier(6)},
+      {"rand2000", scaled_circuit(2000, 5)},
+  };
+
+  for (auto& cs : cases) {
+    const Circuit& c = cs.circuit;
+    const Stimulus stim = random_stimulus(c, 50, 0.5, 3);
+    const auto faults = enumerate_faults(c);
+
+    WallTimer ts;
+    const FaultSimResult serial = fault_simulate_serial(c, stim, faults);
+    const double t_serial = ts.seconds();
+    WallTimer tp;
+    const FaultSimResult parallel = fault_simulate_parallel(c, stim, faults);
+    const double t_parallel = tp.seconds();
+
+    if (serial.detected != parallel.detected) {
+      std::cerr << "COVERAGE MISMATCH on " << cs.name << "\n";
+      return 1;
+    }
+    table.add_row({cs.name, Table::fmt(std::uint64_t(faults.size())),
+                   Table::fmt(parallel.coverage()),
+                   Table::fmt(serial.gate_evaluations),
+                   Table::fmt(parallel.gate_evaluations),
+                   Table::fmt(static_cast<double>(serial.gate_evaluations) /
+                              static_cast<double>(parallel.gate_evaluations),
+                              1),
+                   Table::fmt(t_serial / std::max(t_parallel, 1e-9), 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\npaper: data parallelism is highly effective for fault "
+               "simulation — near-63x fewer evaluations at identical "
+               "coverage\n";
+  return 0;
+}

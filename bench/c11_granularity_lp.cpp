@@ -1,0 +1,50 @@
+// C11 — paper §III: "Only one gate per LP can result in high overhead
+// processing incoming messages, while only one LP per processor can result
+// in unnecessarily blocked computation or high rollback overheads. As a
+// result, the optimum granularity is somewhere between these two extremes."
+//
+// Fixed machine of 8 processors; partition the circuit into L blocks (LPs)
+// for L/P in {1, 2, 4, 8, 16, 32} and map round-robin. Conservative blocking
+// and optimistic rollback scope both shrink with finer LPs, while per-LP
+// overheads grow — the optimum sits in between.
+
+#include <iostream>
+
+#include "netlist/generators.hpp"
+#include "partition/algorithms.hpp"
+#include "stim/stimulus.hpp"
+#include "util/table.hpp"
+#include "vp/vp.hpp"
+
+using namespace plsim;
+
+int main() {
+  constexpr std::uint32_t kProcs = 8;
+  const Circuit c = scaled_circuit(8000, 4);
+  const Stimulus stim = random_stimulus(c, 15, 0.3, 11);
+
+  std::cout << "C11: LPs per processor (8000 gates, 8 processors)\n\n";
+  Table table({"lps_per_proc", "blocks", "cons_speedup", "tw_speedup",
+               "tw_rollbacks", "tw_rolled_back_batches"});
+
+  for (std::uint32_t per : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    const std::uint32_t blocks = kProcs * per;
+    const Partition p = partition_fm(c, blocks, 1);
+    VpConfig cfg;
+    cfg.lazy_cancellation = true;
+    cfg.block_to_proc = round_robin_mapping(blocks, kProcs);
+    const SequentialCost seq = sequential_cost(c, stim, cfg.cost);
+    const VpResult co = run_conservative_vp(c, stim, p, cfg);
+    const VpResult tw = run_timewarp_vp(c, stim, p, cfg);
+    table.add_row({Table::fmt(static_cast<std::uint64_t>(per)),
+                   Table::fmt(static_cast<std::uint64_t>(blocks)),
+                   Table::fmt(seq.work / co.makespan),
+                   Table::fmt(seq.work / tw.makespan),
+                   Table::fmt(tw.stats.rollbacks),
+                   Table::fmt(tw.stats.rolled_back_batches)});
+  }
+  table.print(std::cout);
+  std::cout << "\npaper: the optimum LP granularity lies between the one-LP-"
+               "per-processor and one-gate-per-LP extremes\n";
+  return 0;
+}

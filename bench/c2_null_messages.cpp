@@ -1,0 +1,78 @@
+// C2 — paper §IV/§V: conservative null-message overhead. "Deadlock
+// prevention is usually accomplished via null messages"; none of the
+// surveyed conservative implementations reported good performance.
+//
+// Sweep the lookahead (minimum gate delay) and measure the null-message
+// ratio and resulting speedup, plus the channel-granularity ablation
+// (per-wire null accounting, as in the surveyed systems, vs aggregated
+// block-pair channels).
+
+#include <iostream>
+
+#include "netlist/builder.hpp"
+#include "netlist/generators.hpp"
+#include "partition/algorithms.hpp"
+#include "stim/stimulus.hpp"
+#include "util/table.hpp"
+#include "vp/vp.hpp"
+
+using namespace plsim;
+
+namespace {
+
+// Rebuild the same topology with every delay multiplied by `factor`:
+// lookahead scales with the factor while event structure is preserved.
+Circuit scale_delays(const Circuit& c, std::uint32_t factor) {
+  NetlistBuilder b;
+  for (GateId g = 0; g < c.gate_count(); ++g) {
+    const GateId id = b.add_gate(c.type(g), {}, std::string(c.name(g)));
+    b.set_delay(id, c.delay(g) * factor);
+  }
+  for (GateId g = 0; g < c.gate_count(); ++g) {
+    const auto fi = c.fanins(g);
+    b.set_fanins(g, {fi.begin(), fi.end()});
+  }
+  for (GateId g : c.primary_outputs()) b.mark_output(g);
+  return b.build();
+}
+
+}  // namespace
+
+int main() {
+  const Circuit base = scaled_circuit(5000, 2);
+  std::cout << "C2: conservative null-message overhead vs lookahead "
+               "(5000 gates, 8 processors)\n\n";
+  Table table({"lookahead", "nulls", "null_ratio", "speedup_wire",
+               "speedup_aggregated"});
+
+  // Fixed simulated-time horizon: scaling every gate delay by k scales the
+  // conservative lookahead by k while the null-message chain still has to
+  // cover the same number of ticks — so null traffic drops roughly as 1/k.
+  for (std::uint32_t lookahead : {1u, 2u, 4u, 8u, 16u}) {
+    const Circuit c = scale_delays(base, lookahead);
+    const Stimulus stim = random_stimulus(c, 15, 0.3, 7, Tick(64));
+    const Partition p = partition_fm(c, 8, 1);
+
+    VpConfig wire;  // per-wire nulls (default)
+    VpConfig agg;
+    agg.cons_wire_channels = false;
+
+    const SequentialCost seq = sequential_cost(c, stim, wire.cost);
+    const VpResult rw = run_conservative_vp(c, stim, p, wire);
+    const VpResult ra = run_conservative_vp(c, stim, p, agg);
+
+    const double ratio =
+        static_cast<double>(rw.stats.null_messages) /
+        static_cast<double>(rw.stats.messages + rw.stats.null_messages);
+    table.add_row({Table::fmt(static_cast<std::uint64_t>(lookahead)),
+                   Table::fmt(rw.stats.null_messages),
+                   Table::fmt(ratio),
+                   Table::fmt(seq.work / rw.makespan),
+                   Table::fmt(seq.work / ra.makespan)});
+  }
+  table.print(std::cout);
+  std::cout << "\npaper: null overhead dominates at small lookahead; "
+               "conservative speedup stays poor (the per-wire column) — "
+               "channel aggregation (right column) is the later remedy\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// C4 — paper §IV/§V: "Since state saving can be a time consuming operation,
+// frequently only the change in state is saved ... incremental state saving
+// is crucial to achieving good performance with optimistic algorithms."
+//
+// Compare full-copy vs incremental state saving in the optimistic engine
+// across circuit sizes: saved volume, modelled speedup, and the growing gap.
+
+#include <iostream>
+
+#include "netlist/generators.hpp"
+#include "partition/algorithms.hpp"
+#include "stim/stimulus.hpp"
+#include "util/table.hpp"
+#include "vp/vp.hpp"
+
+using namespace plsim;
+
+int main() {
+  std::cout << "C4: Time Warp state-saving policy (8 processors)\n\n";
+  Table table({"gates", "speedup_incr", "speedup_full", "undo_entries",
+               "full_bytes", "ratio"});
+
+  for (std::size_t size : {1000u, 3000u, 8000u, 20000u}) {
+    const Circuit c = scaled_circuit(size, 6);
+    const Stimulus stim = random_stimulus(c, 15, 0.3, 9);
+    const Partition p = partition_fm(c, 8, 1);
+
+    VpConfig incr;
+    incr.save = SaveMode::Incremental;
+    incr.lazy_cancellation = true;
+    VpConfig full = incr;
+    full.save = SaveMode::Full;
+
+    const SequentialCost seq = sequential_cost(c, stim, incr.cost);
+    const VpResult ri = run_timewarp_vp(c, stim, p, incr);
+    const VpResult rf = run_timewarp_vp(c, stim, p, full);
+
+    const double si = seq.work / ri.makespan;
+    const double sf = seq.work / rf.makespan;
+    table.add_row({Table::fmt(static_cast<std::uint64_t>(size)),
+                   Table::fmt(si), Table::fmt(sf),
+                   Table::fmt(ri.stats.undo_entries),
+                   Table::fmt(rf.stats.save_bytes),
+                   Table::fmt(si / sf)});
+  }
+  table.print(std::cout);
+  std::cout << "\npaper: incremental saving is crucial — the full-copy "
+               "column collapses as block state grows while incremental "
+               "stays flat\n";
+  return 0;
+}

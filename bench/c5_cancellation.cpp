@@ -1,0 +1,52 @@
+// C5 — paper §IV: "Gafni's lazy cancellation strategy reduces the impact of
+// rollback ... if the right event had been calculated for the wrong reasons,
+// the receiving processor is not inhibited because of excessive causality
+// constraints."
+//
+// Compare aggressive vs lazy cancellation: anti-message traffic, rollback
+// counts, and modelled speedup, across circuit sizes.
+
+#include <iostream>
+
+#include "netlist/generators.hpp"
+#include "partition/algorithms.hpp"
+#include "stim/stimulus.hpp"
+#include "util/table.hpp"
+#include "vp/vp.hpp"
+
+using namespace plsim;
+
+int main() {
+  std::cout << "C5: aggressive vs lazy cancellation (Time Warp, 8 "
+               "processors)\n\n";
+  Table table({"gates", "speedup_aggr", "speedup_lazy", "antis_aggr",
+               "antis_lazy", "rollbacks_aggr", "rollbacks_lazy"});
+
+  for (std::size_t size : {1000u, 3000u, 8000u, 20000u}) {
+    const Circuit c = scaled_circuit(size, 8);
+    const Stimulus stim = random_stimulus(c, 15, 0.3, 13);
+    const Partition p = partition_fm(c, 8, 1);
+
+    VpConfig aggr;
+    VpConfig lazy;
+    lazy.lazy_cancellation = true;
+
+    const SequentialCost seq = sequential_cost(c, stim, aggr.cost);
+    const VpResult ra = run_timewarp_vp(c, stim, p, aggr);
+    const VpResult rl = run_timewarp_vp(c, stim, p, lazy);
+
+    table.add_row({Table::fmt(static_cast<std::uint64_t>(size)),
+                   Table::fmt(seq.work / ra.makespan),
+                   Table::fmt(seq.work / rl.makespan),
+                   Table::fmt(ra.stats.anti_messages),
+                   Table::fmt(rl.stats.anti_messages),
+                   Table::fmt(ra.stats.rollbacks),
+                   Table::fmt(rl.stats.rollbacks)});
+  }
+  table.print(std::cout);
+  std::cout << "\npaper: logic-gate events are frequently re-computed "
+               "identically after a rollback, so lazy cancellation avoids "
+               "nearly all anti-message traffic and the secondary rollbacks "
+               "it causes\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// C7 — paper §III/§V: partitioning must balance computational load against
+// communication volume; "an even distribution of LPs across the processors
+// is insufficient to balance the computational workload if the evaluation
+// frequency of individual LPs varies"; pre-simulation measures evaluation
+// frequency for load balancing.
+//
+// Compare every partitioning heuristic on one workload: cut size, unit and
+// activity-weighted balance, and the synchronous speedup each partition
+// actually achieves on the virtual platform — then show the pre-simulation
+// refinement closing the weighted-balance gap.
+
+#include <iostream>
+
+#include "netlist/generators.hpp"
+#include "partition/algorithms.hpp"
+#include "seq/golden.hpp"
+#include "stim/stimulus.hpp"
+#include "util/table.hpp"
+#include "vp/vp.hpp"
+
+using namespace plsim;
+
+int main() {
+  const Circuit c = scaled_circuit(8000, 12);
+  const Stimulus stim = random_stimulus(c, 20, 0.3, 17);
+  constexpr std::uint32_t kProcs = 8;
+
+  const auto activity = presimulate_activity(c, stim, 10);
+  const std::vector<std::uint32_t> weights(activity.begin(), activity.end());
+
+  const VpConfig cfg;
+  const SequentialCost seq = sequential_cost(c, stim, cfg.cost);
+
+  std::cout << "C7: partitioning heuristics (8000 gates, 8 processors, "
+               "synchronous engine)\n\n";
+  Table table({"partitioner", "cut_edges", "balance", "weighted_balance",
+               "sync_speedup"});
+
+  auto report = [&](const std::string& name, const Partition& p) {
+    const PartitionMetrics unit = evaluate_partition(c, p);
+    const PartitionMetrics wtd = evaluate_partition(c, p, weights);
+    const VpResult r = run_sync_vp(c, stim, p, cfg);
+    table.add_row({name, Table::fmt(unit.cut_edges),
+                   Table::fmt(unit.imbalance), Table::fmt(wtd.imbalance),
+                   Table::fmt(seq.work / r.makespan)});
+  };
+
+  for (const auto& np : standard_partitioners())
+    report(np.name, np.run(c, kProcs, 1));
+
+  // Pre-simulation refinement on top of the best cut-centric heuristic.
+  const Partition fm = partition_fm(c, kProcs, 1);
+  report("fm+presim", refine_with_activity(c, fm, activity));
+  report("fm_weighted", partition_fm(c, kProcs, 1, weights));
+
+  table.print(std::cout);
+  std::cout << "\npaper: structure-aware heuristics (cones/KL/FM) cut far "
+               "fewer nets than random; count balance != workload balance — "
+               "the pre-simulation rows improve the weighted balance and the "
+               "achieved speedup\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// C9 — paper §VI: "for coarse timing granularity a synchronous algorithm is
+// sufficient and for fine timing granularity an optimistic asynchronous
+// algorithm is needed."
+//
+// Sweep the gate-delay spread (unit delay = coarse granularity; wide uniform
+// delays = fine granularity, scattering events over many distinct times) and
+// report all three engines. The crossover between the sync and optimistic
+// columns is the claim.
+
+#include <iostream>
+
+#include "netlist/generators.hpp"
+#include "partition/algorithms.hpp"
+#include "stim/stimulus.hpp"
+#include "util/table.hpp"
+#include "vp/vp.hpp"
+
+using namespace plsim;
+
+int main() {
+  std::cout << "C9: timing granularity (10000 gates, 8 processors)\n\n";
+  Table table({"delay_spread", "events_per_timestep", "sync", "conservative",
+               "optimistic"});
+
+  for (std::uint32_t spread : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    const Circuit c = scaled_circuit(
+        10000, 1, spread == 1 ? DelayMode::Unit : DelayMode::Uniform, spread);
+    const Stimulus stim = random_stimulus(c, 15, 0.3, 7, Tick(10) * spread);
+    const Partition p = partition_fm(c, 8, 1);
+
+    VpConfig cfg;
+    cfg.lazy_cancellation = true;
+    const SequentialCost seq = sequential_cost(c, stim, cfg.cost);
+    const VpResult sy = run_sync_vp(c, stim, p, cfg);
+    const VpResult co = run_conservative_vp(c, stim, p, cfg);
+    const VpResult tw = run_timewarp_vp(c, stim, p, cfg);
+
+    // Simultaneity: committed events per distinct event time (sync steps).
+    const double steps = static_cast<double>(sy.stats.barriers) / (2.0 * 8);
+    table.add_row({Table::fmt(static_cast<std::uint64_t>(spread)),
+                   Table::fmt(static_cast<double>(seq.events) / steps),
+                   Table::fmt(seq.work / sy.makespan),
+                   Table::fmt(seq.work / co.makespan),
+                   Table::fmt(seq.work / tw.makespan)});
+  }
+  table.print(std::cout);
+  std::cout << "\npaper: coarse granularity (left rows, many simultaneous "
+               "events) favours synchronous; fine granularity starves the "
+               "global-clock steps and optimistic takes over\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// M1 — engineering microbenchmark: pending-event set implementations.
+// The timing wheel's O(1) scheduling is the classic logic-simulation trick;
+// the binary heap pays O(log n) but supports the tombstone deletion that
+// optimistic rollback needs.
+
+#include <benchmark/benchmark.h>
+
+#include "event/heap_queue.hpp"
+#include "event/timing_wheel.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace plsim;
+
+constexpr int kHot = 512;  // events kept in flight
+
+void BM_HeapQueue(benchmark::State& state) {
+  const std::uint64_t max_delay = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    Rng rng(7);
+    HeapQueue q;
+    std::uint64_t seq = 0;
+    for (int i = 0; i < kHot; ++i)
+      q.push(Event{rng.uniform(max_delay), GateId(i), Logic4::T,
+                   EventKind::Wire, seq++});
+    std::vector<Event> batch;
+    while (!q.empty()) {
+      const Tick t = q.next_time();
+      batch.clear();
+      q.pop_all_at(t, batch);
+      for (const Event& e : batch) {
+        if (seq < 20000)
+          q.push(Event{e.time + 1 + rng.uniform(max_delay), e.gate, e.value,
+                       EventKind::Wire, seq++});
+      }
+    }
+    benchmark::DoNotOptimize(seq);
+  }
+}
+BENCHMARK(BM_HeapQueue)->Arg(4)->Arg(64)->Arg(1024);
+
+void BM_TimingWheel(benchmark::State& state) {
+  const std::uint64_t max_delay = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    Rng rng(7);
+    TimingWheel q(256);
+    std::uint64_t seq = 0;
+    for (int i = 0; i < kHot; ++i)
+      q.push(Event{rng.uniform(max_delay), GateId(i), Logic4::T,
+                   EventKind::Wire, seq++});
+    std::vector<Event> batch;
+    while (!q.empty()) {
+      const Tick t = q.next_time();
+      batch.clear();
+      q.pop_all_at(t, batch);
+      for (const Event& e : batch) {
+        if (seq < 20000)
+          q.push(Event{e.time + 1 + rng.uniform(max_delay), e.gate, e.value,
+                       EventKind::Wire, seq++});
+      }
+    }
+    benchmark::DoNotOptimize(seq);
+  }
+}
+BENCHMARK(BM_TimingWheel)->Arg(4)->Arg(64)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

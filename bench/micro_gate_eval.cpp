@@ -1,0 +1,60 @@
+// M2 — engineering microbenchmark: functional evaluation throughput in the
+// 4-valued scalar system vs the 64-lane bit-parallel system (the paper's
+// data-parallelism substrate).
+
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <vector>
+
+#include "logic/gates.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace plsim;
+
+const GateType kTypes[] = {GateType::And, GateType::Nand, GateType::Or,
+                           GateType::Nor, GateType::Xor,  GateType::Not};
+
+void BM_EvalGate4(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<Logic4> values(4096);
+  for (auto& v : values)
+    v = static_cast<Logic4>(rng.uniform(4));
+  std::array<Logic4, 3> ins;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const GateType t = kTypes[i % std::size(kTypes)];
+    const std::size_t arity = (t == GateType::Not) ? 1 : 2;
+    ins[0] = values[i % values.size()];
+    ins[1] = values[(i * 7 + 1) % values.size()];
+    benchmark::DoNotOptimize(eval_gate4(t, {ins.data(), arity}));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EvalGate4);
+
+void BM_EvalGate64(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<std::uint64_t> values(4096);
+  for (auto& v : values) v = rng.next();
+  std::array<std::uint64_t, 3> ins;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const GateType t = kTypes[i % std::size(kTypes)];
+    const std::size_t arity = (t == GateType::Not) ? 1 : 2;
+    ins[0] = values[i % values.size()];
+    ins[1] = values[(i * 7 + 1) % values.size()];
+    benchmark::DoNotOptimize(eval_gate64(t, {ins.data(), arity}));
+    ++i;
+  }
+  // 64 logical evaluations per call.
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EvalGate64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

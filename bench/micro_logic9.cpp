@@ -1,0 +1,59 @@
+// M3 — engineering microbenchmark: IEEE-1164 9-valued operations (table
+// lookups) vs the branchy 4-valued operators.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "logic/logic9.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace plsim;
+
+void BM_Resolve9(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<Logic9> values(4096);
+  for (auto& v : values) v = static_cast<Logic9>(rng.uniform(9));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        resolve9(values[i % values.size()], values[(i + 1) % values.size()]));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Resolve9);
+
+void BM_And9(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<Logic9> values(4096);
+  for (auto& v : values) v = static_cast<Logic9>(rng.uniform(9));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        and9(values[i % values.size()], values[(i + 1) % values.size()]));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_And9);
+
+void BM_And4(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<Logic4> values(4096);
+  for (auto& v : values) v = static_cast<Logic4>(rng.uniform(4));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        logic_and(values[i % values.size()], values[(i + 1) % values.size()]));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_And4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

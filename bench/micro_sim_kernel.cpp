@@ -1,0 +1,76 @@
+// M4 — engineering macrobenchmark: full event-driven simulation throughput
+// of the two golden implementations (binary heap inside BlockSimulator vs
+// the timing-wheel kernel), plus the oblivious and compiled sweeps, in
+// committed events / gate-evaluations per second of host time.
+
+#include <benchmark/benchmark.h>
+
+#include "netlist/generators.hpp"
+#include "seq/compiled.hpp"
+#include "seq/golden.hpp"
+#include "seq/oblivious.hpp"
+#include "stim/stimulus.hpp"
+
+namespace {
+
+using namespace plsim;
+
+const Circuit& test_circuit() {
+  static const Circuit c = scaled_circuit(5000, 1);
+  return c;
+}
+const Stimulus& test_stim() {
+  static const Stimulus s = random_stimulus(test_circuit(), 20, 0.3, 7);
+  return s;
+}
+
+void BM_GoldenHeap(benchmark::State& state) {
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const RunResult r = simulate_golden(test_circuit(), test_stim());
+    events = r.stats.wire_events;
+    benchmark::DoNotOptimize(r.final_values.data());
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_GoldenHeap);
+
+void BM_GoldenWheel(benchmark::State& state) {
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const RunResult r = simulate_golden_wheel(test_circuit(), test_stim());
+    events = r.stats.wire_events;
+    benchmark::DoNotOptimize(r.final_values.data());
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_GoldenWheel);
+
+void BM_Oblivious(benchmark::State& state) {
+  std::uint64_t evals = 0;
+  for (auto _ : state) {
+    const ObliviousResult r = simulate_oblivious(test_circuit(), test_stim());
+    evals = r.evaluations;
+    benchmark::DoNotOptimize(r.final_values.data());
+  }
+  state.SetItemsProcessed(state.iterations() * evals);
+}
+BENCHMARK(BM_Oblivious);
+
+void BM_Compiled64(benchmark::State& state) {
+  const PackedVectors vecs =
+      random_packed_vectors(test_circuit(), 20, 3);
+  std::uint64_t evals = 0;
+  for (auto _ : state) {
+    const CompiledResult r = simulate_compiled(test_circuit(), vecs);
+    evals = r.evaluations;
+    benchmark::DoNotOptimize(r.final_values.data());
+  }
+  // 64 logical circuit copies per evaluation.
+  state.SetItemsProcessed(state.iterations() * evals * 64);
+}
+BENCHMARK(BM_Compiled64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

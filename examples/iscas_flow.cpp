@@ -1,0 +1,70 @@
+// Design-verification flow on an ISCAS-style netlist: load a `.bench` file
+// (or a builtin/synthetic profile), generate random vectors, simulate with
+// every engine, and cross-check the results — the workflow of paper §II/§V.
+//
+//   ./example_iscas_flow [c17|s27|<profile name>|path/to/file.bench] [blocks]
+
+#include <iostream>
+#include <string>
+
+#include "engines/engine.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/builtin.hpp"
+#include "netlist/generators.hpp"
+#include "netlist/stats.hpp"
+#include "partition/algorithms.hpp"
+#include "seq/golden.hpp"
+#include "stim/stimulus.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace plsim;
+
+namespace {
+
+Circuit load(const std::string& name) {
+  for (auto builtin : builtin_circuit_names())
+    if (name == builtin) return builtin_circuit(name);
+  for (const auto& prof : iscas_profiles())
+    if (name == prof.name) return iscas_profile_circuit(name);
+  return load_bench_file(name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "s5378";
+  const std::uint32_t blocks = argc > 2 ? std::stoul(argv[2]) : 4;
+
+  const Circuit c = load(name);
+  std::cout << "circuit " << name << ": " << compute_stats(c) << "\n\n";
+
+  const Stimulus stim = random_stimulus(c, 50, 0.4, /*seed=*/1);
+  const RunResult golden = simulate_golden(c, stim);
+  std::cout << "golden sequential: " << golden.stats.wire_events
+            << " events, " << golden.stats.evaluations << " evaluations, "
+            << Table::fmt(golden.wall_seconds * 1e3) << " ms\n\n";
+
+  const Partition p = partition_fm(c, blocks, 1);
+  const PartitionMetrics pm = evaluate_partition(c, p);
+  std::cout << blocks << "-way FM partition: " << pm.cut_edges
+            << " cut edges, imbalance " << Table::fmt(pm.imbalance) << "\n\n";
+
+  Table table({"engine", "match", "ms", "messages", "nulls", "rollbacks",
+               "barriers"});
+  for (const auto& e : standard_engines()) {
+    WallTimer t;
+    const RunResult r = e.run(c, stim, p, EngineConfig{});
+    const bool ok = r.final_values == golden.final_values &&
+                    r.wave.digest() == golden.wave.digest();
+    table.add_row({e.name, ok ? "yes" : "NO", Table::fmt(t.seconds() * 1e3),
+                   Table::fmt(r.stats.messages),
+                   Table::fmt(r.stats.null_messages),
+                   Table::fmt(r.stats.rollbacks),
+                   Table::fmt(r.stats.barriers)});
+  }
+  table.print(std::cout);
+  std::cout << "\n(threaded engines; wall time reflects this host's core "
+               "count, the bench/ harness models parallel machines)\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Multi-valued logic demo: the IEEE-1164 nine-valued system (paper §II cites
+// STD_LOGIC_1164 as the standard multi-valued system for VHDL simulation).
+// Models a shared bus with several tristate-style drivers and shows how the
+// resolution function combines forcing, weak, and high-impedance drives —
+// including the bus-keeper idiom (weak H/L holding the last value).
+
+#include <iostream>
+#include <vector>
+
+#include "logic/logic9.hpp"
+
+using namespace plsim;
+
+namespace {
+
+Logic9 resolve_bus(const std::vector<Logic9>& drivers) {
+  Logic9 acc = Logic9::Z;
+  for (Logic9 d : drivers) acc = resolve9(acc, d);
+  return acc;
+}
+
+void show(const char* label, const std::vector<Logic9>& drivers) {
+  std::cout << label << ": ";
+  for (std::size_t i = 0; i < drivers.size(); ++i)
+    std::cout << (i ? " + " : "") << to_char(drivers[i]);
+  const Logic9 value = resolve_bus(drivers);
+  std::cout << "  ->  bus = " << to_char(value) << "  (to_X01: "
+            << to_char(to_x01(value)) << ")\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "IEEE-1164 bus resolution\n\n";
+
+  show("single driver          ", {Logic9::T, Logic9::Z, Logic9::Z});
+  show("contention (0 vs 1)    ", {Logic9::F, Logic9::T, Logic9::Z});
+  show("forcing beats keeper   ", {Logic9::F, Logic9::H, Logic9::Z});
+  show("keeper holds released  ", {Logic9::Z, Logic9::H, Logic9::Z});
+  show("weak contention        ", {Logic9::L, Logic9::H, Logic9::Z});
+  show("uninitialized poisons  ", {Logic9::U, Logic9::T, Logic9::Z});
+  show("undriven bus           ", {Logic9::Z, Logic9::Z, Logic9::Z});
+
+  std::cout << "\ngate evaluation in the 9-valued system\n\n";
+  const Logic9 a = Logic9::H;  // weak 1
+  const Logic9 b = Logic9::L;  // weak 0
+  std::cout << "  and9(H, L) = " << to_char(and9(a, b)) << "   (weak drives "
+            << "still have definite logic levels)\n";
+  std::cout << "  or9(H, L)  = " << to_char(or9(a, b)) << "\n";
+  std::cout << "  xor9(H, L) = " << to_char(xor9(a, b)) << "\n";
+  std::cout << "  not9(W)    = " << to_char(not9(Logic9::W))
+            << "   (weak unknown stays unknown)\n";
+  std::cout << "  and9(U, 0) = " << to_char(and9(Logic9::U, Logic9::F))
+            << "   (controlling 0 wins even against uninitialized)\n";
+  return 0;
+}

@@ -1,0 +1,152 @@
+// Command-line driver: the plsim library as a small EDA tool.
+//
+//   plsim_cli sim <circuit> [cycles] [activity] [seed] [vcd-file]
+//       simulate with the golden engine, print stats, optionally dump VCD
+//   plsim_cli partition <circuit> <k>
+//       run every partitioning heuristic, print the comparison table
+//   plsim_cli predict <circuit> <procs>
+//       modelled speedup of each synchronization family on <procs> CPUs
+//   plsim_cli generate <kind> <param> [seed]
+//       emit a .bench netlist on stdout; kinds: random <gates>,
+//       adder <bits>, multiplier <bits>, counter <bits>, modules <n>
+//
+// <circuit> is a builtin name (c17, s27), an ISCAS profile name (c880,
+// s5378, ...), or a path to a .bench file.
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "netlist/bench_io.hpp"
+#include "netlist/builtin.hpp"
+#include "netlist/generators.hpp"
+#include "netlist/stats.hpp"
+#include "partition/algorithms.hpp"
+#include "seq/golden.hpp"
+#include "stim/stimulus.hpp"
+#include "stim/vcd.hpp"
+#include "util/table.hpp"
+#include "vp/vp.hpp"
+
+using namespace plsim;
+
+namespace {
+
+Circuit load(const std::string& name) {
+  for (auto builtin : builtin_circuit_names())
+    if (name == builtin) return builtin_circuit(name);
+  for (const auto& prof : iscas_profiles())
+    if (name == prof.name) return iscas_profile_circuit(name);
+  return load_bench_file(name);
+}
+
+int cmd_sim(int argc, char** argv) {
+  const Circuit c = load(argv[2]);
+  const std::size_t cycles = argc > 3 ? std::stoul(argv[3]) : 100;
+  const double activity = argc > 4 ? std::stod(argv[4]) : 0.4;
+  const std::uint64_t seed = argc > 5 ? std::stoull(argv[5]) : 1;
+
+  std::cerr << compute_stats(c) << "\n";
+  const Stimulus stim = random_stimulus(c, cycles, activity, seed);
+  GoldenOptions opts;
+  opts.record_trace = argc > 6;
+  const RunResult r = simulate_golden(c, stim, opts);
+  std::cout << "cycles " << cycles << ", events " << r.stats.wire_events
+            << ", evaluations " << r.stats.evaluations << ", dff samples "
+            << r.stats.dff_samples << ", wall "
+            << Table::fmt(r.wall_seconds * 1e3) << " ms\n";
+  std::cout << "waveform digest " << std::hex << r.wave.digest() << std::dec
+            << "\n";
+  std::cout << "primary outputs:";
+  for (GateId po : c.primary_outputs())
+    std::cout << ' ' << (c.name(po).empty() ? std::to_string(po) : c.name(po))
+              << '=' << to_char(r.final_values[po]);
+  std::cout << "\n";
+  if (argc > 6) {
+    std::ofstream vcd(argv[6]);
+    write_vcd(vcd, c, r.trace);
+    std::cout << "waveform written to " << argv[6] << "\n";
+  }
+  return 0;
+}
+
+int cmd_partition(int argc, char** argv) {
+  const Circuit c = load(argv[2]);
+  const std::uint32_t k = argc > 3 ? std::stoul(argv[3]) : 8;
+  Table table({"partitioner", "cut_edges", "cut_gates", "imbalance"});
+  for (const auto& np : standard_partitioners()) {
+    const Partition p = np.run(c, k, 1);
+    const PartitionMetrics m = evaluate_partition(c, p);
+    table.add_row({np.name, Table::fmt(m.cut_edges), Table::fmt(m.cut_gates),
+                   Table::fmt(m.imbalance)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_predict(int argc, char** argv) {
+  const Circuit c = load(argv[2]);
+  const std::uint32_t procs = argc > 3 ? std::stoul(argv[3]) : 8;
+  const Stimulus stim = random_stimulus(c, 20, 0.3, 1);
+  const Partition p = partition_fm(c, procs, 1);
+  VpConfig cfg;
+  cfg.lazy_cancellation = true;
+  const SequentialCost seq = sequential_cost(c, stim, cfg.cost);
+  Table table({"engine", "modelled_speedup", "notes"});
+  const VpResult sy = run_sync_vp(c, stim, p, cfg);
+  const VpResult co = run_conservative_vp(c, stim, p, cfg);
+  const VpResult tw = run_timewarp_vp(c, stim, p, cfg);
+  table.add_row({"synchronous", Table::fmt(seq.work / sy.makespan),
+                 std::to_string(sy.stats.barriers) + " barriers"});
+  table.add_row({"conservative", Table::fmt(seq.work / co.makespan),
+                 std::to_string(co.stats.null_messages) + " nulls"});
+  table.add_row({"optimistic", Table::fmt(seq.work / tw.makespan),
+                 std::to_string(tw.stats.rollbacks) + " rollbacks"});
+  table.print(std::cout);
+  std::cout << "(" << procs << " modelled processors, " << seq.events
+            << " committed events)\n";
+  return 0;
+}
+
+int cmd_generate(int argc, char** argv) {
+  const std::string kind = argv[2];
+  const int param = argc > 3 ? std::stoi(argv[3]) : 0;
+  const std::uint64_t seed = argc > 4 ? std::stoull(argv[4]) : 1;
+  Circuit c = [&] {
+    if (kind == "random") return scaled_circuit(param > 0 ? param : 1000, seed);
+    if (kind == "adder") return ripple_adder(param > 0 ? param : 8);
+    if (kind == "multiplier") return array_multiplier(param > 0 ? param : 4);
+    if (kind == "counter") return counter(param > 0 ? param : 8);
+    if (kind == "modules")
+      return module_array(param > 0 ? param : 4, 200, seed);
+    raise("unknown generator kind: " + kind);
+  }();
+  write_bench(std::cout, c, "plsim_cli generate " + kind);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::cerr << "usage:\n"
+              << "  plsim_cli sim <circuit> [cycles] [activity] [seed] [vcd]\n"
+              << "  plsim_cli partition <circuit> [k]\n"
+              << "  plsim_cli predict <circuit> [procs]\n"
+              << "  plsim_cli generate <random|adder|multiplier|counter|"
+                 "modules> <param> [seed]\n";
+    return 2;
+  }
+  try {
+    const std::string cmd = argv[1];
+    if (cmd == "sim") return cmd_sim(argc, argv);
+    if (cmd == "partition") return cmd_partition(argc, argv);
+    if (cmd == "predict") return cmd_predict(argc, argv);
+    if (cmd == "generate") return cmd_generate(argc, argv);
+    std::cerr << "unknown command '" << cmd << "'\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,67 @@
+// Quickstart: build a small sequential circuit with the netlist API, attach
+// a stimulus, simulate it with the golden sequential engine and with a
+// parallel engine, and write a waveform that opens in GTKWave.
+//
+//   ./example_quickstart [out.vcd]
+
+#include <fstream>
+#include <iostream>
+
+#include "engines/engine.hpp"
+#include "netlist/builder.hpp"
+#include "partition/algorithms.hpp"
+#include "seq/golden.hpp"
+#include "stim/stimulus.hpp"
+#include "stim/vcd.hpp"
+
+using namespace plsim;
+
+int main(int argc, char** argv) {
+  // A 2-bit counter with an enable input, built gate by gate.
+  NetlistBuilder b;
+  const GateId en = b.add_input("en");
+  const GateId q0 = b.add_gate(GateType::Dff, {}, "q0");
+  const GateId q1 = b.add_gate(GateType::Dff, {}, "q1");
+  const GateId d0 = b.add_gate(GateType::Xor, {q0, en}, "d0");
+  const GateId carry = b.add_gate(GateType::And, {q0, en}, "carry");
+  const GateId d1 = b.add_gate(GateType::Xor, {q1, carry}, "d1");
+  b.set_fanins(q0, {d0});
+  b.set_fanins(q1, {d1});
+  b.mark_output(q0);
+  b.mark_output(q1);
+  const Circuit c = b.build();
+
+  // Enable high for 6 cycles, then low for 2.
+  Stimulus stim;
+  stim.period = 10;
+  for (int k = 0; k < 8; ++k)
+    stim.vectors.push_back({k < 6 ? Logic4::T : Logic4::F});
+
+  // Golden sequential simulation with a recorded trace.
+  GoldenOptions gopts;
+  gopts.record_trace = true;
+  const RunResult golden = simulate_golden(c, stim, gopts);
+
+  std::cout << "counter value after 6 enabled cycles: q1q0 = "
+            << to_char(golden.final_values[q1])
+            << to_char(golden.final_values[q0]) << "\n";
+  std::cout << "events committed: " << golden.stats.wire_events
+            << ", gate evaluations: " << golden.stats.evaluations << "\n";
+
+  // The same run on the synchronous parallel engine, two blocks.
+  const Partition p = partition_fm(c, 2, /*seed=*/1);
+  const RunResult par = run_synchronous(c, stim, p);
+  std::cout << "parallel run matches golden: "
+            << (par.final_values == golden.final_values &&
+                        par.wave.digest() == golden.wave.digest()
+                    ? "yes"
+                    : "NO — bug!")
+            << "\n";
+
+  // Waveform out.
+  const char* path = argc > 1 ? argv[1] : "quickstart.vcd";
+  std::ofstream vcd(path);
+  write_vcd(vcd, c, golden.trace);
+  std::cout << "waveform written to " << path << "\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Interactive what-if tool over the virtual multiprocessor: pick a circuit
+// size, processor counts and a partitioner, and compare the modelled speedup
+// of all four synchronization families (paper §IV) on one workload.
+//
+//   ./example_speedup_explorer [gates] [activity] [partitioner]
+//   e.g. ./example_speedup_explorer 12000 0.3 fm
+
+#include <iostream>
+#include <string>
+
+#include "netlist/generators.hpp"
+#include "partition/algorithms.hpp"
+#include "stim/stimulus.hpp"
+#include "util/table.hpp"
+#include "vp/vp.hpp"
+
+using namespace plsim;
+
+int main(int argc, char** argv) {
+  const std::size_t gates = argc > 1 ? std::stoul(argv[1]) : 8000;
+  const double activity = argc > 2 ? std::stod(argv[2]) : 0.3;
+  const std::string partitioner = argc > 3 ? argv[3] : "fm";
+
+  const Circuit c = scaled_circuit(gates, 1);
+  const Stimulus stim = random_stimulus(c, 20, activity, 7);
+
+  VpConfig cfg;
+  cfg.lazy_cancellation = true;
+  const SequentialCost seq = sequential_cost(c, stim, cfg.cost);
+  const double obl_seq = oblivious_sequential_cost(c, stim, cfg.cost);
+
+  std::cout << "virtual-platform speedup, " << gates << " gates, activity "
+            << activity << ", partitioner " << partitioner << "\n"
+            << "sequential event-driven cost " << Table::fmt(seq.work)
+            << " units (" << seq.events << " events); sequential oblivious "
+            << Table::fmt(obl_seq) << " units\n\n";
+
+  const NamedPartitioner* np = nullptr;
+  static const auto all = standard_partitioners();
+  for (const auto& cand : all)
+    if (cand.name == partitioner) np = &cand;
+  if (np == nullptr) {
+    std::cerr << "unknown partitioner '" << partitioner << "'; options:";
+    for (const auto& cand : all) std::cerr << ' ' << cand.name;
+    std::cerr << "\n";
+    return 1;
+  }
+
+  Table table({"procs", "synchronous", "conservative", "optimistic",
+               "oblivious", "cut_edges", "imbalance"});
+  for (std::uint32_t procs : {2u, 4u, 8u, 16u, 32u}) {
+    const Partition p = np->run(c, procs, 1);
+    const PartitionMetrics m = evaluate_partition(c, p);
+    const VpResult sy = run_sync_vp(c, stim, p, cfg);
+    const VpResult co = run_conservative_vp(c, stim, p, cfg);
+    const VpResult tw = run_timewarp_vp(c, stim, p, cfg);
+    const VpResult ob = run_oblivious_vp(c, stim, p, cfg);
+    table.add_row({Table::fmt(static_cast<std::uint64_t>(procs)),
+                   Table::fmt(seq.work / sy.makespan),
+                   Table::fmt(seq.work / co.makespan),
+                   Table::fmt(seq.work / tw.makespan),
+                   Table::fmt(obl_seq / ob.makespan),
+                   Table::fmt(m.cut_edges), Table::fmt(m.imbalance)});
+  }
+  table.print(std::cout);
+  std::cout << "\n(oblivious speedup is measured against the sequential "
+               "oblivious baseline — its semantics are cycle-based)\n";
+  return 0;
+}

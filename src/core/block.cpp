@@ -1,0 +1,324 @@
+#include "core/block.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "logic/gates.hpp"
+#include "util/error.hpp"
+
+namespace plsim {
+
+BlockSimulator::BlockSimulator(const Circuit& circuit,
+                               std::span<const GateId> owned,
+                               std::span<const GateId> exported,
+                               const BlockOptions& opts)
+    : circuit_(circuit), opts_(opts), save_(opts.save) {
+  PLSIM_CHECK(opts_.horizon > 0, "BlockSimulator: horizon must be positive");
+  PLSIM_CHECK(opts_.clock_period >= 1, "BlockSimulator: bad clock period");
+  PLSIM_CHECK(!owned.empty(), "BlockSimulator: empty block");
+
+  owned_.assign(owned.begin(), owned.end());
+  n_owned_ = owned_.size();
+
+  // Local index space: owned gates first, then boundary fanins.
+  local_index_.assign(circuit.gate_count(), kNotLocal);
+  local_gates_.reserve(n_owned_);
+  for (GateId g : owned_) {
+    PLSIM_CHECK(local_index_[g] == kNotLocal,
+                "BlockSimulator: gate owned twice");
+    local_index_[g] = static_cast<std::uint32_t>(local_gates_.size());
+    local_gates_.push_back(g);
+  }
+  for (GateId g : owned_) {
+    for (GateId f : circuit.fanins(g)) {
+      if (local_index_[f] == kNotLocal) {
+        local_index_[f] = static_cast<std::uint32_t>(local_gates_.size());
+        local_gates_.push_back(f);
+      }
+    }
+    if (circuit.type(g) == GateType::Dff) owned_dffs_.push_back(g);
+  }
+
+  exported_.assign(n_owned_, 0);
+  std::uint32_t lookahead = 1u << 30;
+  for (GateId g : exported) {
+    const std::uint32_t li = local_index_[g];
+    PLSIM_CHECK(li != kNotLocal && is_owned_local(li),
+                "BlockSimulator: exported gate not owned");
+    exported_[li] = 1;
+    lookahead = std::min(lookahead, circuit.delay(g));
+  }
+  export_lookahead_ = lookahead;
+
+  values_.resize(local_gates_.size());
+  for (std::size_t i = 0; i < local_gates_.size(); ++i) {
+    switch (circuit.type(local_gates_[i])) {
+      case GateType::Const0: values_[i] = Logic4::F; break;
+      case GateType::Const1: values_[i] = Logic4::T; break;
+      case GateType::Dff: values_[i] = Logic4::F; break;  // global reset
+      default: values_[i] = Logic4::X; break;
+    }
+  }
+  projected_.assign(values_.begin(), values_.begin() + n_owned_);
+  eval_counts_.assign(n_owned_, 0);
+  eval_mark_.assign(local_gates_.size(), 0);
+
+  if (!owned_dffs_.empty() && opts_.clock_period < opts_.horizon) {
+    queue_.push(Event{opts_.clock_period, kNoGate, Logic4::X, EventKind::Clock,
+                      seq_counter_++});
+  }
+}
+
+std::uint32_t BlockSimulator::eval_count(GateId g) const {
+  const std::uint32_t li = local_index_[g];
+  PLSIM_CHECK(li != kNotLocal && li < n_owned_,
+              "eval_count: gate not owned by this block");
+  return eval_counts_[li];
+}
+
+Logic4 BlockSimulator::value(GateId g) const {
+  const std::uint32_t li = local_index_[g];
+  PLSIM_CHECK(li != kNotLocal, "BlockSimulator::value: gate not in scope");
+  return values_[li];
+}
+
+void BlockSimulator::harvest_values(std::vector<Logic4>& into) const {
+  for (std::size_t i = 0; i < n_owned_; ++i) into[owned_[i]] = values_[i];
+}
+
+void BlockSimulator::log_wire(std::uint32_t li, Logic4 old_value) {
+  if (save_ == SaveMode::Incremental)
+    undo_log_.push_back({UndoKind::WireValue, li, old_value, {}});
+}
+
+void BlockSimulator::log_projected(std::uint32_t li, Logic4 old_value) {
+  if (save_ == SaveMode::Incremental)
+    undo_log_.push_back({UndoKind::Projected, li, old_value, {}});
+}
+
+void BlockSimulator::schedule(Tick when, GateId gate, Logic4 v,
+                              EventKind kind) {
+  if (when >= opts_.horizon) return;
+  const Event e{when, gate, v, kind, seq_counter_++};
+  queue_.push(e);
+  if (save_ == SaveMode::Incremental)
+    undo_log_.push_back({UndoKind::QueuePush, 0, Logic4::X, e});
+}
+
+void BlockSimulator::take_full_snapshot(Tick t) {
+  FullSnapshot snap;
+  snap.time = t;
+  snap.values = values_;
+  snap.projected = projected_;
+  // Drain-and-restore would disturb the queue; copy via pop/push is O(n log n)
+  // and mutates seq skimming, so instead rebuild from a scan: HeapQueue has no
+  // iterator, so we snapshot by popping everything and pushing it back.
+  std::vector<Event> all;
+  while (!queue_.empty()) all.push_back(queue_.pop());
+  for (const Event& e : all) queue_.push(e);
+  snap.queue = std::move(all);
+  snap.seq_counter = seq_counter_;
+  snap.trace_len = static_cast<std::uint32_t>(trace_.size());
+  snap.wave = wave_;
+  stats_.save_bytes += snap.values.size() * sizeof(Logic4) +
+                       snap.projected.size() * sizeof(Logic4) +
+                       snap.queue.size() * sizeof(Event) + sizeof(FullSnapshot);
+  snapshots_.push_back(std::move(snap));
+}
+
+void BlockSimulator::apply_wire(GateId gate, Logic4 v, Tick t) {
+  const std::uint32_t li = local_index_[gate];
+  PLSIM_ASSERT(li != kNotLocal);
+  log_wire(li, values_[li]);
+  values_[li] = v;
+  if (is_owned_local(li)) {
+    wave_.add(gate, t, static_cast<std::uint8_t>(v));
+    if (opts_.record_trace) trace_.push_back({t, gate, v});
+  }
+  for (GateId s : circuit_.fanouts(gate)) {
+    const std::uint32_t ls = local_index_[s];
+    if (ls == kNotLocal || !is_owned_local(ls)) continue;
+    const GateType ty = circuit_.type(s);
+    if (!is_combinational(ty)) continue;  // DFFs sample only on clock edges
+    if (eval_mark_[ls] != eval_epoch_) {
+      eval_mark_[ls] = eval_epoch_;
+      eval_list_.push_back(s);
+    }
+  }
+}
+
+BatchStats BlockSimulator::process_batch(Tick t,
+                                         std::span<const Message> externals,
+                                         std::vector<Message>& out) {
+  PLSIM_ASSERT(!in_batch_);
+  in_batch_ = true;
+  PLSIM_ASSERT(t < opts_.horizon);
+  PLSIM_ASSERT(t <= queue_.next_time());
+
+  const std::uint32_t undo_first = static_cast<std::uint32_t>(undo_log_.size());
+  const std::uint32_t trace_len = static_cast<std::uint32_t>(trace_.size());
+  const WaveHash wave_before = wave_;
+  if (save_ == SaveMode::Full) take_full_snapshot(t);
+
+  BatchStats bs;
+  const std::size_t out_before = out.size();
+
+  ++eval_epoch_;
+  eval_list_.clear();
+
+  scratch_.clear();
+  queue_.pop_all_at(t, scratch_);
+  if (save_ == SaveMode::Incremental)
+    for (const Event& e : scratch_)
+      undo_log_.push_back({UndoKind::QueuePop, 0, Logic4::X, e});
+
+  // Phase A: clock edge — sample every owned DFF with pre-t values.
+  bool clock_edge = false;
+  for (const Event& e : scratch_)
+    if (e.kind == EventKind::Clock) clock_edge = true;
+  if (clock_edge) {
+    for (GateId dff : owned_dffs_) {
+      const GateId d = circuit_.fanins(dff)[0];
+      const Logic4 q = z_to_x(values_[local_index_[d]]);
+      ++bs.dff_samples;
+      const std::uint32_t li = local_index_[dff];
+      ++eval_counts_[li];
+      if (q != projected_[li]) {
+        log_projected(li, projected_[li]);
+        projected_[li] = q;
+        const Tick when = t + circuit_.delay(dff);
+        schedule(when, dff, q, EventKind::Wire);
+        if (exported_[li] && when < opts_.horizon) {
+          out.push_back(Message{when, dff, q});
+        }
+      }
+    }
+    schedule(t + opts_.clock_period, kNoGate, Logic4::X, EventKind::Clock);
+  }
+
+  // Phase B: apply all wire changes at t.
+  for (const Event& e : scratch_) {
+    if (e.kind != EventKind::Wire) continue;
+    apply_wire(e.gate, e.value, t);
+    ++bs.wire_events;
+  }
+  for (const Message& m : externals) {
+    PLSIM_ASSERT(m.time == t);
+    apply_wire(m.gate, m.value, t);
+    ++bs.wire_events;
+  }
+
+  // Phase C: evaluate each affected owned gate once.
+  std::array<Logic4, 64> fanin_vals;
+  for (GateId g : eval_list_) {
+    const auto fi = circuit_.fanins(g);
+    PLSIM_ASSERT(fi.size() <= fanin_vals.size());
+    for (std::size_t k = 0; k < fi.size(); ++k)
+      fanin_vals[k] = values_[local_index_[fi[k]]];
+    const Logic4 nv =
+        eval_gate4(circuit_.type(g), {fanin_vals.data(), fi.size()});
+    ++bs.evaluations;
+    const std::uint32_t li = local_index_[g];
+    ++eval_counts_[li];
+    if (nv != projected_[li]) {
+      log_projected(li, projected_[li]);
+      projected_[li] = nv;
+      const Tick when = t + circuit_.delay(g);
+      schedule(when, g, nv, EventKind::Wire);
+      if (exported_[li] && when < opts_.horizon) {
+        out.push_back(Message{when, g, nv});
+      }
+    }
+  }
+
+  bs.messages_out = static_cast<std::uint32_t>(out.size() - out_before);
+  if (save_ == SaveMode::Incremental) {
+    bs.undo_entries = static_cast<std::uint32_t>(undo_log_.size() - undo_first);
+    undo_batches_.push_back(
+        {t, undo_first, bs.undo_entries, trace_len, wave_before});
+    stats_.undo_entries += bs.undo_entries;
+  } else if (save_ == SaveMode::Full) {
+    bs.save_bytes = snapshots_.back().values.size() +
+                    snapshots_.back().projected.size() +
+                    snapshots_.back().queue.size() * sizeof(Event);
+  }
+
+  stats_.wire_events += bs.wire_events;
+  stats_.evaluations += bs.evaluations;
+  stats_.dff_samples += bs.dff_samples;
+  stats_.messages += bs.messages_out;
+  ++stats_.batches;
+
+  in_batch_ = false;
+  return bs;
+}
+
+BlockSimulator::RollbackStats BlockSimulator::rollback_to(Tick t) {
+  PLSIM_CHECK(save_ != SaveMode::None,
+              "rollback_to: state saving is disabled");
+  RollbackStats rs;
+  if (save_ == SaveMode::Incremental) {
+    while (!undo_batches_.empty() && undo_batches_.back().time >= t) {
+      const BatchUndo& bu = undo_batches_.back();
+      ++rs.batches;
+      rs.entries += bu.count;
+      for (std::uint32_t i = bu.first + bu.count; i-- > bu.first;) {
+        const UndoEntry& u = undo_log_[i];
+        switch (u.kind) {
+          case UndoKind::WireValue: values_[u.a] = u.b; break;
+          case UndoKind::Projected: projected_[u.a] = u.b; break;
+          case UndoKind::QueuePush: queue_.erase(u.event.seq); break;
+          case UndoKind::QueuePop: queue_.push(u.event); break;
+        }
+      }
+      trace_.resize(bu.trace_len);
+      wave_ = bu.wave_before;
+      undo_log_.resize(bu.first);
+      undo_batches_.pop_back();
+      ++stats_.rolled_back_batches;
+    }
+  } else {
+    // Full snapshots: restore the earliest snapshot with time >= t.
+    std::size_t target = snapshots_.size();
+    while (target > 0 && snapshots_[target - 1].time >= t) --target;
+    if (target == snapshots_.size()) return rs;
+    const FullSnapshot& snap = snapshots_[target];
+    rs.batches = static_cast<std::uint32_t>(snapshots_.size() - target);
+    rs.bytes = snap.values.size() + snap.projected.size() +
+               snap.queue.size() * sizeof(Event);
+    values_ = snap.values;
+    projected_ = snap.projected;
+    queue_.clear();
+    for (const Event& e : snap.queue) queue_.push(e);
+    seq_counter_ = snap.seq_counter;
+    trace_.resize(snap.trace_len);
+    wave_ = snap.wave;
+    stats_.rolled_back_batches += snapshots_.size() - target;
+    snapshots_.resize(target);
+  }
+  ++stats_.rollbacks;
+  return rs;
+}
+
+std::size_t BlockSimulator::fossil_collect(Tick gvt) {
+  if (save_ == SaveMode::Incremental) {
+    std::size_t n = 0;
+    while (n < undo_batches_.size() && undo_batches_[n].time < gvt) ++n;
+    if (n == 0) return 0;
+    const std::uint32_t cut = undo_batches_[n - 1].first +
+                              undo_batches_[n - 1].count;
+    undo_log_.erase(undo_log_.begin(), undo_log_.begin() + cut);
+    undo_batches_.erase(undo_batches_.begin(), undo_batches_.begin() + n);
+    for (auto& bu : undo_batches_) bu.first -= cut;
+    return n;
+  }
+  if (save_ == SaveMode::Full) {
+    std::size_t n = 0;
+    while (n < snapshots_.size() && snapshots_[n].time < gvt) ++n;
+    snapshots_.erase(snapshots_.begin(), snapshots_.begin() + n);
+    return n;
+  }
+  return 0;
+}
+
+}  // namespace plsim

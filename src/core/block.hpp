@@ -1,0 +1,191 @@
+#pragma once
+// BlockSimulator: event-driven gate-level evaluation of one block of a
+// partitioned circuit — the paper's logical process (§II): it "manages local
+// state information for its components, processes simulation events, and
+// maintains a local simulated time reference".
+//
+// Every execution strategy in plsim (sequential golden, synchronous,
+// conservative, optimistic, threaded or virtual-platform) drives the same
+// BlockSimulator and differs only in *when* each block is allowed to advance
+// and how messages travel. That single shared semantics is what makes
+// bit-identical cross-engine equivalence testable.
+//
+// Semantics per timestamp batch at time t:
+//   phase A  on a clock edge, every owned DFF samples its D input using
+//            pre-t values and schedules Q at t + delay(dff);
+//   phase B  all wire changes at t (internal events and external messages)
+//            are applied;
+//   phase C  affected owned combinational gates are evaluated once each; an
+//            output change is scheduled at t + delay(gate) unless it equals
+//            the gate's already-projected output (selective trace), and is
+//            emitted immediately as a Message when the gate is exported.
+// Phase ordering makes the result independent of message arrival order.
+
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+#include "event/heap_queue.hpp"
+#include "logic/value.hpp"
+#include "netlist/circuit.hpp"
+
+namespace plsim {
+
+struct BlockOptions {
+  Tick clock_period = 10;
+  Tick horizon = 0;        ///< simulate changes strictly before this time
+  SaveMode save = SaveMode::None;
+  bool record_trace = false;
+};
+
+/// Per-batch work counters, the currency of the virtual-platform cost model.
+struct BatchStats {
+  std::uint32_t wire_events = 0;
+  std::uint32_t evaluations = 0;
+  std::uint32_t dff_samples = 0;
+  std::uint32_t messages_out = 0;
+  std::uint64_t save_bytes = 0;
+  std::uint32_t undo_entries = 0;
+};
+
+class BlockSimulator {
+ public:
+  /// `owned` — gates this block simulates. `exported` — owned gates whose
+  /// changes must be emitted as messages (consumed by other blocks).
+  BlockSimulator(const Circuit& circuit, std::span<const GateId> owned,
+                 std::span<const GateId> exported, const BlockOptions& opts);
+
+  /// Earliest pending internal event time (kTickInf if none).
+  Tick next_internal_time() { return queue_.next_time(); }
+
+  /// Process the single timestamp batch at time t. Preconditions:
+  /// t <= next_internal_time(), every external has time == t, and t is the
+  /// earliest unprocessed time for this block. Emitted messages are appended
+  /// to `out`.
+  BatchStats process_batch(Tick t, std::span<const Message> externals,
+                           std::vector<Message>& out);
+
+  /// Work performed by one rollback, for cost accounting.
+  struct RollbackStats {
+    std::uint32_t batches = 0;   ///< batches undone
+    std::uint64_t entries = 0;   ///< incremental log entries replayed
+    std::uint64_t bytes = 0;     ///< bytes restored (full-copy mode)
+  };
+
+  /// Undo every batch processed at time >= t (requires SaveMode != None and
+  /// no fossil collection past t).
+  RollbackStats rollback_to(Tick t);
+
+  /// Discard saved history for batches with time < gvt (they can no longer
+  /// roll back); commits their trace records. Returns batches discarded.
+  std::size_t fossil_collect(Tick gvt);
+
+  /// Number of batches still held in the rollback history.
+  std::size_t history_depth() const {
+    return save_ == SaveMode::Full ? snapshots_.size() : undo_batches_.size();
+  }
+
+  /// Current value of a gate in this block's scope (owned or boundary).
+  Logic4 value(GateId g) const;
+
+  /// True if `g` is owned by or a boundary input of this block — i.e. the
+  /// block must be told about changes of `g`.
+  bool in_scope(GateId g) const { return local_index_[g] != kNotLocal; }
+
+  /// Copy owned gates' current values into a circuit-wide array.
+  void harvest_values(std::vector<Logic4>& into) const;
+
+  const WaveHash& wave() const { return wave_; }
+  const Trace& trace() const { return trace_; }
+  const EngineStats& stats() const { return stats_; }
+
+  /// Times gate `g` (owned) was functionally evaluated or sampled — the
+  /// "evaluation frequency" that pre-simulation partitioning measures
+  /// (paper §III). Counts work performed, including rolled-back work.
+  std::uint32_t eval_count(GateId g) const;
+
+  /// Smallest gate delay among exported gates: the lookahead a conservative
+  /// engine may promise on this block's outgoing channels.
+  std::uint32_t export_lookahead() const { return export_lookahead_; }
+
+  std::span<const GateId> owned() const { return owned_; }
+
+ private:
+  static constexpr std::uint32_t kNotLocal = static_cast<std::uint32_t>(-1);
+
+  enum class UndoKind : std::uint8_t {
+    WireValue,   // restore values_[a] = old value b
+    Projected,   // restore projected_[a] = old value b
+    QueuePush,   // erase event with seq u
+    QueuePop,    // re-push stored event
+  };
+  struct UndoEntry {
+    UndoKind kind;
+    std::uint32_t a = 0;   // local gate index
+    Logic4 b = Logic4::X;  // old value
+    Event event;           // for QueuePop / QueuePush (seq)
+  };
+  struct BatchUndo {
+    Tick time;
+    std::uint32_t first;   // first index into undo_log_
+    std::uint32_t count;
+    std::uint32_t trace_len;
+    WaveHash wave_before;
+  };
+  struct FullSnapshot {
+    Tick time;
+    std::vector<Logic4> values;
+    std::vector<Logic4> projected;
+    std::vector<Event> queue;
+    std::uint64_t seq_counter;
+    std::uint32_t trace_len;
+    WaveHash wave;
+  };
+
+  std::uint32_t local(GateId g) const { return local_index_[g]; }
+  bool is_owned_local(std::uint32_t li) const { return li < n_owned_; }
+
+  void schedule(Tick when, GateId gate, Logic4 v, EventKind kind);
+  void log_wire(std::uint32_t li, Logic4 old_value);
+  void log_projected(std::uint32_t li, Logic4 old_value);
+  void apply_wire(GateId gate, Logic4 v, Tick t);
+  void take_full_snapshot(Tick t);
+
+  const Circuit& circuit_;
+  BlockOptions opts_;
+  SaveMode save_;
+
+  std::vector<GateId> owned_;
+  std::vector<GateId> owned_dffs_;
+  std::vector<std::uint32_t> local_index_;   // global -> local (kNotLocal)
+  std::vector<GateId> local_gates_;          // local -> global
+  std::size_t n_owned_ = 0;
+  std::vector<std::uint8_t> exported_;       // by local index (owned only)
+  std::uint32_t export_lookahead_ = 1;
+
+  std::vector<Logic4> values_;               // by local index
+  std::vector<Logic4> projected_;            // by local index (owned only)
+  std::vector<std::uint32_t> eval_counts_;   // by local index (owned only)
+  HeapQueue queue_;
+  std::uint64_t seq_counter_ = 0;
+
+  std::vector<Event> scratch_;               // popped events of current batch
+
+  // Scratch for phase C deduplication.
+  std::vector<std::uint32_t> eval_mark_;     // by local index
+  std::uint32_t eval_epoch_ = 0;
+  std::vector<GateId> eval_list_;
+
+  // Rollback history.
+  std::vector<UndoEntry> undo_log_;
+  std::vector<BatchUndo> undo_batches_;
+  std::vector<FullSnapshot> snapshots_;
+  bool in_batch_ = false;
+
+  WaveHash wave_;
+  Trace trace_;
+  std::uint32_t committed_trace_len_ = 0;
+  EngineStats stats_;
+};
+
+}  // namespace plsim

@@ -1,0 +1,46 @@
+#include "core/environment.hpp"
+
+#include <algorithm>
+
+namespace plsim {
+
+std::vector<Message> environment_messages(const Circuit& c,
+                                          const Stimulus& stim) {
+  std::vector<Message> msgs;
+  // Constant drivers and DFF reset states announce themselves at t=0 so
+  // cones fed only by them are evaluated at least once (a constant never
+  // produces events, and a DFF that always re-samples 0 never does either).
+  for (GateId g = 0; g < c.gate_count(); ++g) {
+    switch (c.type(g)) {
+      case GateType::Const0:
+      case GateType::Dff:
+        msgs.push_back(Message{0, g, Logic4::F});
+        break;
+      case GateType::Const1:
+        msgs.push_back(Message{0, g, Logic4::T});
+        break;
+      default:
+        break;
+    }
+  }
+  const auto pis = c.primary_inputs();
+  std::vector<Logic4> prev(pis.size(), Logic4::X);
+  for (std::size_t k = 0; k < stim.vectors.size(); ++k) {
+    const auto& vec = stim.vectors[k];
+    const Tick t = stim.period * static_cast<Tick>(k);
+    for (std::size_t i = 0; i < pis.size() && i < vec.size(); ++i) {
+      if (vec[i] != prev[i]) {
+        msgs.push_back(Message{t, pis[i], vec[i]});
+        prev[i] = vec[i];
+      }
+    }
+  }
+  std::stable_sort(msgs.begin(), msgs.end(),
+                   [](const Message& a, const Message& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return a.gate < b.gate;
+                   });
+  return msgs;
+}
+
+}  // namespace plsim

@@ -1,0 +1,32 @@
+#pragma once
+// The "environment LP": primary-input changes derived from the stimulus.
+//
+// Every block whose scope contains a primary input receives that input's
+// change stream as ordinary time-stamped messages known in advance — which is
+// also why conservative engines get perfect lookahead on stimulus channels.
+
+#include <vector>
+
+#include "core/types.hpp"
+#include "netlist/circuit.hpp"
+#include "stim/stimulus.hpp"
+
+namespace plsim {
+
+/// All primary-input change messages of the run, sorted by (time, gate).
+std::vector<Message> environment_messages(const Circuit& c,
+                                          const Stimulus& stim);
+
+/// The subset of environment messages a given block must observe.
+template <typename ScopePred>
+std::vector<Message> environment_messages_for(const Circuit& c,
+                                              const Stimulus& stim,
+                                              ScopePred in_scope) {
+  std::vector<Message> all = environment_messages(c, stim);
+  std::vector<Message> mine;
+  for (const Message& m : all)
+    if (in_scope(m.gate)) mine.push_back(m);
+  return mine;
+}
+
+}  // namespace plsim

@@ -1,0 +1,84 @@
+#pragma once
+// Shared types for simulation engines.
+
+#include <cstdint>
+#include <vector>
+
+#include "logic/value.hpp"
+#include "netlist/circuit.hpp"
+#include "stim/trace.hpp"
+#include "util/hash.hpp"
+
+namespace plsim {
+
+/// A time-stamped signal change crossing a block (logical process) boundary —
+/// the paper's "time stamped message to each fanout LP" (§II).
+struct Message {
+  Tick time = 0;
+  GateId gate = kNoGate;
+  Logic4 value = Logic4::X;
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+/// State-saving policy for optimistic execution (paper §IV: "frequently only
+/// the change in state is saved ... incremental state saving").
+enum class SaveMode : std::uint8_t {
+  None,         ///< no history (sequential / conservative / synchronous)
+  Incremental,  ///< per-batch undo log
+  Full,         ///< per-batch full copy of block state
+};
+
+/// Counters every engine reports; the union of what the four synchronization
+/// families can produce.
+struct EngineStats {
+  std::uint64_t wire_events = 0;    ///< committed signal-change applications
+  std::uint64_t evaluations = 0;    ///< gate functional evaluations
+  std::uint64_t dff_samples = 0;    ///< DFF clock samplings
+  std::uint64_t batches = 0;        ///< timestamp batches processed
+  std::uint64_t messages = 0;       ///< cross-block signal messages
+  std::uint64_t null_messages = 0;  ///< conservative null messages
+  std::uint64_t barriers = 0;       ///< synchronous barrier episodes
+  std::uint64_t rollbacks = 0;      ///< optimistic rollback episodes
+  std::uint64_t rolled_back_batches = 0;
+  std::uint64_t anti_messages = 0;
+  std::uint64_t gvt_rounds = 0;
+  std::uint64_t save_bytes = 0;     ///< bytes copied by state saving
+  std::uint64_t undo_entries = 0;   ///< incremental-save log entries written
+  std::uint64_t blocked_waits = 0;  ///< conservative input-waiting episodes
+  std::uint64_t deadlocks = 0;      ///< detection/recovery episodes
+  std::uint64_t migrations = 0;     ///< dynamic load-balancing block moves
+
+  void merge(const EngineStats& o) {
+    wire_events += o.wire_events;
+    evaluations += o.evaluations;
+    dff_samples += o.dff_samples;
+    batches += o.batches;
+    messages += o.messages;
+    null_messages += o.null_messages;
+    barriers += o.barriers;
+    rollbacks += o.rollbacks;
+    rolled_back_batches += o.rolled_back_batches;
+    anti_messages += o.anti_messages;
+    gvt_rounds += o.gvt_rounds;
+    save_bytes += o.save_bytes;
+    undo_entries += o.undo_entries;
+    blocked_waits += o.blocked_waits;
+    deadlocks += o.deadlocks;
+    migrations += o.migrations;
+  }
+};
+
+/// Outcome of a simulation run. Engines that execute the same circuit and
+/// stimulus must agree on `final_values` and `wave` (and on `trace` when
+/// recorded) — that is the cross-engine equivalence contract.
+struct RunResult {
+  std::vector<Logic4> final_values;  ///< indexed by GateId
+  WaveHash wave;                     ///< commutative digest of committed changes
+  EngineStats stats;
+  Trace trace;                       ///< committed changes, if recording was on
+  double wall_seconds = 0.0;         ///< host wall-clock time
+  double virtual_seconds = 0.0;      ///< virtual-platform makespan (vp runs)
+};
+
+}  // namespace plsim

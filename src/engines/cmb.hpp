@@ -1,0 +1,145 @@
+#pragma once
+// Chandy-Misra-Bryant channel machinery shared by the threaded conservative
+// engine and the virtual-platform executor.
+//
+// Each directed channel src->dst carries signal messages in nondecreasing
+// timestamp order. Because a gate evaluated at time t schedules its output at
+// t + delay(gate), a block at LVT t can promise that no future message on the
+// channel will carry a timestamp below t + lookahead (lookahead = minimum
+// delay over the block's exported gates). Output messages are therefore
+// buffered at the sender and released only once covered by the promise; a
+// null message carries the promise itself when no real message does
+// (deadlock avoidance, paper §IV).
+
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.hpp"
+#include "engines/common.hpp"
+
+namespace plsim {
+
+/// Sender side of one conservative channel.
+class CmbOutChannel {
+ public:
+  CmbOutChannel(std::uint32_t dst, Tick lookahead)
+      : dst_(dst), lookahead_(lookahead) {}
+
+  std::uint32_t dst() const { return dst_; }
+  Tick promised() const { return promised_; }
+
+  void buffer(const Message& m) { buffer_.push(m); }
+
+  /// Given the earliest simulated time the sender could still process
+  /// (`frontier`), release every buffered message now covered by the promise
+  /// frontier + lookahead, and report whether a null message is needed to
+  /// carry the promise itself. Promises are clamped to `horizon`.
+  struct Released {
+    std::vector<Message> real;
+    bool send_null = false;
+    Tick promise = 0;
+  };
+  Released release(Tick frontier, Tick horizon) {
+    Released out;
+    Tick promise = (frontier >= horizon || horizon - frontier <= lookahead_)
+                       ? horizon
+                       : frontier + lookahead_;
+    while (!buffer_.empty() && buffer_.top().time <= promise) {
+      out.real.push_back(buffer_.top());
+      buffer_.pop();
+    }
+    if (promise > promised_) {
+      promised_ = promise;
+      // A trailing real message already carries the promise when its
+      // timestamp equals it; otherwise a null message must.
+      if (out.real.empty() || out.real.back().time < promise)
+        out.send_null = true;
+      out.promise = promise;
+    }
+    return out;
+  }
+
+  /// Earliest buffered (unreleased) message timestamp; kTickInf if none.
+  /// Deadlock detection must include these — the global minimum pending
+  /// event may be sitting in a sender's buffer.
+  Tick buffered_min() const {
+    return buffer_.empty() ? kTickInf : buffer_.top().time;
+  }
+
+  /// Deadlock recovery: emit every buffered message with timestamp <= upto,
+  /// advancing the promise so the channel stays monotone.
+  std::vector<Message> force_release(Tick upto) {
+    std::vector<Message> out;
+    while (!buffer_.empty() && buffer_.top().time <= upto) {
+      out.push_back(buffer_.top());
+      buffer_.pop();
+    }
+    promised_ = std::max(promised_, upto);
+    return out;
+  }
+
+ private:
+  std::uint32_t dst_;
+  Tick lookahead_;
+  Tick promised_ = 0;
+  std::priority_queue<Message, std::vector<Message>, MessageLater> buffer_;
+};
+
+/// Message envelope on conservative channels.
+struct CmbMsg {
+  Message msg;          ///< payload; for nulls only `time` is meaningful
+  std::uint32_t src = 0;
+  bool null = false;
+};
+
+/// Receiver side: channel clocks plus staged real messages.
+class CmbInState {
+ public:
+  CmbInState() = default;  ///< no channels (single-block or source LP)
+
+  explicit CmbInState(std::span<const std::uint32_t> sources) {
+    for (std::uint32_t s : sources) clock_index_[s] = 0;
+    clocks_.assign(clock_index_.size(), 0);
+    std::uint32_t i = 0;
+    for (auto& [src, idx] : clock_index_) idx = i++;
+  }
+
+  bool has_channels() const { return !clocks_.empty(); }
+
+  void receive(const CmbMsg& m) {
+    auto it = clock_index_.find(m.src);
+    PLSIM_ASSERT(it != clock_index_.end());
+    Tick& clk = clocks_[it->second];
+    PLSIM_ASSERT(m.msg.time >= clk);  // channels are FIFO nondecreasing
+    clk = m.msg.time;
+    if (!m.null) staged_.push(m.msg);
+  }
+
+  /// The input-waiting rule: events strictly below this are safe to process.
+  Tick safe(Tick horizon) const {
+    Tick s = horizon;
+    for (Tick c : clocks_) s = std::min(s, c);
+    return s;
+  }
+
+  /// Deadlock recovery: advance every channel clock to at least `t`.
+  void grant(Tick t) {
+    for (Tick& c : clocks_) c = std::max(c, t);
+  }
+
+  bool staged_empty() const { return staged_.empty(); }
+  Tick staged_top_time() const { return staged_.top().time; }
+  Message pop_staged() {
+    const Message m = staged_.top();
+    staged_.pop();
+    return m;
+  }
+
+ private:
+  std::unordered_map<std::uint32_t, std::uint32_t> clock_index_;
+  std::vector<Tick> clocks_;
+  StagedMessages staged_;
+};
+
+}  // namespace plsim

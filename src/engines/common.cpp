@@ -1,0 +1,52 @@
+#include "engines/common.hpp"
+
+#include <algorithm>
+
+#include "core/environment.hpp"
+#include "partition/partition.hpp"
+
+namespace plsim {
+
+BlockRig make_rig(const Circuit& c, const Stimulus& stim, const Partition& p,
+                  const BlockOptions& base) {
+  validate_partition(c, p);
+  BlockRig rig;
+  rig.routing = build_routing(c, p);
+
+  const auto owned = p.blocks(c);
+  const auto exported = p.exported(c);
+  rig.blocks.reserve(p.n_blocks);
+  for (std::uint32_t b = 0; b < p.n_blocks; ++b)
+    rig.blocks.push_back(
+        std::make_unique<BlockSimulator>(c, owned[b], exported[b], base));
+
+  const std::vector<Message> env = environment_messages(c, stim);
+  rig.env.resize(p.n_blocks);
+  for (std::uint32_t b = 0; b < p.n_blocks; ++b)
+    for (const Message& m : env)
+      if (rig.blocks[b]->in_scope(m.gate)) rig.env[b].push_back(m);
+  return rig;
+}
+
+RunResult merge_results(const Circuit& c, const BlockRig& rig,
+                        bool record_trace) {
+  RunResult r;
+  r.final_values.assign(c.gate_count(), Logic4::X);
+  for (const auto& blk : rig.blocks) {
+    blk->harvest_values(r.final_values);
+    r.wave.merge(blk->wave());
+    r.stats.merge(blk->stats());
+    if (record_trace)
+      r.trace.insert(r.trace.end(), blk->trace().begin(), blk->trace().end());
+  }
+  if (record_trace) {
+    std::sort(r.trace.begin(), r.trace.end(),
+              [](const ChangeRecord& a, const ChangeRecord& b) {
+                if (a.time != b.time) return a.time < b.time;
+                return a.gate < b.gate;
+              });
+  }
+  return r;
+}
+
+}  // namespace plsim

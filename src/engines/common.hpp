@@ -1,0 +1,42 @@
+#pragma once
+// Shared scaffolding for the threaded engines: block construction, stimulus
+// feeds, staged-message heaps, result merging.
+
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "core/block.hpp"
+#include "core/types.hpp"
+#include "engines/routing.hpp"
+#include "partition/partition.hpp"
+#include "stim/stimulus.hpp"
+
+namespace plsim {
+
+/// Min-heap of messages by (time, gate): the staging area for externally
+/// received but not yet processed messages of one block.
+struct MessageLater {
+  bool operator()(const Message& a, const Message& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.gate > b.gate;
+  }
+};
+using StagedMessages =
+    std::priority_queue<Message, std::vector<Message>, MessageLater>;
+
+struct BlockRig {
+  std::vector<std::unique_ptr<BlockSimulator>> blocks;
+  /// Environment (stimulus) feed per block, sorted by time; consumed by index.
+  std::vector<std::vector<Message>> env;
+  Routing routing;
+};
+
+BlockRig make_rig(const Circuit& c, const Stimulus& stim, const Partition& p,
+                  const BlockOptions& base);
+
+/// Merge per-block results into one RunResult (trace sorted by time/gate).
+RunResult merge_results(const Circuit& c, const BlockRig& rig,
+                        bool record_trace);
+
+}  // namespace plsim

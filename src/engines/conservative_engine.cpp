@@ -1,0 +1,126 @@
+// Conservative asynchronous engine (paper §IV): Chandy-Misra-Bryant with
+// null-message deadlock avoidance [11, 20]. Each block processes only events
+// strictly below the minimum of its input channel clocks (the input waiting
+// rule) and propagates lookahead promises downstream, blocking on its mailbox
+// when it can make no progress.
+
+#include <unordered_map>
+
+#include "core/block.hpp"
+#include "engines/cmb.hpp"
+#include "engines/common.hpp"
+#include "engines/engine.hpp"
+#include "parallel/mailbox.hpp"
+#include "parallel/threads.hpp"
+#include "util/timer.hpp"
+
+namespace plsim {
+
+RunResult run_conservative(const Circuit& c, const Stimulus& stim,
+                           const Partition& p, const EngineConfig& cfg) {
+  WallTimer timer;
+
+  BlockOptions bopts;
+  bopts.clock_period = stim.period;
+  bopts.horizon = stim.horizon();
+  bopts.save = SaveMode::None;
+  bopts.record_trace = cfg.record_trace;
+  BlockRig rig = make_rig(c, stim, p, bopts);
+
+  const std::uint32_t n = p.n_blocks;
+  const Tick horizon = bopts.horizon;
+  std::vector<Mailbox<CmbMsg>> inbox(n);
+  std::vector<std::uint64_t> nulls(n, 0), waits(n, 0);
+
+  run_on_threads(n, [&](unsigned b) {
+    BlockSimulator& blk = *rig.blocks[b];
+
+    std::vector<std::uint32_t> sources;
+    for (std::uint32_t j = 0; j < n; ++j)
+      if (j != b && rig.routing.has_channel(j, b)) sources.push_back(j);
+    CmbInState in(sources);
+
+    std::vector<CmbOutChannel> outs;
+    std::unordered_map<std::uint32_t, std::size_t> out_index;
+    for (std::uint32_t j = 0; j < n; ++j) {
+      if (j != b && rig.routing.has_channel(b, j)) {
+        out_index.emplace(j, outs.size());
+        outs.emplace_back(j, blk.export_lookahead());
+      }
+    }
+
+    const std::vector<Message>& env = rig.env[b];
+    std::size_t env_pos = 0;
+    std::vector<CmbMsg> drained;
+    std::vector<Message> externals, outputs;
+
+    for (;;) {
+      drained.clear();
+      inbox[b].drain(drained);
+      for (const CmbMsg& m : drained) in.receive(m);
+
+      bool did_work = !drained.empty();
+      const Tick safe = in.has_channels() ? in.safe(horizon) : horizon;
+
+      // Process every locally known batch strictly below the safe time.
+      for (;;) {
+        Tick t = blk.next_internal_time();
+        if (env_pos < env.size()) t = std::min(t, env[env_pos].time);
+        if (!in.staged_empty()) t = std::min(t, in.staged_top_time());
+        if (t >= safe || t >= horizon) break;
+
+        externals.clear();
+        while (env_pos < env.size() && env[env_pos].time == t)
+          externals.push_back(env[env_pos++]);
+        while (!in.staged_empty() && in.staged_top_time() == t)
+          externals.push_back(in.pop_staged());
+
+        outputs.clear();
+        blk.process_batch(t, externals, outputs);
+        did_work = true;
+        for (const Message& m : outputs)
+          for (std::uint32_t dst : rig.routing.dests[m.gate])
+            outs[out_index.at(dst)].buffer(m);
+      }
+
+      // Earliest time this block might still process anything.
+      Tick frontier = safe;
+      frontier = std::min(frontier, blk.next_internal_time());
+      if (env_pos < env.size())
+        frontier = std::min(frontier, env[env_pos].time);
+      if (!in.staged_empty())
+        frontier = std::min(frontier, in.staged_top_time());
+
+      for (CmbOutChannel& ch : outs) {
+        auto rel = ch.release(frontier, horizon);
+        for (const Message& m : rel.real)
+          inbox[ch.dst()].push(CmbMsg{m, b, false});
+        if (rel.send_null) {
+          inbox[ch.dst()].push(
+              CmbMsg{Message{rel.promise, kNoGate, Logic4::X}, b, true});
+          ++nulls[b];
+        }
+        did_work |= rel.send_null || !rel.real.empty();
+      }
+
+      if (frontier >= horizon) break;
+      if (!did_work) {
+        // Input waiting rule has us blocked; sleep until a message arrives.
+        ++waits[b];
+        drained.clear();
+        inbox[b].wait_and_drain(drained);
+        for (const CmbMsg& m : drained) in.receive(m);
+      }
+    }
+  });
+
+  RunResult r = merge_results(c, rig, cfg.record_trace);
+  for (std::uint32_t b = 0; b < n; ++b) {
+    r.stats.null_messages += nulls[b];
+    r.stats.blocked_waits += waits[b];
+  }
+  r.wall_seconds = timer.seconds();
+  return r;
+}
+
+}  // namespace plsim

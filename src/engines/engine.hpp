@@ -1,0 +1,58 @@
+#pragma once
+// Threaded parallel engines — one per time-synchronization family of paper
+// §IV. Each runs the partition's blocks as logical processes on real threads
+// (one thread per block) and must reproduce the golden simulator's results
+// bit-exactly.
+
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "netlist/circuit.hpp"
+#include "partition/partition.hpp"
+#include "stim/stimulus.hpp"
+
+namespace plsim {
+
+struct EngineConfig {
+  bool record_trace = false;
+
+  // --- Synchronous knobs ---
+  /// Bounded-window steps: process a full lookahead window of event times
+  /// per barrier pair instead of a single time (paper §VI, Steinman/Noble).
+  /// Exact for any circuit; pays off when delays are heterogeneous.
+  bool time_buckets = false;
+
+  // --- Time Warp knobs ---
+  SaveMode save = SaveMode::Incremental;
+  bool lazy_cancellation = false;  ///< Gafni's lazy cancellation (§IV)
+  std::uint32_t gvt_interval = 64; ///< batches between GVT reductions
+  Tick optimism_window = 0;        ///< LVT may lead GVT by at most this (0 = unbounded)
+};
+
+/// Synchronous (global-clock) engine: barrier per distinct event time.
+RunResult run_synchronous(const Circuit& c, const Stimulus& stim,
+                          const Partition& p, const EngineConfig& cfg = {});
+
+/// Conservative asynchronous engine (Chandy-Misra-Bryant null messages).
+RunResult run_conservative(const Circuit& c, const Stimulus& stim,
+                           const Partition& p, const EngineConfig& cfg = {});
+
+/// Optimistic asynchronous engine (Jefferson's Time Warp).
+RunResult run_timewarp(const Circuit& c, const Stimulus& stim,
+                       const Partition& p, const EngineConfig& cfg = {});
+
+/// Parallel oblivious engine: levelized sweep, parallel within each level.
+RunResult run_oblivious_parallel(const Circuit& c, const Stimulus& stim,
+                                 const Partition& p,
+                                 const EngineConfig& cfg = {});
+
+/// Named engine registry for sweep tests/benchmarks.
+struct NamedEngine {
+  std::string name;
+  RunResult (*run)(const Circuit&, const Stimulus&, const Partition&,
+                   const EngineConfig&);
+};
+std::vector<NamedEngine> standard_engines();
+
+}  // namespace plsim

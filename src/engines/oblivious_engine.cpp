@@ -1,0 +1,98 @@
+// Parallel oblivious engine (paper §IV): no event queue at all — every gate
+// is evaluated at every cycle, level by level, with a barrier between levels.
+// Zero-delay cycle semantics (matches seq/oblivious.hpp, not the event-driven
+// timing engines); the engine registry therefore keeps it separate.
+
+#include <array>
+
+#include "core/environment.hpp"
+#include "engines/common.hpp"
+#include "engines/engine.hpp"
+#include "logic/gates.hpp"
+#include "parallel/barrier.hpp"
+#include "parallel/threads.hpp"
+#include "util/timer.hpp"
+
+namespace plsim {
+
+RunResult run_oblivious_parallel(const Circuit& c, const Stimulus& stim,
+                                 const Partition& p, const EngineConfig& cfg) {
+  (void)cfg;
+  WallTimer timer;
+  validate_partition(c, p);
+  const std::uint32_t n = p.n_blocks;
+
+  // Shared state; cross-thread reads are ordered by the level barriers.
+  std::vector<Logic4> values(c.gate_count(), Logic4::X);
+  for (GateId g = 0; g < c.gate_count(); ++g) {
+    if (c.type(g) == GateType::Const0) values[g] = Logic4::F;
+    if (c.type(g) == GateType::Const1) values[g] = Logic4::T;
+    if (c.type(g) == GateType::Dff) values[g] = Logic4::F;
+  }
+
+  // Gates per (level, thread), in level order.
+  const std::uint32_t depth = c.depth();
+  std::vector<std::vector<std::vector<GateId>>> schedule(
+      depth + 1, std::vector<std::vector<GateId>>(n));
+  for (GateId g : c.level_order())
+    if (is_combinational(c.type(g)))
+      schedule[c.level(g)][p.block_of[g]].push_back(g);
+
+  std::vector<std::vector<GateId>> dff_of(n);
+  for (GateId ff : c.flip_flops()) dff_of[p.block_of[ff]].push_back(ff);
+  std::vector<Logic4> next_q(c.gate_count(), Logic4::F);
+
+  MinReduceBarrier barrier(n);
+  std::vector<std::uint64_t> evals(n, 0), barriers(n, 0);
+  const auto pis = c.primary_inputs();
+
+  run_on_threads(n, [&](unsigned b) {
+    std::array<Logic4, 64> fanin_vals;
+    for (std::size_t cycle = 0; cycle < stim.vectors.size() + 1; ++cycle) {
+      if (b == 0 && cycle < stim.vectors.size()) {
+        const auto& vec = stim.vectors[cycle];
+        for (std::size_t i = 0; i < pis.size() && i < vec.size(); ++i)
+          values[pis[i]] = vec[i];
+      }
+      barrier.arrive(0);
+      ++barriers[b];
+      for (std::uint32_t lv = 1; lv <= depth; ++lv) {
+        for (GateId g : schedule[lv][b]) {
+          const auto fi = c.fanins(g);
+          for (std::size_t k = 0; k < fi.size(); ++k)
+            fanin_vals[k] = values[fi[k]];
+          values[g] = eval_gate4(c.type(g), {fanin_vals.data(), fi.size()});
+          ++evals[b];
+        }
+        barrier.arrive(0);
+        ++barriers[b];
+      }
+      if (cycle < stim.vectors.size()) {
+        for (GateId ff : dff_of[b])
+          next_q[ff] = z_to_x(values[c.fanins(ff)[0]]);
+        barrier.arrive(0);
+        ++barriers[b];
+        for (GateId ff : dff_of[b]) values[ff] = next_q[ff];
+      }
+    }
+  });
+
+  RunResult r;
+  r.final_values = std::move(values);
+  for (std::uint32_t b = 0; b < n; ++b) {
+    r.stats.evaluations += evals[b];
+    r.stats.barriers += barriers[b];
+  }
+  r.wall_seconds = timer.seconds();
+  return r;
+}
+
+std::vector<NamedEngine> standard_engines() {
+  return {
+      {"synchronous", &run_synchronous},
+      {"conservative", &run_conservative},
+      {"timewarp", &run_timewarp},
+  };
+}
+
+}  // namespace plsim

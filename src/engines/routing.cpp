@@ -1,0 +1,27 @@
+#include "engines/routing.hpp"
+
+#include <algorithm>
+
+namespace plsim {
+
+Routing build_routing(const Circuit& c, const Partition& p) {
+  Routing r;
+  r.n_blocks = p.n_blocks;
+  r.dests.resize(c.gate_count());
+  r.channel.assign(static_cast<std::size_t>(p.n_blocks) * p.n_blocks, 0);
+  for (GateId g = 0; g < c.gate_count(); ++g) {
+    const std::uint32_t owner = p.block_of[g];
+    auto& d = r.dests[g];
+    for (GateId s : c.fanouts(g)) {
+      const std::uint32_t b = p.block_of[s];
+      if (b != owner) d.push_back(b);
+    }
+    std::sort(d.begin(), d.end());
+    d.erase(std::unique(d.begin(), d.end()), d.end());
+    for (std::uint32_t b : d)
+      r.channel[static_cast<std::size_t>(owner) * p.n_blocks + b] = 1;
+  }
+  return r;
+}
+
+}  // namespace plsim

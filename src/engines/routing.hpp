@@ -1,0 +1,26 @@
+#pragma once
+// Message routing tables shared by all parallel engines and the virtual
+// platform: which blocks must hear about a given gate's output changes.
+
+#include <vector>
+
+#include "netlist/circuit.hpp"
+#include "partition/partition.hpp"
+
+namespace plsim {
+
+struct Routing {
+  /// dests[g] = blocks (other than g's owner) containing a fanout of g.
+  std::vector<std::vector<std::uint32_t>> dests;
+  /// channel_exists[src * n_blocks + dst] for conservative channel setup.
+  std::vector<std::uint8_t> channel;
+  std::uint32_t n_blocks = 0;
+
+  bool has_channel(std::uint32_t src, std::uint32_t dst) const {
+    return channel[src * n_blocks + dst] != 0;
+  }
+};
+
+Routing build_routing(const Circuit& c, const Partition& p);
+
+}  // namespace plsim

@@ -1,0 +1,13 @@
+// Anchor translation unit for the otherwise header-only event library; also
+// pins down layout expectations the engines rely on.
+
+#include "event/event.hpp"
+#include "event/heap_queue.hpp"
+#include "event/timing_wheel.hpp"
+
+namespace plsim {
+
+static_assert(sizeof(Event) <= 32, "Event should stay small and copyable");
+static_assert(std::is_trivially_copyable_v<Event>);
+
+}  // namespace plsim

@@ -1,0 +1,34 @@
+#pragma once
+// Simulation events. In logic simulation an event is a time-stamped change of
+// a signal value (paper §II); plsim adds clock-tick events that trigger DFF
+// sampling at cycle boundaries.
+
+#include <cstdint>
+
+#include "logic/value.hpp"
+#include "netlist/circuit.hpp"
+
+namespace plsim {
+
+enum class EventKind : std::uint8_t {
+  Wire,   ///< `gate`'s output becomes `value` at `time`
+  Clock,  ///< global clock edge at `time`: sample every local DFF
+};
+
+struct Event {
+  Tick time = 0;
+  GateId gate = kNoGate;
+  Logic4 value = Logic4::X;
+  EventKind kind = EventKind::Wire;
+  /// Monotone insertion serial; total order (time, seq) makes pops
+  /// deterministic and gives rollback a stable identity for each event.
+  std::uint64_t seq = 0;
+};
+
+/// Heap/order predicate: earliest time first, FIFO within a time.
+constexpr bool event_after(const Event& a, const Event& b) {
+  if (a.time != b.time) return a.time > b.time;
+  return a.seq > b.seq;
+}
+
+}  // namespace plsim

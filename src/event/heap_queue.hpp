@@ -1,0 +1,101 @@
+#pragma once
+// Binary-heap pending-event set with lazy deletion.
+//
+// Lazy deletion (tombstoning by event serial) is what lets an optimistic
+// engine *undo* an event insertion during rollback without an O(n) heap
+// rebuild: the tombstoned entry is dropped when it surfaces.
+
+#include <unordered_set>
+#include <vector>
+
+#include "event/event.hpp"
+#include "util/error.hpp"
+
+namespace plsim {
+
+class HeapQueue {
+ public:
+  void push(const Event& e) {
+    heap_.push_back(e);
+    sift_up(heap_.size() - 1);
+    ++live_;
+  }
+
+  bool empty() const { return live_ == 0; }
+  std::size_t size() const { return live_; }
+
+  /// Earliest pending time, or kTickInf when empty.
+  Tick next_time() {
+    skim();
+    return heap_.empty() ? kTickInf : heap_.front().time;
+  }
+
+  /// Pop the earliest event. Requires !empty().
+  Event pop() {
+    skim();
+    PLSIM_ASSERT(!heap_.empty());
+    const Event e = heap_.front();
+    remove_top();
+    --live_;
+    return e;
+  }
+
+  /// Pop every event with exactly time `t` (they surface consecutively).
+  void pop_all_at(Tick t, std::vector<Event>& out) {
+    while (next_time() == t) out.push_back(pop());
+  }
+
+  /// Mark the event with serial `seq` deleted. The caller must know it is
+  /// still pending (optimistic rollback tracks this).
+  void erase(std::uint64_t seq) {
+    tombstones_.insert(seq);
+    --live_;
+  }
+
+  void clear() {
+    heap_.clear();
+    tombstones_.clear();
+    live_ = 0;
+  }
+
+ private:
+  void skim() {
+    while (!heap_.empty() && tombstones_.erase(heap_.front().seq) > 0)
+      remove_top();
+  }
+
+  void remove_top() {
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+  }
+
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!event_after(heap_[parent], heap_[i])) break;
+      std::swap(heap_[parent], heap_[i]);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    for (;;) {
+      const std::size_t l = 2 * i + 1, r = 2 * i + 2;
+      std::size_t smallest = i;
+      if (l < heap_.size() && event_after(heap_[smallest], heap_[l]))
+        smallest = l;
+      if (r < heap_.size() && event_after(heap_[smallest], heap_[r]))
+        smallest = r;
+      if (smallest == i) return;
+      std::swap(heap_[i], heap_[smallest]);
+      i = smallest;
+    }
+  }
+
+  std::vector<Event> heap_;
+  std::unordered_set<std::uint64_t> tombstones_;
+  std::size_t live_ = 0;
+};
+
+}  // namespace plsim

@@ -1,0 +1,102 @@
+#pragma once
+// Timing-wheel pending-event set.
+//
+// Logic simulation schedules almost exclusively into the near future (gate
+// delays are small integers), which makes a circular calendar O(1) per
+// operation; far-future events (e.g. next clock edge) overflow into a sorted
+// map. Used by the sequential simulator fast path and compared against the
+// binary heap in bench/micro_event_queue.
+
+#include <map>
+#include <vector>
+
+#include "event/event.hpp"
+#include "util/error.hpp"
+
+namespace plsim {
+
+class TimingWheel {
+ public:
+  explicit TimingWheel(std::size_t slots = 256)
+      : slots_(slots), wheel_(slots) {
+    PLSIM_CHECK(slots >= 2, "TimingWheel: need at least 2 slots");
+  }
+
+  void push(const Event& e) {
+    PLSIM_CHECK(e.time >= now_, "TimingWheel: push into the past");
+    if (e.time < now_ + slots_) {
+      wheel_[e.time % slots_].push_back(e);
+    } else {
+      overflow_[e.time].push_back(e);
+    }
+    ++size_;
+  }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  /// Earliest pending time, or kTickInf when empty. Advances the cursor.
+  Tick next_time() {
+    if (size_ == 0) return kTickInf;
+    for (;;) {
+      auto& slot = wheel_[now_ % slots_];
+      // The slot may hold events for a later lap; check actual times.
+      for (const Event& e : slot)
+        if (e.time == now_) return now_;
+      if (!slot.empty()) {
+        // Re-file later-lap events (can only happen after refill).
+        std::vector<Event> keep;
+        for (const Event& e : slot)
+          if (e.time != now_) overflow_[e.time].push_back(e);
+        slot.clear();
+      }
+      ++now_;
+      if (now_ % slots_ == 0) refill();
+      if (!overflow_.empty() && wheel_empty_hint()) {
+        // Jump the cursor to the next overflow time when the wheel is empty.
+        const Tick t = overflow_.begin()->first;
+        if (t >= now_ + slots_) {
+          now_ = t;
+          refill();
+        }
+      }
+    }
+  }
+
+  /// Pop every event scheduled at exactly time `t` (must equal next_time()).
+  void pop_all_at(Tick t, std::vector<Event>& out) {
+    PLSIM_ASSERT(t == now_);
+    auto& slot = wheel_[now_ % slots_];
+    for (const Event& e : slot) {
+      PLSIM_ASSERT(e.time == now_);
+      out.push_back(e);
+      --size_;
+    }
+    slot.clear();
+  }
+
+ private:
+  void refill() {
+    // Move overflow events that now fit into the wheel window.
+    while (!overflow_.empty()) {
+      auto it = overflow_.begin();
+      if (it->first >= now_ + slots_) break;
+      for (const Event& e : it->second) wheel_[e.time % slots_].push_back(e);
+      overflow_.erase(it);
+    }
+  }
+
+  bool wheel_empty_hint() const {
+    for (const auto& slot : wheel_)
+      if (!slot.empty()) return false;
+    return true;
+  }
+
+  std::size_t slots_;
+  Tick now_ = 0;
+  std::size_t size_ = 0;
+  std::vector<std::vector<Event>> wheel_;
+  std::map<Tick, std::vector<Event>> overflow_;
+};
+
+}  // namespace plsim

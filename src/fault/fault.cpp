@@ -1,0 +1,197 @@
+#include "fault/fault.hpp"
+
+#include <array>
+
+#include "logic/gates.hpp"
+#include "util/error.hpp"
+
+namespace plsim {
+namespace {
+
+/// Two-valued levelized cycle simulation with per-gate lane forcing.
+/// force_mask[g] selects lanes whose value of gate g is overridden with
+/// force_value[g]. Returns PO lane words per cycle XORed against lane 0 —
+/// i.e. a difference indicator per lane — accumulated over all POs/cycles.
+/// When `per_cycle` is given, it also receives the per-cycle difference
+/// indicator.
+std::uint64_t run_forced(const Circuit& c, const Stimulus& stim,
+                         std::span<const std::uint64_t> force_mask,
+                         std::span<const std::uint64_t> force_value,
+                         std::uint64_t& evals,
+                         std::vector<std::uint64_t>* per_cycle = nullptr) {
+  std::vector<std::uint64_t> values(c.gate_count(), 0);
+  for (GateId g = 0; g < c.gate_count(); ++g)
+    if (c.type(g) == GateType::Const1) values[g] = ~0ull;
+
+  auto force = [&](GateId g) {
+    values[g] = (values[g] & ~force_mask[g]) | (force_value[g] & force_mask[g]);
+  };
+  for (GateId g = 0; g < c.gate_count(); ++g)
+    if (force_mask[g]) force(g);
+
+  const auto pis = c.primary_inputs();
+  std::array<std::uint64_t, 64> fanin_vals;
+  std::uint64_t detected_lanes = 0;
+
+  std::vector<std::uint64_t> next_q(c.flip_flops().size());
+  for (const auto& vec : stim.vectors) {
+    for (std::size_t i = 0; i < pis.size() && i < vec.size(); ++i) {
+      values[pis[i]] = (vec[i] == Logic4::T) ? ~0ull : 0ull;
+      if (force_mask[pis[i]]) force(pis[i]);
+    }
+    for (GateId g : c.level_order()) {
+      if (!is_combinational(c.type(g))) continue;
+      const auto fi = c.fanins(g);
+      for (std::size_t k = 0; k < fi.size(); ++k)
+        fanin_vals[k] = values[fi[k]];
+      values[g] = eval_gate64(c.type(g), {fanin_vals.data(), fi.size()});
+      ++evals;
+      if (force_mask[g]) force(g);
+    }
+    std::uint64_t cycle_diff = 0;
+    for (GateId po : c.primary_outputs()) {
+      const std::uint64_t w = values[po];
+      // A lane differs from lane 0 iff its bit differs from bit 0.
+      const std::uint64_t ref = (w & 1ull) ? ~0ull : 0ull;
+      cycle_diff |= w ^ ref;
+    }
+    detected_lanes |= cycle_diff;
+    if (per_cycle != nullptr) per_cycle->push_back(cycle_diff);
+    const auto dffs = c.flip_flops();
+    for (std::size_t i = 0; i < dffs.size(); ++i)
+      next_q[i] = values[c.fanins(dffs[i])[0]];
+    for (std::size_t i = 0; i < dffs.size(); ++i) {
+      values[dffs[i]] = next_q[i];
+      if (force_mask[dffs[i]]) force(dffs[i]);
+    }
+  }
+  return detected_lanes;
+}
+
+}  // namespace
+
+std::vector<Fault> enumerate_faults(const Circuit& c, bool collapse) {
+  std::vector<Fault> faults;
+  for (GateId g = 0; g < c.gate_count(); ++g) {
+    if (collapse) {
+      // A BUF output stuck-at fault is equivalent to the same fault on its
+      // driver; a NOT output fault to the opposite fault on its driver.
+      const GateType t = c.type(g);
+      if (t == GateType::Buf || t == GateType::Not) continue;
+    }
+    faults.push_back({g, false});
+    faults.push_back({g, true});
+  }
+  return faults;
+}
+
+FaultSimResult fault_simulate_serial(const Circuit& c, const Stimulus& stim,
+                                     std::span<const Fault> faults) {
+  FaultSimResult r;
+  r.total = faults.size();
+  r.detected_mask.assign(faults.size(), 0);
+
+  std::vector<std::uint64_t> mask(c.gate_count(), 0);
+  std::vector<std::uint64_t> value(c.gate_count(), 0);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const Fault f = faults[i];
+    // Lane 0 fault-free, lane 1 faulty; other lanes mirror lane 1 harmlessly.
+    mask[f.gate] = ~1ull;
+    value[f.gate] = f.stuck_one ? ~0ull : 0ull;
+    const std::uint64_t diff =
+        run_forced(c, stim, mask, value, r.gate_evaluations);
+    if (diff & 2ull) {
+      r.detected_mask[i] = 1;
+      ++r.detected;
+    }
+    mask[f.gate] = 0;
+    value[f.gate] = 0;
+  }
+  return r;
+}
+
+FaultSimResult fault_simulate_parallel(const Circuit& c, const Stimulus& stim,
+                                       std::span<const Fault> faults) {
+  FaultSimResult r;
+  r.total = faults.size();
+  r.detected_mask.assign(faults.size(), 0);
+
+  std::vector<std::uint64_t> mask(c.gate_count(), 0);
+  std::vector<std::uint64_t> value(c.gate_count(), 0);
+  for (std::size_t base = 0; base < faults.size(); base += 63) {
+    const std::size_t group = std::min<std::size_t>(63, faults.size() - base);
+    for (std::size_t j = 0; j < group; ++j) {
+      const Fault f = faults[base + j];
+      const std::uint64_t bit = 1ull << (j + 1);
+      mask[f.gate] |= bit;
+      if (f.stuck_one) value[f.gate] |= bit;
+    }
+    const std::uint64_t diff =
+        run_forced(c, stim, mask, value, r.gate_evaluations);
+    for (std::size_t j = 0; j < group; ++j) {
+      if (diff & (1ull << (j + 1))) {
+        r.detected_mask[base + j] = 1;
+        ++r.detected;
+      }
+    }
+    for (std::size_t j = 0; j < group; ++j) {
+      const Fault f = faults[base + j];
+      mask[f.gate] = 0;
+      value[f.gate] = 0;
+    }
+  }
+  return r;
+}
+
+std::vector<std::int32_t> fault_first_detection(const Circuit& c,
+                                                const Stimulus& stim,
+                                                std::span<const Fault> faults) {
+  PLSIM_CHECK(c.flip_flops().empty(),
+              "fault_first_detection: combinational circuits only");
+  std::vector<std::int32_t> first(faults.size(), -1);
+  std::vector<std::uint64_t> mask(c.gate_count(), 0);
+  std::vector<std::uint64_t> value(c.gate_count(), 0);
+  std::uint64_t evals = 0;
+  for (std::size_t base = 0; base < faults.size(); base += 63) {
+    const std::size_t group = std::min<std::size_t>(63, faults.size() - base);
+    for (std::size_t j = 0; j < group; ++j) {
+      const Fault f = faults[base + j];
+      const std::uint64_t bit = 1ull << (j + 1);
+      mask[f.gate] |= bit;
+      if (f.stuck_one) value[f.gate] |= bit;
+    }
+    std::vector<std::uint64_t> per_cycle;
+    run_forced(c, stim, mask, value, evals, &per_cycle);
+    for (std::size_t j = 0; j < group; ++j) {
+      for (std::size_t k = 0; k < per_cycle.size(); ++k) {
+        if (per_cycle[k] & (1ull << (j + 1))) {
+          first[base + j] = static_cast<std::int32_t>(k);
+          break;
+        }
+      }
+    }
+    for (std::size_t j = 0; j < group; ++j) {
+      const Fault f = faults[base + j];
+      mask[f.gate] = 0;
+      value[f.gate] = 0;
+    }
+  }
+  return first;
+}
+
+Stimulus compact_stimulus(const Circuit& c, const Stimulus& stim,
+                          std::span<const Fault> faults) {
+  const auto first = fault_first_detection(c, stim, faults);
+  std::vector<std::uint8_t> keep(stim.vectors.size(), 0);
+  for (std::int32_t k : first)
+    if (k >= 0) keep[static_cast<std::size_t>(k)] = 1;
+  Stimulus out;
+  out.period = stim.period;
+  for (std::size_t k = 0; k < stim.vectors.size(); ++k)
+    if (keep[k]) out.vectors.push_back(stim.vectors[k]);
+  if (out.vectors.empty() && !stim.vectors.empty())
+    out.vectors.push_back(stim.vectors.front());
+  return out;
+}
+
+}  // namespace plsim

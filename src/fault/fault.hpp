@@ -1,0 +1,62 @@
+#pragma once
+// Stuck-at fault simulation.
+//
+// The paper (§II) singles out fault simulation as the domain where *data
+// parallelism* shines: many independent simulations of the same circuit.
+// plsim implements the classic single-fault serial simulator and the
+// bit-parallel variant that packs the fault-free machine plus 63 faulty
+// machines into one 64-bit word per signal — experiment C10 measures the
+// resulting throughput gap.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+#include "stim/stimulus.hpp"
+
+namespace plsim {
+
+struct Fault {
+  GateId gate;      ///< fault site: the gate's output net
+  bool stuck_one;   ///< true = stuck-at-1, false = stuck-at-0
+
+  friend bool operator==(const Fault&, const Fault&) = default;
+};
+
+/// All output stuck-at faults. With `collapse`, faults on BUF/NOT outputs are
+/// folded onto their (equivalent) driver-side fault.
+std::vector<Fault> enumerate_faults(const Circuit& c, bool collapse = true);
+
+struct FaultSimResult {
+  std::size_t total = 0;
+  std::size_t detected = 0;
+  std::vector<std::uint8_t> detected_mask;  ///< per fault index
+  std::uint64_t gate_evaluations = 0;       ///< work metric for C10
+  double coverage() const {
+    return total ? static_cast<double>(detected) / static_cast<double>(total)
+                 : 0.0;
+  }
+};
+
+/// One full-circuit two-valued simulation per fault.
+FaultSimResult fault_simulate_serial(const Circuit& c, const Stimulus& stim,
+                                     std::span<const Fault> faults);
+
+/// 63 faults per pass alongside the fault-free machine (lane 0).
+FaultSimResult fault_simulate_parallel(const Circuit& c, const Stimulus& stim,
+                                       std::span<const Fault> faults);
+
+/// For each fault, the index of the first vector that detects it, or -1.
+/// Combinational circuits only (vector effects are independent).
+std::vector<std::int32_t> fault_first_detection(const Circuit& c,
+                                                const Stimulus& stim,
+                                                std::span<const Fault> faults);
+
+/// Static test-set compaction for combinational circuits: keep only the
+/// vectors that are the first detector of at least one fault. Coverage of
+/// the returned stimulus equals the original's by construction.
+Stimulus compact_stimulus(const Circuit& c, const Stimulus& stim,
+                          std::span<const Fault> faults);
+
+}  // namespace plsim

@@ -1,0 +1,173 @@
+#include "logic/gates.hpp"
+
+#include <array>
+#include <cctype>
+
+#include "util/error.hpp"
+
+namespace plsim {
+namespace {
+
+struct GateInfo {
+  std::string_view name;
+  FaninArity arity;
+};
+
+constexpr std::array<GateInfo, kGateTypeCount> kInfo = {{
+    {"INPUT", {0, 0}},
+    {"CONST0", {0, 0}},
+    {"CONST1", {0, 0}},
+    {"BUF", {1, 1}},
+    {"NOT", {1, 1}},
+    {"AND", {1, -1}},
+    {"NAND", {1, -1}},
+    {"OR", {1, -1}},
+    {"NOR", {1, -1}},
+    {"XOR", {1, -1}},
+    {"XNOR", {1, -1}},
+    {"MUX", {3, 3}},
+    {"DFF", {1, 1}},
+}};
+
+bool iequal(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (std::toupper(static_cast<unsigned char>(a[i])) !=
+        std::toupper(static_cast<unsigned char>(b[i])))
+      return false;
+  return true;
+}
+
+}  // namespace
+
+std::string_view gate_type_name(GateType t) {
+  return kInfo[static_cast<int>(t)].name;
+}
+
+GateType gate_type_from_name(std::string_view name) {
+  for (int i = 0; i < kGateTypeCount; ++i)
+    if (iequal(kInfo[i].name, name)) return static_cast<GateType>(i);
+  // `.bench` spells buffers "BUFF".
+  if (iequal(name, "BUFF")) return GateType::Buf;
+  raise("unknown gate type: " + std::string(name));
+}
+
+FaninArity gate_arity(GateType t) { return kInfo[static_cast<int>(t)].arity; }
+
+Logic4 eval_gate4(GateType t, std::span<const Logic4> ins) {
+  switch (t) {
+    case GateType::Const0: return Logic4::F;
+    case GateType::Const1: return Logic4::T;
+    case GateType::Buf: return z_to_x(ins[0]);
+    case GateType::Not: return logic_not(ins[0]);
+    case GateType::And:
+    case GateType::Nand: {
+      Logic4 acc = z_to_x(ins[0]);
+      for (std::size_t i = 1; i < ins.size(); ++i) acc = logic_and(acc, ins[i]);
+      return t == GateType::And ? acc : logic_not(acc);
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      Logic4 acc = z_to_x(ins[0]);
+      for (std::size_t i = 1; i < ins.size(); ++i) acc = logic_or(acc, ins[i]);
+      return t == GateType::Or ? acc : logic_not(acc);
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      Logic4 acc = z_to_x(ins[0]);
+      for (std::size_t i = 1; i < ins.size(); ++i) acc = logic_xor(acc, ins[i]);
+      return t == GateType::Xor ? acc : logic_not(acc);
+    }
+    case GateType::Mux: {
+      const Logic4 sel = z_to_x(ins[0]);
+      if (sel == Logic4::F) return z_to_x(ins[1]);
+      if (sel == Logic4::T) return z_to_x(ins[2]);
+      // Unknown select: output is known only if both data inputs agree.
+      const Logic4 d0 = z_to_x(ins[1]);
+      const Logic4 d1 = z_to_x(ins[2]);
+      return (d0 == d1 && is_binary(d0)) ? d0 : Logic4::X;
+    }
+    case GateType::Input:
+    case GateType::Dff:
+      break;
+  }
+  raise("eval_gate4: gate has no combinational function");
+}
+
+Logic9 eval_gate9(GateType t, std::span<const Logic9> ins) {
+  switch (t) {
+    case GateType::Const0: return Logic9::F;
+    case GateType::Const1: return Logic9::T;
+    case GateType::Buf: return to_x01(ins[0]);
+    case GateType::Not: return not9(ins[0]);
+    case GateType::And:
+    case GateType::Nand: {
+      Logic9 acc = ins[0];
+      for (std::size_t i = 1; i < ins.size(); ++i) acc = and9(acc, ins[i]);
+      if (ins.size() == 1) acc = to_x01(acc);
+      return t == GateType::And ? acc : not9(acc);
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      Logic9 acc = ins[0];
+      for (std::size_t i = 1; i < ins.size(); ++i) acc = or9(acc, ins[i]);
+      if (ins.size() == 1) acc = to_x01(acc);
+      return t == GateType::Or ? acc : not9(acc);
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      Logic9 acc = ins[0];
+      for (std::size_t i = 1; i < ins.size(); ++i) acc = xor9(acc, ins[i]);
+      if (ins.size() == 1) acc = to_x01(acc);
+      return t == GateType::Xor ? acc : not9(acc);
+    }
+    case GateType::Mux: {
+      const Logic9 sel = to_x01(ins[0]);
+      if (sel == Logic9::F) return to_x01(ins[1]);
+      if (sel == Logic9::T) return to_x01(ins[2]);
+      if (sel == Logic9::U) return Logic9::U;
+      const Logic9 d0 = to_x01(ins[1]);
+      const Logic9 d1 = to_x01(ins[2]);
+      return (d0 == d1 && d0 != Logic9::X) ? d0 : Logic9::X;
+    }
+    case GateType::Input:
+    case GateType::Dff:
+      break;
+  }
+  raise("eval_gate9: gate has no combinational function");
+}
+
+std::uint64_t eval_gate64(GateType t, std::span<const std::uint64_t> ins) {
+  switch (t) {
+    case GateType::Const0: return 0;
+    case GateType::Const1: return ~0ull;
+    case GateType::Buf: return ins[0];
+    case GateType::Not: return ~ins[0];
+    case GateType::And:
+    case GateType::Nand: {
+      std::uint64_t acc = ins[0];
+      for (std::size_t i = 1; i < ins.size(); ++i) acc &= ins[i];
+      return t == GateType::And ? acc : ~acc;
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      std::uint64_t acc = ins[0];
+      for (std::size_t i = 1; i < ins.size(); ++i) acc |= ins[i];
+      return t == GateType::Or ? acc : ~acc;
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      std::uint64_t acc = ins[0];
+      for (std::size_t i = 1; i < ins.size(); ++i) acc ^= ins[i];
+      return t == GateType::Xor ? acc : ~acc;
+    }
+    case GateType::Mux:
+      return (~ins[0] & ins[1]) | (ins[0] & ins[2]);
+    case GateType::Input:
+    case GateType::Dff:
+      break;
+  }
+  raise("eval_gate64: gate has no combinational function");
+}
+
+}  // namespace plsim

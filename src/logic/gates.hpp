@@ -1,0 +1,63 @@
+#pragma once
+// Gate primitives and their evaluation across value systems.
+//
+// The primitive set matches what the ISCAS-85/89 `.bench` netlists (the
+// paper's benchmark circuits, §V) require, plus constants and a 2:1 mux.
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "logic/logic9.hpp"
+#include "logic/value.hpp"
+
+namespace plsim {
+
+enum class GateType : std::uint8_t {
+  Input,   ///< primary input; value driven by the stimulus
+  Const0,
+  Const1,
+  Buf,
+  Not,
+  And,
+  Nand,
+  Or,
+  Nor,
+  Xor,
+  Xnor,
+  Mux,     ///< inputs (sel, d0, d1): sel ? d1 : d0
+  Dff,     ///< D flip-flop; input (d), sampled on the implicit global clock
+};
+
+inline constexpr int kGateTypeCount = 13;
+
+std::string_view gate_type_name(GateType t);
+
+/// Parse a `.bench`-style gate keyword (case-insensitive); throws on unknown.
+GateType gate_type_from_name(std::string_view name);
+
+/// Legal fanin count for a gate type: [min, max] (max = -1 means unbounded).
+struct FaninArity {
+  int min;
+  int max;
+};
+FaninArity gate_arity(GateType t);
+
+/// True for gates whose output is a pure function of current inputs.
+constexpr bool is_combinational(GateType t) {
+  return t != GateType::Input && t != GateType::Dff;
+}
+
+/// Evaluate a combinational gate over the 4-valued system. `ins` holds the
+/// current values of the gate's fanin wires, in fanin order.
+Logic4 eval_gate4(GateType t, std::span<const Logic4> ins);
+
+/// Evaluate a combinational gate over the IEEE-1164 9-valued system.
+Logic9 eval_gate9(GateType t, std::span<const Logic9> ins);
+
+/// Evaluate 64 independent two-valued circuit copies at once (one per bit).
+/// Used by the compiled-mode and bit-parallel fault simulators (paper §II,
+/// data parallelism).
+std::uint64_t eval_gate64(GateType t, std::span<const std::uint64_t> ins);
+
+}  // namespace plsim

@@ -1,0 +1,126 @@
+#include "logic/logic9.hpp"
+
+#include <array>
+
+#include "util/error.hpp"
+
+namespace plsim {
+namespace {
+
+constexpr int N = kLogic9Cardinality;
+using V = Logic9;
+
+constexpr std::array<char, N> kChars = {'U', 'X', '0', '1', 'Z',
+                                        'W', 'L', 'H', '-'};
+
+// IEEE 1164 resolution_table. Row/column order: U X 0 1 Z W L H -.
+constexpr V kResolve[N][N] = {
+    // U     X     0     1     Z     W     L     H     -
+    {V::U, V::U, V::U, V::U, V::U, V::U, V::U, V::U, V::U},  // U
+    {V::U, V::X, V::X, V::X, V::X, V::X, V::X, V::X, V::X},  // X
+    {V::U, V::X, V::F, V::X, V::F, V::F, V::F, V::F, V::X},  // 0
+    {V::U, V::X, V::X, V::T, V::T, V::T, V::T, V::T, V::X},  // 1
+    {V::U, V::X, V::F, V::T, V::Z, V::W, V::L, V::H, V::X},  // Z
+    {V::U, V::X, V::F, V::T, V::W, V::W, V::W, V::W, V::X},  // W
+    {V::U, V::X, V::F, V::T, V::L, V::W, V::L, V::W, V::X},  // L
+    {V::U, V::X, V::F, V::T, V::H, V::W, V::W, V::H, V::X},  // H
+    {V::U, V::X, V::X, V::X, V::X, V::X, V::X, V::X, V::X},  // -
+};
+
+// IEEE 1164 and_table.
+constexpr V kAnd[N][N] = {
+    // U     X     0     1     Z     W     L     H     -
+    {V::U, V::U, V::F, V::U, V::U, V::U, V::F, V::U, V::U},  // U
+    {V::U, V::X, V::F, V::X, V::X, V::X, V::F, V::X, V::X},  // X
+    {V::F, V::F, V::F, V::F, V::F, V::F, V::F, V::F, V::F},  // 0
+    {V::U, V::X, V::F, V::T, V::X, V::X, V::F, V::T, V::X},  // 1
+    {V::U, V::X, V::F, V::X, V::X, V::X, V::F, V::X, V::X},  // Z
+    {V::U, V::X, V::F, V::X, V::X, V::X, V::F, V::X, V::X},  // W
+    {V::F, V::F, V::F, V::F, V::F, V::F, V::F, V::F, V::F},  // L
+    {V::U, V::X, V::F, V::T, V::X, V::X, V::F, V::T, V::X},  // H
+    {V::U, V::X, V::F, V::X, V::X, V::X, V::F, V::X, V::X},  // -
+};
+
+// IEEE 1164 or_table.
+constexpr V kOr[N][N] = {
+    // U     X     0     1     Z     W     L     H     -
+    {V::U, V::U, V::U, V::T, V::U, V::U, V::U, V::T, V::U},  // U
+    {V::U, V::X, V::X, V::T, V::X, V::X, V::X, V::T, V::X},  // X
+    {V::U, V::X, V::F, V::T, V::X, V::X, V::F, V::T, V::X},  // 0
+    {V::T, V::T, V::T, V::T, V::T, V::T, V::T, V::T, V::T},  // 1
+    {V::U, V::X, V::X, V::T, V::X, V::X, V::X, V::T, V::X},  // Z
+    {V::U, V::X, V::X, V::T, V::X, V::X, V::X, V::T, V::X},  // W
+    {V::U, V::X, V::F, V::T, V::X, V::X, V::F, V::T, V::X},  // L
+    {V::T, V::T, V::T, V::T, V::T, V::T, V::T, V::T, V::T},  // H
+    {V::U, V::X, V::X, V::T, V::X, V::X, V::X, V::T, V::X},  // -
+};
+
+// IEEE 1164 xor_table.
+constexpr V kXor[N][N] = {
+    // U     X     0     1     Z     W     L     H     -
+    {V::U, V::U, V::U, V::U, V::U, V::U, V::U, V::U, V::U},  // U
+    {V::U, V::X, V::X, V::X, V::X, V::X, V::X, V::X, V::X},  // X
+    {V::U, V::X, V::F, V::T, V::X, V::X, V::F, V::T, V::X},  // 0
+    {V::U, V::X, V::T, V::F, V::X, V::X, V::T, V::F, V::X},  // 1
+    {V::U, V::X, V::X, V::X, V::X, V::X, V::X, V::X, V::X},  // Z
+    {V::U, V::X, V::X, V::X, V::X, V::X, V::X, V::X, V::X},  // W
+    {V::U, V::X, V::F, V::T, V::X, V::X, V::F, V::T, V::X},  // L
+    {V::U, V::X, V::T, V::F, V::X, V::X, V::T, V::F, V::X},  // H
+    {V::U, V::X, V::X, V::X, V::X, V::X, V::X, V::X, V::X},  // -
+};
+
+// IEEE 1164 not_table.
+constexpr V kNot[N] = {V::U, V::X, V::T, V::F, V::X, V::X, V::T, V::F, V::X};
+
+// IEEE 1164 cvt_to_x01.
+constexpr V kToX01[N] = {V::X, V::X, V::F, V::T, V::X, V::X, V::F, V::T, V::X};
+
+constexpr int idx(V v) { return static_cast<int>(v); }
+
+}  // namespace
+
+char to_char(Logic9 v) { return kChars[idx(v)]; }
+
+Logic9 logic9_from_char(char c) {
+  for (int i = 0; i < N; ++i)
+    if (kChars[i] == c) return static_cast<Logic9>(i);
+  // Accept lowercase aliases for the letter-valued states.
+  switch (c) {
+    case 'u': return V::U;
+    case 'x': return V::X;
+    case 'z': return V::Z;
+    case 'w': return V::W;
+    case 'l': return V::L;
+    case 'h': return V::H;
+    default: break;
+  }
+  raise("logic9_from_char: invalid character");
+}
+
+Logic9 resolve9(Logic9 a, Logic9 b) { return kResolve[idx(a)][idx(b)]; }
+Logic9 and9(Logic9 a, Logic9 b) { return kAnd[idx(a)][idx(b)]; }
+Logic9 or9(Logic9 a, Logic9 b) { return kOr[idx(a)][idx(b)]; }
+Logic9 xor9(Logic9 a, Logic9 b) { return kXor[idx(a)][idx(b)]; }
+Logic9 not9(Logic9 a) { return kNot[idx(a)]; }
+Logic9 to_x01(Logic9 v) { return kToX01[idx(v)]; }
+
+Logic4 to_logic4(Logic9 v) {
+  switch (v) {
+    case V::F: case V::L: return Logic4::F;
+    case V::T: case V::H: return Logic4::T;
+    case V::Z: return Logic4::Z;
+    default: return Logic4::X;
+  }
+}
+
+Logic9 to_logic9(Logic4 v) {
+  switch (v) {
+    case Logic4::F: return V::F;
+    case Logic4::T: return V::T;
+    case Logic4::Z: return V::Z;
+    case Logic4::X: return V::X;
+  }
+  return V::X;
+}
+
+}  // namespace plsim

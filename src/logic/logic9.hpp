@@ -1,0 +1,52 @@
+#pragma once
+// IEEE Std 1164 nine-valued logic system (STD_LOGIC_1164), referenced by the
+// paper (§II) as the standard multi-valued system for VHDL simulation.
+//
+// The nine values encode unknowns and drive strengths:
+//   U  uninitialized        X  forcing unknown     0  forcing 0
+//   1  forcing 1            Z  high impedance      W  weak unknown
+//   L  weak 0               H  weak 1              DC don't care ('-')
+//
+// All operator tables follow the semantics of the IEEE package body:
+// resolution of multiple drivers, AND/OR/XOR/NOT, and the to_X01 strength
+// stripper that maps std_logic onto the 4-valued simulation core.
+
+#include <cstdint>
+
+#include "logic/value.hpp"
+
+namespace plsim {
+
+enum class Logic9 : std::uint8_t {
+  U = 0,
+  X = 1,
+  F = 2,   ///< '0'
+  T = 3,   ///< '1'
+  Z = 4,
+  W = 5,
+  L = 6,
+  H = 7,
+  DC = 8,  ///< '-'
+};
+
+inline constexpr int kLogic9Cardinality = 9;
+
+char to_char(Logic9 v);
+Logic9 logic9_from_char(char c);
+
+/// IEEE 1164 `resolved`: combine two simultaneous drivers of one net.
+Logic9 resolve9(Logic9 a, Logic9 b);
+
+Logic9 and9(Logic9 a, Logic9 b);
+Logic9 or9(Logic9 a, Logic9 b);
+Logic9 xor9(Logic9 a, Logic9 b);
+Logic9 not9(Logic9 a);
+
+/// IEEE 1164 `to_X01`: strip strength, mapping onto {X, 0, 1}.
+Logic9 to_x01(Logic9 v);
+
+/// Map std_logic onto the 4-valued core ({L,H} lose strength; U/W/DC -> X).
+Logic4 to_logic4(Logic9 v);
+Logic9 to_logic9(Logic4 v);
+
+}  // namespace plsim

@@ -1,0 +1,86 @@
+#pragma once
+// Logic value systems (paper §II).
+//
+// plsim's simulation engines operate on the 4-valued system {0, 1, X, Z} that
+// gate-level simulators conventionally use; a complete IEEE-1164 9-valued
+// system (logic/logic9.hpp) is provided for switch/bus-level modelling, and
+// plain Boolean / 64-lane bit-parallel evaluation supports the compiled and
+// fault simulators.
+
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace plsim {
+
+/// Four-valued logic: 0, 1, unknown, high-impedance.
+enum class Logic4 : std::uint8_t {
+  F = 0,  ///< logic 0
+  T = 1,  ///< logic 1
+  X = 2,  ///< unknown
+  Z = 3,  ///< high impedance (undriven)
+};
+
+inline constexpr int kLogic4Cardinality = 4;
+
+constexpr char to_char(Logic4 v) {
+  switch (v) {
+    case Logic4::F: return '0';
+    case Logic4::T: return '1';
+    case Logic4::X: return 'X';
+    case Logic4::Z: return 'Z';
+  }
+  return '?';
+}
+
+constexpr Logic4 logic4_from_char(char c) {
+  switch (c) {
+    case '0': return Logic4::F;
+    case '1': return Logic4::T;
+    case 'x': case 'X': return Logic4::X;
+    case 'z': case 'Z': return Logic4::Z;
+    default: break;
+  }
+  raise("logic4_from_char: invalid character");
+}
+
+constexpr Logic4 logic4_from_bool(bool b) { return b ? Logic4::T : Logic4::F; }
+
+/// True iff the value is a definite Boolean (0 or 1).
+constexpr bool is_binary(Logic4 v) { return v == Logic4::F || v == Logic4::T; }
+
+/// Gate inputs treat a floating wire as unknown.
+constexpr Logic4 z_to_x(Logic4 v) { return v == Logic4::Z ? Logic4::X : v; }
+
+constexpr Logic4 logic_not(Logic4 v) {
+  switch (z_to_x(v)) {
+    case Logic4::F: return Logic4::T;
+    case Logic4::T: return Logic4::F;
+    default: return Logic4::X;
+  }
+}
+
+constexpr Logic4 logic_and(Logic4 a, Logic4 b) {
+  a = z_to_x(a);
+  b = z_to_x(b);
+  if (a == Logic4::F || b == Logic4::F) return Logic4::F;
+  if (a == Logic4::T && b == Logic4::T) return Logic4::T;
+  return Logic4::X;
+}
+
+constexpr Logic4 logic_or(Logic4 a, Logic4 b) {
+  a = z_to_x(a);
+  b = z_to_x(b);
+  if (a == Logic4::T || b == Logic4::T) return Logic4::T;
+  if (a == Logic4::F && b == Logic4::F) return Logic4::F;
+  return Logic4::X;
+}
+
+constexpr Logic4 logic_xor(Logic4 a, Logic4 b) {
+  a = z_to_x(a);
+  b = z_to_x(b);
+  if (!is_binary(a) || !is_binary(b)) return Logic4::X;
+  return logic4_from_bool(a != b);
+}
+
+}  // namespace plsim

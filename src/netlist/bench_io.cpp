@@ -1,0 +1,174 @@
+#include "netlist/bench_io.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "netlist/builder.hpp"
+#include "util/error.hpp"
+
+namespace plsim {
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+    s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+    s.remove_suffix(1);
+  return s;
+}
+
+struct PendingGate {
+  std::string keyword;
+  std::vector<std::string> fanin_names;
+  int line;
+};
+
+}  // namespace
+
+Circuit parse_bench(std::istream& is) {
+  // Two passes over the token stream: first collect declarations, then
+  // resolve names (OUTPUT/fanins may reference signals defined later).
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  std::vector<std::pair<std::string, PendingGate>> defs;
+
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(is, raw)) {
+    ++lineno;
+    std::string_view line{raw};
+    if (auto hash = line.find('#'); hash != std::string_view::npos)
+      line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    auto err = [&](const std::string& what) {
+      raise("bench parse error at line " + std::to_string(lineno) + ": " +
+            what);
+    };
+
+    const auto eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      // INPUT(name) or OUTPUT(name)
+      const auto open = line.find('(');
+      const auto close = line.rfind(')');
+      if (open == std::string_view::npos || close == std::string_view::npos ||
+          close < open)
+        err("expected INPUT(name) / OUTPUT(name) / name = GATE(...)");
+      const std::string kw{trim(line.substr(0, open))};
+      const std::string name{trim(line.substr(open + 1, close - open - 1))};
+      if (name.empty()) err("empty signal name");
+      if (kw == "INPUT")
+        input_names.push_back(name);
+      else if (kw == "OUTPUT")
+        output_names.push_back(name);
+      else
+        err("unknown directive '" + kw + "'");
+      continue;
+    }
+
+    const std::string lhs{trim(line.substr(0, eq))};
+    std::string_view rhs = trim(line.substr(eq + 1));
+    const auto open = rhs.find('(');
+    const auto close = rhs.rfind(')');
+    if (lhs.empty() || open == std::string_view::npos ||
+        close == std::string_view::npos || close < open)
+      err("expected name = GATE(in, ...)");
+
+    PendingGate pg;
+    pg.keyword = std::string{trim(rhs.substr(0, open))};
+    pg.line = lineno;
+    std::string_view args = rhs.substr(open + 1, close - open - 1);
+    while (!args.empty()) {
+      auto comma = args.find(',');
+      std::string_view tok = (comma == std::string_view::npos)
+                                 ? args
+                                 : args.substr(0, comma);
+      tok = trim(tok);
+      if (!tok.empty()) pg.fanin_names.emplace_back(tok);
+      if (comma == std::string_view::npos) break;
+      args.remove_prefix(comma + 1);
+    }
+    defs.emplace_back(lhs, std::move(pg));
+  }
+
+  NetlistBuilder b;
+  std::unordered_map<std::string, GateId> by_name;
+  auto declare = [&](const std::string& name, GateType t) {
+    PLSIM_CHECK(by_name.find(name) == by_name.end(),
+                "bench: signal '" + name + "' defined twice");
+    by_name.emplace(name, b.add_gate(t, {}, name));
+  };
+  for (const auto& name : input_names) declare(name, GateType::Input);
+  for (const auto& [name, pg] : defs)
+    declare(name, gate_type_from_name(pg.keyword));
+
+  for (const auto& [name, pg] : defs) {
+    std::vector<GateId> fanins;
+    fanins.reserve(pg.fanin_names.size());
+    for (const auto& f : pg.fanin_names) {
+      auto it = by_name.find(f);
+      PLSIM_CHECK(it != by_name.end(), "bench: line " +
+                                           std::to_string(pg.line) +
+                                           " references undefined signal '" +
+                                           f + "'");
+      fanins.push_back(it->second);
+    }
+    b.set_fanins(by_name.at(name), std::move(fanins));
+  }
+
+  for (const auto& name : output_names) {
+    auto it = by_name.find(name);
+    PLSIM_CHECK(it != by_name.end(),
+                "bench: OUTPUT references undefined signal '" + name + "'");
+    b.mark_output(it->second);
+  }
+
+  return b.build();
+}
+
+Circuit parse_bench_string(std::string_view text) {
+  std::istringstream is{std::string(text)};
+  return parse_bench(is);
+}
+
+Circuit load_bench_file(const std::string& path) {
+  std::ifstream is(path);
+  PLSIM_CHECK(is.good(), "cannot open bench file: " + path);
+  return parse_bench(is);
+}
+
+void write_bench(std::ostream& os, const Circuit& c, std::string_view title) {
+  auto sig = [&](GateId g) -> std::string {
+    if (!c.name(g).empty()) return c.name(g);
+    return "n" + std::to_string(g);
+  };
+
+  if (!title.empty()) os << "# " << title << '\n';
+  os << "# " << c.gate_count() << " gates, " << c.primary_inputs().size()
+     << " inputs, " << c.primary_outputs().size() << " outputs, "
+     << c.flip_flops().size() << " flip-flops\n";
+  for (GateId g : c.primary_inputs()) os << "INPUT(" << sig(g) << ")\n";
+  for (GateId g : c.primary_outputs()) os << "OUTPUT(" << sig(g) << ")\n";
+  for (std::size_t i = 0; i < c.gate_count(); ++i) {
+    const GateId g = static_cast<GateId>(i);
+    if (c.type(g) == GateType::Input) continue;
+    os << sig(g) << " = " << gate_type_name(c.type(g)) << '(';
+    const auto fi = c.fanins(g);
+    for (std::size_t k = 0; k < fi.size(); ++k) {
+      if (k) os << ", ";
+      os << sig(fi[k]);
+    }
+    os << ")\n";
+  }
+}
+
+std::string write_bench_string(const Circuit& c, std::string_view title) {
+  std::ostringstream os;
+  write_bench(os, c, title);
+  return os.str();
+}
+
+}  // namespace plsim

@@ -1,0 +1,28 @@
+#pragma once
+// Reader/writer for the ISCAS-85/89 `.bench` netlist format — the benchmark
+// circuits the surveyed simulators are evaluated on (paper §V).
+//
+// Grammar (comments start with '#'):
+//   INPUT(name)
+//   OUTPUT(name)
+//   name = GATE(in1, in2, ...)
+// GATE is one of AND OR NAND NOR XOR XNOR NOT BUF/BUFF DFF MUX, plus the
+// plsim extensions CONST0/CONST1.
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "netlist/circuit.hpp"
+
+namespace plsim {
+
+Circuit parse_bench(std::istream& is);
+Circuit parse_bench_string(std::string_view text);
+Circuit load_bench_file(const std::string& path);
+
+void write_bench(std::ostream& os, const Circuit& c,
+                 std::string_view title = {});
+std::string write_bench_string(const Circuit& c, std::string_view title = {});
+
+}  // namespace plsim

@@ -1,0 +1,140 @@
+#include "netlist/builder.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace plsim {
+
+GateId NetlistBuilder::add_gate(GateType type, std::vector<GateId> fanins,
+                                std::string name) {
+  gates_.push_back(Proto{type, 1, std::move(fanins), std::move(name), false});
+  return static_cast<GateId>(gates_.size() - 1);
+}
+
+void NetlistBuilder::set_fanins(GateId g, std::vector<GateId> fanins) {
+  PLSIM_CHECK(g < gates_.size(), "set_fanins: no such gate");
+  gates_[g].fanins = std::move(fanins);
+}
+
+void NetlistBuilder::set_delay(GateId g, std::uint32_t delay) {
+  PLSIM_CHECK(g < gates_.size(), "set_delay: no such gate");
+  PLSIM_CHECK(delay >= 1, "set_delay: gate delays must be >= 1 tick");
+  gates_[g].delay = delay;
+}
+
+void NetlistBuilder::mark_output(GateId g) {
+  PLSIM_CHECK(g < gates_.size(), "mark_output: no such gate");
+  if (!gates_[g].is_output) {
+    gates_[g].is_output = true;
+    output_order_.push_back(g);
+  }
+}
+
+Circuit NetlistBuilder::build() {
+  const std::size_t n = gates_.size();
+  PLSIM_CHECK(n > 0, "build: empty netlist");
+
+  std::unordered_set<std::string> seen_names;
+  for (const auto& p : gates_) {
+    if (!p.name.empty()) {
+      PLSIM_CHECK(seen_names.insert(p.name).second,
+                  "build: duplicate gate name '" + p.name + "'");
+    }
+    const FaninArity arity = gate_arity(p.type);
+    const int k = static_cast<int>(p.fanins.size());
+    PLSIM_CHECK(k >= arity.min && (arity.max < 0 || k <= arity.max),
+                "build: illegal fanin count for " +
+                    std::string(gate_type_name(p.type)));
+    for (GateId f : p.fanins)
+      PLSIM_CHECK(f < n, "build: fanin references missing gate");
+  }
+
+  Circuit c;
+  c.types_.reserve(n);
+  c.delays_.reserve(n);
+  c.names_.reserve(n);
+  c.is_output_.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& p = gates_[i];
+    c.types_.push_back(p.type);
+    c.delays_.push_back(p.delay);
+    c.names_.push_back(p.name);
+    if (p.is_output) c.is_output_[i] = 1;
+    switch (p.type) {
+      case GateType::Input: c.inputs_.push_back(static_cast<GateId>(i)); break;
+      case GateType::Dff: c.dffs_.push_back(static_cast<GateId>(i)); break;
+      default: break;
+    }
+  }
+
+  c.outputs_ = output_order_;
+
+  // CSR fanin.
+  c.fanin_off_.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i)
+    c.fanin_off_[i + 1] = c.fanin_off_[i] +
+                          static_cast<std::uint32_t>(gates_[i].fanins.size());
+  c.fanin_list_.reserve(c.fanin_off_[n]);
+  for (const auto& p : gates_)
+    c.fanin_list_.insert(c.fanin_list_.end(), p.fanins.begin(), p.fanins.end());
+
+  // CSR fanout (transpose).
+  c.fanout_off_.assign(n + 1, 0);
+  for (GateId f : c.fanin_list_) ++c.fanout_off_[f + 1];
+  for (std::size_t i = 0; i < n; ++i) c.fanout_off_[i + 1] += c.fanout_off_[i];
+  c.fanout_list_.resize(c.fanin_list_.size());
+  {
+    std::vector<std::uint32_t> cursor(c.fanout_off_.begin(),
+                                      c.fanout_off_.end() - 1);
+    for (std::size_t g = 0; g < n; ++g)
+      for (GateId f : gates_[g].fanins)
+        c.fanout_list_[cursor[f]++] = static_cast<GateId>(g);
+  }
+
+  // Levelize the combinational core (Kahn). DFF outputs and sources are
+  // level 0; a DFF's D input does not constrain its own level, which is what
+  // breaks sequential feedback loops.
+  c.levels_.assign(n, 0);
+  std::vector<std::uint32_t> pending(n, 0);
+  std::queue<GateId> ready;
+  for (std::size_t g = 0; g < n; ++g) {
+    const GateType t = c.types_[g];
+    if (t == GateType::Input || t == GateType::Dff || t == GateType::Const0 ||
+        t == GateType::Const1) {
+      ready.push(static_cast<GateId>(g));
+    } else {
+      pending[g] = static_cast<std::uint32_t>(gates_[g].fanins.size());
+      if (pending[g] == 0) ready.push(static_cast<GateId>(g));
+    }
+  }
+  c.level_order_.reserve(n);
+  while (!ready.empty()) {
+    const GateId g = ready.front();
+    ready.pop();
+    c.level_order_.push_back(g);
+    for (GateId s : c.fanouts(g)) {
+      if (c.types_[s] == GateType::Dff) continue;  // sequential edge
+      c.levels_[s] = std::max(c.levels_[s], c.levels_[g] + 1);
+      if (--pending[s] == 0) ready.push(s);
+    }
+  }
+  PLSIM_CHECK(c.level_order_.size() == n,
+              "build: combinational cycle detected (feedback must pass "
+              "through a DFF)");
+  std::stable_sort(c.level_order_.begin(), c.level_order_.end(),
+                   [&](GateId a, GateId b) { return c.levels_[a] < c.levels_[b]; });
+  c.depth_ = 0;
+  for (auto lv : c.levels_) c.depth_ = std::max(c.depth_, lv);
+
+  c.min_delay_ = c.delays_.empty() ? 1 : *std::min_element(c.delays_.begin(),
+                                                           c.delays_.end());
+
+  gates_.clear();
+  output_order_.clear();
+  return c;
+}
+
+}  // namespace plsim

@@ -1,0 +1,50 @@
+#pragma once
+// Mutable netlist under construction; `build()` validates and freezes it into
+// an immutable Circuit.
+
+#include <string>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+
+namespace plsim {
+
+class NetlistBuilder {
+ public:
+  /// Create a gate. Fanins may be wired later with set_fanins (required for
+  /// sequential feedback). Name is optional but must be unique when given.
+  GateId add_gate(GateType type, std::vector<GateId> fanins = {},
+                  std::string name = {});
+
+  GateId add_input(std::string name = {}) {
+    return add_gate(GateType::Input, {}, std::move(name));
+  }
+
+  void set_fanins(GateId g, std::vector<GateId> fanins);
+  void set_delay(GateId g, std::uint32_t delay);
+
+  /// Declare `g` a primary output. Outputs keep their marking order in
+  /// Circuit::primary_outputs() (bit order of arithmetic circuits relies on
+  /// this); re-marking is idempotent.
+  void mark_output(GateId g);
+
+  std::size_t gate_count() const { return gates_.size(); }
+
+  /// Validate (arity, dangling references, single clock domain, acyclic
+  /// combinational core, delays >= 1) and produce the immutable circuit.
+  /// The builder is left empty afterwards.
+  Circuit build();
+
+ private:
+  struct Proto {
+    GateType type;
+    std::uint32_t delay = 1;
+    std::vector<GateId> fanins;
+    std::string name;
+    bool is_output = false;
+  };
+  std::vector<Proto> gates_;
+  std::vector<GateId> output_order_;
+};
+
+}  // namespace plsim

@@ -1,0 +1,62 @@
+#include "netlist/builtin.hpp"
+
+#include "netlist/bench_io.hpp"
+#include "util/error.hpp"
+
+namespace plsim {
+namespace {
+
+// ISCAS-85 c17: 5 inputs, 2 outputs, 6 NAND gates.
+constexpr std::string_view kC17 = R"(# c17 (ISCAS-85)
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+)";
+
+// ISCAS-89 s27: 4 inputs, 1 output, 3 flip-flops, 10 gates.
+constexpr std::string_view kS27 = R"(# s27 (ISCAS-89)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+)";
+
+}  // namespace
+
+std::vector<std::string_view> builtin_circuit_names() { return {"c17", "s27"}; }
+
+std::string_view builtin_bench_text(std::string_view name) {
+  if (name == "c17") return kC17;
+  if (name == "s27") return kS27;
+  raise("unknown builtin circuit: " + std::string(name));
+}
+
+Circuit builtin_circuit(std::string_view name) {
+  return parse_bench_string(builtin_bench_text(name));
+}
+
+}  // namespace plsim

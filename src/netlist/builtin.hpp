@@ -1,0 +1,26 @@
+#pragma once
+// Embedded benchmark netlists.
+//
+// The ISCAS-85/89 suites used by the paper are distributed as `.bench` files;
+// this build environment is offline, so we embed the two canonical circuits
+// small enough to transcribe exactly (c17 from ISCAS-85, s27 from ISCAS-89)
+// and synthesize the larger size points with the ISCAS-profile generator
+// (netlist/generators.hpp). See DESIGN.md, substitution 2.
+
+#include <string_view>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+
+namespace plsim {
+
+/// Names of the embedded circuits ("c17", "s27").
+std::vector<std::string_view> builtin_circuit_names();
+
+/// Raw `.bench` text of an embedded circuit; throws for unknown names.
+std::string_view builtin_bench_text(std::string_view name);
+
+/// Parsed embedded circuit.
+Circuit builtin_circuit(std::string_view name);
+
+}  // namespace plsim

@@ -1,0 +1,83 @@
+#pragma once
+// Immutable gate-level circuit graph (paper §II: "the communications channels
+// model the circuit connectivity of the VLSI system").
+//
+// One vertex per gate; the gate's output net is identified with the gate
+// itself (single-driver netlists, as in ISCAS `.bench`). Storage is
+// struct-of-arrays with CSR adjacency so multi-hundred-thousand-gate circuits
+// stay cache-friendly.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "logic/gates.hpp"
+
+namespace plsim {
+
+using GateId = std::uint32_t;
+inline constexpr GateId kNoGate = static_cast<GateId>(-1);
+
+/// Simulated time in integer ticks.
+using Tick = std::uint64_t;
+inline constexpr Tick kTickInf = static_cast<Tick>(-1);
+
+class NetlistBuilder;
+
+class Circuit {
+ public:
+  std::size_t gate_count() const { return types_.size(); }
+
+  GateType type(GateId g) const { return types_[g]; }
+  std::uint32_t delay(GateId g) const { return delays_[g]; }
+
+  std::span<const GateId> fanins(GateId g) const {
+    return {fanin_list_.data() + fanin_off_[g],
+            fanin_off_[g + 1] - fanin_off_[g]};
+  }
+  std::span<const GateId> fanouts(GateId g) const {
+    return {fanout_list_.data() + fanout_off_[g],
+            fanout_off_[g + 1] - fanout_off_[g]};
+  }
+
+  std::span<const GateId> primary_inputs() const { return inputs_; }
+  std::span<const GateId> primary_outputs() const { return outputs_; }
+  std::span<const GateId> flip_flops() const { return dffs_; }
+  bool is_sequential() const { return !dffs_.empty(); }
+  bool is_primary_output(GateId g) const { return is_output_[g] != 0; }
+
+  /// Combinational level: 0 for sources (inputs, constants, DFF outputs),
+  /// 1 + max(fanin level) otherwise.
+  std::uint32_t level(GateId g) const { return levels_[g]; }
+  std::uint32_t depth() const { return depth_; }
+
+  /// All gates sorted by nondecreasing level (a topological order of the
+  /// combinational core with sources first).
+  std::span<const GateId> level_order() const { return level_order_; }
+
+  /// Gate name; empty if the netlist carried none.
+  const std::string& name(GateId g) const { return names_[g]; }
+
+  /// Minimum combinational delay over all gates — the lookahead floor every
+  /// conservative channel can rely on.
+  std::uint32_t min_delay() const { return min_delay_; }
+
+ private:
+  friend class NetlistBuilder;
+  Circuit() = default;
+
+  std::vector<GateType> types_;
+  std::vector<std::uint32_t> delays_;
+  std::vector<std::uint32_t> fanin_off_, fanout_off_;
+  std::vector<GateId> fanin_list_, fanout_list_;
+  std::vector<GateId> inputs_, outputs_, dffs_;
+  std::vector<std::uint8_t> is_output_;
+  std::vector<std::uint32_t> levels_;
+  std::vector<GateId> level_order_;
+  std::vector<std::string> names_;
+  std::uint32_t depth_ = 0;
+  std::uint32_t min_delay_ = 1;
+};
+
+}  // namespace plsim

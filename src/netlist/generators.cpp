@@ -1,0 +1,336 @@
+#include "netlist/generators.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "netlist/builder.hpp"
+#include "util/error.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace plsim {
+namespace {
+
+std::uint64_t name_seed(std::string_view name) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull;
+  for (char ch : name) h = mix64(h ^ static_cast<unsigned char>(ch));
+  return h;
+}
+
+std::uint32_t pick_delay(Rng& rng, DelayMode mode, std::uint32_t spread) {
+  if (mode == DelayMode::Unit || spread <= 1) return 1;
+  return static_cast<std::uint32_t>(rng.range(1, spread));
+}
+
+// Gate-type mix roughly matching ISCAS circuits (NAND/NOR heavy).
+GateType pick_comb_type(Rng& rng) {
+  const std::uint64_t r = rng.uniform(100);
+  if (r < 26) return GateType::Nand;
+  if (r < 46) return GateType::Nor;
+  if (r < 60) return GateType::And;
+  if (r < 72) return GateType::Or;
+  if (r < 80) return GateType::Not;
+  if (r < 88) return GateType::Xor;
+  if (r < 94) return GateType::Xnor;
+  return GateType::Buf;
+}
+
+}  // namespace
+
+Circuit random_circuit(const RandomCircuitSpec& spec) {
+  PLSIM_CHECK(spec.n_inputs >= 1, "random_circuit: need at least one input");
+  PLSIM_CHECK(spec.n_gates > spec.n_inputs,
+              "random_circuit: n_gates must exceed n_inputs");
+  PLSIM_CHECK(spec.max_fanin >= 2, "random_circuit: max_fanin must be >= 2");
+
+  Rng rng(spec.seed);
+  NetlistBuilder b;
+
+  for (std::size_t i = 0; i < spec.n_inputs; ++i)
+    b.add_input("pi" + std::to_string(i));
+
+  // Pick an earlier gate, biased toward recent ones so the netlist develops
+  // depth and realistic fanout rather than becoming a shallow star.
+  auto pick_earlier = [&](GateId upto) -> GateId {
+    if (spec.window > 0 && upto > spec.window && rng.chance(spec.locality)) {
+      return static_cast<GateId>(
+          upto - 1 - rng.uniform(std::min<std::uint64_t>(spec.window, upto)));
+    }
+    return static_cast<GateId>(rng.uniform(upto));
+  };
+
+  // Exact DFF count (sequential-remainder sampling keeps positions random).
+  std::size_t dffs_left = static_cast<std::size_t>(
+      spec.dff_fraction * static_cast<double>(spec.n_gates - spec.n_inputs) +
+      0.5);
+  std::vector<GateId> dffs;
+  while (b.gate_count() < spec.n_gates) {
+    const GateId id = static_cast<GateId>(b.gate_count());
+    const std::size_t gates_left = spec.n_gates - b.gate_count();
+    if (dffs_left > 0 && rng.chance(static_cast<double>(dffs_left) /
+                                    static_cast<double>(gates_left))) {
+      --dffs_left;
+      // Fanin chosen after all gates exist (may be a later gate: sequential
+      // feedback is legal through a DFF).
+      const GateId g = b.add_gate(GateType::Dff, {}, "ff" + std::to_string(id));
+      b.set_delay(g, pick_delay(rng, spec.delay_mode, spec.delay_spread));
+      dffs.push_back(g);
+      continue;
+    }
+    const GateType t = pick_comb_type(rng);
+    std::size_t k = (t == GateType::Not || t == GateType::Buf) ? 1 : 2;
+    while (k > 1 && k < spec.max_fanin && rng.chance(spec.extra_fanin_p)) ++k;
+    std::vector<GateId> fanins;
+    fanins.reserve(k);
+    for (std::size_t j = 0; j < k; ++j) fanins.push_back(pick_earlier(id));
+    const GateId g = b.add_gate(t, std::move(fanins), "g" + std::to_string(id));
+    b.set_delay(g, pick_delay(rng, spec.delay_mode, spec.delay_spread));
+  }
+
+  const std::size_t total = b.gate_count();
+  for (GateId ff : dffs)
+    b.set_fanins(ff, {static_cast<GateId>(rng.uniform(total))});
+
+  // Primary outputs: distinct gates, uniform over non-inputs. Some dead
+  // logic remains, as in real netlists.
+  std::vector<std::uint8_t> picked(total, 0);
+  std::size_t marked = 0;
+  const std::size_t want =
+      std::min<std::size_t>(spec.n_outputs, total - spec.n_inputs);
+  while (marked < want) {
+    const GateId g = static_cast<GateId>(
+        spec.n_inputs + rng.uniform(total - spec.n_inputs));
+    if (picked[g]) continue;
+    picked[g] = 1;
+    b.mark_output(g);
+    ++marked;
+  }
+
+  return b.build();
+}
+
+Circuit ripple_adder(int bits) {
+  PLSIM_CHECK(bits >= 1, "ripple_adder: bits must be >= 1");
+  NetlistBuilder b;
+  std::vector<GateId> a(bits), bb(bits);
+  for (int i = 0; i < bits; ++i) a[i] = b.add_input("a" + std::to_string(i));
+  for (int i = 0; i < bits; ++i) bb[i] = b.add_input("b" + std::to_string(i));
+  GateId carry = b.add_input("cin");
+  for (int i = 0; i < bits; ++i) {
+    const std::string s = std::to_string(i);
+    const GateId axb = b.add_gate(GateType::Xor, {a[i], bb[i]}, "axb" + s);
+    const GateId sum = b.add_gate(GateType::Xor, {axb, carry}, "s" + s);
+    const GateId g1 = b.add_gate(GateType::And, {a[i], bb[i]}, "pp" + s);
+    const GateId g2 = b.add_gate(GateType::And, {axb, carry}, "pc" + s);
+    carry = b.add_gate(GateType::Or, {g1, g2}, "c" + s);
+    b.mark_output(sum);
+  }
+  b.mark_output(carry);
+  return b.build();
+}
+
+Circuit array_multiplier(int bits) {
+  PLSIM_CHECK(bits >= 1, "array_multiplier: bits must be >= 1");
+  NetlistBuilder b;
+  std::vector<GateId> a(bits), bb(bits);
+  for (int i = 0; i < bits; ++i) a[i] = b.add_input("a" + std::to_string(i));
+  for (int i = 0; i < bits; ++i) bb[i] = b.add_input("b" + std::to_string(i));
+
+  const GateId zero = b.add_gate(GateType::Const0, {}, "zero");
+  auto full_adder = [&](GateId x, GateId y, GateId cin,
+                        const std::string& tag) -> std::pair<GateId, GateId> {
+    const GateId axb = b.add_gate(GateType::Xor, {x, y}, "fx" + tag);
+    const GateId sum = b.add_gate(GateType::Xor, {axb, cin}, "fs" + tag);
+    const GateId g1 = b.add_gate(GateType::And, {x, y}, "fg" + tag);
+    const GateId g2 = b.add_gate(GateType::And, {axb, cin}, "fh" + tag);
+    const GateId cout = b.add_gate(GateType::Or, {g1, g2}, "fc" + tag);
+    return {sum, cout};
+  };
+
+  // Row 0 of partial products is the initial running sum.
+  std::vector<GateId> acc(bits + 1, zero);
+  for (int j = 0; j < bits; ++j)
+    acc[j] = b.add_gate(GateType::And, {a[j], bb[0]},
+                        "pp0_" + std::to_string(j));
+  std::vector<GateId> product;
+  product.push_back(acc[0]);
+
+  for (int i = 1; i < bits; ++i) {
+    std::vector<GateId> next(bits + 1, zero);
+    GateId carry = zero;
+    for (int j = 0; j < bits; ++j) {
+      const std::string tag = std::to_string(i) + "_" + std::to_string(j);
+      const GateId pp = b.add_gate(GateType::And, {a[j], bb[i]}, "pp" + tag);
+      auto [sum, cout] = full_adder(acc[j + 1], pp, carry, tag);
+      next[j] = sum;
+      carry = cout;
+    }
+    next[bits] = carry;
+    product.push_back(next[0]);
+    acc = std::move(next);
+  }
+  for (int j = 1; j <= bits; ++j) product.push_back(acc[j]);
+  for (std::size_t i = 0; i < product.size(); ++i) b.mark_output(product[i]);
+  return b.build();
+}
+
+Circuit lfsr(int bits, const std::vector<int>& taps) {
+  PLSIM_CHECK(bits >= 2, "lfsr: bits must be >= 2");
+  PLSIM_CHECK(!taps.empty(), "lfsr: need at least one tap");
+  for (int t : taps) PLSIM_CHECK(t >= 0 && t < bits, "lfsr: tap out of range");
+
+  NetlistBuilder b;
+  const GateId sin = b.add_input("sin");
+  std::vector<GateId> ff(bits);
+  for (int i = 0; i < bits; ++i)
+    ff[i] = b.add_gate(GateType::Dff, {}, "q" + std::to_string(i));
+
+  GateId fb = ff[taps[0]];
+  for (std::size_t i = 1; i < taps.size(); ++i)
+    fb = b.add_gate(GateType::Xor, {fb, ff[taps[i]]},
+                    "tap" + std::to_string(i));
+  fb = b.add_gate(GateType::Xor, {fb, sin}, "feedback");
+
+  b.set_fanins(ff[0], {fb});
+  for (int i = 1; i < bits; ++i) b.set_fanins(ff[i], {ff[i - 1]});
+  b.mark_output(ff[bits - 1]);
+  return b.build();
+}
+
+Circuit counter(int bits) {
+  PLSIM_CHECK(bits >= 1, "counter: bits must be >= 1");
+  NetlistBuilder b;
+  const GateId enable = b.add_input("en");
+  std::vector<GateId> q(bits);
+  for (int i = 0; i < bits; ++i)
+    q[i] = b.add_gate(GateType::Dff, {}, "q" + std::to_string(i));
+  GateId carry = enable;
+  for (int i = 0; i < bits; ++i) {
+    const std::string s = std::to_string(i);
+    const GateId d = b.add_gate(GateType::Xor, {q[i], carry}, "d" + s);
+    b.set_fanins(q[i], {d});
+    b.mark_output(q[i]);
+    if (i + 1 < bits)
+      carry = b.add_gate(GateType::And, {carry, q[i]}, "cy" + s);
+  }
+  return b.build();
+}
+
+Circuit pipeline(int width, int stages, std::uint64_t seed) {
+  PLSIM_CHECK(width >= 2 && stages >= 1, "pipeline: width>=2, stages>=1");
+  Rng rng(seed);
+  NetlistBuilder b;
+  std::vector<GateId> frontier(width);
+  for (int i = 0; i < width; ++i)
+    frontier[i] = b.add_input("pi" + std::to_string(i));
+
+  for (int s = 0; s < stages; ++s) {
+    // A small random combinational cloud over the frontier.
+    std::vector<GateId> pool = frontier;
+    const int cloud = width * 3;
+    for (int k = 0; k < cloud; ++k) {
+      const GateType t = pick_comb_type(rng);
+      const std::size_t arity =
+          (t == GateType::Not || t == GateType::Buf) ? 1 : 2;
+      std::vector<GateId> fi;
+      for (std::size_t j = 0; j < arity; ++j)
+        fi.push_back(pool[rng.uniform(pool.size())]);
+      pool.push_back(b.add_gate(t, std::move(fi),
+                                "s" + std::to_string(s) + "g" +
+                                    std::to_string(k)));
+    }
+    // Register row samples the newest cloud outputs.
+    for (int i = 0; i < width; ++i) {
+      const GateId src = pool[pool.size() - 1 - rng.uniform(cloud)];
+      frontier[i] = b.add_gate(GateType::Dff, {src},
+                               "r" + std::to_string(s) + "_" +
+                                   std::to_string(i));
+    }
+  }
+  for (int i = 0; i < width; ++i) b.mark_output(frontier[i]);
+  return b.build();
+}
+
+Circuit module_array(std::uint32_t n_modules, std::size_t gates_per_module,
+                     std::uint64_t seed) {
+  PLSIM_CHECK(n_modules >= 1, "module_array: need at least one module");
+  PLSIM_CHECK(gates_per_module >= 32, "module_array: modules too small");
+  NetlistBuilder b;
+  Rng rng(seed);
+  const std::size_t n_inputs = std::max<std::size_t>(4, gates_per_module / 24);
+  for (std::uint32_t m = 0; m < n_modules; ++m) {
+    const GateId base = static_cast<GateId>(b.gate_count());
+    RandomCircuitSpec spec;
+    spec.n_gates = gates_per_module;
+    spec.n_inputs = n_inputs;
+    spec.n_outputs = std::max<std::size_t>(2, n_inputs / 2);
+    spec.dff_fraction = 0.08;
+    spec.seed = rng.next();
+    const Circuit mod = random_circuit(spec);
+    const std::string prefix = "m" + std::to_string(m) + "_";
+    for (GateId g = 0; g < mod.gate_count(); ++g) {
+      std::vector<GateId> fanins;
+      for (GateId f : mod.fanins(g)) fanins.push_back(base + f);
+      const GateId id = b.add_gate(mod.type(g), std::move(fanins),
+                                   prefix + mod.name(g));
+      b.set_delay(id, mod.delay(g));
+    }
+    for (GateId g : mod.primary_outputs()) b.mark_output(base + g);
+  }
+  return b.build();
+}
+
+std::vector<IscasProfile> iscas_profiles() {
+  return {
+      {"c432", 36, 7, 0, 196},     {"c499", 41, 32, 0, 243},
+      {"c880", 60, 26, 0, 443},    {"c1355", 41, 32, 0, 587},
+      {"c1908", 33, 25, 0, 913},   {"c2670", 233, 140, 0, 1426},
+      {"c3540", 50, 22, 0, 1719},  {"c5315", 178, 123, 0, 2485},
+      {"c6288", 32, 32, 0, 2438},  {"c7552", 207, 108, 0, 3719},
+      {"s298", 3, 6, 14, 136},     {"s344", 9, 11, 15, 184},
+      {"s526", 3, 6, 21, 217},     {"s641", 35, 24, 19, 433},
+      {"s820", 18, 19, 5, 312},    {"s1196", 14, 14, 18, 561},
+      {"s1423", 17, 5, 74, 748},   {"s5378", 35, 49, 179, 2993},
+      {"s9234", 36, 39, 211, 5844},{"s13207", 62, 152, 638, 8651},
+      {"s15850", 77, 150, 534, 10383},
+      {"s35932", 35, 320, 1728, 17828},
+      {"s38417", 28, 106, 1636, 23843},
+  };
+}
+
+Circuit iscas_profile_circuit(std::string_view name, std::uint64_t seed,
+                              DelayMode mode, std::uint32_t delay_spread) {
+  for (const auto& p : iscas_profiles()) {
+    if (p.name != name) continue;
+    RandomCircuitSpec spec;
+    spec.n_gates = p.gates;
+    spec.n_inputs = p.inputs;
+    spec.n_outputs = p.outputs;
+    spec.dff_fraction =
+        p.gates > p.inputs
+            ? static_cast<double>(p.dffs) /
+                  static_cast<double>(p.gates - p.inputs)
+            : 0.0;
+    spec.delay_mode = mode;
+    spec.delay_spread = delay_spread;
+    spec.seed = seed ^ name_seed(name);
+    return random_circuit(spec);
+  }
+  raise("unknown ISCAS profile: " + std::string(name));
+}
+
+Circuit scaled_circuit(std::size_t n_gates, std::uint64_t seed, DelayMode mode,
+                       std::uint32_t delay_spread) {
+  PLSIM_CHECK(n_gates >= 64, "scaled_circuit: need at least 64 gates");
+  RandomCircuitSpec spec;
+  spec.n_gates = n_gates;
+  spec.n_inputs = std::max<std::size_t>(8, n_gates / 64);
+  spec.n_outputs = std::max<std::size_t>(8, n_gates / 64);
+  spec.dff_fraction = 0.08;
+  spec.delay_mode = mode;
+  spec.delay_spread = delay_spread;
+  spec.seed = seed;
+  return random_circuit(spec);
+}
+
+}  // namespace plsim

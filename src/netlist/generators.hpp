@@ -1,0 +1,96 @@
+#pragma once
+// Parameterized circuit generators.
+//
+// The paper's benchmark circuits (ISCAS-85/89) ship no vectors and are "not
+// sufficient in size to satisfactorily evaluate performance on large
+// circuits" (§V); the generators here provide (a) structural families —
+// adders, multipliers, LFSRs, counters, register pipelines — whose behaviour
+// can be checked against arithmetic, and (b) seeded random netlists with
+// controlled size, fanin, sequential fraction and delay granularity,
+// including an "ISCAS-profile" family matching the published statistics of
+// the real suites (DESIGN.md, substitution 2).
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+
+namespace plsim {
+
+/// Timing granularity of generated gate delays (paper factor 1, §II).
+enum class DelayMode {
+  Unit,      ///< every gate delay = 1 tick (coarse granularity)
+  Uniform,   ///< delays uniform in [1, spread] (fine granularity)
+};
+
+struct RandomCircuitSpec {
+  std::size_t n_gates = 1000;   ///< total gates including inputs and DFFs
+  std::size_t n_inputs = 16;
+  std::size_t n_outputs = 16;
+  double dff_fraction = 0.10;   ///< fraction of non-input gates that are DFFs
+  double extra_fanin_p = 0.25;  ///< prob. of widening a gate beyond 2 inputs
+  std::size_t max_fanin = 5;
+  double locality = 0.85;       ///< prob. a fanin comes from the recent window
+  std::size_t window = 64;      ///< size of the locality window
+  DelayMode delay_mode = DelayMode::Unit;
+  std::uint32_t delay_spread = 1;  ///< max delay when mode == Uniform
+  std::uint64_t seed = 1;
+};
+
+/// Seeded random gate-level netlist. Combinational fanins always point to
+/// earlier gates (acyclic); DFF data inputs may point anywhere, creating
+/// sequential feedback.
+Circuit random_circuit(const RandomCircuitSpec& spec);
+
+/// n-bit ripple-carry adder: inputs a[0..n), b[0..n), cin; outputs s[0..n),
+/// cout. Purely combinational.
+Circuit ripple_adder(int bits);
+
+/// n x n array multiplier built from AND partial products and ripple rows;
+/// outputs p[0..2n).
+Circuit array_multiplier(int bits);
+
+/// n-bit Fibonacci LFSR over the given tap positions; one serial input is
+/// XORed into the feedback so stimulus can perturb the sequence.
+Circuit lfsr(int bits, const std::vector<int>& taps);
+
+/// n-bit synchronous binary counter with an enable input; outputs all bits.
+Circuit counter(int bits);
+
+/// `stages` pipeline stages of seeded random combinational clouds separated
+/// by register rows; `width` nets per stage boundary.
+Circuit pipeline(int width, int stages, std::uint64_t seed = 1);
+
+/// An array of independent modules (paper §II's "hierarchical systems"):
+/// n_modules disjoint random subcircuits, each with its own inputs/outputs,
+/// concatenated into one netlist. Gate ids are contiguous per module, so
+/// module_partition() can cut exactly along module boundaries.
+Circuit module_array(std::uint32_t n_modules, std::size_t gates_per_module,
+                     std::uint64_t seed = 1);
+
+/// Published size statistics of an ISCAS-85/89 circuit.
+struct IscasProfile {
+  std::string_view name;
+  std::size_t inputs;
+  std::size_t outputs;
+  std::size_t dffs;
+  std::size_t gates;  ///< total gate count including inputs and DFFs
+};
+
+/// Profiles for a representative subset of both ISCAS suites.
+std::vector<IscasProfile> iscas_profiles();
+
+/// Synthetic circuit whose size statistics match the named ISCAS circuit
+/// (e.g. "c880", "s5378"); deterministic for a given (name, seed).
+Circuit iscas_profile_circuit(std::string_view name, std::uint64_t seed = 1,
+                              DelayMode mode = DelayMode::Unit,
+                              std::uint32_t delay_spread = 1);
+
+/// Scaling family for the Figure-1 sweep: a sequential profile circuit with
+/// approximately `n_gates` gates.
+Circuit scaled_circuit(std::size_t n_gates, std::uint64_t seed = 1,
+                       DelayMode mode = DelayMode::Unit,
+                       std::uint32_t delay_spread = 1);
+
+}  // namespace plsim

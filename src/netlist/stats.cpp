@@ -1,0 +1,44 @@
+#include "netlist/stats.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace plsim {
+
+CircuitStats compute_stats(const Circuit& c) {
+  CircuitStats s;
+  s.gates = c.gate_count();
+  s.inputs = c.primary_inputs().size();
+  s.outputs = c.primary_outputs().size();
+  s.dffs = c.flip_flops().size();
+  s.depth = c.depth();
+  s.fanout_histogram.assign(9, 0);
+
+  std::size_t fanin_total = 0, fanout_total = 0;
+  for (GateId g = 0; g < c.gate_count(); ++g) {
+    const std::size_t fi = c.fanins(g).size();
+    const std::size_t fo = c.fanouts(g).size();
+    fanin_total += fi;
+    fanout_total += fo;
+    s.max_fanin = std::max(s.max_fanin, fi);
+    s.max_fanout = std::max(s.max_fanout, fo);
+    ++s.fanout_histogram[std::min<std::size_t>(fo, 8)];
+  }
+  s.edges = fanin_total;
+  if (s.gates > 0) {
+    s.avg_fanin = static_cast<double>(fanin_total) / static_cast<double>(s.gates);
+    s.avg_fanout =
+        static_cast<double>(fanout_total) / static_cast<double>(s.gates);
+  }
+  return s;
+}
+
+std::ostream& operator<<(std::ostream& os, const CircuitStats& s) {
+  os << "gates=" << s.gates << " inputs=" << s.inputs
+     << " outputs=" << s.outputs << " dffs=" << s.dffs << " edges=" << s.edges
+     << " depth=" << s.depth << " avg_fanin=" << s.avg_fanin
+     << " max_fanout=" << s.max_fanout;
+  return os;
+}
+
+}  // namespace plsim

@@ -1,0 +1,31 @@
+#pragma once
+// Circuit topology statistics (paper factor 2, §II: "circuit structure").
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+
+namespace plsim {
+
+struct CircuitStats {
+  std::size_t gates = 0;
+  std::size_t inputs = 0;
+  std::size_t outputs = 0;
+  std::size_t dffs = 0;
+  std::size_t edges = 0;
+  std::uint32_t depth = 0;
+  double avg_fanin = 0.0;
+  std::size_t max_fanin = 0;
+  double avg_fanout = 0.0;
+  std::size_t max_fanout = 0;
+  /// fanout_histogram[k] = number of gates with min(fanout, 8) == k.
+  std::vector<std::size_t> fanout_histogram;
+};
+
+CircuitStats compute_stats(const Circuit& c);
+
+std::ostream& operator<<(std::ostream& os, const CircuitStats& s);
+
+}  // namespace plsim

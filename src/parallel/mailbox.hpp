@@ -1,0 +1,69 @@
+#pragma once
+// Multi-producer single-consumer mailbox: the inter-LP message channel of the
+// threaded engines. Push is synchronous (the message is visible to the
+// consumer before push returns), which keeps GVT computation simple: at a
+// barrier there are never messages "in flight".
+
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+namespace plsim {
+
+template <typename T>
+class Mailbox {
+ public:
+  void push(const T& item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      items_.push_back(item);
+    }
+    cv_.notify_one();
+  }
+
+  void push_many(const std::vector<T>& items) {
+    if (items.empty()) return;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      items_.insert(items_.end(), items.begin(), items.end());
+    }
+    cv_.notify_one();
+  }
+
+  /// Move all pending items into `out` (appended). Returns count moved.
+  std::size_t drain(std::vector<T>& out) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::size_t n = items_.size();
+    out.insert(out.end(), items_.begin(), items_.end());
+    items_.clear();
+    return n;
+  }
+
+  /// Block until an item arrives or `wake()` is called; then drain.
+  std::size_t wait_and_drain(std::vector<T>& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return !items_.empty() || wakes_ > 0; });
+    if (wakes_ > 0) --wakes_;
+    const std::size_t n = items_.size();
+    out.insert(out.end(), items_.begin(), items_.end());
+    items_.clear();
+    return n;
+  }
+
+  /// Release one pending or future wait_and_drain even with no items.
+  void wake() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++wakes_;
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<T> items_;
+  int wakes_ = 0;
+};
+
+}  // namespace plsim

@@ -1,0 +1,23 @@
+#include "parallel/threads.hpp"
+
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace plsim {
+
+void run_on_threads(unsigned n, const std::function<void(unsigned)>& body) {
+  PLSIM_CHECK(n >= 1, "run_on_threads: need at least one thread");
+  if (n == 1) {
+    body(0);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (unsigned i = 0; i < n; ++i)
+    threads.emplace_back([&body, i] { body(i); });
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace plsim

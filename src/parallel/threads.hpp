@@ -1,0 +1,10 @@
+#pragma once
+// Fork-join helper: run `body(tid)` on `n` dedicated threads and join.
+
+#include <functional>
+
+namespace plsim {
+
+void run_on_threads(unsigned n, const std::function<void(unsigned)>& body);
+
+}  // namespace plsim

@@ -1,0 +1,86 @@
+#pragma once
+// Partitioning algorithms surveyed in paper §III.
+//
+//   random / round-robin   baselines (even count, oblivious to structure)
+//   level chunks           contiguous slices of the levelized order
+//   strings                Levendel-Menon-Patel depth-first output chains
+//   cones                  Smith-Underwood-Mercer fanin cones, breadth-first
+//   KL                     Kernighan-Lin recursive bisection
+//   FM                     Fiduccia-Mattheyses min-cut with gain buckets
+//   annealing              simulated annealing over k-way assignments
+//   activity refinement    pre-simulation load balancing (paper §III/§VI)
+//
+// All heuristics return partitions with every block non-empty.
+
+#include <functional>
+#include <string>
+
+#include "partition/partition.hpp"
+
+namespace plsim {
+
+Partition partition_random(const Circuit& c, std::uint32_t k,
+                           std::uint64_t seed);
+
+Partition partition_round_robin(const Circuit& c, std::uint32_t k);
+
+/// Contiguous, load-balanced chunks of the levelized (topological) order.
+Partition partition_level_chunks(const Circuit& c, std::uint32_t k,
+                                 std::span<const std::uint32_t> weights = {});
+
+/// Strings (Levendel et al. [17]): follow fanout chains from inputs to
+/// outputs; each string goes to the currently least-loaded block.
+Partition partition_strings(const Circuit& c, std::uint32_t k,
+                            std::uint64_t seed);
+
+/// Fanin cones (Smith et al. [25]): breadth-first cone of each primary
+/// output/flip-flop, assigned to the least-loaded block; unclaimed gates
+/// follow their first fanout.
+Partition partition_cones(const Circuit& c, std::uint32_t k);
+
+/// Kernighan-Lin recursive bisection (windowed candidate selection keeps the
+/// classic O(n^2) pass tractable on large netlists).
+Partition partition_kl(const Circuit& c, std::uint32_t k, std::uint64_t seed);
+
+/// Fiduccia-Mattheyses recursive bisection with gain buckets; `weights`
+/// drives the balance constraint (unit weights when empty).
+Partition partition_fm(const Circuit& c, std::uint32_t k, std::uint64_t seed,
+                       std::span<const std::uint32_t> weights = {});
+
+struct AnnealParams {
+  double initial_temperature = 8.0;
+  double cooling = 0.93;
+  int temperature_steps = 40;
+  /// Proposed moves per temperature = moves_per_gate * gate count (capped).
+  double moves_per_gate = 1.0;
+  std::size_t max_moves_per_step = 200000;
+  /// Relative weight of the load-imbalance penalty against cut size.
+  double balance_weight = 1.0;
+};
+
+Partition partition_annealing(const Circuit& c, std::uint32_t k,
+                              std::uint64_t seed,
+                              const AnnealParams& params = {},
+                              std::span<const std::uint32_t> weights = {});
+
+/// Multilevel bisection (coarsen by heavy-edge matching, partition the
+/// coarsest graph, uncoarsen with FM-style refinement at every level) —
+/// the successor to flat min-cut heuristics that §III's "ongoing work" in
+/// partitioning was moving toward. Usually the best cut on large netlists.
+Partition partition_multilevel(const Circuit& c, std::uint32_t k,
+                               std::uint64_t seed);
+
+/// Pre-simulation refinement (paper §III): rebalance `base` using measured
+/// per-gate evaluation frequencies, greedily moving boundary gates out of
+/// overloaded blocks.
+Partition refine_with_activity(const Circuit& c, Partition base,
+                               std::span<const std::uint32_t> activity);
+
+/// Named partitioner registry for sweep benchmarks. Seeded uniformly.
+struct NamedPartitioner {
+  std::string name;
+  std::function<Partition(const Circuit&, std::uint32_t, std::uint64_t)> run;
+};
+std::vector<NamedPartitioner> standard_partitioners();
+
+}  // namespace plsim

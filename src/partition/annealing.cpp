@@ -1,0 +1,126 @@
+// Simulated-annealing k-way partitioning. The paper (§III) notes annealing's
+// two practical problems — runtime and cost-function design — which the
+// C7 partitioning benchmark quantifies against the constructive heuristics.
+
+#include <cmath>
+
+#include "partition/algorithms.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace plsim {
+
+Partition partition_annealing(const Circuit& c, std::uint32_t k,
+                              std::uint64_t seed, const AnnealParams& params,
+                              std::span<const std::uint32_t> weights) {
+  PLSIM_CHECK(k >= 1, "partition_annealing: k must be >= 1");
+  Rng rng(seed);
+  Partition p = partition_random(c, k, rng.next());
+  if (k == 1) return p;
+
+  auto gate_weight = [&](GateId g) -> std::uint64_t {
+    return weights.empty() ? 1 : 1 + weights[g];
+  };
+
+  std::vector<std::uint64_t> load(k, 0);
+  std::uint64_t total = 0;
+  for (GateId g = 0; g < c.gate_count(); ++g) {
+    load[p.block_of[g]] += gate_weight(g);
+    total += gate_weight(g);
+  }
+  const double avg = static_cast<double>(total) / k;
+
+  // Cost = cut edges + balance_weight * sum over blocks of squared relative
+  // overload. Delta-evaluated per move.
+  auto balance_term = [&](std::uint64_t l) {
+    const double rel = (static_cast<double>(l) - avg) / avg;
+    return rel * rel;
+  };
+
+  auto cut_delta = [&](GateId g, std::uint32_t from, std::uint32_t to) {
+    std::int64_t delta = 0;
+    for (GateId f : c.fanins(g)) {
+      if (f == g) continue;
+      if (p.block_of[f] == from) ++delta;
+      if (p.block_of[f] == to) --delta;
+    }
+    for (GateId s : c.fanouts(g)) {
+      if (s == g) continue;
+      if (p.block_of[s] == from) ++delta;
+      if (p.block_of[s] == to) --delta;
+    }
+    return delta;
+  };
+
+  double temperature = params.initial_temperature;
+  const std::size_t moves = std::min<std::size_t>(
+      params.max_moves_per_step,
+      static_cast<std::size_t>(params.moves_per_gate *
+                               static_cast<double>(c.gate_count())) + 1);
+
+  for (int step = 0; step < params.temperature_steps; ++step) {
+    for (std::size_t m = 0; m < moves; ++m) {
+      const GateId g = static_cast<GateId>(rng.uniform(c.gate_count()));
+      const std::uint32_t from = p.block_of[g];
+      std::uint32_t to = static_cast<std::uint32_t>(rng.uniform(k - 1));
+      if (to >= from) ++to;
+
+      const std::uint64_t w = gate_weight(g);
+      if (load[from] <= w) continue;  // never empty a block
+
+      const double bal_before =
+          balance_term(load[from]) + balance_term(load[to]);
+      const double bal_after =
+          balance_term(load[from] - w) + balance_term(load[to] + w);
+      const double delta =
+          static_cast<double>(cut_delta(g, from, to)) +
+          params.balance_weight * (bal_after - bal_before) * k;
+
+      if (delta <= 0 || rng.chance(std::exp(-delta / temperature))) {
+        p.block_of[g] = to;
+        load[from] -= w;
+        load[to] += w;
+      }
+    }
+    temperature *= params.cooling;
+  }
+  fix_empty_blocks(c, p);
+  return p;
+}
+
+std::vector<NamedPartitioner> standard_partitioners() {
+  std::vector<NamedPartitioner> v;
+  v.push_back({"random", [](const Circuit& c, std::uint32_t k,
+                            std::uint64_t s) { return partition_random(c, k, s); }});
+  v.push_back({"round_robin", [](const Circuit& c, std::uint32_t k,
+                                 std::uint64_t) {
+                 return partition_round_robin(c, k);
+               }});
+  v.push_back({"levels", [](const Circuit& c, std::uint32_t k, std::uint64_t) {
+                 return partition_level_chunks(c, k);
+               }});
+  v.push_back({"strings", [](const Circuit& c, std::uint32_t k,
+                             std::uint64_t s) {
+                 return partition_strings(c, k, s);
+               }});
+  v.push_back({"cones", [](const Circuit& c, std::uint32_t k, std::uint64_t) {
+                 return partition_cones(c, k);
+               }});
+  v.push_back({"kl", [](const Circuit& c, std::uint32_t k, std::uint64_t s) {
+                 return partition_kl(c, k, s);
+               }});
+  v.push_back({"fm", [](const Circuit& c, std::uint32_t k, std::uint64_t s) {
+                 return partition_fm(c, k, s);
+               }});
+  v.push_back({"anneal", [](const Circuit& c, std::uint32_t k,
+                            std::uint64_t s) {
+                 return partition_annealing(c, k, s);
+               }});
+  v.push_back({"multilevel", [](const Circuit& c, std::uint32_t k,
+                                std::uint64_t s) {
+                 return partition_multilevel(c, k, s);
+               }});
+  return v;
+}
+
+}  // namespace plsim

@@ -1,0 +1,208 @@
+// Baseline partitioners: random, round-robin, levelized chunks, strings,
+// cones, and the pre-simulation activity refinement.
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <numeric>
+
+#include "partition/algorithms.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace plsim {
+
+Partition partition_random(const Circuit& c, std::uint32_t k,
+                           std::uint64_t seed) {
+  PLSIM_CHECK(k >= 1, "partition_random: k must be >= 1");
+  Rng rng(seed);
+  Partition p;
+  p.n_blocks = k;
+  p.block_of.resize(c.gate_count());
+  for (auto& b : p.block_of) b = static_cast<std::uint32_t>(rng.uniform(k));
+  fix_empty_blocks(c, p);
+  return p;
+}
+
+Partition partition_round_robin(const Circuit& c, std::uint32_t k) {
+  PLSIM_CHECK(k >= 1, "partition_round_robin: k must be >= 1");
+  Partition p;
+  p.n_blocks = k;
+  p.block_of.resize(c.gate_count());
+  for (GateId g = 0; g < c.gate_count(); ++g) p.block_of[g] = g % k;
+  fix_empty_blocks(c, p);
+  return p;
+}
+
+Partition partition_level_chunks(const Circuit& c, std::uint32_t k,
+                                 std::span<const std::uint32_t> weights) {
+  PLSIM_CHECK(k >= 1, "partition_level_chunks: k must be >= 1");
+  std::uint64_t total = 0;
+  for (GateId g = 0; g < c.gate_count(); ++g)
+    total += weights.empty() ? 1 : weights[g];
+  Partition p;
+  p.n_blocks = k;
+  p.block_of.assign(c.gate_count(), 0);
+  const double per_block = static_cast<double>(total) / k;
+  std::uint64_t acc = 0;
+  std::uint32_t blk = 0;
+  for (GateId g : c.level_order()) {
+    if (static_cast<double>(acc) >= per_block * (blk + 1) && blk + 1 < k)
+      ++blk;
+    p.block_of[g] = blk;
+    acc += weights.empty() ? 1 : weights[g];
+  }
+  fix_empty_blocks(c, p);
+  return p;
+}
+
+Partition partition_strings(const Circuit& c, std::uint32_t k,
+                            std::uint64_t seed) {
+  PLSIM_CHECK(k >= 1, "partition_strings: k must be >= 1");
+  Rng rng(seed);
+  Partition p;
+  p.n_blocks = k;
+  p.block_of.assign(c.gate_count(), 0);
+  std::vector<std::uint8_t> assigned(c.gate_count(), 0);
+  std::vector<std::uint64_t> load(k, 0);
+
+  auto least_loaded = [&] {
+    std::uint32_t best = 0;
+    for (std::uint32_t b = 1; b < k; ++b)
+      if (load[b] < load[best]) best = b;
+    return best;
+  };
+
+  // Start strings from primary inputs first, then any unassigned gate, and
+  // follow an unassigned fanout until the chain dead-ends (a primary output
+  // or a gate whose fanouts are all claimed).
+  std::vector<GateId> starts(c.primary_inputs().begin(),
+                             c.primary_inputs().end());
+  for (GateId g = 0; g < c.gate_count(); ++g) starts.push_back(g);
+
+  for (GateId s : starts) {
+    if (assigned[s]) continue;
+    const std::uint32_t blk = least_loaded();
+    GateId cur = s;
+    for (;;) {
+      assigned[cur] = 1;
+      p.block_of[cur] = blk;
+      ++load[blk];
+      GateId next = kNoGate;
+      const auto fo = c.fanouts(cur);
+      if (!fo.empty()) {
+        // Randomize the starting offset so strings spread across fanouts.
+        const std::size_t off = rng.uniform(fo.size());
+        for (std::size_t i = 0; i < fo.size(); ++i) {
+          const GateId cand = fo[(i + off) % fo.size()];
+          if (!assigned[cand]) {
+            next = cand;
+            break;
+          }
+        }
+      }
+      if (next == kNoGate) break;
+      cur = next;
+    }
+  }
+  fix_empty_blocks(c, p);
+  return p;
+}
+
+Partition partition_cones(const Circuit& c, std::uint32_t k) {
+  PLSIM_CHECK(k >= 1, "partition_cones: k must be >= 1");
+  Partition p;
+  p.n_blocks = k;
+  p.block_of.assign(c.gate_count(), 0);
+  std::vector<std::uint8_t> assigned(c.gate_count(), 0);
+  std::vector<std::uint64_t> load(k, 0);
+
+  auto least_loaded = [&] {
+    std::uint32_t best = 0;
+    for (std::uint32_t b = 1; b < k; ++b)
+      if (load[b] < load[best]) best = b;
+    return best;
+  };
+
+  // Cone roots: primary outputs, then flip-flops (their D cones), then
+  // anything left over.
+  std::vector<GateId> roots(c.primary_outputs().begin(),
+                            c.primary_outputs().end());
+  roots.insert(roots.end(), c.flip_flops().begin(), c.flip_flops().end());
+  for (GateId g = 0; g < c.gate_count(); ++g) roots.push_back(g);
+
+  std::deque<GateId> frontier;
+  for (GateId root : roots) {
+    if (assigned[root]) continue;
+    const std::uint32_t blk = least_loaded();
+    frontier.clear();
+    frontier.push_back(root);
+    assigned[root] = 1;
+    while (!frontier.empty()) {
+      const GateId g = frontier.front();
+      frontier.pop_front();
+      p.block_of[g] = blk;
+      ++load[blk];
+      for (GateId f : c.fanins(g)) {
+        if (!assigned[f]) {
+          assigned[f] = 1;
+          frontier.push_back(f);
+        }
+      }
+    }
+  }
+  fix_empty_blocks(c, p);
+  return p;
+}
+
+Partition refine_with_activity(const Circuit& c, Partition base,
+                               std::span<const std::uint32_t> activity) {
+  PLSIM_CHECK(activity.size() == c.gate_count(),
+              "refine_with_activity: activity size mismatch");
+  const std::uint32_t k = base.n_blocks;
+  // Weight 1 + activity so inactive gates still carry placement cost.
+  auto weight = [&](GateId g) -> std::uint64_t { return 1 + activity[g]; };
+
+  std::vector<std::uint64_t> load(k, 0);
+  std::uint64_t total = 0;
+  for (GateId g = 0; g < c.gate_count(); ++g) {
+    load[base.block_of[g]] += weight(g);
+    total += weight(g);
+  }
+  const double target = static_cast<double>(total) / k;
+
+  // Greedy: repeatedly move, from the most loaded block, the gate whose move
+  // to the least loaded block least increases (or best decreases) the cut.
+  for (int iter = 0; iter < 4 * static_cast<int>(k); ++iter) {
+    std::uint32_t hi = 0, lo = 0;
+    for (std::uint32_t b = 1; b < k; ++b) {
+      if (load[b] > load[hi]) hi = b;
+      if (load[b] < load[lo]) lo = b;
+    }
+    if (static_cast<double>(load[hi]) < 1.05 * target) break;
+
+    GateId best = kNoGate;
+    std::int64_t best_delta = std::numeric_limits<std::int64_t>::max();
+    for (GateId g = 0; g < c.gate_count(); ++g) {
+      if (base.block_of[g] != hi) continue;
+      if (load[hi] - weight(g) < load[lo] + weight(g)) continue;  // overshoot
+      std::int64_t delta = 0;
+      for (GateId f : c.fanins(g))
+        delta += (base.block_of[f] == lo) ? -1 : (base.block_of[f] == hi);
+      for (GateId s : c.fanouts(g))
+        delta += (base.block_of[s] == lo) ? -1 : (base.block_of[s] == hi);
+      if (delta < best_delta) {
+        best_delta = delta;
+        best = g;
+      }
+    }
+    if (best == kNoGate) break;
+    load[hi] -= weight(best);
+    load[lo] += weight(best);
+    base.block_of[best] = lo;
+  }
+  fix_empty_blocks(c, base);
+  return base;
+}
+
+}  // namespace plsim

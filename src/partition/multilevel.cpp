@@ -1,0 +1,300 @@
+// Multilevel graph bisection: coarsen by heavy-edge matching until the graph
+// is small, bisect the coarsest level, then uncoarsen while refining with a
+// boundary FM pass at every level. Operates on the undirected weighted gate
+// graph (edge weight = connection multiplicity); applied recursively for
+// k-way partitions.
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "partition/algorithms.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace plsim {
+namespace {
+
+struct MlGraph {
+  // CSR adjacency with parallel edge weights; vertex weights for balance.
+  std::vector<std::uint32_t> off;
+  std::vector<std::uint32_t> adj;
+  std::vector<std::uint32_t> wedge;
+  std::vector<std::uint32_t> wvert;
+  std::size_t n() const { return wvert.size(); }
+};
+
+MlGraph from_circuit(const Circuit& c, std::span<const GateId> cells,
+                     std::span<const std::uint32_t> local_of) {
+  const std::size_t n = cells.size();
+  std::vector<std::unordered_map<std::uint32_t, std::uint32_t>> nbr(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (GateId f : c.fanins(cells[i])) {
+      const std::uint32_t lf = local_of[f];
+      if (lf != static_cast<std::uint32_t>(-1) && lf != i) {
+        ++nbr[i][lf];
+        ++nbr[lf][static_cast<std::uint32_t>(i)];
+      }
+    }
+  }
+  MlGraph g;
+  g.wvert.assign(n, 1);
+  g.off.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i)
+    g.off[i + 1] = g.off[i] + static_cast<std::uint32_t>(nbr[i].size());
+  g.adj.resize(g.off[n]);
+  g.wedge.resize(g.off[n]);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint32_t k = g.off[i];
+    for (auto [u, w] : nbr[i]) {
+      g.adj[k] = u;
+      g.wedge[k] = w;
+      ++k;
+    }
+  }
+  return g;
+}
+
+/// Heavy-edge matching coarsening; returns the coarse graph and the map
+/// fine-vertex -> coarse-vertex.
+MlGraph coarsen(const MlGraph& g, Rng& rng, std::vector<std::uint32_t>& map) {
+  const std::size_t n = g.n();
+  map.assign(n, static_cast<std::uint32_t>(-1));
+  std::vector<std::uint32_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<std::uint32_t>(i);
+  for (std::size_t i = n; i > 1; --i)
+    std::swap(order[i - 1], order[rng.uniform(i)]);
+
+  std::uint32_t coarse = 0;
+  for (std::uint32_t v : order) {
+    if (map[v] != static_cast<std::uint32_t>(-1)) continue;
+    // Match with the unmatched neighbour of heaviest connecting weight.
+    std::uint32_t best = static_cast<std::uint32_t>(-1), bw = 0;
+    for (std::uint32_t e = g.off[v]; e < g.off[v + 1]; ++e) {
+      const std::uint32_t u = g.adj[e];
+      if (map[u] == static_cast<std::uint32_t>(-1) && g.wedge[e] > bw) {
+        bw = g.wedge[e];
+        best = u;
+      }
+    }
+    map[v] = coarse;
+    if (best != static_cast<std::uint32_t>(-1)) map[best] = coarse;
+    ++coarse;
+  }
+
+  // Build the coarse graph.
+  std::vector<std::unordered_map<std::uint32_t, std::uint32_t>> nbr(coarse);
+  MlGraph cg;
+  cg.wvert.assign(coarse, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    cg.wvert[map[v]] += g.wvert[v];
+    for (std::uint32_t e = g.off[v]; e < g.off[v + 1]; ++e) {
+      const std::uint32_t cu = map[g.adj[e]], cv = map[v];
+      if (cu != cv) nbr[cv][cu] += g.wedge[e];
+    }
+  }
+  cg.off.assign(coarse + 1, 0);
+  for (std::uint32_t i = 0; i < coarse; ++i)
+    cg.off[i + 1] = cg.off[i] + static_cast<std::uint32_t>(nbr[i].size());
+  cg.adj.resize(cg.off[coarse]);
+  cg.wedge.resize(cg.off[coarse]);
+  for (std::uint32_t i = 0; i < coarse; ++i) {
+    std::uint32_t k = cg.off[i];
+    for (auto [u, w] : nbr[i]) {
+      cg.adj[k] = u;
+      cg.wedge[k] = w;
+      ++k;
+    }
+  }
+  return cg;
+}
+
+std::uint64_t side_weight(const MlGraph& g, const std::vector<std::uint8_t>& side,
+                          std::uint8_t which) {
+  std::uint64_t w = 0;
+  for (std::size_t v = 0; v < g.n(); ++v)
+    if (side[v] == which) w += g.wvert[v];
+  return w;
+}
+
+/// Boundary FM refinement pass on the graph edge-cut. `ratio` = target
+/// weight share of side 0.
+void refine(const MlGraph& g, double ratio, std::vector<std::uint8_t>& side) {
+  const std::size_t n = g.n();
+  std::uint64_t total = 0;
+  std::uint64_t maxw = 1;
+  for (std::size_t v = 0; v < n; ++v) {
+    total += g.wvert[v];
+    maxw = std::max<std::uint64_t>(maxw, g.wvert[v]);
+  }
+  const double target0 = ratio * static_cast<double>(total);
+  const double tol = std::max<double>(static_cast<double>(maxw),
+                                      0.03 * static_cast<double>(total));
+
+  for (int pass = 0; pass < 4; ++pass) {
+    // Gains for all vertices (positive = moving reduces cut).
+    std::vector<std::int64_t> gain(n, 0);
+    for (std::size_t v = 0; v < n; ++v) {
+      for (std::uint32_t e = g.off[v]; e < g.off[v + 1]; ++e) {
+        gain[v] += (side[g.adj[e]] != side[v])
+                       ? static_cast<std::int64_t>(g.wedge[e])
+                       : -static_cast<std::int64_t>(g.wedge[e]);
+      }
+    }
+    std::vector<std::uint8_t> locked(n, 0);
+    std::uint64_t w0 = side_weight(g, side, 0);
+    std::vector<std::uint32_t> moves;
+    std::vector<std::int64_t> cumulative;
+    std::int64_t acc = 0;
+
+    const std::size_t max_moves = std::min<std::size_t>(n, 32 + n / 16);
+    for (std::size_t step = 0; step < max_moves; ++step) {
+      std::uint32_t best = static_cast<std::uint32_t>(-1);
+      std::int64_t bg = std::numeric_limits<std::int64_t>::min();
+      for (std::size_t v = 0; v < n; ++v) {
+        if (locked[v]) continue;
+        const double nw0 = side[v] == 0
+                               ? static_cast<double>(w0 - g.wvert[v])
+                               : static_cast<double>(w0 + g.wvert[v]);
+        if (nw0 < target0 - tol || nw0 > target0 + tol) continue;
+        if (gain[v] > bg) {
+          bg = gain[v];
+          best = static_cast<std::uint32_t>(v);
+        }
+      }
+      if (best == static_cast<std::uint32_t>(-1)) break;
+      locked[best] = 1;
+      if (side[best] == 0)
+        w0 -= g.wvert[best];
+      else
+        w0 += g.wvert[best];
+      side[best] = 1 - side[best];
+      acc += bg;
+      moves.push_back(best);
+      cumulative.push_back(acc);
+      for (std::uint32_t e = g.off[best]; e < g.off[best + 1]; ++e) {
+        const std::uint32_t u = g.adj[e];
+        gain[u] += (side[u] == side[best])
+                       ? -2 * static_cast<std::int64_t>(g.wedge[e])
+                       : 2 * static_cast<std::int64_t>(g.wedge[e]);
+      }
+    }
+
+    std::size_t best_prefix = 0;
+    std::int64_t best_acc = 0;
+    for (std::size_t i = 0; i < cumulative.size(); ++i) {
+      if (cumulative[i] > best_acc) {
+        best_acc = cumulative[i];
+        best_prefix = i + 1;
+      }
+    }
+    for (std::size_t i = moves.size(); i > best_prefix; --i)
+      side[moves[i - 1]] = 1 - side[moves[i - 1]];
+    if (best_acc <= 0) break;
+  }
+}
+
+void ml_bisect(const MlGraph& g, double ratio, Rng& rng,
+               std::vector<std::uint8_t>& side) {
+  constexpr std::size_t kCoarseEnough = 128;
+  if (g.n() <= kCoarseEnough) {
+    // Base case: greedy BFS growth from a random seed until side 0 is full.
+    side.assign(g.n(), 1);
+    std::uint64_t total = 0;
+    for (std::size_t v = 0; v < g.n(); ++v) total += g.wvert[v];
+    const double target0 = ratio * static_cast<double>(total);
+    std::vector<std::uint32_t> frontier{
+        static_cast<std::uint32_t>(rng.uniform(g.n()))};
+    double grown = 0;
+    std::vector<std::uint8_t> seen(g.n(), 0);
+    seen[frontier[0]] = 1;
+    while (!frontier.empty() && grown < target0) {
+      const std::uint32_t v = frontier.back();
+      frontier.pop_back();
+      side[v] = 0;
+      grown += g.wvert[v];
+      for (std::uint32_t e = g.off[v]; e < g.off[v + 1]; ++e) {
+        if (!seen[g.adj[e]]) {
+          seen[g.adj[e]] = 1;
+          frontier.push_back(g.adj[e]);
+        }
+      }
+      if (frontier.empty() && grown < target0) {
+        // Disconnected: restart from any vertex still on side 1.
+        for (std::uint32_t u = 0; u < g.n(); ++u)
+          if (side[u] == 1 && !seen[u]) {
+            seen[u] = 1;
+            frontier.push_back(u);
+            break;
+          }
+        if (frontier.empty()) break;
+      }
+    }
+    refine(g, ratio, side);
+    return;
+  }
+
+  std::vector<std::uint32_t> map;
+  const MlGraph coarse = coarsen(g, rng, map);
+  if (coarse.n() >= g.n() * 95 / 100) {
+    // Matching stalled (star-like graph); fall back to the base case logic.
+    side.assign(g.n(), 1);
+    for (std::size_t v = 0; v < g.n(); ++v) side[v] = rng.uniform(2) != 0;
+    refine(g, ratio, side);
+    return;
+  }
+  std::vector<std::uint8_t> coarse_side;
+  ml_bisect(coarse, ratio, rng, coarse_side);
+  side.resize(g.n());
+  for (std::size_t v = 0; v < g.n(); ++v) side[v] = coarse_side[map[v]];
+  refine(g, ratio, side);
+}
+
+void ml_recursive(const Circuit& c, std::vector<GateId>& cells,
+                  std::uint32_t k, std::uint32_t first_block, Rng& rng,
+                  Partition& p) {
+  if (k == 1) {
+    for (GateId g : cells) p.block_of[g] = first_block;
+    return;
+  }
+  const std::uint32_t k0 = k / 2, k1 = k - k0;
+  std::vector<std::uint32_t> local_of(c.gate_count(),
+                                      static_cast<std::uint32_t>(-1));
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    local_of[cells[i]] = static_cast<std::uint32_t>(i);
+  const MlGraph g = from_circuit(c, cells, local_of);
+  std::vector<std::uint8_t> side;
+  ml_bisect(g, static_cast<double>(k0) / static_cast<double>(k), rng, side);
+
+  std::vector<GateId> left, right;
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    (side[i] == 0 ? left : right).push_back(cells[i]);
+  if (left.empty() && !right.empty()) {
+    left.push_back(right.back());
+    right.pop_back();
+  }
+  if (right.empty() && left.size() > 1) {
+    right.push_back(left.back());
+    left.pop_back();
+  }
+  ml_recursive(c, left, k0, first_block, rng, p);
+  ml_recursive(c, right, k1, first_block + k0, rng, p);
+}
+
+}  // namespace
+
+Partition partition_multilevel(const Circuit& c, std::uint32_t k,
+                               std::uint64_t seed) {
+  PLSIM_CHECK(k >= 1, "partition_multilevel: k must be >= 1");
+  Rng rng(seed);
+  Partition p;
+  p.n_blocks = k;
+  p.block_of.assign(c.gate_count(), 0);
+  std::vector<GateId> all(c.gate_count());
+  for (GateId g = 0; g < c.gate_count(); ++g) all[g] = g;
+  ml_recursive(c, all, k, 0, rng, p);
+  fix_empty_blocks(c, p);
+  return p;
+}
+
+}  // namespace plsim

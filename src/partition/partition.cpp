@@ -1,0 +1,92 @@
+#include "partition/partition.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace plsim {
+
+std::vector<std::vector<GateId>> Partition::blocks(const Circuit& c) const {
+  std::vector<std::vector<GateId>> out(n_blocks);
+  for (GateId g = 0; g < c.gate_count(); ++g) out[block_of[g]].push_back(g);
+  return out;
+}
+
+std::vector<std::vector<GateId>> Partition::exported(const Circuit& c) const {
+  std::vector<std::vector<GateId>> out(n_blocks);
+  for (GateId g = 0; g < c.gate_count(); ++g) {
+    const std::uint32_t b = block_of[g];
+    for (GateId s : c.fanouts(g)) {
+      if (block_of[s] != b) {
+        out[b].push_back(g);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void validate_partition(const Circuit& c, const Partition& p) {
+  PLSIM_CHECK(p.block_of.size() == c.gate_count(),
+              "partition: size mismatch with circuit");
+  PLSIM_CHECK(p.n_blocks >= 1, "partition: need at least one block");
+  std::vector<std::uint64_t> count(p.n_blocks, 0);
+  for (std::uint32_t b : p.block_of) {
+    PLSIM_CHECK(b < p.n_blocks, "partition: block id out of range");
+    ++count[b];
+  }
+  for (std::uint64_t k : count)
+    PLSIM_CHECK(k > 0, "partition: empty block");
+}
+
+void fix_empty_blocks(const Circuit& c, Partition& p) {
+  std::vector<std::vector<GateId>> lists = p.blocks(c);
+  for (std::uint32_t b = 0; b < p.n_blocks; ++b) {
+    if (!lists[b].empty()) continue;
+    // Steal one gate from the currently largest block.
+    std::uint32_t donor = 0;
+    for (std::uint32_t d = 1; d < p.n_blocks; ++d)
+      if (lists[d].size() > lists[donor].size()) donor = d;
+    PLSIM_CHECK(lists[donor].size() > 1,
+                "fix_empty_blocks: more blocks than gates");
+    const GateId g = lists[donor].back();
+    lists[donor].pop_back();
+    lists[b].push_back(g);
+    p.block_of[g] = b;
+  }
+}
+
+PartitionMetrics evaluate_partition(const Circuit& c, const Partition& p,
+                                    std::span<const std::uint32_t> weights) {
+  PartitionMetrics m;
+  std::vector<std::uint64_t> load(p.n_blocks, 0);
+  for (GateId g = 0; g < c.gate_count(); ++g) {
+    const std::uint64_t w = weights.empty() ? 1 : weights[g];
+    load[p.block_of[g]] += w;
+    m.total_weight += w;
+    bool crossing = false;
+    for (GateId f : c.fanins(g)) {
+      if (p.block_of[f] != p.block_of[g]) {
+        ++m.cut_edges;
+        crossing = true;
+      }
+    }
+    (void)crossing;
+  }
+  for (GateId g = 0; g < c.gate_count(); ++g) {
+    for (GateId s : c.fanouts(g)) {
+      if (p.block_of[s] != p.block_of[g]) {
+        ++m.cut_gates;
+        break;
+      }
+    }
+  }
+  m.max_load = *std::max_element(load.begin(), load.end());
+  m.min_load = *std::min_element(load.begin(), load.end());
+  const double avg =
+      static_cast<double>(m.total_weight) / static_cast<double>(p.n_blocks);
+  m.imbalance = avg > 0 ? static_cast<double>(m.max_load) / avg : 1.0;
+  return m;
+}
+
+}  // namespace plsim

@@ -1,0 +1,50 @@
+#pragma once
+// Circuit partitioning (paper §III): assignment of gates (LPs) to blocks,
+// balancing computational load against cross-block communication volume.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+
+namespace plsim {
+
+struct Partition {
+  std::uint32_t n_blocks = 1;
+  /// block_of[g] in [0, n_blocks)
+  std::vector<std::uint32_t> block_of;
+
+  std::uint32_t block(GateId g) const { return block_of[g]; }
+
+  /// Gate lists per block.
+  std::vector<std::vector<GateId>> blocks(const Circuit& c) const;
+
+  /// Gates whose fanout (or primary-output status) crosses their block
+  /// boundary — the messages sources of the parallel run.
+  std::vector<std::vector<GateId>> exported(const Circuit& c) const;
+};
+
+/// Throws if the partition is malformed (wrong size, out-of-range block ids,
+/// or an empty block).
+void validate_partition(const Circuit& c, const Partition& p);
+
+/// Move a gate into every empty block (from the largest ones) so that each
+/// block is non-empty; partitioning heuristics call this before returning.
+void fix_empty_blocks(const Circuit& c, Partition& p);
+
+struct PartitionMetrics {
+  std::uint64_t cut_edges = 0;   ///< fanin edges crossing block boundaries
+  std::uint64_t cut_gates = 0;   ///< gates with at least one external sink
+  std::uint64_t total_weight = 0;
+  std::uint64_t max_load = 0;
+  std::uint64_t min_load = 0;
+  double imbalance = 1.0;        ///< max block load / average block load
+};
+
+/// Load uses `weights` when given (e.g. pre-simulated evaluation frequency),
+/// unit gate weight otherwise.
+PartitionMetrics evaluate_partition(const Circuit& c, const Partition& p,
+                                    std::span<const std::uint32_t> weights = {});
+
+}  // namespace plsim

@@ -1,0 +1,82 @@
+#include "seq/compiled.hpp"
+
+#include <array>
+
+#include "logic/gates.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace plsim {
+
+PackedVectors pack_stimulus(const Circuit& c, const Stimulus& s) {
+  PackedVectors out;
+  out.reserve(s.vectors.size());
+  const std::size_t n = c.primary_inputs().size();
+  for (const auto& vec : s.vectors) {
+    std::vector<std::uint64_t> row(n, 0);
+    for (std::size_t i = 0; i < n && i < vec.size(); ++i)
+      row[i] = (vec[i] == Logic4::T) ? ~0ull : 0ull;
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+PackedVectors random_packed_vectors(const Circuit& c, std::size_t cycles,
+                                    std::uint64_t seed) {
+  Rng rng(seed);
+  PackedVectors out;
+  out.reserve(cycles);
+  const std::size_t n = c.primary_inputs().size();
+  for (std::size_t k = 0; k < cycles; ++k) {
+    std::vector<std::uint64_t> row(n);
+    for (auto& w : row) w = rng.next();
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+CompiledResult simulate_compiled(const Circuit& c, const PackedVectors& vecs,
+                                 bool keep_po_trace) {
+  CompiledResult r;
+  std::vector<std::uint64_t> values(c.gate_count(), 0);
+  for (GateId g = 0; g < c.gate_count(); ++g)
+    if (c.type(g) == GateType::Const1) values[g] = ~0ull;
+
+  const auto pis = c.primary_inputs();
+  std::array<std::uint64_t, 64> fanin_vals;
+
+  auto settle = [&] {
+    for (GateId g : c.level_order()) {
+      if (!is_combinational(c.type(g))) continue;
+      const auto fi = c.fanins(g);
+      PLSIM_ASSERT(fi.size() <= fanin_vals.size());
+      for (std::size_t k = 0; k < fi.size(); ++k)
+        fanin_vals[k] = values[fi[k]];
+      values[g] = eval_gate64(c.type(g), {fanin_vals.data(), fi.size()});
+      ++r.evaluations;
+    }
+  };
+
+  std::vector<std::uint64_t> next_q(c.flip_flops().size());
+  for (const auto& row : vecs) {
+    for (std::size_t i = 0; i < pis.size() && i < row.size(); ++i)
+      values[pis[i]] = row[i];
+    settle();
+    if (keep_po_trace) {
+      std::vector<std::uint64_t> pos;
+      pos.reserve(c.primary_outputs().size());
+      for (GateId g : c.primary_outputs()) pos.push_back(values[g]);
+      r.po_per_cycle.push_back(std::move(pos));
+    }
+    const auto dffs = c.flip_flops();
+    for (std::size_t i = 0; i < dffs.size(); ++i)
+      next_q[i] = values[c.fanins(dffs[i])[0]];
+    for (std::size_t i = 0; i < dffs.size(); ++i) values[dffs[i]] = next_q[i];
+  }
+  settle();
+
+  r.final_values = std::move(values);
+  return r;
+}
+
+}  // namespace plsim

@@ -1,0 +1,84 @@
+#include "seq/golden.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/block.hpp"
+#include "core/environment.hpp"
+#include "util/timer.hpp"
+
+namespace plsim {
+
+RunResult simulate_golden(const Circuit& c, const Stimulus& stim,
+                          const GoldenOptions& opts) {
+  WallTimer timer;
+
+  std::vector<GateId> all(c.gate_count());
+  std::iota(all.begin(), all.end(), 0u);
+
+  BlockOptions bopts;
+  bopts.clock_period = stim.period;
+  bopts.horizon = stim.horizon();
+  bopts.save = SaveMode::None;
+  bopts.record_trace = opts.record_trace;
+  BlockSimulator block(c, all, {}, bopts);
+
+  const std::vector<Message> env = environment_messages(c, stim);
+  std::size_t env_pos = 0;
+  std::vector<Message> externals;
+  std::vector<Message> out;  // stays empty: nothing is exported
+
+  for (;;) {
+    const Tick t_env =
+        env_pos < env.size() ? env[env_pos].time : kTickInf;
+    const Tick t = std::min(t_env, block.next_internal_time());
+    if (t >= bopts.horizon || t == kTickInf) break;
+    externals.clear();
+    while (env_pos < env.size() && env[env_pos].time == t)
+      externals.push_back(env[env_pos++]);
+    block.process_batch(t, externals, out);
+  }
+
+  RunResult r;
+  r.final_values.assign(c.gate_count(), Logic4::X);
+  block.harvest_values(r.final_values);
+  r.wave = block.wave();
+  r.stats = block.stats();
+  if (opts.record_trace) r.trace = block.trace();
+  r.wall_seconds = timer.seconds();
+  return r;
+}
+
+std::vector<std::uint32_t> presimulate_activity(const Circuit& c,
+                                                const Stimulus& stim,
+                                                std::size_t cycles) {
+  Stimulus shortened = stim;
+  if (shortened.vectors.size() > cycles) shortened.vectors.resize(cycles);
+
+  std::vector<GateId> all(c.gate_count());
+  std::iota(all.begin(), all.end(), 0u);
+  BlockOptions bopts;
+  bopts.clock_period = shortened.period;
+  bopts.horizon = shortened.horizon();
+  BlockSimulator block(c, all, {}, bopts);
+
+  const std::vector<Message> env = environment_messages(c, shortened);
+  std::size_t env_pos = 0;
+  std::vector<Message> externals;
+  std::vector<Message> out;
+  for (;;) {
+    const Tick t_env = env_pos < env.size() ? env[env_pos].time : kTickInf;
+    const Tick t = std::min(t_env, block.next_internal_time());
+    if (t >= bopts.horizon || t == kTickInf) break;
+    externals.clear();
+    while (env_pos < env.size() && env[env_pos].time == t)
+      externals.push_back(env[env_pos++]);
+    block.process_batch(t, externals, out);
+  }
+
+  std::vector<std::uint32_t> counts(c.gate_count(), 0);
+  for (GateId g = 0; g < c.gate_count(); ++g) counts[g] = block.eval_count(g);
+  return counts;
+}
+
+}  // namespace plsim

@@ -1,0 +1,31 @@
+#pragma once
+// Golden sequential event-driven simulator: one BlockSimulator spanning the
+// whole circuit, driven by the environment message stream. Every parallel
+// engine must reproduce its final values and waveform digest exactly.
+
+#include "core/types.hpp"
+#include "netlist/circuit.hpp"
+#include "stim/stimulus.hpp"
+
+namespace plsim {
+
+struct GoldenOptions {
+  bool record_trace = false;
+};
+
+RunResult simulate_golden(const Circuit& c, const Stimulus& stim,
+                          const GoldenOptions& opts = {});
+
+/// Per-gate evaluation counts from a (usually shortened) golden run — the
+/// pre-simulation workload measurement of paper §III.
+std::vector<std::uint32_t> presimulate_activity(const Circuit& c,
+                                                const Stimulus& stim,
+                                                std::size_t cycles);
+
+/// Independent re-implementation of the golden semantics on a timing-wheel
+/// pending set (no BlockSimulator involved). Exists as a cross-validation
+/// oracle: two implementations of the event-driven semantics must agree
+/// bit-for-bit, and the wheel path doubles as its macro-benchmark.
+RunResult simulate_golden_wheel(const Circuit& c, const Stimulus& stim);
+
+}  // namespace plsim

@@ -1,0 +1,99 @@
+#include "seq/oblivious.hpp"
+
+#include <array>
+
+#include "logic/gates.hpp"
+#include "util/error.hpp"
+
+namespace plsim {
+
+ObliviousResult simulate_oblivious(const Circuit& c, const Stimulus& stim,
+                                   bool keep_po_trace) {
+  ObliviousResult r;
+  std::vector<Logic4> values(c.gate_count(), Logic4::X);
+  for (GateId g = 0; g < c.gate_count(); ++g) {
+    if (c.type(g) == GateType::Const0) values[g] = Logic4::F;
+    if (c.type(g) == GateType::Const1) values[g] = Logic4::T;
+    if (c.type(g) == GateType::Dff) values[g] = Logic4::F;  // global reset
+  }
+
+  const auto pis = c.primary_inputs();
+  std::array<Logic4, 64> fanin_vals;
+
+  auto settle = [&] {
+    for (GateId g : c.level_order()) {
+      if (!is_combinational(c.type(g))) continue;
+      const auto fi = c.fanins(g);
+      PLSIM_ASSERT(fi.size() <= fanin_vals.size());
+      for (std::size_t k = 0; k < fi.size(); ++k)
+        fanin_vals[k] = values[fi[k]];
+      values[g] = eval_gate4(c.type(g), {fanin_vals.data(), fi.size()});
+      ++r.evaluations;
+    }
+  };
+
+  std::vector<Logic4> next_q(c.flip_flops().size());
+  for (const auto& vec : stim.vectors) {
+    for (std::size_t i = 0; i < pis.size() && i < vec.size(); ++i)
+      values[pis[i]] = vec[i];
+    settle();
+    if (keep_po_trace) {
+      std::vector<Logic4> pos;
+      pos.reserve(c.primary_outputs().size());
+      for (GateId g : c.primary_outputs()) pos.push_back(values[g]);
+      r.po_per_cycle.push_back(std::move(pos));
+    }
+    const auto dffs = c.flip_flops();
+    for (std::size_t i = 0; i < dffs.size(); ++i)
+      next_q[i] = z_to_x(values[c.fanins(dffs[i])[0]]);
+    for (std::size_t i = 0; i < dffs.size(); ++i) values[dffs[i]] = next_q[i];
+  }
+  // Let the last register update propagate, mirroring the event-driven
+  // horizon (one period past the final clock edge).
+  settle();
+
+  r.final_values = std::move(values);
+  return r;
+}
+
+Oblivious9Result simulate_oblivious9(const Circuit& c, const Stimulus& stim) {
+  Oblivious9Result r;
+  std::vector<Logic9> values(c.gate_count(), Logic9::U);
+  for (GateId g = 0; g < c.gate_count(); ++g) {
+    if (c.type(g) == GateType::Const0) values[g] = Logic9::F;
+    if (c.type(g) == GateType::Const1) values[g] = Logic9::T;
+    if (c.type(g) == GateType::Dff) values[g] = Logic9::F;  // global reset
+  }
+
+  const auto pis = c.primary_inputs();
+  std::array<Logic9, 64> fanin_vals;
+
+  auto settle = [&] {
+    for (GateId g : c.level_order()) {
+      if (!is_combinational(c.type(g))) continue;
+      const auto fi = c.fanins(g);
+      PLSIM_ASSERT(fi.size() <= fanin_vals.size());
+      for (std::size_t k = 0; k < fi.size(); ++k)
+        fanin_vals[k] = values[fi[k]];
+      values[g] = eval_gate9(c.type(g), {fanin_vals.data(), fi.size()});
+      ++r.evaluations;
+    }
+  };
+
+  std::vector<Logic9> next_q(c.flip_flops().size());
+  for (const auto& vec : stim.vectors) {
+    for (std::size_t i = 0; i < pis.size() && i < vec.size(); ++i)
+      values[pis[i]] = to_logic9(vec[i]);
+    settle();
+    const auto dffs = c.flip_flops();
+    for (std::size_t i = 0; i < dffs.size(); ++i)
+      next_q[i] = to_x01(values[c.fanins(dffs[i])[0]]);
+    for (std::size_t i = 0; i < dffs.size(); ++i) values[dffs[i]] = next_q[i];
+  }
+  settle();
+
+  r.final_values = std::move(values);
+  return r;
+}
+
+}  // namespace plsim

@@ -1,0 +1,38 @@
+#pragma once
+// Oblivious (non-event-driven) simulation, paper §IV: "At every point in
+// simulated time, every LP is evaluated, whether or not its inputs have
+// changed." Implemented as a zero-delay, cycle-based levelized sweep — the
+// classic compiled-style algorithm whose cost is independent of circuit
+// activity. The event-driven/oblivious crossover as activity varies is
+// experiment C3.
+
+#include <cstdint>
+#include <vector>
+
+#include "logic/logic9.hpp"
+#include "logic/value.hpp"
+#include "netlist/circuit.hpp"
+#include "stim/stimulus.hpp"
+
+namespace plsim {
+
+struct ObliviousResult {
+  std::vector<Logic4> final_values;  ///< indexed by GateId; settled after run
+  std::uint64_t evaluations = 0;     ///< total gate evaluations performed
+  std::vector<std::vector<Logic4>> po_per_cycle;  ///< settled PO values
+};
+
+ObliviousResult simulate_oblivious(const Circuit& c, const Stimulus& stim,
+                                   bool keep_po_trace = false);
+
+struct Oblivious9Result {
+  std::vector<Logic9> final_values;
+  std::uint64_t evaluations = 0;
+};
+
+/// Nine-valued (IEEE-1164) levelized simulation of the same netlist; on
+/// binary stimuli it must agree with the 4-valued simulator after strength
+/// stripping. Demonstrates multi-valued simulation at netlist scale (§II).
+Oblivious9Result simulate_oblivious9(const Circuit& c, const Stimulus& stim);
+
+}  // namespace plsim

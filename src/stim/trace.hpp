@@ -1,0 +1,21 @@
+#pragma once
+// Signal-change traces: the committed output of a simulation run.
+
+#include <vector>
+
+#include "logic/value.hpp"
+#include "netlist/circuit.hpp"
+
+namespace plsim {
+
+struct ChangeRecord {
+  Tick time;
+  GateId gate;
+  Logic4 value;
+
+  friend bool operator==(const ChangeRecord&, const ChangeRecord&) = default;
+};
+
+using Trace = std::vector<ChangeRecord>;
+
+}  // namespace plsim

@@ -1,0 +1,80 @@
+#include "stim/vcd.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace plsim {
+namespace {
+
+// VCD identifier codes: short printable strings over '!'..'~'.
+std::string vcd_id(std::size_t index) {
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index > 0);
+  return id;
+}
+
+char vcd_char(Logic4 v) {
+  switch (v) {
+    case Logic4::F: return '0';
+    case Logic4::T: return '1';
+    case Logic4::X: return 'x';
+    case Logic4::Z: return 'z';
+  }
+  return 'x';
+}
+
+}  // namespace
+
+void write_vcd(std::ostream& os, const Circuit& c,
+               std::span<const ChangeRecord> trace,
+               std::span<const GateId> watched, std::string_view timescale) {
+  std::vector<GateId> signals(watched.begin(), watched.end());
+  if (signals.empty()) {
+    signals.resize(c.gate_count());
+    for (GateId g = 0; g < c.gate_count(); ++g) signals[g] = g;
+  }
+  std::vector<std::string> ids(c.gate_count());
+  std::vector<std::uint8_t> dumped(c.gate_count(), 0);
+  for (std::size_t i = 0; i < signals.size(); ++i) {
+    ids[signals[i]] = vcd_id(i);
+    dumped[signals[i]] = 1;
+  }
+
+  os << "$timescale " << timescale << " $end\n";
+  os << "$scope module plsim $end\n";
+  for (GateId g : signals) {
+    const std::string name =
+        c.name(g).empty() ? "n" + std::to_string(g) : c.name(g);
+    os << "$var wire 1 " << ids[g] << ' ' << name << " $end\n";
+  }
+  os << "$upscope $end\n$enddefinitions $end\n";
+
+  std::vector<ChangeRecord> sorted(trace.begin(), trace.end());
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const ChangeRecord& a, const ChangeRecord& b) {
+                     return a.time < b.time;
+                   });
+
+  os << "$dumpvars\n";
+  for (GateId g : signals) os << 'x' << ids[g] << '\n';
+  os << "$end\n";
+
+  Tick current = 0;
+  bool first = true;
+  for (const auto& rec : sorted) {
+    if (!dumped[rec.gate]) continue;
+    if (first || rec.time != current) {
+      os << '#' << rec.time << '\n';
+      current = rec.time;
+      first = false;
+    }
+    os << vcd_char(rec.value) << ids[rec.gate] << '\n';
+  }
+}
+
+}  // namespace plsim

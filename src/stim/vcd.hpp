@@ -1,0 +1,21 @@
+#pragma once
+// Value Change Dump (IEEE 1364) waveform writer, so plsim traces open in
+// standard waveform viewers (GTKWave etc.).
+
+#include <iosfwd>
+#include <span>
+#include <string_view>
+
+#include "netlist/circuit.hpp"
+#include "stim/trace.hpp"
+
+namespace plsim {
+
+/// Write `trace` as a VCD document. `watched` selects the signals to dump
+/// (empty = all gates). The trace need not be sorted; a sorted copy is made.
+void write_vcd(std::ostream& os, const Circuit& c,
+               std::span<const ChangeRecord> trace,
+               std::span<const GateId> watched = {},
+               std::string_view timescale = "1ns");
+
+}  // namespace plsim

@@ -1,0 +1,36 @@
+#pragma once
+// Error handling: user-facing errors (bad netlists, parse failures, invalid
+// configurations) throw plsim::Error; internal invariant violations use
+// PLSIM_ASSERT, which aborts with a location message.
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace plsim {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void raise(const std::string& what) { throw Error(what); }
+
+}  // namespace plsim
+
+/// Validate a user-visible precondition; throws plsim::Error on failure.
+#define PLSIM_CHECK(cond, msg)                                        \
+  do {                                                                \
+    if (!(cond)) ::plsim::raise(std::string(msg));                    \
+  } while (0)
+
+/// Internal invariant; aborts on failure (never expected in correct code).
+#define PLSIM_ASSERT(cond)                                                   \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "plsim internal error: %s at %s:%d\n", #cond,     \
+                   __FILE__, __LINE__);                                      \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)

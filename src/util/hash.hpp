@@ -1,0 +1,59 @@
+#pragma once
+// Hashing utilities, including the commutative waveform hash used to compare
+// simulator outputs across engines whose internal event orderings differ.
+
+#include <cstdint>
+
+namespace plsim {
+
+/// SplitMix64 finalizer as a standalone 64-bit mixer.
+constexpr std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  return mix64(a ^ (b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2)));
+}
+
+/// Order-independent digest of a set of (gate, time, value) change records.
+///
+/// Contributions are summed, so the digest is identical no matter which order
+/// (or on which thread) changes are recorded, and a contribution can be
+/// *subtracted* again — which is exactly what an optimistic engine needs when
+/// it rolls back a speculatively executed batch.
+class WaveHash {
+ public:
+  constexpr void add(std::uint32_t gate, std::uint64_t time, std::uint8_t value) {
+    acc_ += contribution(gate, time, value);
+    ++count_;
+  }
+  constexpr void sub(std::uint32_t gate, std::uint64_t time, std::uint8_t value) {
+    acc_ -= contribution(gate, time, value);
+    --count_;
+  }
+  constexpr void merge(const WaveHash& other) {
+    acc_ += other.acc_;
+    count_ += other.count_;
+  }
+  constexpr std::uint64_t digest() const { return mix64(acc_ ^ count_); }
+  constexpr std::uint64_t change_count() const { return count_; }
+
+  friend constexpr bool operator==(const WaveHash& a, const WaveHash& b) {
+    return a.acc_ == b.acc_ && a.count_ == b.count_;
+  }
+
+ private:
+  static constexpr std::uint64_t contribution(std::uint32_t gate,
+                                              std::uint64_t time,
+                                              std::uint8_t value) {
+    return mix64(time ^ (static_cast<std::uint64_t>(gate) << 32) ^
+                 (static_cast<std::uint64_t>(value) << 24) ^
+                 0x2545f4914f6cdd1dull);
+  }
+  std::uint64_t acc_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace plsim

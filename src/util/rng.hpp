@@ -1,0 +1,77 @@
+#pragma once
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in plsim (circuit generators, random stimulus,
+// simulated-annealing partitioner, virtual-platform jitter) takes an explicit
+// 64-bit seed and derives its stream from this generator, so that every
+// experiment in the repository is bit-reproducible.
+
+#include <cstdint>
+
+namespace plsim {
+
+/// SplitMix64 step; used both as a seeding expander and as a cheap hash.
+constexpr std::uint64_t splitmix64_next(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator. Small, fast, and with well-understood statistical
+/// quality; state is seeded from SplitMix64 as its authors recommend.
+class Rng {
+ public:
+  explicit constexpr Rng(std::uint64_t seed = 0x853c49e6748fea9bull) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64_next(sm);
+  }
+
+  constexpr std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound == 0 yields 0.
+  constexpr std::uint64_t uniform(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  constexpr std::uint64_t range(std::uint64_t lo, std::uint64_t hi) {
+    return lo + uniform(hi - lo + 1);
+  }
+
+  /// Uniform real in [0, 1).
+  constexpr double real() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with probability p.
+  constexpr bool chance(double p) { return real() < p; }
+
+  /// Derive an independent child stream (for per-component seeding).
+  constexpr Rng fork() { return Rng(next() ^ 0xa0761d6478bd642full); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace plsim

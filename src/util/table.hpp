@@ -1,0 +1,33 @@
+#pragma once
+// Minimal aligned-table / CSV emitter used by the benchmark harnesses to print
+// the rows and series each reproduced figure reports.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace plsim {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format cells from heterogeneous values.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt(std::uint64_t v);
+  static std::string fmt(std::int64_t v);
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace plsim

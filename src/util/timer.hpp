@@ -1,0 +1,21 @@
+#pragma once
+// Wall-clock timing for benchmark harnesses.
+
+#include <chrono>
+
+namespace plsim {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+  void reset() { start_ = Clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace plsim

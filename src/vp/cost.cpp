@@ -1,0 +1,22 @@
+#include "vp/cost.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace plsim {
+
+double CostModel::barrier_cost(std::uint32_t procs) const {
+  if (procs <= 1) return 0.0;
+  const double hops =
+      barrier_tree ? std::ceil(std::log2(static_cast<double>(procs)))
+                   : static_cast<double>(procs);
+  return barrier_base + barrier_per_hop * hops;
+}
+
+double CostModel::smp_barrier_cost(std::uint32_t procs) const {
+  if (procs <= 1) return 0.0;
+  return smp_barrier_base +
+         smp_barrier_per_hop * std::ceil(std::log2(static_cast<double>(procs)));
+}
+
+}  // namespace plsim

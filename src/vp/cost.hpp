@@ -1,0 +1,68 @@
+#pragma once
+// Cost model of the virtual multiprocessor (DESIGN.md, substitution 1).
+//
+// The virtual platform executes the real simulation semantics (the same
+// BlockSimulators as the threaded engines) while charging each logical
+// processor explicit costs for event handling, functional evaluation,
+// messages, null messages, barriers, state saving and rollback. Speedup
+// figures are then ratios of modelled times — deterministic and independent
+// of the host machine. Default constants approximate the per-operation cost
+// ratios reported for the 1990s MIMD machines the paper surveys (a functional
+// evaluation is cheap; a message costs an order of magnitude more; a barrier
+// costs tens of evaluations and grows with processor count).
+
+#include <cstdint>
+
+namespace plsim {
+
+/// All costs in abstract "work units" (1 unit ~ one simple gate evaluation).
+struct CostModel {
+  double eval = 1.0;          ///< one functional evaluation
+  double event = 0.5;         ///< event queue insert+delete pair
+  double dff_sample = 0.5;    ///< one DFF clock sampling
+  double batch_overhead = 0.5;///< fixed dispatch cost per timestamp batch
+  // Messaging costs default to shared-memory MIMD ratios (the surveyed
+  // synchronous/optimistic results ran on BBN GP1000-class machines).
+  double msg_send = 2.5;      ///< CPU cost to send one message
+  double msg_recv = 2.0;      ///< CPU cost to receive one message
+  double msg_latency = 8.0;   ///< transit time (does not occupy a CPU)
+  double null_msg = 2.0;      ///< per-endpoint cost of a null message
+  /// Each additional cut wire sharing a block-pair null (wire-grained
+  /// conservative channels batch their clock updates into one physical
+  /// message, but every per-wire clock still costs handling).
+  double null_wire = 0.5;
+
+  /// Barrier cost for P processors: base + per_hop * hops(P).
+  double barrier_base = 8.0;
+  double barrier_per_hop = 6.0;
+  bool barrier_tree = true;   ///< tree (log2 P hops) vs central (P hops)
+
+  /// Bus-snooping barrier among the processors of one SMP node (used inside
+  /// hybrid clusters) — much cheaper than a machine-wide barrier.
+  double smp_barrier_base = 2.0;
+  double smp_barrier_per_hop = 1.0;
+
+  /// Optimistic machinery. Full-copy saving moves the entire LP data
+  /// structure (values, projections, pending-event set) through the memory
+  /// system; on the surveyed machines that costs about one functional
+  /// evaluation per 20 bytes copied.
+  double save_per_byte = 0.05;    ///< full-copy state saving, per byte
+  double save_fixed = 1.0;        ///< per-batch fixed saving overhead
+  double undo_per_entry = 0.25;   ///< incremental log write, per entry
+  double rollback_fixed = 6.0;    ///< per-rollback control overhead
+  double undo_replay = 0.20;      ///< undoing one log entry / restoring bytes
+  double gvt_per_proc = 3.0;      ///< GVT reduction contribution per processor
+  double fossil_per_batch = 0.05; ///< fossil collection per batch discarded
+
+  double barrier_cost(std::uint32_t procs) const;
+  double smp_barrier_cost(std::uint32_t procs) const;
+};
+
+/// Host-independent "work units" consumed by a sequential event-driven run;
+/// the numerator of every modelled speedup.
+struct SequentialCost {
+  double work = 0.0;
+  std::uint64_t events = 0;
+};
+
+}  // namespace plsim

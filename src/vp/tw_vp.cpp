@@ -1,0 +1,327 @@
+// Virtual-platform optimistic executor: a deterministic DES (in processor
+// time) of Time Warp. Each virtual processor greedily executes the
+// lowest-timestamp unprocessed batch among its LPs, paying state-saving
+// costs per batch; stragglers and anti-messages trigger rollbacks whose
+// restore work is charged from the real undo logs / snapshots. GVT rounds
+// run at fixed virtual-time intervals; because the platform is simulated,
+// GVT is computed exactly (LP minima plus in-flight message timestamps) and
+// each round charges a reduction cost to every processor.
+//
+// LP granularity (paper §III): with several LPs per processor
+// (VpConfig::block_to_proc), co-located LPs exchange messages through shared
+// memory at event-insertion cost and the processor always runs its
+// lowest-timestamp LP — the classic smallest-timestamp-first scheduling.
+
+#include <functional>
+#include <map>
+#include <queue>
+#include <set>
+
+#include "core/block.hpp"
+#include "engines/common.hpp"
+#include "util/rng.hpp"
+#include "vp/vp.hpp"
+
+namespace plsim {
+namespace {
+
+struct TwVpMsg {
+  Message msg;
+  std::uint64_t uid = 0;
+  bool anti = false;
+};
+
+enum class EvKind : std::uint8_t { Arrival, Wake, Gvt };
+
+struct Ev {
+  double at;
+  EvKind kind;
+  std::uint32_t target = 0;  // LP for Arrival, processor for Wake
+  TwVpMsg msg;
+  std::uint64_t seq;
+};
+struct EvLater {
+  bool operator()(const Ev& a, const Ev& b) const {
+    if (a.at != b.at) return a.at > b.at;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace
+
+VpResult run_timewarp_vp(const Circuit& c, const Stimulus& stim,
+                         const Partition& p, const VpConfig& cfg) {
+  BlockOptions bopts;
+  bopts.clock_period = stim.period;
+  bopts.horizon = stim.horizon();
+  bopts.save = cfg.save == SaveMode::None ? SaveMode::Incremental : cfg.save;
+  bopts.record_trace = false;
+  BlockRig rig = make_rig(c, stim, p, bopts);
+
+  const std::uint32_t n_blocks = p.n_blocks;
+  const Tick horizon = bopts.horizon;
+  const CostModel& cost = cfg.cost;
+
+  std::uint32_t n_procs = 0;
+  const std::vector<std::uint32_t> proc_of =
+      cfg.resolve_mapping(n_blocks, n_procs);
+  std::vector<std::vector<std::uint32_t>> lps_of(n_procs);
+  for (std::uint32_t b = 0; b < n_blocks; ++b) lps_of[proc_of[b]].push_back(b);
+
+  struct Lp {
+    std::multimap<Tick, TwVpMsg> input_queue;
+    std::multimap<Tick, TwVpMsg> sent_log;
+    std::multimap<Tick, TwVpMsg> lazy_pending;
+    Tick processed_bound = 0;
+    std::size_t env_pos = 0;
+    std::uint64_t uid_counter = 0;
+  };
+  std::vector<Lp> lps(n_blocks);
+  std::vector<double> clock(n_procs, 0.0);
+  std::vector<std::uint8_t> wake_scheduled(n_procs, 0);
+
+  std::priority_queue<Ev, std::vector<Ev>, EvLater> des;
+  std::uint64_t des_seq = 0;
+  std::multiset<Tick> inflight;  // timestamps of undelivered remote messages
+  Tick gvt = 0;
+
+  VpResult r;
+  r.procs = n_procs;
+  std::vector<Message> externals, outputs;
+  std::vector<Rng> jitter;
+  for (std::uint32_t pr = 0; pr < n_procs; ++pr)
+    jitter.emplace_back(cfg.jitter_seed ^ (0x9e37u + pr));
+
+  auto local_min = [&](std::uint32_t b) -> Tick {
+    const Lp& lp = lps[b];
+    Tick t = rig.blocks[b]->next_internal_time();
+    const auto it = lp.input_queue.lower_bound(lp.processed_bound);
+    if (it != lp.input_queue.end()) t = std::min(t, it->first);
+    if (lp.env_pos < rig.env[b].size())
+      t = std::min(t, rig.env[b][lp.env_pos].time);
+    return std::min(t, horizon);
+  };
+
+  auto schedule_wake = [&](std::uint32_t pr) {
+    if (wake_scheduled[pr]) return;
+    wake_scheduled[pr] = 1;
+    des.push(Ev{clock[pr], EvKind::Wake, pr, {}, des_seq++});
+  };
+
+  // Forward declarations for the mutually recursive send/deliver pair
+  // (a local delivery can roll the receiver back, which sends more
+  // messages, possibly again locally).
+  std::function<void(std::uint32_t, const TwVpMsg&)> send;
+  std::function<void(std::uint32_t, const TwVpMsg&)> deliver;
+  std::function<void(std::uint32_t, Tick)> rollback;
+
+  send = [&](std::uint32_t b, const TwVpMsg& m) {
+    const std::uint32_t pr = proc_of[b];
+    for (std::uint32_t dst : rig.routing.dests[m.msg.gate]) {
+      if (m.anti)
+        ++r.stats.anti_messages;
+      else
+        ++r.stats.messages;
+      if (proc_of[dst] == pr) {
+        // Shared-memory neighbour: enqueue directly.
+        clock[pr] += cost.event;
+        r.busy += cost.event;
+        deliver(dst, m);
+      } else {
+        clock[pr] += cost.msg_send;
+        r.busy += cost.msg_send;
+        inflight.insert(m.msg.time);
+        des.push(Ev{clock[pr] + cost.msg_latency, EvKind::Arrival, dst, m,
+                    des_seq++});
+      }
+    }
+  };
+
+  rollback = [&](std::uint32_t b, Tick t) {
+    Lp& lp = lps[b];
+    if (lp.processed_bound <= t) return;
+    const std::uint32_t pr = proc_of[b];
+    const auto rs = rig.blocks[b]->rollback_to(t);
+    const double w = cost.rollback_fixed + rs.entries * cost.undo_replay +
+                     static_cast<double>(rs.bytes) * cost.save_per_byte;
+    clock[pr] += w;
+    r.busy += w;
+    lp.processed_bound = t;
+    while (lp.env_pos > 0 && rig.env[b][lp.env_pos - 1].time >= t)
+      --lp.env_pos;
+    // Detach the affected log first: cancellation sends may recurse into
+    // this LP again.
+    std::vector<std::pair<Tick, TwVpMsg>> undone(
+        lp.sent_log.lower_bound(t), lp.sent_log.end());
+    lp.sent_log.erase(lp.sent_log.lower_bound(t), lp.sent_log.end());
+    for (auto& [bt, m] : undone) {
+      if (cfg.lazy_cancellation) {
+        lp.lazy_pending.emplace(bt, m);
+      } else {
+        TwVpMsg anti = m;
+        anti.anti = true;
+        send(b, anti);
+      }
+    }
+    ++r.stats.rollbacks;
+    r.stats.rolled_back_batches += rs.batches;
+  };
+
+  deliver = [&](std::uint32_t b, const TwVpMsg& m) {
+    Lp& lp = lps[b];
+    if (m.msg.time < lp.processed_bound) rollback(b, m.msg.time);
+    if (!m.anti) {
+      lp.input_queue.emplace(m.msg.time, m);
+    } else {
+      auto [lo, hi] = lp.input_queue.equal_range(m.msg.time);
+      bool found = false;
+      for (auto it = lo; it != hi; ++it) {
+        if (it->second.uid == m.uid && !it->second.anti) {
+          lp.input_queue.erase(it);
+          found = true;
+          break;
+        }
+      }
+      PLSIM_ASSERT(found);
+    }
+    schedule_wake(proc_of[b]);
+  };
+
+  // Process at most one batch on processor pr (its lowest-timestamp LP);
+  // reschedules itself while work remains.
+  auto work = [&](std::uint32_t pr) {
+    // Flush lazy cancellations for every local LP first: anything below an
+    // LP's next batch time will never be regenerated.
+    for (std::uint32_t b : lps_of[pr]) {
+      Lp& lp = lps[b];
+      const Tick nt = local_min(b);
+      for (auto it = lp.lazy_pending.begin();
+           it != lp.lazy_pending.end() && it->first < nt;) {
+        TwVpMsg anti = it->second;
+        anti.anti = true;
+        it = lp.lazy_pending.erase(it);
+        send(b, anti);
+      }
+    }
+
+    // Lowest-timestamp-first LP scheduling.
+    std::uint32_t best = kNoGate;
+    Tick best_nt = horizon;
+    for (std::uint32_t b : lps_of[pr]) {
+      const Tick nt = local_min(b);
+      if (nt < best_nt) {
+        best_nt = nt;
+        best = b;
+      }
+    }
+    if (best == kNoGate || best_nt >= horizon) return;  // idle
+    if (cfg.optimism_window > 0 && best_nt > gvt &&
+        best_nt - gvt > cfg.optimism_window)
+      return;  // throttled until the next GVT round
+
+    Lp& lp = lps[best];
+    const Tick nt = best_nt;
+    externals.clear();
+    auto& env = rig.env[best];
+    while (lp.env_pos < env.size() && env[lp.env_pos].time == nt)
+      externals.push_back(env[lp.env_pos++]);
+    for (auto [lo, hi] = lp.input_queue.equal_range(nt); lo != hi; ++lo)
+      externals.push_back(lo->second.msg);
+
+    outputs.clear();
+    const BatchStats bs =
+        rig.blocks[best]->process_batch(nt, externals, outputs);
+    lp.processed_bound = nt + 1;
+    const double w = batch_cost(cost, bs, bopts.save) * cfg.noise(jitter[pr]);
+    clock[pr] += w;
+    r.busy += w;
+
+    for (const Message& m : outputs) {
+      if (rig.routing.dests[m.gate].empty()) continue;
+      bool reused = false;
+      if (cfg.lazy_cancellation) {
+        for (auto [lo, hi] = lp.lazy_pending.equal_range(nt); lo != hi; ++lo) {
+          if (lo->second.msg == m) {
+            lp.sent_log.emplace(nt, lo->second);
+            lp.lazy_pending.erase(lo);
+            reused = true;
+            break;
+          }
+        }
+      }
+      if (reused) continue;
+      TwVpMsg tm{m,
+                 (static_cast<std::uint64_t>(best) << 40) | lp.uid_counter++,
+                 false};
+      lp.sent_log.emplace(nt, tm);
+      send(best, tm);
+    }
+    schedule_wake(pr);
+  };
+
+  for (std::uint32_t pr = 0; pr < n_procs; ++pr) schedule_wake(pr);
+  des.push(Ev{cfg.gvt_period, EvKind::Gvt, 0, {}, des_seq++});
+
+  while (!des.empty() && gvt < horizon) {
+    const Ev ev = des.top();
+    des.pop();
+    switch (ev.kind) {
+      case EvKind::Wake: {
+        wake_scheduled[ev.target] = 0;
+        work(ev.target);
+        break;
+      }
+      case EvKind::Arrival: {
+        const std::uint32_t pr = proc_of[ev.target];
+        inflight.erase(inflight.find(ev.msg.msg.time));
+        clock[pr] = std::max(clock[pr], ev.at) + cost.msg_recv;
+        r.busy += cost.msg_recv;
+        deliver(ev.target, ev.msg);
+        break;
+      }
+      case EvKind::Gvt: {
+        Tick new_gvt = inflight.empty() ? horizon : *inflight.begin();
+        for (std::uint32_t b = 0; b < n_blocks; ++b)
+          new_gvt = std::min(new_gvt, local_min(b));
+        gvt = std::max(gvt, new_gvt);
+        ++r.stats.gvt_rounds;
+        for (std::uint32_t pr = 0; pr < n_procs; ++pr) {
+          double w = cost.barrier_cost(n_procs) + cost.gvt_per_proc;
+          for (std::uint32_t b : lps_of[pr]) {
+            const std::size_t dropped = rig.blocks[b]->fossil_collect(gvt);
+            lps[b].sent_log.erase(lps[b].sent_log.begin(),
+                                  lps[b].sent_log.lower_bound(gvt));
+            // Processed inputs below GVT can never be replayed again.
+            lps[b].input_queue.erase(
+                lps[b].input_queue.begin(),
+                lps[b].input_queue.lower_bound(
+                    std::min(gvt, lps[b].processed_bound)));
+            w += dropped * cost.fossil_per_batch;
+          }
+          clock[pr] = std::max(clock[pr], ev.at) + w;
+          r.busy += w;
+        }
+        for (std::uint32_t pr = 0; pr < n_procs; ++pr) schedule_wake(pr);
+        if (gvt < horizon)
+          des.push(Ev{ev.at + cfg.gvt_period, EvKind::Gvt, 0, {}, des_seq++});
+        break;
+      }
+    }
+  }
+
+  for (std::uint32_t pr = 0; pr < n_procs; ++pr)
+    r.makespan = std::max(r.makespan, clock[pr]);
+
+  RunResult merged = merge_results(c, rig, false);
+  r.final_values = std::move(merged.final_values);
+  r.wave_digest = merged.wave.digest();
+  r.stats.wire_events = merged.stats.wire_events;
+  r.stats.evaluations = merged.stats.evaluations;
+  r.stats.dff_samples = merged.stats.dff_samples;
+  r.stats.batches = merged.stats.batches;
+  r.stats.save_bytes = merged.stats.save_bytes;
+  r.stats.undo_entries = merged.stats.undo_entries;
+  return r;
+}
+
+}  // namespace plsim

@@ -1,0 +1,200 @@
+// Cross-engine equivalence: every parallel engine must reproduce the golden
+// sequential simulator bit-exactly — final state vector and the commutative
+// waveform digest — for every circuit, partition, block count and seed.
+// This is the correctness contract that makes the performance comparison of
+// paper §V meaningful.
+
+#include <gtest/gtest.h>
+
+#include "engines/engine.hpp"
+#include "netlist/builtin.hpp"
+#include "netlist/generators.hpp"
+#include "partition/algorithms.hpp"
+#include "seq/golden.hpp"
+#include "seq/oblivious.hpp"
+#include "stim/stimulus.hpp"
+
+namespace plsim {
+namespace {
+
+struct Scenario {
+  std::string engine;
+  std::uint32_t blocks;
+  std::uint64_t seed;
+};
+
+class EngineEquivalence : public ::testing::TestWithParam<Scenario> {};
+
+RunResult run_engine(const std::string& name, const Circuit& c,
+                     const Stimulus& s, const Partition& p,
+                     const EngineConfig& cfg = {}) {
+  for (const auto& e : standard_engines())
+    if (e.name == name) return e.run(c, s, p, cfg);
+  throw Error("unknown engine " + name);
+}
+
+TEST_P(EngineEquivalence, MatchesGoldenOnRandomSequentialCircuit) {
+  const auto& sc = GetParam();
+  RandomCircuitSpec spec;
+  spec.n_gates = 400;
+  spec.n_inputs = 14;
+  spec.n_outputs = 14;
+  spec.dff_fraction = 0.12;
+  spec.seed = sc.seed;
+  const Circuit c = random_circuit(spec);
+  const Stimulus s = random_stimulus(c, 25, 0.4, sc.seed * 7 + 1);
+
+  const RunResult golden = simulate_golden(c, s);
+  const Partition p = partition_fm(c, sc.blocks, sc.seed);
+  const RunResult parallel = run_engine(sc.engine, c, s, p);
+
+  EXPECT_EQ(parallel.final_values, golden.final_values);
+  EXPECT_EQ(parallel.wave.digest(), golden.wave.digest());
+  EXPECT_EQ(parallel.wave.change_count(), golden.wave.change_count());
+}
+
+TEST_P(EngineEquivalence, MatchesGoldenOnFineGrainDelays) {
+  const auto& sc = GetParam();
+  RandomCircuitSpec spec;
+  spec.n_gates = 300;
+  spec.n_inputs = 10;
+  spec.dff_fraction = 0.08;
+  spec.delay_mode = DelayMode::Uniform;
+  spec.delay_spread = 7;
+  spec.seed = sc.seed + 100;
+  const Circuit c = random_circuit(spec);
+  const Stimulus s = random_stimulus(c, 20, 0.5, sc.seed * 13 + 5, 16);
+
+  const RunResult golden = simulate_golden(c, s);
+  const Partition p = partition_strings(c, sc.blocks, sc.seed);
+  const RunResult parallel = run_engine(sc.engine, c, s, p);
+
+  EXPECT_EQ(parallel.final_values, golden.final_values);
+  EXPECT_EQ(parallel.wave.digest(), golden.wave.digest());
+}
+
+TEST_P(EngineEquivalence, MatchesGoldenOnS27) {
+  const auto& sc = GetParam();
+  const Circuit c = builtin_circuit("s27");
+  if (sc.blocks > 4) GTEST_SKIP() << "circuit too small for this split";
+  const Stimulus s = random_stimulus(c, 60, 0.5, sc.seed);
+
+  const RunResult golden = simulate_golden(c, s);
+  const Partition p = partition_round_robin(c, sc.blocks);
+  const RunResult parallel = run_engine(sc.engine, c, s, p);
+
+  EXPECT_EQ(parallel.final_values, golden.final_values);
+  EXPECT_EQ(parallel.wave.digest(), golden.wave.digest());
+}
+
+std::vector<Scenario> scenarios() {
+  std::vector<Scenario> v;
+  for (const auto& e : {"synchronous", "conservative", "timewarp"})
+    for (std::uint32_t blocks : {1u, 2u, 3u, 4u, 7u})
+      for (std::uint64_t seed : {1u, 2u})
+        v.push_back({e, blocks, seed});
+  return v;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EngineEquivalence,
+                         ::testing::ValuesIn(scenarios()),
+                         [](const auto& info) {
+                           return info.param.engine + "_b" +
+                                  std::to_string(info.param.blocks) + "_s" +
+                                  std::to_string(info.param.seed);
+                         });
+
+// --------------------------------------------------------- TW variations --
+
+class TimeWarpConfigs : public ::testing::TestWithParam<EngineConfig> {};
+
+TEST_P(TimeWarpConfigs, AllConfigurationsMatchGolden) {
+  RandomCircuitSpec spec;
+  spec.n_gates = 350;
+  spec.n_inputs = 12;
+  spec.dff_fraction = 0.10;
+  spec.seed = 31;
+  const Circuit c = random_circuit(spec);
+  const Stimulus s = random_stimulus(c, 25, 0.45, 77);
+  const RunResult golden = simulate_golden(c, s);
+  const Partition p = partition_fm(c, 4, 9);
+
+  const RunResult tw = run_timewarp(c, s, p, GetParam());
+  EXPECT_EQ(tw.final_values, golden.final_values);
+  EXPECT_EQ(tw.wave.digest(), golden.wave.digest());
+}
+
+std::vector<EngineConfig> tw_configs() {
+  std::vector<EngineConfig> v;
+  for (SaveMode save : {SaveMode::Incremental, SaveMode::Full})
+    for (bool lazy : {false, true})
+      for (Tick window : {Tick(0), Tick(40)}) {
+        EngineConfig cfg;
+        cfg.save = save;
+        cfg.lazy_cancellation = lazy;
+        cfg.optimism_window = window;
+        v.push_back(cfg);
+      }
+  return v;
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, TimeWarpConfigs,
+                         ::testing::ValuesIn(tw_configs()),
+                         [](const auto& info) {
+                           const auto& c = info.param;
+                           std::string n =
+                               c.save == SaveMode::Full ? "full" : "incr";
+                           n += c.lazy_cancellation ? "_lazy" : "_aggr";
+                           n += c.optimism_window ? "_window" : "_free";
+                           return n;
+                         });
+
+// ------------------------------------------------------------- oblivious --
+
+TEST(ObliviousParallel, MatchesSequentialOblivious) {
+  RandomCircuitSpec spec;
+  spec.n_gates = 500;
+  spec.n_inputs = 16;
+  spec.dff_fraction = 0.1;
+  spec.seed = 4;
+  const Circuit c = random_circuit(spec);
+  const Stimulus s = random_stimulus(c, 20, 0.4, 3);
+  const ObliviousResult seq = simulate_oblivious(c, s);
+  for (std::uint32_t blocks : {1u, 2u, 4u}) {
+    const Partition p = partition_round_robin(c, blocks);
+    const RunResult par = run_oblivious_parallel(c, s, p, {});
+    EXPECT_EQ(par.final_values, seq.final_values) << blocks << " blocks";
+    EXPECT_EQ(par.stats.evaluations, seq.evaluations);
+  }
+}
+
+// ------------------------------------------------------------ trace check --
+
+TEST(EngineTraces, RecordedTracesAreIdenticalAcrossEngines) {
+  const Circuit c = builtin_circuit("s27");
+  const Stimulus s = random_stimulus(c, 30, 0.5, 15);
+  GoldenOptions gopts;
+  gopts.record_trace = true;
+  const RunResult golden = simulate_golden(c, s, gopts);
+
+  EngineConfig cfg;
+  cfg.record_trace = true;
+  const Partition p = partition_round_robin(c, 3);
+  for (const auto& e : standard_engines()) {
+    SCOPED_TRACE(e.name);
+    const RunResult r = e.run(c, s, p, cfg);
+    ASSERT_EQ(r.trace.size(), golden.trace.size());
+    // Engine traces are sorted by (time, gate); golden's is naturally in
+    // time order but gates within a timestamp may differ in order.
+    Trace g = golden.trace;
+    std::sort(g.begin(), g.end(), [](const ChangeRecord& a,
+                                     const ChangeRecord& b) {
+      if (a.time != b.time) return a.time < b.time;
+      return a.gate < b.gate;
+    });
+    EXPECT_EQ(r.trace, g);
+  }
+}
+
+}  // namespace
+}  // namespace plsim

@@ -1,0 +1,141 @@
+// Tests for the pending-event structures: binary heap (with tombstone
+// deletion for rollback) and timing wheel, including a randomized
+// cross-equivalence property.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "event/heap_queue.hpp"
+#include "event/timing_wheel.hpp"
+#include "util/rng.hpp"
+
+namespace plsim {
+namespace {
+
+Event ev(Tick t, GateId g, std::uint64_t seq) {
+  return Event{t, g, Logic4::T, EventKind::Wire, seq};
+}
+
+TEST(HeapQueue, OrdersByTime) {
+  HeapQueue q;
+  q.push(ev(30, 1, 0));
+  q.push(ev(10, 2, 1));
+  q.push(ev(20, 3, 2));
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.next_time(), 10u);
+  EXPECT_EQ(q.pop().gate, 2u);
+  EXPECT_EQ(q.pop().gate, 3u);
+  EXPECT_EQ(q.pop().gate, 1u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(HeapQueue, FifoWithinTimestamp) {
+  HeapQueue q;
+  for (std::uint64_t i = 0; i < 16; ++i) q.push(ev(5, GateId(i), i));
+  for (std::uint64_t i = 0; i < 16; ++i) EXPECT_EQ(q.pop().gate, GateId(i));
+}
+
+TEST(HeapQueue, PopAllAt) {
+  HeapQueue q;
+  q.push(ev(5, 1, 0));
+  q.push(ev(5, 2, 1));
+  q.push(ev(7, 3, 2));
+  std::vector<Event> batch;
+  q.pop_all_at(5, batch);
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_EQ(q.next_time(), 7u);
+}
+
+TEST(HeapQueue, TombstoneErase) {
+  HeapQueue q;
+  q.push(ev(5, 1, 100));
+  q.push(ev(6, 2, 101));
+  q.push(ev(7, 3, 102));
+  q.erase(101);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop().gate, 1u);
+  EXPECT_EQ(q.pop().gate, 3u);  // seq 101 skipped
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(HeapQueue, EraseThenRepushSameSeq) {
+  // A rollback erases a pushed event; re-execution may push an identical
+  // event with a new seq. The tombstone must only swallow the erased one.
+  HeapQueue q;
+  q.push(ev(5, 1, 1));
+  q.erase(1);
+  q.push(ev(5, 1, 2));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.pop().seq, 2u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(TimingWheel, BasicOrdering) {
+  TimingWheel w(16);
+  w.push(ev(3, 1, 0));
+  w.push(ev(100, 2, 1));  // overflow (beyond 16 slots)
+  w.push(ev(3, 3, 2));
+  EXPECT_EQ(w.next_time(), 3u);
+  std::vector<Event> batch;
+  w.pop_all_at(3, batch);
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_EQ(w.next_time(), 100u);
+  batch.clear();
+  w.pop_all_at(100, batch);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].gate, 2u);
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(TimingWheel, MatchesHeapOnRandomWorkload) {
+  // Property: processing a random schedule-as-you-go workload produces the
+  // same (time, multiset-of-gates) batches from both structures.
+  Rng rng(99);
+  HeapQueue h;
+  TimingWheel w(32);
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 50; ++i) {
+    const Tick t = rng.uniform(40);
+    h.push(ev(t, GateId(i), seq));
+    w.push(ev(t, GateId(i), seq));
+    ++seq;
+  }
+  int guard = 0;
+  while (!h.empty()) {
+    ASSERT_LT(guard++, 1000);
+    const Tick th = h.next_time();
+    const Tick tw = w.next_time();
+    ASSERT_EQ(th, tw);
+    std::vector<Event> bh, bw;
+    h.pop_all_at(th, bh);
+    w.pop_all_at(tw, bw);
+    ASSERT_EQ(bh.size(), bw.size());
+    std::vector<GateId> gh, gw;
+    for (const auto& e : bh) gh.push_back(e.gate);
+    for (const auto& e : bw) gw.push_back(e.gate);
+    std::sort(gh.begin(), gh.end());
+    std::sort(gw.begin(), gw.end());
+    EXPECT_EQ(gh, gw);
+    // Schedule follow-up events into the future, as a simulator would.
+    if (rng.chance(0.6)) {
+      const Tick nt = th + 1 + rng.uniform(50);
+      h.push(ev(nt, GateId(1000 + guard), seq));
+      w.push(ev(nt, GateId(1000 + guard), seq));
+      ++seq;
+    }
+  }
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(TimingWheel, RejectsPastPush) {
+  TimingWheel w(8);
+  w.push(ev(5, 1, 0));
+  EXPECT_EQ(w.next_time(), 5u);
+  std::vector<Event> b;
+  w.pop_all_at(5, b);
+  EXPECT_THROW(w.push(ev(2, 2, 1)), Error);
+}
+
+}  // namespace
+}  // namespace plsim

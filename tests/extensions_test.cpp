@@ -1,0 +1,239 @@
+// Tests for the later-added substrate pieces: module-array generator,
+// hotspot stimuli, CMB channel machinery, and the commutative waveform hash.
+
+#include <gtest/gtest.h>
+
+#include "engines/cmb.hpp"
+#include "netlist/generators.hpp"
+#include "netlist/stats.hpp"
+#include "seq/golden.hpp"
+#include "stim/stimulus.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace plsim {
+namespace {
+
+// ---------------------------------------------------------- module array --
+
+TEST(ModuleArray, ModulesAreDisjoint) {
+  const std::uint32_t M = 8;
+  const std::size_t per = 120;
+  const Circuit c = module_array(M, per, 5);
+  ASSERT_EQ(c.gate_count(), M * per);
+  // No fanin edge crosses a module boundary.
+  for (GateId g = 0; g < c.gate_count(); ++g) {
+    const std::size_t mod = g / per;
+    for (GateId f : c.fanins(g)) EXPECT_EQ(f / per, mod);
+  }
+}
+
+TEST(ModuleArray, SimulatesLikeItsParts) {
+  const Circuit c = module_array(4, 100, 9);
+  const Stimulus s = random_stimulus(c, 20, 0.4, 3);
+  const RunResult r = simulate_golden(c, s);
+  EXPECT_GT(r.stats.wire_events, 100u);
+  // Each module has its own inputs and outputs.
+  EXPECT_EQ(c.primary_inputs().size() % 4, 0u);
+  EXPECT_GT(c.primary_outputs().size(), 4u);
+}
+
+TEST(ModuleArray, NamesCarryModulePrefix) {
+  const Circuit c = module_array(3, 64, 1);
+  EXPECT_EQ(c.name(0).rfind("m0_", 0), 0u);
+  EXPECT_EQ(c.name(64 * 2).rfind("m2_", 0), 0u);
+}
+
+// -------------------------------------------------------------- hotspots --
+
+TEST(Hotspot, HotWindowTogglesMore) {
+  const Circuit c = scaled_circuit(400, 2);
+  const Stimulus s = hotspot_stimulus(c, 400, 0.02, 0.9, 0.25, 400, 3);
+  // With drift period 400 the window never moves: inputs in the initial hot
+  // window (starting at 0) toggle far more often.
+  const std::size_t n = c.primary_inputs().size();
+  const std::size_t hot = static_cast<std::size_t>(0.25 * n);
+  std::vector<std::size_t> toggles(n, 0);
+  for (std::size_t k = 1; k < s.vectors.size(); ++k)
+    for (std::size_t i = 0; i < n; ++i)
+      if (s.vectors[k][i] != s.vectors[k - 1][i]) ++toggles[i];
+  double hot_avg = 0, cold_avg = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    (i < hot ? hot_avg : cold_avg) += static_cast<double>(toggles[i]);
+  hot_avg /= static_cast<double>(hot);
+  cold_avg /= static_cast<double>(n - hot);
+  EXPECT_GT(hot_avg, 10 * cold_avg);
+}
+
+TEST(Hotspot, ScatteredGroupsAreCoherent) {
+  const Circuit c = module_array(8, 120, 5);
+  const std::size_t group = c.primary_inputs().size() / 8;
+  const Stimulus s = scattered_hotspot_stimulus(c, 200, 0.01, 0.9, 0.5, 200,
+                                                7, 10, group);
+  // One epoch: each group is uniformly hot or uniformly cold.
+  const std::size_t n = c.primary_inputs().size();
+  std::vector<std::size_t> toggles(n, 0);
+  for (std::size_t k = 1; k < s.vectors.size(); ++k)
+    for (std::size_t i = 0; i < n; ++i)
+      if (s.vectors[k][i] != s.vectors[k - 1][i]) ++toggles[i];
+  for (std::size_t g0 = 0; g0 < n; g0 += group) {
+    bool group_hot = toggles[g0] > 50;
+    for (std::size_t j = g0; j < std::min(n, g0 + group); ++j)
+      EXPECT_EQ(toggles[j] > 50, group_hot) << "input " << j;
+  }
+}
+
+// ---------------------------------------------------------- CMB channels --
+
+TEST(CmbChannel, ReleasesOnlyCoveredMessages) {
+  CmbOutChannel ch(1, /*lookahead=*/3);
+  ch.buffer(Message{10, 5, Logic4::T});
+  ch.buffer(Message{6, 4, Logic4::F});
+
+  auto rel = ch.release(/*frontier=*/4, /*horizon=*/100);
+  ASSERT_EQ(rel.real.size(), 1u);  // 6 <= 4+3 released; 10 > 7 held back
+  EXPECT_EQ(rel.real[0].time, 6u);
+  // The promise (7) exceeds the last released timestamp (6), so a null
+  // message must carry it.
+  EXPECT_TRUE(rel.send_null);
+  EXPECT_EQ(rel.promise, 7u);
+
+  // Advancing the frontier to 7 covers the message at 10.
+  auto rel2 = ch.release(7, 100);
+  ASSERT_EQ(rel2.real.size(), 1u);
+  EXPECT_EQ(rel2.real[0].time, 10u);
+  EXPECT_FALSE(rel2.send_null);  // the released message carries promise 10
+}
+
+TEST(CmbChannel, NullCarriesPromiseWhenNoMessageDoes) {
+  CmbOutChannel ch(0, 2);
+  auto rel = ch.release(10, 100);
+  EXPECT_TRUE(rel.real.empty());
+  EXPECT_TRUE(rel.send_null);
+  EXPECT_EQ(rel.promise, 12u);
+  // Re-releasing with the same frontier promises nothing new.
+  auto again = ch.release(10, 100);
+  EXPECT_FALSE(again.send_null);
+  EXPECT_TRUE(again.real.empty());
+}
+
+TEST(CmbChannel, PromiseClampsToHorizon) {
+  CmbOutChannel ch(0, 5);
+  auto rel = ch.release(98, 100);
+  EXPECT_EQ(rel.promise, 100u);
+  auto rel2 = ch.release(99, 100);
+  EXPECT_FALSE(rel2.send_null);  // cannot promise past the horizon again
+}
+
+TEST(CmbChannel, ReleasedStreamIsMonotoneProperty) {
+  Rng rng(11);
+  CmbOutChannel ch(0, 2);
+  Tick frontier = 0;
+  Tick last_released = 0;
+  for (int step = 0; step < 500; ++step) {
+    // Buffer messages the block could legally create at LVT = frontier.
+    if (rng.chance(0.7)) {
+      const Tick ts = frontier + 2 + rng.uniform(6);
+      ch.buffer(Message{ts, GateId(step), Logic4::T});
+    }
+    frontier += rng.uniform(3);
+    auto rel = ch.release(frontier, 10000);
+    for (const Message& m : rel.real) {
+      EXPECT_GE(m.time, last_released);
+      last_released = m.time;
+    }
+    if (rel.send_null) {
+      EXPECT_GE(rel.promise, last_released);
+      last_released = rel.promise;
+    }
+  }
+}
+
+TEST(CmbInState, SafeIsMinimumOverClocks) {
+  const std::vector<std::uint32_t> sources = {3, 7};
+  CmbInState in(sources);
+  EXPECT_TRUE(in.has_channels());
+  EXPECT_EQ(in.safe(1000), 0u);
+  in.receive(CmbMsg{Message{40, kNoGate, Logic4::X}, 3, true});
+  EXPECT_EQ(in.safe(1000), 0u);  // source 7 still at 0
+  in.receive(CmbMsg{Message{25, 2, Logic4::T}, 7, false});
+  EXPECT_EQ(in.safe(1000), 25u);
+  EXPECT_FALSE(in.staged_empty());
+  EXPECT_EQ(in.staged_top_time(), 25u);
+  in.grant(60);
+  EXPECT_EQ(in.safe(1000), 60u);
+}
+
+TEST(CmbChannel, ForceReleaseForRecovery) {
+  CmbOutChannel ch(0, 1);
+  ch.buffer(Message{5, 1, Logic4::T});
+  ch.buffer(Message{9, 2, Logic4::F});
+  EXPECT_EQ(ch.buffered_min(), 5u);
+  const auto msgs = ch.force_release(5);
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(msgs[0].time, 5u);
+  EXPECT_EQ(ch.buffered_min(), 9u);
+  EXPECT_GE(ch.promised(), 5u);
+}
+
+// -------------------------------------------------------------- WaveHash --
+
+TEST(WaveHash, OrderIndependentProperty) {
+  Rng rng(3);
+  std::vector<ChangeRecord> records;
+  for (int i = 0; i < 200; ++i)
+    records.push_back({rng.uniform(1000), GateId(rng.uniform(64)),
+                       static_cast<Logic4>(rng.uniform(4))});
+  WaveHash fwd, rev, shuffled;
+  for (const auto& r : records)
+    fwd.add(r.gate, r.time, static_cast<std::uint8_t>(r.value));
+  for (auto it = records.rbegin(); it != records.rend(); ++it)
+    rev.add(it->gate, it->time, static_cast<std::uint8_t>(it->value));
+  for (std::size_t i = records.size(); i-- > 0;) {
+    const auto& r = records[(i * 37) % records.size()];
+    (void)r;
+  }
+  EXPECT_EQ(fwd.digest(), rev.digest());
+  EXPECT_EQ(fwd, rev);
+}
+
+TEST(WaveHash, SubtractionUndoesAddition) {
+  Rng rng(9);
+  WaveHash base;
+  base.add(1, 10, 1);
+  base.add(2, 20, 0);
+  WaveHash speculative = base;
+  // Speculate and roll back random batches; digest must return to base.
+  for (int round = 0; round < 50; ++round) {
+    std::vector<ChangeRecord> batch;
+    for (int i = 0; i < 5; ++i)
+      batch.push_back({rng.uniform(100), GateId(rng.uniform(8)),
+                       static_cast<Logic4>(rng.uniform(4))});
+    for (const auto& r : batch)
+      speculative.add(r.gate, r.time, static_cast<std::uint8_t>(r.value));
+    EXPECT_NE(speculative.digest(), base.digest());
+    for (const auto& r : batch)
+      speculative.sub(r.gate, r.time, static_cast<std::uint8_t>(r.value));
+    EXPECT_EQ(speculative.digest(), base.digest());
+  }
+}
+
+TEST(WaveHash, MergeIsAssociative) {
+  WaveHash a, b, c;
+  a.add(1, 1, 1);
+  b.add(2, 2, 0);
+  c.add(3, 3, 2);
+  WaveHash ab = a;
+  ab.merge(b);
+  WaveHash ab_c = ab;
+  ab_c.merge(c);
+  WaveHash bc = b;
+  bc.merge(c);
+  WaveHash a_bc = a;
+  a_bc.merge(bc);
+  EXPECT_EQ(ab_c.digest(), a_bc.digest());
+  EXPECT_EQ(ab_c.change_count(), 3u);
+}
+
+}  // namespace
+}  // namespace plsim

@@ -1,0 +1,136 @@
+// Tests for the stuck-at fault simulator: known detections, serial/parallel
+// agreement, collapsing, first-detection bookkeeping and test compaction.
+
+#include <gtest/gtest.h>
+
+#include "fault/fault.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/builtin.hpp"
+#include "netlist/generators.hpp"
+#include "stim/stimulus.hpp"
+
+namespace plsim {
+namespace {
+
+TEST(Fault, EnumerationAndCollapsing) {
+  NetlistBuilder b;
+  const GateId a = b.add_input("a");
+  const GateId inv = b.add_gate(GateType::Not, {a}, "inv");
+  const GateId buf = b.add_gate(GateType::Buf, {inv}, "buf");
+  b.mark_output(buf);
+  const Circuit c = b.build();
+
+  const auto collapsed = enumerate_faults(c, true);
+  const auto full = enumerate_faults(c, false);
+  EXPECT_EQ(full.size(), 6u);       // 3 gates x sa0/sa1
+  EXPECT_EQ(collapsed.size(), 2u);  // only the input's faults remain
+  for (const Fault& f : collapsed) EXPECT_EQ(f.gate, a);
+}
+
+TEST(Fault, SingleAndGateDetections) {
+  // y = AND(a, b). Vector (1,1) detects y/sa0, a/sa0, b/sa0; vector (0,1)
+  // detects a/sa1 and y/sa1; (1,0) detects b/sa1 and y/sa1.
+  NetlistBuilder bld;
+  const GateId a = bld.add_input("a");
+  const GateId b = bld.add_input("b");
+  const GateId y = bld.add_gate(GateType::And, {a, b}, "y");
+  bld.mark_output(y);
+  const Circuit c = bld.build();
+
+  Stimulus s;
+  s.period = 10;
+  s.vectors = {{Logic4::T, Logic4::T}};
+  const auto faults = enumerate_faults(c);
+  ASSERT_EQ(faults.size(), 6u);
+  const FaultSimResult r = fault_simulate_parallel(c, s, faults);
+  // Detected: a/sa0, b/sa0, y/sa0 (output flips 1 -> 0).
+  EXPECT_EQ(r.detected, 3u);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const bool expect_detect = !faults[i].stuck_one;
+    EXPECT_EQ(r.detected_mask[i] != 0, expect_detect) << i;
+  }
+
+  // Add the two complementary vectors: full coverage.
+  s.vectors.push_back({Logic4::F, Logic4::T});
+  s.vectors.push_back({Logic4::T, Logic4::F});
+  const FaultSimResult full = fault_simulate_parallel(c, s, faults);
+  EXPECT_EQ(full.detected, 6u);
+  EXPECT_DOUBLE_EQ(full.coverage(), 1.0);
+}
+
+TEST(Fault, SerialAndParallelAgreeEverywhere) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    RandomCircuitSpec spec;
+    spec.n_gates = 150;
+    spec.n_inputs = 10;
+    spec.dff_fraction = seed == 3 ? 0.1 : 0.0;  // include a sequential case
+    spec.seed = seed;
+    const Circuit c = random_circuit(spec);
+    const Stimulus s = random_stimulus(c, 30, 0.5, seed * 7);
+    const auto faults = enumerate_faults(c);
+    const FaultSimResult a = fault_simulate_serial(c, s, faults);
+    const FaultSimResult b = fault_simulate_parallel(c, s, faults);
+    EXPECT_EQ(a.detected, b.detected) << "seed " << seed;
+    EXPECT_EQ(a.detected_mask, b.detected_mask) << "seed " << seed;
+    // ~63 lanes of work saved.
+    EXPECT_GT(a.gate_evaluations, 40 * b.gate_evaluations);
+  }
+}
+
+TEST(Fault, ExhaustiveVectorsachieveFullCoverageOnAdder) {
+  const Circuit c = ripple_adder(3);  // 7 inputs -> 128 vectors
+  const Stimulus s = exhaustive_stimulus(c);
+  const auto faults = enumerate_faults(c);
+  const FaultSimResult r = fault_simulate_parallel(c, s, faults);
+  EXPECT_DOUBLE_EQ(r.coverage(), 1.0);
+}
+
+TEST(Fault, FirstDetectionIsConsistentWithDetection) {
+  const Circuit c = ripple_adder(6);
+  const Stimulus s = random_stimulus(c, 40, 0.5, 5);
+  const auto faults = enumerate_faults(c);
+  const FaultSimResult r = fault_simulate_parallel(c, s, faults);
+  const auto first = fault_first_detection(c, s, faults);
+  ASSERT_EQ(first.size(), faults.size());
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    EXPECT_EQ(first[i] >= 0, r.detected_mask[i] != 0) << i;
+    if (first[i] >= 0)
+      EXPECT_LT(first[i], static_cast<std::int32_t>(s.vectors.size()));
+  }
+}
+
+TEST(Fault, CompactionPreservesCoverage) {
+  const Circuit c = array_multiplier(5);
+  const Stimulus s = random_stimulus(c, 120, 0.5, 9);
+  const auto faults = enumerate_faults(c);
+  const FaultSimResult before = fault_simulate_parallel(c, s, faults);
+
+  const Stimulus compact = compact_stimulus(c, s, faults);
+  EXPECT_LT(compact.vectors.size(), s.vectors.size() / 2);  // big reduction
+  const FaultSimResult after = fault_simulate_parallel(c, compact, faults);
+  EXPECT_EQ(after.detected, before.detected);
+}
+
+TEST(Fault, CompactionRejectsSequentialCircuits) {
+  const Circuit c = counter(4);
+  const Stimulus s = random_stimulus(c, 10, 0.5, 1);
+  const auto faults = enumerate_faults(c);
+  EXPECT_THROW(compact_stimulus(c, s, faults), Error);
+}
+
+TEST(Fault, UndetectableFaultStaysUndetected) {
+  // y = OR(a, NOT(a)) is constantly 1: y/sa1 can never be observed.
+  NetlistBuilder bld;
+  const GateId a = bld.add_input("a");
+  const GateId na = bld.add_gate(GateType::Not, {a}, "na");
+  const GateId y = bld.add_gate(GateType::Or, {a, na}, "y");
+  bld.mark_output(y);
+  const Circuit c = bld.build();
+  const Stimulus s = exhaustive_stimulus(c);
+  const std::vector<Fault> faults = {{y, true}};  // y stuck-at-1
+  const FaultSimResult r = fault_simulate_parallel(c, s, faults);
+  EXPECT_EQ(r.detected, 0u);
+}
+
+}  // namespace
+}  // namespace plsim

@@ -1,0 +1,214 @@
+// Tests for the circuit generators: structural invariants, determinism, and
+// functional correctness of the arithmetic circuits (checked against host
+// arithmetic through the compiled two-valued simulator).
+
+#include <gtest/gtest.h>
+
+#include "netlist/generators.hpp"
+#include "netlist/stats.hpp"
+#include "seq/compiled.hpp"
+#include "util/rng.hpp"
+
+namespace plsim {
+namespace {
+
+TEST(RandomCircuit, RespectsSpec) {
+  RandomCircuitSpec spec;
+  spec.n_gates = 500;
+  spec.n_inputs = 20;
+  spec.n_outputs = 10;
+  spec.dff_fraction = 0.15;
+  spec.seed = 42;
+  const Circuit c = random_circuit(spec);
+  EXPECT_EQ(c.gate_count(), 500u);
+  EXPECT_EQ(c.primary_inputs().size(), 20u);
+  EXPECT_EQ(c.flip_flops().size(), 72u);  // exactly 15% of 480
+  EXPECT_GE(c.primary_outputs().size(), 1u);
+  EXPECT_GT(c.depth(), 3u);
+}
+
+TEST(RandomCircuit, DeterministicPerSeed) {
+  RandomCircuitSpec spec;
+  spec.n_gates = 300;
+  spec.seed = 7;
+  const Circuit a = random_circuit(spec);
+  const Circuit b = random_circuit(spec);
+  ASSERT_EQ(a.gate_count(), b.gate_count());
+  for (GateId g = 0; g < a.gate_count(); ++g) {
+    EXPECT_EQ(a.type(g), b.type(g));
+    ASSERT_EQ(a.fanins(g).size(), b.fanins(g).size());
+    for (std::size_t i = 0; i < a.fanins(g).size(); ++i)
+      EXPECT_EQ(a.fanins(g)[i], b.fanins(g)[i]);
+  }
+  spec.seed = 8;
+  const Circuit d = random_circuit(spec);
+  bool any_diff = false;
+  for (GateId g = 0; g < a.gate_count() && !any_diff; ++g)
+    if (a.type(g) != d.type(g)) any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RandomCircuit, FineDelays) {
+  RandomCircuitSpec spec;
+  spec.n_gates = 400;
+  spec.delay_mode = DelayMode::Uniform;
+  spec.delay_spread = 9;
+  const Circuit c = random_circuit(spec);
+  std::uint32_t lo = 1000, hi = 0;
+  for (GateId g = 0; g < c.gate_count(); ++g) {
+    lo = std::min(lo, c.delay(g));
+    hi = std::max(hi, c.delay(g));
+  }
+  EXPECT_EQ(lo, 1u);
+  EXPECT_GT(hi, 5u);
+  EXPECT_LE(hi, 9u);
+}
+
+TEST(RippleAdder, AddsCorrectly) {
+  const int bits = 6;
+  const Circuit c = ripple_adder(bits);
+  ASSERT_EQ(c.primary_inputs().size(), std::size_t(2 * bits + 1));
+  ASSERT_EQ(c.primary_outputs().size(), std::size_t(bits + 1));
+
+  // Drive 64 random lane pairs through the compiled simulator.
+  Rng rng(5);
+  PackedVectors vecs(1);
+  vecs[0].resize(2 * bits + 1);
+  std::uint64_t a_lane[64], b_lane[64], cin_lane[64];
+  for (int lane = 0; lane < 64; ++lane) {
+    a_lane[lane] = rng.uniform(1ull << bits);
+    b_lane[lane] = rng.uniform(1ull << bits);
+    cin_lane[lane] = rng.uniform(2);
+  }
+  for (int i = 0; i < bits; ++i) {
+    std::uint64_t wa = 0, wb = 0;
+    for (int lane = 0; lane < 64; ++lane) {
+      wa |= ((a_lane[lane] >> i) & 1) << lane;
+      wb |= ((b_lane[lane] >> i) & 1) << lane;
+    }
+    vecs[0][i] = wa;          // a[i]
+    vecs[0][bits + i] = wb;   // b[i]
+  }
+  std::uint64_t wc = 0;
+  for (int lane = 0; lane < 64; ++lane) wc |= (cin_lane[lane] & 1) << lane;
+  vecs[0][2 * bits] = wc;
+
+  const CompiledResult r = simulate_compiled(c, vecs);
+  for (int lane = 0; lane < 64; ++lane) {
+    const std::uint64_t expect = a_lane[lane] + b_lane[lane] + cin_lane[lane];
+    std::uint64_t got = 0;
+    const auto pos = c.primary_outputs();
+    for (std::size_t i = 0; i < pos.size(); ++i)
+      got |= ((r.final_values[pos[i]] >> lane) & 1) << i;
+    EXPECT_EQ(got, expect) << "lane " << lane;
+  }
+}
+
+TEST(ArrayMultiplier, MultipliesCorrectly) {
+  const int bits = 4;
+  const Circuit c = array_multiplier(bits);
+  ASSERT_EQ(c.primary_outputs().size(), std::size_t(2 * bits));
+
+  Rng rng(9);
+  PackedVectors vecs(1);
+  vecs[0].resize(2 * bits);
+  std::uint64_t a_lane[64], b_lane[64];
+  for (int lane = 0; lane < 64; ++lane) {
+    a_lane[lane] = rng.uniform(1ull << bits);
+    b_lane[lane] = rng.uniform(1ull << bits);
+  }
+  for (int i = 0; i < bits; ++i) {
+    std::uint64_t wa = 0, wb = 0;
+    for (int lane = 0; lane < 64; ++lane) {
+      wa |= ((a_lane[lane] >> i) & 1) << lane;
+      wb |= ((b_lane[lane] >> i) & 1) << lane;
+    }
+    vecs[0][i] = wa;
+    vecs[0][bits + i] = wb;
+  }
+  const CompiledResult r = simulate_compiled(c, vecs);
+  for (int lane = 0; lane < 64; ++lane) {
+    const std::uint64_t expect = a_lane[lane] * b_lane[lane];
+    std::uint64_t got = 0;
+    const auto pos = c.primary_outputs();
+    for (std::size_t i = 0; i < pos.size(); ++i)
+      got |= ((r.final_values[pos[i]] >> lane) & 1) << i;
+    EXPECT_EQ(got, expect) << "lane " << lane;
+  }
+}
+
+TEST(Counter, CountsCycles) {
+  const int bits = 5;
+  const Circuit c = counter(bits);
+  // Enable high for 11 cycles: counter must read 11 afterwards.
+  PackedVectors vecs(11, std::vector<std::uint64_t>{~0ull});
+  const CompiledResult r = simulate_compiled(c, vecs);
+  std::uint64_t got = 0;
+  const auto pos = c.primary_outputs();
+  for (std::size_t i = 0; i < pos.size(); ++i)
+    got |= (r.final_values[pos[i]] & 1) << i;
+  EXPECT_EQ(got, 11u);
+}
+
+TEST(Lfsr, MatchesSoftwareModel) {
+  const int bits = 8;
+  const std::vector<int> taps = {7, 5, 4, 3};
+  const Circuit c = lfsr(bits, taps);
+  const int cycles = 40;
+  // Serial input: alternating bit pattern so the register leaves the all-zero
+  // state.
+  PackedVectors vecs;
+  std::vector<int> sin_bits;
+  Rng rng(3);
+  for (int k = 0; k < cycles; ++k) {
+    const int bit = static_cast<int>(rng.uniform(2));
+    sin_bits.push_back(bit);
+    vecs.push_back({bit ? ~0ull : 0ull});
+  }
+  const CompiledResult r = simulate_compiled(c, vecs);
+
+  // Software model of the same Fibonacci LFSR.
+  std::vector<int> q(bits, 0);
+  for (int k = 0; k < cycles; ++k) {
+    int fb = sin_bits[k];
+    for (int t : taps) fb ^= q[t];
+    for (int i = bits - 1; i > 0; --i) q[i] = q[i - 1];
+    q[0] = fb;
+  }
+  const GateId out = c.primary_outputs()[0];
+  EXPECT_EQ(r.final_values[out] & 1, static_cast<std::uint64_t>(q[bits - 1]));
+}
+
+TEST(Pipeline, StructureAndDeterminism) {
+  const Circuit c = pipeline(8, 4, 11);
+  EXPECT_EQ(c.flip_flops().size(), 32u);
+  EXPECT_EQ(c.primary_outputs().size(), 8u);
+  const Circuit d = pipeline(8, 4, 11);
+  EXPECT_EQ(c.gate_count(), d.gate_count());
+}
+
+TEST(IscasProfiles, MatchPublishedCounts) {
+  for (const auto& p : iscas_profiles()) {
+    SCOPED_TRACE(std::string(p.name));
+    if (p.gates > 6000) continue;  // keep the test fast
+    const Circuit c = iscas_profile_circuit(p.name, 1);
+    EXPECT_EQ(c.gate_count(), p.gates);
+    EXPECT_EQ(c.primary_inputs().size(), p.inputs);
+    EXPECT_EQ(c.primary_outputs().size(), p.outputs);
+    // Sequential-remainder sampling makes the DFF count exact (±1 rounding).
+    if (p.dffs > 0) {
+      EXPECT_NEAR(static_cast<double>(c.flip_flops().size()),
+                  static_cast<double>(p.dffs), 1.0);
+    }
+  }
+}
+
+TEST(ScaledCircuit, SizesTrack) {
+  for (std::size_t n : {200u, 1000u, 5000u}) {
+    const Circuit c = scaled_circuit(n, 1);
+    EXPECT_EQ(c.gate_count(), n);
+  }
+}
+
+}  // namespace
+}  // namespace plsim

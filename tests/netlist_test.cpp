@@ -1,0 +1,178 @@
+// Tests for the circuit graph, builder validation, levelization, `.bench`
+// round-tripping, embedded circuits and topology statistics.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "netlist/bench_io.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/builtin.hpp"
+#include "netlist/circuit.hpp"
+#include "netlist/stats.hpp"
+
+namespace plsim {
+namespace {
+
+TEST(Builder, SimpleAndGate) {
+  NetlistBuilder b;
+  const GateId a = b.add_input("a");
+  const GateId x = b.add_input("x");
+  const GateId g = b.add_gate(GateType::And, {a, x}, "g");
+  b.mark_output(g);
+  const Circuit c = b.build();
+  ASSERT_EQ(c.gate_count(), 3u);
+  EXPECT_EQ(c.type(g), GateType::And);
+  ASSERT_EQ(c.fanins(g).size(), 2u);
+  EXPECT_EQ(c.fanins(g)[0], a);
+  EXPECT_EQ(c.fanouts(a).size(), 1u);
+  EXPECT_EQ(c.fanouts(a)[0], g);
+  EXPECT_EQ(c.primary_inputs().size(), 2u);
+  EXPECT_EQ(c.primary_outputs().size(), 1u);
+  EXPECT_TRUE(c.is_primary_output(g));
+  EXPECT_EQ(c.level(a), 0u);
+  EXPECT_EQ(c.level(g), 1u);
+  EXPECT_EQ(c.depth(), 1u);
+}
+
+TEST(Builder, RejectsCombinationalCycle) {
+  NetlistBuilder b;
+  const GateId a = b.add_input();
+  const GateId g1 = b.add_gate(GateType::And);
+  const GateId g2 = b.add_gate(GateType::Or);
+  b.set_fanins(g1, {a, g2});
+  b.set_fanins(g2, {g1, a});
+  EXPECT_THROW(b.build(), Error);
+}
+
+TEST(Builder, AcceptsSequentialFeedback) {
+  NetlistBuilder b;
+  const GateId a = b.add_input();
+  const GateId ff = b.add_gate(GateType::Dff);
+  const GateId g = b.add_gate(GateType::Nor, {a, ff});
+  b.set_fanins(ff, {g});  // loop broken by the DFF
+  b.mark_output(g);
+  const Circuit c = b.build();
+  EXPECT_EQ(c.flip_flops().size(), 1u);
+  EXPECT_EQ(c.level(ff), 0u);
+  EXPECT_EQ(c.level(g), 1u);
+}
+
+TEST(Builder, RejectsBadArity) {
+  NetlistBuilder b;
+  const GateId a = b.add_input();
+  b.add_gate(GateType::Not, {a, a});
+  EXPECT_THROW(b.build(), Error);
+}
+
+TEST(Builder, RejectsDuplicateNames) {
+  NetlistBuilder b;
+  b.add_input("sig");
+  b.add_input("sig");
+  EXPECT_THROW(b.build(), Error);
+}
+
+TEST(Builder, RejectsDanglingFanin) {
+  NetlistBuilder b;
+  const GateId a = b.add_input();
+  b.add_gate(GateType::Buf, {static_cast<GateId>(a + 100)});
+  EXPECT_THROW(b.build(), Error);
+}
+
+TEST(Builder, DelayValidation) {
+  NetlistBuilder b;
+  const GateId a = b.add_input();
+  const GateId g = b.add_gate(GateType::Buf, {a});
+  EXPECT_THROW(b.set_delay(g, 0), Error);
+  b.set_delay(g, 7);
+  const Circuit c = b.build();
+  EXPECT_EQ(c.delay(g), 7u);
+  EXPECT_EQ(c.min_delay(), 1u);  // the input's default
+}
+
+TEST(Builder, LevelOrderIsTopological) {
+  const Circuit c = builtin_circuit("c17");
+  std::vector<int> pos(c.gate_count(), -1);
+  const auto order = c.level_order();
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = int(i);
+  for (GateId g = 0; g < c.gate_count(); ++g) {
+    if (c.type(g) == GateType::Dff) continue;
+    for (GateId f : c.fanins(g)) EXPECT_LT(pos[f], pos[g]);
+  }
+}
+
+// ------------------------------------------------------------- bench I/O --
+
+TEST(BenchIO, ParseC17) {
+  const Circuit c = builtin_circuit("c17");
+  EXPECT_EQ(c.gate_count(), 11u);  // 5 inputs + 6 NANDs
+  EXPECT_EQ(c.primary_inputs().size(), 5u);
+  EXPECT_EQ(c.primary_outputs().size(), 2u);
+  EXPECT_EQ(c.flip_flops().size(), 0u);
+  EXPECT_EQ(c.depth(), 3u);
+  int nands = 0;
+  for (GateId g = 0; g < c.gate_count(); ++g)
+    if (c.type(g) == GateType::Nand) ++nands;
+  EXPECT_EQ(nands, 6);
+}
+
+TEST(BenchIO, ParseS27) {
+  const Circuit c = builtin_circuit("s27");
+  EXPECT_EQ(c.primary_inputs().size(), 4u);
+  EXPECT_EQ(c.primary_outputs().size(), 1u);
+  EXPECT_EQ(c.flip_flops().size(), 3u);
+  EXPECT_EQ(c.gate_count(), 17u);  // 4 PI + 3 DFF + 10 gates
+}
+
+TEST(BenchIO, ForwardReferencesAllowed) {
+  const Circuit c = parse_bench_string(
+      "INPUT(a)\nOUTPUT(y)\ny = BUF(w)\nw = NOT(a)\n");
+  EXPECT_EQ(c.gate_count(), 3u);
+}
+
+TEST(BenchIO, Errors) {
+  EXPECT_THROW(parse_bench_string("y = NAND(a, b)\n"), Error);   // undefined a
+  EXPECT_THROW(parse_bench_string("INPUT(a)\nOUTPUT(z)\n"), Error);
+  EXPECT_THROW(parse_bench_string("INPUT(a)\na = NOT(a)\n"), Error);
+  EXPECT_THROW(parse_bench_string("GARBAGE LINE\n"), Error);
+}
+
+TEST(BenchIO, CommentsAndWhitespace) {
+  const Circuit c = parse_bench_string(
+      "# header\n\nINPUT( a )\n  OUTPUT(y) # trailing\n y = NOT( a )\n");
+  EXPECT_EQ(c.gate_count(), 2u);
+}
+
+TEST(BenchIO, RoundTrip) {
+  const Circuit c1 = builtin_circuit("s27");
+  const std::string text = write_bench_string(c1, "roundtrip");
+  const Circuit c2 = parse_bench_string(text);
+  ASSERT_EQ(c1.gate_count(), c2.gate_count());
+  EXPECT_EQ(c1.primary_inputs().size(), c2.primary_inputs().size());
+  EXPECT_EQ(c1.primary_outputs().size(), c2.primary_outputs().size());
+  EXPECT_EQ(c1.flip_flops().size(), c2.flip_flops().size());
+  // Structure must match by name.
+  for (GateId g = 0; g < c1.gate_count(); ++g) {
+    SCOPED_TRACE(c1.name(g));
+    // Find the same-named gate in c2.
+    GateId match = kNoGate;
+    for (GateId h = 0; h < c2.gate_count(); ++h)
+      if (c2.name(h) == c1.name(g)) match = h;
+    ASSERT_NE(match, kNoGate);
+    EXPECT_EQ(c2.type(match), c1.type(g));
+    EXPECT_EQ(c2.fanins(match).size(), c1.fanins(g).size());
+  }
+}
+
+TEST(Stats, C17Stats) {
+  const CircuitStats s = compute_stats(builtin_circuit("c17"));
+  EXPECT_EQ(s.gates, 11u);
+  EXPECT_EQ(s.inputs, 5u);
+  EXPECT_EQ(s.outputs, 2u);
+  EXPECT_EQ(s.edges, 12u);  // 6 NANDs x 2 fanins
+  EXPECT_EQ(s.depth, 3u);
+  EXPECT_EQ(s.max_fanin, 2u);
+}
+
+}  // namespace
+}  // namespace plsim

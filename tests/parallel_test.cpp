@@ -1,0 +1,128 @@
+// Tests for the threads substrate: mailboxes, the min-reducing barrier, and
+// the fork-join helper. These run real threads (the suite multiplexes fine
+// on a single core).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "parallel/barrier.hpp"
+#include "parallel/mailbox.hpp"
+#include "parallel/threads.hpp"
+
+namespace plsim {
+namespace {
+
+TEST(Mailbox, PushDrainPreservesOrder) {
+  Mailbox<int> mb;
+  for (int i = 0; i < 100; ++i) mb.push(i);
+  std::vector<int> out;
+  EXPECT_EQ(mb.drain(out), 100u);
+  ASSERT_EQ(out.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(out[i], i);
+  EXPECT_EQ(mb.drain(out), 0u);
+}
+
+TEST(Mailbox, PushManyAppends) {
+  Mailbox<int> mb;
+  mb.push(1);
+  mb.push_many({2, 3, 4});
+  std::vector<int> out;
+  mb.drain(out);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(Mailbox, WaitAndDrainBlocksUntilPush) {
+  Mailbox<int> mb;
+  std::atomic<bool> got{false};
+  std::thread consumer([&] {
+    std::vector<int> out;
+    mb.wait_and_drain(out);
+    if (out.size() == 1 && out[0] == 42) got = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  mb.push(42);
+  consumer.join();
+  EXPECT_TRUE(got);
+}
+
+TEST(Mailbox, WakeReleasesWaiterWithoutItems) {
+  Mailbox<int> mb;
+  std::atomic<bool> woke{false};
+  std::thread consumer([&] {
+    std::vector<int> out;
+    mb.wait_and_drain(out);
+    woke = out.empty();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  mb.wake();
+  consumer.join();
+  EXPECT_TRUE(woke);
+}
+
+TEST(Mailbox, WakeCreditPersists) {
+  Mailbox<int> mb;
+  mb.wake();  // credit banked before any waiter exists
+  std::vector<int> out;
+  mb.wait_and_drain(out);  // returns immediately
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Mailbox, ConcurrentProducers) {
+  Mailbox<int> mb;
+  constexpr int kProducers = 4, kPerProducer = 250;
+  run_on_threads(kProducers, [&](unsigned tid) {
+    for (int i = 0; i < kPerProducer; ++i)
+      mb.push(static_cast<int>(tid) * kPerProducer + i);
+  });
+  std::vector<int> out;
+  mb.drain(out);
+  ASSERT_EQ(out.size(), std::size_t(kProducers * kPerProducer));
+  std::sort(out.begin(), out.end());
+  for (int i = 0; i < kProducers * kPerProducer; ++i) EXPECT_EQ(out[i], i);
+}
+
+TEST(Barrier, ReducesMinimumAcrossThreads) {
+  constexpr unsigned kThreads = 4;
+  MinReduceBarrier barrier(kThreads);
+  std::vector<Tick> results(kThreads, 0);
+  run_on_threads(kThreads, [&](unsigned tid) {
+    // Round 1: contribute tid+10; min = 10.
+    results[tid] = barrier.arrive(tid + 10);
+  });
+  for (Tick r : results) EXPECT_EQ(r, 10u);
+}
+
+TEST(Barrier, ReusableAcrossRounds) {
+  constexpr unsigned kThreads = 3;
+  MinReduceBarrier barrier(kThreads);
+  std::vector<std::vector<Tick>> results(kThreads);
+  run_on_threads(kThreads, [&](unsigned tid) {
+    for (Tick round = 0; round < 50; ++round)
+      results[tid].push_back(barrier.arrive(100 * round + tid));
+  });
+  for (unsigned t = 0; t < kThreads; ++t)
+    for (Tick round = 0; round < 50; ++round)
+      EXPECT_EQ(results[t][round], 100 * round) << "thread " << t;
+}
+
+TEST(Barrier, InfinityWhenAllContributeInfinity) {
+  constexpr unsigned kThreads = 2;
+  MinReduceBarrier barrier(kThreads);
+  std::vector<Tick> results(kThreads, 0);
+  run_on_threads(kThreads, [&](unsigned tid) {
+    results[tid] = barrier.arrive(kTickInf);
+  });
+  for (Tick r : results) EXPECT_EQ(r, kTickInf);
+}
+
+TEST(RunOnThreads, RunsEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(8);
+  run_on_threads(8, [&](unsigned tid) { ++hits[tid]; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_THROW(run_on_threads(0, [](unsigned) {}), Error);
+}
+
+}  // namespace
+}  // namespace plsim

@@ -1,0 +1,142 @@
+// Tests for the partitioning algorithms (paper §III): validity, determinism,
+// balance, and cut quality relative to the random baseline.
+
+#include <gtest/gtest.h>
+
+#include "netlist/builtin.hpp"
+#include "netlist/generators.hpp"
+#include "partition/algorithms.hpp"
+#include "seq/golden.hpp"
+#include "stim/stimulus.hpp"
+
+namespace plsim {
+namespace {
+
+class AllPartitioners
+    : public ::testing::TestWithParam<std::tuple<std::string, std::uint32_t>> {
+};
+
+Partition run_named(const std::string& name, const Circuit& c, std::uint32_t k,
+                    std::uint64_t seed) {
+  for (const auto& np : standard_partitioners())
+    if (np.name == name) return np.run(c, k, seed);
+  throw Error("unknown partitioner " + name);
+}
+
+TEST_P(AllPartitioners, ProducesValidPartition) {
+  const auto [name, k] = GetParam();
+  const Circuit c = scaled_circuit(600, 11);
+  const Partition p = run_named(name, c, k, 1);
+  validate_partition(c, p);
+  EXPECT_EQ(p.n_blocks, k);
+
+  const PartitionMetrics m = evaluate_partition(c, p);
+  EXPECT_EQ(m.total_weight, c.gate_count());
+  EXPECT_GE(m.min_load, 1u);
+}
+
+TEST_P(AllPartitioners, DeterministicForSeed) {
+  const auto [name, k] = GetParam();
+  const Circuit c = scaled_circuit(300, 7);
+  const Partition a = run_named(name, c, k, 5);
+  const Partition b = run_named(name, c, k, 5);
+  EXPECT_EQ(a.block_of, b.block_of);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AllPartitioners,
+    ::testing::Combine(::testing::Values("random", "round_robin", "levels",
+                                         "strings", "cones", "kl", "fm",
+                                         "anneal", "multilevel"),
+                       ::testing::Values(2u, 4u, 8u)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_k" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Partition, MinCutHeuristicsBeatRandom) {
+  const Circuit c = scaled_circuit(1200, 3);
+  const std::uint32_t k = 4;
+  const auto random_cut = evaluate_partition(c, partition_random(c, k, 1)).cut_edges;
+  const auto fm_cut = evaluate_partition(c, partition_fm(c, k, 1)).cut_edges;
+  const auto kl_cut = evaluate_partition(c, partition_kl(c, k, 1)).cut_edges;
+  const auto ml_cut =
+      evaluate_partition(c, partition_multilevel(c, k, 1)).cut_edges;
+  EXPECT_LT(fm_cut, random_cut);
+  EXPECT_LT(kl_cut, random_cut);
+  EXPECT_LT(ml_cut, random_cut);
+  // Multilevel should at least be in FM's league on mid-size netlists.
+  EXPECT_LT(ml_cut, fm_cut * 2);
+}
+
+TEST(Partition, FmKeepsBalance) {
+  const Circuit c = scaled_circuit(1000, 9);
+  const Partition p = partition_fm(c, 8, 2);
+  const PartitionMetrics m = evaluate_partition(c, p);
+  EXPECT_LT(m.imbalance, 1.35);
+}
+
+TEST(Partition, RoundRobinPerfectCountBalance) {
+  const Circuit c = scaled_circuit(512, 5);
+  const Partition p = partition_round_robin(c, 8);
+  const PartitionMetrics m = evaluate_partition(c, p);
+  EXPECT_EQ(m.max_load, 64u);
+  EXPECT_EQ(m.min_load, 64u);
+}
+
+TEST(Partition, ConesFollowFaninStructure) {
+  // In a cone partition of a tree-like circuit, most fanin edges stay local.
+  const Circuit c = ripple_adder(16);
+  const Partition cones = partition_cones(c, 4);
+  const Partition random = partition_random(c, 4, 1);
+  EXPECT_LT(evaluate_partition(c, cones).cut_edges,
+            evaluate_partition(c, random).cut_edges);
+}
+
+TEST(Partition, ActivityRefinementImprovesWeightedBalance) {
+  const Circuit c = scaled_circuit(800, 13);
+  const Stimulus s = random_stimulus(c, 60, 0.4, 7);
+  const auto activity = presimulate_activity(c, s, 30);
+
+  // Start from a cut-centric partition that ignores activity.
+  const Partition base = partition_fm(c, 6, 3);
+  const Partition refined = refine_with_activity(c, base, activity);
+  validate_partition(c, refined);
+
+  std::vector<std::uint32_t> weights(activity.begin(), activity.end());
+  const double before = evaluate_partition(c, base, weights).imbalance;
+  const double after = evaluate_partition(c, refined, weights).imbalance;
+  EXPECT_LE(after, before + 1e-9);
+}
+
+TEST(Partition, FixEmptyBlocksRepairs) {
+  const Circuit c = builtin_circuit("c17");
+  Partition p;
+  p.n_blocks = 3;
+  p.block_of.assign(c.gate_count(), 0);  // everything in block 0
+  EXPECT_THROW(validate_partition(c, p), Error);
+  fix_empty_blocks(c, p);
+  validate_partition(c, p);
+}
+
+TEST(Partition, ExportedSetsMatchDefinition) {
+  const Circuit c = builtin_circuit("s27");
+  const Partition p = partition_round_robin(c, 3);
+  const auto exported = p.exported(c);
+  for (std::uint32_t b = 0; b < 3; ++b) {
+    for (GateId g : exported[b]) {
+      EXPECT_EQ(p.block_of[g], b);
+      bool crosses = false;
+      for (GateId s : c.fanouts(g)) crosses |= (p.block_of[s] != b);
+      EXPECT_TRUE(crosses);
+    }
+  }
+}
+
+TEST(Partition, MoreBlocksThanGatesThrows) {
+  const Circuit c = builtin_circuit("c17");  // 11 gates
+  EXPECT_THROW(partition_round_robin(c, 20), Error);
+}
+
+}  // namespace
+}  // namespace plsim

@@ -1,0 +1,197 @@
+// Robustness and regression tests: randomized bench-format round-trips,
+// a cross-engine equivalence sweep over every circuit family, randomized
+// rollback chaos against the straight-line oracle, and pinned waveform
+// digests that guard the simulation semantics against silent drift.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/block.hpp"
+#include "core/environment.hpp"
+#include "engines/engine.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/builtin.hpp"
+#include "netlist/generators.hpp"
+#include "partition/algorithms.hpp"
+#include "seq/golden.hpp"
+#include "stim/stimulus.hpp"
+#include "util/rng.hpp"
+#include "vp/vp.hpp"
+
+namespace plsim {
+namespace {
+
+// ------------------------------------------------- bench I/O fuzz sweep --
+
+class BenchRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BenchRoundTrip, GeneratedCircuitsSurviveWriteParse) {
+  RandomCircuitSpec spec;
+  spec.n_gates = 120 + GetParam() * 37;
+  spec.n_inputs = 4 + GetParam() % 11;
+  spec.dff_fraction = (GetParam() % 3) * 0.08;
+  spec.seed = GetParam();
+  const Circuit a = random_circuit(spec);
+  const Circuit b = parse_bench_string(write_bench_string(a));
+
+  ASSERT_EQ(a.gate_count(), b.gate_count());
+  EXPECT_EQ(a.primary_inputs().size(), b.primary_inputs().size());
+  EXPECT_EQ(a.primary_outputs().size(), b.primary_outputs().size());
+  EXPECT_EQ(a.flip_flops().size(), b.flip_flops().size());
+  EXPECT_EQ(a.depth(), b.depth());
+
+  // Structure must match by name (the format does not carry delays).
+  std::unordered_map<std::string, GateId> by_name;
+  for (GateId g = 0; g < b.gate_count(); ++g) by_name[b.name(g)] = g;
+  for (GateId g = 0; g < a.gate_count(); ++g) {
+    const auto it = by_name.find(a.name(g));
+    ASSERT_NE(it, by_name.end()) << a.name(g);
+    EXPECT_EQ(b.type(it->second), a.type(g));
+    ASSERT_EQ(b.fanins(it->second).size(), a.fanins(g).size());
+    for (std::size_t i = 0; i < a.fanins(g).size(); ++i)
+      EXPECT_EQ(b.name(b.fanins(it->second)[i]), a.name(a.fanins(g)[i]));
+  }
+
+  // And the two must simulate identically (unit delays on both sides).
+  const Stimulus s = random_stimulus(a, 15, 0.4, GetParam());
+  EXPECT_EQ(simulate_golden(a, s).wave.digest(),
+            simulate_golden(b, s).wave.digest());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BenchRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+// ----------------------------------------- every family, every executor --
+
+TEST(FamilySweep, AllEnginesAgreeOnEveryCircuitFamily) {
+  struct Case {
+    std::string name;
+    Circuit circuit;
+  };
+  Case cases[] = {
+      {"c17", builtin_circuit("c17")},
+      {"s27", builtin_circuit("s27")},
+      {"adder", ripple_adder(8)},
+      {"multiplier", array_multiplier(4)},
+      {"lfsr", lfsr(12, {11, 8, 5, 0})},
+      {"counter", counter(6)},
+      {"pipeline", pipeline(8, 4, 3)},
+      {"modules", module_array(4, 80, 5)},
+      {"profile", iscas_profile_circuit("s344")},
+  };
+  for (auto& cs : cases) {
+    SCOPED_TRACE(cs.name);
+    const Circuit& c = cs.circuit;
+    const std::uint32_t blocks =
+        std::min<std::uint32_t>(4, static_cast<std::uint32_t>(c.gate_count() / 4));
+    const Stimulus s = random_stimulus(c, 20, 0.5, 7);
+    const RunResult golden = simulate_golden(c, s);
+    const Partition p = partition_fm(c, std::max(1u, blocks), 11);
+
+    for (const auto& e : standard_engines()) {
+      const RunResult r = e.run(c, s, p, EngineConfig{});
+      EXPECT_EQ(r.final_values, golden.final_values) << e.name;
+      EXPECT_EQ(r.wave.digest(), golden.wave.digest()) << e.name;
+    }
+    const VpConfig cfg;
+    EXPECT_EQ(run_sync_vp(c, s, p, cfg).wave_digest, golden.wave.digest());
+    EXPECT_EQ(run_conservative_vp(c, s, p, cfg).wave_digest,
+              golden.wave.digest());
+    EXPECT_EQ(run_timewarp_vp(c, s, p, cfg).wave_digest,
+              golden.wave.digest());
+    EXPECT_EQ(run_hybrid_vp(c, s, p, cfg).wave_digest, golden.wave.digest());
+  }
+}
+
+// --------------------------------------------------- pinned golden digest --
+
+TEST(Regression, PinnedWaveDigests) {
+  // These digests pin the full event-driven semantics (timing, DFF sampling,
+  // selective trace, environment bootstrapping). If an intentional semantic
+  // change occurs, update them deliberately — never silently.
+  {
+    const Circuit c = builtin_circuit("c17");
+    const Stimulus s = random_stimulus(c, 20, 0.5, 42, 10);
+    EXPECT_EQ(simulate_golden(c, s).wave.digest(), 0xa56bcdf62c1300afull);
+  }
+  {
+    const Circuit c = builtin_circuit("s27");
+    const Stimulus s = random_stimulus(c, 30, 0.5, 42, 10);
+    EXPECT_EQ(simulate_golden(c, s).wave.digest(), 0x38f5a83a450ec9acull);
+  }
+}
+
+// -------------------------------------------------------- rollback chaos --
+
+TEST(RollbackChaos, RandomRollbacksAlwaysConvergeToOracle) {
+  const Circuit c = scaled_circuit(250, 17);
+  const Stimulus stim = random_stimulus(c, 25, 0.5, 23);
+  const std::vector<Message> env = environment_messages(c, stim);
+  std::vector<GateId> all(c.gate_count());
+  std::iota(all.begin(), all.end(), 0u);
+
+  const BlockOptions base{stim.period, stim.horizon(), SaveMode::None, false};
+  BlockSimulator oracle(c, all, {}, base);
+  {
+    std::size_t pos = 0;
+    std::vector<Message> ext, out;
+    for (;;) {
+      Tick t = oracle.next_internal_time();
+      if (pos < env.size()) t = std::min(t, env[pos].time);
+      if (t >= base.horizon || t == kTickInf) break;
+      ext.clear();
+      while (pos < env.size() && env[pos].time == t) ext.push_back(env[pos++]);
+      oracle.process_batch(t, ext, out);
+    }
+  }
+
+  for (std::uint64_t chaos_seed : {1u, 2u, 3u, 4u, 5u}) {
+    SCOPED_TRACE(chaos_seed);
+    Rng rng(chaos_seed);
+    const SaveMode mode =
+        chaos_seed % 2 ? SaveMode::Incremental : SaveMode::Full;
+    BlockOptions opts = base;
+    opts.save = mode;
+    BlockSimulator blk(c, all, {}, opts);
+    std::size_t pos = 0;
+    std::vector<Message> ext, out;
+    Tick committed = 0;  // fossil-collected bound; never roll back below
+
+    int steps = 0;
+    for (;;) {
+      ASSERT_LT(steps++, 100000);
+      Tick t = blk.next_internal_time();
+      if (pos < env.size()) t = std::min(t, env[pos].time);
+      const bool done = t >= opts.horizon || t == kTickInf;
+
+      // Random chaos: roll back somewhere in [committed, now], or fossil
+      // collect up to a random point.
+      if (!done && rng.chance(0.10) && t > committed) {
+        const Tick back = committed + rng.uniform(t - committed);
+        blk.rollback_to(back);
+        pos = 0;
+        while (pos < env.size() && env[pos].time < back) ++pos;
+        continue;
+      }
+      if (!done && rng.chance(0.05) && t > committed) {
+        committed += rng.uniform(t - committed);
+        blk.fossil_collect(committed);
+      }
+      if (done) break;
+      ext.clear();
+      while (pos < env.size() && env[pos].time == t) ext.push_back(env[pos++]);
+      blk.process_batch(t, ext, out);
+    }
+
+    std::vector<Logic4> got(c.gate_count(), Logic4::X),
+        want(c.gate_count(), Logic4::X);
+    blk.harvest_values(got);
+    oracle.harvest_values(want);
+    EXPECT_EQ(got, want);
+    EXPECT_EQ(blk.wave().digest(), oracle.wave().digest());
+  }
+}
+
+}  // namespace
+}  // namespace plsim

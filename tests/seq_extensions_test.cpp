@@ -1,0 +1,138 @@
+// Cross-validation of the later-added sequential paths: the independent
+// timing-wheel golden implementation, the 9-valued oblivious simulator, and
+// the threaded bounded-window synchronous engine.
+
+#include <gtest/gtest.h>
+
+#include "engines/engine.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/builtin.hpp"
+#include "netlist/generators.hpp"
+#include "partition/algorithms.hpp"
+#include "seq/golden.hpp"
+#include "seq/oblivious.hpp"
+#include "stim/stimulus.hpp"
+
+namespace plsim {
+namespace {
+
+// Two independent implementations of the event-driven semantics must agree
+// bit-for-bit on final state, waveform digest, and every counter.
+class WheelOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WheelOracle, WheelGoldenMatchesBlockGolden) {
+  RandomCircuitSpec spec;
+  spec.n_gates = 400;
+  spec.n_inputs = 12;
+  spec.dff_fraction = 0.1;
+  spec.delay_mode = GetParam() % 2 ? DelayMode::Uniform : DelayMode::Unit;
+  spec.delay_spread = 7;
+  spec.seed = GetParam();
+  const Circuit c = random_circuit(spec);
+  const Stimulus s = random_stimulus(c, 30, 0.4, GetParam() * 13 + 1);
+
+  const RunResult a = simulate_golden(c, s);
+  const RunResult b = simulate_golden_wheel(c, s);
+  EXPECT_EQ(a.final_values, b.final_values);
+  EXPECT_EQ(a.wave.digest(), b.wave.digest());
+  EXPECT_EQ(a.stats.wire_events, b.stats.wire_events);
+  EXPECT_EQ(a.stats.evaluations, b.stats.evaluations);
+  EXPECT_EQ(a.stats.dff_samples, b.stats.dff_samples);
+  EXPECT_EQ(a.stats.batches, b.stats.batches);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WheelOracle,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(WheelOracle, S27AndC17) {
+  for (auto name : {"c17", "s27"}) {
+    const Circuit c = builtin_circuit(name);
+    const Stimulus s = random_stimulus(c, 50, 0.5, 3);
+    const RunResult a = simulate_golden(c, s);
+    const RunResult b = simulate_golden_wheel(c, s);
+    EXPECT_EQ(a.final_values, b.final_values) << name;
+    EXPECT_EQ(a.wave.digest(), b.wave.digest()) << name;
+  }
+}
+
+// ------------------------------------------------------------- oblivious9 --
+
+TEST(Oblivious9, AgreesWithFourValuedOnBinaryStimuli) {
+  for (std::uint64_t seed : {1u, 4u, 9u}) {
+    RandomCircuitSpec spec;
+    spec.n_gates = 300;
+    spec.n_inputs = 10;
+    spec.dff_fraction = 0.12;
+    spec.seed = seed;
+    const Circuit c = random_circuit(spec);
+    const Stimulus s = random_stimulus(c, 25, 0.4, seed);
+    const ObliviousResult four = simulate_oblivious(c, s);
+    const Oblivious9Result nine = simulate_oblivious9(c, s);
+    ASSERT_EQ(nine.final_values.size(), four.final_values.size());
+    for (GateId g = 0; g < c.gate_count(); ++g)
+      EXPECT_EQ(to_logic4(nine.final_values[g]), four.final_values[g])
+          << "gate " << g << " seed " << seed;
+    EXPECT_EQ(nine.evaluations, four.evaluations);
+  }
+}
+
+TEST(Oblivious9, UninitializedInputsPoisonCones) {
+  // An X input (unknown in the 4-valued system) arrives as 'X' in the
+  // 9-valued run and propagates identically.
+  NetlistBuilder b;
+  const GateId a = b.add_input("a");
+  const GateId x = b.add_input("x");
+  const GateId y = b.add_gate(GateType::And, {a, x}, "y");
+  const GateId z = b.add_gate(GateType::Or, {a, x}, "z");
+  b.mark_output(y);
+  b.mark_output(z);
+  const Circuit c = b.build();
+  Stimulus s;
+  s.period = 10;
+  s.vectors = {{Logic4::T, Logic4::X}};
+  const Oblivious9Result nine = simulate_oblivious9(c, s);
+  EXPECT_EQ(nine.final_values[y], Logic9::X);  // 1 AND X
+  EXPECT_EQ(nine.final_values[z], Logic9::T);  // 1 OR X
+}
+
+// -------------------------------------------------- threaded time buckets --
+
+TEST(ThreadedTimeBuckets, MatchesGoldenAndCutsBarriers) {
+  // Heterogeneous delays with minimum 4: window = 4 ticks.
+  RandomCircuitSpec spec;
+  spec.n_gates = 500;
+  spec.n_inputs = 12;
+  spec.dff_fraction = 0.1;
+  spec.seed = 6;
+  Circuit base = random_circuit(spec);
+  NetlistBuilder b;
+  for (GateId g = 0; g < base.gate_count(); ++g) {
+    b.add_gate(base.type(g), {}, std::string(base.name(g)));
+    b.set_delay(g, 4 + g % 5);
+  }
+  for (GateId g = 0; g < base.gate_count(); ++g) {
+    const auto fi = base.fanins(g);
+    b.set_fanins(g, {fi.begin(), fi.end()});
+  }
+  for (GateId g : base.primary_outputs()) b.mark_output(g);
+  const Circuit c = b.build();
+
+  const Stimulus s = random_stimulus(c, 20, 0.4, 11, 50);
+  const RunResult golden = simulate_golden(c, s);
+  const Partition p = partition_fm(c, 4, 1);
+
+  EngineConfig plain;
+  EngineConfig buckets;
+  buckets.time_buckets = true;
+  const RunResult a = run_synchronous(c, s, p, plain);
+  const RunResult w = run_synchronous(c, s, p, buckets);
+
+  EXPECT_EQ(a.final_values, golden.final_values);
+  EXPECT_EQ(w.final_values, golden.final_values);
+  EXPECT_EQ(a.wave.digest(), golden.wave.digest());
+  EXPECT_EQ(w.wave.digest(), golden.wave.digest());
+  EXPECT_LT(w.stats.barriers * 2, a.stats.barriers);
+}
+
+}  // namespace
+}  // namespace plsim

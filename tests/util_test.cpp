@@ -1,0 +1,113 @@
+// Tests for the utility substrate: deterministic RNG streams and the table
+// formatter used by the benchmark harness.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace plsim {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  bool any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    if (va != c.next()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+    const auto r = rng.range(5, 9);
+    EXPECT_GE(r, 5u);
+    EXPECT_LE(r, 9u);
+  }
+  EXPECT_EQ(rng.uniform(0), 0u);
+  EXPECT_EQ(rng.uniform(1), 0u);
+}
+
+TEST(Rng, UniformIsRoughlyUniform) {
+  Rng rng(3);
+  constexpr int kBuckets = 8, kDraws = 80000;
+  int count[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++count[rng.uniform(kBuckets)];
+  for (int b = 0; b < kBuckets; ++b) {
+    EXPECT_GT(count[b], kDraws / kBuckets * 9 / 10);
+    EXPECT_LT(count[b], kDraws / kBuckets * 11 / 10);
+  }
+}
+
+TEST(Rng, RealInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double r = rng.real();
+    EXPECT_GE(r, 0.0);
+    EXPECT_LT(r, 1.0);
+    sum += r;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(5);
+  Rng child = parent.fork();
+  // The child stream differs from the parent's continuation.
+  bool any_diff = false;
+  for (int i = 0; i < 32; ++i)
+    if (parent.next() != child.next()) any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Table, AlignedPrinting) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer_name", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string doc = os.str();
+  EXPECT_NE(doc.find("name"), std::string::npos);
+  EXPECT_NE(doc.find("longer_name"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(doc.find("---"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RejectsAitytMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), Error);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(std::uint64_t(42)), "42");
+  EXPECT_EQ(Table::fmt(std::int64_t(-7)), "-7");
+}
+
+}  // namespace
+}  // namespace plsim

@@ -1,0 +1,231 @@
+// Tests for the virtual-platform extensions: LP-granularity mappings,
+// deadlock detection/recovery, bounded-window synchronous steps, dynamic
+// load balancing, and the hybrid hierarchical executor. Every variant must
+// still reproduce the golden results exactly — the cost model only decides
+// when blocks run.
+
+#include <gtest/gtest.h>
+
+#include "netlist/builder.hpp"
+#include "netlist/generators.hpp"
+#include "partition/algorithms.hpp"
+#include "seq/golden.hpp"
+#include "stim/stimulus.hpp"
+#include "vp/vp.hpp"
+
+namespace plsim {
+namespace {
+
+struct Rig {
+  Circuit circuit;
+  Stimulus stim;
+  Partition part;
+  RunResult golden;
+};
+
+Rig make(std::size_t gates, std::uint32_t blocks, std::uint64_t seed,
+         DelayMode mode = DelayMode::Unit, std::uint32_t spread = 1) {
+  Rig r{scaled_circuit(gates, seed, mode, spread), {}, {}, {}};
+  r.stim = random_stimulus(r.circuit, 18, 0.4, seed * 3 + 1,
+                           Tick(10) * spread);
+  r.part = partition_fm(r.circuit, blocks, seed);
+  r.golden = simulate_golden(r.circuit, r.stim);
+  return r;
+}
+
+void expect_match(const Rig& rig, const VpResult& r, const char* what) {
+  EXPECT_EQ(r.final_values, rig.golden.final_values) << what;
+  EXPECT_EQ(r.wave_digest, rig.golden.wave.digest()) << what;
+}
+
+// ------------------------------------------------------------- mappings --
+
+TEST(Mapping, ResolveValidation) {
+  VpConfig cfg;
+  std::uint32_t procs = 0;
+  auto id = cfg.resolve_mapping(5, procs);
+  EXPECT_EQ(procs, 5u);
+  EXPECT_EQ(id.size(), 5u);
+
+  cfg.block_to_proc = {0, 1, 0, 1};
+  EXPECT_THROW(cfg.resolve_mapping(5, procs), Error);  // size mismatch
+  cfg.block_to_proc = {0, 2, 0, 2};
+  EXPECT_THROW(cfg.resolve_mapping(4, procs), Error);  // proc 1 empty
+  cfg.block_to_proc = round_robin_mapping(8, 3);
+  auto m = cfg.resolve_mapping(8, procs);
+  EXPECT_EQ(procs, 3u);
+  EXPECT_EQ(m[3], 0u);
+}
+
+TEST(Mapping, AllExecutorsMatchGoldenWithManyLpsPerProc) {
+  Rig rig = make(500, 12, 5);
+  VpConfig cfg;
+  cfg.block_to_proc = round_robin_mapping(12, 3);
+  expect_match(rig, run_sync_vp(rig.circuit, rig.stim, rig.part, cfg),
+               "sync");
+  expect_match(rig,
+               run_conservative_vp(rig.circuit, rig.stim, rig.part, cfg),
+               "conservative");
+  expect_match(rig, run_timewarp_vp(rig.circuit, rig.stim, rig.part, cfg),
+               "timewarp");
+  const VpResult r = run_sync_vp(rig.circuit, rig.stim, rig.part, cfg);
+  EXPECT_EQ(r.procs, 3u);
+}
+
+TEST(Mapping, GranularityChangesCostNotResults) {
+  Rig rig = make(800, 16, 7);
+  VpConfig one_per_proc;  // 16 procs
+  VpConfig four_per_proc;
+  four_per_proc.block_to_proc = round_robin_mapping(16, 4);
+  const VpResult a =
+      run_timewarp_vp(rig.circuit, rig.stim, rig.part, one_per_proc);
+  const VpResult b =
+      run_timewarp_vp(rig.circuit, rig.stim, rig.part, four_per_proc);
+  expect_match(rig, a, "16 procs");
+  expect_match(rig, b, "4 procs");
+  EXPECT_NE(a.makespan, b.makespan);
+  EXPECT_EQ(b.procs, 4u);
+}
+
+// ----------------------------------------------------- deadlock recovery --
+
+TEST(DeadlockRecovery, MatchesGoldenAndCountsDeadlocks) {
+  Rig rig = make(400, 6, 9);
+  VpConfig dd;
+  dd.cons_null_messages = false;
+  const VpResult r =
+      run_conservative_vp(rig.circuit, rig.stim, rig.part, dd);
+  expect_match(rig, r, "deadlock recovery");
+  EXPECT_GT(r.stats.deadlocks, 0u);
+  EXPECT_EQ(r.stats.null_messages, 0u);
+}
+
+TEST(DeadlockRecovery, NullMessagesAvoidDeadlocks) {
+  Rig rig = make(400, 6, 9);
+  VpConfig nulls;  // default
+  const VpResult r =
+      run_conservative_vp(rig.circuit, rig.stim, rig.part, nulls);
+  expect_match(rig, r, "null messages");
+  EXPECT_EQ(r.stats.deadlocks, 0u);
+  EXPECT_GT(r.stats.null_messages, 0u);
+}
+
+TEST(DeadlockRecovery, WorksWithMappedLps) {
+  Rig rig = make(500, 9, 13);
+  VpConfig dd;
+  dd.cons_null_messages = false;
+  dd.block_to_proc = round_robin_mapping(9, 3);
+  expect_match(rig, run_conservative_vp(rig.circuit, rig.stim, rig.part, dd),
+               "dd mapped");
+}
+
+// ----------------------------------------------------------- time buckets --
+
+TEST(TimeBuckets, MatchesGoldenAndReducesBarriers) {
+  // Scale every delay so the export lookahead (and thus the bucket width)
+  // exceeds one tick.
+  Rig rig = make(600, 6, 11, DelayMode::Uniform, 6);
+  // With Uniform delays min delay is 1, so widen artificially is impossible;
+  // use a unit-delay circuit scaled by a constant factor instead.
+  RandomCircuitSpec spec;
+  spec.n_gates = 600;
+  spec.seed = 11;
+  Circuit c = random_circuit(spec);  // unit delays -> lookahead 1
+  (void)c;
+
+  VpConfig plain;
+  VpConfig buckets;
+  buckets.sync_time_buckets = true;
+  const VpResult a = run_sync_vp(rig.circuit, rig.stim, rig.part, plain);
+  const VpResult b = run_sync_vp(rig.circuit, rig.stim, rig.part, buckets);
+  expect_match(rig, a, "plain");
+  expect_match(rig, b, "buckets");
+  // Lookahead is 1 here (uniform delays include 1), so equal barrier counts;
+  // the win shows on scaled-delay circuits below.
+  EXPECT_LE(b.stats.barriers, a.stats.barriers);
+}
+
+TEST(TimeBuckets, WideLookaheadCutsBarrierCount) {
+  // Heterogeneous delays in [5, 11] -> export lookahead 5, but event times
+  // land on every tick, so a 5-tick bucket really does cover ~5 distinct
+  // event times per barrier pair.
+  RandomCircuitSpec spec;
+  spec.n_gates = 500;
+  spec.n_inputs = 12;
+  spec.dff_fraction = 0.1;
+  spec.seed = 3;
+  Circuit base = random_circuit(spec);
+  NetlistBuilder b;
+  for (GateId g = 0; g < base.gate_count(); ++g) {
+    b.add_gate(base.type(g), {}, std::string(base.name(g)));
+    b.set_delay(g, 5 + g % 7);
+  }
+  for (GateId g = 0; g < base.gate_count(); ++g) {
+    const auto fi = base.fanins(g);
+    b.set_fanins(g, {fi.begin(), fi.end()});
+  }
+  for (GateId g : base.primary_outputs()) b.mark_output(g);
+  const Circuit c = b.build();
+
+  const Stimulus stim = random_stimulus(c, 15, 0.4, 7, 50);
+  const Partition p = partition_fm(c, 6, 1);
+  const RunResult golden = simulate_golden(c, stim);
+
+  VpConfig plain;
+  VpConfig buckets;
+  buckets.sync_time_buckets = true;
+  const VpResult a = run_sync_vp(c, stim, p, plain);
+  const VpResult w = run_sync_vp(c, stim, p, buckets);
+  EXPECT_EQ(w.final_values, golden.final_values);
+  EXPECT_EQ(w.wave_digest, golden.wave.digest());
+  EXPECT_LT(w.stats.barriers * 3, a.stats.barriers);  // ~5x fewer steps
+  EXPECT_LT(w.makespan, a.makespan);
+}
+
+// -------------------------------------------------- dynamic load balance --
+
+TEST(DynamicRemap, MatchesGoldenAndMigrates) {
+  Rig rig = make(800, 16, 15);
+  VpConfig dyn;
+  dyn.block_to_proc = round_robin_mapping(16, 4);
+  dyn.sync_dynamic_remap = true;
+  dyn.remap_interval = 20;
+  const VpResult r = run_sync_vp(rig.circuit, rig.stim, rig.part, dyn);
+  expect_match(rig, r, "dynamic remap");
+  EXPECT_GT(r.stats.migrations, 0u);
+}
+
+// ------------------------------------------------------------------ hybrid --
+
+TEST(Hybrid, MatchesGoldenAcrossClusterSizes) {
+  Rig rig = make(700, 12, 17);
+  for (std::uint32_t csize : {1u, 3u, 4u, 12u}) {
+    VpConfig cfg;
+    cfg.hybrid_cluster_size = csize;
+    const VpResult r = run_hybrid_vp(rig.circuit, rig.stim, rig.part, cfg);
+    expect_match(rig, r, "hybrid");
+    EXPECT_GT(r.makespan, 0.0);
+  }
+}
+
+TEST(Hybrid, RollsBackAtClusterGranularity) {
+  Rig rig = make(900, 12, 19);
+  VpConfig cfg;
+  cfg.hybrid_cluster_size = 4;
+  const VpResult r = run_hybrid_vp(rig.circuit, rig.stim, rig.part, cfg);
+  expect_match(rig, r, "hybrid rollback");
+  EXPECT_GT(r.stats.rollbacks, 0u);
+}
+
+TEST(Hybrid, DeterministicPerSeed) {
+  Rig rig = make(500, 8, 23);
+  VpConfig cfg;
+  cfg.hybrid_cluster_size = 4;
+  const VpResult a = run_hybrid_vp(rig.circuit, rig.stim, rig.part, cfg);
+  const VpResult b = run_hybrid_vp(rig.circuit, rig.stim, rig.part, cfg);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.stats.rollbacks, b.stats.rollbacks);
+}
+
+}  // namespace
+}  // namespace plsim
