@@ -1,0 +1,273 @@
+#include "check/auditor.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace plsim {
+
+namespace {
+
+std::string format_what(const std::string& engine, const AuditRecord& r,
+                        std::size_t total) {
+  std::ostringstream os;
+  os << "audit[" << engine << "]: invariant '" << r.invariant << "' violated";
+  if (r.lp != AuditRecord::kNoLp) os << " at LP " << r.lp;
+  os << ", tick " << r.tick << ": " << r.detail;
+  if (total > 1) os << " (+" << (total - 1) << " more violation(s))";
+  return os.str();
+}
+
+}  // namespace
+
+AuditViolation::AuditViolation(const std::string& engine, AuditRecord record,
+                               std::size_t total)
+    : Error(format_what(engine, record, total)),
+      engine_(engine),
+      record_(std::move(record)),
+      total_(total) {}
+
+Auditor::Auditor(std::string engine, std::uint32_t n_lps, Tick horizon)
+    : engine_(std::move(engine)), horizon_(horizon), lps_(n_lps) {}
+
+bool Auditor::env_enabled() {
+  const char* v = std::getenv("PLSIM_AUDIT");
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+void Auditor::violation(const char* invariant, std::uint32_t lp, Tick tick,
+                        std::string detail) {
+  violation_count_.fetch_add(1, std::memory_order_acq_rel);
+  records_.with([&](std::vector<AuditRecord>& rs) {
+    // Bound memory growth: a broken run can violate an invariant per batch.
+    if (rs.size() < 64)
+      rs.push_back(AuditRecord{invariant, lp, tick, std::move(detail)});
+  });
+}
+
+void Auditor::on_batch(std::uint32_t lp, Tick t) {
+  LpSlot& s = lps_[lp];
+  if (t < s.lvt) {
+    std::ostringstream os;
+    os << "batch at t=" << t << " below LVT " << s.lvt;
+    violation("causality", lp, t, os.str());
+  }
+  // The GVT floor only grows, so a stale relaxed read can never produce a
+  // false positive here — only a weaker (still sound) check.
+  const Tick g = gvt_.load(std::memory_order_relaxed);
+  if (t < g) {
+    std::ostringstream os;
+    os << "batch at t=" << t << " below GVT " << g;
+    violation("gvt-causality", lp, t, os.str());
+  }
+  if (t >= horizon_) {
+    std::ostringstream os;
+    os << "batch at t=" << t << " at/after horizon " << horizon_;
+    violation("horizon", lp, t, os.str());
+  }
+  s.lvt = t + 1;  // one batch per distinct timestamp
+}
+
+void Auditor::on_rollback(std::uint32_t lp, Tick to) {
+  LpSlot& s = lps_[lp];
+  const Tick g = gvt_.load(std::memory_order_relaxed);
+  if (to < g) {
+    std::ostringstream os;
+    os << "rollback to t=" << to << " below GVT " << g
+       << " (history is fossil-collected there)";
+    violation("rollback-below-gvt", lp, to, os.str());
+  }
+  if (to >= s.lvt) {
+    std::ostringstream os;
+    os << "rollback to t=" << to << " at/above LVT " << s.lvt
+       << " undoes nothing";
+    violation("rollback-noop", lp, to, os.str());
+  }
+  s.lvt = to;
+}
+
+void Auditor::on_lookahead(std::uint32_t lp, Tick lookahead) {
+  if (lookahead < 1)
+    violation("lookahead-positivity", lp, lookahead,
+              "conservative channel lookahead must be >= 1 tick");
+}
+
+void Auditor::on_promise(std::uint32_t lp, Tick promise) {
+  LpSlot& s = lps_[lp];
+  if (promise < s.last_promise) {
+    std::ostringstream os;
+    os << "promise " << promise << " regresses below earlier promise "
+       << s.last_promise;
+    violation("promise-monotonicity", lp, promise, os.str());
+  }
+  s.last_promise = promise;
+}
+
+void Auditor::on_send(std::uint32_t lp, Tick t, std::uint64_t copies) {
+  (void)t;
+  lps_[lp].sent += copies;
+}
+
+void Auditor::on_deliver(std::uint32_t lp, Tick t, std::uint64_t copies) {
+  (void)t;
+  lps_[lp].delivered += copies;
+}
+
+void Auditor::on_enqueue(std::uint32_t lp, std::uint64_t copies) {
+  lps_[lp].enqueued += copies;
+}
+
+void Auditor::on_cancel(std::uint32_t lp, std::uint64_t copies) {
+  lps_[lp].cancelled += copies;
+}
+
+void Auditor::set_pending(std::uint32_t lp, std::uint64_t count) {
+  lps_[lp].pending = count;
+}
+
+void Auditor::set_queue_left(std::uint32_t lp, std::uint64_t count) {
+  lps_[lp].queue_left = count;
+}
+
+void Auditor::on_inflight_add(Tick t) {
+  inflight_used_ = true;
+  inflight_.with([&](auto& v) {
+    auto it = std::lower_bound(
+        v.begin(), v.end(), t,
+        [](const auto& e, Tick key) { return e.first < key; });
+    if (it != v.end() && it->first == t)
+      ++it->second;
+    else
+      v.insert(it, {t, 1});
+  });
+}
+
+void Auditor::on_inflight_remove(Tick t) {
+  const bool found = inflight_.with([&](auto& v) {
+    auto it = std::lower_bound(
+        v.begin(), v.end(), t,
+        [](const auto& e, Tick key) { return e.first < key; });
+    if (it == v.end() || it->first != t) return false;
+    if (--it->second == 0) v.erase(it);
+    return true;
+  });
+  if (!found)
+    violation("inflight-accounting", AuditRecord::kNoLp, t,
+              "removed an in-flight timestamp that was never added");
+}
+
+void Auditor::on_gvt(Tick gvt) {
+  const Tick prev = gvt_.load(std::memory_order_relaxed);
+  if (gvt < prev) {
+    std::ostringstream os;
+    os << "GVT " << gvt << " regresses below " << prev;
+    violation("gvt-monotonicity", AuditRecord::kNoLp, gvt, os.str());
+    return;  // keep the higher floor
+  }
+  if (gvt > horizon_) {
+    std::ostringstream os;
+    os << "GVT " << gvt << " beyond horizon " << horizon_;
+    violation("gvt-horizon", AuditRecord::kNoLp, gvt, os.str());
+  }
+  if (inflight_used_) {
+    inflight_.with([&](const auto& v) {
+      if (!v.empty() && gvt > v.front().first) {
+        std::ostringstream os;
+        os << "GVT " << gvt << " overtakes in-flight message at t="
+           << v.front().first;
+        violation("gvt-inflight", AuditRecord::kNoLp, gvt, os.str());
+      }
+    });
+  }
+  gvt_.store(gvt, std::memory_order_release);
+}
+
+void Auditor::check_trace(const Trace& trace) {
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (trace[i].time >= horizon_) {
+      std::ostringstream os;
+      os << "trace record " << i << " at t=" << trace[i].time
+         << " at/after horizon " << horizon_;
+      violation("trace-horizon", AuditRecord::kNoLp, trace[i].time, os.str());
+      break;
+    }
+    if (i > 0 && (trace[i].time < trace[i - 1].time ||
+                  (trace[i].time == trace[i - 1].time &&
+                   trace[i].gate < trace[i - 1].gate))) {
+      std::ostringstream os;
+      os << "trace record " << i << " (t=" << trace[i].time << ", gate "
+         << trace[i].gate << ") out of (time, gate) order";
+      violation("trace-order", AuditRecord::kNoLp, trace[i].time, os.str());
+      break;
+    }
+  }
+}
+
+void Auditor::finalize() {
+  // Message conservation: everything pushed into the transport was either
+  // delivered or reported still pending at exit.
+  std::uint64_t sent = 0, delivered = 0, pending = 0;
+  bool pending_known = true;
+  for (const LpSlot& s : lps_) {
+    sent += s.sent;
+    delivered += s.delivered;
+    if (s.pending == static_cast<std::uint64_t>(-1))
+      pending_known = false;
+    else
+      pending += s.pending;
+  }
+  if (pending_known && sent != delivered + pending) {
+    std::ostringstream os;
+    os << "messages created=" << sent << " != delivered=" << delivered
+       << " + pending=" << pending;
+    violation("message-conservation", AuditRecord::kNoLp, 0, os.str());
+  }
+
+  // Input-queue conservation (optimistic engines): every enqueued positive
+  // was annihilated or is still in the queue at exit.
+  std::uint64_t enq = 0, cancelled = 0, left = 0;
+  bool queues_known = false, queues_complete = true;
+  for (const LpSlot& s : lps_) {
+    enq += s.enqueued;
+    cancelled += s.cancelled;
+    if (s.queue_left == static_cast<std::uint64_t>(-1)) {
+      if (s.enqueued > 0 || s.cancelled > 0) queues_complete = false;
+    } else {
+      queues_known = true;
+      left += s.queue_left;
+    }
+  }
+  if (queues_known && queues_complete && enq != cancelled + left) {
+    std::ostringstream os;
+    os << "queue entries created=" << enq << " != cancelled=" << cancelled
+       << " + remaining=" << left;
+    violation("event-conservation", AuditRecord::kNoLp, 0, os.str());
+  }
+
+  // Exact in-flight tracking must end empty once pending is accounted.
+  if (inflight_used_) {
+    inflight_.with([&](const auto& v) {
+      if (!v.empty()) {
+        std::ostringstream os;
+        os << v.size() << " in-flight timestamp(s) never delivered, first at t="
+           << v.front().first;
+        violation("inflight-drained", AuditRecord::kNoLp, v.front().first,
+                  os.str());
+      }
+    });
+  }
+
+  if (violation_count_.load(std::memory_order_acquire) > 0) {
+    AuditRecord first = records_.with(
+        [](const std::vector<AuditRecord>& rs) { return rs.front(); });
+    throw AuditViolation(engine_, std::move(first),
+                         violation_count_.load(std::memory_order_acquire));
+  }
+}
+
+std::vector<AuditRecord> Auditor::violations() const {
+  return records_.with(
+      [](const std::vector<AuditRecord>& rs) { return rs; });
+}
+
+}  // namespace plsim

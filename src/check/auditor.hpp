@@ -1,0 +1,149 @@
+#pragma once
+// Runtime invariant auditor for the parallel engines.
+//
+// Every synchronization family in plsim claims bit-exact equivalence with the
+// golden simulator; the auditor checks the *protocol invariants* that make
+// that claim structural rather than coincidental:
+//
+//   causality          no LP processes a timestamp batch below its LVT, and
+//                      never below the published GVT;
+//   GVT monotonicity   GVT never decreases, never exceeds the horizon;
+//   GVT safety         rollbacks never target a time below GVT (history there
+//                      is fossil-collected); deterministic executors
+//                      additionally check GVT <= every in-flight message
+//                      timestamp at the instant GVT advances;
+//   CMB lookahead      conservative channel lookahead is strictly positive
+//                      and channel promises are nondecreasing;
+//   conservation       every message pushed into the transport is eventually
+//                      delivered or reported as pending at exit
+//                      (created == delivered + pending), and every input-queue
+//                      entry is cancelled or still present at exit
+//                      (enqueued == cancelled + remaining);
+//   trace order        recorded RunResult traces are (time, gate)-sorted and
+//                      strictly below the horizon.
+//
+// Hooks are cheap (a few compares and adds), always compiled, and only wired
+// up when an engine is run with `audit = true` (EngineConfig / VpConfig) or
+// when the PLSIM_AUDIT environment variable is set. Per-LP hooks must be
+// called from the LP's owning thread; the violation list and the GVT floor
+// are safe from any thread. Violations are recorded, not thrown, so worker
+// threads keep running; `finalize()` (called after the join) throws a
+// structured AuditViolation naming the engine, LP, tick and invariant.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "parallel/guarded.hpp"
+#include "util/error.hpp"
+
+namespace plsim {
+
+/// One recorded invariant violation.
+struct AuditRecord {
+  std::string invariant;  ///< e.g. "causality", "gvt-monotonicity"
+  std::uint32_t lp = 0;   ///< logical process (block/cluster) id, or kNoLp
+  Tick tick = 0;          ///< simulated time at the violation
+  std::string detail;     ///< human-readable specifics
+
+  static constexpr std::uint32_t kNoLp = static_cast<std::uint32_t>(-1);
+};
+
+class AuditViolation : public Error {
+ public:
+  AuditViolation(const std::string& engine, AuditRecord record,
+                 std::size_t total);
+  const AuditRecord& record() const { return record_; }
+  const std::string& engine() const { return engine_; }
+  std::size_t total_violations() const { return total_; }
+
+ private:
+  std::string engine_;
+  AuditRecord record_;
+  std::size_t total_;
+};
+
+class Auditor {
+ public:
+  Auditor(std::string engine, std::uint32_t n_lps, Tick horizon);
+
+  /// True when the PLSIM_AUDIT environment variable is set to anything but
+  /// "" or "0" — forces auditing on for every engine run in the process.
+  static bool env_enabled();
+
+  // ------------------------------------------------ per-LP (owner thread) --
+  /// A timestamp batch at time t is about to be processed by `lp`.
+  void on_batch(std::uint32_t lp, Tick t);
+  /// `lp` rolled its state back so times >= `to` are unprocessed again.
+  void on_rollback(std::uint32_t lp, Tick to);
+  /// Conservative channel lookahead for `lp` (must be >= 1 tick).
+  void on_lookahead(std::uint32_t lp, Tick lookahead);
+  /// Conservative promise (null-message timestamp) emitted by `lp`.
+  void on_promise(std::uint32_t lp, Tick promise);
+  /// `copies` messages carrying time t entered the transport from `lp`.
+  void on_send(std::uint32_t lp, Tick t, std::uint64_t copies = 1);
+  /// `copies` messages left the transport at `lp`.
+  void on_deliver(std::uint32_t lp, Tick t, std::uint64_t copies = 1);
+  /// A positive message entered `lp`'s input queue (optimistic engines).
+  void on_enqueue(std::uint32_t lp, std::uint64_t copies = 1);
+  /// A positive message in `lp`'s input queue was annihilated by an anti.
+  void on_cancel(std::uint32_t lp, std::uint64_t copies = 1);
+
+  // ---------------------------------------- end-of-run accounting (joined) --
+  /// Messages still sitting in `lp`'s transport endpoint at exit.
+  void set_pending(std::uint32_t lp, std::uint64_t count);
+  /// Entries still in `lp`'s input queue at exit (processed or not).
+  void set_queue_left(std::uint32_t lp, std::uint64_t count);
+
+  // ------------------------------- deterministic executors (single thread) --
+  /// Track an in-flight (sent, undelivered) message timestamp exactly.
+  void on_inflight_add(Tick t);
+  void on_inflight_remove(Tick t);
+
+  // ------------------------------------------------- GVT (any one thread) --
+  /// GVT advanced to `gvt`. Checks monotonicity, the horizon bound, and —
+  /// when exact in-flight tracking is in use — GVT <= min in-flight time.
+  void on_gvt(Tick gvt);
+
+  // ------------------------------------------------------ post-run checks --
+  /// Trace must be (time, gate)-nondecreasing with all times < horizon.
+  void check_trace(const Trace& trace);
+  /// Run all deferred accounting checks; throws AuditViolation (the first
+  /// recorded violation) if the run broke any invariant.
+  void finalize();
+
+  bool ok() const { return violation_count_.load(std::memory_order_acquire) == 0; }
+  std::vector<AuditRecord> violations() const;
+
+ private:
+  // Per-LP state, written only by the owning thread (plus single-threaded
+  // setup/finalize); padded so neighbouring LPs never share a cache line.
+  struct alignas(64) LpSlot {
+    Tick lvt = 0;             ///< next batch must be >= lvt
+    Tick last_promise = 0;    ///< conservative promises are nondecreasing
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t enqueued = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t pending = static_cast<std::uint64_t>(-1);     // unset
+    std::uint64_t queue_left = static_cast<std::uint64_t>(-1);  // unset
+  };
+
+  void violation(const char* invariant, std::uint32_t lp, Tick tick,
+                 std::string detail);
+
+  std::string engine_;
+  Tick horizon_;
+  std::vector<LpSlot> lps_;
+  std::atomic<Tick> gvt_{0};
+  std::atomic<std::uint64_t> violation_count_{0};
+  Guarded<std::vector<AuditRecord>> records_;
+  // Exact in-flight timestamp multiset for deterministic executors, kept as
+  // a sorted count map to avoid per-message allocation churn.
+  Guarded<std::vector<std::pair<Tick, std::uint64_t>>> inflight_;
+  bool inflight_used_ = false;
+};
+
+}  // namespace plsim

@@ -99,10 +99,11 @@ class CmbInState {
   CmbInState() = default;  ///< no channels (single-block or source LP)
 
   explicit CmbInState(std::span<const std::uint32_t> sources) {
-    for (std::uint32_t s : sources) clock_index_[s] = 0;
+    // Indices follow the (deterministic) order of `sources`; duplicates keep
+    // their first slot.
+    for (std::uint32_t s : sources)
+      clock_index_.emplace(s, static_cast<std::uint32_t>(clock_index_.size()));
     clocks_.assign(clock_index_.size(), 0);
-    std::uint32_t i = 0;
-    for (auto& [src, idx] : clock_index_) idx = i++;
   }
 
   bool has_channels() const { return !clocks_.empty(); }

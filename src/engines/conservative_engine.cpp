@@ -4,8 +4,10 @@
 // rule) and propagates lookahead promises downstream, blocking on its mailbox
 // when it can make no progress.
 
+#include <optional>
 #include <unordered_map>
 
+#include "check/auditor.hpp"
 #include "core/block.hpp"
 #include "engines/cmb.hpp"
 #include "engines/common.hpp"
@@ -32,8 +34,13 @@ RunResult run_conservative(const Circuit& c, const Stimulus& stim,
   std::vector<Mailbox<CmbMsg>> inbox(n);
   std::vector<std::uint64_t> nulls(n, 0), waits(n, 0);
 
+  std::optional<Auditor> aud;
+  if (cfg.audit || Auditor::env_enabled())
+    aud.emplace("conservative", n, horizon);
+
   run_on_threads(n, [&](unsigned b) {
     BlockSimulator& blk = *rig.blocks[b];
+    if (aud) aud->on_lookahead(b, blk.export_lookahead());
 
     std::vector<std::uint32_t> sources;
     for (std::uint32_t j = 0; j < n; ++j)
@@ -57,6 +64,8 @@ RunResult run_conservative(const Circuit& c, const Stimulus& stim,
     for (;;) {
       drained.clear();
       inbox[b].drain(drained);
+      if (aud && !drained.empty())
+        aud->on_deliver(b, drained.front().msg.time, drained.size());
       for (const CmbMsg& m : drained) in.receive(m);
 
       bool did_work = !drained.empty();
@@ -76,6 +85,7 @@ RunResult run_conservative(const Circuit& c, const Stimulus& stim,
           externals.push_back(in.pop_staged());
 
         outputs.clear();
+        if (aud) aud->on_batch(b, t);
         blk.process_batch(t, externals, outputs);
         did_work = true;
         for (const Message& m : outputs)
@@ -93,12 +103,18 @@ RunResult run_conservative(const Circuit& c, const Stimulus& stim,
 
       for (CmbOutChannel& ch : outs) {
         auto rel = ch.release(frontier, horizon);
-        for (const Message& m : rel.real)
+        for (const Message& m : rel.real) {
           inbox[ch.dst()].push(CmbMsg{m, b, false});
+          if (aud) aud->on_send(b, m.time);
+        }
         if (rel.send_null) {
           inbox[ch.dst()].push(
               CmbMsg{Message{rel.promise, kNoGate, Logic4::X}, b, true});
           ++nulls[b];
+          if (aud) {
+            aud->on_promise(b, rel.promise);
+            aud->on_send(b, rel.promise);
+          }
         }
         did_work |= rel.send_null || !rel.real.empty();
       }
@@ -109,10 +125,23 @@ RunResult run_conservative(const Circuit& c, const Stimulus& stim,
         ++waits[b];
         drained.clear();
         inbox[b].wait_and_drain(drained);
+        if (aud && !drained.empty())
+          aud->on_deliver(b, drained.front().msg.time, drained.size());
         for (const CmbMsg& m : drained) in.receive(m);
       }
     }
   });
+
+  if (aud) {
+    // An LP exits as soon as its own frontier reaches the horizon; slower
+    // upstreams may still push promises at it afterwards. Count those
+    // leftovers (single-threaded: all workers have joined).
+    std::vector<CmbMsg> leftovers;
+    for (std::uint32_t b = 0; b < n; ++b) {
+      leftovers.clear();
+      aud->set_pending(b, inbox[b].drain(leftovers));
+    }
+  }
 
   RunResult r = merge_results(c, rig, cfg.record_trace);
   for (std::uint32_t b = 0; b < n; ++b) {
@@ -120,6 +149,10 @@ RunResult run_conservative(const Circuit& c, const Stimulus& stim,
     r.stats.blocked_waits += waits[b];
   }
   r.wall_seconds = timer.seconds();
+  if (aud) {
+    aud->check_trace(r.trace);
+    aud->finalize();
+  }
   return r;
 }
 

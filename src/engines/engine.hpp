@@ -17,6 +17,12 @@ namespace plsim {
 struct EngineConfig {
   bool record_trace = false;
 
+  /// Run the invariant auditor (src/check) alongside the engine: causality,
+  /// GVT monotonicity/safety, CMB lookahead, message conservation, trace
+  /// order. Also forced on for every run by the PLSIM_AUDIT env variable.
+  /// Violations throw plsim::AuditViolation after the threads join.
+  bool audit = false;
+
   // --- Synchronous knobs ---
   /// Bounded-window steps: process a full lookahead window of event times
   /// per barrier pair instead of a single time (paper §VI, Steinman/Noble).

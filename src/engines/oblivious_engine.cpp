@@ -4,7 +4,9 @@
 // timing engines); the engine registry therefore keeps it separate.
 
 #include <array>
+#include <optional>
 
+#include "check/auditor.hpp"
 #include "core/environment.hpp"
 #include "engines/common.hpp"
 #include "engines/engine.hpp"
@@ -17,10 +19,15 @@ namespace plsim {
 
 RunResult run_oblivious_parallel(const Circuit& c, const Stimulus& stim,
                                  const Partition& p, const EngineConfig& cfg) {
-  (void)cfg;
   WallTimer timer;
   validate_partition(c, p);
   const std::uint32_t n = p.n_blocks;
+
+  // The oblivious engine exchanges no messages and records no trace; the
+  // auditor only checks that each worker sweeps cycles in causal order.
+  std::optional<Auditor> aud;
+  if (cfg.audit || Auditor::env_enabled())
+    aud.emplace("oblivious-parallel", n, stim.vectors.size() + 1);
 
   // Shared state; cross-thread reads are ordered by the level barriers.
   std::vector<Logic4> values(c.gate_count(), Logic4::X);
@@ -56,6 +63,7 @@ RunResult run_oblivious_parallel(const Circuit& c, const Stimulus& stim,
       }
       barrier.arrive(0);
       ++barriers[b];
+      if (aud) aud->on_batch(b, cycle);
       for (std::uint32_t lv = 1; lv <= depth; ++lv) {
         for (GateId g : schedule[lv][b]) {
           const auto fi = c.fanins(g);
@@ -84,6 +92,7 @@ RunResult run_oblivious_parallel(const Circuit& c, const Stimulus& stim,
     r.stats.barriers += barriers[b];
   }
   r.wall_seconds = timer.seconds();
+  if (aud) aud->finalize();
   return r;
 }
 

@@ -4,6 +4,9 @@
 // step: one to agree on the time, one to make all routed messages visible
 // before the next reduction.
 
+#include <optional>
+
+#include "check/auditor.hpp"
 #include "core/block.hpp"
 #include "engines/common.hpp"
 #include "engines/engine.hpp"
@@ -30,6 +33,10 @@ RunResult run_synchronous(const Circuit& c, const Stimulus& stim,
   MinReduceBarrier deliver_barrier(n);
   std::vector<Mailbox<Message>> inbox(n);
   std::vector<std::uint64_t> barrier_count(n, 0);
+
+  std::optional<Auditor> aud;
+  if (cfg.audit || Auditor::env_enabled())
+    aud.emplace("synchronous", n, bopts.horizon);
 
   // Bounded-window mode: one barrier pair covers a whole lookahead window —
   // any message generated inside the window lands at or beyond its end.
@@ -73,23 +80,38 @@ RunResult run_synchronous(const Circuit& c, const Stimulus& stim,
           staged.pop();
         }
         outputs.clear();
+        if (aud) aud->on_batch(b, t);
         blk.process_batch(t, externals, outputs);
         for (const Message& m : outputs)
-          for (std::uint32_t dst : rig.routing.dests[m.gate])
+          for (std::uint32_t dst : rig.routing.dests[m.gate]) {
             inbox[dst].push(m);
+            if (aud) aud->on_send(b, m.time);
+          }
       }
 
       deliver_barrier.arrive(0);
       ++barrier_count[b];
       drained.clear();
       inbox[b].drain(drained);
+      if (aud && !drained.empty())
+        aud->on_deliver(b, drained.front().time, drained.size());
       for (const Message& m : drained) staged.push(m);
+    }
+    if (aud) {
+      // Messages staged past the horizon stay unprocessed but were delivered;
+      // the transport itself must be empty at exit.
+      drained.clear();
+      aud->set_pending(b, inbox[b].drain(drained));
     }
   });
 
   RunResult r = merge_results(c, rig, cfg.record_trace);
   for (std::uint64_t bc : barrier_count) r.stats.barriers += bc;
   r.wall_seconds = timer.seconds();
+  if (aud) {
+    aud->check_trace(r.trace);
+    aud->finalize();
+  }
   return r;
 }
 

@@ -12,13 +12,16 @@
 
 #include <atomic>
 #include <map>
-#include <thread>
+#include <optional>
 
+#include "check/auditor.hpp"
 #include "core/block.hpp"
 #include "engines/common.hpp"
 #include "engines/engine.hpp"
+#include "parallel/guarded.hpp"
 #include "parallel/mailbox.hpp"
 #include "parallel/threads.hpp"
+#include "util/error.hpp"
 #include "util/timer.hpp"
 
 namespace plsim {
@@ -31,13 +34,17 @@ struct TwMsg {
 };
 
 /// Per-LP record read by the GVT coordinator. `min_time` is the earliest
-/// simulated time the LP could still (re)process; counts are cumulative
-/// messages sent/received, used to detect in-flight messages.
-struct alignas(64) Published {
-  std::mutex mutex;
+/// simulated time the LP could still (re)process — including pending lazy
+/// cancellations, whose anti-messages can still roll a receiver back to
+/// their timestamps; counts are cumulative messages sent/received, used to
+/// detect in-flight messages.
+struct PublishedRec {
   Tick min_time = 0;
   std::uint64_t sent = 0;
   std::uint64_t received = 0;
+};
+struct alignas(64) PublishedSlot {
+  Guarded<PublishedRec> rec;
 };
 
 struct LpState {
@@ -57,12 +64,23 @@ struct LpState {
   std::uint64_t rollbacks = 0;
   std::uint64_t antis = 0;
 
-  Tick local_min(Tick horizon) const {
+  /// Next time this LP will actually process a batch at.
+  Tick next_batch(Tick horizon) const {
     Tick t = block->next_internal_time();
     const auto it = input_queue.lower_bound(processed_bound);
     if (it != input_queue.end()) t = std::min(t, it->first);
     if (env_pos < env->size()) t = std::min(t, (*env)[env_pos].time);
     return std::min(t, horizon);
+  }
+
+  /// Lower bound published to the GVT coordinator. Unlike next_batch, this
+  /// includes pending lazy cancellations: a pending entry at time bt can
+  /// still turn into an anti-message at bt, rolling its receivers back to
+  /// bt — GVT must not overtake it.
+  Tick local_min(Tick horizon) const {
+    Tick t = next_batch(horizon);
+    if (!lazy_pending.empty()) t = std::min(t, lazy_pending.begin()->first);
+    return t;
   }
 };
 
@@ -82,40 +100,50 @@ RunResult run_timewarp(const Circuit& c, const Stimulus& stim,
   const std::uint32_t n = p.n_blocks;
   const Tick horizon = bopts.horizon;
   std::vector<Mailbox<TwMsg>> inbox(n);
-  std::vector<Published> published(n);
+  std::vector<PublishedSlot> published(n);
   std::atomic<Tick> gvt{0};
   std::atomic<std::uint64_t> gvt_rounds{0};
   std::vector<std::uint64_t> lp_rollbacks(n, 0), lp_antis(n, 0);
+  std::vector<std::uint64_t> queue_left(n, 0);
 
-  // ------------------------------------------------------------------ GVT --
-  std::thread gvt_thread([&] {
-    std::uint64_t rounds = 0;
-    for (;;) {
-      Tick min_time = kTickInf;
-      std::uint64_t sent = 0, recv = 0;
-      for (std::uint32_t b = 0; b < n; ++b) {
-        std::lock_guard<std::mutex> lock(published[b].mutex);
-        min_time = std::min(min_time, published[b].min_time);
-        sent += published[b].sent;
-        recv += published[b].received;
-      }
-      if (sent == recv) {
-        // Consistent cut: no message is in flight, so min_time is a valid
-        // lower bound on all future processing.
-        ++rounds;
-        if (min_time > gvt.load(std::memory_order_relaxed)) {
-          gvt.store(min_time, std::memory_order_release);
-          for (auto& mb : inbox) mb.wake();  // unblock throttled/idle LPs
+  std::optional<Auditor> aud;
+  if (cfg.audit || Auditor::env_enabled())
+    aud.emplace("timewarp", n, horizon);
+
+  // Thread ids 0..n-1 run the LPs; thread id n is the GVT coordinator.
+  run_on_threads(n + 1, [&](unsigned tid) {
+    // ---------------------------------------------------------------- GVT --
+    if (tid == n) {
+      std::uint64_t rounds = 0;
+      for (;;) {
+        Tick min_time = kTickInf;
+        std::uint64_t sent = 0, recv = 0;
+        for (std::uint32_t b = 0; b < n; ++b) {
+          published[b].rec.with([&](const PublishedRec& pub) {
+            min_time = std::min(min_time, pub.min_time);
+            sent += pub.sent;
+            recv += pub.received;
+          });
         }
-        if (min_time >= horizon) break;
+        if (sent == recv) {
+          // Consistent cut: no message is in flight, so min_time is a valid
+          // lower bound on all future processing.
+          ++rounds;
+          if (min_time > gvt.load(std::memory_order_relaxed)) {
+            if (aud) aud->on_gvt(min_time);
+            gvt.store(min_time, std::memory_order_release);
+            for (auto& mb : inbox) mb.wake();  // unblock throttled/idle LPs
+          }
+          if (min_time >= horizon) break;
+        }
+        yield_thread();
       }
-      std::this_thread::yield();
+      gvt_rounds.store(rounds, std::memory_order_relaxed);
+      return;
     }
-    gvt_rounds.store(rounds, std::memory_order_relaxed);
-  });
 
-  // ------------------------------------------------------------------ LPs --
-  run_on_threads(n, [&](unsigned b) {
+    // ---------------------------------------------------------------- LPs --
+    const std::uint32_t b = tid;
     LpState lp;
     lp.block = rig.blocks[b].get();
     lp.env = &rig.env[b];
@@ -124,10 +152,12 @@ RunResult run_timewarp(const Circuit& c, const Stimulus& stim,
     std::vector<Message> externals, outputs;
 
     auto publish = [&](std::uint64_t d_sent, std::uint64_t d_recv) {
-      std::lock_guard<std::mutex> lock(published[b].mutex);
-      published[b].min_time = lp.local_min(horizon);
-      published[b].sent += d_sent;
-      published[b].received += d_recv;
+      const Tick lm = lp.local_min(horizon);
+      published[b].rec.with([&](PublishedRec& pub) {
+        pub.min_time = lm;
+        pub.sent += d_sent;
+        pub.received += d_recv;
+      });
     };
 
     auto send = [&](const TwMsg& m) {
@@ -136,6 +166,7 @@ RunResult run_timewarp(const Circuit& c, const Stimulus& stim,
         inbox[dst].push(m);
         ++count;
       }
+      if (aud && count > 0) aud->on_send(b, m.msg.time, count);
       return count;
     };
 
@@ -144,6 +175,7 @@ RunResult run_timewarp(const Circuit& c, const Stimulus& stim,
     // Returns the number of messages pushed (anti-messages).
     auto rollback = [&](Tick t) -> std::uint64_t {
       if (lp.processed_bound <= t) return 0;
+      if (aud) aud->on_rollback(b, t);
       std::uint64_t pushed = 0;
       lp.block->rollback_to(t);
       lp.processed_bound = t;
@@ -168,10 +200,13 @@ RunResult run_timewarp(const Circuit& c, const Stimulus& stim,
     // anti-messages this LP pushed while rolling back.
     auto integrate = [&](const std::vector<TwMsg>& batch) -> std::uint64_t {
       std::uint64_t pushed = 0;
+      if (aud && !batch.empty())
+        aud->on_deliver(b, batch.front().msg.time, batch.size());
       for (const TwMsg& m : batch) {
         if (m.msg.time < lp.processed_bound) pushed += rollback(m.msg.time);
         if (!m.anti) {
           lp.input_queue.emplace(m.msg.time, m);
+          if (aud) aud->on_enqueue(b);
         } else {
           // Annihilate the matching positive (guaranteed delivered first:
           // mailboxes preserve per-sender FIFO order).
@@ -185,6 +220,7 @@ RunResult run_timewarp(const Circuit& c, const Stimulus& stim,
             }
           }
           PLSIM_ASSERT(found);
+          if (aud) aud->on_cancel(b);
         }
       }
       return pushed;
@@ -210,10 +246,7 @@ RunResult run_timewarp(const Circuit& c, const Stimulus& stim,
       }
 
       // ---- pick the next unprocessed batch ----
-      const Tick nt = lp.local_min(horizon);
-      const bool throttled =
-          cfg.optimism_window > 0 && nt > current_gvt &&
-          nt - current_gvt > cfg.optimism_window;
+      const Tick nt = lp.next_batch(horizon);
 
       // ---- lazy cancellation: flush stale messages from batches that will
       // never be re-executed (everything below the next batch time) ----
@@ -227,6 +260,10 @@ RunResult run_timewarp(const Circuit& c, const Stimulus& stim,
         it = lp.lazy_pending.erase(it);
       }
       if (lazy_pushed > 0) publish(lazy_pushed, 0);
+
+      const bool throttled =
+          cfg.optimism_window > 0 && nt > current_gvt &&
+          nt - current_gvt > cfg.optimism_window;
 
       if (nt >= horizon || throttled) {
         // Nothing (allowed) to do: wait for messages or a GVT advance.
@@ -247,6 +284,7 @@ RunResult run_timewarp(const Circuit& c, const Stimulus& stim,
         externals.push_back(lo->second.msg);
 
       outputs.clear();
+      if (aud) aud->on_batch(b, nt);
       lp.block->process_batch(nt, externals, outputs);
       lp.processed_bound = nt + 1;
 
@@ -277,9 +315,19 @@ RunResult run_timewarp(const Circuit& c, const Stimulus& stim,
 
     lp_rollbacks[b] = lp.rollbacks;
     lp_antis[b] = lp.antis;
+    queue_left[b] = lp.input_queue.size();
   });
 
-  gvt_thread.join();
+  if (aud) {
+    // All threads have joined: whatever is still in a mailbox was sent but
+    // never integrated (possible only for wake-credit residue; count it).
+    std::vector<TwMsg> leftovers;
+    for (std::uint32_t b = 0; b < n; ++b) {
+      leftovers.clear();
+      aud->set_pending(b, inbox[b].drain(leftovers));
+      aud->set_queue_left(b, queue_left[b]);
+    }
+  }
 
   RunResult r = merge_results(c, rig, cfg.record_trace);
   for (std::uint32_t b = 0; b < n; ++b) {
@@ -288,6 +336,10 @@ RunResult run_timewarp(const Circuit& c, const Stimulus& stim,
   }
   r.stats.gvt_rounds = gvt_rounds.load();
   r.wall_seconds = timer.seconds();
+  if (aud) {
+    aud->check_trace(r.trace);
+    aud->finalize();
+  }
   return r;
 }
 

@@ -1,0 +1,36 @@
+#pragma once
+// Guarded<T>: a value that can only be touched while holding its mutex.
+// This is the repo's sanctioned way for code outside src/parallel/ to share
+// mutable state between threads (the lint pass bans raw std::mutex
+// elsewhere): callers pass a lambda and never see the lock.
+
+#include <mutex>
+#include <utility>
+
+namespace plsim {
+
+template <typename T>
+class Guarded {
+ public:
+  Guarded() = default;
+  explicit Guarded(T initial) : value_(std::move(initial)) {}
+
+  /// Run `f(value)` under the lock; returns whatever `f` returns.
+  template <typename F>
+  decltype(auto) with(F&& f) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return std::forward<F>(f)(value_);
+  }
+
+  template <typename F>
+  decltype(auto) with(F&& f) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return std::forward<F>(f)(value_);
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  T value_{};
+};
+
+}  // namespace plsim

@@ -5,7 +5,9 @@
 // barrier there are never messages "in flight".
 
 #include <condition_variable>
+#include <iterator>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 namespace plsim {
@@ -30,11 +32,28 @@ class Mailbox {
     cv_.notify_one();
   }
 
+  /// Move-in overload: the caller's vector is left empty.
+  void push_many(std::vector<T>&& items) {
+    if (items.empty()) return;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (items_.empty()) {
+        items_ = std::move(items);
+      } else {
+        items_.insert(items_.end(), std::make_move_iterator(items.begin()),
+                      std::make_move_iterator(items.end()));
+      }
+    }
+    items.clear();
+    cv_.notify_one();
+  }
+
   /// Move all pending items into `out` (appended). Returns count moved.
   std::size_t drain(std::vector<T>& out) {
     std::lock_guard<std::mutex> lock(mutex_);
     const std::size_t n = items_.size();
-    out.insert(out.end(), items_.begin(), items_.end());
+    out.insert(out.end(), std::make_move_iterator(items_.begin()),
+               std::make_move_iterator(items_.end()));
     items_.clear();
     return n;
   }
@@ -45,7 +64,8 @@ class Mailbox {
     cv_.wait(lock, [&] { return !items_.empty() || wakes_ > 0; });
     if (wakes_ > 0) --wakes_;
     const std::size_t n = items_.size();
-    out.insert(out.end(), items_.begin(), items_.end());
+    out.insert(out.end(), std::make_move_iterator(items_.begin()),
+               std::make_move_iterator(items_.end()));
     items_.clear();
     return n;
   }

@@ -20,4 +20,6 @@ void run_on_threads(unsigned n, const std::function<void(unsigned)>& body) {
   for (auto& t : threads) t.join();
 }
 
+void yield_thread() { std::this_thread::yield(); }
+
 }  // namespace plsim

@@ -7,4 +7,8 @@ namespace plsim {
 
 void run_on_threads(unsigned n, const std::function<void(unsigned)>& body);
 
+/// Politely yield the calling thread's timeslice (wraps
+/// std::this_thread::yield so engine code need not include <thread>).
+void yield_thread();
+
 }  // namespace plsim

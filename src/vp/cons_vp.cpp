@@ -12,9 +12,11 @@
 //   - deadlock handling by null messages (default) or by detection and
 //     recovery via a circulating marker (cons_null_messages = false).
 
+#include <optional>
 #include <queue>
 #include <unordered_map>
 
+#include "check/auditor.hpp"
 #include "core/block.hpp"
 #include "engines/cmb.hpp"
 #include "engines/common.hpp"
@@ -64,9 +66,14 @@ VpResult run_conservative_vp(const Circuit& c, const Stimulus& stim,
     std::size_t env_pos = 0;
     bool terminated = false;
   };
+  std::optional<Auditor> aud;
+  if (cfg.audit || Auditor::env_enabled())
+    aud.emplace("conservative-vp", n_blocks, horizon);
+
   std::vector<Lp> lps(n_blocks);
   std::vector<double> clock(n_procs, 0.0);
   for (std::uint32_t b = 0; b < n_blocks; ++b) {
+    if (aud) aud->on_lookahead(b, rig.blocks[b]->export_lookahead());
     std::vector<std::uint32_t> sources;
     for (std::uint32_t j = 0; j < n_blocks; ++j)
       if (j != b && rig.routing.has_channel(j, b)) sources.push_back(j);
@@ -129,6 +136,7 @@ VpResult run_conservative_vp(const Circuit& c, const Stimulus& stim,
         externals.push_back(lp.in.pop_staged());
 
       outputs.clear();
+      if (aud) aud->on_batch(b, t);
       const BatchStats bs = blk.process_batch(t, externals, outputs);
       const double w =
           batch_cost(cost, bs, SaveMode::None) * cfg.noise(jitter[pr]);
@@ -153,13 +161,16 @@ VpResult run_conservative_vp(const Circuit& c, const Stimulus& stim,
       for (const Message& m : rel.real) {
         did = true;
         ++r.stats.messages;
+        if (aud) aud->on_send(b, m.time);
         if (local) {
           clock[pr] += cost.event;
           r.busy += cost.event;
+          if (aud) aud->on_deliver(ch.dst(), m.time);
           lps[ch.dst()].in.receive(CmbMsg{m, b, false});
         } else {
           clock[pr] += cost.msg_send;
           r.busy += cost.msg_send;
+          if (aud) aud->on_inflight_add(m.time);
           des.push(Arrival{clock[pr] + cost.msg_latency, ch.dst(),
                            CmbMsg{m, b, false}, des_seq++});
         }
@@ -169,14 +180,20 @@ VpResult run_conservative_vp(const Circuit& c, const Stimulus& stim,
         r.stats.null_messages +=
             wire_mult[static_cast<std::size_t>(b) * n_blocks + ch.dst()];
         const CmbMsg nm{Message{rel.promise, kNoGate, Logic4::X}, b, true};
+        if (aud) {
+          aud->on_promise(b, rel.promise);
+          aud->on_send(b, rel.promise);
+        }
         if (local) {
           clock[pr] += cost.event;
           r.busy += cost.event;
+          if (aud) aud->on_deliver(ch.dst(), rel.promise);
           lps[ch.dst()].in.receive(nm);
         } else {
           const double w = null_cost(b, ch.dst());
           clock[pr] += w;
           r.busy += w;
+          if (aud) aud->on_inflight_add(rel.promise);
           des.push(Arrival{clock[pr] + cost.msg_latency, ch.dst(), nm,
                            des_seq++});
         }
@@ -200,6 +217,12 @@ VpResult run_conservative_vp(const Circuit& c, const Stimulus& stim,
     while (!des.empty()) {
       const Arrival a = des.top();
       des.pop();
+      if (aud) {
+        // Leaving the transport counts as delivery even when the terminated
+        // destination drops the message on the floor.
+        aud->on_deliver(a.dst, a.msg.msg.time);
+        aud->on_inflight_remove(a.msg.msg.time);
+      }
       if (lps[a.dst].terminated) continue;
       const std::uint32_t pr = proc_of[a.dst];
       const double handle =
@@ -256,6 +279,10 @@ VpResult run_conservative_vp(const Circuit& c, const Stimulus& stim,
             clock[proc_of[b]] += cost.msg_send;
             r.busy += cost.msg_send;
             ++r.stats.messages;
+            if (aud) {
+              aud->on_send(b, m.time);
+              aud->on_inflight_add(m.time);
+            }
             des.push(Arrival{clock[proc_of[b]] + cost.msg_latency, ch.dst(),
                              CmbMsg{m, b, false}, des_seq++});
           }
@@ -264,7 +291,10 @@ VpResult run_conservative_vp(const Circuit& c, const Stimulus& stim,
       drain_des();
 
       // Recovery, phase 2: grant t_min + 1 — once the minimum events are
-      // delivered, no future message can carry a timestamp below that.
+      // delivered, no future message can carry a timestamp below that. The
+      // minimum is this executor's GVT: batches at t_min itself are exactly
+      // what the grant unblocks, so the floor is t_min, not t_min + 1.
+      if (aud) aud->on_gvt(t_min);
       for (std::uint32_t b = 0; b < n_blocks; ++b)
         if (!lps[b].terminated) lps[b].in.grant(t_min + 1);
       for (std::uint32_t pr = 0; pr < n_procs; ++pr) activate_proc(pr);
@@ -284,6 +314,11 @@ VpResult run_conservative_vp(const Circuit& c, const Stimulus& stim,
   r.stats.batches = merged.stats.batches;
   r.stats.save_bytes = merged.stats.save_bytes;
   r.stats.undo_entries = merged.stats.undo_entries;
+  if (aud) {
+    // The arrival queue is fully drained before we get here.
+    for (std::uint32_t b = 0; b < n_blocks; ++b) aud->set_pending(b, 0);
+    aud->finalize();
+  }
   return r;
 }
 

@@ -13,9 +13,11 @@
 // are cancelled with anti-messages (aggressive cancellation).
 
 #include <map>
+#include <optional>
 #include <queue>
 #include <set>
 
+#include "check/auditor.hpp"
 #include "core/block.hpp"
 #include "engines/common.hpp"
 #include "util/rng.hpp"
@@ -74,6 +76,7 @@ VpResult run_hybrid_vp(const Circuit& c, const Stimulus& stim,
     std::vector<std::size_t> env_pos;  // parallel to `blocks`
     Tick processed_bound = 0;
     std::uint64_t uid_counter = 0;
+    std::uint64_t fossil_dropped = 0;  ///< input entries erased below GVT
     double clock = 0.0;
     bool wake_scheduled = false;
   };
@@ -86,6 +89,12 @@ VpResult run_hybrid_vp(const Circuit& c, const Stimulus& stim,
   std::uint64_t des_seq = 0;
   std::multiset<Tick> inflight;
   Tick gvt = 0;
+
+  // The auditor's LPs are the clusters: each cluster is one optimistic
+  // super-LP (intra-cluster messages are internal state, not transport).
+  std::optional<Auditor> aud;
+  if (cfg.audit || Auditor::env_enabled())
+    aud.emplace("hybrid-vp", n_clusters, horizon);
 
   VpResult r;
   r.procs = n_blocks;  // one processor per block, csize per cluster node
@@ -119,6 +128,10 @@ VpResult run_hybrid_vp(const Circuit& c, const Stimulus& stim,
     cl.clock += cost.msg_send;
     r.busy += cost.msg_send;
     inflight.insert(m.msg.time);
+    if (aud) {
+      aud->on_send(k, m.msg.time);
+      aud->on_inflight_add(m.msg.time);
+    }
     des.push(Ev{cl.clock + inter_latency, EvKind::Arrival,
                 cluster_of(m.dst_block), m, des_seq++});
     if (m.anti)
@@ -130,6 +143,7 @@ VpResult run_hybrid_vp(const Circuit& c, const Stimulus& stim,
   auto rollback = [&](std::uint32_t k, Tick t) {
     Cluster& cl = clusters[k];
     if (cl.processed_bound <= t) return;
+    if (aud) aud->on_rollback(k, t);
     double w = cost.rollback_fixed;
     for (std::size_t i = 0; i < cl.blocks.size(); ++i) {
       const auto rs = rig.blocks[cl.blocks[i]]->rollback_to(t);
@@ -153,6 +167,8 @@ VpResult run_hybrid_vp(const Circuit& c, const Stimulus& stim,
         for (auto it = lo; it != hi; ++it) {
           if (it->second.uid == m.uid) {
             cl.input_queue.erase(it);
+            // Self-cancellation: the undone send vanishes without an anti.
+            if (aud) aud->on_cancel(k);
             break;
           }
         }
@@ -167,9 +183,11 @@ VpResult run_hybrid_vp(const Circuit& c, const Stimulus& stim,
 
   auto deliver = [&](std::uint32_t k, const HbMsg& m) {
     Cluster& cl = clusters[k];
+    if (aud) aud->on_deliver(k, m.msg.time);
     if (m.msg.time < cl.processed_bound) rollback(k, m.msg.time);
     if (!m.anti) {
       cl.input_queue.emplace(m.msg.time, m);
+      if (aud) aud->on_enqueue(k);
     } else {
       auto [lo, hi] = cl.input_queue.equal_range(m.msg.time);
       bool found = false;
@@ -181,6 +199,7 @@ VpResult run_hybrid_vp(const Circuit& c, const Stimulus& stim,
         }
       }
       PLSIM_ASSERT(found);
+      if (aud) aud->on_cancel(k);
     }
     schedule_wake(k);
   };
@@ -193,6 +212,7 @@ VpResult run_hybrid_vp(const Circuit& c, const Stimulus& stim,
     if (cfg.optimism_window > 0 && nt > gvt && nt - gvt > cfg.optimism_window)
       return;
 
+    if (aud) aud->on_batch(k, nt);
     double max_member = 0.0;
     double send_work = 0.0;
     std::vector<HbMsg> to_send;  // dispatched after the step cost is charged
@@ -221,6 +241,7 @@ VpResult run_hybrid_vp(const Circuit& c, const Stimulus& stim,
           if (hm.local) {
             send_work += cost.event;
             cl.input_queue.emplace(m.time, hm);
+            if (aud) aud->on_enqueue(k);
             ++r.stats.messages;
           } else {
             to_send.push_back(hm);
@@ -254,6 +275,7 @@ VpResult run_hybrid_vp(const Circuit& c, const Stimulus& stim,
       case EvKind::Arrival: {
         Cluster& cl = clusters[ev.target];
         inflight.erase(inflight.find(ev.msg.msg.time));
+        if (aud) aud->on_inflight_remove(ev.msg.msg.time);
         cl.clock = std::max(cl.clock, ev.at) + cost.msg_recv;
         r.busy += cost.msg_recv;
         deliver(ev.target, ev.msg);
@@ -264,6 +286,7 @@ VpResult run_hybrid_vp(const Circuit& c, const Stimulus& stim,
         for (std::uint32_t k = 0; k < n_clusters; ++k)
           new_gvt = std::min(new_gvt, cluster_min(k));
         gvt = std::max(gvt, new_gvt);
+        if (aud) aud->on_gvt(gvt);
         ++r.stats.gvt_rounds;
         for (std::uint32_t k = 0; k < n_clusters; ++k) {
           Cluster& cl = clusters[k];
@@ -275,9 +298,11 @@ VpResult run_hybrid_vp(const Circuit& c, const Stimulus& stim,
           cl.sent_log.erase(cl.sent_log.begin(),
                             cl.sent_log.lower_bound(gvt));
           // Committed inputs below GVT are dead weight; drop them.
-          cl.input_queue.erase(
-              cl.input_queue.begin(),
-              cl.input_queue.lower_bound(std::min(gvt, cl.processed_bound)));
+          const auto fossil_end = cl.input_queue.lower_bound(
+              std::min(gvt, cl.processed_bound));
+          cl.fossil_dropped += static_cast<std::uint64_t>(
+              std::distance(cl.input_queue.begin(), fossil_end));
+          cl.input_queue.erase(cl.input_queue.begin(), fossil_end);
           cl.clock = std::max(cl.clock, ev.at) + w;
           r.busy += w;
           schedule_wake(k);
@@ -292,6 +317,23 @@ VpResult run_hybrid_vp(const Circuit& c, const Stimulus& stim,
   for (const Cluster& cl : clusters)
     r.makespan = std::max(r.makespan, cl.clock);
 
+  if (aud) {
+    // Arrivals still queued in the DES at exit were never delivered.
+    std::vector<std::uint64_t> pending(n_clusters, 0);
+    while (!des.empty()) {
+      const Ev ev = des.top();
+      des.pop();
+      if (ev.kind != EvKind::Arrival) continue;
+      ++pending[ev.target];
+      aud->on_inflight_remove(ev.msg.msg.time);
+    }
+    for (std::uint32_t k = 0; k < n_clusters; ++k) {
+      aud->set_pending(k, pending[k]);
+      aud->set_queue_left(
+          k, clusters[k].input_queue.size() + clusters[k].fossil_dropped);
+    }
+  }
+
   RunResult merged = merge_results(c, rig, false);
   r.final_values = std::move(merged.final_values);
   r.wave_digest = merged.wave.digest();
@@ -301,6 +343,7 @@ VpResult run_hybrid_vp(const Circuit& c, const Stimulus& stim,
   r.stats.batches = merged.stats.batches;
   r.stats.save_bytes = merged.stats.save_bytes;
   r.stats.undo_entries = merged.stats.undo_entries;
+  if (aud) aud->finalize();
   return r;
 }
 

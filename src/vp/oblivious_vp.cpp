@@ -1,6 +1,11 @@
 // Virtual-platform oblivious executor: the levelized sweep of
 // engines/oblivious_engine.cpp with per-level barriers and a deterministic
 // cost account. Level time = busiest processor's evaluations + one barrier.
+//
+// No invariant auditor here (unlike the other VP executors): this executor
+// is purely analytic — it computes the cost account from static per-level
+// gate counts without running batches or exchanging messages, so there are
+// no causality/GVT/conservation invariants to check.
 
 #include <array>
 

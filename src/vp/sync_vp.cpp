@@ -13,7 +13,9 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
 
+#include "check/auditor.hpp"
 #include "core/block.hpp"
 #include "engines/common.hpp"
 #include "util/rng.hpp"
@@ -60,6 +62,10 @@ VpResult run_sync_vp(const Circuit& c, const Stimulus& stim,
   r.procs = n_procs;
   std::vector<Message> externals, outputs;
 
+  std::optional<Auditor> aud;
+  if (cfg.audit || Auditor::env_enabled())
+    aud.emplace("sync-vp", n_blocks, horizon);
+
   auto block_next = [&](std::uint32_t b) {
     Tick mine = rig.blocks[b]->next_internal_time();
     if (env_pos[b] < rig.env[b].size())
@@ -74,6 +80,9 @@ VpResult run_sync_vp(const Circuit& c, const Stimulus& stim,
     for (std::uint32_t b = 0; b < n_blocks; ++b)
       front = std::min(front, block_next(b));
     if (front >= horizon || front == kTickInf) break;
+    // The window front plays the role of GVT: all processing this step is at
+    // or above it, and no staged (in-flight) message may lie below it.
+    if (aud) aud->on_gvt(front);
     const Tick window_end = std::min<Tick>(horizon, front + window);
 
     std::fill(recv_work.begin(), recv_work.end(), 0.0);
@@ -90,15 +99,24 @@ VpResult run_sync_vp(const Circuit& c, const Stimulus& stim,
         while (env_pos[b] < env.size() && env[env_pos[b]].time == t)
           externals.push_back(env[env_pos[b]++]);
         while (!staged[b].empty() && staged[b].top().time == t) {
+          if (aud) {
+            aud->on_deliver(b, t);
+            aud->on_inflight_remove(t);
+          }
           externals.push_back(staged[b].top());
           staged[b].pop();
         }
         outputs.clear();
+        if (aud) aud->on_batch(b, t);
         const BatchStats bs = blk.process_batch(t, externals, outputs);
         w += batch_cost(cost, bs, SaveMode::None);
         for (const Message& m : outputs) {
           for (std::uint32_t dst : rig.routing.dests[m.gate]) {
             staged[dst].push(m);
+            if (aud) {
+              aud->on_send(b, m.time);
+              aud->on_inflight_add(m.time);
+            }
             w += cost.msg_send;
             recv_work[proc_of[dst]] += cost.msg_recv;
             ++r.stats.messages;
@@ -172,6 +190,17 @@ VpResult run_sync_vp(const Circuit& c, const Stimulus& stim,
     }
   }
 
+  if (aud) {
+    // Staged messages past the horizon were sent but never consumed.
+    for (std::uint32_t b = 0; b < n_blocks; ++b) {
+      aud->set_pending(b, staged[b].size());
+      while (!staged[b].empty()) {
+        aud->on_inflight_remove(staged[b].top().time);
+        staged[b].pop();
+      }
+    }
+  }
+
   RunResult merged = merge_results(c, rig, false);
   r.final_values = std::move(merged.final_values);
   r.wave_digest = merged.wave.digest();
@@ -181,6 +210,7 @@ VpResult run_sync_vp(const Circuit& c, const Stimulus& stim,
   r.stats.batches = merged.stats.batches;
   r.stats.save_bytes = merged.stats.save_bytes;
   r.stats.undo_entries = merged.stats.undo_entries;
+  if (aud) aud->finalize();
   return r;
 }
 

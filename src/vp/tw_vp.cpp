@@ -14,9 +14,11 @@
 
 #include <functional>
 #include <map>
+#include <optional>
 #include <queue>
 #include <set>
 
+#include "check/auditor.hpp"
 #include "core/block.hpp"
 #include "engines/common.hpp"
 #include "util/rng.hpp"
@@ -75,6 +77,7 @@ VpResult run_timewarp_vp(const Circuit& c, const Stimulus& stim,
     Tick processed_bound = 0;
     std::size_t env_pos = 0;
     std::uint64_t uid_counter = 0;
+    std::uint64_t fossil_dropped = 0;  ///< input entries erased below GVT
   };
   std::vector<Lp> lps(n_blocks);
   std::vector<double> clock(n_procs, 0.0);
@@ -92,6 +95,10 @@ VpResult run_timewarp_vp(const Circuit& c, const Stimulus& stim,
   for (std::uint32_t pr = 0; pr < n_procs; ++pr)
     jitter.emplace_back(cfg.jitter_seed ^ (0x9e37u + pr));
 
+  std::optional<Auditor> aud;
+  if (cfg.audit || Auditor::env_enabled())
+    aud.emplace("timewarp-vp", n_blocks, horizon);
+
   auto local_min = [&](std::uint32_t b) -> Tick {
     const Lp& lp = lps[b];
     Tick t = rig.blocks[b]->next_internal_time();
@@ -100,6 +107,17 @@ VpResult run_timewarp_vp(const Circuit& c, const Stimulus& stim,
     if (lp.env_pos < rig.env[b].size())
       t = std::min(t, rig.env[b][lp.env_pos].time);
     return std::min(t, horizon);
+  };
+
+  // GVT lower bound for one LP. Unlike local_min (batch scheduling), this
+  // includes pending lazy cancellations: a pending entry at time bt can
+  // still turn into an anti-message at bt, rolling its receivers back to
+  // bt — GVT must never overtake it.
+  auto gvt_min = [&](std::uint32_t b) -> Tick {
+    Tick t = local_min(b);
+    if (!lps[b].lazy_pending.empty())
+      t = std::min(t, lps[b].lazy_pending.begin()->first);
+    return t;
   };
 
   auto schedule_wake = [&](std::uint32_t pr) {
@@ -122,6 +140,7 @@ VpResult run_timewarp_vp(const Circuit& c, const Stimulus& stim,
         ++r.stats.anti_messages;
       else
         ++r.stats.messages;
+      if (aud) aud->on_send(b, m.msg.time);
       if (proc_of[dst] == pr) {
         // Shared-memory neighbour: enqueue directly.
         clock[pr] += cost.event;
@@ -131,6 +150,7 @@ VpResult run_timewarp_vp(const Circuit& c, const Stimulus& stim,
         clock[pr] += cost.msg_send;
         r.busy += cost.msg_send;
         inflight.insert(m.msg.time);
+        if (aud) aud->on_inflight_add(m.msg.time);
         des.push(Ev{clock[pr] + cost.msg_latency, EvKind::Arrival, dst, m,
                     des_seq++});
       }
@@ -140,6 +160,7 @@ VpResult run_timewarp_vp(const Circuit& c, const Stimulus& stim,
   rollback = [&](std::uint32_t b, Tick t) {
     Lp& lp = lps[b];
     if (lp.processed_bound <= t) return;
+    if (aud) aud->on_rollback(b, t);
     const std::uint32_t pr = proc_of[b];
     const auto rs = rig.blocks[b]->rollback_to(t);
     const double w = cost.rollback_fixed + rs.entries * cost.undo_replay +
@@ -169,9 +190,11 @@ VpResult run_timewarp_vp(const Circuit& c, const Stimulus& stim,
 
   deliver = [&](std::uint32_t b, const TwVpMsg& m) {
     Lp& lp = lps[b];
+    if (aud) aud->on_deliver(b, m.msg.time);
     if (m.msg.time < lp.processed_bound) rollback(b, m.msg.time);
     if (!m.anti) {
       lp.input_queue.emplace(m.msg.time, m);
+      if (aud) aud->on_enqueue(b);
     } else {
       auto [lo, hi] = lp.input_queue.equal_range(m.msg.time);
       bool found = false;
@@ -183,6 +206,7 @@ VpResult run_timewarp_vp(const Circuit& c, const Stimulus& stim,
         }
       }
       PLSIM_ASSERT(found);
+      if (aud) aud->on_cancel(b);
     }
     schedule_wake(proc_of[b]);
   };
@@ -229,6 +253,7 @@ VpResult run_timewarp_vp(const Circuit& c, const Stimulus& stim,
       externals.push_back(lo->second.msg);
 
     outputs.clear();
+    if (aud) aud->on_batch(best, nt);
     const BatchStats bs =
         rig.blocks[best]->process_batch(nt, externals, outputs);
     lp.processed_bound = nt + 1;
@@ -274,6 +299,7 @@ VpResult run_timewarp_vp(const Circuit& c, const Stimulus& stim,
       case EvKind::Arrival: {
         const std::uint32_t pr = proc_of[ev.target];
         inflight.erase(inflight.find(ev.msg.msg.time));
+        if (aud) aud->on_inflight_remove(ev.msg.msg.time);
         clock[pr] = std::max(clock[pr], ev.at) + cost.msg_recv;
         r.busy += cost.msg_recv;
         deliver(ev.target, ev.msg);
@@ -282,8 +308,9 @@ VpResult run_timewarp_vp(const Circuit& c, const Stimulus& stim,
       case EvKind::Gvt: {
         Tick new_gvt = inflight.empty() ? horizon : *inflight.begin();
         for (std::uint32_t b = 0; b < n_blocks; ++b)
-          new_gvt = std::min(new_gvt, local_min(b));
+          new_gvt = std::min(new_gvt, gvt_min(b));
         gvt = std::max(gvt, new_gvt);
+        if (aud) aud->on_gvt(gvt);
         ++r.stats.gvt_rounds;
         for (std::uint32_t pr = 0; pr < n_procs; ++pr) {
           double w = cost.barrier_cost(n_procs) + cost.gvt_per_proc;
@@ -292,10 +319,11 @@ VpResult run_timewarp_vp(const Circuit& c, const Stimulus& stim,
             lps[b].sent_log.erase(lps[b].sent_log.begin(),
                                   lps[b].sent_log.lower_bound(gvt));
             // Processed inputs below GVT can never be replayed again.
-            lps[b].input_queue.erase(
-                lps[b].input_queue.begin(),
-                lps[b].input_queue.lower_bound(
-                    std::min(gvt, lps[b].processed_bound)));
+            const auto fossil_end = lps[b].input_queue.lower_bound(
+                std::min(gvt, lps[b].processed_bound));
+            lps[b].fossil_dropped += static_cast<std::uint64_t>(
+                std::distance(lps[b].input_queue.begin(), fossil_end));
+            lps[b].input_queue.erase(lps[b].input_queue.begin(), fossil_end);
             w += dropped * cost.fossil_per_batch;
           }
           clock[pr] = std::max(clock[pr], ev.at) + w;
@@ -312,6 +340,25 @@ VpResult run_timewarp_vp(const Circuit& c, const Stimulus& stim,
   for (std::uint32_t pr = 0; pr < n_procs; ++pr)
     r.makespan = std::max(r.makespan, clock[pr]);
 
+  if (aud) {
+    // The loop exits once GVT reaches the horizon; arrivals still in the DES
+    // queue were sent but never delivered — account them as pending.
+    std::vector<std::uint64_t> pending(n_blocks, 0);
+    while (!des.empty()) {
+      const Ev ev = des.top();
+      des.pop();
+      if (ev.kind != EvKind::Arrival) continue;
+      ++pending[ev.target];
+      aud->on_inflight_remove(ev.msg.msg.time);
+    }
+    for (std::uint32_t b = 0; b < n_blocks; ++b) {
+      aud->set_pending(b, pending[b]);
+      // Queue accounting: every enqueued positive was annihilated,
+      // fossil-collected, or is still in the queue.
+      aud->set_queue_left(b, lps[b].input_queue.size() + lps[b].fossil_dropped);
+    }
+  }
+
   RunResult merged = merge_results(c, rig, false);
   r.final_values = std::move(merged.final_values);
   r.wave_digest = merged.wave.digest();
@@ -321,6 +368,7 @@ VpResult run_timewarp_vp(const Circuit& c, const Stimulus& stim,
   r.stats.batches = merged.stats.batches;
   r.stats.save_bytes = merged.stats.save_bytes;
   r.stats.undo_entries = merged.stats.undo_entries;
+  if (aud) aud->finalize();
   return r;
 }
 

@@ -22,6 +22,13 @@ namespace plsim {
 struct VpConfig {
   CostModel cost;
 
+  /// Run the invariant auditor (src/check) alongside the executor. The VP
+  /// executors are single-threaded, so the auditor additionally tracks the
+  /// exact in-flight message multiset (GVT may never overtake an undelivered
+  /// message). Also forced on by the PLSIM_AUDIT environment variable.
+  /// Violations throw plsim::AuditViolation at the end of the run.
+  bool audit = false;
+
   /// LP granularity (paper §III): blocks (LPs) may be many-to-one mapped
   /// onto processors — "only one LP per processor can result in
   /// unnecessarily blocked computation or high rollback overheads".

@@ -1,0 +1,346 @@
+// Tests for the runtime invariant auditor (src/check).
+//
+// Two halves:
+//   1. Positive: every engine family — the four threaded engines and the four
+//      audited virtual-platform executors — runs a real workload with
+//      audit = true. A clean run must not throw and must still match the
+//      golden simulator, proving the hooks are wired through the actual
+//      protocol paths (GVT rounds, rollbacks, null messages, fossil
+//      collection) without perturbing results.
+//   2. Negative: the Auditor class is driven directly with injected protocol
+//      violations — a batch below LVT, GVT regression, a rollback below GVT,
+//      broken conservation — and must report each one as a structured
+//      AuditViolation naming the invariant, LP and tick.
+
+#include <gtest/gtest.h>
+
+#include "check/auditor.hpp"
+#include "engines/engine.hpp"
+#include "netlist/builtin.hpp"
+#include "netlist/generators.hpp"
+#include "partition/algorithms.hpp"
+#include "seq/golden.hpp"
+#include "stim/stimulus.hpp"
+#include "vp/vp.hpp"
+
+namespace plsim {
+namespace {
+
+// ------------------------------------------------- shared positive fixture --
+
+struct Workload {
+  Circuit circuit;
+  Stimulus stim;
+  Partition partition;
+  RunResult golden;
+};
+
+Workload make_workload(std::uint32_t blocks) {
+  RandomCircuitSpec spec;
+  spec.n_gates = 300;
+  spec.n_inputs = 12;
+  spec.dff_fraction = 0.10;
+  spec.delay_mode = DelayMode::Uniform;
+  spec.delay_spread = 5;
+  spec.seed = 71;
+  Circuit c = random_circuit(spec);
+  Stimulus s = random_stimulus(c, 20, 0.45, 123);
+  Partition p = partition_fm(c, blocks, 5);
+  RunResult golden = simulate_golden(c, s);
+  return Workload{std::move(c), std::move(s), std::move(p),
+                  std::move(golden)};
+}
+
+// --------------------------------------------- positive: threaded engines --
+
+TEST(AuditorPositive, SynchronousEngineRunsCleanUnderAudit) {
+  const Workload w = make_workload(4);
+  EngineConfig cfg;
+  cfg.audit = true;
+  cfg.record_trace = true;  // exercises check_trace as well
+  const RunResult r = run_synchronous(w.circuit, w.stim, w.partition, cfg);
+  EXPECT_EQ(r.final_values, w.golden.final_values);
+  EXPECT_EQ(r.wave.digest(), w.golden.wave.digest());
+}
+
+TEST(AuditorPositive, SynchronousTimeBucketsRunCleanUnderAudit) {
+  const Workload w = make_workload(3);
+  EngineConfig cfg;
+  cfg.audit = true;
+  cfg.time_buckets = true;
+  const RunResult r = run_synchronous(w.circuit, w.stim, w.partition, cfg);
+  EXPECT_EQ(r.final_values, w.golden.final_values);
+  EXPECT_EQ(r.wave.digest(), w.golden.wave.digest());
+}
+
+TEST(AuditorPositive, ConservativeEngineRunsCleanUnderAudit) {
+  const Workload w = make_workload(4);
+  EngineConfig cfg;
+  cfg.audit = true;
+  const RunResult r = run_conservative(w.circuit, w.stim, w.partition, cfg);
+  EXPECT_EQ(r.final_values, w.golden.final_values);
+  EXPECT_EQ(r.wave.digest(), w.golden.wave.digest());
+}
+
+TEST(AuditorPositive, TimeWarpAggressiveRunsCleanUnderAudit) {
+  const Workload w = make_workload(4);
+  EngineConfig cfg;
+  cfg.audit = true;
+  const RunResult r = run_timewarp(w.circuit, w.stim, w.partition, cfg);
+  EXPECT_EQ(r.final_values, w.golden.final_values);
+  EXPECT_EQ(r.wave.digest(), w.golden.wave.digest());
+}
+
+TEST(AuditorPositive, TimeWarpLazyWindowedRunsCleanUnderAudit) {
+  // Lazy cancellation + a bounded optimism window: the configuration where
+  // pending lazy anti-messages must be folded into the published GVT minimum
+  // (the bug class this auditor was built to catch).
+  const Workload w = make_workload(4);
+  EngineConfig cfg;
+  cfg.audit = true;
+  cfg.lazy_cancellation = true;
+  cfg.optimism_window = 25;
+  cfg.save = SaveMode::Full;
+  const RunResult r = run_timewarp(w.circuit, w.stim, w.partition, cfg);
+  EXPECT_EQ(r.final_values, w.golden.final_values);
+  EXPECT_EQ(r.wave.digest(), w.golden.wave.digest());
+}
+
+TEST(AuditorPositive, ObliviousParallelRunsCleanUnderAudit) {
+  const Workload w = make_workload(4);
+  EngineConfig cfg;
+  cfg.audit = true;
+  // Oblivious semantics differ from event-driven golden (zero-delay cycles),
+  // so only the clean-run property is asserted here; equivalence against the
+  // sequential oblivious simulator is covered in engine_equivalence_test.
+  EXPECT_NO_THROW(
+      run_oblivious_parallel(w.circuit, w.stim, w.partition, cfg));
+}
+
+// ------------------------------------------------ positive: VP executors --
+
+TEST(AuditorPositive, SyncVpRunsCleanUnderAudit) {
+  const Workload w = make_workload(4);
+  VpConfig cfg;
+  cfg.audit = true;
+  const VpResult r = run_sync_vp(w.circuit, w.stim, w.partition, cfg);
+  EXPECT_EQ(r.final_values, w.golden.final_values);
+  EXPECT_EQ(r.wave_digest, w.golden.wave.digest());
+}
+
+TEST(AuditorPositive, ConservativeVpNullMessagesRunsCleanUnderAudit) {
+  const Workload w = make_workload(4);
+  VpConfig cfg;
+  cfg.audit = true;
+  cfg.cons_null_messages = true;
+  const VpResult r = run_conservative_vp(w.circuit, w.stim, w.partition, cfg);
+  EXPECT_EQ(r.final_values, w.golden.final_values);
+  EXPECT_EQ(r.wave_digest, w.golden.wave.digest());
+}
+
+TEST(AuditorPositive, ConservativeVpDeadlockRecoveryRunsCleanUnderAudit) {
+  // Detection-and-recovery mode exercises the on_gvt(t_min) grant path.
+  const Workload w = make_workload(4);
+  VpConfig cfg;
+  cfg.audit = true;
+  cfg.cons_null_messages = false;
+  const VpResult r = run_conservative_vp(w.circuit, w.stim, w.partition, cfg);
+  EXPECT_EQ(r.final_values, w.golden.final_values);
+  EXPECT_EQ(r.wave_digest, w.golden.wave.digest());
+}
+
+TEST(AuditorPositive, TimeWarpVpAggressiveRunsCleanUnderAudit) {
+  const Workload w = make_workload(4);
+  VpConfig cfg;
+  cfg.audit = true;
+  const VpResult r = run_timewarp_vp(w.circuit, w.stim, w.partition, cfg);
+  EXPECT_EQ(r.final_values, w.golden.final_values);
+  EXPECT_EQ(r.wave_digest, w.golden.wave.digest());
+}
+
+TEST(AuditorPositive, TimeWarpVpLazyRunsCleanUnderAudit) {
+  const Workload w = make_workload(4);
+  VpConfig cfg;
+  cfg.audit = true;
+  cfg.lazy_cancellation = true;
+  cfg.optimism_window = 25;
+  const VpResult r = run_timewarp_vp(w.circuit, w.stim, w.partition, cfg);
+  EXPECT_EQ(r.final_values, w.golden.final_values);
+  EXPECT_EQ(r.wave_digest, w.golden.wave.digest());
+}
+
+TEST(AuditorPositive, HybridVpRunsCleanUnderAudit) {
+  const Workload w = make_workload(6);
+  VpConfig cfg;
+  cfg.audit = true;
+  cfg.hybrid_cluster_size = 2;
+  const VpResult r = run_hybrid_vp(w.circuit, w.stim, w.partition, cfg);
+  EXPECT_EQ(r.final_values, w.golden.final_values);
+  EXPECT_EQ(r.wave_digest, w.golden.wave.digest());
+}
+
+// --------------------------------------------------- negative: injections --
+
+// Every negative test drives the Auditor API directly, injecting exactly one
+// protocol violation, and checks that finalize() throws a structured
+// AuditViolation naming that invariant.
+
+// Note: conservation and in-flight-drain checks only run inside finalize(),
+// so ok() is checked after the throw, not before.
+void expect_violation(Auditor& aud, const std::string& invariant) {
+  try {
+    aud.finalize();
+    FAIL() << "finalize() did not throw; expected " << invariant;
+  } catch (const AuditViolation& v) {
+    EXPECT_EQ(v.record().invariant, invariant);
+    EXPECT_GE(v.total_violations(), 1u);
+  }
+  EXPECT_FALSE(aud.ok());
+}
+
+TEST(AuditorNegative, CausalityViolationBelowLvtIsCaught) {
+  // The ISSUE's canonical injection: a batch at t=3 after a batch at t=5
+  // replays the past without a rollback — the core causality invariant.
+  Auditor aud("injected", 2, 100);
+  aud.on_batch(0, 5);
+  aud.on_batch(0, 3);
+  EXPECT_FALSE(aud.ok());
+  ASSERT_EQ(aud.violations().size(), 1u);
+  EXPECT_EQ(aud.violations()[0].invariant, "causality");
+  EXPECT_EQ(aud.violations()[0].lp, 0u);
+  EXPECT_EQ(aud.violations()[0].tick, 3u);
+  try {
+    aud.finalize();
+    FAIL() << "finalize() did not throw";
+  } catch (const AuditViolation& v) {
+    EXPECT_EQ(v.engine(), "injected");
+    EXPECT_EQ(v.record().invariant, "causality");
+    EXPECT_EQ(v.record().lp, 0u);
+    EXPECT_EQ(v.record().tick, 3u);
+  }
+}
+
+TEST(AuditorNegative, BatchBelowGvtIsCaught) {
+  Auditor aud("injected", 1, 100);
+  aud.on_gvt(10);
+  aud.on_batch(0, 7);  // below the committed frontier
+  expect_violation(aud, "gvt-causality");
+}
+
+TEST(AuditorNegative, GvtRegressionIsCaught) {
+  Auditor aud("injected", 1, 100);
+  aud.on_gvt(20);
+  aud.on_gvt(15);
+  expect_violation(aud, "gvt-monotonicity");
+}
+
+TEST(AuditorNegative, GvtBeyondHorizonIsCaught) {
+  Auditor aud("injected", 1, 100);
+  aud.on_gvt(150);
+  expect_violation(aud, "gvt-horizon");
+}
+
+TEST(AuditorNegative, RollbackBelowGvtIsCaught) {
+  // History below GVT is fossil-collected — a rollback there is
+  // unrecoverable. This is exactly the lazy-cancellation GVT hole.
+  Auditor aud("injected", 1, 100);
+  aud.on_batch(0, 30);
+  aud.on_gvt(20);
+  aud.on_rollback(0, 10);
+  expect_violation(aud, "rollback-below-gvt");
+}
+
+TEST(AuditorNegative, NonPositiveLookaheadIsCaught) {
+  Auditor aud("injected", 1, 100);
+  aud.on_lookahead(0, 0);  // a CMB channel with zero lookahead can deadlock
+  expect_violation(aud, "lookahead-positivity");
+}
+
+TEST(AuditorNegative, PromiseRegressionIsCaught) {
+  Auditor aud("injected", 1, 100);
+  aud.on_promise(0, 40);
+  aud.on_promise(0, 35);  // null-message promises must be nondecreasing
+  expect_violation(aud, "promise-monotonicity");
+}
+
+TEST(AuditorNegative, LostMessageBreaksConservation) {
+  Auditor aud("injected", 2, 100);
+  aud.on_send(0, 10, 3);
+  aud.on_deliver(1, 10, 2);  // one of the three copies vanished
+  aud.set_pending(0, 0);
+  aud.set_pending(1, 0);
+  expect_violation(aud, "message-conservation");
+}
+
+TEST(AuditorNegative, BalancedMessagesPassConservation) {
+  Auditor aud("injected", 2, 100);
+  aud.on_send(0, 10, 3);
+  aud.on_deliver(1, 10, 2);
+  aud.set_pending(0, 0);
+  aud.set_pending(1, 1);  // the third copy is accounted for as pending
+  EXPECT_NO_THROW(aud.finalize());
+  EXPECT_TRUE(aud.ok());
+}
+
+TEST(AuditorNegative, LostQueueEntryBreaksEventConservation) {
+  Auditor aud("injected", 1, 100);
+  aud.on_enqueue(0, 4);
+  aud.on_cancel(0, 1);
+  aud.set_pending(0, 0);
+  aud.set_queue_left(0, 2);  // 4 enqueued != 1 cancelled + 2 remaining
+  expect_violation(aud, "event-conservation");
+}
+
+TEST(AuditorNegative, GvtOvertakingInFlightMessageIsCaught) {
+  // Deterministic executors track the exact in-flight multiset: GVT may
+  // never pass a message that is still in the transport.
+  Auditor aud("injected", 1, 100);
+  aud.on_inflight_add(5);
+  aud.on_gvt(8);
+  expect_violation(aud, "gvt-inflight");
+}
+
+TEST(AuditorNegative, UndeliveredInFlightMessageAtExitIsCaught) {
+  Auditor aud("injected", 1, 100);
+  aud.on_inflight_add(5);
+  aud.on_inflight_remove(5);
+  aud.on_inflight_add(9);  // never delivered
+  expect_violation(aud, "inflight-drained");
+}
+
+TEST(AuditorNegative, UnsortedTraceIsCaught) {
+  Auditor aud("injected", 1, 100);
+  const Trace t{{5, 0, Logic4::T}, {3, 1, Logic4::F}};
+  aud.check_trace(t);
+  expect_violation(aud, "trace-order");
+}
+
+TEST(AuditorNegative, TraceBeyondHorizonIsCaught) {
+  Auditor aud("injected", 1, 100);
+  const Trace t{{99, 0, Logic4::T}, {100, 1, Logic4::F}};
+  aud.check_trace(t);
+  expect_violation(aud, "trace-horizon");
+}
+
+TEST(AuditorNegative, CleanRunFinalizesQuietly) {
+  Auditor aud("injected", 2, 100);
+  aud.on_lookahead(0, 2);
+  aud.on_batch(0, 5);
+  aud.on_send(0, 8);
+  aud.on_deliver(1, 8);
+  aud.on_enqueue(1);
+  aud.on_batch(1, 8);
+  aud.on_gvt(8);
+  aud.on_rollback(1, 8);  // legal: at or above GVT, below LVT
+  aud.on_batch(1, 8);
+  aud.set_pending(0, 0);
+  aud.set_pending(1, 0);
+  aud.set_queue_left(1, 1);
+  aud.check_trace(Trace{{3, 0, Logic4::T}, {3, 1, Logic4::F}});
+  EXPECT_NO_THROW(aud.finalize());
+  EXPECT_TRUE(aud.ok());
+  EXPECT_TRUE(aud.violations().empty());
+}
+
+}  // namespace
+}  // namespace plsim

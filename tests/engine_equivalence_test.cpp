@@ -168,6 +168,64 @@ TEST(ObliviousParallel, MatchesSequentialOblivious) {
   }
 }
 
+// ------------------------------------------------------------------ fuzz --
+//
+// Randomized sweep: ~20 structurally diverse random circuits (size, fanin
+// width, delay model, DFF density and partitioner all derived from the fuzz
+// seed), each run through every standard engine with the invariant auditor
+// enabled and compared bit-exactly against the golden simulator. The auditor
+// turns silent protocol bugs (causality, GVT, conservation) into hard
+// failures even when they happen not to corrupt the final state.
+
+class EngineFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineFuzz, RandomCircuitMatchesGoldenUnderAudit) {
+  const std::uint64_t fz = GetParam();
+
+  RandomCircuitSpec spec;
+  spec.n_gates = 120 + (fz * 97) % 400;
+  spec.n_inputs = 6 + (fz * 13) % 12;
+  spec.n_outputs = 6 + (fz * 7) % 12;
+  spec.dff_fraction = 0.04 + 0.012 * static_cast<double>(fz % 11);
+  spec.extra_fanin_p = 0.15 + 0.03 * static_cast<double>(fz % 7);
+  spec.delay_mode = fz % 2 ? DelayMode::Uniform : DelayMode::Unit;
+  spec.delay_spread = fz % 2 ? 2 + static_cast<std::uint32_t>(fz % 9) : 1;
+  spec.seed = fz * 0x9e3779b97f4a7c15ULL + 1;
+  const Circuit c = random_circuit(spec);
+
+  const std::size_t cycles = 12 + fz % 18;
+  const double activity = 0.25 + 0.05 * static_cast<double>(fz % 8);
+  const Stimulus s = random_stimulus(c, cycles, activity, fz * 31 + 7);
+
+  const std::uint32_t blocks = 1 + static_cast<std::uint32_t>(fz % 6);
+  Partition p;
+  switch (fz % 3) {
+    case 0: p = partition_fm(c, blocks, fz); break;
+    case 1: p = partition_strings(c, blocks, fz); break;
+    default: p = partition_round_robin(c, blocks); break;
+  }
+
+  const RunResult golden = simulate_golden(c, s);
+
+  EngineConfig cfg;
+  cfg.audit = true;
+  cfg.lazy_cancellation = fz % 2 == 1;  // exercised by the timewarp engine
+  cfg.optimism_window = fz % 5 == 0 ? Tick(30) : Tick(0);
+  for (const auto& e : standard_engines()) {
+    SCOPED_TRACE(e.name);
+    const RunResult r = e.run(c, s, p, cfg);  // AuditViolation would throw
+    EXPECT_EQ(r.final_values, golden.final_values);
+    EXPECT_EQ(r.wave.digest(), golden.wave.digest());
+    EXPECT_EQ(r.wave.change_count(), golden.wave.change_count());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EngineFuzz,
+                         ::testing::Range<std::uint64_t>(0, 20),
+                         [](const auto& info) {
+                           return "fz" + std::to_string(info.param);
+                         });
+
 // ------------------------------------------------------------ trace check --
 
 TEST(EngineTraces, RecordedTracesAreIdenticalAcrossEngines) {

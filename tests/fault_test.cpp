@@ -94,8 +94,9 @@ TEST(Fault, FirstDetectionIsConsistentWithDetection) {
   ASSERT_EQ(first.size(), faults.size());
   for (std::size_t i = 0; i < faults.size(); ++i) {
     EXPECT_EQ(first[i] >= 0, r.detected_mask[i] != 0) << i;
-    if (first[i] >= 0)
+    if (first[i] >= 0) {
       EXPECT_LT(first[i], static_cast<std::int32_t>(s.vectors.size()));
+    }
   }
 }
 

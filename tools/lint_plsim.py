@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""plsim-specific lint pass, run as a CTest test (see top-level CMakeLists).
+
+Rules (each can be waived on a specific line with a trailing or preceding
+comment `// plsim-lint: allow(<rule>)`):
+
+  threading       Raw threading primitives (std::thread, std::mutex,
+                  std::condition_variable, locks, and their headers) are
+                  confined to src/parallel/. Everything else must use the
+                  sanctioned wrappers: run_on_threads, Mailbox, the barriers,
+                  Guarded<T>, or std::atomic. This keeps the surface the
+                  thread sanitizer has to certify small.
+
+  randomness      rand()/srand()/std::random_device/std::mt19937 are banned
+                  everywhere except src/util/rng.hpp: all randomness flows
+                  through the deterministic, seeded plsim::Rng so runs are
+                  reproducible bit-for-bit.
+
+  unordered-iter  Range-for over a std::unordered_{map,set} declared in the
+                  same file is banned in src/engines/ and src/vp/: iteration
+                  order is unspecified and can leak into message ordering,
+                  stats, or modelled cost. Iterate a deterministic index
+                  instead (or sort first).
+
+  include-hygiene Quoted includes must be repo-root-relative module paths
+                  ("logic/value.hpp"), never parent-relative ("../x.hpp");
+                  system headers use <>.
+
+Usage: lint_plsim.py <repo-root>
+Exit status 0 when clean, 1 with file:line diagnostics otherwise.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+CXX_EXTS = {".cpp", ".hpp", ".cc", ".hh", ".h"}
+
+THREADING_USE = re.compile(
+    r"\bstd::(thread|jthread|mutex|timed_mutex|recursive_mutex|shared_mutex"
+    r"|condition_variable|condition_variable_any|lock_guard|unique_lock"
+    r"|scoped_lock|shared_lock)\b"
+)
+THREADING_INCLUDE = re.compile(
+    r'#\s*include\s*<(thread|mutex|condition_variable|shared_mutex|future)>'
+)
+RANDOMNESS = re.compile(
+    r"(\bstd::(random_device|mt19937(_64)?|minstd_rand0?|default_random_engine)\b"
+    r"|(?<![\w:])s?rand\s*\()"
+)
+UNORDERED_DECL = re.compile(
+    r"\b(?:std::)?unordered_(?:map|set|multimap|multiset)\s*<[^;]*?>\s+(\w+)\s*[;{(=]"
+)
+RANGE_FOR = re.compile(r"\bfor\s*\([^;)]*?:\s*([A-Za-z_][\w.\->\[\]]*)\s*\)")
+QUOTED_INCLUDE = re.compile(r'#\s*include\s*"([^"]+)"')
+WAIVER = re.compile(r"//\s*plsim-lint:\s*allow\(([\w-]+)\)")
+
+
+def strip_comments_and_strings(line):
+    """Blank out string/char literals and // comments so regexes don't match
+    inside them. Good enough for this codebase (no multi-line /* */ in rules'
+    scope; those are handled by the caller's block-comment tracker)."""
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        ch = line[i]
+        if ch == '"' or ch == "'":
+            quote = ch
+            out.append(ch)
+            i += 1
+            while i < n and line[i] != quote:
+                out.append("x" if line[i] != "\\" else "x")
+                i += 2 if line[i] == "\\" else 1
+            if i < n:
+                out.append(quote)
+                i += 1
+        elif ch == "/" and i + 1 < n and line[i + 1] == "/":
+            break  # drop the comment (waivers are scanned on the raw line)
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def lint_file(path, rel, findings):
+    text = path.read_text(encoding="utf-8", errors="replace")
+    raw_lines = text.splitlines()
+
+    in_parallel = rel.startswith("src/parallel/")
+    in_rng = rel == "src/util/rng.hpp"
+    in_engine_code = rel.startswith(("src/engines/", "src/vp/"))
+    in_src = rel.startswith("src/")
+
+    # Names of unordered containers declared anywhere in this file.
+    unordered_names = set(UNORDERED_DECL.findall(text))
+
+    def waived(idx, rule):
+        for line_no in (idx, idx - 1):
+            if 0 <= line_no < len(raw_lines):
+                m = WAIVER.search(raw_lines[line_no])
+                if m and m.group(1) == rule:
+                    return True
+        return False
+
+    def report(idx, rule, msg):
+        if not waived(idx, rule):
+            findings.append(f"{rel}:{idx + 1}: [{rule}] {msg}")
+
+    in_block_comment = False
+    for idx, raw in enumerate(raw_lines):
+        line = raw
+        if in_block_comment:
+            end = line.find("*/")
+            if end < 0:
+                continue
+            line = line[end + 2:]
+            in_block_comment = False
+        start = line.find("/*")
+        while start >= 0:
+            end = line.find("*/", start + 2)
+            if end < 0:
+                line = line[:start]
+                in_block_comment = True
+                break
+            line = line[:start] + line[end + 2:]
+            start = line.find("/*")
+        code = strip_comments_and_strings(line)
+
+        if in_src and not in_parallel:
+            m = THREADING_USE.search(code)
+            if m:
+                report(idx, "threading",
+                       f"raw std::{m.group(1)} outside src/parallel/ — use "
+                       "run_on_threads/Mailbox/Guarded<T> (or std::atomic)")
+            m = THREADING_INCLUDE.search(code)
+            if m:
+                report(idx, "threading",
+                       f"#include <{m.group(1)}> outside src/parallel/")
+
+        if in_src and not in_rng:
+            m = RANDOMNESS.search(code)
+            if m:
+                report(idx, "randomness",
+                       "raw randomness outside src/util/rng.hpp — use the "
+                       "seeded plsim::Rng")
+
+        if in_engine_code and unordered_names:
+            m = RANGE_FOR.search(code)
+            if m:
+                expr = m.group(1)
+                base = re.split(r"[.\->\[]", expr)[-1] or expr
+                if base in unordered_names or expr in unordered_names:
+                    report(idx, "unordered-iter",
+                           f"range-for over unordered container '{expr}' in "
+                           "engine code — iteration order can leak into "
+                           "results")
+
+        # Match before string-stripping: the include path IS a string.
+        m = QUOTED_INCLUDE.search(line)
+        if m and in_src:
+            inc = m.group(1)
+            if inc.startswith("../") or "/../" in inc:
+                report(idx, "include-hygiene",
+                       f'parent-relative include "{inc}" — use the '
+                       "repo-root-relative module path")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print("usage: lint_plsim.py <repo-root>", file=sys.stderr)
+        return 2
+    root = Path(sys.argv[1])
+    if not (root / "src").is_dir():
+        print(f"error: {root} has no src/ directory", file=sys.stderr)
+        return 2
+
+    findings = []
+    files = sorted(
+        p for p in (root / "src").rglob("*") if p.suffix in CXX_EXTS
+    )
+    for path in files:
+        lint_file(path, path.relative_to(root).as_posix(), findings)
+
+    if findings:
+        print(f"lint_plsim: {len(findings)} finding(s):")
+        for f in findings:
+            print("  " + f)
+        return 1
+    print(f"lint_plsim: OK ({len(files)} files clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
