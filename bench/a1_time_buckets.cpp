@@ -9,6 +9,7 @@
 
 #include <iostream>
 
+#include "bench_main.hpp"
 #include "netlist/builder.hpp"
 #include "netlist/generators.hpp"
 #include "partition/algorithms.hpp"
@@ -40,7 +41,8 @@ Circuit with_delays(const Circuit& base, std::uint32_t min_delay,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchDriver driver("a1_time_buckets", argc, argv);
   const Circuit base = scaled_circuit(6000, 2);
   constexpr std::uint32_t kMinDelay = 4;  // = window width
 
@@ -60,6 +62,14 @@ int main() {
     const SequentialCost seq = sequential_cost(c, stim, plain.cost);
     const VpResult a = run_sync_vp(c, stim, p, plain);
     const VpResult w = run_sync_vp(c, stim, p, buckets);
+    record_result(driver.run()
+                      .label("delay_spread", std::uint64_t{spread})
+                      .label("mode", "plain"),
+                  a, seq.work);
+    record_result(driver.run()
+                      .label("delay_spread", std::uint64_t{spread})
+                      .label("mode", "buckets"),
+                  w, seq.work);
     table.add_row({Table::fmt(static_cast<std::uint64_t>(spread)),
                    Table::fmt(a.stats.barriers),
                    Table::fmt(w.stats.barriers),
@@ -70,5 +80,5 @@ int main() {
   std::cout << "\nexpected: with heterogeneous delays the window packs many "
                "event times behind one barrier pair — the bucketed column "
                "keeps its speedup while plain synchronous degrades\n";
-  return 0;
+  return driver.finish();
 }

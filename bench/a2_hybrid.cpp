@@ -12,6 +12,7 @@
 
 #include <iostream>
 
+#include "bench_main.hpp"
 #include "netlist/generators.hpp"
 #include "partition/algorithms.hpp"
 #include "stim/stimulus.hpp"
@@ -20,7 +21,8 @@
 
 using namespace plsim;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchDriver driver("a2_hybrid", argc, argv);
   const Circuit c = scaled_circuit(12000, 6);
   const Stimulus stim = random_stimulus(c, 15, 0.3, 3);
   const Partition p = partition_fm(c, 16, 1);
@@ -44,6 +46,16 @@ int main() {
     const VpResult ta = run_timewarp_vp(c, stim, p, tw_cfg);
     const VpResult tl = run_timewarp_vp(c, stim, p, tw_lazy);
     const VpResult hy = run_hybrid_vp(c, stim, p, hy_cfg);
+    record_result(
+        driver.run().label("latency_factor", factor).label("engine", "tw"),
+        ta, seq.work);
+    record_result(driver.run()
+                      .label("latency_factor", factor)
+                      .label("engine", "tw_lazy"),
+                  tl, seq.work);
+    record_result(
+        driver.run().label("latency_factor", factor).label("engine", "hybrid"),
+        hy, seq.work);
     table.add_row({Table::fmt(VpConfig{}.cost.msg_latency * factor),
                    Table::fmt(seq.work / ta.makespan),
                    Table::fmt(seq.work / tl.makespan),
@@ -60,5 +72,5 @@ int main() {
                "fine-grain gate workloads — the paper offered the hybrid as "
                "an open direction, and this harness shows where its win "
                "would have to come from\n";
-  return 0;
+  return driver.finish();
 }

@@ -9,6 +9,7 @@
 
 #include <iostream>
 
+#include "bench_main.hpp"
 #include "netlist/generators.hpp"
 #include "partition/algorithms.hpp"
 #include "stim/stimulus.hpp"
@@ -17,7 +18,8 @@
 
 using namespace plsim;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchDriver driver("a3_dynamic_load", argc, argv);
   constexpr std::uint32_t kProcs = 8, kModules = 32;
   constexpr std::size_t kPerModule = 250;
   const Circuit c = module_array(kModules, kPerModule, 3);
@@ -50,6 +52,14 @@ int main() {
     const VpResult rd = run_sync_vp(c, stim, p, dyn);
     const double ss = seq.work / rs.makespan;
     const double sd = seq.work / rd.makespan;
+    record_result(driver.run()
+                      .label("epoch_cycles", std::uint64_t{epoch})
+                      .label("mapping", "static"),
+                  rs, seq.work);
+    record_result(driver.run()
+                      .label("epoch_cycles", std::uint64_t{epoch})
+                      .label("mapping", "dynamic"),
+                  rd, seq.work);
     table.add_row({Table::fmt(static_cast<std::uint64_t>(epoch)),
                    Table::fmt(ss), Table::fmt(sd),
                    Table::fmt(rd.stats.migrations),
@@ -60,5 +70,5 @@ int main() {
                "static placement while epochs are long enough to measure; "
                "very fast drift leaves the balancer reacting to stale loads "
                "and the gain shrinks\n";
-  return 0;
+  return driver.finish();
 }

@@ -8,6 +8,7 @@
 
 #include <iostream>
 
+#include "bench_main.hpp"
 #include "netlist/builder.hpp"
 #include "netlist/generators.hpp"
 #include "partition/algorithms.hpp"
@@ -35,7 +36,8 @@ Circuit scale_delays(const Circuit& base, std::uint32_t factor) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchDriver driver("a4_deadlock_recovery", argc, argv);
   const Circuit base = scaled_circuit(4000, 8);
 
   std::cout << "A4: conservative deadlock handling (4000 gates, 8 "
@@ -55,6 +57,14 @@ int main() {
     const SequentialCost seq = sequential_cost(c, stim, nulls.cost);
     const VpResult rn = run_conservative_vp(c, stim, p, nulls);
     const VpResult rr = run_conservative_vp(c, stim, p, recovery);
+    record_result(driver.run()
+                      .label("lookahead", std::uint64_t{lookahead})
+                      .label("mode", "null_messages"),
+                  rn, seq.work);
+    record_result(driver.run()
+                      .label("lookahead", std::uint64_t{lookahead})
+                      .label("mode", "recovery"),
+                  rr, seq.work);
     table.add_row({Table::fmt(static_cast<std::uint64_t>(lookahead)),
                    Table::fmt(rn.stats.null_messages),
                    Table::fmt(seq.work / rn.makespan),
@@ -65,5 +75,5 @@ int main() {
   std::cout << "\npaper: with logic-sim lookahead both variants struggle; "
                "null messages pay in traffic, detection/recovery pays in "
                "global stalls at nearly every time step\n";
-  return 0;
+  return driver.finish();
 }

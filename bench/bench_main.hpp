@@ -1,0 +1,161 @@
+#pragma once
+// Shared driver for every harness in bench/: one place that understands the
+// machine-readable metrics layer (util/metrics.hpp, schema plsim-bench-v1).
+//
+// Table harnesses:
+//
+//   int main(int argc, char** argv) {
+//     plsim::bench::BenchDriver driver("fig1_speedup_vs_size", argc, argv);
+//     ...
+//     plsim::MetricsRun& row = driver.run();
+//     row.label("gates", size).label("engine", "sync");
+//     plsim::record_result(row, vp_result, seq.work);
+//     ...
+//     return driver.finish();
+//   }
+//
+// Google-benchmark micro harnesses replace BENCHMARK_MAIN() with
+// PLSIM_BENCHMARK_MAIN("micro_event_queue"): the console output is
+// unchanged and every run is additionally captured as a MetricsRun (all
+// timings under "wall.*" — host-dependent, excluded from regression
+// comparison).
+//
+// JSON emission is controlled by either of:
+//   --json <path>           exact output path (the flag is consumed and not
+//                           seen by google-benchmark's own flag parser);
+//   PLSIM_BENCH_JSON=1      write BENCH_<name>.json in the working directory;
+//   PLSIM_BENCH_JSON=<dir>  write <dir>/BENCH_<name>.json.
+// Without either, harnesses print their tables exactly as before.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/metrics.hpp"
+
+namespace plsim::bench {
+
+/// Resolve the JSON output path from argv/environment; consumed `--json
+/// <path>` arguments are removed from argv (argc updated in place).
+inline std::string resolve_json_path(const std::string& bench_name, int& argc,
+                                     char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      path = arg.substr(7);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  if (!path.empty()) return path;
+
+  const char* env = std::getenv("PLSIM_BENCH_JSON");
+  if (env == nullptr || env[0] == '\0' ||
+      (env[0] == '0' && env[1] == '\0'))
+    return "";
+  const std::string dir = env;
+  if (dir == "1") return "BENCH_" + bench_name + ".json";
+  return dir + "/BENCH_" + bench_name + ".json";
+}
+
+/// Context object for the table harnesses.
+class BenchDriver {
+ public:
+  BenchDriver(std::string name, int& argc, char** argv)
+      : registry_(std::move(name)),
+        json_path_(resolve_json_path(registry_.bench(), argc, argv)) {}
+
+  MetricsRegistry& registry() { return registry_; }
+  MetricsRun& run() { return registry_.add_run(); }
+  PhaseTimers::Scope phase(std::string_view name) {
+    return registry_.phases().scope(name);
+  }
+
+  /// Write the JSON file if one was requested. Returns the process exit
+  /// code: 0 normally, 1 when the write failed.
+  int finish() {
+    if (json_path_.empty()) return 0;
+    std::string error;
+    if (!registry_.write_file(json_path_, &error)) {
+      std::cerr << registry_.bench() << ": " << error << "\n";
+      return 1;
+    }
+    std::cerr << registry_.bench() << ": wrote " << json_path_ << "\n";
+    return 0;
+  }
+
+ private:
+  MetricsRegistry registry_;
+  std::string json_path_;
+};
+
+/// Console reporter that additionally captures every google-benchmark run
+/// into the metrics registry. Timings are host-dependent, so everything goes
+/// under "wall.*"; the run identity (benchmark name) is the label.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CaptureReporter(MetricsRegistry& registry) : registry_(registry) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      MetricsRun& row = registry_.add_run();
+      row.label("benchmark", run.benchmark_name());
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      row.wall("iterations", static_cast<double>(run.iterations));
+      row.wall("real_seconds_per_iter", run.real_accumulated_time / iters);
+      row.wall("cpu_seconds_per_iter", run.cpu_accumulated_time / iters);
+      for (const auto& [name, counter] : run.counters)
+        row.wall(name, counter.value);
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+ private:
+  MetricsRegistry& registry_;
+};
+
+/// main() body for the micro harnesses.
+inline int benchmark_main(const std::string& name, int argc, char** argv) {
+  char arg0_default[] = "benchmark";
+  char* args_default = arg0_default;
+  if (argv == nullptr) {
+    argc = 1;
+    argv = &args_default;
+  }
+  MetricsRegistry registry(name);
+  const std::string json_path = resolve_json_path(name, argc, argv);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CaptureReporter reporter(registry);
+  {
+    PhaseTimers::Scope total = registry.phases().scope("benchmark");
+    ::benchmark::RunSpecifiedBenchmarks(&reporter);
+  }
+  ::benchmark::Shutdown();
+  if (!json_path.empty()) {
+    std::string error;
+    if (!registry.write_file(json_path, &error)) {
+      std::cerr << name << ": " << error << "\n";
+      return 1;
+    }
+    std::cerr << name << ": wrote " << json_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace plsim::bench
+
+#define PLSIM_BENCHMARK_MAIN(name)                         \
+  int main(int argc, char** argv) {                        \
+    return plsim::bench::benchmark_main(name, argc, argv); \
+  }

@@ -9,6 +9,7 @@
 
 #include <iostream>
 
+#include "bench_main.hpp"
 #include "fault/fault.hpp"
 #include "netlist/generators.hpp"
 #include "stim/stimulus.hpp"
@@ -17,7 +18,8 @@
 
 using namespace plsim;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchDriver driver("c10_fault_parallel", argc, argv);
   std::cout << "C10: serial vs bit-parallel stuck-at fault simulation\n\n";
   Table table({"circuit", "faults", "coverage", "evals_serial",
                "evals_parallel", "eval_ratio", "wall_speedup"});
@@ -48,6 +50,14 @@ int main() {
       std::cerr << "COVERAGE MISMATCH on " << cs.name << "\n";
       return 1;
     }
+    driver.run()
+        .label("circuit", cs.name)
+        .metric("faults", std::uint64_t{faults.size()})
+        .metric("coverage", parallel.coverage())
+        .metric("evals_serial", serial.gate_evaluations)
+        .metric("evals_parallel", parallel.gate_evaluations)
+        .wall("serial_seconds", t_serial)
+        .wall("parallel_seconds", t_parallel);
     table.add_row({cs.name, Table::fmt(std::uint64_t(faults.size())),
                    Table::fmt(parallel.coverage()),
                    Table::fmt(serial.gate_evaluations),
@@ -61,5 +71,5 @@ int main() {
   std::cout << "\npaper: data parallelism is highly effective for fault "
                "simulation — near-63x fewer evaluations at identical "
                "coverage\n";
-  return 0;
+  return driver.finish();
 }

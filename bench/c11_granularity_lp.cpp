@@ -10,6 +10,7 @@
 
 #include <iostream>
 
+#include "bench_main.hpp"
 #include "netlist/generators.hpp"
 #include "partition/algorithms.hpp"
 #include "stim/stimulus.hpp"
@@ -18,7 +19,8 @@
 
 using namespace plsim;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchDriver driver("c11_granularity_lp", argc, argv);
   constexpr std::uint32_t kProcs = 8;
   const Circuit c = scaled_circuit(8000, 4);
   const Stimulus stim = random_stimulus(c, 15, 0.3, 11);
@@ -36,6 +38,16 @@ int main() {
     const SequentialCost seq = sequential_cost(c, stim, cfg.cost);
     const VpResult co = run_conservative_vp(c, stim, p, cfg);
     const VpResult tw = run_timewarp_vp(c, stim, p, cfg);
+    record_result(driver.run()
+                      .label("lps_per_proc", std::uint64_t{per})
+                      .label("engine", "conservative")
+                      .metric("blocks", std::uint64_t{blocks}),
+                  co, seq.work);
+    record_result(driver.run()
+                      .label("lps_per_proc", std::uint64_t{per})
+                      .label("engine", "timewarp")
+                      .metric("blocks", std::uint64_t{blocks}),
+                  tw, seq.work);
     table.add_row({Table::fmt(static_cast<std::uint64_t>(per)),
                    Table::fmt(static_cast<std::uint64_t>(blocks)),
                    Table::fmt(seq.work / co.makespan),
@@ -46,5 +58,5 @@ int main() {
   table.print(std::cout);
   std::cout << "\npaper: the optimum LP granularity lies between the one-LP-"
                "per-processor and one-gate-per-LP extremes\n";
-  return 0;
+  return driver.finish();
 }

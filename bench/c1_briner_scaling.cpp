@@ -9,6 +9,7 @@
 
 #include <iostream>
 
+#include "bench_main.hpp"
 #include "netlist/generators.hpp"
 #include "partition/algorithms.hpp"
 #include "stim/stimulus.hpp"
@@ -17,7 +18,8 @@
 
 using namespace plsim;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchDriver driver("c1_briner_scaling", argc, argv);
   const Circuit c = scaled_circuit(20000, 3);
   const Stimulus stim = random_stimulus(c, 20, 0.3, 5);
 
@@ -44,6 +46,14 @@ int main() {
     const VpResult rg = run_timewarp_vp(c, stim, p, gate);
     const VpResult rm = run_timewarp_vp(c, stim, p, mixed);
     const double sm = seq_mixed.work / rm.makespan;
+    record_result(driver.run()
+                      .label("procs", std::uint64_t{procs})
+                      .label("grain", "gate"),
+                  rg, seq_gate.work);
+    record_result(driver.run()
+                      .label("procs", std::uint64_t{procs})
+                      .label("grain", "mixed"),
+                  rm, seq_mixed.work);
     table.add_row({Table::fmt(static_cast<std::uint64_t>(procs)),
                    Table::fmt(seq_gate.work / rg.makespan),
                    Table::fmt(sm),
@@ -55,5 +65,5 @@ int main() {
   std::cout << "\npaper: Briner reports up to 23x on 32 processors "
                "(mixed-level, coarser-grain events than pure gate level); "
                "expect monotone speedup with sublinear efficiency\n";
-  return 0;
+  return driver.finish();
 }

@@ -9,6 +9,7 @@
 
 #include <iostream>
 
+#include "bench_main.hpp"
 #include "netlist/builder.hpp"
 #include "netlist/generators.hpp"
 #include "partition/algorithms.hpp"
@@ -38,7 +39,8 @@ Circuit scale_delays(const Circuit& c, std::uint32_t factor) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchDriver driver("c2_null_messages", argc, argv);
   const Circuit base = scaled_circuit(5000, 2);
   std::cout << "C2: conservative null-message overhead vs lookahead "
                "(5000 gates, 8 processors)\n\n";
@@ -64,6 +66,15 @@ int main() {
     const double ratio =
         static_cast<double>(rw.stats.null_messages) /
         static_cast<double>(rw.stats.messages + rw.stats.null_messages);
+    record_result(driver.run()
+                      .label("lookahead", std::uint64_t{lookahead})
+                      .label("channels", "wire")
+                      .metric("null_ratio", ratio),
+                  rw, seq.work);
+    record_result(driver.run()
+                      .label("lookahead", std::uint64_t{lookahead})
+                      .label("channels", "aggregated"),
+                  ra, seq.work);
     table.add_row({Table::fmt(static_cast<std::uint64_t>(lookahead)),
                    Table::fmt(rw.stats.null_messages),
                    Table::fmt(ratio),
@@ -74,5 +85,5 @@ int main() {
   std::cout << "\npaper: null overhead dominates at small lookahead; "
                "conservative speedup stays poor (the per-wire column) — "
                "channel aggregation (right column) is the later remedy\n";
-  return 0;
+  return driver.finish();
 }

@@ -10,6 +10,8 @@
 
 #include <iostream>
 
+#include "bench_main.hpp"
+#include "core/stats_io.hpp"
 #include "netlist/generators.hpp"
 #include "seq/golden.hpp"
 #include "seq/oblivious.hpp"
@@ -19,7 +21,8 @@
 
 using namespace plsim;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchDriver driver("c3_oblivious_crossover", argc, argv);
   const Circuit c = scaled_circuit(3000, 4);
   const CostModel cost;
 
@@ -35,6 +38,12 @@ int main() {
     const SequentialCost ev = sequential_cost(c, stim, cost);
     const RunResult golden = simulate_golden(c, stim);
     const ObliviousResult obl = simulate_oblivious(c, stim);
+    record_result(driver.run()
+                      .label("activity", activity)
+                      .metric("obl_evals", obl.evaluations)
+                      .metric("ev_cost", ev.work)
+                      .metric("obl_cost", obl_cost),
+                  golden);
     table.add_row({Table::fmt(activity),
                    Table::fmt(golden.stats.evaluations),
                    Table::fmt(obl.evaluations),
@@ -46,5 +55,5 @@ int main() {
   std::cout << "\npaper: oblivious cost is activity-independent; "
                "event-driven wins at low activity, oblivious at high "
                "activity — the crossover is the table's winner flip\n";
-  return 0;
+  return driver.finish();
 }

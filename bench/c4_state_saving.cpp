@@ -7,6 +7,7 @@
 
 #include <iostream>
 
+#include "bench_main.hpp"
 #include "netlist/generators.hpp"
 #include "partition/algorithms.hpp"
 #include "stim/stimulus.hpp"
@@ -15,7 +16,8 @@
 
 using namespace plsim;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchDriver driver("c4_state_saving", argc, argv);
   std::cout << "C4: Time Warp state-saving policy (8 processors)\n\n";
   Table table({"gates", "speedup_incr", "speedup_full", "undo_entries",
                "full_bytes", "ratio"});
@@ -37,6 +39,13 @@ int main() {
 
     const double si = seq.work / ri.makespan;
     const double sf = seq.work / rf.makespan;
+    record_result(driver.run()
+                      .label("gates", std::uint64_t{size})
+                      .label("save", "incremental"),
+                  ri, seq.work);
+    record_result(
+        driver.run().label("gates", std::uint64_t{size}).label("save", "full"),
+        rf, seq.work);
     table.add_row({Table::fmt(static_cast<std::uint64_t>(size)),
                    Table::fmt(si), Table::fmt(sf),
                    Table::fmt(ri.stats.undo_entries),
@@ -47,5 +56,5 @@ int main() {
   std::cout << "\npaper: incremental saving is crucial — the full-copy "
                "column collapses as block state grows while incremental "
                "stays flat\n";
-  return 0;
+  return driver.finish();
 }

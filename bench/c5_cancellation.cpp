@@ -8,6 +8,7 @@
 
 #include <iostream>
 
+#include "bench_main.hpp"
 #include "netlist/generators.hpp"
 #include "partition/algorithms.hpp"
 #include "stim/stimulus.hpp"
@@ -16,7 +17,8 @@
 
 using namespace plsim;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchDriver driver("c5_cancellation", argc, argv);
   std::cout << "C5: aggressive vs lazy cancellation (Time Warp, 8 "
                "processors)\n\n";
   Table table({"gates", "speedup_aggr", "speedup_lazy", "antis_aggr",
@@ -35,6 +37,14 @@ int main() {
     const VpResult ra = run_timewarp_vp(c, stim, p, aggr);
     const VpResult rl = run_timewarp_vp(c, stim, p, lazy);
 
+    record_result(driver.run()
+                      .label("gates", std::uint64_t{size})
+                      .label("cancellation", "aggressive"),
+                  ra, seq.work);
+    record_result(driver.run()
+                      .label("gates", std::uint64_t{size})
+                      .label("cancellation", "lazy"),
+                  rl, seq.work);
     table.add_row({Table::fmt(static_cast<std::uint64_t>(size)),
                    Table::fmt(seq.work / ra.makespan),
                    Table::fmt(seq.work / rl.makespan),
@@ -48,5 +58,5 @@ int main() {
                "identically after a rollback, so lazy cancellation avoids "
                "nearly all anti-message traffic and the secondary rollbacks "
                "it causes\n";
-  return 0;
+  return driver.finish();
 }

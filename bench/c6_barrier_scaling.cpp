@@ -8,6 +8,7 @@
 
 #include <iostream>
 
+#include "bench_main.hpp"
 #include "netlist/generators.hpp"
 #include "partition/algorithms.hpp"
 #include "stim/stimulus.hpp"
@@ -16,7 +17,8 @@
 
 using namespace plsim;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchDriver driver("c6_barrier_scaling", argc, argv);
   const Circuit c = scaled_circuit(20000, 9);
   const Stimulus stim = random_stimulus(c, 15, 0.3, 3);
 
@@ -41,6 +43,18 @@ int main() {
         static_cast<double>(rc.stats.barriers) / (2.0 * procs);
     const double barrier_time = steps * 2.0 * central.cost.barrier_cost(procs);
 
+    record_result(driver.run()
+                      .label("procs", std::uint64_t{procs})
+                      .label("barrier", "tree")
+                      .metric("barrier_cost", tree.cost.barrier_cost(procs)),
+                  rt, seq.work);
+    record_result(
+        driver.run()
+            .label("procs", std::uint64_t{procs})
+            .label("barrier", "central")
+            .metric("barrier_cost", central.cost.barrier_cost(procs))
+            .metric("barrier_frac", barrier_time / rc.makespan),
+        rc, seq.work);
     table.add_row({Table::fmt(static_cast<std::uint64_t>(procs)),
                    Table::fmt(seq.work / rt.makespan),
                    Table::fmt(seq.work / rc.makespan),
@@ -52,5 +66,5 @@ int main() {
   std::cout << "\npaper: the central barrier's linear cost caps synchronous "
                "speedup as P grows; the combining tree defers (but does not "
                "remove) the ceiling\n";
-  return 0;
+  return driver.finish();
 }

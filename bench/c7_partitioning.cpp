@@ -11,6 +11,7 @@
 
 #include <iostream>
 
+#include "bench_main.hpp"
 #include "netlist/generators.hpp"
 #include "partition/algorithms.hpp"
 #include "seq/golden.hpp"
@@ -20,7 +21,8 @@
 
 using namespace plsim;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchDriver driver("c7_partitioning", argc, argv);
   const Circuit c = scaled_circuit(8000, 12);
   const Stimulus stim = random_stimulus(c, 20, 0.3, 17);
   constexpr std::uint32_t kProcs = 8;
@@ -40,6 +42,12 @@ int main() {
     const PartitionMetrics unit = evaluate_partition(c, p);
     const PartitionMetrics wtd = evaluate_partition(c, p, weights);
     const VpResult r = run_sync_vp(c, stim, p, cfg);
+    record_result(driver.run()
+                      .label("partitioner", name)
+                      .metric("cut_edges", unit.cut_edges)
+                      .metric("imbalance", unit.imbalance)
+                      .metric("weighted_imbalance", wtd.imbalance),
+                  r, seq.work);
     table.add_row({name, Table::fmt(unit.cut_edges),
                    Table::fmt(unit.imbalance), Table::fmt(wtd.imbalance),
                    Table::fmt(seq.work / r.makespan)});
@@ -58,5 +66,5 @@ int main() {
                "fewer nets than random; count balance != workload balance — "
                "the pre-simulation rows improve the weighted balance and the "
                "achieved speedup\n";
-  return 0;
+  return driver.finish();
 }

@@ -12,6 +12,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_main.hpp"
 #include "netlist/generators.hpp"
 #include "partition/algorithms.hpp"
 #include "stim/stimulus.hpp"
@@ -44,7 +45,8 @@ Spread spread(const std::vector<double>& xs) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchDriver driver("c8_instability", argc, argv);
   const Circuit c = scaled_circuit(6000, 21);
   constexpr std::uint32_t kProcs = 8;
 
@@ -70,6 +72,18 @@ int main() {
   const Spread sa = spread(tw_aggr);
   const Spread sl = spread(tw_lazy);
 
+  const auto record_spread = [&](const char* engine, const Spread& s) {
+    driver.run()
+        .label("engine", engine)
+        .metric("mean_speedup", s.mean)
+        .metric("min_speedup", s.lo)
+        .metric("max_speedup", s.hi)
+        .metric("coeff_of_variation", s.cv);
+  };
+  record_spread("synchronous", ss);
+  record_spread("optimistic_aggressive", sa);
+  record_spread("optimistic_lazy", sl);
+
   std::cout << "C8: performance stability across 16 perturbed runs "
                "(6000 gates, 8 processors)\n\n";
   Table table({"engine", "mean_speedup", "min", "max", "coeff_of_variation"});
@@ -83,5 +97,5 @@ int main() {
   std::cout << "\npaper: optimistic performance swings with small "
                "perturbations (higher coefficient of variation); synchronous "
                "is stable\n";
-  return 0;
+  return driver.finish();
 }

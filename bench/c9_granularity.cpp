@@ -9,6 +9,7 @@
 
 #include <iostream>
 
+#include "bench_main.hpp"
 #include "netlist/generators.hpp"
 #include "partition/algorithms.hpp"
 #include "stim/stimulus.hpp"
@@ -17,7 +18,8 @@
 
 using namespace plsim;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchDriver driver("c9_granularity", argc, argv);
   std::cout << "C9: timing granularity (10000 gates, 8 processors)\n\n";
   Table table({"delay_spread", "events_per_timestep", "sync", "conservative",
                "optimistic"});
@@ -37,6 +39,20 @@ int main() {
 
     // Simultaneity: committed events per distinct event time (sync steps).
     const double steps = static_cast<double>(sy.stats.barriers) / (2.0 * 8);
+    const double per_step = static_cast<double>(seq.events) / steps;
+    record_result(driver.run()
+                      .label("delay_spread", std::uint64_t{spread})
+                      .label("engine", "sync")
+                      .metric("events_per_timestep", per_step),
+                  sy, seq.work);
+    record_result(driver.run()
+                      .label("delay_spread", std::uint64_t{spread})
+                      .label("engine", "conservative"),
+                  co, seq.work);
+    record_result(driver.run()
+                      .label("delay_spread", std::uint64_t{spread})
+                      .label("engine", "timewarp"),
+                  tw, seq.work);
     table.add_row({Table::fmt(static_cast<std::uint64_t>(spread)),
                    Table::fmt(static_cast<double>(seq.events) / steps),
                    Table::fmt(seq.work / sy.makespan),
@@ -47,5 +63,5 @@ int main() {
   std::cout << "\npaper: coarse granularity (left rows, many simultaneous "
                "events) favours synchronous; fine granularity starves the "
                "global-clock steps and optimistic takes over\n";
-  return 0;
+  return driver.finish();
 }

@@ -11,6 +11,7 @@
 
 #include <iostream>
 
+#include "bench_main.hpp"
 #include "netlist/generators.hpp"
 #include "partition/algorithms.hpp"
 #include "stim/stimulus.hpp"
@@ -19,7 +20,8 @@
 
 using namespace plsim;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchDriver driver("fig1_speedup_vs_size", argc, argv);
   constexpr std::uint32_t kProcs = 8;
   const std::size_t sizes[] = {500, 1000, 2000, 5000, 10000, 20000, 40000};
 
@@ -28,6 +30,7 @@ int main() {
   Table table({"gates", "events", "sync", "conservative", "optimistic"});
 
   for (std::size_t size : sizes) {
+    auto timed = driver.phase("run");
     const Circuit c = scaled_circuit(size, /*seed=*/1);
     const Stimulus stim = random_stimulus(c, 20, 0.25, 7);
     const Partition p = partition_fm(c, kProcs, 1);
@@ -41,6 +44,23 @@ int main() {
     const VpResult cons = run_conservative_vp(c, stim, p, cfg);
     const VpResult tw = run_timewarp_vp(c, stim, p, cfg);
 
+    const std::uint64_t gates = size;
+    record_result(driver.run()
+                      .label("gates", gates)
+                      .label("engine", "sync")
+                      .metric("seq_events", seq.events),
+                  sync, seq.work);
+    record_result(driver.run()
+                      .label("gates", gates)
+                      .label("engine", "conservative")
+                      .metric("seq_events", seq.events),
+                  cons, seq.work);
+    record_result(driver.run()
+                      .label("gates", gates)
+                      .label("engine", "timewarp")
+                      .metric("seq_events", seq.events),
+                  tw, seq.work);
+
     table.add_row({Table::fmt(static_cast<std::uint64_t>(size)),
                    Table::fmt(seq.events),
                    Table::fmt(seq.work / sync.makespan),
@@ -50,5 +70,5 @@ int main() {
   table.print(std::cout);
   std::cout << "\npaper: conservative < 2x at all sizes; synchronous and "
                "optimistic rise with size toward ~4-8x at 10^4+ elements\n";
-  return 0;
+  return driver.finish();
 }

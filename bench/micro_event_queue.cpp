@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.hpp"
+
 #include "event/heap_queue.hpp"
 #include "event/timing_wheel.hpp"
 #include "util/rng.hpp"
@@ -67,4 +69,4 @@ BENCHMARK(BM_TimingWheel)->Arg(4)->Arg(64)->Arg(1024);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+PLSIM_BENCHMARK_MAIN("micro_event_queue")

@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.hpp"
+
 #include <array>
 #include <vector>
 
@@ -57,4 +59,4 @@ BENCHMARK(BM_EvalGate64);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+PLSIM_BENCHMARK_MAIN("micro_gate_eval")

@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.hpp"
+
 #include <vector>
 
 #include "logic/logic9.hpp"
@@ -56,4 +58,4 @@ BENCHMARK(BM_And4);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+PLSIM_BENCHMARK_MAIN("micro_logic9")

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.hpp"
+
 #include "netlist/generators.hpp"
 #include "seq/compiled.hpp"
 #include "seq/golden.hpp"
@@ -73,4 +75,4 @@ BENCHMARK(BM_Compiled64);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+PLSIM_BENCHMARK_MAIN("micro_sim_kernel")

@@ -121,8 +121,20 @@ void Auditor::on_cancel(std::uint32_t lp, std::uint64_t copies) {
   lps_[lp].cancelled += copies;
 }
 
+void Auditor::on_eval(std::uint32_t lp, std::uint64_t copies) {
+  lps_[lp].evaluated += copies;
+}
+
+void Auditor::on_barrier(std::uint32_t lp, std::uint64_t copies) {
+  lps_[lp].barriers += copies;
+}
+
 void Auditor::set_pending(std::uint32_t lp, std::uint64_t count) {
   lps_[lp].pending = count;
+}
+
+void Auditor::expect_evaluations(std::uint64_t total) {
+  expected_evals_ = total;
 }
 
 void Auditor::set_queue_left(std::uint32_t lp, std::uint64_t count) {
@@ -242,6 +254,32 @@ void Auditor::finalize() {
     os << "queue entries created=" << enq << " != cancelled=" << cancelled
        << " + remaining=" << left;
     violation("event-conservation", AuditRecord::kNoLp, 0, os.str());
+  }
+
+  // Evaluation conservation (oblivious engines): the per-LP sweep counts
+  // must add up to exactly one evaluation per combinational gate per cycle.
+  if (expected_evals_ != static_cast<std::uint64_t>(-1)) {
+    std::uint64_t evaluated = 0;
+    for (const LpSlot& s : lps_) evaluated += s.evaluated;
+    if (evaluated != expected_evals_) {
+      std::ostringstream os;
+      os << "evaluations performed=" << evaluated
+         << " != expected=" << expected_evals_;
+      violation("eval-conservation", AuditRecord::kNoLp, 0, os.str());
+    }
+  }
+
+  // Barrier conservation: in a barrier-based sweep every LP arrives at every
+  // barrier, so all per-LP arrival counts must be identical.
+  std::uint64_t bmin = static_cast<std::uint64_t>(-1), bmax = 0;
+  for (const LpSlot& s : lps_) {
+    bmin = std::min(bmin, s.barriers);
+    bmax = std::max(bmax, s.barriers);
+  }
+  if (bmax > 0 && bmin != bmax) {
+    std::ostringstream os;
+    os << "per-LP barrier arrivals diverge: min=" << bmin << ", max=" << bmax;
+    violation("barrier-conservation", AuditRecord::kNoLp, 0, os.str());
   }
 
   // Exact in-flight tracking must end empty once pending is accounted.

@@ -18,7 +18,10 @@
 //                      delivered or reported as pending at exit
 //                      (created == delivered + pending), and every input-queue
 //                      entry is cancelled or still present at exit
-//                      (enqueued == cancelled + remaining);
+//                      (enqueued == cancelled + remaining); oblivious engines
+//                      exchange no messages and instead conserve evaluations
+//                      (per-LP sum == combinational gates x cycles) and
+//                      barrier arrivals (every LP arrives at every barrier);
 //   trace order        recorded RunResult traces are (time, gate)-sorted and
 //                      strictly below the horizon.
 //
@@ -90,12 +93,23 @@ class Auditor {
   void on_enqueue(std::uint32_t lp, std::uint64_t copies = 1);
   /// A positive message in `lp`'s input queue was annihilated by an anti.
   void on_cancel(std::uint32_t lp, std::uint64_t copies = 1);
+  /// `copies` gate evaluations were performed by `lp` (oblivious engines,
+  /// which conserve evaluations instead of messages: every combinational
+  /// gate is evaluated exactly once per cycle).
+  void on_eval(std::uint32_t lp, std::uint64_t copies = 1);
+  /// `lp` arrived at `copies` global barriers. Barrier-based engines must
+  /// have every LP arrive at every barrier — a skew means a lost arrival
+  /// (and a sweep that read torn values).
+  void on_barrier(std::uint32_t lp, std::uint64_t copies = 1);
 
   // ---------------------------------------- end-of-run accounting (joined) --
   /// Messages still sitting in `lp`'s transport endpoint at exit.
   void set_pending(std::uint32_t lp, std::uint64_t count);
   /// Entries still in `lp`'s input queue at exit (processed or not).
   void set_queue_left(std::uint32_t lp, std::uint64_t count);
+  /// Total evaluations the run must have performed (oblivious engines:
+  /// combinational gates x cycles). finalize() checks the per-LP sum.
+  void expect_evaluations(std::uint64_t total);
 
   // ------------------------------- deterministic executors (single thread) --
   /// Track an in-flight (sent, undelivered) message timestamp exactly.
@@ -129,6 +143,8 @@ class Auditor {
     std::uint64_t cancelled = 0;
     std::uint64_t pending = static_cast<std::uint64_t>(-1);     // unset
     std::uint64_t queue_left = static_cast<std::uint64_t>(-1);  // unset
+    std::uint64_t evaluated = 0;
+    std::uint64_t barriers = 0;
   };
 
   void violation(const char* invariant, std::uint32_t lp, Tick tick,
@@ -137,6 +153,7 @@ class Auditor {
   std::string engine_;
   Tick horizon_;
   std::vector<LpSlot> lps_;
+  std::uint64_t expected_evals_ = static_cast<std::uint64_t>(-1);  // unset
   std::atomic<Tick> gvt_{0};
   std::atomic<std::uint64_t> violation_count_{0};
   Guarded<std::vector<AuditRecord>> records_;

@@ -186,14 +186,15 @@ BatchStats BlockSimulator::process_batch(Tick t,
       if (q != projected_[li]) {
         log_projected(li, projected_[li]);
         projected_[li] = q;
-        const Tick when = t + circuit_.delay(dff);
+        const Tick when = tick_add(t, circuit_.delay(dff));
         schedule(when, dff, q, EventKind::Wire);
         if (exported_[li] && when < opts_.horizon) {
           out.push_back(Message{when, dff, q});
         }
       }
     }
-    schedule(t + opts_.clock_period, kNoGate, Logic4::X, EventKind::Clock);
+    schedule(tick_add(t, opts_.clock_period), kNoGate, Logic4::X,
+             EventKind::Clock);
   }
 
   // Phase B: apply all wire changes at t.
@@ -223,7 +224,7 @@ BatchStats BlockSimulator::process_batch(Tick t,
     if (nv != projected_[li]) {
       log_projected(li, projected_[li]);
       projected_[li] = nv;
-      const Tick when = t + circuit_.delay(g);
+      const Tick when = tick_add(t, circuit_.delay(g));
       schedule(when, g, nv, EventKind::Wire);
       if (exported_[li] && when < opts_.horizon) {
         out.push_back(Message{when, g, nv});

@@ -1,0 +1,31 @@
+#include "core/stats_io.hpp"
+
+namespace plsim {
+
+void record_stats(MetricsRun& run, const EngineStats& s) {
+  run.metric("stats.wire_events", s.wire_events)
+      .metric("stats.evaluations", s.evaluations)
+      .metric("stats.dff_samples", s.dff_samples)
+      .metric("stats.batches", s.batches)
+      .metric("stats.messages", s.messages)
+      .metric("stats.null_messages", s.null_messages)
+      .metric("stats.barriers", s.barriers)
+      .metric("stats.rollbacks", s.rollbacks)
+      .metric("stats.rolled_back_batches", s.rolled_back_batches)
+      .metric("stats.anti_messages", s.anti_messages)
+      .metric("stats.gvt_rounds", s.gvt_rounds)
+      .metric("stats.save_bytes", s.save_bytes)
+      .metric("stats.undo_entries", s.undo_entries)
+      .metric("stats.blocked_waits", s.blocked_waits)
+      .metric("stats.deadlocks", s.deadlocks)
+      .metric("stats.migrations", s.migrations);
+}
+
+void record_result(MetricsRun& run, const RunResult& r) {
+  record_stats(run, r.stats);
+  if (r.virtual_seconds > 0.0)
+    run.metric("virtual_seconds", r.virtual_seconds);
+  run.wall("seconds", r.wall_seconds);
+}
+
+}  // namespace plsim

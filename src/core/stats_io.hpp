@@ -1,0 +1,19 @@
+#pragma once
+// Serialization of engine counters into the benchmark metrics layer
+// (util/metrics.hpp). Metric names mirror the EngineStats field names so the
+// schema stays greppable; every counter is emitted (zeros included) so a
+// baseline and a candidate always have the same key set to diff.
+
+#include "core/types.hpp"
+#include "util/metrics.hpp"
+
+namespace plsim {
+
+/// Record every EngineStats counter under "stats.<field>".
+void record_stats(MetricsRun& run, const EngineStats& s);
+
+/// Record a threaded-engine result: all counters plus the host wall time
+/// (under "wall.seconds" — excluded from regression comparison).
+void record_result(MetricsRun& run, const RunResult& r);
+
+}  // namespace plsim

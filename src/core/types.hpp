@@ -11,6 +11,17 @@
 
 namespace plsim {
 
+/// Saturating Tick addition. Tick is unsigned, so a raw `t + delay` near the
+/// top of the range wraps around to a *small* value — which then passes every
+/// `>= horizon` clamp and re-enters the schedule in the simulated past,
+/// breaking causality silently. Any sum that would reach or pass kTickInf
+/// saturates to kTickInf instead (kTickInf already means "never"). Engine and
+/// VP code must use this for every timestamp advance; the plsim lint pass
+/// (tools/lint_plsim.py, rule `tick-add`) enforces it.
+constexpr Tick tick_add(Tick a, Tick b) {
+  return a >= kTickInf - b ? kTickInf : a + b;
+}
+
 /// A time-stamped signal change crossing a block (logical process) boundary —
 /// the paper's "time stamped message to each fanout LP" (§II).
 struct Message {

@@ -11,6 +11,7 @@
 // null message carries the promise itself when no real message does
 // (deadlock avoidance, paper §IV).
 
+#include <algorithm>
 #include <queue>
 #include <unordered_map>
 #include <vector>
@@ -42,9 +43,7 @@ class CmbOutChannel {
   };
   Released release(Tick frontier, Tick horizon) {
     Released out;
-    Tick promise = (frontier >= horizon || horizon - frontier <= lookahead_)
-                       ? horizon
-                       : frontier + lookahead_;
+    Tick promise = std::min(horizon, tick_add(frontier, lookahead_));
     while (!buffer_.empty() && buffer_.top().time <= promise) {
       out.real.push_back(buffer_.top());
       buffer_.pop();

@@ -24,7 +24,9 @@ RunResult run_oblivious_parallel(const Circuit& c, const Stimulus& stim,
   const std::uint32_t n = p.n_blocks;
 
   // The oblivious engine exchanges no messages and records no trace; the
-  // auditor only checks that each worker sweeps cycles in causal order.
+  // auditor checks that each worker sweeps cycles in causal order and that
+  // the sweep conserved evaluations (one per combinational gate per cycle)
+  // and barrier arrivals (every worker at every barrier).
   std::optional<Auditor> aud;
   if (cfg.audit || Auditor::env_enabled())
     aud.emplace("oblivious-parallel", n, stim.vectors.size() + 1);
@@ -63,7 +65,10 @@ RunResult run_oblivious_parallel(const Circuit& c, const Stimulus& stim,
       }
       barrier.arrive(0);
       ++barriers[b];
-      if (aud) aud->on_batch(b, cycle);
+      if (aud) {
+        aud->on_batch(b, cycle);
+        aud->on_barrier(b);
+      }
       for (std::uint32_t lv = 1; lv <= depth; ++lv) {
         for (GateId g : schedule[lv][b]) {
           const auto fi = c.fanins(g);
@@ -74,12 +79,17 @@ RunResult run_oblivious_parallel(const Circuit& c, const Stimulus& stim,
         }
         barrier.arrive(0);
         ++barriers[b];
+        if (aud) {
+          aud->on_eval(b, schedule[lv][b].size());
+          aud->on_barrier(b);
+        }
       }
       if (cycle < stim.vectors.size()) {
         for (GateId ff : dff_of[b])
           next_q[ff] = z_to_x(values[c.fanins(ff)[0]]);
         barrier.arrive(0);
         ++barriers[b];
+        if (aud) aud->on_barrier(b);
         for (GateId ff : dff_of[b]) values[ff] = next_q[ff];
       }
     }
@@ -92,7 +102,14 @@ RunResult run_oblivious_parallel(const Circuit& c, const Stimulus& stim,
     r.stats.barriers += barriers[b];
   }
   r.wall_seconds = timer.seconds();
-  if (aud) aud->finalize();
+  if (aud) {
+    // Constants are combinational but sit at level 0 and are never swept.
+    std::uint64_t swept = 0;
+    for (GateId g = 0; g < c.gate_count(); ++g)
+      if (is_combinational(c.type(g)) && c.level(g) > 0) ++swept;
+    aud->expect_evaluations(swept * (stim.vectors.size() + 1));
+    aud->finalize();
+  }
   return r;
 }
 

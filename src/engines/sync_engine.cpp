@@ -67,7 +67,7 @@ RunResult run_synchronous(const Circuit& c, const Stimulus& stim,
       const Tick front = time_barrier.arrive(my_next());
       ++barrier_count[b];
       if (front >= bopts.horizon) break;
-      const Tick window_end = std::min<Tick>(bopts.horizon, front + window);
+      const Tick window_end = std::min(bopts.horizon, tick_add(front, window));
 
       for (;;) {
         const Tick t = my_next();

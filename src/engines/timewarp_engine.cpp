@@ -286,7 +286,7 @@ RunResult run_timewarp(const Circuit& c, const Stimulus& stim,
       outputs.clear();
       if (aud) aud->on_batch(b, nt);
       lp.block->process_batch(nt, externals, outputs);
-      lp.processed_bound = nt + 1;
+      lp.processed_bound = tick_add(nt, 1);
 
       std::uint64_t out_pushed = 0;
       for (const Message& m : outputs) {
@@ -334,7 +334,7 @@ RunResult run_timewarp(const Circuit& c, const Stimulus& stim,
     r.stats.rollbacks += lp_rollbacks[b];
     r.stats.anti_messages += lp_antis[b];
   }
-  r.stats.gvt_rounds = gvt_rounds.load();
+  r.stats.gvt_rounds = gvt_rounds.load(std::memory_order_relaxed);
   r.wall_seconds = timer.seconds();
   if (aud) {
     aud->check_trace(r.trace);

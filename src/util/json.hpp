@@ -1,0 +1,168 @@
+#pragma once
+// Minimal dependency-free JSON value + writer for the benchmark metrics
+// layer (BENCH_*.json). Write-only on purpose: the consumer side lives in
+// tools/bench_compare.py, which has a real parser. Objects preserve
+// insertion order so emitted files are byte-stable across runs, and doubles
+// are printed with shortest-round-trip formatting so a value survives a
+// write/parse/write cycle bit-for-bit.
+
+#include <charconv>
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace plsim {
+
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t { Null, Bool, Int, Uint, Double, String,
+                                   Array, Object };
+
+  JsonValue() : kind_(Kind::Null) {}
+  JsonValue(std::nullptr_t) : kind_(Kind::Null) {}
+  JsonValue(bool v) : kind_(Kind::Bool), bool_(v) {}
+  JsonValue(std::int64_t v) : kind_(Kind::Int), int_(v) {}
+  JsonValue(std::uint64_t v) : kind_(Kind::Uint), uint_(v) {}
+  JsonValue(int v) : kind_(Kind::Int), int_(v) {}
+  JsonValue(unsigned v) : kind_(Kind::Uint), uint_(v) {}
+  JsonValue(double v) : kind_(Kind::Double), double_(v) {}
+  JsonValue(std::string v) : kind_(Kind::String), string_(std::move(v)) {}
+  JsonValue(const char* v) : kind_(Kind::String), string_(v) {}
+
+  static JsonValue array() {
+    JsonValue v;
+    v.kind_ = Kind::Array;
+    return v;
+  }
+  static JsonValue object() {
+    JsonValue v;
+    v.kind_ = Kind::Object;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::Object; }
+  bool is_array() const { return kind_ == Kind::Array; }
+
+  /// Append to an array (value must be an array).
+  JsonValue& push_back(JsonValue v) {
+    items_.push_back(std::move(v));
+    return items_.back();
+  }
+
+  /// Set/overwrite a key in an object (value must be an object). Insertion
+  /// order is preserved; re-setting a key keeps its original position.
+  JsonValue& set(std::string_view key, JsonValue v) {
+    for (auto& [k, val] : members_) {
+      if (k == key) {
+        val = std::move(v);
+        return val;
+      }
+    }
+    members_.emplace_back(std::string(key), std::move(v));
+    return members_.back().second;
+  }
+
+  std::size_t size() const {
+    return kind_ == Kind::Array ? items_.size() : members_.size();
+  }
+  bool empty() const { return size() == 0; }
+
+  void dump(std::ostream& os, int indent = 2) const { write(os, indent, 0); }
+  std::string dump(int indent = 2) const {
+    std::ostringstream os;
+    dump(os, indent);
+    return os.str();
+  }
+
+  /// Shortest-round-trip double formatting; non-finite values become null
+  /// (JSON has no inf/nan).
+  static std::string number_to_string(double v) {
+    if (v != v || v > 1.7976931348623157e308 || v < -1.7976931348623157e308)
+      return "null";
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, res.ptr);
+  }
+
+  static void escape(std::ostream& os, std::string_view s) {
+    os << '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': os << "\\\""; break;
+        case '\\': os << "\\\\"; break;
+        case '\n': os << "\\n"; break;
+        case '\r': os << "\\r"; break;
+        case '\t': os << "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            os << buf;
+          } else {
+            os << c;
+          }
+      }
+    }
+    os << '"';
+  }
+
+ private:
+  void write(std::ostream& os, int indent, int depth) const {
+    const std::string pad(static_cast<std::size_t>(indent) * (depth + 1), ' ');
+    const std::string close_pad(static_cast<std::size_t>(indent) * depth, ' ');
+    switch (kind_) {
+      case Kind::Null: os << "null"; break;
+      case Kind::Bool: os << (bool_ ? "true" : "false"); break;
+      case Kind::Int: os << int_; break;
+      case Kind::Uint: os << uint_; break;
+      case Kind::Double: os << number_to_string(double_); break;
+      case Kind::String: escape(os, string_); break;
+      case Kind::Array:
+        if (items_.empty()) {
+          os << "[]";
+          break;
+        }
+        os << "[\n";
+        for (std::size_t i = 0; i < items_.size(); ++i) {
+          os << pad;
+          items_[i].write(os, indent, depth + 1);
+          os << (i + 1 < items_.size() ? ",\n" : "\n");
+        }
+        os << close_pad << ']';
+        break;
+      case Kind::Object:
+        if (members_.empty()) {
+          os << "{}";
+          break;
+        }
+        os << "{\n";
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+          os << pad;
+          escape(os, members_[i].first);
+          os << ": ";
+          members_[i].second.write(os, indent, depth + 1);
+          os << (i + 1 < members_.size() ? ",\n" : "\n");
+        }
+        os << close_pad << '}';
+        break;
+    }
+  }
+
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+}  // namespace plsim

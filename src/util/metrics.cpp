@@ -1,0 +1,56 @@
+#include "util/metrics.hpp"
+
+#include <fstream>
+
+namespace plsim {
+
+JsonValue MetricsRun::to_json() const {
+  JsonValue run = JsonValue::object();
+  JsonValue labels = JsonValue::object();
+  for (const auto& [k, v] : labels_) labels.set(k, JsonValue(v));
+  run.set("labels", std::move(labels));
+  JsonValue metrics = JsonValue::object();
+  for (const auto& [k, v] : metrics_) metrics.set(k, v);
+  run.set("metrics", std::move(metrics));
+  if (!wall_.empty()) {
+    JsonValue wall = JsonValue::object();
+    for (const auto& [k, v] : wall_) wall.set(k, JsonValue(v));
+    run.set("wall", std::move(wall));
+  }
+  return run;
+}
+
+JsonValue MetricsRegistry::to_json() const {
+  JsonValue root = JsonValue::object();
+  root.set("schema", JsonValue(kBenchSchema));
+  root.set("bench", JsonValue(bench_));
+  JsonValue runs = JsonValue::array();
+  for (const MetricsRun& r : runs_) runs.push_back(r.to_json());
+  root.set("runs", std::move(runs));
+  if (!phases_.empty()) {
+    JsonValue ph = JsonValue::object();
+    for (const auto& [name, secs] : phases_.entries())
+      ph.set(name, JsonValue(secs));
+    root.set("phases", std::move(ph));
+  }
+  return root;
+}
+
+bool MetricsRegistry::write_file(const std::string& path,
+                                 std::string* error) const {
+  std::ofstream os(path);
+  if (!os) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  to_json().dump(os);
+  os << '\n';
+  os.flush();
+  if (!os) {
+    if (error != nullptr) *error = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace plsim

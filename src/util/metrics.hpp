@@ -1,0 +1,101 @@
+#pragma once
+// Machine-readable benchmark metrics (schema "plsim-bench-v1").
+//
+// Every harness in bench/ records one MetricsRun per table row (or per
+// google-benchmark run) into a MetricsRegistry and serializes it to
+// BENCH_<name>.json. The schema separates three namespaces:
+//
+//   labels    identify the run (circuit size, engine, config knob) — the
+//             join key tools/bench_compare.py matches runs on;
+//   metrics   deterministic modelled/counted quantities (EngineStats
+//             counters, makespan, speedup) — compared against a baseline
+//             with a tolerance; any drift is a flagged regression;
+//   wall      host wall-clock measurements — recorded for trend plots but
+//             never regression-compared (they depend on the machine).
+//
+// Top-level "phases" carries the harness's PhaseTimers (host seconds,
+// excluded from comparison like "wall"). The registry deliberately embeds no
+// hostname/date so a deterministic bench produces a byte-identical file on
+// every run — that is what makes committed golden files workable.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/timer.hpp"
+
+namespace plsim {
+
+inline constexpr const char* kBenchSchema = "plsim-bench-v1";
+
+/// One benchmark measurement point (one table row).
+class MetricsRun {
+ public:
+  MetricsRun& label(std::string_view key, std::string_view value) {
+    labels_.emplace_back(std::string(key), std::string(value));
+    return *this;
+  }
+  MetricsRun& label(std::string_view key, std::uint64_t value) {
+    return label(key, std::to_string(value));
+  }
+  MetricsRun& label(std::string_view key, double value) {
+    return label(key, JsonValue::number_to_string(value));
+  }
+
+  MetricsRun& metric(std::string_view name, double v) {
+    metrics_.emplace_back(std::string(name), JsonValue(v));
+    return *this;
+  }
+  MetricsRun& metric(std::string_view name, std::uint64_t v) {
+    metrics_.emplace_back(std::string(name), JsonValue(v));
+    return *this;
+  }
+
+  MetricsRun& wall(std::string_view name, double seconds) {
+    wall_.emplace_back(std::string(name), seconds);
+    return *this;
+  }
+
+  JsonValue to_json() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> labels_;
+  std::vector<std::pair<std::string, JsonValue>> metrics_;
+  std::vector<std::pair<std::string, double>> wall_;
+};
+
+/// All measurement points of one bench binary plus its phase timers.
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(std::string bench) : bench_(std::move(bench)) {}
+
+  const std::string& bench() const { return bench_; }
+
+  /// Append a new run. The reference is valid until the next add_run call —
+  /// finish recording one row before starting the next.
+  MetricsRun& add_run() {
+    runs_.emplace_back();
+    return runs_.back();
+  }
+
+  std::size_t run_count() const { return runs_.size(); }
+
+  PhaseTimers& phases() { return phases_; }
+  const PhaseTimers& phases() const { return phases_; }
+
+  JsonValue to_json() const;
+
+  /// Serialize to `path` (pretty-printed, trailing newline). Returns false
+  /// and fills `error` on I/O failure.
+  bool write_file(const std::string& path, std::string* error = nullptr) const;
+
+ private:
+  std::string bench_;
+  std::vector<MetricsRun> runs_;
+  PhaseTimers phases_;
+};
+
+}  // namespace plsim

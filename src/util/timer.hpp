@@ -1,7 +1,15 @@
 #pragma once
-// Wall-clock timing for benchmark harnesses.
+// Wall-clock timing for benchmark harnesses: a one-shot stopwatch plus an
+// accumulating set of named phase timers (circuit build, partitioning,
+// simulation, ...) that the metrics layer serializes next to the modelled
+// counters. Phase timers are host-dependent by construction, so the bench
+// JSON schema keeps them out of the regression-compared metric set.
 
 #include <chrono>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 namespace plsim {
 
@@ -16,6 +24,59 @@ class WallTimer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// Named wall-clock accumulators. Each phase can be entered any number of
+/// times; the report keeps first-entry order. Scopes are RAII:
+///
+///   PhaseTimers phases;
+///   { auto s = phases.scope("partition"); ... }
+///   { auto s = phases.scope("simulate"); ... }
+class PhaseTimers {
+ public:
+  class Scope {
+   public:
+    Scope(PhaseTimers& owner, std::size_t index)
+        : owner_(&owner), index_(index) {}
+    Scope(Scope&& o) noexcept : owner_(o.owner_), index_(o.index_) {
+      o.owner_ = nullptr;
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    Scope& operator=(Scope&&) = delete;
+    ~Scope() {
+      if (owner_ != nullptr)
+        owner_->entries_[index_].second += timer_.seconds();
+    }
+
+   private:
+    PhaseTimers* owner_;
+    std::size_t index_;
+    WallTimer timer_;
+  };
+
+  /// Start (or resume) accumulating into `name` until the scope dies.
+  Scope scope(std::string_view name) { return Scope(*this, index_of(name)); }
+
+  /// Add an externally measured duration to `name`.
+  void add(std::string_view name, double seconds) {
+    entries_[index_of(name)].second += seconds;
+  }
+
+  const std::vector<std::pair<std::string, double>>& entries() const {
+    return entries_;
+  }
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  std::size_t index_of(std::string_view name) {
+    for (std::size_t i = 0; i < entries_.size(); ++i)
+      if (entries_[i].first == name) return i;
+    entries_.emplace_back(std::string(name), 0.0);
+    return entries_.size() - 1;
+  }
+
+  std::vector<std::pair<std::string, double>> entries_;
 };
 
 }  // namespace plsim

@@ -296,7 +296,7 @@ VpResult run_conservative_vp(const Circuit& c, const Stimulus& stim,
       // what the grant unblocks, so the floor is t_min, not t_min + 1.
       if (aud) aud->on_gvt(t_min);
       for (std::uint32_t b = 0; b < n_blocks; ++b)
-        if (!lps[b].terminated) lps[b].in.grant(t_min + 1);
+        if (!lps[b].terminated) lps[b].in.grant(tick_add(t_min, 1));
       for (std::uint32_t pr = 0; pr < n_procs; ++pr) activate_proc(pr);
       drain_des();
     }

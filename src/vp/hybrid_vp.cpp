@@ -249,7 +249,7 @@ VpResult run_hybrid_vp(const Circuit& c, const Stimulus& stim,
         }
       }
     }
-    cl.processed_bound = nt + 1;
+    cl.processed_bound = tick_add(nt, 1);
     const double w =
         (max_member + send_work + cost.smp_barrier_cost(csize)) *
         cfg.noise(jitter[k]);

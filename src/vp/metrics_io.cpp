@@ -1,0 +1,26 @@
+// Serialization of VP results into the benchmark metrics layer. Everything a
+// VP run produces is modelled (deterministic per seed), so it all lands in
+// the regression-compared "metrics" namespace — unlike threaded RunResults,
+// whose wall clock goes into the ignored "wall" namespace.
+
+#include "core/stats_io.hpp"
+#include "util/metrics.hpp"
+#include "vp/vp.hpp"
+
+namespace plsim {
+
+void record_result(MetricsRun& run, const VpResult& r) {
+  run.metric("makespan", r.makespan)
+      .metric("busy", r.busy)
+      .metric("procs", static_cast<std::uint64_t>(r.procs))
+      .metric("utilization", r.utilization());
+  record_stats(run, r.stats);
+}
+
+void record_result(MetricsRun& run, const VpResult& r, double seq_work) {
+  run.metric("seq_work", seq_work);
+  run.metric("speedup", r.makespan > 0.0 ? seq_work / r.makespan : 0.0);
+  record_result(run, r);
+}
+
+}  // namespace plsim

@@ -2,13 +2,15 @@
 // engines/oblivious_engine.cpp with per-level barriers and a deterministic
 // cost account. Level time = busiest processor's evaluations + one barrier.
 //
-// No invariant auditor here (unlike the other VP executors): this executor
-// is purely analytic — it computes the cost account from static per-level
-// gate counts without running batches or exchanging messages, so there are
-// no causality/GVT/conservation invariants to check.
+// The executor is purely analytic (no batches, no messages), so the auditor
+// checks only the sweep's conservation ledger: the per-block evaluation
+// counts must add up to one evaluation per combinational gate per cycle, and
+// every block arrives at every barrier.
 
 #include <array>
+#include <optional>
 
+#include "check/auditor.hpp"
 #include "core/environment.hpp"
 #include "logic/gates.hpp"
 #include "partition/partition.hpp"
@@ -21,6 +23,10 @@ VpResult run_oblivious_vp(const Circuit& c, const Stimulus& stim,
   validate_partition(c, p);
   const std::uint32_t n = p.n_blocks;
   const CostModel& cost = cfg.cost;
+
+  std::optional<Auditor> aud;
+  if (cfg.audit || Auditor::env_enabled())
+    aud.emplace("oblivious-vp", n, stim.vectors.size() + 1);
 
   // Per (level, block) evaluation counts drive the cost account.
   const std::uint32_t depth = c.depth();
@@ -63,6 +69,25 @@ VpResult run_oblivious_vp(const Circuit& c, const Stimulus& stim,
     if (is_combinational(c.type(g))) ++comb;
   r.stats.evaluations =
       static_cast<std::uint64_t>((cycles + 1.0) * static_cast<double>(comb));
+
+  if (aud) {
+    const std::uint64_t n_cycles = stim.vectors.size() + 1;
+    const std::uint64_t barriers_per_block =
+        depth * n_cycles + stim.vectors.size();
+    // Constants are combinational but sit at level 0 and are never swept.
+    std::uint64_t swept = 0;
+    for (GateId g = 0; g < c.gate_count(); ++g)
+      if (is_combinational(c.type(g)) && c.level(g) > 0) ++swept;
+    for (std::uint32_t b = 0; b < n; ++b) {
+      std::uint64_t block_evals = 0;
+      for (std::uint32_t lv = 1; lv <= depth; ++lv)
+        block_evals += per_level[lv][b];
+      aud->on_eval(b, block_evals * n_cycles);
+      aud->on_barrier(b, barriers_per_block);
+    }
+    aud->expect_evaluations(swept * n_cycles);
+    aud->finalize();
+  }
   return r;
 }
 

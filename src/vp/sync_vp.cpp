@@ -83,7 +83,7 @@ VpResult run_sync_vp(const Circuit& c, const Stimulus& stim,
     // The window front plays the role of GVT: all processing this step is at
     // or above it, and no staged (in-flight) message may lie below it.
     if (aud) aud->on_gvt(front);
-    const Tick window_end = std::min<Tick>(horizon, front + window);
+    const Tick window_end = std::min(horizon, tick_add(front, window));
 
     std::fill(recv_work.begin(), recv_work.end(), 0.0);
     std::fill(compute.begin(), compute.end(), 0.0);

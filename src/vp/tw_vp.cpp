@@ -256,7 +256,7 @@ VpResult run_timewarp_vp(const Circuit& c, const Stimulus& stim,
     if (aud) aud->on_batch(best, nt);
     const BatchStats bs =
         rig.blocks[best]->process_batch(nt, externals, outputs);
-    lp.processed_bound = nt + 1;
+    lp.processed_bound = tick_add(nt, 1);
     const double w = batch_cost(cost, bs, bopts.save) * cfg.noise(jitter[pr]);
     clock[pr] += w;
     r.busy += w;

@@ -19,6 +19,8 @@
 
 namespace plsim {
 
+class MetricsRun;  // util/metrics.hpp
+
 struct VpConfig {
   CostModel cost;
 
@@ -153,6 +155,14 @@ VpResult run_oblivious_vp(const Circuit& c, const Stimulus& stim,
 
 /// Shared per-batch cost rule.
 double batch_cost(const CostModel& cost, const BatchStats& bs, SaveMode save);
+
+/// Serialize a VP result into the benchmark metrics layer: makespan, busy
+/// time, processor count, utilization and every EngineStats counter — all
+/// deterministic, so all regression-comparable (src/vp/metrics_io.cpp).
+void record_result(MetricsRun& run, const VpResult& r);
+
+/// Same, plus the modelled speedup against a sequential reference work.
+void record_result(MetricsRun& run, const VpResult& r, double seq_work);
 
 /// Round-robin mapping of `n_blocks` LPs onto `n_procs` processors — the
 /// standard way to run a finer-grain partition on fewer processors.

@@ -1,7 +1,7 @@
 // Tests for the runtime invariant auditor (src/check).
 //
 // Two halves:
-//   1. Positive: every engine family — the four threaded engines and the four
+//   1. Positive: every engine family — the four threaded engines and the
 //      audited virtual-platform executors — runs a real workload with
 //      audit = true. A clean run must not throw and must still match the
 //      golden simulator, proving the hooks are wired through the actual
@@ -115,6 +115,14 @@ TEST(AuditorPositive, ObliviousParallelRunsCleanUnderAudit) {
   // sequential oblivious simulator is covered in engine_equivalence_test.
   EXPECT_NO_THROW(
       run_oblivious_parallel(w.circuit, w.stim, w.partition, cfg));
+}
+
+TEST(AuditorPositive, ObliviousVpRunsCleanUnderAudit) {
+  // Exercises the eval/barrier conservation ledger on the analytic executor.
+  const Workload w = make_workload(4);
+  VpConfig cfg;
+  cfg.audit = true;
+  EXPECT_NO_THROW(run_oblivious_vp(w.circuit, w.stim, w.partition, cfg));
 }
 
 // ------------------------------------------------ positive: VP executors --
@@ -289,6 +297,35 @@ TEST(AuditorNegative, LostQueueEntryBreaksEventConservation) {
   aud.set_pending(0, 0);
   aud.set_queue_left(0, 2);  // 4 enqueued != 1 cancelled + 2 remaining
   expect_violation(aud, "event-conservation");
+}
+
+TEST(AuditorNegative, MissingEvaluationsBreakEvalConservation) {
+  // Oblivious conservation: the per-LP sweep counts must cover every
+  // combinational gate on every cycle.
+  Auditor aud("injected", 2, 100);
+  aud.on_eval(0, 10);
+  aud.on_eval(1, 5);
+  aud.expect_evaluations(16);  // one evaluation was skipped somewhere
+  expect_violation(aud, "eval-conservation");
+}
+
+TEST(AuditorNegative, BalancedEvaluationsPassConservation) {
+  Auditor aud("injected", 2, 100);
+  aud.on_eval(0, 10);
+  aud.on_eval(1, 5);
+  aud.expect_evaluations(15);
+  EXPECT_NO_THROW(aud.finalize());
+  EXPECT_TRUE(aud.ok());
+}
+
+TEST(AuditorNegative, BarrierArrivalSkewIsCaught) {
+  // Every LP must arrive at every global barrier; a skew means an arrival
+  // was lost (and the sweep read values unordered by the barrier).
+  Auditor aud("injected", 3, 100);
+  aud.on_barrier(0, 12);
+  aud.on_barrier(1, 12);
+  aud.on_barrier(2, 11);
+  expect_violation(aud, "barrier-conservation");
 }
 
 TEST(AuditorNegative, GvtOvertakingInFlightMessageIsCaught) {

@@ -1,0 +1,126 @@
+// Tests for the benchmark metrics layer: the dependency-free JSON writer and
+// the MetricsRegistry that serializes bench results as schema
+// "plsim-bench-v1". The committed golden files under bench/golden/ depend on
+// two properties pinned here: emitted JSON is byte-stable across runs, and
+// doubles survive a write/parse/write cycle (shortest-round-trip printing).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/json.hpp"
+#include "util/metrics.hpp"
+
+namespace plsim {
+namespace {
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(JsonValue().dump(), "null");
+  EXPECT_EQ(JsonValue(nullptr).dump(), "null");
+  EXPECT_EQ(JsonValue(true).dump(), "true");
+  EXPECT_EQ(JsonValue(false).dump(), "false");
+  EXPECT_EQ(JsonValue(-42).dump(), "-42");
+  EXPECT_EQ(JsonValue(std::uint64_t(18446744073709551615ull)).dump(),
+            "18446744073709551615");
+  EXPECT_EQ(JsonValue(1.5).dump(), "1.5");
+  EXPECT_EQ(JsonValue("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, DoubleShortestRoundTrip) {
+  // 0.1 must print as "0.1", not "0.10000000000000001".
+  EXPECT_EQ(JsonValue(0.1).dump(), "0.1");
+  EXPECT_EQ(JsonValue(1.0 / 3.0).dump(), "0.3333333333333333");
+  // Non-finite values have no JSON spelling and become null.
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::quiet_NaN()).dump(),
+            "null");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(JsonValue("a\"b").dump(), "\"a\\\"b\"");
+  EXPECT_EQ(JsonValue("a\\b").dump(), "\"a\\\\b\"");
+  EXPECT_EQ(JsonValue("a\nb\tc").dump(), "\"a\\nb\\tc\"");
+  EXPECT_EQ(JsonValue(std::string("a\x01z")).dump(), "\"a\\u0001z\"");
+}
+
+TEST(Json, NestedStructureAndOrder) {
+  JsonValue root = JsonValue::object();
+  root.set("z", JsonValue(1));
+  root.set("a", JsonValue(2));
+  JsonValue arr = JsonValue::array();
+  arr.push_back(JsonValue("x"));
+  arr.push_back(JsonValue::object());
+  root.set("list", std::move(arr));
+  // Insertion order is preserved (z before a), never sorted.
+  EXPECT_EQ(root.dump(0),
+            "{\n\"z\": 1,\n\"a\": 2,\n\"list\": [\n\"x\",\n{}\n]\n}");
+  // Re-setting a key overwrites in place, keeping its original position.
+  root.set("z", JsonValue(9));
+  EXPECT_EQ(root.dump(0),
+            "{\n\"z\": 9,\n\"a\": 2,\n\"list\": [\n\"x\",\n{}\n]\n}");
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(JsonValue::array().dump(), "[]");
+  EXPECT_EQ(JsonValue::object().dump(), "{}");
+}
+
+MetricsRegistry example_registry() {
+  MetricsRegistry reg("example");
+  reg.add_run()
+      .label("engine", "sync")
+      .label("gates", std::uint64_t(400))
+      .metric("speedup", 2.5)
+      .metric("stats.evaluations", std::uint64_t(12345));
+  reg.add_run()
+      .label("engine", "timewarp")
+      .label("gates", std::uint64_t(400))
+      .metric("speedup", 3.25)
+      .wall("seconds", 0.125);
+  return reg;
+}
+
+TEST(Metrics, SchemaShape) {
+  const std::string text = example_registry().to_json().dump();
+  EXPECT_NE(text.find("\"schema\": \"plsim-bench-v1\""), std::string::npos);
+  EXPECT_NE(text.find("\"bench\": \"example\""), std::string::npos);
+  EXPECT_NE(text.find("\"runs\""), std::string::npos);
+  // Labels are stringified (join keys), metrics stay numeric.
+  EXPECT_NE(text.find("\"gates\": \"400\""), std::string::npos);
+  EXPECT_NE(text.find("\"speedup\": 2.5"), std::string::npos);
+  EXPECT_NE(text.find("\"stats.evaluations\": 12345"), std::string::npos);
+  // Wall appears only on the run that recorded one.
+  EXPECT_NE(text.find("\"wall\""), std::string::npos);
+  // No phases were timed, so the key is absent entirely.
+  EXPECT_EQ(text.find("\"phases\""), std::string::npos);
+}
+
+TEST(Metrics, ByteStableAcrossIdenticalRuns) {
+  // The property committed goldens rely on: same measurements, same bytes.
+  EXPECT_EQ(example_registry().to_json().dump(),
+            example_registry().to_json().dump());
+}
+
+TEST(Metrics, WriteFileRoundTrip) {
+  const std::string path =
+      ::testing::TempDir() + "/plsim_metrics_roundtrip.json";
+  std::string err;
+  ASSERT_TRUE(example_registry().write_file(path, &err)) << err;
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), example_registry().to_json().dump() + "\n");
+  std::remove(path.c_str());
+}
+
+TEST(Metrics, WriteFileReportsFailure) {
+  std::string err;
+  EXPECT_FALSE(example_registry().write_file(
+      "/nonexistent-dir/metrics.json", &err));
+  EXPECT_NE(err.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace plsim

@@ -1,0 +1,163 @@
+// Regression tests for timestamp arithmetic near the top of the Tick range.
+// Tick is unsigned, so before tick_add() was introduced a `t + delay` near
+// kTickInf wrapped around to a *small* value, sailed under every
+// `>= horizon` clamp, and re-entered the schedule in the simulated past —
+// silently breaking causality. These tests drive the block simulator and the
+// engines with horizons and event times close to kTickInf and check that
+// sums saturate instead of wrapping.
+
+#include <gtest/gtest.h>
+
+#include "core/block.hpp"
+#include "core/types.hpp"
+#include "engines/cmb.hpp"
+#include "engines/engine.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/builtin.hpp"
+#include "partition/algorithms.hpp"
+#include "seq/golden.hpp"
+#include "stim/stimulus.hpp"
+
+namespace plsim {
+namespace {
+
+TEST(TickAdd, ExactBelowSaturation) {
+  EXPECT_EQ(tick_add(0, 0), 0u);
+  EXPECT_EQ(tick_add(5, 7), 12u);
+  EXPECT_EQ(tick_add(kTickInf - 10, 9), kTickInf - 1);
+}
+
+TEST(TickAdd, SaturatesInsteadOfWrapping) {
+  EXPECT_EQ(tick_add(kTickInf - 1, 1), kTickInf);
+  EXPECT_EQ(tick_add(kTickInf - 1, 2), kTickInf);   // raw sum would wrap to 0
+  EXPECT_EQ(tick_add(kTickInf - 2, 100), kTickInf); // raw sum wraps to 97
+  EXPECT_EQ(tick_add(kTickInf, 0), kTickInf);
+  EXPECT_EQ(tick_add(kTickInf, kTickInf), kTickInf);
+  EXPECT_EQ(tick_add(0, kTickInf), kTickInf);
+}
+
+TEST(TickAdd, IsCommutativeAtTheBoundary) {
+  EXPECT_EQ(tick_add(kTickInf - 3, 7), tick_add(7, kTickInf - 3));
+  EXPECT_EQ(tick_add(kTickInf - 3, 3), tick_add(3, kTickInf - 3));
+}
+
+// A gate evaluated within `delay` of kTickInf must not schedule its output
+// change in the wrapped-around past. Pre-tick_add, the NOT gate below
+// (delay 5) evaluated at t = kTickInf - 2 scheduled an event at tick 2 and
+// emitted a message into the past; now the sum saturates to kTickInf and is
+// dropped by the horizon clamp.
+TEST(TickWrap, EvaluationNearTickMaxDropsInsteadOfWrapping) {
+  NetlistBuilder b;
+  const GateId a = b.add_input("a");
+  const GateId g = b.add_gate(GateType::Not, {a}, "g");
+  b.set_delay(g, 5);
+  b.mark_output(g);
+  const Circuit c = b.build();
+
+  BlockOptions opts;
+  opts.clock_period = 10;
+  opts.horizon = kTickInf;
+  BlockSimulator blk(c, std::vector<GateId>{a, g}, std::vector<GateId>{g},
+                     opts);
+
+  const Tick t = kTickInf - 2;
+  std::vector<Message> out;
+  const Message ext{t, a, Logic4::T};
+  blk.process_batch(t, {&ext, 1}, out);
+
+  // Not(T) = F differs from the projected X, so the gate *wants* to schedule
+  // at t + 5 — which can only saturate past the horizon, never wrap below t.
+  EXPECT_EQ(blk.next_internal_time(), kTickInf);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(blk.value(a), Logic4::T);
+}
+
+// The self-perpetuating clock chain is the other addition that runs all the
+// way to the horizon: the batch at the last clock edge schedules the next
+// edge at t + period. Near kTickInf that sum must saturate (ending the
+// chain), not wrap around and restart the clock at a tiny timestamp.
+TEST(TickWrap, ClockChainTerminatesNearTickMax) {
+  NetlistBuilder b;
+  const GateId a = b.add_input("a");
+  const GateId ff = b.add_gate(GateType::Dff, {a}, "ff");
+  b.mark_output(ff);
+  const Circuit c = b.build();
+
+  BlockOptions opts;
+  opts.clock_period = kTickInf - 3;
+  opts.horizon = kTickInf - 1;
+  BlockSimulator blk(c, std::vector<GateId>{a, ff}, {}, opts);
+
+  std::vector<Message> out;
+  // Drive D high early, then let the block run itself dry. Pre-tick_add the
+  // clock edge at kTickInf - 3 re-armed itself at a wrapped-around small
+  // tick and the loop below never drained.
+  const Message ext{0, a, Logic4::T};
+  blk.process_batch(0, {&ext, 1}, out);
+  int batches = 0;
+  while (blk.next_internal_time() < opts.horizon) {
+    ASSERT_LT(batches, 8) << "clock chain failed to terminate";
+    blk.process_batch(blk.next_internal_time(), {}, out);
+    ++batches;
+  }
+  // One clock edge at kTickInf - 3 and the Q change it scheduled at
+  // kTickInf - 2; the follow-up edge saturated and was dropped.
+  EXPECT_EQ(batches, 2);
+  EXPECT_EQ(blk.value(ff), Logic4::T);
+}
+
+// A conservative channel promising from a frontier near kTickInf must
+// saturate, not wrap. Pre-tick_add, `frontier + lookahead` wrapped to a tiny
+// tick, the new promise regressed below the earlier one, no null message was
+// sent, and the receiver's channel clock froze forever — a protocol-level
+// deadlock that null messages exist to prevent.
+TEST(TickWrap, CmbPromiseSaturatesAtTickMax) {
+  CmbOutChannel ch(/*dst=*/1, /*lookahead=*/5);
+
+  auto early = ch.release(/*frontier=*/100, /*horizon=*/kTickInf);
+  EXPECT_TRUE(early.send_null);
+  EXPECT_EQ(early.promise, 105u);
+
+  ch.buffer(Message{kTickInf - 1, 3, Logic4::T});
+  auto last = ch.release(/*frontier=*/kTickInf - 2, /*horizon=*/kTickInf);
+  EXPECT_EQ(ch.promised(), kTickInf);
+  ASSERT_EQ(last.real.size(), 1u);  // buffered message covered and released
+  EXPECT_EQ(last.real[0].time, kTickInf - 1);
+  EXPECT_TRUE(last.send_null);      // promise exceeds the last real timestamp
+  EXPECT_EQ(last.promise, kTickInf);
+}
+
+// Whole-engine canary: a stimulus whose horizon sits just below kTickInf
+// must complete and still match the golden simulator bit-exactly on the
+// event-driven engines. (The conservative engine is exercised channel-level
+// above instead: its null-message protocol takes Theta(horizon / lookahead)
+// rounds by design, so a near-max horizon cannot terminate.) Any residual
+// raw addition in window or LVT arithmetic would wrap here and either hang
+// the run or corrupt the wave digest.
+TEST(TickWrap, EnginesMatchGoldenWithHorizonNearTickMax) {
+  const Circuit c = builtin_circuit("s27");
+  Stimulus s;
+  s.period = (kTickInf - 11) / 4;  // horizon = 4 * period, no overflow
+  s.vectors = {
+      {Logic4::T, Logic4::F, Logic4::T, Logic4::F},
+      {Logic4::F, Logic4::T, Logic4::T, Logic4::T},
+      {Logic4::T, Logic4::T, Logic4::F, Logic4::F},
+  };
+  ASSERT_LT(s.horizon(), kTickInf);
+  ASSERT_GT(s.horizon(), kTickInf / 2);  // genuinely near the top
+
+  const RunResult golden = simulate_golden(c, s);
+  const Partition p = partition_round_robin(c, 2);
+  for (const char* name : {"synchronous", "timewarp"}) {
+    SCOPED_TRACE(name);
+    for (const auto& e : standard_engines()) {
+      if (e.name != name) continue;
+      const RunResult r = e.run(c, s, p, EngineConfig{});
+      EXPECT_EQ(r.final_values, golden.final_values);
+      EXPECT_EQ(r.wave.digest(), golden.wave.digest());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace plsim

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Compare two plsim benchmark JSON files (schema plsim-bench-v1).
+
+Usage:
+    bench_compare.py BASELINE.json CANDIDATE.json [--tol REL_TOL]
+
+Runs are matched by their exact label dictionary (the join key). For every
+matched pair the "metrics" objects are compared key-by-key with a relative
+tolerance; "wall" and top-level "phases" are host wall-clock measurements and
+are deliberately ignored. Missing or extra runs, missing or extra metric
+keys, and out-of-tolerance values are all reported and fail the comparison.
+
+Exit status: 0 = within tolerance, 1 = differences found, 2 = usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "plsim-bench-v1"
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_compare: cannot read {path}: {e}")
+    if doc.get("schema") != SCHEMA:
+        sys.exit(
+            f"bench_compare: {path}: schema {doc.get('schema')!r}, "
+            f"expected {SCHEMA!r}"
+        )
+    if not isinstance(doc.get("runs"), list):
+        sys.exit(f"bench_compare: {path}: missing 'runs' array")
+    return doc
+
+
+def run_key(run):
+    """Hashable identity of a run: its sorted label items."""
+    labels = run.get("labels", {})
+    return tuple(sorted(labels.items()))
+
+
+def fmt_key(key):
+    return "{" + ", ".join(f"{k}={v}" for k, v in key) + "}" if key else "{}"
+
+
+def index_runs(doc, path):
+    runs = {}
+    for run in doc["runs"]:
+        key = run_key(run)
+        if key in runs:
+            sys.exit(f"bench_compare: {path}: duplicate run labels {fmt_key(key)}")
+        runs[key] = run.get("metrics", {})
+    return runs
+
+
+def values_differ(a, b, tol):
+    if type(a) is bool or type(b) is bool or not isinstance(a, (int, float)) \
+            or not isinstance(b, (int, float)):
+        return a != b
+    if a == b:
+        return False
+    return abs(a - b) > tol * max(abs(a), abs(b), 1e-300)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--tol", type=float, default=1e-6,
+                    help="relative tolerance for numeric metrics (default 1e-6)")
+    args = ap.parse_args()
+
+    base_doc = load(args.baseline)
+    cand_doc = load(args.candidate)
+    problems = []
+
+    if base_doc.get("bench") != cand_doc.get("bench"):
+        problems.append(
+            f"bench name differs: {base_doc.get('bench')!r} vs "
+            f"{cand_doc.get('bench')!r}"
+        )
+
+    base = index_runs(base_doc, args.baseline)
+    cand = index_runs(cand_doc, args.candidate)
+
+    for key in base:
+        if key not in cand:
+            problems.append(f"run {fmt_key(key)}: missing from candidate")
+    for key in cand:
+        if key not in base:
+            problems.append(f"run {fmt_key(key)}: not in baseline")
+
+    for key in sorted(set(base) & set(cand)):
+        bm, cm = base[key], cand[key]
+        for name in bm:
+            if name not in cm:
+                problems.append(f"run {fmt_key(key)}: metric {name!r} missing "
+                                f"from candidate")
+        for name in cm:
+            if name not in bm:
+                problems.append(f"run {fmt_key(key)}: metric {name!r} not in "
+                                f"baseline")
+        for name in sorted(set(bm) & set(cm)):
+            if values_differ(bm[name], cm[name], args.tol):
+                problems.append(
+                    f"run {fmt_key(key)}: {name} = {cm[name]} "
+                    f"(baseline {bm[name]}, tol {args.tol:g})"
+                )
+
+    if problems:
+        print(f"bench_compare: {len(problems)} difference(s) between "
+              f"{args.baseline} and {args.candidate}:")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    n = len(base)
+    print(f"bench_compare: OK ({n} run(s), "
+          f"{sum(len(m) for m in base.values())} metric value(s) match)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,19 @@ comment `// plsim-lint: allow(<rule>)`):
                   ("logic/value.hpp"), never parent-relative ("../x.hpp");
                   system headers use <>.
 
+  tick-add        Raw `+` on Tick-valued expressions (t + delay, frontier +
+                  lookahead, front + window, ...) is banned in src/core/,
+                  src/engines/ and src/vp/: Tick is unsigned, so an addition
+                  near the horizon wraps to a small value and sails through
+                  every `>= horizon` clamp. Use the saturating
+                  plsim::tick_add (src/core/types.hpp) instead.
+
+  memory-order    Atomic operations (.load/.store/.exchange/.fetch_*/
+                  .compare_exchange_*) must spell out an explicit
+                  std::memory_order argument everywhere in src/. Defaulted
+                  seq_cst hides the intended synchronization contract and
+                  makes TSan reports impossible to audit against intent.
+
 Usage: lint_plsim.py <repo-root>
 Exit status 0 when clean, 1 with file:line diagnostics otherwise.
 """
@@ -54,6 +67,27 @@ UNORDERED_DECL = re.compile(
 RANGE_FOR = re.compile(r"\bfor\s*\([^;)]*?:\s*([A-Za-z_][\w.\->\[\]]*)\s*\)")
 QUOTED_INCLUDE = re.compile(r'#\s*include\s*"([^"]+)"')
 WAIVER = re.compile(r"//\s*plsim-lint:\s*allow\(([\w-]+)\)")
+
+# Identifiers that hold Tick values in this codebase (by convention and by
+# audit of src/); `delay(...)`/`period`/`lookahead` cover the member/accessor
+# spellings. The expression may be reached through any member chain
+# (`opts_.clock_period`, `m.time`, `buffer_.top().time`).
+_TICKISH = (
+    r"(?:t|nt|when|tick|front|frontier|window|window_end|horizon|gvt|lvt"
+    r"|promise|promised_?|lookahead_?|t_min|time|clock_period|period"
+    r"|processed_bound|delay\s*\([^()]*\))"
+)
+TICK_ADD = re.compile(
+    rf"(?:[A-Za-z_]\w*(?:\.|->|::))*\b{_TICKISH}\s*\+(?![+=])"
+    rf"|(?<!\+)\+(?![+=])\s*(?:[A-Za-z_]\w*(?:\.|->|::))*\b{_TICKISH}\b(?!\s*\()"
+)
+# Member calls that are atomic operations; condition-variable wait/notify are
+# deliberately absent.
+ATOMIC_OP = re.compile(
+    r"(?:\.|->)\s*(load|store|exchange|compare_exchange_weak"
+    r"|compare_exchange_strong|fetch_add|fetch_sub|fetch_and|fetch_or"
+    r"|fetch_xor)\s*\("
+)
 
 
 def strip_comments_and_strings(line):
@@ -89,6 +123,7 @@ def lint_file(path, rel, findings):
     in_parallel = rel.startswith("src/parallel/")
     in_rng = rel == "src/util/rng.hpp"
     in_engine_code = rel.startswith(("src/engines/", "src/vp/"))
+    in_tick_code = rel.startswith(("src/core/", "src/engines/", "src/vp/"))
     in_src = rel.startswith("src/")
 
     # Names of unordered containers declared anywhere in this file.
@@ -106,12 +141,14 @@ def lint_file(path, rel, findings):
         if not waived(idx, rule):
             findings.append(f"{rel}:{idx + 1}: [{rule}] {msg}")
 
+    code_lines = []
     in_block_comment = False
     for idx, raw in enumerate(raw_lines):
         line = raw
         if in_block_comment:
             end = line.find("*/")
             if end < 0:
+                code_lines.append("")
                 continue
             line = line[end + 2:]
             in_block_comment = False
@@ -125,6 +162,14 @@ def lint_file(path, rel, findings):
             line = line[:start] + line[end + 2:]
             start = line.find("/*")
         code = strip_comments_and_strings(line)
+        code_lines.append(code)
+
+        if in_tick_code:
+            m = TICK_ADD.search(code)
+            if m and "tick_add" not in code:
+                report(idx, "tick-add",
+                       f"raw Tick addition '{m.group(0).strip()}' — unsigned "
+                       "wrap near the horizon; use plsim::tick_add")
 
         if in_src and not in_parallel:
             m = THREADING_USE.search(code)
@@ -163,6 +208,24 @@ def lint_file(path, rel, findings):
                 report(idx, "include-hygiene",
                        f'parent-relative include "{inc}" — use the '
                        "repo-root-relative module path")
+
+    # Atomic calls can span lines (the order argument often sits on its own
+    # line), so this rule scans the joined comment-stripped text.
+    if in_src:
+        joined = "\n".join(code_lines)
+        for m in ATOMIC_OP.finditer(joined):
+            depth, i = 1, m.end()
+            while i < len(joined) and depth > 0:
+                if joined[i] == "(":
+                    depth += 1
+                elif joined[i] == ")":
+                    depth -= 1
+                i += 1
+            if "memory_order" not in joined[m.end():i]:
+                idx = joined.count("\n", 0, m.start())
+                report(idx, "memory-order",
+                       f"atomic .{m.group(1)}() without an explicit "
+                       "std::memory_order argument")
 
 
 def main():
