@@ -1,13 +1,16 @@
 // M1 — engineering microbenchmark: pending-event set implementations.
 // The timing wheel's O(1) scheduling is the classic logic-simulation trick;
 // the binary heap pays O(log n) but supports the tombstone deletion that
-// optimistic rollback needs.
+// optimistic rollback needs; the ladder queue keeps the wheel's O(1)
+// scheduling while adding pooled (allocation-free) storage, O(1) occupancy
+// tracking and exact cancellation — the production pending set.
 
 #include <benchmark/benchmark.h>
 
 #include "bench_main.hpp"
 
 #include "event/heap_queue.hpp"
+#include "event/ladder_queue.hpp"
 #include "event/timing_wheel.hpp"
 #include "util/rng.hpp"
 
@@ -66,6 +69,31 @@ void BM_TimingWheel(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TimingWheel)->Arg(4)->Arg(64)->Arg(1024);
+
+void BM_LadderQueue(benchmark::State& state) {
+  const std::uint64_t max_delay = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    Rng rng(7);
+    LadderQueue q(256);
+    std::uint64_t seq = 0;
+    for (int i = 0; i < kHot; ++i)
+      q.push(Event{rng.uniform(max_delay), GateId(i), Logic4::T,
+                   EventKind::Wire, seq++});
+    std::vector<Event> batch;
+    while (!q.empty()) {
+      const Tick t = q.next_time();
+      batch.clear();
+      q.pop_all_at(t, batch);
+      for (const Event& e : batch) {
+        if (seq < 20000)
+          q.push(Event{e.time + 1 + rng.uniform(max_delay), e.gate, e.value,
+                       EventKind::Wire, seq++});
+      }
+    }
+    benchmark::DoNotOptimize(seq);
+  }
+}
+BENCHMARK(BM_LadderQueue)->Arg(4)->Arg(64)->Arg(1024);
 
 }  // namespace
 

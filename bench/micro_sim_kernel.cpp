@@ -1,7 +1,8 @@
 // M4 — engineering macrobenchmark: full event-driven simulation throughput
-// of the two golden implementations (binary heap inside BlockSimulator vs
-// the timing-wheel kernel), plus the oblivious and compiled sweeps, in
-// committed events / gate-evaluations per second of host time.
+// of the golden implementations (ladder-backed BlockSimulator vs the
+// templated sequential kernel under each pending-set policy), plus the
+// oblivious and compiled sweeps, in committed events / gate-evaluations per
+// second of host time.
 
 #include <benchmark/benchmark.h>
 
@@ -26,7 +27,8 @@ const Stimulus& test_stim() {
   return s;
 }
 
-void BM_GoldenHeap(benchmark::State& state) {
+// BlockSimulator golden run (the pending set is the production LadderQueue).
+void BM_GoldenBlock(benchmark::State& state) {
   std::uint64_t events = 0;
   for (auto _ : state) {
     const RunResult r = simulate_golden(test_circuit(), test_stim());
@@ -35,18 +37,24 @@ void BM_GoldenHeap(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * events);
 }
-BENCHMARK(BM_GoldenHeap);
+BENCHMARK(BM_GoldenBlock);
 
-void BM_GoldenWheel(benchmark::State& state) {
+// The templated sequential kernel under each queue-selection knob value.
+void BM_GoldenQueue(benchmark::State& state) {
+  const QueueKind kind = static_cast<QueueKind>(state.range(0));
+  state.SetLabel(std::string(queue_kind_name(kind)));
   std::uint64_t events = 0;
   for (auto _ : state) {
-    const RunResult r = simulate_golden_wheel(test_circuit(), test_stim());
+    const RunResult r = simulate_golden_queue(test_circuit(), test_stim(), kind);
     events = r.stats.wire_events;
     benchmark::DoNotOptimize(r.final_values.data());
   }
   state.SetItemsProcessed(state.iterations() * events);
 }
-BENCHMARK(BM_GoldenWheel);
+BENCHMARK(BM_GoldenQueue)
+    ->Arg(static_cast<int>(QueueKind::Ladder))
+    ->Arg(static_cast<int>(QueueKind::Wheel))
+    ->Arg(static_cast<int>(QueueKind::Heap));
 
 void BM_Oblivious(benchmark::State& state) {
   std::uint64_t evals = 0;

@@ -110,13 +110,7 @@ void BlockSimulator::take_full_snapshot(Tick t) {
   snap.time = t;
   snap.values = values_;
   snap.projected = projected_;
-  // Drain-and-restore would disturb the queue; copy via pop/push is O(n log n)
-  // and mutates seq skimming, so instead rebuild from a scan: HeapQueue has no
-  // iterator, so we snapshot by popping everything and pushing it back.
-  std::vector<Event> all;
-  while (!queue_.empty()) all.push_back(queue_.pop());
-  for (const Event& e : all) queue_.push(e);
-  snap.queue = std::move(all);
+  queue_.collect(snap.queue);  // non-destructive, per-time FIFO order
   snap.seq_counter = seq_counter_;
   snap.trace_len = static_cast<std::uint32_t>(trace_.size());
   snap.wave = wave_;
@@ -268,7 +262,14 @@ BlockSimulator::RollbackStats BlockSimulator::rollback_to(Tick t) {
         switch (u.kind) {
           case UndoKind::WireValue: values_[u.a] = u.b; break;
           case UndoKind::Projected: projected_[u.a] = u.b; break;
-          case UndoKind::QueuePush: queue_.erase(u.event.seq); break;
+          case UndoKind::QueuePush: {
+            // The undo log is consistent: an event pushed by an undone batch
+            // is either still pending or was re-inserted by a later (also
+            // undone) batch's QueuePop entry — cancel must find it.
+            const bool found = queue_.cancel(u.event);
+            PLSIM_ASSERT(found);
+            break;
+          }
           case UndoKind::QueuePop: queue_.push(u.event); break;
         }
       }

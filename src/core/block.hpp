@@ -25,7 +25,7 @@
 #include <vector>
 
 #include "core/types.hpp"
-#include "event/heap_queue.hpp"
+#include "event/ladder_queue.hpp"
 #include "logic/value.hpp"
 #include "netlist/circuit.hpp"
 
@@ -166,7 +166,7 @@ class BlockSimulator {
   std::vector<Logic4> values_;               // by local index
   std::vector<Logic4> projected_;            // by local index (owned only)
   std::vector<std::uint32_t> eval_counts_;   // by local index (owned only)
-  HeapQueue queue_;
+  LadderQueue queue_;                        // pooled, allocation-free hot path
   std::uint64_t seq_counter_ = 0;
 
   std::vector<Event> scratch_;               // popped events of current batch

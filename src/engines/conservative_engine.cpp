@@ -59,6 +59,7 @@ RunResult run_conservative(const Circuit& c, const Stimulus& stim,
     const std::vector<Message>& env = rig.env[b];
     std::size_t env_pos = 0;
     std::vector<CmbMsg> drained;
+    std::vector<CmbMsg> sendbuf;  // reused per-channel batch buffer
     std::vector<Message> externals, outputs;
 
     for (;;) {
@@ -103,12 +104,13 @@ RunResult run_conservative(const Circuit& c, const Stimulus& stim,
 
       for (CmbOutChannel& ch : outs) {
         auto rel = ch.release(frontier, horizon);
+        sendbuf.clear();
         for (const Message& m : rel.real) {
-          inbox[ch.dst()].push(CmbMsg{m, b, false});
+          sendbuf.push_back(CmbMsg{m, b, false});
           if (aud) aud->on_send(b, m.time);
         }
         if (rel.send_null) {
-          inbox[ch.dst()].push(
+          sendbuf.push_back(
               CmbMsg{Message{rel.promise, kNoGate, Logic4::X}, b, true});
           ++nulls[b];
           if (aud) {
@@ -116,7 +118,10 @@ RunResult run_conservative(const Circuit& c, const Stimulus& stim,
             aud->on_send(b, rel.promise);
           }
         }
-        did_work |= rel.send_null || !rel.real.empty();
+        // One mailbox lock (and one consumer wake) per channel release
+        // instead of one per message.
+        inbox[ch.dst()].push_many(sendbuf);
+        did_work |= !sendbuf.empty();
       }
 
       if (frontier >= horizon) break;

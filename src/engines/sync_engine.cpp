@@ -55,6 +55,10 @@ RunResult run_synchronous(const Circuit& c, const Stimulus& stim,
     std::size_t env_pos = 0;
     StagedMessages staged;
     std::vector<Message> externals, outputs, drained;
+    // Per-destination send buffers, reused across windows: messages are
+    // batched locally and published with one mailbox lock per destination
+    // per window instead of one per message.
+    std::vector<std::vector<Message>> outbox(n);
 
     auto my_next = [&] {
       Tick t = blk.next_internal_time();
@@ -84,10 +88,15 @@ RunResult run_synchronous(const Circuit& c, const Stimulus& stim,
         blk.process_batch(t, externals, outputs);
         for (const Message& m : outputs)
           for (std::uint32_t dst : rig.routing.dests[m.gate]) {
-            inbox[dst].push(m);
+            outbox[dst].push_back(m);
             if (aud) aud->on_send(b, m.time);
           }
       }
+
+      // Flush the window's sends before the delivery barrier: push is
+      // synchronous, so everything is visible once all threads arrive.
+      for (std::uint32_t dst = 0; dst < n; ++dst)
+        inbox[dst].push_many(std::move(outbox[dst]));
 
       deliver_barrier.arrive(0);
       ++barrier_count[b];

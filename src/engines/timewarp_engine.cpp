@@ -150,8 +150,22 @@ RunResult run_timewarp(const Circuit& c, const Stimulus& stim,
 
     std::vector<TwMsg> drained;
     std::vector<Message> externals, outputs;
+    // Per-destination send buffers, reused across iterations: send() batches
+    // locally and publish() flushes, so each iteration pays one mailbox lock
+    // per destination instead of one per message. Appending in send order
+    // preserves the per-sender FIFO delivery that annihilation relies on.
+    std::vector<std::vector<TwMsg>> outbuf(n);
 
     auto publish = [&](std::uint64_t d_sent, std::uint64_t d_recv) {
+      // Flush before updating the record: a sent-count must never be
+      // published for a message that is not yet visible in its mailbox, or
+      // the GVT coordinator could see a matched cut with messages in flight.
+      for (std::uint32_t dst = 0; dst < n; ++dst) {
+        if (!outbuf[dst].empty()) {
+          inbox[dst].push_many(outbuf[dst]);
+          outbuf[dst].clear();
+        }
+      }
       const Tick lm = lp.local_min(horizon);
       published[b].rec.with([&](PublishedRec& pub) {
         pub.min_time = lm;
@@ -163,7 +177,7 @@ RunResult run_timewarp(const Circuit& c, const Stimulus& stim,
     auto send = [&](const TwMsg& m) {
       std::uint64_t count = 0;
       for (std::uint32_t dst : rig.routing.dests[m.msg.gate]) {
-        inbox[dst].push(m);
+        outbuf[dst].push_back(m);
         ++count;
       }
       if (aud && count > 0) aud->on_send(b, m.msg.time, count);

@@ -1,0 +1,74 @@
+#pragma once
+// The EventQueue concept: the single contract every pending-event set in
+// plsim satisfies. The paper's LP model (§II) makes this structure one of the
+// two hot paths of every synchronization family (the other is the inter-LP
+// message channel), so the kernels are written against the concept and the
+// concrete structure is a swappable policy:
+//
+//   HeapQueue    binary heap, O(log n) ops, tombstone cancellation — the
+//                reference implementation and the rollback workhorse baseline;
+//   TimingWheel  classic circular calendar, O(1) near-future scheduling,
+//                per-slot vectors, no cancellation;
+//   LadderQueue  indexed calendar with pooled intrusive storage, O(1)
+//                occupancy tracking and exact cancellation — the production
+//                pending set (allocation-free in steady state).
+//
+// Contract notes shared by all models:
+//   * event times are strictly below kTickInf ("never" is not schedulable);
+//   * next_time() returns the earliest pending time or kTickInf when empty
+//     (it may advance internal cursors);
+//   * pop_all_at(t, out) appends every event with time exactly t to `out`
+//     in ascending seq order and removes them; t must not precede an
+//     already-drained time.
+
+#include <concepts>
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "event/event.hpp"
+
+namespace plsim {
+
+template <typename Q>
+concept EventQueue = requires(Q q, const Q cq, const Event& e, Tick t,
+                              std::vector<Event>& out) {
+  { q.push(e) };
+  { cq.empty() } -> std::convertible_to<bool>;
+  { cq.size() } -> std::convertible_to<std::size_t>;
+  { q.next_time() } -> std::same_as<Tick>;
+  { q.pop_all_at(t, out) };
+};
+
+/// Queues an optimistic engine can roll back: cancellation of a still-pending
+/// event identified by its (time, seq) pair, and wholesale reset.
+template <typename Q>
+concept CancellableEventQueue =
+    EventQueue<Q> && requires(Q q, const Event& e) {
+      { q.cancel(e) } -> std::convertible_to<bool>;
+      { q.clear() };
+    };
+
+/// Runtime selector for the sequential kernels and benches (the
+/// queue-selection knob documented in EXPERIMENTS.md).
+enum class QueueKind : std::uint8_t { Ladder, Wheel, Heap };
+
+constexpr std::string_view queue_kind_name(QueueKind k) {
+  switch (k) {
+    case QueueKind::Ladder: return "ladder";
+    case QueueKind::Wheel: return "wheel";
+    case QueueKind::Heap: return "heap";
+  }
+  return "?";
+}
+
+/// Parse a knob value ("ladder" | "wheel" | "heap"). Returns true on success.
+constexpr bool parse_queue_kind(std::string_view s, QueueKind& out) {
+  if (s == "ladder") out = QueueKind::Ladder;
+  else if (s == "wheel") out = QueueKind::Wheel;
+  else if (s == "heap") out = QueueKind::Heap;
+  else return false;
+  return true;
+}
+
+}  // namespace plsim

@@ -4,8 +4,18 @@
 // Lazy deletion (tombstoning by event serial) is what lets an optimistic
 // engine *undo* an event insertion during rollback without an O(n) heap
 // rebuild: the tombstoned entry is dropped when it surfaces.
+//
+// Cancellation takes the full (time, seq) identity, not just the serial:
+// the timestamp is what lets skim() *retire* a tombstone that will never
+// surface — once the heap front passes a tombstone's time, the matching
+// event provably is not (or no longer is) in the heap. Without retirement, a
+// cancel of an already-popped or never-pushed event left a permanent
+// tombstone, so tombstones_ grew without bound across Time Warp rollbacks
+// and size() drifted (the PR-3 pending-set bugfix sweep).
 
+#include <algorithm>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "event/event.hpp"
@@ -45,23 +55,50 @@ class HeapQueue {
     while (next_time() == t) out.push_back(pop());
   }
 
-  /// Mark the event with serial `seq` deleted. The caller must know it is
-  /// still pending (optimistic rollback tracks this).
-  void erase(std::uint64_t seq) {
-    tombstones_.insert(seq);
-    --live_;
+  /// Cancel the pending event matching (e.time, e.seq). A cancel whose
+  /// target was already popped — or was never pushed but lies at a time the
+  /// heap has already drained past — is a harmless no-op and returns false.
+  /// A cancel at a still-pending time is tombstoned and presumed to match;
+  /// if it turns out stale, skim() retires it (and repairs size()) as soon
+  /// as the heap front passes its timestamp, so tombstones never accumulate.
+  bool cancel(const Event& e) {
+    if (heap_.empty() || e.time < heap_.front().time) return false;
+    if (!tombstones_.insert(e.seq).second) return false;  // duplicate cancel
+    tomb_times_.emplace_back(e.time, e.seq);
+    std::push_heap(tomb_times_.begin(), tomb_times_.end(), later_);
+    if (live_ > 0) --live_;
+    return true;
   }
+
+  /// Tombstones currently pending retirement (diagnostics / tests).
+  std::size_t tombstone_count() const { return tombstones_.size(); }
 
   void clear() {
     heap_.clear();
     tombstones_.clear();
+    tomb_times_.clear();
     live_ = 0;
   }
 
  private:
+  /// Drop tombstoned events surfacing at the heap front, and retire
+  /// tombstones whose time the front has passed (provably unmatched: every
+  /// pending event has time >= front time). Retiring a stale tombstone
+  /// restores the size() decrement its cancel took on credit.
   void skim() {
-    while (!heap_.empty() && tombstones_.erase(heap_.front().seq) > 0)
+    for (;;) {
+      const bool drained = heap_.empty();
+      const Tick front_time = drained ? kTickInf : heap_.front().time;
+      while (!tomb_times_.empty() &&
+             (drained || tomb_times_.front().first < front_time)) {
+        if (tombstones_.erase(tomb_times_.front().second) > 0) ++live_;
+        std::pop_heap(tomb_times_.begin(), tomb_times_.end(), later_);
+        tomb_times_.pop_back();
+      }
+      if (drained || tombstones_.empty()) return;
+      if (tombstones_.erase(heap_.front().seq) == 0) return;
       remove_top();
+    }
   }
 
   void remove_top() {
@@ -93,8 +130,14 @@ class HeapQueue {
     }
   }
 
+  using TombTime = std::pair<Tick, std::uint64_t>;
+  static constexpr auto later_ = [](const TombTime& a, const TombTime& b) {
+    return a > b;  // std::*_heap with this predicate = min-heap by time
+  };
+
   std::vector<Event> heap_;
   std::unordered_set<std::uint64_t> tombstones_;
+  std::vector<TombTime> tomb_times_;  ///< min-heap: retirement order
   std::size_t live_ = 0;
 };
 

@@ -1,0 +1,305 @@
+#pragma once
+// Indexed ladder/calendar pending-event set with pooled storage — the
+// production EventQueue of plsim.
+//
+// Logic simulation schedules almost exclusively into the near future (gate
+// delays are small integers), so a circular calendar gives O(1) push and
+// batch pop. This implementation removes the two costs the plain TimingWheel
+// pays on the hot path:
+//
+//   * per-slot std::vector churn — events live in a pooled free list of
+//     intrusive singly-linked nodes, so steady-state push/pop performs no
+//     allocation at all;
+//   * O(slots) emptiness scans — a per-word occupancy bitmap plus an exact
+//     in-window counter make "is the window empty" O(1) and "next occupied
+//     slot" a handful of word scans.
+//
+// Unlike TimingWheel it also supports the optimistic-rollback operations
+// (exact cancellation by (time, seq), wholesale clear, snapshot collection),
+// which is what lets BlockSimulator use one pending set for every
+// synchronization family. Within a timestamp, pops are emitted in ascending
+// seq order — bit-identical to HeapQueue's (time, seq) total order even when
+// rollback re-inserts events out of push order.
+//
+// Far-future events (beyond the `slots_`-wide window) overflow into a sorted
+// map of pooled lists keyed by time; they are spliced into the wheel when the
+// cursor reaches them. The cursor may also rewind (rollback re-inserts into
+// the simulated past): the window is flushed into the overflow map and
+// rebuilt at the earlier base — O(pending), but only on rollback.
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <vector>
+
+#include "core/types.hpp"
+#include "event/event.hpp"
+#include "util/error.hpp"
+
+namespace plsim {
+
+class LadderQueue {
+ public:
+  explicit LadderQueue(std::size_t slots = 256)
+      : slots_(std::bit_ceil(std::max<std::size_t>(slots, 2))),
+        mask_(slots_ - 1),
+        slot_(slots_),
+        words_((slots_ + 63) / 64, 0) {}
+
+  void push(const Event& e) {
+    PLSIM_CHECK(e.time < kTickInf, "LadderQueue: push at kTickInf ('never')");
+    if (e.time < base_) rewind_to(e.time);
+    if (e.time < window_end()) {
+      splice_append(slot_[e.time & mask_], alloc(e));
+      mark(e.time & mask_);
+      ++window_count_;
+    } else {
+      splice_append(overflow_[e.time], alloc(e));
+    }
+    ++size_;
+  }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  /// Earliest pending time, or kTickInf when empty. Advances the cursor.
+  Tick next_time() {
+    if (size_ == 0) return kTickInf;
+    if (window_count_ == 0) {
+      PLSIM_ASSERT(!overflow_.empty());
+      base_ = overflow_.begin()->first;
+      refill();
+      PLSIM_ASSERT(window_count_ > 0);
+    }
+    const std::size_t s0 = static_cast<std::size_t>(base_ & mask_);
+    std::size_t idx = find_occupied(s0);
+    Tick off;
+    if (idx != kNpos) {
+      off = static_cast<Tick>(idx - s0);
+    } else {
+      idx = find_occupied(0);
+      PLSIM_ASSERT(idx != kNpos);
+      off = static_cast<Tick>(slots_ - s0 + idx);
+    }
+    base_ = tick_add(base_, off);
+    // Advancing the cursor grew the window; pull in any overflow times that
+    // now fit, restoring the invariant that every overflow time lies at or
+    // past window_end(). All such times exceed the returned minimum.
+    if (!overflow_.empty()) refill();
+    return base_;
+  }
+
+  /// Pop every event scheduled at exactly time `t` (appended to `out` in
+  /// ascending seq order). Times at or past the cursor only; a `t` with no
+  /// pending events is a no-op, mirroring HeapQueue.
+  void pop_all_at(Tick t, std::vector<Event>& out) {
+    if (size_ == 0 || t < base_) return;
+    const std::size_t first = out.size();
+    if (t < window_end()) {
+      List& l = slot_[t & mask_];
+      if (l.head == kNil) return;
+      // Window invariant: an occupied slot holds exactly one distinct time.
+      PLSIM_ASSERT(pool_[l.head].ev.time == t);
+      const std::size_t popped = drain_list(l, out);
+      unmark(t & mask_);
+      window_count_ -= popped;
+      size_ -= popped;
+    } else {
+      // Reachable only when popping a far time the cursor never visited.
+      const auto it = overflow_.find(t);
+      if (it == overflow_.end()) return;
+      size_ -= drain_list(it->second, out);
+      overflow_.erase(it);
+    }
+    std::sort(out.begin() + static_cast<std::ptrdiff_t>(first), out.end(),
+              [](const Event& a, const Event& b) { return a.seq < b.seq; });
+  }
+
+  /// Remove the pending event matching (e.time, e.seq). Returns false (and
+  /// changes nothing) when no such event is pending — a cancel that races a
+  /// pop is a harmless no-op, never a leak.
+  bool cancel(const Event& e) {
+    if (size_ == 0 || e.time < base_) return false;
+    if (e.time < window_end()) {
+      List& l = slot_[e.time & mask_];
+      if (l.head != kNil && pool_[l.head].ev.time != e.time)
+        return false;  // slot occupied by a different time
+      if (!unlink(l, e.seq)) return false;
+      if (l.head == kNil) unmark(e.time & mask_);
+      --window_count_;
+    } else {
+      const auto it = overflow_.find(e.time);
+      if (it == overflow_.end() || !unlink(it->second, e.seq)) return false;
+      if (it->second.head == kNil) overflow_.erase(it);
+    }
+    --size_;
+    return true;
+  }
+
+  void clear() {
+    pool_.clear();
+    free_head_ = kNil;
+    for (List& l : slot_) l = List{};
+    std::fill(words_.begin(), words_.end(), 0u);
+    overflow_.clear();
+    base_ = 0;
+    window_count_ = 0;
+    size_ = 0;
+  }
+
+  /// Append every pending event to `out` without disturbing the queue —
+  /// deterministic order, FIFO within each timestamp (snapshot support).
+  void collect(std::vector<Event>& out) const {
+    const std::size_t s0 = static_cast<std::size_t>(base_ & mask_);
+    for (std::size_t i = 0; i < slots_; ++i) {
+      const List& l = slot_[(s0 + i) & mask_];
+      for (std::uint32_t n = l.head; n != kNil; n = pool_[n].next)
+        out.push_back(pool_[n].ev);
+    }
+    for (const auto& [t, l] : overflow_)
+      for (std::uint32_t n = l.head; n != kNil; n = pool_[n].next)
+        out.push_back(pool_[n].ev);
+  }
+
+  /// Events currently held in the cursor window (diagnostics / tests).
+  std::size_t window_size() const { return window_count_; }
+
+ private:
+  struct Node {
+    Event ev;
+    std::uint32_t next = kNil;
+  };
+  struct List {
+    std::uint32_t head = kNil;
+    std::uint32_t tail = kNil;
+  };
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+  Tick window_end() const { return tick_add(base_, static_cast<Tick>(slots_)); }
+
+  std::uint32_t alloc(const Event& e) {
+    std::uint32_t n;
+    if (free_head_ != kNil) {
+      n = free_head_;
+      free_head_ = pool_[n].next;
+    } else {
+      n = static_cast<std::uint32_t>(pool_.size());
+      pool_.emplace_back();
+    }
+    pool_[n].ev = e;
+    pool_[n].next = kNil;
+    return n;
+  }
+
+  void release(std::uint32_t n) {
+    pool_[n].next = free_head_;
+    free_head_ = n;
+  }
+
+  void mark(std::size_t s) { words_[s >> 6] |= (1ull << (s & 63)); }
+  void unmark(std::size_t s) { words_[s >> 6] &= ~(1ull << (s & 63)); }
+
+  /// First occupied slot index >= from (linear, no wrap), or kNpos.
+  std::size_t find_occupied(std::size_t from) const {
+    std::size_t w = from >> 6;
+    if (w >= words_.size()) return kNpos;
+    std::uint64_t word = words_[w] & (~0ull << (from & 63));
+    for (;;) {
+      if (word != 0)
+        return (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
+      if (++w >= words_.size()) return kNpos;
+      word = words_[w];
+    }
+  }
+
+  /// Move nodes of `l` into `out`; returns the count. Leaves `l` empty.
+  std::size_t drain_list(List& l, std::vector<Event>& out) {
+    std::size_t n = 0;
+    for (std::uint32_t i = l.head; i != kNil;) {
+      const std::uint32_t next = pool_[i].next;
+      out.push_back(pool_[i].ev);
+      release(i);
+      i = next;
+      ++n;
+    }
+    l = List{};
+    return n;
+  }
+
+  /// Unlink the node with serial `seq` from `l`. Returns whether found.
+  bool unlink(List& l, std::uint64_t seq) {
+    std::uint32_t prev = kNil;
+    for (std::uint32_t i = l.head; i != kNil; prev = i, i = pool_[i].next) {
+      if (pool_[i].ev.seq != seq) continue;
+      if (prev == kNil) l.head = pool_[i].next;
+      else pool_[prev].next = pool_[i].next;
+      if (l.tail == i) l.tail = prev;
+      release(i);
+      return true;
+    }
+    return false;
+  }
+
+  void splice_append(List& l, std::uint32_t n) {
+    if (l.tail == kNil) l.head = n;
+    else pool_[l.tail].next = n;
+    l.tail = n;
+  }
+
+  /// Move overflow entries that now fit the window into the wheel.
+  void refill() {
+    const Tick wend = window_end();
+    while (!overflow_.empty()) {
+      const auto it = overflow_.begin();
+      if (it->first >= wend) break;
+      List& dst = slot_[it->first & mask_];
+      // Distinct window times map to distinct slots, so dst holds either
+      // nothing or earlier-pushed events at the same time; splicing the
+      // overflow list at the tail preserves per-time FIFO order.
+      PLSIM_ASSERT(dst.head == kNil || pool_[dst.head].ev.time == it->first);
+      for (std::uint32_t n = it->second.head; n != kNil;) {
+        const std::uint32_t next = pool_[n].next;
+        pool_[n].next = kNil;
+        splice_append(dst, n);
+        ++window_count_;
+        n = next;
+      }
+      mark(it->first & mask_);
+      overflow_.erase(it);
+    }
+  }
+
+  /// Rollback support: move the whole window into the overflow map and
+  /// rebuild it at the earlier base time `t`.
+  void rewind_to(Tick t) {
+    for (std::size_t s = find_occupied(0); s != kNpos;
+         s = find_occupied(s + 1)) {
+      List& l = slot_[s];
+      while (l.head != kNil) {
+        const std::uint32_t n = l.head;
+        l.head = pool_[n].next;
+        pool_[n].next = kNil;
+        splice_append(overflow_[pool_[n].ev.time], n);
+      }
+      l = List{};
+      unmark(s);
+    }
+    window_count_ = 0;
+    base_ = t;
+    refill();
+  }
+
+  std::size_t slots_;
+  std::size_t mask_;
+  Tick base_ = 0;                 ///< cursor: no pending event precedes it
+  std::size_t size_ = 0;          ///< total pending events
+  std::size_t window_count_ = 0;  ///< pending events inside the wheel window
+  std::vector<Node> pool_;
+  std::uint32_t free_head_ = kNil;
+  std::vector<List> slot_;
+  std::vector<std::uint64_t> words_;  ///< slot occupancy bitmap
+  std::map<Tick, List> overflow_;
+};
+
+}  // namespace plsim

@@ -4,12 +4,20 @@
 // Logic simulation schedules almost exclusively into the near future (gate
 // delays are small integers), which makes a circular calendar O(1) per
 // operation; far-future events (e.g. next clock edge) overflow into a sorted
-// map. Used by the sequential simulator fast path and compared against the
-// binary heap in bench/micro_event_queue.
+// map. Kept as the classic per-slot-vector formulation for comparison against
+// LadderQueue (the pooled production variant) in bench/micro_event_queue; the
+// sequential wheel kernel can still select it via the queue knob.
+//
+// All window arithmetic saturates through tick_add: Tick is unsigned, so a
+// raw `now_ + slots_` near kTickInf wraps to a small value, mis-files
+// far-future events into the live window, and breaks the monotone-cursor
+// invariant (the PR-3 pending-set bugfix sweep; see tests/tick_wrap_test.cpp
+// and the TimingWheel cases in tests/event_queue_test.cpp).
 
 #include <map>
 #include <vector>
 
+#include "core/types.hpp"
 #include "event/event.hpp"
 #include "util/error.hpp"
 
@@ -24,8 +32,10 @@ class TimingWheel {
 
   void push(const Event& e) {
     PLSIM_CHECK(e.time >= now_, "TimingWheel: push into the past");
-    if (e.time < now_ + slots_) {
+    PLSIM_CHECK(e.time < kTickInf, "TimingWheel: push at kTickInf ('never')");
+    if (e.time < tick_add(now_, static_cast<Tick>(slots_))) {
       wheel_[e.time % slots_].push_back(e);
+      ++in_wheel_;
     } else {
       overflow_[e.time].push_back(e);
     }
@@ -44,18 +54,20 @@ class TimingWheel {
       for (const Event& e : slot)
         if (e.time == now_) return now_;
       if (!slot.empty()) {
-        // Re-file later-lap events (can only happen after refill).
-        std::vector<Event> keep;
-        for (const Event& e : slot)
-          if (e.time != now_) overflow_[e.time].push_back(e);
+        // Re-file later-lap events into the overflow map. Unreachable while
+        // the window arithmetic saturates (distinct in-window times map to
+        // distinct slots), but kept as defense in depth: a mis-filed event
+        // is re-sorted instead of surfacing at the wrong time.
+        in_wheel_ -= slot.size();
+        for (const Event& e : slot) overflow_[e.time].push_back(e);
         slot.clear();
       }
       ++now_;
       if (now_ % slots_ == 0) refill();
-      if (!overflow_.empty() && wheel_empty_hint()) {
+      if (!overflow_.empty() && in_wheel_ == 0) {
         // Jump the cursor to the next overflow time when the wheel is empty.
         const Tick t = overflow_.begin()->first;
-        if (t >= now_ + slots_) {
+        if (t >= tick_add(now_, static_cast<Tick>(slots_))) {
           now_ = t;
           refill();
         }
@@ -72,6 +84,7 @@ class TimingWheel {
       out.push_back(e);
       --size_;
     }
+    in_wheel_ -= slot.size();
     slot.clear();
   }
 
@@ -80,21 +93,17 @@ class TimingWheel {
     // Move overflow events that now fit into the wheel window.
     while (!overflow_.empty()) {
       auto it = overflow_.begin();
-      if (it->first >= now_ + slots_) break;
+      if (it->first >= tick_add(now_, static_cast<Tick>(slots_))) break;
       for (const Event& e : it->second) wheel_[e.time % slots_].push_back(e);
+      in_wheel_ += it->second.size();
       overflow_.erase(it);
     }
-  }
-
-  bool wheel_empty_hint() const {
-    for (const auto& slot : wheel_)
-      if (!slot.empty()) return false;
-    return true;
   }
 
   std::size_t slots_;
   Tick now_ = 0;
   std::size_t size_ = 0;
+  std::size_t in_wheel_ = 0;  ///< events currently filed in the wheel window
   std::vector<std::vector<Event>> wheel_;
   std::map<Tick, std::vector<Event>> overflow_;
 };

@@ -49,25 +49,21 @@ class Mailbox {
   }
 
   /// Move all pending items into `out` (appended). Returns count moved.
+  /// When `out` is empty the buffers are swapped instead of copied — the
+  /// consumer's reused scratch vector becomes the mailbox's next backing
+  /// store, so steady-state delivery moves pointers, not elements.
   std::size_t drain(std::vector<T>& out) {
     std::lock_guard<std::mutex> lock(mutex_);
-    const std::size_t n = items_.size();
-    out.insert(out.end(), std::make_move_iterator(items_.begin()),
-               std::make_move_iterator(items_.end()));
-    items_.clear();
-    return n;
+    return drain_locked(out);
   }
 
-  /// Block until an item arrives or `wake()` is called; then drain.
+  /// Block until an item arrives or `wake()` is called; then drain (with the
+  /// same swap fast path as drain()).
   std::size_t wait_and_drain(std::vector<T>& out) {
     std::unique_lock<std::mutex> lock(mutex_);
     cv_.wait(lock, [&] { return !items_.empty() || wakes_ > 0; });
     if (wakes_ > 0) --wakes_;
-    const std::size_t n = items_.size();
-    out.insert(out.end(), std::make_move_iterator(items_.begin()),
-               std::make_move_iterator(items_.end()));
-    items_.clear();
-    return n;
+    return drain_locked(out);
   }
 
   /// Release one pending or future wait_and_drain even with no items.
@@ -80,6 +76,18 @@ class Mailbox {
   }
 
  private:
+  std::size_t drain_locked(std::vector<T>& out) {
+    const std::size_t n = items_.size();
+    if (out.empty()) {
+      std::swap(out, items_);  // keeps out's capacity circulating
+    } else {
+      out.insert(out.end(), std::make_move_iterator(items_.begin()),
+                 std::make_move_iterator(items_.end()));
+      items_.clear();
+    }
+    return n;
+  }
+
   std::mutex mutex_;
   std::condition_variable cv_;
   std::vector<T> items_;

@@ -4,6 +4,7 @@
 // engine must reproduce its final values and waveform digest exactly.
 
 #include "core/types.hpp"
+#include "event/event_queue.hpp"
 #include "netlist/circuit.hpp"
 #include "stim/stimulus.hpp"
 
@@ -22,10 +23,16 @@ std::vector<std::uint32_t> presimulate_activity(const Circuit& c,
                                                 const Stimulus& stim,
                                                 std::size_t cycles);
 
-/// Independent re-implementation of the golden semantics on a timing-wheel
-/// pending set (no BlockSimulator involved). Exists as a cross-validation
-/// oracle: two implementations of the event-driven semantics must agree
-/// bit-for-bit, and the wheel path doubles as its macro-benchmark.
+/// Independent re-implementation of the golden semantics templated over the
+/// EventQueue concept (no BlockSimulator involved). Exists as a
+/// cross-validation oracle: two implementations of the event-driven semantics
+/// must agree bit-for-bit, and the kernel doubles as a macro-benchmark of the
+/// pending-set structures.
 RunResult simulate_golden_wheel(const Circuit& c, const Stimulus& stim);
+
+/// Same kernel with the pending set chosen at runtime — the queue-selection
+/// knob (ladder | wheel | heap) documented in EXPERIMENTS.md.
+RunResult simulate_golden_queue(const Circuit& c, const Stimulus& stim,
+                                QueueKind kind);
 
 }  // namespace plsim

@@ -1,12 +1,18 @@
-// Independent event-driven simulator over a timing wheel. Deliberately does
-// NOT reuse BlockSimulator: it re-implements the timestamp-batch semantics
-// (clock sampling on pre-edge values, apply-all-then-evaluate, selective
-// trace with projected-output deduplication) from the specification, so the
-// two implementations cross-validate each other.
+// Independent event-driven simulator templated over the EventQueue concept.
+// Deliberately does NOT reuse BlockSimulator: it re-implements the
+// timestamp-batch semantics (clock sampling on pre-edge values,
+// apply-all-then-evaluate, selective trace with projected-output
+// deduplication) from the specification, so the two implementations
+// cross-validate each other. Instantiated for TimingWheel (the historical
+// wheel oracle), LadderQueue and HeapQueue — the queue-selection knob of
+// EXPERIMENTS.md — and any pair of instantiations must agree bit-for-bit.
 
 #include <array>
 
 #include "core/environment.hpp"
+#include "event/event_queue.hpp"
+#include "event/heap_queue.hpp"
+#include "event/ladder_queue.hpp"
 #include "event/timing_wheel.hpp"
 #include "logic/gates.hpp"
 #include "seq/golden.hpp"
@@ -14,8 +20,10 @@
 #include "util/timer.hpp"
 
 namespace plsim {
+namespace {
 
-RunResult simulate_golden_wheel(const Circuit& c, const Stimulus& stim) {
+template <EventQueue Q>
+RunResult run_golden_kernel(const Circuit& c, const Stimulus& stim, Q queue) {
   WallTimer timer;
   const Tick horizon = stim.horizon();
   const Tick period = stim.period;
@@ -34,16 +42,15 @@ RunResult simulate_golden_wheel(const Circuit& c, const Stimulus& stim) {
     projected[g] = init;
   }
 
-  TimingWheel wheel(1024);
   std::uint64_t seq = 0;
   auto schedule = [&](Tick when, GateId g, Logic4 v, EventKind kind) {
     if (when >= horizon) return;
-    wheel.push(Event{when, g, v, kind, seq++});
+    queue.push(Event{when, g, v, kind, seq++});
   };
   if (!c.flip_flops().empty() && period < horizon)
     schedule(period, kNoGate, Logic4::X, EventKind::Clock);
 
-  // The wheel cursor only moves forward, so the stimulus is preloaded as
+  // The queue cursor only moves forward, so the stimulus is preloaded as
   // ordinary wire events (the classic organization of wheel-based
   // simulators) instead of being merged in from the side.
   for (const Message& m : environment_messages(c, stim))
@@ -57,11 +64,11 @@ RunResult simulate_golden_wheel(const Circuit& c, const Stimulus& stim) {
   std::array<Logic4, 64> fanin_vals;
 
   for (;;) {
-    const Tick t = wheel.next_time();
+    const Tick t = queue.next_time();
     if (t >= horizon || t == kTickInf) break;
 
     batch.clear();
-    wheel.pop_all_at(t, batch);
+    queue.pop_all_at(t, batch);
 
     ++epoch;
     eval_list.clear();
@@ -86,10 +93,10 @@ RunResult simulate_golden_wheel(const Circuit& c, const Stimulus& stim) {
         ++r.stats.dff_samples;
         if (q != projected[ff]) {
           projected[ff] = q;
-          schedule(t + c.delay(ff), ff, q, EventKind::Wire);
+          schedule(tick_add(t, c.delay(ff)), ff, q, EventKind::Wire);
         }
       }
-      schedule(t + period, kNoGate, Logic4::X, EventKind::Clock);
+      schedule(tick_add(t, period), kNoGate, Logic4::X, EventKind::Clock);
     }
 
     // Phase B: apply all wire changes at t (stimulus events included).
@@ -112,7 +119,7 @@ RunResult simulate_golden_wheel(const Circuit& c, const Stimulus& stim) {
       ++r.stats.evaluations;
       if (nv != projected[g]) {
         projected[g] = nv;
-        schedule(t + c.delay(g), g, nv, EventKind::Wire);
+        schedule(tick_add(t, c.delay(g)), g, nv, EventKind::Wire);
       }
     }
     ++r.stats.batches;
@@ -121,6 +128,22 @@ RunResult simulate_golden_wheel(const Circuit& c, const Stimulus& stim) {
   r.final_values = std::move(values);
   r.wall_seconds = timer.seconds();
   return r;
+}
+
+}  // namespace
+
+RunResult simulate_golden_wheel(const Circuit& c, const Stimulus& stim) {
+  return run_golden_kernel(c, stim, TimingWheel(1024));
+}
+
+RunResult simulate_golden_queue(const Circuit& c, const Stimulus& stim,
+                                QueueKind kind) {
+  switch (kind) {
+    case QueueKind::Wheel: return run_golden_kernel(c, stim, TimingWheel(1024));
+    case QueueKind::Heap: return run_golden_kernel(c, stim, HeapQueue{});
+    case QueueKind::Ladder: break;
+  }
+  return run_golden_kernel(c, stim, LadderQueue(1024));
 }
 
 }  // namespace plsim

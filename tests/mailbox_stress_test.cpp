@@ -107,6 +107,71 @@ TEST(Mailbox, ManyProducersOneConsumerConservesEveryItem) {
                 (static_cast<std::uint64_t>(tidx) << 32) | i);
 }
 
+TEST(Mailbox, DrainIntoEmptyVectorSwapsBuffers) {
+  // The batched-delivery fast path: draining into an empty vector swaps the
+  // backing stores instead of moving elements, and the consumer's capacity
+  // keeps circulating back into the mailbox.
+  Mailbox<int> mb;
+  std::vector<int> out;
+  out.reserve(1024);
+  const std::size_t cap = out.capacity();
+  mb.push_many(std::vector<int>{1, 2, 3});
+  EXPECT_EQ(mb.drain(out), 3u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+  // The reserved buffer went to the mailbox; the next push reuses it.
+  mb.push(7);
+  std::vector<int> out2;
+  EXPECT_EQ(mb.drain(out2), 1u);
+  EXPECT_GE(out2.capacity(), cap);
+  // Non-empty `out` falls back to appending — contents are never clobbered.
+  mb.push(8);
+  EXPECT_EQ(mb.drain(out), 1u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 8}));
+}
+
+TEST(Mailbox, PushManyPreservesPerSenderFifoOrder) {
+  // Time Warp annihilation requires that a positive message precede its
+  // anti-message at the consumer whenever the sender pushed it first —
+  // including when both travel in (different) batches.
+  constexpr std::uint64_t kItems = 50000;
+  Mailbox<std::uint64_t> mb;
+  std::atomic<bool> done{false};
+  std::vector<std::uint64_t> received;
+  received.reserve(kItems);
+
+  run_on_threads(2, [&](unsigned tid) {
+    if (tid == 0) {
+      std::vector<std::uint64_t> batch;
+      for (std::uint64_t i = 0; i < kItems; ++i) {
+        batch.push_back(i);
+        if (batch.size() >= 8) mb.push_many(std::move(batch));
+      }
+      mb.push_many(batch);
+      done.store(true, std::memory_order_release);
+      mb.wake();
+      return;
+    }
+    std::vector<std::uint64_t> out;
+    for (;;) {
+      const bool finished = done.load(std::memory_order_acquire);
+      out.clear();
+      mb.drain(out);
+      received.insert(received.end(), out.begin(), out.end());
+      if (finished && received.size() == kItems) break;
+      if (out.empty() && !finished) {
+        out.clear();
+        mb.wait_and_drain(out);
+        received.insert(received.end(), out.begin(), out.end());
+      }
+    }
+  });
+
+  ASSERT_EQ(received.size(), kItems);
+  // Single sender: delivery must be in exact push order.
+  EXPECT_TRUE(std::is_sorted(received.begin(), received.end()));
+  for (std::uint64_t i = 0; i < kItems; ++i) ASSERT_EQ(received[i], i);
+}
+
 TEST(Mailbox, WakeReleasesBlockedConsumerWithoutItems) {
   Mailbox<int> mb;
   std::atomic<bool> woke{false};

@@ -39,6 +39,15 @@ TEST_P(WheelOracle, WheelGoldenMatchesBlockGolden) {
   EXPECT_EQ(a.stats.evaluations, b.stats.evaluations);
   EXPECT_EQ(a.stats.dff_samples, b.stats.dff_samples);
   EXPECT_EQ(a.stats.batches, b.stats.batches);
+
+  // The queue-selection knob: every pending-set policy must reproduce the
+  // identical run, bit for bit.
+  for (QueueKind k : {QueueKind::Ladder, QueueKind::Wheel, QueueKind::Heap}) {
+    const RunResult q = simulate_golden_queue(c, s, k);
+    EXPECT_EQ(a.final_values, q.final_values) << queue_kind_name(k);
+    EXPECT_EQ(a.wave.digest(), q.wave.digest()) << queue_kind_name(k);
+    EXPECT_EQ(a.stats.batches, q.stats.batches) << queue_kind_name(k);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, WheelOracle,

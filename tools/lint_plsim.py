@@ -75,7 +75,7 @@ WAIVER = re.compile(r"//\s*plsim-lint:\s*allow\(([\w-]+)\)")
 _TICKISH = (
     r"(?:t|nt|when|tick|front|frontier|window|window_end|horizon|gvt|lvt"
     r"|promise|promised_?|lookahead_?|t_min|time|clock_period|period"
-    r"|processed_bound|delay\s*\([^()]*\))"
+    r"|processed_bound|now_?|base_?|delay\s*\([^()]*\))"
 )
 TICK_ADD = re.compile(
     rf"(?:[A-Za-z_]\w*(?:\.|->|::))*\b{_TICKISH}\s*\+(?![+=])"
@@ -123,7 +123,8 @@ def lint_file(path, rel, findings):
     in_parallel = rel.startswith("src/parallel/")
     in_rng = rel == "src/util/rng.hpp"
     in_engine_code = rel.startswith(("src/engines/", "src/vp/"))
-    in_tick_code = rel.startswith(("src/core/", "src/engines/", "src/vp/"))
+    in_tick_code = rel.startswith(
+        ("src/core/", "src/engines/", "src/vp/", "src/event/", "src/seq/"))
     in_src = rel.startswith("src/")
 
     # Names of unordered containers declared anywhere in this file.
