@@ -1,6 +1,8 @@
-// M2 — engineering microbenchmark: functional evaluation throughput in the
-// 4-valued scalar system vs the 64-lane bit-parallel system (the paper's
-// data-parallelism substrate).
+// M2 — engineering microbenchmark: functional evaluation throughput of the
+// interpretive switch kernels (eval_gate4/eval_gate9), the compiled LUT
+// kernels behind SimPlan (plan_eval4/plan_eval9 — the t_evaluate term the
+// VP cost model is calibrated from), and the 64-lane bit-parallel system
+// (the paper's data-parallelism substrate).
 
 #include <benchmark/benchmark.h>
 
@@ -10,6 +12,8 @@
 #include <vector>
 
 #include "logic/gates.hpp"
+#include "logic/logic9.hpp"
+#include "sim/tables.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -37,6 +41,67 @@ void BM_EvalGate4(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_EvalGate4);
+
+// Same mixed-op/arity stream as BM_EvalGate4, through the compiled tables —
+// the ratio of the two is the t_evaluate speedup fed into src/vp/cost.cpp.
+void BM_EvalPlan4(benchmark::State& state) {
+  const EvalTables4& tb = eval_tables4();
+  Rng rng(3);
+  std::vector<Logic4> values(4096);
+  for (auto& v : values)
+    v = static_cast<Logic4>(rng.uniform(4));
+  std::array<Logic4, 3> ins;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const GateType t = kTypes[i % std::size(kTypes)];
+    const std::size_t arity = (t == GateType::Not) ? 1 : 2;
+    ins[0] = values[i % values.size()];
+    ins[1] = values[(i * 7 + 1) % values.size()];
+    benchmark::DoNotOptimize(plan_eval4(tb, t, ins.data(), arity));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EvalPlan4);
+
+void BM_EvalGate9(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<Logic9> values(4096);
+  for (auto& v : values)
+    v = static_cast<Logic9>(rng.uniform(9));
+  std::array<Logic9, 3> ins;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const GateType t = kTypes[i % std::size(kTypes)];
+    const std::size_t arity = (t == GateType::Not) ? 1 : 2;
+    ins[0] = values[i % values.size()];
+    ins[1] = values[(i * 7 + 1) % values.size()];
+    benchmark::DoNotOptimize(eval_gate9(t, {ins.data(), arity}));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EvalGate9);
+
+void BM_EvalPlan9(benchmark::State& state) {
+  const EvalTables9& tb = eval_tables9();
+  Rng rng(3);
+  std::vector<Logic9> values(4096);
+  for (auto& v : values)
+    v = static_cast<Logic9>(rng.uniform(9));
+  std::array<Logic9, 3> ins;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const GateType t = kTypes[i % std::size(kTypes)];
+    const std::size_t arity = (t == GateType::Not) ? 1 : 2;
+    ins[0] = values[i % values.size()];
+    ins[1] = values[(i * 7 + 1) % values.size()];
+    benchmark::DoNotOptimize(plan_eval9(tb, t, ins.data(), arity));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EvalPlan9);
 
 void BM_EvalGate64(benchmark::State& state) {
   Rng rng(3);

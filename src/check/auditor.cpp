@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <sstream>
+#include <string_view>
 
 namespace plsim {
 
@@ -28,11 +29,39 @@ AuditViolation::AuditViolation(const std::string& engine, AuditRecord record,
       total_(total) {}
 
 Auditor::Auditor(std::string engine, std::uint32_t n_lps, Tick horizon)
-    : engine_(std::move(engine)), horizon_(horizon), lps_(n_lps) {}
+    : engine_(std::move(engine)),
+      horizon_(horizon),
+      lps_(n_lps),
+      sample_rate_(env_sample_rate()) {}
 
 bool Auditor::env_enabled() {
   const char* v = std::getenv("PLSIM_AUDIT");
   return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+std::uint32_t Auditor::env_sample_rate() {
+  const char* v = std::getenv("PLSIM_AUDIT");
+  if (v == nullptr) return 1;
+  const std::string_view s(v);
+  if (s.substr(0, 6) != "sample") return 1;
+  std::string_view rest = s.substr(6);
+  if (rest.empty()) return 64;  // PLSIM_AUDIT=sample: default 1-in-64
+  if (rest.front() != ':' && rest.front() != '=') return 1;
+  rest.remove_prefix(1);
+  std::uint64_t rate = 0;
+  for (const char ch : rest) {
+    if (ch < '0' || ch > '9') return 64;  // malformed suffix: default rate
+    rate = rate * 10 + static_cast<std::uint64_t>(ch - '0');
+    if (rate > 1'000'000) return 1'000'000;
+  }
+  return rate < 1 ? 1 : static_cast<std::uint32_t>(rate);
+}
+
+void Auditor::set_sample_rate(std::uint32_t rate) {
+  PLSIM_CHECK(!inflight_used_,
+              "set_sample_rate: cannot change the rate after in-flight "
+              "tracking has started");
+  sample_rate_ = rate < 1 ? 1 : rate;
 }
 
 void Auditor::violation(const char* invariant, std::uint32_t lp, Tick tick,
@@ -142,6 +171,7 @@ void Auditor::set_queue_left(std::uint32_t lp, std::uint64_t count) {
 }
 
 void Auditor::on_inflight_add(Tick t) {
+  if (!sampled(t)) return;
   inflight_used_ = true;
   inflight_.with([&](auto& v) {
     auto it = std::lower_bound(
@@ -155,6 +185,7 @@ void Auditor::on_inflight_add(Tick t) {
 }
 
 void Auditor::on_inflight_remove(Tick t) {
+  if (!sampled(t)) return;
   const bool found = inflight_.with([&](auto& v) {
     auto it = std::lower_bound(
         v.begin(), v.end(), t,

@@ -32,6 +32,15 @@
 // are safe from any thread. Violations are recorded, not thrown, so worker
 // threads keep running; `finalize()` (called after the join) throws a
 // structured AuditViolation naming the engine, LP, tick and invariant.
+//
+// The one exception to "cheap" is exact in-flight tracking
+// (on_inflight_add/remove): a locked sorted multiset touched once per
+// message. *Sampling mode* bounds that cost on long runs: with
+// PLSIM_AUDIT=sample (rate 64) or PLSIM_AUDIT=sample:N, only a
+// deterministic ~1/N subset of timestamps is tracked. Add and remove use
+// the same timestamp predicate, so the tracked subset stays internally
+// consistent — sampling can only *miss* violations, never invent them; all
+// counter-based conservation checks remain exact.
 
 #include <atomic>
 #include <cstdint>
@@ -73,8 +82,20 @@ class Auditor {
   Auditor(std::string engine, std::uint32_t n_lps, Tick horizon);
 
   /// True when the PLSIM_AUDIT environment variable is set to anything but
-  /// "" or "0" — forces auditing on for every engine run in the process.
+  /// "" or "0" — forces auditing on for every engine run in the process
+  /// (including "sample"/"sample:N", which enable auditing in sampling mode).
   static bool env_enabled();
+
+  /// In-flight sampling rate from PLSIM_AUDIT: 1 (track every timestamp)
+  /// unless the variable is "sample" (64) or "sample:N" / "sample=N" (N,
+  /// clamped to >= 1). Every Auditor starts at this rate.
+  static std::uint32_t env_sample_rate();
+
+  /// Override the in-flight sampling rate for this auditor. Must be called
+  /// before the first on_inflight_add — changing the rate mid-run would
+  /// desynchronize the add/remove predicates.
+  void set_sample_rate(std::uint32_t rate);
+  std::uint32_t sample_rate() const { return sample_rate_; }
 
   // ------------------------------------------------ per-LP (owner thread) --
   /// A timestamp batch at time t is about to be processed by `lp`.
@@ -150,6 +171,15 @@ class Auditor {
   void violation(const char* invariant, std::uint32_t lp, Tick tick,
                  std::string detail);
 
+  /// Deterministic timestamp predicate shared by on_inflight_add/remove:
+  /// tracking decisions depend only on (t, rate), so both sides agree.
+  bool sampled(Tick t) const {
+    if (sample_rate_ <= 1) return true;
+    const std::uint64_t h =
+        (static_cast<std::uint64_t>(t) * 0x9E3779B97F4A7C15ull) >> 33;
+    return h % sample_rate_ == 0;
+  }
+
   std::string engine_;
   Tick horizon_;
   std::vector<LpSlot> lps_;
@@ -161,6 +191,7 @@ class Auditor {
   // a sorted count map to avoid per-message allocation churn.
   Guarded<std::vector<std::pair<Tick, std::uint64_t>>> inflight_;
   bool inflight_used_ = false;
+  std::uint32_t sample_rate_ = 1;
 };
 
 }  // namespace plsim

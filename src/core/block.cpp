@@ -1,89 +1,69 @@
 #include "core/block.hpp"
 
 #include <algorithm>
-#include <array>
 
-#include "logic/gates.hpp"
 #include "util/error.hpp"
 
 namespace plsim {
+
+namespace {
+std::shared_ptr<const SimPlan> make_single_plan(
+    const Circuit& circuit, std::span<const GateId> owned,
+    std::span<const GateId> exported) {
+  std::vector<std::vector<GateId>> ob(1), ex(1);
+  ob[0].assign(owned.begin(), owned.end());
+  ex[0].assign(exported.begin(), exported.end());
+  return SimPlan::build(circuit, ob, ex);
+}
+}  // namespace
+
+BlockSimulator::BlockSimulator(std::shared_ptr<const SimPlan> plan,
+                               std::uint32_t block, const BlockOptions& opts)
+    : plan_(std::move(plan)),
+      bp_(&plan_->block(block)),
+      tables_(&eval_tables4()),
+      opts_(opts),
+      save_(opts.save) {
+  PLSIM_CHECK(opts_.horizon > 0, "BlockSimulator: horizon must be positive");
+  PLSIM_CHECK(opts_.clock_period >= 1, "BlockSimulator: bad clock period");
+  init_from_plan();
+}
 
 BlockSimulator::BlockSimulator(const Circuit& circuit,
                                std::span<const GateId> owned,
                                std::span<const GateId> exported,
                                const BlockOptions& opts)
-    : circuit_(circuit), opts_(opts), save_(opts.save) {
-  PLSIM_CHECK(opts_.horizon > 0, "BlockSimulator: horizon must be positive");
-  PLSIM_CHECK(opts_.clock_period >= 1, "BlockSimulator: bad clock period");
-  PLSIM_CHECK(!owned.empty(), "BlockSimulator: empty block");
+    : BlockSimulator(make_single_plan(circuit, owned, exported), 0, opts) {}
 
-  owned_.assign(owned.begin(), owned.end());
-  n_owned_ = owned_.size();
+void BlockSimulator::init_from_plan() {
+  values_.assign(bp_->init_values.begin(), bp_->init_values.end());
+  projected_.assign(values_.begin(), values_.begin() + bp_->n_owned);
+  eval_counts_.assign(bp_->n_owned, 0);
+  eval_mark_.assign(bp_->n_local, 0);
 
-  // Local index space: owned gates first, then boundary fanins.
-  local_index_.assign(circuit.gate_count(), kNotLocal);
-  local_gates_.reserve(n_owned_);
-  for (GateId g : owned_) {
-    PLSIM_CHECK(local_index_[g] == kNotLocal,
-                "BlockSimulator: gate owned twice");
-    local_index_[g] = static_cast<std::uint32_t>(local_gates_.size());
-    local_gates_.push_back(g);
-  }
-  for (GateId g : owned_) {
-    for (GateId f : circuit.fanins(g)) {
-      if (local_index_[f] == kNotLocal) {
-        local_index_[f] = static_cast<std::uint32_t>(local_gates_.size());
-        local_gates_.push_back(f);
-      }
-    }
-    if (circuit.type(g) == GateType::Dff) owned_dffs_.push_back(g);
-  }
-
-  exported_.assign(n_owned_, 0);
-  std::uint32_t lookahead = 1u << 30;
-  for (GateId g : exported) {
-    const std::uint32_t li = local_index_[g];
-    PLSIM_CHECK(li != kNotLocal && is_owned_local(li),
-                "BlockSimulator: exported gate not owned");
-    exported_[li] = 1;
-    lookahead = std::min(lookahead, circuit.delay(g));
-  }
-  export_lookahead_ = lookahead;
-
-  values_.resize(local_gates_.size());
-  for (std::size_t i = 0; i < local_gates_.size(); ++i) {
-    switch (circuit.type(local_gates_[i])) {
-      case GateType::Const0: values_[i] = Logic4::F; break;
-      case GateType::Const1: values_[i] = Logic4::T; break;
-      case GateType::Dff: values_[i] = Logic4::F; break;  // global reset
-      default: values_[i] = Logic4::X; break;
-    }
-  }
-  projected_.assign(values_.begin(), values_.begin() + n_owned_);
-  eval_counts_.assign(n_owned_, 0);
-  eval_mark_.assign(local_gates_.size(), 0);
-
-  if (!owned_dffs_.empty() && opts_.clock_period < opts_.horizon) {
+  if (!bp_->dffs.empty() && opts_.clock_period < opts_.horizon) {
     queue_.push(Event{opts_.clock_period, kNoGate, Logic4::X, EventKind::Clock,
                       seq_counter_++});
   }
 }
 
 std::uint32_t BlockSimulator::eval_count(GateId g) const {
-  const std::uint32_t li = local_index_[g];
-  PLSIM_CHECK(li != kNotLocal && li < n_owned_,
+  const std::uint32_t li = bp_->to_local[g];
+  PLSIM_CHECK(li != BlockPlan::kNotLocal && li < bp_->n_owned,
               "eval_count: gate not owned by this block");
   return eval_counts_[li];
 }
 
 Logic4 BlockSimulator::value(GateId g) const {
-  const std::uint32_t li = local_index_[g];
-  PLSIM_CHECK(li != kNotLocal, "BlockSimulator::value: gate not in scope");
+  const std::uint32_t li = bp_->to_local[g];
+  PLSIM_CHECK(li != BlockPlan::kNotLocal,
+              "BlockSimulator::value: gate not in scope");
   return values_[li];
 }
 
 void BlockSimulator::harvest_values(std::vector<Logic4>& into) const {
-  for (std::size_t i = 0; i < n_owned_; ++i) into[owned_[i]] = values_[i];
+  for (std::uint32_t i = 0; i < bp_->n_owned; ++i)
+    into[bp_->to_global[i]] = values_[i];
 }
 
 void BlockSimulator::log_wire(std::uint32_t li, Logic4 old_value) {
@@ -96,10 +76,10 @@ void BlockSimulator::log_projected(std::uint32_t li, Logic4 old_value) {
     undo_log_.push_back({UndoKind::Projected, li, old_value, {}});
 }
 
-void BlockSimulator::schedule(Tick when, GateId gate, Logic4 v,
+void BlockSimulator::schedule(Tick when, std::uint32_t li, Logic4 v,
                               EventKind kind) {
   if (when >= opts_.horizon) return;
-  const Event e{when, gate, v, kind, seq_counter_++};
+  const Event e{when, li, v, kind, seq_counter_++};
   queue_.push(e);
   if (save_ == SaveMode::Incremental)
     undo_log_.push_back({UndoKind::QueuePush, 0, Logic4::X, e});
@@ -120,23 +100,20 @@ void BlockSimulator::take_full_snapshot(Tick t) {
   snapshots_.push_back(std::move(snap));
 }
 
-void BlockSimulator::apply_wire(GateId gate, Logic4 v, Tick t) {
-  const std::uint32_t li = local_index_[gate];
-  PLSIM_ASSERT(li != kNotLocal);
+void BlockSimulator::apply_wire(std::uint32_t li, Logic4 v, Tick t) {
   log_wire(li, values_[li]);
   values_[li] = v;
   if (is_owned_local(li)) {
-    wave_.add(gate, t, static_cast<std::uint8_t>(v));
-    if (opts_.record_trace) trace_.push_back({t, gate, v});
+    wave_.add(bp_->to_global[li], t, static_cast<std::uint8_t>(v));
+    if (opts_.record_trace)
+      trace_.push_back({t, bp_->to_global[li], v});
   }
-  for (GateId s : circuit_.fanouts(gate)) {
-    const std::uint32_t ls = local_index_[s];
-    if (ls == kNotLocal || !is_owned_local(ls)) continue;
-    const GateType ty = circuit_.type(s);
-    if (!is_combinational(ty)) continue;  // DFFs sample only on clock edges
+  // Precompiled mark set: owned combinational consumers only, in circuit
+  // fanout order (DFFs sample on clock edges, never on fanin changes).
+  for (std::uint32_t ls : bp_->fanouts(li)) {
     if (eval_mark_[ls] != eval_epoch_) {
       eval_mark_[ls] = eval_epoch_;
-      eval_list_.push_back(s);
+      eval_list_.push_back(ls);
     }
   }
 }
@@ -171,19 +148,19 @@ BatchStats BlockSimulator::process_batch(Tick t,
   for (const Event& e : scratch_)
     if (e.kind == EventKind::Clock) clock_edge = true;
   if (clock_edge) {
-    for (GateId dff : owned_dffs_) {
-      const GateId d = circuit_.fanins(dff)[0];
-      const Logic4 q = z_to_x(values_[local_index_[d]]);
+    for (std::size_t i = 0; i < bp_->dffs.size(); ++i) {
+      const std::uint32_t li = bp_->dffs[i];
+      const Logic4 q = z_to_x(values_[bp_->dff_d[i]]);
       ++bs.dff_samples;
-      const std::uint32_t li = local_index_[dff];
       ++eval_counts_[li];
       if (q != projected_[li]) {
         log_projected(li, projected_[li]);
         projected_[li] = q;
-        const Tick when = tick_add(t, circuit_.delay(dff));
-        schedule(when, dff, q, EventKind::Wire);
-        if (exported_[li] && when < opts_.horizon) {
-          out.push_back(Message{when, dff, q});
+        const BlockPlan::Rec& rec = bp_->recs[li];
+        const Tick when = tick_add(t, rec.delay);
+        schedule(when, li, q, EventKind::Wire);
+        if (rec.exported && when < opts_.horizon) {
+          out.push_back(Message{when, bp_->to_global[li], q});
         }
       }
     }
@@ -191,7 +168,8 @@ BatchStats BlockSimulator::process_batch(Tick t,
              EventKind::Clock);
   }
 
-  // Phase B: apply all wire changes at t.
+  // Phase B: apply all wire changes at t. Internal events already carry
+  // local indices; external messages are translated on the boundary.
   for (const Event& e : scratch_) {
     if (e.kind != EventKind::Wire) continue;
     apply_wire(e.gate, e.value, t);
@@ -199,29 +177,29 @@ BatchStats BlockSimulator::process_batch(Tick t,
   }
   for (const Message& m : externals) {
     PLSIM_ASSERT(m.time == t);
-    apply_wire(m.gate, m.value, t);
+    const std::uint32_t li = bp_->to_local[m.gate];
+    PLSIM_ASSERT(li != BlockPlan::kNotLocal);
+    apply_wire(li, m.value, t);
     ++bs.wire_events;
   }
 
-  // Phase C: evaluate each affected owned gate once.
-  std::array<Logic4, 64> fanin_vals;
-  for (GateId g : eval_list_) {
-    const auto fi = circuit_.fanins(g);
-    PLSIM_ASSERT(fi.size() <= fanin_vals.size());
-    for (std::size_t k = 0; k < fi.size(); ++k)
-      fanin_vals[k] = values_[local_index_[fi[k]]];
-    const Logic4 nv =
-        eval_gate4(circuit_.type(g), {fanin_vals.data(), fi.size()});
+  // Phase C: evaluate each affected owned gate once, gathering operands
+  // straight from the partition-local value array through the compiled
+  // fanin index list.
+  for (const std::uint32_t li : eval_list_) {
+    const BlockPlan::Rec& rec = bp_->recs[li];
+    const Logic4 nv = plan_eval4_gather(
+        *tables_, rec.op, values_.data(),
+        bp_->fanin_locals.data() + rec.fanin_off, rec.fanin_count);
     ++bs.evaluations;
-    const std::uint32_t li = local_index_[g];
     ++eval_counts_[li];
     if (nv != projected_[li]) {
       log_projected(li, projected_[li]);
       projected_[li] = nv;
-      const Tick when = tick_add(t, circuit_.delay(g));
-      schedule(when, g, nv, EventKind::Wire);
-      if (exported_[li] && when < opts_.horizon) {
-        out.push_back(Message{when, g, nv});
+      const Tick when = tick_add(t, rec.delay);
+      schedule(when, li, nv, EventKind::Wire);
+      if (rec.exported && when < opts_.horizon) {
+        out.push_back(Message{when, bp_->to_global[li], nv});
       }
     }
   }

@@ -10,6 +10,13 @@
 // and how messages travel. That single shared semantics is what makes
 // bit-identical cross-engine equivalence testable.
 //
+// Since PR 4 the block runs on a compiled evaluation plan (sim/plan.hpp): a
+// BlockPlan view with partition-local value arrays, fanins/fanouts resolved
+// to local indices at plan-build time, and table-driven gate evaluation
+// (sim/tables.hpp) instead of interpretive switch dispatch. Internal events
+// carry *local* gate indices; global GateIds appear only on the
+// message/trace/waveform boundary.
+//
 // Semantics per timestamp batch at time t:
 //   phase A  on a clock edge, every owned DFF samples its D input using
 //            pre-t values and schedules Q at t + delay(dff);
@@ -21,6 +28,7 @@
 //            emitted immediately as a Message when the gate is exported.
 // Phase ordering makes the result independent of message arrival order.
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -28,6 +36,7 @@
 #include "event/ladder_queue.hpp"
 #include "logic/value.hpp"
 #include "netlist/circuit.hpp"
+#include "sim/plan.hpp"
 
 namespace plsim {
 
@@ -50,8 +59,13 @@ struct BatchStats {
 
 class BlockSimulator {
  public:
-  /// `owned` — gates this block simulates. `exported` — owned gates whose
-  /// changes must be emitted as messages (consumed by other blocks).
+  /// Run block `block` of a shared compiled plan (the engines' path: one
+  /// SimPlan per run, one BlockPlan view per block).
+  BlockSimulator(std::shared_ptr<const SimPlan> plan, std::uint32_t block,
+                 const BlockOptions& opts);
+
+  /// Convenience: compile a dedicated single-block plan for `owned` gates.
+  /// `exported` — owned gates whose changes must be emitted as messages.
   BlockSimulator(const Circuit& circuit, std::span<const GateId> owned,
                  std::span<const GateId> exported, const BlockOptions& opts);
 
@@ -90,7 +104,9 @@ class BlockSimulator {
 
   /// True if `g` is owned by or a boundary input of this block — i.e. the
   /// block must be told about changes of `g`.
-  bool in_scope(GateId g) const { return local_index_[g] != kNotLocal; }
+  bool in_scope(GateId g) const {
+    return bp_->to_local[g] != BlockPlan::kNotLocal;
+  }
 
   /// Copy owned gates' current values into a circuit-wide array.
   void harvest_values(std::vector<Logic4>& into) const;
@@ -106,13 +122,13 @@ class BlockSimulator {
 
   /// Smallest gate delay among exported gates: the lookahead a conservative
   /// engine may promise on this block's outgoing channels.
-  std::uint32_t export_lookahead() const { return export_lookahead_; }
+  std::uint32_t export_lookahead() const { return bp_->export_lookahead; }
 
-  std::span<const GateId> owned() const { return owned_; }
+  std::span<const GateId> owned() const {
+    return {bp_->to_global.data(), bp_->n_owned};
+  }
 
  private:
-  static constexpr std::uint32_t kNotLocal = static_cast<std::uint32_t>(-1);
-
   enum class UndoKind : std::uint8_t {
     WireValue,   // restore values_[a] = old value b
     Projected,   // restore projected_[a] = old value b
@@ -142,26 +158,20 @@ class BlockSimulator {
     WaveHash wave;
   };
 
-  std::uint32_t local(GateId g) const { return local_index_[g]; }
-  bool is_owned_local(std::uint32_t li) const { return li < n_owned_; }
+  bool is_owned_local(std::uint32_t li) const { return li < bp_->n_owned; }
 
-  void schedule(Tick when, GateId gate, Logic4 v, EventKind kind);
+  void init_from_plan();
+  void schedule(Tick when, std::uint32_t li, Logic4 v, EventKind kind);
   void log_wire(std::uint32_t li, Logic4 old_value);
   void log_projected(std::uint32_t li, Logic4 old_value);
-  void apply_wire(GateId gate, Logic4 v, Tick t);
+  void apply_wire(std::uint32_t li, Logic4 v, Tick t);
   void take_full_snapshot(Tick t);
 
-  const Circuit& circuit_;
+  std::shared_ptr<const SimPlan> plan_;
+  const BlockPlan* bp_;                      // this block's compiled view
+  const EvalTables4* tables_;
   BlockOptions opts_;
   SaveMode save_;
-
-  std::vector<GateId> owned_;
-  std::vector<GateId> owned_dffs_;
-  std::vector<std::uint32_t> local_index_;   // global -> local (kNotLocal)
-  std::vector<GateId> local_gates_;          // local -> global
-  std::size_t n_owned_ = 0;
-  std::vector<std::uint8_t> exported_;       // by local index (owned only)
-  std::uint32_t export_lookahead_ = 1;
 
   std::vector<Logic4> values_;               // by local index
   std::vector<Logic4> projected_;            // by local index (owned only)
@@ -171,10 +181,10 @@ class BlockSimulator {
 
   std::vector<Event> scratch_;               // popped events of current batch
 
-  // Scratch for phase C deduplication.
+  // Scratch for phase C deduplication (local indices).
   std::vector<std::uint32_t> eval_mark_;     // by local index
   std::uint32_t eval_epoch_ = 0;
-  std::vector<GateId> eval_list_;
+  std::vector<std::uint32_t> eval_list_;
 
   // Rollback history.
   std::vector<UndoEntry> undo_log_;

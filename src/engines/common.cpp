@@ -15,10 +15,10 @@ BlockRig make_rig(const Circuit& c, const Stimulus& stim, const Partition& p,
 
   const auto owned = p.blocks(c);
   const auto exported = p.exported(c);
+  rig.plan = SimPlan::build(c, owned, exported);
   rig.blocks.reserve(p.n_blocks);
   for (std::uint32_t b = 0; b < p.n_blocks; ++b)
-    rig.blocks.push_back(
-        std::make_unique<BlockSimulator>(c, owned[b], exported[b], base));
+    rig.blocks.push_back(std::make_unique<BlockSimulator>(rig.plan, b, base));
 
   const std::vector<Message> env = environment_messages(c, stim);
   rig.env.resize(p.n_blocks);

@@ -26,6 +26,9 @@ using StagedMessages =
     std::priority_queue<Message, std::vector<Message>, MessageLater>;
 
 struct BlockRig {
+  /// The compiled evaluation plan every block runs on — built once per run,
+  /// shared read-only across engine threads.
+  std::shared_ptr<const SimPlan> plan;
   std::vector<std::unique_ptr<BlockSimulator>> blocks;
   /// Environment (stimulus) feed per block, sorted by time; consumed by index.
   std::vector<std::vector<Message>> env;

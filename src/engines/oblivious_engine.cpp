@@ -2,8 +2,11 @@
 // is evaluated at every cycle, level by level, with a barrier between levels.
 // Zero-delay cycle semantics (matches seq/oblivious.hpp, not the event-driven
 // timing engines); the engine registry therefore keeps it separate.
+//
+// Runs on the compiled plan: partition-first renumbering gives every block a
+// dense, cache-local slice of the shared plan-indexed value array, the level
+// schedule holds plan indices, and evaluation goes through the LUT kernels.
 
-#include <array>
 #include <optional>
 
 #include "check/auditor.hpp"
@@ -13,6 +16,7 @@
 #include "logic/gates.hpp"
 #include "parallel/barrier.hpp"
 #include "parallel/threads.hpp"
+#include "sim/plan.hpp"
 #include "util/timer.hpp"
 
 namespace plsim {
@@ -23,6 +27,10 @@ RunResult run_oblivious_parallel(const Circuit& c, const Stimulus& stim,
   validate_partition(c, p);
   const std::uint32_t n = p.n_blocks;
 
+  const auto plan = SimPlan::build(c, p.blocks(c));
+  const SimPlan& sp = *plan;
+  const EvalTables4& tb = eval_tables4();
+
   // The oblivious engine exchanges no messages and records no trace; the
   // auditor checks that each worker sweeps cycles in causal order and that
   // the sweep conserved evaluations (one per combinational gate per cycle)
@@ -31,37 +39,37 @@ RunResult run_oblivious_parallel(const Circuit& c, const Stimulus& stim,
   if (cfg.audit || Auditor::env_enabled())
     aud.emplace("oblivious-parallel", n, stim.vectors.size() + 1);
 
-  // Shared state; cross-thread reads are ordered by the level barriers.
-  std::vector<Logic4> values(c.gate_count(), Logic4::X);
-  for (GateId g = 0; g < c.gate_count(); ++g) {
-    if (c.type(g) == GateType::Const0) values[g] = Logic4::F;
-    if (c.type(g) == GateType::Const1) values[g] = Logic4::T;
-    if (c.type(g) == GateType::Dff) values[g] = Logic4::F;
+  // Shared state in plan-index space: block b owns one dense slice.
+  // Cross-thread reads are ordered by the level barriers.
+  std::vector<Logic4> values(sp.size(), Logic4::X);
+  for (std::uint32_t pi = 0; pi < sp.size(); ++pi)
+    values[pi] = plan_initial_value(sp.gate(pi).op);
+
+  // Plan indices per (level, thread), in level order.
+  const std::uint32_t depth = c.depth();
+  std::vector<std::vector<std::vector<std::uint32_t>>> schedule(
+      depth + 1, std::vector<std::vector<std::uint32_t>>(n));
+  for (std::uint32_t pi : sp.level_order()) {
+    const PlanGate& rec = sp.gate(pi);
+    if (rec.is_comb) schedule[rec.level][sp.block_of(pi)].push_back(pi);
   }
 
-  // Gates per (level, thread), in level order.
-  const std::uint32_t depth = c.depth();
-  std::vector<std::vector<std::vector<GateId>>> schedule(
-      depth + 1, std::vector<std::vector<GateId>>(n));
-  for (GateId g : c.level_order())
-    if (is_combinational(c.type(g)))
-      schedule[c.level(g)][p.block_of[g]].push_back(g);
+  std::vector<std::vector<std::uint32_t>> dff_of(n);
+  for (std::uint32_t ff : sp.dffs()) dff_of[sp.block_of(ff)].push_back(ff);
+  std::vector<Logic4> next_q(sp.size(), Logic4::F);
 
-  std::vector<std::vector<GateId>> dff_of(n);
-  for (GateId ff : c.flip_flops()) dff_of[p.block_of[ff]].push_back(ff);
-  std::vector<Logic4> next_q(c.gate_count(), Logic4::F);
+  std::vector<std::uint32_t> pi_plan;
+  for (GateId g : c.primary_inputs()) pi_plan.push_back(sp.plan_of(g));
 
   MinReduceBarrier barrier(n);
   std::vector<std::uint64_t> evals(n, 0), barriers(n, 0);
-  const auto pis = c.primary_inputs();
 
   run_on_threads(n, [&](unsigned b) {
-    std::array<Logic4, 64> fanin_vals;
     for (std::size_t cycle = 0; cycle < stim.vectors.size() + 1; ++cycle) {
       if (b == 0 && cycle < stim.vectors.size()) {
         const auto& vec = stim.vectors[cycle];
-        for (std::size_t i = 0; i < pis.size() && i < vec.size(); ++i)
-          values[pis[i]] = vec[i];
+        for (std::size_t i = 0; i < pi_plan.size() && i < vec.size(); ++i)
+          values[pi_plan[i]] = vec[i];
       }
       barrier.arrive(0);
       ++barriers[b];
@@ -70,11 +78,11 @@ RunResult run_oblivious_parallel(const Circuit& c, const Stimulus& stim,
         aud->on_barrier(b);
       }
       for (std::uint32_t lv = 1; lv <= depth; ++lv) {
-        for (GateId g : schedule[lv][b]) {
-          const auto fi = c.fanins(g);
-          for (std::size_t k = 0; k < fi.size(); ++k)
-            fanin_vals[k] = values[fi[k]];
-          values[g] = eval_gate4(c.type(g), {fanin_vals.data(), fi.size()});
+        for (std::uint32_t pi : schedule[lv][b]) {
+          const PlanGate& rec = sp.gate(pi);
+          values[pi] = plan_eval4_gather(tb, rec.op, values.data(),
+                                         sp.fanins(rec).data(),
+                                         rec.fanin_count);
           ++evals[b];
         }
         barrier.arrive(0);
@@ -85,18 +93,20 @@ RunResult run_oblivious_parallel(const Circuit& c, const Stimulus& stim,
         }
       }
       if (cycle < stim.vectors.size()) {
-        for (GateId ff : dff_of[b])
-          next_q[ff] = z_to_x(values[c.fanins(ff)[0]]);
+        for (std::uint32_t ff : dff_of[b])
+          next_q[ff] = z_to_x(values[sp.fanins(sp.gate(ff))[0]]);
         barrier.arrive(0);
         ++barriers[b];
         if (aud) aud->on_barrier(b);
-        for (GateId ff : dff_of[b]) values[ff] = next_q[ff];
+        for (std::uint32_t ff : dff_of[b]) values[ff] = next_q[ff];
       }
     }
   });
 
   RunResult r;
-  r.final_values = std::move(values);
+  r.final_values.assign(c.gate_count(), Logic4::X);
+  for (std::uint32_t pi = 0; pi < sp.size(); ++pi)
+    r.final_values[sp.gate_of(pi)] = values[pi];
   for (std::uint32_t b = 0; b < n; ++b) {
     r.stats.evaluations += evals[b];
     r.stats.barriers += barriers[b];
@@ -105,8 +115,8 @@ RunResult run_oblivious_parallel(const Circuit& c, const Stimulus& stim,
   if (aud) {
     // Constants are combinational but sit at level 0 and are never swept.
     std::uint64_t swept = 0;
-    for (GateId g = 0; g < c.gate_count(); ++g)
-      if (is_combinational(c.type(g)) && c.level(g) > 0) ++swept;
+    for (std::uint32_t pi = 0; pi < sp.size(); ++pi)
+      if (sp.gate(pi).is_comb && sp.gate(pi).level > 0) ++swept;
     aud->expect_evaluations(swept * (stim.vectors.size() + 1));
     aud->finalize();
   }

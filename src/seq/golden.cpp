@@ -1,10 +1,10 @@
 #include "seq/golden.hpp"
 
 #include <algorithm>
-#include <numeric>
 
 #include "core/block.hpp"
 #include "core/environment.hpp"
+#include "sim/plan.hpp"
 #include "util/timer.hpp"
 
 namespace plsim {
@@ -13,15 +13,12 @@ RunResult simulate_golden(const Circuit& c, const Stimulus& stim,
                           const GoldenOptions& opts) {
   WallTimer timer;
 
-  std::vector<GateId> all(c.gate_count());
-  std::iota(all.begin(), all.end(), 0u);
-
   BlockOptions bopts;
   bopts.clock_period = stim.period;
   bopts.horizon = stim.horizon();
   bopts.save = SaveMode::None;
   bopts.record_trace = opts.record_trace;
-  BlockSimulator block(c, all, {}, bopts);
+  BlockSimulator block(SimPlan::build_whole(c), 0, bopts);
 
   const std::vector<Message> env = environment_messages(c, stim);
   std::size_t env_pos = 0;
@@ -55,12 +52,10 @@ std::vector<std::uint32_t> presimulate_activity(const Circuit& c,
   Stimulus shortened = stim;
   if (shortened.vectors.size() > cycles) shortened.vectors.resize(cycles);
 
-  std::vector<GateId> all(c.gate_count());
-  std::iota(all.begin(), all.end(), 0u);
   BlockOptions bopts;
   bopts.clock_period = shortened.period;
   bopts.horizon = shortened.horizon();
-  BlockSimulator block(c, all, {}, bopts);
+  BlockSimulator block(SimPlan::build_whole(c), 0, bopts);
 
   const std::vector<Message> env = environment_messages(c, shortened);
   std::size_t env_pos = 0;

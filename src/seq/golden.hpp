@@ -35,4 +35,10 @@ RunResult simulate_golden_wheel(const Circuit& c, const Stimulus& stim);
 RunResult simulate_golden_queue(const Circuit& c, const Stimulus& stim,
                                 QueueKind kind);
 
+/// The same independent kernel in its original *interpretive* formulation
+/// (eval_gate4 switch dispatch, Circuit accessors; no compiled plan).
+/// Retained as the reference oracle for the plan differential tests: every
+/// plan-based executor must match it bit-for-bit.
+RunResult simulate_golden_interp(const Circuit& c, const Stimulus& stim);
+
 }  // namespace plsim

@@ -6,6 +6,14 @@
 // cross-validate each other. Instantiated for TimingWheel (the historical
 // wheel oracle), LadderQueue and HeapQueue — the queue-selection knob of
 // EXPERIMENTS.md — and any pair of instantiations must agree bit-for-bit.
+//
+// The kernel is additionally templated on UsePlan: the default path runs on
+// the compiled SimPlan (flat gate records, table-driven evaluation — the
+// production configuration), while the UsePlan=false path keeps the original
+// interpretive eval_gate4 / Circuit-accessor formulation and is exposed as
+// simulate_golden_interp, the oracle the plan differential tests diff
+// against. build_whole assigns plan index == GateId, so both paths share one
+// GateId-indexed state layout and must agree bit-for-bit.
 
 #include <array>
 
@@ -16,28 +24,32 @@
 #include "event/timing_wheel.hpp"
 #include "logic/gates.hpp"
 #include "seq/golden.hpp"
+#include "sim/plan.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
 
 namespace plsim {
 namespace {
 
-template <EventQueue Q>
+template <EventQueue Q, bool UsePlan = true>
 RunResult run_golden_kernel(const Circuit& c, const Stimulus& stim, Q queue) {
   WallTimer timer;
   const Tick horizon = stim.horizon();
   const Tick period = stim.period;
 
+  std::shared_ptr<const SimPlan> plan;
+  const SimPlan* sp = nullptr;
+  const EvalTables4* tb = nullptr;
+  if constexpr (UsePlan) {
+    plan = SimPlan::build_whole(c);  // plan index == GateId
+    sp = plan.get();
+    tb = &eval_tables4();
+  }
+
   std::vector<Logic4> values(c.gate_count(), Logic4::X);
   std::vector<Logic4> projected(c.gate_count(), Logic4::X);
   for (GateId g = 0; g < c.gate_count(); ++g) {
-    Logic4 init = Logic4::X;
-    switch (c.type(g)) {
-      case GateType::Const0: init = Logic4::F; break;
-      case GateType::Const1: init = Logic4::T; break;
-      case GateType::Dff: init = Logic4::F; break;
-      default: break;
-    }
+    const Logic4 init = plan_initial_value(c.type(g));
     values[g] = init;
     projected[g] = init;
   }
@@ -73,12 +85,20 @@ RunResult run_golden_kernel(const Circuit& c, const Stimulus& stim, Q queue) {
     ++epoch;
     eval_list.clear();
 
+    auto mark = [&](GateId s) {
+      if (eval_mark[s] != epoch) {
+        eval_mark[s] = epoch;
+        eval_list.push_back(s);
+      }
+    };
     auto mark_fanouts = [&](GateId g) {
-      for (GateId s : c.fanouts(g)) {
-        if (!is_combinational(c.type(s))) continue;
-        if (eval_mark[s] != epoch) {
-          eval_mark[s] = epoch;
-          eval_list.push_back(s);
+      if constexpr (UsePlan) {
+        // Compiled fanout list: combinational consumers only, pre-filtered.
+        for (std::uint32_t s : sp->fanouts(sp->gate(g))) mark(s);
+      } else {
+        for (GateId s : c.fanouts(g)) {
+          if (!is_combinational(c.type(s))) continue;
+          mark(s);
         }
       }
     };
@@ -110,16 +130,25 @@ RunResult run_golden_kernel(const Circuit& c, const Stimulus& stim, Q queue) {
 
     // Phase C: evaluate each affected gate once.
     for (GateId g : eval_list) {
-      const auto fi = c.fanins(g);
-      PLSIM_ASSERT(fi.size() <= fanin_vals.size());
-      for (std::size_t k = 0; k < fi.size(); ++k)
-        fanin_vals[k] = values[fi[k]];
-      const Logic4 nv =
-          eval_gate4(c.type(g), {fanin_vals.data(), fi.size()});
+      Logic4 nv;
+      Tick delay;
+      if constexpr (UsePlan) {
+        const PlanGate& rec = sp->gate(g);
+        nv = plan_eval4_gather(*tb, rec.op, values.data(),
+                               sp->fanins(rec).data(), rec.fanin_count);
+        delay = rec.delay;
+      } else {
+        const auto fi = c.fanins(g);
+        PLSIM_ASSERT(fi.size() <= fanin_vals.size());
+        for (std::size_t k = 0; k < fi.size(); ++k)
+          fanin_vals[k] = values[fi[k]];
+        nv = eval_gate4(c.type(g), {fanin_vals.data(), fi.size()});
+        delay = c.delay(g);
+      }
       ++r.stats.evaluations;
       if (nv != projected[g]) {
         projected[g] = nv;
-        schedule(tick_add(t, c.delay(g)), g, nv, EventKind::Wire);
+        schedule(tick_add(t, delay), g, nv, EventKind::Wire);
       }
     }
     ++r.stats.batches;
@@ -144,6 +173,10 @@ RunResult simulate_golden_queue(const Circuit& c, const Stimulus& stim,
     case QueueKind::Ladder: break;
   }
   return run_golden_kernel(c, stim, LadderQueue(1024));
+}
+
+RunResult simulate_golden_interp(const Circuit& c, const Stimulus& stim) {
+  return run_golden_kernel<LadderQueue, false>(c, stim, LadderQueue(1024));
 }
 
 }  // namespace plsim

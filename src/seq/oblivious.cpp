@@ -1,33 +1,36 @@
 #include "seq/oblivious.hpp"
 
-#include <array>
-
 #include "logic/gates.hpp"
+#include "sim/plan.hpp"
 #include "util/error.hpp"
 
 namespace plsim {
 
+// Both sweeps run on the compiled plan (build_whole assigns plan index ==
+// GateId, so the value arrays stay GateId-indexed): flat PlanGate records in
+// level order, operands gathered through the compiled fanin lists, gate
+// functions from the evaluation LUTs. Arity-0 constants evaluate through the
+// same table path (unary[op][0]).
+
 ObliviousResult simulate_oblivious(const Circuit& c, const Stimulus& stim,
                                    bool keep_po_trace) {
   ObliviousResult r;
+  const auto plan = SimPlan::build_whole(c);
+  const SimPlan& sp = *plan;
+  const EvalTables4& tb = eval_tables4();
+
   std::vector<Logic4> values(c.gate_count(), Logic4::X);
-  for (GateId g = 0; g < c.gate_count(); ++g) {
-    if (c.type(g) == GateType::Const0) values[g] = Logic4::F;
-    if (c.type(g) == GateType::Const1) values[g] = Logic4::T;
-    if (c.type(g) == GateType::Dff) values[g] = Logic4::F;  // global reset
-  }
+  for (GateId g = 0; g < c.gate_count(); ++g)
+    values[g] = plan_initial_value(c.type(g));
 
   const auto pis = c.primary_inputs();
-  std::array<Logic4, 64> fanin_vals;
 
   auto settle = [&] {
-    for (GateId g : c.level_order()) {
-      if (!is_combinational(c.type(g))) continue;
-      const auto fi = c.fanins(g);
-      PLSIM_ASSERT(fi.size() <= fanin_vals.size());
-      for (std::size_t k = 0; k < fi.size(); ++k)
-        fanin_vals[k] = values[fi[k]];
-      values[g] = eval_gate4(c.type(g), {fanin_vals.data(), fi.size()});
+    for (std::uint32_t p : sp.level_order()) {
+      const PlanGate& rec = sp.gate(p);
+      if (!rec.is_comb) continue;
+      values[p] = plan_eval4_gather(tb, rec.op, values.data(),
+                                    sp.fanins(rec).data(), rec.fanin_count);
       ++r.evaluations;
     }
   };
@@ -58,6 +61,10 @@ ObliviousResult simulate_oblivious(const Circuit& c, const Stimulus& stim,
 
 Oblivious9Result simulate_oblivious9(const Circuit& c, const Stimulus& stim) {
   Oblivious9Result r;
+  const auto plan = SimPlan::build_whole(c);
+  const SimPlan& sp = *plan;
+  const EvalTables9& tb = eval_tables9();
+
   std::vector<Logic9> values(c.gate_count(), Logic9::U);
   for (GateId g = 0; g < c.gate_count(); ++g) {
     if (c.type(g) == GateType::Const0) values[g] = Logic9::F;
@@ -66,16 +73,13 @@ Oblivious9Result simulate_oblivious9(const Circuit& c, const Stimulus& stim) {
   }
 
   const auto pis = c.primary_inputs();
-  std::array<Logic9, 64> fanin_vals;
 
   auto settle = [&] {
-    for (GateId g : c.level_order()) {
-      if (!is_combinational(c.type(g))) continue;
-      const auto fi = c.fanins(g);
-      PLSIM_ASSERT(fi.size() <= fanin_vals.size());
-      for (std::size_t k = 0; k < fi.size(); ++k)
-        fanin_vals[k] = values[fi[k]];
-      values[g] = eval_gate9(c.type(g), {fanin_vals.data(), fi.size()});
+    for (std::uint32_t p : sp.level_order()) {
+      const PlanGate& rec = sp.gate(p);
+      if (!rec.is_comb) continue;
+      values[p] = plan_eval9_gather(tb, rec.op, values.data(),
+                                    sp.fanins(rec).data(), rec.fanin_count);
       ++r.evaluations;
     }
   };

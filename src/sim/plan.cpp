@@ -1,0 +1,159 @@
+#include "sim/plan.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace plsim {
+
+std::shared_ptr<const SimPlan> SimPlan::build(
+    const Circuit& c, std::span<const std::vector<GateId>> owned,
+    std::span<const std::vector<GateId>> exported) {
+  PLSIM_CHECK(exported.empty() || exported.size() == owned.size(),
+              "SimPlan: exported lists must parallel the block lists");
+  const std::size_t n = c.gate_count();
+
+  auto plan = std::shared_ptr<SimPlan>(new SimPlan());
+  SimPlan& sp = *plan;
+  sp.circuit_ = &c;
+
+  // --- Partition-first renumbering -----------------------------------------
+  constexpr std::uint32_t kUnassigned = static_cast<std::uint32_t>(-1);
+  sp.plan_of_.assign(n, kUnassigned);
+  sp.gate_of_.reserve(n);
+  sp.block_of_.reserve(n);
+  for (std::size_t b = 0; b < owned.size(); ++b) {
+    PLSIM_CHECK(!owned[b].empty(), "SimPlan: empty block");
+    for (GateId g : owned[b]) {
+      PLSIM_CHECK(g < n, "SimPlan: gate id out of range");
+      PLSIM_CHECK(sp.plan_of_[g] == kUnassigned, "SimPlan: gate owned twice");
+      sp.plan_of_[g] = static_cast<std::uint32_t>(sp.gate_of_.size());
+      sp.gate_of_.push_back(g);
+      sp.block_of_.push_back(static_cast<std::uint32_t>(b));
+    }
+  }
+  for (GateId g = 0; g < n; ++g) {
+    if (sp.plan_of_[g] != kUnassigned) continue;
+    sp.plan_of_[g] = static_cast<std::uint32_t>(sp.gate_of_.size());
+    sp.gate_of_.push_back(g);
+    sp.block_of_.push_back(kNoBlock);
+  }
+
+  // --- Flat global records with CSR adjacency in plan indices --------------
+  sp.gates_.resize(n);
+  std::size_t fanin_total = 0, fanout_total = 0;
+  for (GateId g = 0; g < n; ++g) {
+    fanin_total += c.fanins(g).size();
+    for (GateId s : c.fanouts(g))
+      if (is_combinational(c.type(s))) ++fanout_total;
+  }
+  sp.fanin_list_.reserve(fanin_total);
+  sp.fanout_list_.reserve(fanout_total);
+  for (std::uint32_t p = 0; p < n; ++p) {
+    const GateId g = sp.gate_of_[p];
+    PlanGate& r = sp.gates_[p];
+    r.op = c.type(g);
+    r.is_comb = is_combinational(r.op) ? 1 : 0;
+    r.delay = c.delay(g);
+    r.level = c.level(g);
+    const auto fi = c.fanins(g);
+    PLSIM_CHECK(fi.size() <= 0xFFFF, "SimPlan: fanin arity overflows record");
+    r.fanin_count = static_cast<std::uint16_t>(fi.size());
+    r.fanin_off = static_cast<std::uint32_t>(sp.fanin_list_.size());
+    for (GateId f : fi) sp.fanin_list_.push_back(sp.plan_of_[f]);
+    r.fanout_off = static_cast<std::uint32_t>(sp.fanout_list_.size());
+    for (GateId s : c.fanouts(g))
+      if (is_combinational(c.type(s)))
+        sp.fanout_list_.push_back(sp.plan_of_[s]);
+    r.fanout_count =
+        static_cast<std::uint32_t>(sp.fanout_list_.size()) - r.fanout_off;
+  }
+
+  sp.level_order_.reserve(n);
+  for (GateId g : c.level_order()) sp.level_order_.push_back(sp.plan_of_[g]);
+  sp.dffs_.reserve(c.flip_flops().size());
+  for (GateId g : c.flip_flops()) sp.dffs_.push_back(sp.plan_of_[g]);
+
+  // --- Per-block views ------------------------------------------------------
+  sp.blocks_.resize(owned.size());
+  for (std::size_t b = 0; b < owned.size(); ++b) {
+    BlockPlan& bp = sp.blocks_[b];
+    bp.n_owned = static_cast<std::uint32_t>(owned[b].size());
+    bp.to_local.assign(n, BlockPlan::kNotLocal);
+    bp.to_global.reserve(bp.n_owned);
+    for (GateId g : owned[b]) {
+      bp.to_local[g] = static_cast<std::uint32_t>(bp.to_global.size());
+      bp.to_global.push_back(g);
+    }
+    // Boundary fanins, in first-encounter order over the owned gates.
+    for (GateId g : owned[b]) {
+      for (GateId f : c.fanins(g)) {
+        if (bp.to_local[f] == BlockPlan::kNotLocal) {
+          bp.to_local[f] = static_cast<std::uint32_t>(bp.to_global.size());
+          bp.to_global.push_back(f);
+        }
+      }
+    }
+    bp.n_local = static_cast<std::uint32_t>(bp.to_global.size());
+
+    bp.recs.resize(bp.n_owned);
+    for (std::uint32_t li = 0; li < bp.n_owned; ++li) {
+      const GateId g = bp.to_global[li];
+      BlockPlan::Rec& rec = bp.recs[li];
+      rec.op = c.type(g);
+      rec.delay = c.delay(g);
+      const auto fi = c.fanins(g);
+      rec.fanin_count = static_cast<std::uint16_t>(fi.size());
+      rec.fanin_off = static_cast<std::uint32_t>(bp.fanin_locals.size());
+      for (GateId f : fi) bp.fanin_locals.push_back(bp.to_local[f]);
+      if (rec.op == GateType::Dff) {
+        bp.dffs.push_back(li);
+        bp.dff_d.push_back(bp.to_local[fi[0]]);
+      }
+    }
+
+    // Precompiled mark sets: owned combinational consumers of every local
+    // gate, preserving circuit fanout order (the selective-trace evaluation
+    // order every engine must reproduce bit-for-bit).
+    bp.fanout_off.resize(bp.n_local + 1, 0);
+    for (std::uint32_t li = 0; li < bp.n_local; ++li) {
+      bp.fanout_off[li] = static_cast<std::uint32_t>(bp.fanout_locals.size());
+      for (GateId s : c.fanouts(bp.to_global[li])) {
+        const std::uint32_t ls = bp.to_local[s];
+        if (ls != BlockPlan::kNotLocal && ls < bp.n_owned &&
+            is_combinational(c.type(s)))
+          bp.fanout_locals.push_back(ls);
+      }
+    }
+    bp.fanout_off[bp.n_local] =
+        static_cast<std::uint32_t>(bp.fanout_locals.size());
+
+    bp.init_values.resize(bp.n_local);
+    for (std::uint32_t li = 0; li < bp.n_local; ++li)
+      bp.init_values[li] = plan_initial_value(c.type(bp.to_global[li]));
+
+    if (!exported.empty()) {
+      std::uint32_t lookahead = 1u << 30;
+      for (GateId g : exported[b]) {
+        const std::uint32_t li = bp.to_local[g];
+        PLSIM_CHECK(li != BlockPlan::kNotLocal && li < bp.n_owned,
+                    "SimPlan: exported gate not owned by its block");
+        bp.recs[li].exported = 1;
+        lookahead = std::min(lookahead, c.delay(g));
+      }
+      bp.export_lookahead = lookahead;
+    }
+  }
+
+  return plan;
+}
+
+std::shared_ptr<const SimPlan> SimPlan::build_whole(const Circuit& c) {
+  std::vector<std::vector<GateId>> all(1);
+  all[0].resize(c.gate_count());
+  std::iota(all[0].begin(), all[0].end(), 0u);
+  return build(c, all);
+}
+
+}  // namespace plsim

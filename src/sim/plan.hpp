@@ -1,0 +1,166 @@
+#pragma once
+// SimPlan: a per-circuit *compiled evaluation plan* — the data structure
+// every event-driven kernel in plsim runs on instead of interpreting the
+// Circuit graph directly.
+//
+// Compilation does three things (DESIGN.md; PAPER §II's t_evaluate term is
+// the per-event cost this layer attacks):
+//
+//  1. Flattening. Each gate becomes one fixed-size record (opcode, delay,
+//     fanin offset/arity, combinational-fanout offset/count) in a dense
+//     array, with CSR operand/consumer lists beside it — no per-gate
+//     indirection through the Circuit's accessors in the hot loop.
+//
+//  2. Partition-first renumbering. Plan indices are assigned block by block,
+//     so each block's slice of any plan-indexed value array is dense and
+//     cache-local. Per block, a BlockPlan view renumbers again into a
+//     *local* index space (owned gates first, then boundary fanins) and
+//     resolves every cross-block reference through a translation table at
+//     build time: hot-path fanin gathers and fanout marking use local
+//     indices only, and global GateIds appear solely on the message/trace
+//     boundary.
+//
+//  3. Table-driven evaluation. Gate functions are evaluated through the
+//     precompiled LUTs of sim/tables.hpp (fused arity-1/arity-2 fast paths,
+//     generic reduction for wide gates) — bit-identical to
+//     eval_gate4/eval_gate9 by construction.
+//
+// A SimPlan is immutable after build and freely shared across threads; the
+// threaded engines build one per run (engines/common.cpp) and hand every
+// BlockSimulator its BlockPlan view.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "logic/value.hpp"
+#include "netlist/circuit.hpp"
+#include "sim/tables.hpp"
+
+namespace plsim {
+
+inline constexpr std::uint32_t kNoBlock = static_cast<std::uint32_t>(-1);
+
+/// Flat compiled gate record in plan-index space. Fanouts are pre-filtered
+/// to combinational consumers (the only ones event kernels mark for
+/// re-evaluation; DFFs sample on clock edges, never on fanin changes).
+struct PlanGate {
+  GateType op = GateType::Input;
+  std::uint8_t is_comb = 0;
+  std::uint16_t fanin_count = 0;
+  std::uint32_t delay = 0;
+  std::uint32_t level = 0;
+  std::uint32_t fanin_off = 0;
+  std::uint32_t fanout_off = 0;
+  std::uint32_t fanout_count = 0;
+};
+
+/// Per-block compiled view: the local index space is owned gates first (in
+/// owned-list order), then boundary fanins in first-encounter order. All
+/// arrays are immutable after build; BlockSimulator reads them directly.
+struct BlockPlan {
+  static constexpr std::uint32_t kNotLocal = static_cast<std::uint32_t>(-1);
+
+  /// Record of one *owned* gate, fanins already translated to local indices.
+  struct Rec {
+    GateType op = GateType::Input;
+    std::uint8_t exported = 0;   ///< changes must be emitted as messages
+    std::uint16_t fanin_count = 0;
+    std::uint32_t fanin_off = 0; ///< into fanin_locals
+    std::uint32_t delay = 0;
+  };
+
+  std::uint32_t n_owned = 0;
+  std::uint32_t n_local = 0;     ///< owned + boundary
+  std::uint32_t export_lookahead = 1u << 30;
+  std::vector<Rec> recs;                     ///< [n_owned]
+  std::vector<std::uint32_t> fanin_locals;
+  std::vector<std::uint32_t> fanout_off;     ///< [n_local + 1]
+  std::vector<std::uint32_t> fanout_locals;  ///< owned comb consumers
+  std::vector<GateId> to_global;             ///< [n_local]
+  std::vector<std::uint32_t> to_local;       ///< [gate_count], kNotLocal
+  std::vector<std::uint32_t> dffs;           ///< owned DFFs, owned order
+  std::vector<std::uint32_t> dff_d;          ///< local index of each D fanin
+  std::vector<Logic4> init_values;           ///< [n_local]
+
+  std::span<const std::uint32_t> fanins(const Rec& r) const {
+    return {fanin_locals.data() + r.fanin_off, r.fanin_count};
+  }
+  /// Owned combinational consumers of local gate `li` (circuit fanout
+  /// order), the precompiled selective-trace mark set.
+  std::span<const std::uint32_t> fanouts(std::uint32_t li) const {
+    return {fanout_locals.data() + fanout_off[li],
+            fanout_off[li + 1] - fanout_off[li]};
+  }
+};
+
+class SimPlan {
+ public:
+  /// Compile `c` for the given block decomposition. `owned[b]` lists block
+  /// b's gates (disjoint; gates in no block appear only as boundary inputs);
+  /// `exported` (optional, parallel to `owned`) lists the owned gates whose
+  /// changes other blocks consume.
+  static std::shared_ptr<const SimPlan> build(
+      const Circuit& c, std::span<const std::vector<GateId>> owned,
+      std::span<const std::vector<GateId>> exported = {});
+
+  /// One block spanning the whole circuit in GateId order; plan index ==
+  /// GateId, so sequential kernels can stay in GateId space.
+  static std::shared_ptr<const SimPlan> build_whole(const Circuit& c);
+
+  const Circuit& circuit() const { return *circuit_; }
+  std::uint32_t n_blocks() const {
+    return static_cast<std::uint32_t>(blocks_.size());
+  }
+  std::size_t size() const { return gates_.size(); }
+
+  std::uint32_t plan_of(GateId g) const { return plan_of_[g]; }
+  GateId gate_of(std::uint32_t p) const { return gate_of_[p]; }
+  /// Owning block of plan index `p`, or kNoBlock.
+  std::uint32_t block_of(std::uint32_t p) const { return block_of_[p]; }
+
+  const PlanGate& gate(std::uint32_t p) const { return gates_[p]; }
+  std::span<const std::uint32_t> fanins(const PlanGate& r) const {
+    return {fanin_list_.data() + r.fanin_off, r.fanin_count};
+  }
+  /// Combinational consumers only (see PlanGate).
+  std::span<const std::uint32_t> fanouts(const PlanGate& r) const {
+    return {fanout_list_.data() + r.fanout_off, r.fanout_count};
+  }
+  /// All plan indices in nondecreasing level order (the circuit's
+  /// level_order, renumbered) — the oblivious sweep schedule.
+  std::span<const std::uint32_t> level_order() const { return level_order_; }
+  /// Plan indices of the DFFs, in circuit flip_flops() order.
+  std::span<const std::uint32_t> dffs() const { return dffs_; }
+
+  const BlockPlan& block(std::uint32_t b) const { return blocks_[b]; }
+
+ private:
+  SimPlan() = default;
+
+  const Circuit* circuit_ = nullptr;
+  std::vector<PlanGate> gates_;
+  std::vector<std::uint32_t> fanin_list_;   // plan indices
+  std::vector<std::uint32_t> fanout_list_;  // plan indices, comb only
+  std::vector<std::uint32_t> plan_of_;      // GateId -> plan index
+  std::vector<GateId> gate_of_;             // plan index -> GateId
+  std::vector<std::uint32_t> block_of_;     // plan index -> block / kNoBlock
+  std::vector<std::uint32_t> level_order_;
+  std::vector<std::uint32_t> dffs_;
+  std::vector<BlockPlan> blocks_;
+};
+
+/// Initial value of a gate before any event (global reset convention shared
+/// by every engine): constants drive their value, DFFs reset to 0,
+/// everything else is unknown.
+constexpr Logic4 plan_initial_value(GateType t) {
+  switch (t) {
+    case GateType::Const0: return Logic4::F;
+    case GateType::Const1: return Logic4::T;
+    case GateType::Dff: return Logic4::F;
+    default: return Logic4::X;
+  }
+}
+
+}  // namespace plsim

@@ -1,0 +1,168 @@
+#include "sim/tables.hpp"
+
+#include <array>
+
+namespace plsim {
+namespace {
+
+/// Base associative op of a reduction family (the inversion of NAND/NOR/XNOR
+/// is applied once, after the whole reduction, via the post table).
+GateType reduce_base(GateType t) {
+  switch (t) {
+    case GateType::Nand: return GateType::And;
+    case GateType::Nor: return GateType::Or;
+    case GateType::Xnor: return GateType::Xor;
+    default: return t;
+  }
+}
+
+bool inverting(GateType t) {
+  return t == GateType::Nand || t == GateType::Nor || t == GateType::Xnor;
+}
+
+bool arity_legal(GateType t, int n) {
+  const FaninArity a = gate_arity(t);
+  return n >= a.min && (a.max < 0 || n <= a.max);
+}
+
+bool reducible(GateType t) {
+  switch (t) {
+    case GateType::And: case GateType::Nand:
+    case GateType::Or: case GateType::Nor:
+    case GateType::Xor: case GateType::Xnor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+EvalTables4 build_tables4() {
+  EvalTables4 tb;
+  constexpr std::uint8_t x4 = static_cast<std::uint8_t>(Logic4::X);
+  for (int t = 0; t < kGateTypeCount; ++t) {
+    for (auto& e : tb.unary[t]) e = x4;
+    for (auto& e : tb.pair[t]) e = x4;
+    for (auto& e : tb.reduce[t]) e = x4;
+    for (auto& e : tb.post[t]) e = x4;
+  }
+  for (auto& e : tb.mux) e = x4;
+
+  for (int ti = 0; ti < kGateTypeCount; ++ti) {
+    const GateType t = static_cast<GateType>(ti);
+    if (!is_combinational(t)) continue;
+    if (arity_legal(t, 0)) {
+      // Constants: every unary slot carries the constant so the arity-0
+      // dispatch (unary[t][0]) needs no special casing.
+      const Logic4 k = eval_gate4(t, {});
+      for (auto& e : tb.unary[ti]) e = static_cast<std::uint8_t>(k);
+    }
+    for (int a = 0; a < 4 && arity_legal(t, 1); ++a) {
+      const std::array<Logic4, 1> in{static_cast<Logic4>(a)};
+      tb.unary[ti][a] = static_cast<std::uint8_t>(eval_gate4(t, in));
+    }
+    for (int a = 0; a < 4 && arity_legal(t, 2); ++a)
+      for (int b = 0; b < 4; ++b) {
+        const std::array<Logic4, 2> in{static_cast<Logic4>(a),
+                                       static_cast<Logic4>(b)};
+        tb.pair[ti][(a << 2) | b] =
+            static_cast<std::uint8_t>(eval_gate4(t, in));
+      }
+    if (reducible(t)) {
+      const GateType base = reduce_base(t);
+      for (int a = 0; a < 4; ++a) {
+        for (int b = 0; b < 4; ++b) {
+          const std::array<Logic4, 2> in{static_cast<Logic4>(a),
+                                         static_cast<Logic4>(b)};
+          tb.reduce[ti][(a << 2) | b] =
+              static_cast<std::uint8_t>(eval_gate4(base, in));
+        }
+        const std::array<Logic4, 1> v{static_cast<Logic4>(a)};
+        tb.post[ti][a] =
+            inverting(t) ? static_cast<std::uint8_t>(
+                               eval_gate4(GateType::Not, v))
+                         : static_cast<std::uint8_t>(a);
+      }
+    }
+  }
+  for (int s = 0; s < 4; ++s)
+    for (int d0 = 0; d0 < 4; ++d0)
+      for (int d1 = 0; d1 < 4; ++d1) {
+        const std::array<Logic4, 3> in{static_cast<Logic4>(s),
+                                       static_cast<Logic4>(d0),
+                                       static_cast<Logic4>(d1)};
+        tb.mux[(s << 4) | (d0 << 2) | d1] =
+            static_cast<std::uint8_t>(eval_gate4(GateType::Mux, in));
+      }
+  return tb;
+}
+
+EvalTables9 build_tables9() {
+  EvalTables9 tb;
+  constexpr std::uint8_t x9 = static_cast<std::uint8_t>(Logic9::X);
+  for (int t = 0; t < kGateTypeCount; ++t) {
+    for (auto& e : tb.unary[t]) e = x9;
+    for (auto& e : tb.pair[t]) e = x9;
+    for (auto& e : tb.reduce[t]) e = x9;
+    for (auto& e : tb.post[t]) e = x9;
+  }
+  for (auto& e : tb.mux) e = x9;
+
+  for (int ti = 0; ti < kGateTypeCount; ++ti) {
+    const GateType t = static_cast<GateType>(ti);
+    if (!is_combinational(t)) continue;
+    if (arity_legal(t, 0)) {
+      const Logic9 k = eval_gate9(t, {});
+      for (auto& e : tb.unary[ti]) e = static_cast<std::uint8_t>(k);
+    }
+    for (int a = 0; a < 9 && arity_legal(t, 1); ++a) {
+      const std::array<Logic9, 1> in{static_cast<Logic9>(a)};
+      tb.unary[ti][a] = static_cast<std::uint8_t>(eval_gate9(t, in));
+    }
+    for (int a = 0; a < 9 && arity_legal(t, 2); ++a)
+      for (int b = 0; b < 9; ++b) {
+        const std::array<Logic9, 2> in{static_cast<Logic9>(a),
+                                       static_cast<Logic9>(b)};
+        tb.pair[ti][a * 9 + b] = static_cast<std::uint8_t>(eval_gate9(t, in));
+      }
+    if (reducible(t)) {
+      const GateType base = reduce_base(t);
+      for (int a = 0; a < 9; ++a) {
+        for (int b = 0; b < 9; ++b) {
+          const std::array<Logic9, 2> in{static_cast<Logic9>(a),
+                                         static_cast<Logic9>(b)};
+          tb.reduce[ti][a * 9 + b] =
+              static_cast<std::uint8_t>(eval_gate9(base, in));
+        }
+        const std::array<Logic9, 1> v{static_cast<Logic9>(a)};
+        tb.post[ti][a] =
+            inverting(t) ? static_cast<std::uint8_t>(
+                               eval_gate9(GateType::Not, v))
+                         : static_cast<std::uint8_t>(a);
+      }
+    }
+  }
+  for (int s = 0; s < 9; ++s)
+    for (int d0 = 0; d0 < 9; ++d0)
+      for (int d1 = 0; d1 < 9; ++d1) {
+        const std::array<Logic9, 3> in{static_cast<Logic9>(s),
+                                       static_cast<Logic9>(d0),
+                                       static_cast<Logic9>(d1)};
+        tb.mux[s * 81 + d0 * 9 + d1] =
+            static_cast<std::uint8_t>(eval_gate9(GateType::Mux, in));
+      }
+  return tb;
+}
+
+}  // namespace
+
+const EvalTables4& eval_tables4() {
+  static const EvalTables4 tb = build_tables4();
+  return tb;
+}
+
+const EvalTables9& eval_tables9() {
+  static const EvalTables9 tb = build_tables9();
+  return tb;
+}
+
+}  // namespace plsim

@@ -1,0 +1,155 @@
+#pragma once
+// Precompiled evaluation tables: the table-driven logic kernels behind
+// SimPlan (sim/plan.hpp).
+//
+// Classic compiled simulators (Barzilai's Z-algorithm lineage, Wang &
+// Maurer's bit-parallel techniques — see PAPERS.md) replace interpretive
+// switch dispatch with precomputed lookup tables over dense value codes.
+// plsim follows the same recipe for its 4-valued and 9-valued systems:
+//
+//   unary[op][a]            arity-1 result (fused z_to_x / strength-strip
+//                           plus the op's output inversion)
+//   pair[op][(a<<2)|b]      arity-2 result, one load per evaluation — the
+//                           dominant case in gate-level netlists
+//   reduce[op][(acc<<2)|b]  the associative base op (AND/OR/XOR family)
+//                           for wide gates; inversion is NOT fused here
+//                           because NAND(a,b,c) = NOT(AND(a,b,c))
+//   post[op][acc]           output map applied once after a wide reduction
+//                           (identity, or NOT for the inverting ops)
+//   mux[(s<<4)|(d0<<2)|d1]  the 3-input mux, fully enumerated
+//
+// Every entry is generated *from the reference interpreters*
+// (eval_gate4/eval_gate9) at first use, so table-driven results are
+// bit-identical to the interpretive ones by construction; the differential
+// tests (tests/plan_test.cpp) verify the reduce/post composition over all
+// value combinations and arities.
+
+#include <cstdint>
+
+#include "logic/gates.hpp"
+#include "logic/logic9.hpp"
+#include "logic/value.hpp"
+
+namespace plsim {
+
+/// 4-valued tables. Indices are the Logic4 underlying codes (0..3); entries
+/// for (op, arity) combinations that the netlist builder rejects are filled
+/// with X and never indexed by a well-formed plan.
+struct EvalTables4 {
+  std::uint8_t unary[kGateTypeCount][4];
+  std::uint8_t pair[kGateTypeCount][16];
+  std::uint8_t reduce[kGateTypeCount][16];
+  std::uint8_t post[kGateTypeCount][4];
+  std::uint8_t mux[64];
+};
+
+/// 9-valued tables (IEEE-1164 codes 0..8; pair/reduce index is a*9+b, mux
+/// index is s*81 + d0*9 + d1).
+struct EvalTables9 {
+  std::uint8_t unary[kGateTypeCount][9];
+  std::uint8_t pair[kGateTypeCount][81];
+  std::uint8_t reduce[kGateTypeCount][81];
+  std::uint8_t post[kGateTypeCount][9];
+  std::uint8_t mux[729];
+};
+
+/// Process-wide singletons, built once from the interpreters (thread-safe
+/// magic-static initialization; ~0.6 KiB and ~3 KiB respectively).
+const EvalTables4& eval_tables4();
+const EvalTables9& eval_tables9();
+
+namespace detail {
+
+/// Shared kernel over an operand accessor `get(k)` -> Logic4 so the
+/// contiguous and gather variants compile to the same fast paths.
+template <typename GetFn>
+inline Logic4 eval4_impl(const EvalTables4& tb, GateType op, GetFn get,
+                         std::size_t n) {
+  const std::size_t t = static_cast<std::size_t>(op);
+  switch (n) {
+    case 1:
+      return static_cast<Logic4>(
+          tb.unary[t][static_cast<std::size_t>(get(0))]);
+    case 2:
+      return static_cast<Logic4>(
+          tb.pair[t][(static_cast<std::size_t>(get(0)) << 2) |
+                     static_cast<std::size_t>(get(1))]);
+    case 0:
+      return static_cast<Logic4>(tb.unary[t][0]);  // constants
+    default: {
+      if (op == GateType::Mux)
+        return static_cast<Logic4>(
+            tb.mux[(static_cast<std::size_t>(get(0)) << 4) |
+                   (static_cast<std::size_t>(get(1)) << 2) |
+                   static_cast<std::size_t>(get(2))]);
+      std::size_t acc =
+          tb.reduce[t][(static_cast<std::size_t>(get(0)) << 2) |
+                       static_cast<std::size_t>(get(1))];
+      for (std::size_t k = 2; k < n; ++k)
+        acc = tb.reduce[t][(acc << 2) | static_cast<std::size_t>(get(k))];
+      return static_cast<Logic4>(tb.post[t][acc]);
+    }
+  }
+}
+
+template <typename GetFn>
+inline Logic9 eval9_impl(const EvalTables9& tb, GateType op, GetFn get,
+                         std::size_t n) {
+  const std::size_t t = static_cast<std::size_t>(op);
+  switch (n) {
+    case 1:
+      return static_cast<Logic9>(
+          tb.unary[t][static_cast<std::size_t>(get(0))]);
+    case 2:
+      return static_cast<Logic9>(
+          tb.pair[t][static_cast<std::size_t>(get(0)) * 9 +
+                     static_cast<std::size_t>(get(1))]);
+    case 0:
+      return static_cast<Logic9>(tb.unary[t][0]);  // constants
+    default: {
+      if (op == GateType::Mux)
+        return static_cast<Logic9>(
+            tb.mux[static_cast<std::size_t>(get(0)) * 81 +
+                   static_cast<std::size_t>(get(1)) * 9 +
+                   static_cast<std::size_t>(get(2))]);
+      std::size_t acc = tb.reduce[t][static_cast<std::size_t>(get(0)) * 9 +
+                                     static_cast<std::size_t>(get(1))];
+      for (std::size_t k = 2; k < n; ++k)
+        acc = tb.reduce[t][acc * 9 + static_cast<std::size_t>(get(k))];
+      return static_cast<Logic9>(tb.post[t][acc]);
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Table-driven evaluation over contiguous operands (drop-in for
+/// eval_gate4; bit-identical results).
+inline Logic4 plan_eval4(const EvalTables4& tb, GateType op, const Logic4* ins,
+                         std::size_t n) {
+  return detail::eval4_impl(tb, op, [&](std::size_t k) { return ins[k]; }, n);
+}
+
+/// Gather variant for the event kernels: operands are read straight out of a
+/// partition-local value array through a compiled fanin index list — no
+/// intermediate operand buffer.
+inline Logic4 plan_eval4_gather(const EvalTables4& tb, GateType op,
+                                const Logic4* values,
+                                const std::uint32_t* fanin, std::size_t n) {
+  return detail::eval4_impl(
+      tb, op, [&](std::size_t k) { return values[fanin[k]]; }, n);
+}
+
+inline Logic9 plan_eval9(const EvalTables9& tb, GateType op, const Logic9* ins,
+                         std::size_t n) {
+  return detail::eval9_impl(tb, op, [&](std::size_t k) { return ins[k]; }, n);
+}
+
+inline Logic9 plan_eval9_gather(const EvalTables9& tb, GateType op,
+                                const Logic9* values,
+                                const std::uint32_t* fanin, std::size_t n) {
+  return detail::eval9_impl(
+      tb, op, [&](std::size_t k) { return values[fanin[k]]; }, n);
+}
+
+}  // namespace plsim

@@ -10,49 +10,66 @@
 // ratios reported for the 1990s MIMD machines the paper surveys (a functional
 // evaluation is cheap; a message costs an order of magnitude more; a barrier
 // costs tens of evaluations and grows with processor count).
+//
+// Recalibration (compiled evaluation plans). The unit of the model is one
+// functional evaluation, and since the kernels moved from the interpretive
+// eval_gate4 switch to the SimPlan LUT kernels that unit got ~8.3x cheaper:
+// bench/micro_gate_eval measures 10.82 ns/eval for the interpreter and
+// 1.30 ns/eval for plan_eval4 on the reference host (see
+// bench/history/BENCH_micro_gate_eval_pr4_after.json). Every other constant
+// models a host operation the plan compilation does not touch — queue
+// insert/delete, message handling, barriers, state copies, rollback control —
+// so its absolute cost is unchanged and its value *in evaluation units*
+// scales by exactly the measured ratio 8.3. Each default below is the
+// pre-plan value times 8.3 (old value in the trailing comment). The net
+// effect on modelled speedups is real, not cosmetic: with cheap compiled
+// evaluations the synchronization overheads weigh relatively more, shifting
+// the parallel-vs-sequential crossover toward larger circuits, exactly as
+// the paper observes for faster functional kernels.
 
 #include <cstdint>
 
 namespace plsim {
 
-/// All costs in abstract "work units" (1 unit ~ one simple gate evaluation).
+/// All costs in abstract "work units" (1 unit ~ one compiled LUT evaluation,
+/// measured at 1.30 ns; see the recalibration note above).
 struct CostModel {
-  double eval = 1.0;          ///< one functional evaluation
-  double event = 0.5;         ///< event queue insert+delete pair
-  double dff_sample = 0.5;    ///< one DFF clock sampling
-  double batch_overhead = 0.5;///< fixed dispatch cost per timestamp batch
+  double eval = 1.0;          ///< one functional evaluation (the unit)
+  double event = 4.15;        ///< event queue insert+delete pair (was 0.5)
+  double dff_sample = 4.15;   ///< one DFF clock sampling (was 0.5)
+  double batch_overhead = 4.15;///< fixed dispatch cost per batch (was 0.5)
   // Messaging costs default to shared-memory MIMD ratios (the surveyed
   // synchronous/optimistic results ran on BBN GP1000-class machines).
-  double msg_send = 2.5;      ///< CPU cost to send one message
-  double msg_recv = 2.0;      ///< CPU cost to receive one message
-  double msg_latency = 8.0;   ///< transit time (does not occupy a CPU)
-  double null_msg = 2.0;      ///< per-endpoint cost of a null message
+  double msg_send = 20.75;    ///< CPU cost to send one message (was 2.5)
+  double msg_recv = 16.6;     ///< CPU cost to receive one message (was 2.0)
+  double msg_latency = 66.4;  ///< transit time, occupies no CPU (was 8.0)
+  double null_msg = 16.6;     ///< per-endpoint null-message cost (was 2.0)
   /// Each additional cut wire sharing a block-pair null (wire-grained
   /// conservative channels batch their clock updates into one physical
   /// message, but every per-wire clock still costs handling).
-  double null_wire = 0.5;
+  double null_wire = 4.15;    ///< (was 0.5)
 
   /// Barrier cost for P processors: base + per_hop * hops(P).
-  double barrier_base = 8.0;
-  double barrier_per_hop = 6.0;
+  double barrier_base = 66.4;    ///< (was 8.0)
+  double barrier_per_hop = 49.8; ///< (was 6.0)
   bool barrier_tree = true;   ///< tree (log2 P hops) vs central (P hops)
 
   /// Bus-snooping barrier among the processors of one SMP node (used inside
   /// hybrid clusters) — much cheaper than a machine-wide barrier.
-  double smp_barrier_base = 2.0;
-  double smp_barrier_per_hop = 1.0;
+  double smp_barrier_base = 16.6;   ///< (was 2.0)
+  double smp_barrier_per_hop = 8.3; ///< (was 1.0)
 
   /// Optimistic machinery. Full-copy saving moves the entire LP data
   /// structure (values, projections, pending-event set) through the memory
-  /// system; on the surveyed machines that costs about one functional
-  /// evaluation per 20 bytes copied.
-  double save_per_byte = 0.05;    ///< full-copy state saving, per byte
-  double save_fixed = 1.0;        ///< per-batch fixed saving overhead
-  double undo_per_entry = 0.25;   ///< incremental log write, per entry
-  double rollback_fixed = 6.0;    ///< per-rollback control overhead
-  double undo_replay = 0.20;      ///< undoing one log entry / restoring bytes
-  double gvt_per_proc = 3.0;      ///< GVT reduction contribution per processor
-  double fossil_per_batch = 0.05; ///< fossil collection per batch discarded
+  /// system; on the surveyed machines that costs about one *interpreted*
+  /// evaluation per 20 bytes copied — 8.3 compiled-unit equivalents.
+  double save_per_byte = 0.415;   ///< full-copy state saving/byte (was 0.05)
+  double save_fixed = 8.3;        ///< per-batch fixed saving cost (was 1.0)
+  double undo_per_entry = 2.075;  ///< incremental log write/entry (was 0.25)
+  double rollback_fixed = 49.8;   ///< per-rollback control cost (was 6.0)
+  double undo_replay = 1.66;      ///< undoing one log entry (was 0.20)
+  double gvt_per_proc = 24.9;     ///< GVT reduction per processor (was 3.0)
+  double fossil_per_batch = 0.415;///< fossil collection per batch (was 0.05)
 
   double barrier_cost(std::uint32_t procs) const;
   double smp_barrier_cost(std::uint32_t procs) const;

@@ -359,6 +359,92 @@ TEST(AuditorNegative, TraceBeyondHorizonIsCaught) {
   expect_violation(aud, "trace-horizon");
 }
 
+// ------------------------------------------------------- sampling mode ----
+
+TEST(AuditorSampling, EnvRateParsing) {
+  // env_sample_rate reads PLSIM_AUDIT; exercise the parser through setenv
+  // (tests run single-threaded, so mutating the environment is safe here).
+  const auto with_env = [](const char* v) {
+    setenv("PLSIM_AUDIT", v, 1);
+    const std::uint32_t r = Auditor::env_sample_rate();
+    unsetenv("PLSIM_AUDIT");
+    return r;
+  };
+  unsetenv("PLSIM_AUDIT");
+  EXPECT_EQ(Auditor::env_sample_rate(), 1u);
+  EXPECT_EQ(with_env("1"), 1u);
+  EXPECT_EQ(with_env("sample"), 64u);
+  EXPECT_EQ(with_env("sample:8"), 8u);
+  EXPECT_EQ(with_env("sample=16"), 16u);
+  EXPECT_EQ(with_env("sample:0"), 1u);   // clamped to full tracking
+  EXPECT_EQ(with_env("sample:abc"), 64u);  // malformed suffix: default rate
+  // "sample"/"sample:N" still turn auditing on.
+  setenv("PLSIM_AUDIT", "sample:4", 1);
+  EXPECT_TRUE(Auditor::env_enabled());
+  unsetenv("PLSIM_AUDIT");
+}
+
+TEST(AuditorSampling, SampledCleanRunFinalizesQuietly) {
+  // Under sampling, a clean add/remove stream stays clean: both sides use
+  // the same timestamp predicate, so the tracked subset is coherent.
+  Auditor aud("injected", 1, 100000);
+  aud.set_sample_rate(8);
+  EXPECT_EQ(aud.sample_rate(), 8u);
+  std::size_t tracked = 0;
+  for (Tick t = 1; t < 5000; ++t) {
+    aud.on_inflight_add(t);
+    aud.on_gvt(t);
+    aud.on_inflight_remove(t);
+  }
+  // The subset is a real sample: some timestamps were tracked, most not.
+  // (Indirectly observable: the run must finalize clean either way.)
+  (void)tracked;
+  EXPECT_NO_THROW(aud.finalize());
+  EXPECT_TRUE(aud.ok());
+}
+
+TEST(AuditorSampling, SampledRunStillCatchesGvtOvertake) {
+  // A sampled timestamp that GVT overtakes is still reported: find one the
+  // predicate keeps at rate 4 and inject the violation on it.
+  Auditor aud("injected", 1, 1u << 20);
+  aud.set_sample_rate(4);
+  // on_gvt records (never throws) a gvt-inflight violation iff the
+  // timestamp is actually in the tracked subset — use a fresh probe per
+  // candidate to detect which timestamps the rate-4 predicate keeps.
+  Tick t = 1;
+  for (;; ++t) {
+    Auditor probe("probe", 1, 1u << 20);
+    probe.set_sample_rate(4);
+    probe.on_inflight_add(t);
+    probe.on_gvt(t + 1);  // overtakes iff t was tracked
+    if (!probe.ok()) break;
+    ASSERT_LT(t, 10000u) << "no sampled timestamp found";
+  }
+  aud.on_inflight_add(t);
+  aud.on_gvt(t + 1);
+  expect_violation(aud, "gvt-inflight");
+}
+
+TEST(AuditorSampling, ConservationCountersStayExactUnderSampling) {
+  // Sampling only thins the in-flight multiset; the cheap counter-based
+  // conservation checks still see every message.
+  Auditor aud("injected", 1, 100);
+  aud.set_sample_rate(1000);
+  aud.on_send(0, 5, 10);
+  aud.on_deliver(0, 5, 9);  // one message lost
+  aud.set_pending(0, 0);
+  expect_violation(aud, "message-conservation");
+}
+
+TEST(AuditorSampling, RateChangeAfterTrackingStartsIsRejected) {
+  Auditor aud("injected", 1, 100);
+  aud.set_sample_rate(1);
+  aud.on_inflight_add(3);
+  EXPECT_THROW(aud.set_sample_rate(4), Error);
+  aud.on_inflight_remove(3);
+  EXPECT_NO_THROW(aud.finalize());
+}
+
 TEST(AuditorNegative, CleanRunFinalizesQuietly) {
   Auditor aud("injected", 2, 100);
   aud.on_lookahead(0, 2);

@@ -1,0 +1,329 @@
+// Differential tests for the compiled evaluation plan (src/sim): the LUT
+// kernels must match the reference interpreters on every legal (op, arity,
+// operand) combination — X and Z included — and whole-circuit plan execution
+// must match the retained interpretive golden kernel bit-for-bit.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "logic/gates.hpp"
+#include "logic/logic9.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/builtin.hpp"
+#include "netlist/generators.hpp"
+#include "seq/golden.hpp"
+#include "seq/oblivious.hpp"
+#include "sim/plan.hpp"
+#include "stim/stimulus.hpp"
+#include "util/rng.hpp"
+
+namespace plsim {
+namespace {
+
+bool arity_legal(GateType t, int n) {
+  const FaninArity a = gate_arity(t);
+  return n >= a.min && (a.max < 0 || n <= a.max);
+}
+
+std::vector<GateType> comb_ops() {
+  std::vector<GateType> ops;
+  for (int t = 0; t < kGateTypeCount; ++t)
+    if (is_combinational(static_cast<GateType>(t)))
+      ops.push_back(static_cast<GateType>(t));
+  return ops;
+}
+
+// ---------------------------------------------------------------- 4-valued --
+
+// Exhaustive: every combinational op, every legal arity up to 8, every
+// operand combination over {F, T, X, Z} (4^8 = 65536 per op/arity — cheap).
+TEST(PlanTables4, MatchesInterpreterExhaustively) {
+  const EvalTables4& tb = eval_tables4();
+  std::array<Logic4, 8> ins;
+  for (GateType op : comb_ops()) {
+    for (int n = 0; n <= 8; ++n) {
+      if (!arity_legal(op, n)) continue;
+      const std::uint64_t combos = 1ull << (2 * n);
+      for (std::uint64_t code = 0; code < combos; ++code) {
+        for (int k = 0; k < n; ++k)
+          ins[k] = static_cast<Logic4>((code >> (2 * k)) & 3);
+        const Logic4 want =
+            eval_gate4(op, {ins.data(), static_cast<std::size_t>(n)});
+        const Logic4 got =
+            plan_eval4(tb, op, ins.data(), static_cast<std::size_t>(n));
+        ASSERT_EQ(got, want)
+            << "op=" << static_cast<int>(op) << " arity=" << n
+            << " code=" << code;
+      }
+    }
+  }
+}
+
+// The gather variant must agree with the contiguous one under an arbitrary
+// (shuffled, aliased) fanin index list.
+TEST(PlanTables4, GatherMatchesContiguous) {
+  const EvalTables4& tb = eval_tables4();
+  Rng rng(0xC0FFEEull);
+  std::array<Logic4, 16> values;
+  std::array<std::uint32_t, 8> fanin;
+  std::array<Logic4, 8> gathered;
+  for (GateType op : comb_ops()) {
+    for (int n = 1; n <= 8; ++n) {
+      if (!arity_legal(op, n)) continue;
+      for (int rep = 0; rep < 200; ++rep) {
+        for (auto& v : values)
+          v = static_cast<Logic4>(rng.uniform(4));
+        for (int k = 0; k < n; ++k) {
+          fanin[k] = static_cast<std::uint32_t>(rng.uniform(values.size()));
+          gathered[k] = values[fanin[k]];
+        }
+        EXPECT_EQ(plan_eval4_gather(tb, op, values.data(), fanin.data(),
+                                    static_cast<std::size_t>(n)),
+                  plan_eval4(tb, op, gathered.data(),
+                             static_cast<std::size_t>(n)));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------- 9-valued --
+
+// Exhaustive through arity 3 (9^3 = 729 per op), randomized for wide gates
+// (arity 4..8) over all nine IEEE-1164 codes.
+TEST(PlanTables9, MatchesInterpreter) {
+  const EvalTables9& tb = eval_tables9();
+  std::array<Logic9, 8> ins;
+  for (GateType op : comb_ops()) {
+    for (int n = 0; n <= 3; ++n) {
+      if (!arity_legal(op, n)) continue;
+      std::uint64_t combos = 1;
+      for (int k = 0; k < n; ++k) combos *= 9;
+      for (std::uint64_t code = 0; code < combos; ++code) {
+        std::uint64_t rest = code;
+        for (int k = 0; k < n; ++k) {
+          ins[k] = static_cast<Logic9>(rest % 9);
+          rest /= 9;
+        }
+        const Logic9 want =
+            eval_gate9(op, {ins.data(), static_cast<std::size_t>(n)});
+        const Logic9 got =
+            plan_eval9(tb, op, ins.data(), static_cast<std::size_t>(n));
+        ASSERT_EQ(got, want)
+            << "op=" << static_cast<int>(op) << " arity=" << n
+            << " code=" << code;
+      }
+    }
+    Rng rng(0x9137ull + static_cast<std::uint64_t>(op));
+    for (int n = 4; n <= 8; ++n) {
+      if (!arity_legal(op, n)) continue;
+      for (int rep = 0; rep < 800; ++rep) {
+        for (int k = 0; k < n; ++k)
+          ins[k] = static_cast<Logic9>(rng.uniform(9));
+        const Logic9 want =
+            eval_gate9(op, {ins.data(), static_cast<std::size_t>(n)});
+        ASSERT_EQ(plan_eval9(tb, op, ins.data(), static_cast<std::size_t>(n)),
+                  want)
+            << "op=" << static_cast<int>(op) << " arity=" << n;
+      }
+    }
+  }
+}
+
+TEST(PlanTables9, GatherMatchesContiguous) {
+  const EvalTables9& tb = eval_tables9();
+  Rng rng(0xBEEFull);
+  std::array<Logic9, 16> values;
+  std::array<std::uint32_t, 8> fanin;
+  std::array<Logic9, 8> gathered;
+  for (GateType op : comb_ops()) {
+    for (int n = 1; n <= 8; ++n) {
+      if (!arity_legal(op, n)) continue;
+      for (int rep = 0; rep < 200; ++rep) {
+        for (auto& v : values)
+          v = static_cast<Logic9>(rng.uniform(9));
+        for (int k = 0; k < n; ++k) {
+          fanin[k] = static_cast<std::uint32_t>(rng.uniform(values.size()));
+          gathered[k] = values[fanin[k]];
+        }
+        EXPECT_EQ(plan_eval9_gather(tb, op, values.data(), fanin.data(),
+                                    static_cast<std::size_t>(n)),
+                  plan_eval9(tb, op, gathered.data(),
+                             static_cast<std::size_t>(n)));
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------- plan builds --
+
+TEST(SimPlanBuild, PartitionFirstRenumberingAndTranslationTables) {
+  const Circuit c = builtin_circuit("s27");
+  // Split the gates across two blocks: evens and odds.
+  std::vector<std::vector<GateId>> owned(2);
+  for (GateId g = 0; g < c.gate_count(); ++g) owned[g % 2].push_back(g);
+  std::vector<std::vector<GateId>> exported(2);
+  exported[0].push_back(owned[0].back());
+
+  const auto plan = SimPlan::build(c, owned, exported);
+  const SimPlan& sp = *plan;
+  ASSERT_EQ(sp.size(), c.gate_count());
+  ASSERT_EQ(sp.n_blocks(), 2u);
+
+  // Plan indices are assigned block-first: block 0's gates occupy
+  // [0, |owned[0]|), block 1's the next dense range.
+  std::uint32_t next = 0;
+  for (std::uint32_t b = 0; b < 2; ++b) {
+    for (GateId g : owned[b]) {
+      EXPECT_EQ(sp.plan_of(g), next);
+      EXPECT_EQ(sp.gate_of(next), g);
+      EXPECT_EQ(sp.block_of(next), b);
+      ++next;
+    }
+  }
+
+  // Flat records mirror the circuit, with fanins translated to plan indices
+  // and fanouts pre-filtered to combinational consumers.
+  for (std::uint32_t p = 0; p < sp.size(); ++p) {
+    const GateId g = sp.gate_of(p);
+    const PlanGate& rec = sp.gate(p);
+    EXPECT_EQ(rec.op, c.type(g));
+    EXPECT_EQ(rec.delay, c.delay(g));
+    EXPECT_EQ(rec.level, c.level(g));
+    const auto fi = c.fanins(g);
+    const auto pfi = sp.fanins(rec);
+    ASSERT_EQ(pfi.size(), fi.size());
+    for (std::size_t k = 0; k < fi.size(); ++k)
+      EXPECT_EQ(sp.gate_of(pfi[k]), fi[k]);
+    std::vector<GateId> want_fo;
+    for (GateId s : c.fanouts(g))
+      if (is_combinational(c.type(s))) want_fo.push_back(s);
+    const auto pfo = sp.fanouts(rec);
+    ASSERT_EQ(pfo.size(), want_fo.size());
+    for (std::size_t k = 0; k < want_fo.size(); ++k)
+      EXPECT_EQ(sp.gate_of(pfo[k]), want_fo[k]);
+  }
+
+  // Block views: owned-first local numbering, exact round-trip translation,
+  // local fanin lists, and export flags.
+  for (std::uint32_t b = 0; b < 2; ++b) {
+    const BlockPlan& bp = sp.block(b);
+    ASSERT_EQ(bp.n_owned, owned[b].size());
+    ASSERT_GE(bp.n_local, bp.n_owned);
+    for (std::uint32_t li = 0; li < bp.n_local; ++li)
+      EXPECT_EQ(bp.to_local[bp.to_global[li]], li);
+    for (std::uint32_t li = 0; li < bp.n_owned; ++li) {
+      EXPECT_EQ(bp.to_global[li], owned[b][li]);
+      const GateId g = bp.to_global[li];
+      const BlockPlan::Rec& rec = bp.recs[li];
+      EXPECT_EQ(rec.op, c.type(g));
+      EXPECT_EQ(rec.delay, c.delay(g));
+      const auto fi = c.fanins(g);
+      const auto lfi = bp.fanins(rec);
+      ASSERT_EQ(lfi.size(), fi.size());
+      for (std::size_t k = 0; k < fi.size(); ++k)
+        EXPECT_EQ(bp.to_global[lfi[k]], fi[k]);
+      // Precompiled mark set: owned combinational consumers, circuit order.
+      std::vector<GateId> want;
+      for (GateId s : c.fanouts(g))
+        if (bp.to_local[s] != BlockPlan::kNotLocal &&
+            bp.to_local[s] < bp.n_owned && is_combinational(c.type(s)))
+          want.push_back(s);
+      const auto fo = bp.fanouts(li);
+      ASSERT_EQ(fo.size(), want.size());
+      for (std::size_t k = 0; k < want.size(); ++k)
+        EXPECT_EQ(bp.to_global[fo[k]], want[k]);
+      EXPECT_EQ(bp.init_values[li], plan_initial_value(c.type(g)));
+    }
+    // DFFs in owned order, with their D fanin resolved.
+    std::size_t di = 0;
+    for (std::uint32_t li = 0; li < bp.n_owned; ++li) {
+      if (c.type(bp.to_global[li]) != GateType::Dff) continue;
+      ASSERT_LT(di, bp.dffs.size());
+      EXPECT_EQ(bp.dffs[di], li);
+      EXPECT_EQ(bp.to_global[bp.dff_d[di]], c.fanins(bp.to_global[li])[0]);
+      ++di;
+    }
+    EXPECT_EQ(di, bp.dffs.size());
+  }
+  EXPECT_EQ(sp.block(0).recs[sp.block(0).to_local[exported[0][0]]].exported,
+            1);
+  EXPECT_EQ(sp.block(0).export_lookahead, c.delay(exported[0][0]));
+}
+
+TEST(SimPlanBuild, BuildWholeIsIdentityNumbering) {
+  const Circuit c = builtin_circuit("c17");
+  const auto plan = SimPlan::build_whole(c);
+  for (GateId g = 0; g < c.gate_count(); ++g) {
+    EXPECT_EQ(plan->plan_of(g), g);
+    EXPECT_EQ(plan->gate_of(g), g);
+    EXPECT_EQ(plan->block_of(g), 0u);
+  }
+}
+
+// ------------------------------------------------- whole-circuit sweeps ----
+
+void expect_plan_matches_interp(const Circuit& c, const Stimulus& s) {
+  const RunResult interp = simulate_golden_interp(c, s);
+  const RunResult plan_block = simulate_golden(c, s);
+  EXPECT_EQ(plan_block.final_values, interp.final_values);
+  EXPECT_EQ(plan_block.wave.digest(), interp.wave.digest());
+  EXPECT_EQ(plan_block.wave.change_count(), interp.wave.change_count());
+  for (const QueueKind kind :
+       {QueueKind::Ladder, QueueKind::Wheel, QueueKind::Heap}) {
+    const RunResult plan_q = simulate_golden_queue(c, s, kind);
+    EXPECT_EQ(plan_q.final_values, interp.final_values);
+    EXPECT_EQ(plan_q.wave.digest(), interp.wave.digest());
+    EXPECT_EQ(plan_q.stats.evaluations, interp.stats.evaluations);
+    EXPECT_EQ(plan_q.stats.dff_samples, interp.stats.dff_samples);
+  }
+}
+
+TEST(PlanEquivalence, BuiltinCircuits) {
+  for (const auto name : builtin_circuit_names()) {
+    const Circuit c = builtin_circuit(name);
+    expect_plan_matches_interp(c, random_stimulus(c, 30, 0.5, 11));
+  }
+}
+
+TEST(PlanEquivalence, RandomSequentialCircuits) {
+  for (std::uint64_t seed : {1ull, 7ull, 23ull}) {
+    RandomCircuitSpec spec;
+    spec.n_gates = 500;
+    spec.n_inputs = 12;
+    spec.n_outputs = 12;
+    spec.dff_fraction = 0.12;
+    spec.extra_fanin_p = 0.4;  // exercise the wide-gate reduction path
+    spec.max_fanin = 8;
+    spec.seed = seed;
+    const Circuit c = random_circuit(spec);
+    expect_plan_matches_interp(c, random_stimulus(c, 25, 0.4, seed * 3 + 1));
+  }
+}
+
+TEST(PlanEquivalence, FineGrainDelays) {
+  RandomCircuitSpec spec;
+  spec.n_gates = 400;
+  spec.n_inputs = 10;
+  spec.dff_fraction = 0.08;
+  spec.delay_mode = DelayMode::Uniform;
+  spec.delay_spread = 7;
+  spec.seed = 5;
+  const Circuit c = random_circuit(spec);
+  expect_plan_matches_interp(c, random_stimulus(c, 20, 0.5, 77, 16));
+}
+
+TEST(PlanEquivalence, StructuralCircuits) {
+  {
+    const Circuit c = counter(6);
+    expect_plan_matches_interp(c, random_stimulus(c, 40, 0.6, 3));
+  }
+  {
+    const Circuit c = lfsr(8, {1, 2, 3, 7});
+    expect_plan_matches_interp(c, random_stimulus(c, 40, 0.5, 9));
+  }
+}
+
+}  // namespace
+}  // namespace plsim

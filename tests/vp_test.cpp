@@ -100,7 +100,12 @@ TEST(VpSequentialCost, SingleBlockSyncCostsMoreThanSequential) {
 }
 
 TEST(VpSpeedup, SynchronousSpeedupGrowsWithProcessors) {
-  const Circuit c = scaled_circuit(4000, 7);
+  // Sized for the recalibrated cost model: with compiled-plan evaluation
+  // units (1 unit = one LUT eval) the barrier/message constants are ~8.3x
+  // larger relative to eval, so the parallel-vs-sequential crossover sits at
+  // bigger circuits than under the interpretive model — 4k gates no longer
+  // amortize 16 barriers' worth of overhead per cycle, 24k gates do.
+  const Circuit c = scaled_circuit(24000, 7);
   const Stimulus s = random_stimulus(c, 15, 0.5, 3);
   const SequentialCost seq = sequential_cost(c, s, CostModel{});
   double prev = 0.0;

@@ -39,6 +39,15 @@ comment `// plsim-lint: allow(<rule>)`):
                   seq_cst hides the intended synchronization contract and
                   makes TSan reports impossible to audit against intent.
 
+  plan-eval       Interpretive gate evaluation (eval_gate4/eval_gate9/... calls)
+                  and raw Circuit fanin gathers (c.fanins(/circuit_.fanins()
+                  are banned in src/core/block.cpp and src/engines/: those hot
+                  paths run on the compiled SimPlan (src/sim/plan.hpp) —
+                  BlockPlan records, local fanin index lists, and the LUT
+                  kernels of src/sim/tables.hpp. Reintroducing the interpreter
+                  there silently forfeits the compiled-plan speedup and splits
+                  the semantics into two code paths.
+
 Usage: lint_plsim.py <repo-root>
 Exit status 0 when clean, 1 with file:line diagnostics otherwise.
 """
@@ -88,6 +97,11 @@ ATOMIC_OP = re.compile(
     r"|compare_exchange_strong|fetch_add|fetch_sub|fetch_and|fetch_or"
     r"|fetch_xor)\s*\("
 )
+# Interpreter evaluation or a Circuit fanin gather in compiled-plan hot paths.
+PLAN_EVAL = re.compile(
+    r"\beval_gate[0-9]+\s*\("
+    r"|\b(?:c|circuit|circuit_)\s*(?:\.|->)\s*fanins\s*\("
+)
 
 
 def strip_comments_and_strings(line):
@@ -125,6 +139,7 @@ def lint_file(path, rel, findings):
     in_engine_code = rel.startswith(("src/engines/", "src/vp/"))
     in_tick_code = rel.startswith(
         ("src/core/", "src/engines/", "src/vp/", "src/event/", "src/seq/"))
+    in_plan_code = rel == "src/core/block.cpp" or rel.startswith("src/engines/")
     in_src = rel.startswith("src/")
 
     # Names of unordered containers declared anywhere in this file.
@@ -171,6 +186,14 @@ def lint_file(path, rel, findings):
                 report(idx, "tick-add",
                        f"raw Tick addition '{m.group(0).strip()}' — unsigned "
                        "wrap near the horizon; use plsim::tick_add")
+
+        if in_plan_code:
+            m = PLAN_EVAL.search(code)
+            if m:
+                report(idx, "plan-eval",
+                       f"interpretive '{m.group(0).strip()}' in a "
+                       "compiled-plan hot path — use the BlockPlan/SimPlan "
+                       "records and the plan_eval* LUT kernels")
 
         if in_src and not in_parallel:
             m = THREADING_USE.search(code)
