@@ -1,0 +1,119 @@
+// C12 — critical-path bound over the Figure 1 sweep: *explain* the figure,
+// not just measure it. For every (size, partition) point of the F1 sweep the
+// harness computes the causal critical path of the simulation (src/trace/
+// critical_path.hpp) — the makespan of an idealized machine with unlimited
+// processors, zero communication cost, and every batch at its best-case
+// execution time — and overlays the resulting maximum achievable speedup on
+// the measured per-family speedups.
+//
+// The bound is a hard invariant, not a trend: no executor can beat the
+// causal dependency chains, so the harness *asserts* bound >= measured at
+// every point and exits nonzero on violation. The interesting output is the
+// gap: synchronous executions sit below the bound by their barrier spend,
+// conservative ones by blocked waits and null messages, optimistic ones by
+// rollbacks — exactly the decomposition tools/trace_summary.py extracts
+// from a PLSIM_TRACE recording of the same runs.
+
+#include <cstdint>
+#include <iostream>
+
+#include "bench_main.hpp"
+#include "netlist/generators.hpp"
+#include "partition/algorithms.hpp"
+#include "stim/stimulus.hpp"
+#include "trace/critical_path.hpp"
+#include "util/table.hpp"
+#include "vp/vp.hpp"
+
+using namespace plsim;
+
+int main(int argc, char** argv) {
+  bench::BenchDriver driver("c12_critical_path", argc, argv);
+  // The sweep must mirror fig1_speedup_vs_size.cpp exactly — same circuits,
+  // stimuli, partitions and engine configuration — or the bound is being
+  // compared against a different experiment.
+  constexpr std::uint32_t kProcs = 8;
+  const std::size_t sizes[] = {500, 1000, 2000, 5000, 10000, 20000, 40000};
+
+  std::cout << "C12: critical-path bound vs measured speedup, P = " << kProcs
+            << " (virtual platform)\n\n";
+  Table table({"gates", "bound", "sync", "conservative", "optimistic",
+               "cp_batches"});
+
+  int violations = 0;
+  for (std::size_t size : sizes) {
+    auto timed = driver.phase("run");
+    const Circuit c = scaled_circuit(size, /*seed=*/1);
+    const Stimulus stim = random_stimulus(c, 20, 0.25, 7);
+    const Partition p = partition_fm(c, kProcs, 1);
+
+    VpConfig cfg;
+    cfg.lazy_cancellation = true;
+    const SequentialCost seq = sequential_cost(c, stim, cfg.cost);
+    const VpResult sync = run_sync_vp(c, stim, p, cfg);
+    const VpResult cons = run_conservative_vp(c, stim, p, cfg);
+    const VpResult tw = run_timewarp_vp(c, stim, p, cfg);
+
+    // Batches are costed at (1 - exec_jitter) x their modelled cost, the
+    // minimum any noise draw can produce, so the bound dominates every
+    // realized execution — not just the average one.
+    const CriticalPathResult cp =
+        analyze_critical_path(c, stim, p, cfg.cost, 1.0 - cfg.exec_jitter);
+
+    const double sp_sync = seq.work / sync.makespan;
+    const double sp_cons = seq.work / cons.makespan;
+    const double sp_tw = seq.work / tw.makespan;
+    for (const auto& [name, sp] :
+         {std::pair<const char*, double>{"sync", sp_sync},
+          {"conservative", sp_cons},
+          {"optimistic", sp_tw}}) {
+      if (sp > cp.bound_speedup) {
+        std::cerr << "VIOLATION: " << name << " speedup " << sp
+                  << " exceeds critical-path bound " << cp.bound_speedup
+                  << " at " << size << " gates\n";
+        ++violations;
+      }
+    }
+
+    const std::uint64_t gates = size;
+    driver.run()
+        .label("gates", gates)
+        .label("engine", "bound")
+        .metric("cp_time", cp.cp_time)
+        .metric("seq_work", cp.seq_work)
+        .metric("bound_speedup", cp.bound_speedup)
+        .metric("cp_batches", cp.cp_batches)
+        .metric("graph_batches", cp.batches)
+        .metric("graph_messages", cp.messages);
+    record_result(driver.run()
+                      .label("gates", gates)
+                      .label("engine", "sync")
+                      .metric("bound_speedup", cp.bound_speedup),
+                  sync, seq.work);
+    record_result(driver.run()
+                      .label("gates", gates)
+                      .label("engine", "conservative")
+                      .metric("bound_speedup", cp.bound_speedup),
+                  cons, seq.work);
+    record_result(driver.run()
+                      .label("gates", gates)
+                      .label("engine", "timewarp")
+                      .metric("bound_speedup", cp.bound_speedup),
+                  tw, seq.work);
+
+    table.add_row({Table::fmt(static_cast<std::uint64_t>(size)),
+                   Table::fmt(cp.bound_speedup), Table::fmt(sp_sync),
+                   Table::fmt(sp_cons), Table::fmt(sp_tw),
+                   Table::fmt(cp.cp_batches)});
+  }
+  table.print(std::cout);
+  std::cout << "\nbound = seq_work / critical-path time (unlimited "
+               "processors, zero comm cost, best-case batch times);\n"
+               "every measured point must sit at or below it — the gap is "
+               "each family's synchronization spend\n";
+  if (violations > 0) {
+    std::cerr << violations << " bound violation(s)\n";
+    return 1;
+  }
+  return driver.finish();
+}

@@ -158,12 +158,20 @@ void Auditor::on_barrier(std::uint32_t lp, std::uint64_t copies) {
   lps_[lp].barriers += copies;
 }
 
+void Auditor::on_dff(std::uint32_t lp, std::uint64_t copies) {
+  lps_[lp].dff_sampled += copies;
+}
+
 void Auditor::set_pending(std::uint32_t lp, std::uint64_t count) {
   lps_[lp].pending = count;
 }
 
 void Auditor::expect_evaluations(std::uint64_t total) {
   expected_evals_ = total;
+}
+
+void Auditor::expect_dff_samples(std::uint64_t total) {
+  expected_dffs_ = total;
 }
 
 void Auditor::set_queue_left(std::uint32_t lp, std::uint64_t count) {
@@ -297,6 +305,20 @@ void Auditor::finalize() {
       os << "evaluations performed=" << evaluated
          << " != expected=" << expected_evals_;
       violation("eval-conservation", AuditRecord::kNoLp, 0, os.str());
+    }
+  }
+
+  // DFF-sample conservation (oblivious engines): every flip-flop is clocked
+  // exactly once per stimulus vector; a shortfall means a worker skipped its
+  // DFF slice and the following cycle read stale sequential state.
+  if (expected_dffs_ != static_cast<std::uint64_t>(-1)) {
+    std::uint64_t sampled = 0;
+    for (const LpSlot& s : lps_) sampled += s.dff_sampled;
+    if (sampled != expected_dffs_) {
+      std::ostringstream os;
+      os << "DFF samplings performed=" << sampled
+         << " != expected=" << expected_dffs_;
+      violation("dff-conservation", AuditRecord::kNoLp, 0, os.str());
     }
   }
 

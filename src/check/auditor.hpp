@@ -122,6 +122,10 @@ class Auditor {
   /// have every LP arrive at every barrier — a skew means a lost arrival
   /// (and a sweep that read torn values).
   void on_barrier(std::uint32_t lp, std::uint64_t copies = 1);
+  /// `copies` DFFs were clock-sampled by `lp` (oblivious engines: every
+  /// flip-flop samples exactly once per stimulus vector; a shortfall means
+  /// a worker skipped its DFF slice and the next cycle read stale state).
+  void on_dff(std::uint32_t lp, std::uint64_t copies = 1);
 
   // ---------------------------------------- end-of-run accounting (joined) --
   /// Messages still sitting in `lp`'s transport endpoint at exit.
@@ -131,6 +135,9 @@ class Auditor {
   /// Total evaluations the run must have performed (oblivious engines:
   /// combinational gates x cycles). finalize() checks the per-LP sum.
   void expect_evaluations(std::uint64_t total);
+  /// Total DFF clock samplings the run must have performed (oblivious
+  /// engines: flip-flops x stimulus vectors). finalize() checks the sum.
+  void expect_dff_samples(std::uint64_t total);
 
   // ------------------------------- deterministic executors (single thread) --
   /// Track an in-flight (sent, undelivered) message timestamp exactly.
@@ -166,6 +173,7 @@ class Auditor {
     std::uint64_t queue_left = static_cast<std::uint64_t>(-1);  // unset
     std::uint64_t evaluated = 0;
     std::uint64_t barriers = 0;
+    std::uint64_t dff_sampled = 0;
   };
 
   void violation(const char* invariant, std::uint32_t lp, Tick tick,
@@ -184,6 +192,7 @@ class Auditor {
   Tick horizon_;
   std::vector<LpSlot> lps_;
   std::uint64_t expected_evals_ = static_cast<std::uint64_t>(-1);  // unset
+  std::uint64_t expected_dffs_ = static_cast<std::uint64_t>(-1);   // unset
   std::atomic<Tick> gvt_{0};
   std::atomic<std::uint64_t> violation_count_{0};
   Guarded<std::vector<AuditRecord>> records_;

@@ -14,6 +14,7 @@
 #include "engines/engine.hpp"
 #include "parallel/mailbox.hpp"
 #include "parallel/threads.hpp"
+#include "trace/trace.hpp"
 #include "util/timer.hpp"
 
 namespace plsim {
@@ -38,8 +39,11 @@ RunResult run_conservative(const Circuit& c, const Stimulus& stim,
   if (cfg.audit || Auditor::env_enabled())
     aud.emplace("conservative", n, horizon);
 
+  trace::Session tsn("conservative", n);
+
   run_on_threads(n, [&](unsigned b) {
     BlockSimulator& blk = *rig.blocks[b];
+    trace::Lane* tl = tsn.lane(b);
     if (aud) aud->on_lookahead(b, blk.export_lookahead());
 
     std::vector<std::uint32_t> sources;
@@ -67,6 +71,9 @@ RunResult run_conservative(const Circuit& c, const Stimulus& stim,
       inbox[b].drain(drained);
       if (aud && !drained.empty())
         aud->on_deliver(b, drained.front().msg.time, drained.size());
+      if (!drained.empty())
+        PLSIM_TRACE_MARK(tl, Recv, drained.front().msg.time,
+                         static_cast<std::uint32_t>(drained.size()));
       for (const CmbMsg& m : drained) in.receive(m);
 
       bool did_work = !drained.empty();
@@ -87,7 +94,11 @@ RunResult run_conservative(const Circuit& c, const Stimulus& stim,
 
         outputs.clear();
         if (aud) aud->on_batch(b, t);
-        blk.process_batch(t, externals, outputs);
+        {
+          PLSIM_TRACE_NAMED_SCOPE(span, tl, Eval, t, 0);
+          blk.process_batch(t, externals, outputs);
+          span.set_aux(static_cast<std::uint32_t>(outputs.size()));
+        }
         did_work = true;
         for (const Message& m : outputs)
           for (std::uint32_t dst : rig.routing.dests[m.gate])
@@ -108,6 +119,7 @@ RunResult run_conservative(const Circuit& c, const Stimulus& stim,
         for (const Message& m : rel.real) {
           sendbuf.push_back(CmbMsg{m, b, false});
           if (aud) aud->on_send(b, m.time);
+          PLSIM_TRACE_MARK(tl, Send, m.time, ch.dst());
         }
         if (rel.send_null) {
           sendbuf.push_back(
@@ -117,6 +129,7 @@ RunResult run_conservative(const Circuit& c, const Stimulus& stim,
             aud->on_promise(b, rel.promise);
             aud->on_send(b, rel.promise);
           }
+          PLSIM_TRACE_MARK(tl, NullMsg, rel.promise, ch.dst());
         }
         // One mailbox lock (and one consumer wake) per channel release
         // instead of one per message.
@@ -129,9 +142,16 @@ RunResult run_conservative(const Circuit& c, const Stimulus& stim,
         // Input waiting rule has us blocked; sleep until a message arrives.
         ++waits[b];
         drained.clear();
-        inbox[b].wait_and_drain(drained);
+        {
+          PLSIM_TRACE_SCOPE(tl, Blocked, frontier,
+                            static_cast<std::uint32_t>(waits[b]));
+          inbox[b].wait_and_drain(drained);
+        }
         if (aud && !drained.empty())
           aud->on_deliver(b, drained.front().msg.time, drained.size());
+        if (!drained.empty())
+          PLSIM_TRACE_MARK(tl, Recv, drained.front().msg.time,
+                           static_cast<std::uint32_t>(drained.size()));
         for (const CmbMsg& m : drained) in.receive(m);
       }
     }

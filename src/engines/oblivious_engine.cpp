@@ -17,6 +17,7 @@
 #include "parallel/barrier.hpp"
 #include "parallel/threads.hpp"
 #include "sim/plan.hpp"
+#include "trace/trace.hpp"
 #include "util/timer.hpp"
 
 namespace plsim {
@@ -64,28 +65,43 @@ RunResult run_oblivious_parallel(const Circuit& c, const Stimulus& stim,
   MinReduceBarrier barrier(n);
   std::vector<std::uint64_t> evals(n, 0), barriers(n, 0);
 
+  trace::Session tsn("oblivious-parallel", n);
+
   run_on_threads(n, [&](unsigned b) {
+    trace::Lane* tl = tsn.lane(b);
     for (std::size_t cycle = 0; cycle < stim.vectors.size() + 1; ++cycle) {
       if (b == 0 && cycle < stim.vectors.size()) {
         const auto& vec = stim.vectors[cycle];
         for (std::size_t i = 0; i < pi_plan.size() && i < vec.size(); ++i)
           values[pi_plan[i]] = vec[i];
       }
-      barrier.arrive(0);
+      {
+        PLSIM_TRACE_SCOPE(tl, BarrierWait, cycle,
+                          static_cast<std::uint32_t>(barriers[b]));
+        barrier.arrive(0);
+      }
       ++barriers[b];
       if (aud) {
         aud->on_batch(b, cycle);
         aud->on_barrier(b);
       }
       for (std::uint32_t lv = 1; lv <= depth; ++lv) {
-        for (std::uint32_t pi : schedule[lv][b]) {
-          const PlanGate& rec = sp.gate(pi);
-          values[pi] = plan_eval4_gather(tb, rec.op, values.data(),
-                                         sp.fanins(rec).data(),
-                                         rec.fanin_count);
-          ++evals[b];
+        {
+          PLSIM_TRACE_SCOPE(tl, Eval, cycle,
+                            static_cast<std::uint32_t>(schedule[lv][b].size()));
+          for (std::uint32_t pi : schedule[lv][b]) {
+            const PlanGate& rec = sp.gate(pi);
+            values[pi] = plan_eval4_gather(tb, rec.op, values.data(),
+                                           sp.fanins(rec).data(),
+                                           rec.fanin_count);
+            ++evals[b];
+          }
         }
-        barrier.arrive(0);
+        {
+          PLSIM_TRACE_SCOPE(tl, BarrierWait, cycle,
+                            static_cast<std::uint32_t>(barriers[b]));
+          barrier.arrive(0);
+        }
         ++barriers[b];
         if (aud) {
           aud->on_eval(b, schedule[lv][b].size());
@@ -95,9 +111,16 @@ RunResult run_oblivious_parallel(const Circuit& c, const Stimulus& stim,
       if (cycle < stim.vectors.size()) {
         for (std::uint32_t ff : dff_of[b])
           next_q[ff] = z_to_x(values[sp.fanins(sp.gate(ff))[0]]);
-        barrier.arrive(0);
+        {
+          PLSIM_TRACE_SCOPE(tl, BarrierWait, cycle,
+                            static_cast<std::uint32_t>(barriers[b]));
+          barrier.arrive(0);
+        }
         ++barriers[b];
-        if (aud) aud->on_barrier(b);
+        if (aud) {
+          aud->on_dff(b, dff_of[b].size());
+          aud->on_barrier(b);
+        }
         for (std::uint32_t ff : dff_of[b]) values[ff] = next_q[ff];
       }
     }
@@ -118,6 +141,9 @@ RunResult run_oblivious_parallel(const Circuit& c, const Stimulus& stim,
     for (std::uint32_t pi = 0; pi < sp.size(); ++pi)
       if (sp.gate(pi).is_comb && sp.gate(pi).level > 0) ++swept;
     aud->expect_evaluations(swept * (stim.vectors.size() + 1));
+    // Every DFF is sampled exactly once per stimulus vector (the +1 settle
+    // cycle clocks nothing).
+    aud->expect_dff_samples(sp.dffs().size() * stim.vectors.size());
     aud->finalize();
   }
   return r;

@@ -13,6 +13,7 @@
 #include "parallel/barrier.hpp"
 #include "parallel/mailbox.hpp"
 #include "parallel/threads.hpp"
+#include "trace/trace.hpp"
 #include "util/timer.hpp"
 
 namespace plsim {
@@ -38,6 +39,8 @@ RunResult run_synchronous(const Circuit& c, const Stimulus& stim,
   if (cfg.audit || Auditor::env_enabled())
     aud.emplace("synchronous", n, bopts.horizon);
 
+  trace::Session tsn("synchronous", n);
+
   // Bounded-window mode: one barrier pair covers a whole lookahead window —
   // any message generated inside the window lands at or beyond its end.
   Tick window = 1;
@@ -51,6 +54,7 @@ RunResult run_synchronous(const Circuit& c, const Stimulus& stim,
 
   run_on_threads(n, [&](unsigned b) {
     BlockSimulator& blk = *rig.blocks[b];
+    trace::Lane* tl = tsn.lane(b);
     const std::vector<Message>& env = rig.env[b];
     std::size_t env_pos = 0;
     StagedMessages staged;
@@ -68,7 +72,12 @@ RunResult run_synchronous(const Circuit& c, const Stimulus& stim,
     };
 
     for (;;) {
-      const Tick front = time_barrier.arrive(my_next());
+      Tick front;
+      {
+        PLSIM_TRACE_SCOPE(tl, BarrierWait, 0,
+                          static_cast<std::uint32_t>(barrier_count[b]));
+        front = time_barrier.arrive(my_next());
+      }
       ++barrier_count[b];
       if (front >= bopts.horizon) break;
       const Tick window_end = std::min(bopts.horizon, tick_add(front, window));
@@ -85,11 +94,16 @@ RunResult run_synchronous(const Circuit& c, const Stimulus& stim,
         }
         outputs.clear();
         if (aud) aud->on_batch(b, t);
-        blk.process_batch(t, externals, outputs);
+        {
+          PLSIM_TRACE_NAMED_SCOPE(span, tl, Eval, t, 0);
+          blk.process_batch(t, externals, outputs);
+          span.set_aux(static_cast<std::uint32_t>(outputs.size()));
+        }
         for (const Message& m : outputs)
           for (std::uint32_t dst : rig.routing.dests[m.gate]) {
             outbox[dst].push_back(m);
             if (aud) aud->on_send(b, m.time);
+            PLSIM_TRACE_MARK(tl, Send, m.time, dst);
           }
       }
 
@@ -98,12 +112,19 @@ RunResult run_synchronous(const Circuit& c, const Stimulus& stim,
       for (std::uint32_t dst = 0; dst < n; ++dst)
         inbox[dst].push_many(std::move(outbox[dst]));
 
-      deliver_barrier.arrive(0);
+      {
+        PLSIM_TRACE_SCOPE(tl, BarrierWait, window_end,
+                          static_cast<std::uint32_t>(barrier_count[b]));
+        deliver_barrier.arrive(0);
+      }
       ++barrier_count[b];
       drained.clear();
       inbox[b].drain(drained);
       if (aud && !drained.empty())
         aud->on_deliver(b, drained.front().time, drained.size());
+      if (!drained.empty())
+        PLSIM_TRACE_MARK(tl, Recv, drained.front().time,
+                         static_cast<std::uint32_t>(drained.size()));
       for (const Message& m : drained) staged.push(m);
     }
     if (aud) {

@@ -21,6 +21,7 @@
 #include "parallel/guarded.hpp"
 #include "parallel/mailbox.hpp"
 #include "parallel/threads.hpp"
+#include "trace/trace.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
 
@@ -110,10 +111,14 @@ RunResult run_timewarp(const Circuit& c, const Stimulus& stim,
   if (cfg.audit || Auditor::env_enabled())
     aud.emplace("timewarp", n, horizon);
 
+  // Lane n belongs to the GVT coordinator thread.
+  trace::Session tsn("timewarp", n + 1);
+
   // Thread ids 0..n-1 run the LPs; thread id n is the GVT coordinator.
   run_on_threads(n + 1, [&](unsigned tid) {
     // ---------------------------------------------------------------- GVT --
     if (tid == n) {
+      trace::Lane* gl = tsn.lane(n);
       std::uint64_t rounds = 0;
       for (;;) {
         Tick min_time = kTickInf;
@@ -131,6 +136,8 @@ RunResult run_timewarp(const Circuit& c, const Stimulus& stim,
           ++rounds;
           if (min_time > gvt.load(std::memory_order_relaxed)) {
             if (aud) aud->on_gvt(min_time);
+            PLSIM_TRACE_MARK(gl, GvtRound, min_time,
+                             static_cast<std::uint32_t>(rounds));
             gvt.store(min_time, std::memory_order_release);
             for (auto& mb : inbox) mb.wake();  // unblock throttled/idle LPs
           }
@@ -144,6 +151,7 @@ RunResult run_timewarp(const Circuit& c, const Stimulus& stim,
 
     // ---------------------------------------------------------------- LPs --
     const std::uint32_t b = tid;
+    trace::Lane* tl = tsn.lane(b);
     LpState lp;
     lp.block = rig.blocks[b].get();
     lp.env = &rig.env[b];
@@ -179,6 +187,10 @@ RunResult run_timewarp(const Circuit& c, const Stimulus& stim,
       for (std::uint32_t dst : rig.routing.dests[m.msg.gate]) {
         outbuf[dst].push_back(m);
         ++count;
+        if (m.anti)
+          PLSIM_TRACE_MARK(tl, AntiMsg, m.msg.time, dst);
+        else
+          PLSIM_TRACE_MARK(tl, Send, m.msg.time, dst);
       }
       if (aud && count > 0) aud->on_send(b, m.msg.time, count);
       return count;
@@ -190,6 +202,7 @@ RunResult run_timewarp(const Circuit& c, const Stimulus& stim,
     auto rollback = [&](Tick t) -> std::uint64_t {
       if (lp.processed_bound <= t) return 0;
       if (aud) aud->on_rollback(b, t);
+      PLSIM_TRACE_NAMED_SCOPE(rbspan, tl, Rollback, t, 0);
       std::uint64_t pushed = 0;
       lp.block->rollback_to(t);
       lp.processed_bound = t;
@@ -207,6 +220,7 @@ RunResult run_timewarp(const Circuit& c, const Stimulus& stim,
         it = lp.sent_log.erase(it);
       }
       ++lp.rollbacks;
+      rbspan.set_aux(static_cast<std::uint32_t>(pushed));
       return pushed;
     };
 
@@ -216,6 +230,9 @@ RunResult run_timewarp(const Circuit& c, const Stimulus& stim,
       std::uint64_t pushed = 0;
       if (aud && !batch.empty())
         aud->on_deliver(b, batch.front().msg.time, batch.size());
+      if (!batch.empty())
+        PLSIM_TRACE_MARK(tl, Recv, batch.front().msg.time,
+                         static_cast<std::uint32_t>(batch.size()));
       for (const TwMsg& m : batch) {
         if (m.msg.time < lp.processed_bound) pushed += rollback(m.msg.time);
         if (!m.anti) {
@@ -283,7 +300,10 @@ RunResult run_timewarp(const Circuit& c, const Stimulus& stim,
         // Nothing (allowed) to do: wait for messages or a GVT advance.
         publish(0, 0);
         drained.clear();
-        inbox[b].wait_and_drain(drained);
+        {
+          PLSIM_TRACE_SCOPE(tl, Blocked, nt, throttled ? 1 : 0);
+          inbox[b].wait_and_drain(drained);
+        }
         const std::uint64_t p2 = integrate(drained);
         if (!drained.empty() || p2 > 0) publish(p2, drained.size());
         continue;
@@ -299,7 +319,11 @@ RunResult run_timewarp(const Circuit& c, const Stimulus& stim,
 
       outputs.clear();
       if (aud) aud->on_batch(b, nt);
-      lp.block->process_batch(nt, externals, outputs);
+      {
+        PLSIM_TRACE_NAMED_SCOPE(span, tl, Eval, nt, 0);
+        lp.block->process_batch(nt, externals, outputs);
+        span.set_aux(static_cast<std::uint32_t>(outputs.size()));
+      }
       lp.processed_bound = tick_add(nt, 1);
 
       std::uint64_t out_pushed = 0;

@@ -3,6 +3,7 @@
 #include <array>
 
 #include "logic/gates.hpp"
+#include "sim/plan.hpp"
 #include "util/error.hpp"
 
 namespace plsim {
@@ -14,7 +15,13 @@ namespace {
 /// i.e. a difference indicator per lane — accumulated over all POs/cycles.
 /// When `per_cycle` is given, it also receives the per-cycle difference
 /// indicator.
-std::uint64_t run_forced(const Circuit& c, const Stimulus& stim,
+///
+/// `sp` selects the sweep machinery: non-null runs the compiled plan's flat
+/// gate records and CSR fanins (build_whole keeps plan index == GateId, so
+/// every array stays in GateId space); null walks the Circuit accessors —
+/// the retained interpretive reference.
+std::uint64_t run_forced(const Circuit& c, const SimPlan* sp,
+                         const Stimulus& stim,
                          std::span<const std::uint64_t> force_mask,
                          std::span<const std::uint64_t> force_value,
                          std::uint64_t& evals,
@@ -39,14 +46,27 @@ std::uint64_t run_forced(const Circuit& c, const Stimulus& stim,
       values[pis[i]] = (vec[i] == Logic4::T) ? ~0ull : 0ull;
       if (force_mask[pis[i]]) force(pis[i]);
     }
-    for (GateId g : c.level_order()) {
-      if (!is_combinational(c.type(g))) continue;
-      const auto fi = c.fanins(g);
-      for (std::size_t k = 0; k < fi.size(); ++k)
-        fanin_vals[k] = values[fi[k]];
-      values[g] = eval_gate64(c.type(g), {fanin_vals.data(), fi.size()});
-      ++evals;
-      if (force_mask[g]) force(g);
+    if (sp != nullptr) {
+      for (const std::uint32_t g : sp->level_order()) {
+        const PlanGate& pg = sp->gate(g);
+        if (!pg.is_comb) continue;
+        const auto fi = sp->fanins(pg);
+        for (std::size_t k = 0; k < fi.size(); ++k)
+          fanin_vals[k] = values[fi[k]];
+        values[g] = eval_gate64(pg.op, {fanin_vals.data(), fi.size()});
+        ++evals;
+        if (force_mask[g]) force(g);
+      }
+    } else {
+      for (GateId g : c.level_order()) {
+        if (!is_combinational(c.type(g))) continue;
+        const auto fi = c.fanins(g);
+        for (std::size_t k = 0; k < fi.size(); ++k)
+          fanin_vals[k] = values[fi[k]];
+        values[g] = eval_gate64(c.type(g), {fanin_vals.data(), fi.size()});
+        ++evals;
+        if (force_mask[g]) force(g);
+      }
     }
     std::uint64_t cycle_diff = 0;
     for (GateId po : c.primary_outputs()) {
@@ -86,11 +106,15 @@ std::vector<Fault> enumerate_faults(const Circuit& c, bool collapse) {
 }
 
 FaultSimResult fault_simulate_serial(const Circuit& c, const Stimulus& stim,
-                                     std::span<const Fault> faults) {
+                                     std::span<const Fault> faults,
+                                     FaultKernel kernel) {
   FaultSimResult r;
   r.total = faults.size();
   r.detected_mask.assign(faults.size(), 0);
 
+  // One compile amortized over every per-fault pass.
+  const std::shared_ptr<const SimPlan> plan =
+      kernel == FaultKernel::Compiled ? SimPlan::build_whole(c) : nullptr;
   std::vector<std::uint64_t> mask(c.gate_count(), 0);
   std::vector<std::uint64_t> value(c.gate_count(), 0);
   for (std::size_t i = 0; i < faults.size(); ++i) {
@@ -99,7 +123,7 @@ FaultSimResult fault_simulate_serial(const Circuit& c, const Stimulus& stim,
     mask[f.gate] = ~1ull;
     value[f.gate] = f.stuck_one ? ~0ull : 0ull;
     const std::uint64_t diff =
-        run_forced(c, stim, mask, value, r.gate_evaluations);
+        run_forced(c, plan.get(), stim, mask, value, r.gate_evaluations);
     if (diff & 2ull) {
       r.detected_mask[i] = 1;
       ++r.detected;
@@ -111,11 +135,14 @@ FaultSimResult fault_simulate_serial(const Circuit& c, const Stimulus& stim,
 }
 
 FaultSimResult fault_simulate_parallel(const Circuit& c, const Stimulus& stim,
-                                       std::span<const Fault> faults) {
+                                       std::span<const Fault> faults,
+                                       FaultKernel kernel) {
   FaultSimResult r;
   r.total = faults.size();
   r.detected_mask.assign(faults.size(), 0);
 
+  const std::shared_ptr<const SimPlan> plan =
+      kernel == FaultKernel::Compiled ? SimPlan::build_whole(c) : nullptr;
   std::vector<std::uint64_t> mask(c.gate_count(), 0);
   std::vector<std::uint64_t> value(c.gate_count(), 0);
   for (std::size_t base = 0; base < faults.size(); base += 63) {
@@ -127,7 +154,7 @@ FaultSimResult fault_simulate_parallel(const Circuit& c, const Stimulus& stim,
       if (f.stuck_one) value[f.gate] |= bit;
     }
     const std::uint64_t diff =
-        run_forced(c, stim, mask, value, r.gate_evaluations);
+        run_forced(c, plan.get(), stim, mask, value, r.gate_evaluations);
     for (std::size_t j = 0; j < group; ++j) {
       if (diff & (1ull << (j + 1))) {
         r.detected_mask[base + j] = 1;
@@ -143,12 +170,14 @@ FaultSimResult fault_simulate_parallel(const Circuit& c, const Stimulus& stim,
   return r;
 }
 
-std::vector<std::int32_t> fault_first_detection(const Circuit& c,
-                                                const Stimulus& stim,
-                                                std::span<const Fault> faults) {
+std::vector<std::int32_t> fault_first_detection(
+    const Circuit& c, const Stimulus& stim, std::span<const Fault> faults,
+    FaultKernel kernel) {
   PLSIM_CHECK(c.flip_flops().empty(),
               "fault_first_detection: combinational circuits only");
   std::vector<std::int32_t> first(faults.size(), -1);
+  const std::shared_ptr<const SimPlan> plan =
+      kernel == FaultKernel::Compiled ? SimPlan::build_whole(c) : nullptr;
   std::vector<std::uint64_t> mask(c.gate_count(), 0);
   std::vector<std::uint64_t> value(c.gate_count(), 0);
   std::uint64_t evals = 0;
@@ -161,7 +190,7 @@ std::vector<std::int32_t> fault_first_detection(const Circuit& c,
       if (f.stuck_one) value[f.gate] |= bit;
     }
     std::vector<std::uint64_t> per_cycle;
-    run_forced(c, stim, mask, value, evals, &per_cycle);
+    run_forced(c, plan.get(), stim, mask, value, evals, &per_cycle);
     for (std::size_t j = 0; j < group; ++j) {
       for (std::size_t k = 0; k < per_cycle.size(); ++k) {
         if (per_cycle[k] & (1ull << (j + 1))) {

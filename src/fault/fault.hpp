@@ -28,6 +28,14 @@ struct Fault {
 /// folded onto their (equivalent) driver-side fault.
 std::vector<Fault> enumerate_faults(const Circuit& c, bool collapse = true);
 
+/// Good/faulty-machine kernel choice for the forced-lane simulators.
+/// Compiled sweeps a SimPlan::build_whole evaluation plan (flat records, CSR
+/// fanins, one compile amortized over every forced pass) and is the default;
+/// Interpretive walks the Circuit graph gate by gate and is retained as the
+/// differential reference (FaultKernels test). Results are identical by
+/// construction — only the sweep machinery differs.
+enum class FaultKernel { Interpretive, Compiled };
+
 struct FaultSimResult {
   std::size_t total = 0;
   std::size_t detected = 0;
@@ -41,17 +49,19 @@ struct FaultSimResult {
 
 /// One full-circuit two-valued simulation per fault.
 FaultSimResult fault_simulate_serial(const Circuit& c, const Stimulus& stim,
-                                     std::span<const Fault> faults);
+                                     std::span<const Fault> faults,
+                                     FaultKernel kernel = FaultKernel::Compiled);
 
 /// 63 faults per pass alongside the fault-free machine (lane 0).
 FaultSimResult fault_simulate_parallel(const Circuit& c, const Stimulus& stim,
-                                       std::span<const Fault> faults);
+                                       std::span<const Fault> faults,
+                                       FaultKernel kernel = FaultKernel::Compiled);
 
 /// For each fault, the index of the first vector that detects it, or -1.
 /// Combinational circuits only (vector effects are independent).
-std::vector<std::int32_t> fault_first_detection(const Circuit& c,
-                                                const Stimulus& stim,
-                                                std::span<const Fault> faults);
+std::vector<std::int32_t> fault_first_detection(
+    const Circuit& c, const Stimulus& stim, std::span<const Fault> faults,
+    FaultKernel kernel = FaultKernel::Compiled);
 
 /// Static test-set compaction for combinational circuits: keep only the
 /// vectors that are the first detector of at least one fault. Coverage of

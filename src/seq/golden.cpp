@@ -5,6 +5,7 @@
 #include "core/block.hpp"
 #include "core/environment.hpp"
 #include "sim/plan.hpp"
+#include "trace/trace.hpp"
 #include "util/timer.hpp"
 
 namespace plsim {
@@ -25,6 +26,9 @@ RunResult simulate_golden(const Circuit& c, const Stimulus& stim,
   std::vector<Message> externals;
   std::vector<Message> out;  // stays empty: nothing is exported
 
+  trace::Session tsn("golden", 1);
+  trace::Lane* tl = tsn.lane(0);
+
   for (;;) {
     const Tick t_env =
         env_pos < env.size() ? env[env_pos].time : kTickInf;
@@ -33,6 +37,7 @@ RunResult simulate_golden(const Circuit& c, const Stimulus& stim,
     externals.clear();
     while (env_pos < env.size() && env[env_pos].time == t)
       externals.push_back(env[env_pos++]);
+    PLSIM_TRACE_SCOPE(tl, Eval, t, externals.size());
     block.process_batch(t, externals, out);
   }
 

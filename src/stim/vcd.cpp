@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <ostream>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 namespace plsim {
@@ -47,9 +48,16 @@ void write_vcd(std::ostream& os, const Circuit& c,
 
   os << "$timescale " << timescale << " $end\n";
   os << "$scope module plsim $end\n";
+  // Emitted names must be unique within the scope or viewers silently merge
+  // distinct signals; duplicates (repeated user names, or an unnamed gate's
+  // "n<id>" fallback colliding with an explicit name) get a "_g<id>" suffix.
+  std::unordered_set<std::string> used;
   for (GateId g : signals) {
-    const std::string name =
-        c.name(g).empty() ? "n" + std::to_string(g) : c.name(g);
+    std::string name = c.name(g).empty() ? "n" + std::to_string(g) : c.name(g);
+    if (!used.insert(name).second) {
+      name += "_g" + std::to_string(g);
+      used.insert(name);
+    }
     os << "$var wire 1 " << ids[g] << ' ' << name << " $end\n";
   }
   os << "$upscope $end\n$enddefinitions $end\n";

@@ -1,0 +1,64 @@
+#pragma once
+// Critical-path analysis of a simulation's causal event graph (ISSUE 5).
+//
+// Figure 1 measures how fast each synchronization family *is*; the critical
+// path says how fast any of them *could be*. The analyzer replays the
+// partitioned simulation on an idealized machine — one processor per batch,
+// zero communication cost, every batch at its best-case execution time — and
+// computes the earliest possible finish of every batch under the causal
+// dependencies no scheduler can break:
+//
+//   - intra-LP order: a block's batches execute in event-time order, so each
+//     batch starts no earlier than the block's previous batch finished;
+//   - message edges: a batch that consumes a cross-block message starts no
+//     earlier than the sending batch finished.
+//
+// The longest finish time over all batches is the critical-path time; the
+// modelled sequential work divided by it is the maximum achievable speedup
+// for this circuit, stimulus and partition. Every point of the Figure 1
+// sweep must sit at or below this bound (bench/c12_critical_path.cpp
+// enforces that), because each real engine pays at least the best-case
+// batch cost along some causal chain, plus barriers, blocking, messages or
+// rollbacks on top.
+//
+// The replay runs the real BlockSimulators (the batch decomposition must
+// match what the engines execute), so it costs one sequential simulation.
+
+#include <cstdint>
+
+#include "netlist/circuit.hpp"
+#include "partition/partition.hpp"
+#include "stim/stimulus.hpp"
+#include "vp/cost.hpp"
+
+namespace plsim {
+
+struct CriticalPathResult {
+  /// Length of the longest causal chain in best-case batch-cost units: a
+  /// lower bound on every executor's makespan for this (c, stim, p).
+  double cp_time = 0.0;
+  /// Modelled sequential event-driven work (the speedup numerator used by
+  /// the Figure 1 sweep).
+  double seq_work = 0.0;
+  /// seq_work / cp_time: the maximum achievable speedup.
+  double bound_speedup = 0.0;
+  /// Total batches in the causal graph.
+  std::uint64_t batches = 0;
+  /// Batches on the longest chain (the critical path's length in hops).
+  std::uint64_t cp_batches = 0;
+  /// Messages crossing blocks (the edges that could serialize execution).
+  std::uint64_t messages = 0;
+};
+
+/// Replay (c, stim, p) and return the critical-path bound. Batches are
+/// costed at `cost_scale` times their modelled cost; pass `1.0 -
+/// VpConfig::exec_jitter` so the bound under-approximates every possible
+/// noise draw (the VP multiplies each batch by a factor >= 1 - exec_jitter),
+/// or 1.0 for the noise-free bound.
+CriticalPathResult analyze_critical_path(const Circuit& c,
+                                         const Stimulus& stim,
+                                         const Partition& p,
+                                         const CostModel& cost,
+                                         double cost_scale = 1.0);
+
+}  // namespace plsim

@@ -20,6 +20,7 @@
 #include "core/block.hpp"
 #include "engines/cmb.hpp"
 #include "engines/common.hpp"
+#include "trace/trace.hpp"
 #include "util/rng.hpp"
 #include "vp/vp.hpp"
 
@@ -69,6 +70,9 @@ VpResult run_conservative_vp(const Circuit& c, const Stimulus& stim,
   std::optional<Auditor> aud;
   if (cfg.audit || Auditor::env_enabled())
     aud.emplace("conservative-vp", n_blocks, horizon);
+
+  trace::Session tsn("conservative-vp", n_blocks,
+                     trace::ClockKind::VirtualMilliUnits);
 
   std::vector<Lp> lps(n_blocks);
   std::vector<double> clock(n_procs, 0.0);
@@ -140,6 +144,8 @@ VpResult run_conservative_vp(const Circuit& c, const Stimulus& stim,
       const BatchStats bs = blk.process_batch(t, externals, outputs);
       const double w =
           batch_cost(cost, bs, SaveMode::None) * cfg.noise(jitter[pr]);
+      PLSIM_TRACE_VSPAN(tsn.lane(b), Eval, clock[pr], clock[pr] + w, t,
+                        outputs.size());
       clock[pr] += w;
       r.busy += w;
       did = true;
@@ -162,6 +168,7 @@ VpResult run_conservative_vp(const Circuit& c, const Stimulus& stim,
         did = true;
         ++r.stats.messages;
         if (aud) aud->on_send(b, m.time);
+        PLSIM_TRACE_VMARK(tsn.lane(b), Send, clock[pr], m.time, ch.dst());
         if (local) {
           clock[pr] += cost.event;
           r.busy += cost.event;
@@ -184,6 +191,8 @@ VpResult run_conservative_vp(const Circuit& c, const Stimulus& stim,
           aud->on_promise(b, rel.promise);
           aud->on_send(b, rel.promise);
         }
+        PLSIM_TRACE_VMARK(tsn.lane(b), NullMsg, clock[pr], rel.promise,
+                          ch.dst());
         if (local) {
           clock[pr] += cost.event;
           r.busy += cost.event;
@@ -227,6 +236,13 @@ VpResult run_conservative_vp(const Circuit& c, const Stimulus& stim,
       const std::uint32_t pr = proc_of[a.dst];
       const double handle =
           a.msg.null ? null_cost(a.msg.src, a.dst) : cost.msg_recv;
+      if (a.at > clock[pr]) {
+        // The processor sat idle until the arrival: modelled blocked time.
+        PLSIM_TRACE_VSPAN(tsn.lane(a.dst), Blocked, clock[pr], a.at,
+                          a.msg.msg.time, a.msg.src);
+      }
+      PLSIM_TRACE_VMARK(tsn.lane(a.dst), Recv, std::max(clock[pr], a.at),
+                        a.msg.msg.time, 1);
       clock[pr] = std::max(clock[pr], a.at) + handle;
       r.busy += handle;
       lps[a.dst].in.receive(a.msg);

@@ -20,6 +20,7 @@
 #include "check/auditor.hpp"
 #include "core/block.hpp"
 #include "engines/common.hpp"
+#include "trace/trace.hpp"
 #include "util/rng.hpp"
 #include "vp/vp.hpp"
 
@@ -96,6 +97,10 @@ VpResult run_hybrid_vp(const Circuit& c, const Stimulus& stim,
   if (cfg.audit || Auditor::env_enabled())
     aud.emplace("hybrid-vp", n_clusters, horizon);
 
+  // One lane per cluster (the optimistic super-LP), on the modelled clock.
+  trace::Session tsn("hybrid-vp", n_clusters,
+                     trace::ClockKind::VirtualMilliUnits);
+
   VpResult r;
   r.procs = n_blocks;  // one processor per block, csize per cluster node
   std::vector<Message> externals, outputs;
@@ -134,10 +139,14 @@ VpResult run_hybrid_vp(const Circuit& c, const Stimulus& stim,
     }
     des.push(Ev{cl.clock + inter_latency, EvKind::Arrival,
                 cluster_of(m.dst_block), m, des_seq++});
-    if (m.anti)
+    if (m.anti) {
+      PLSIM_TRACE_VMARK(tsn.lane(k), AntiMsg, cl.clock, m.msg.time,
+                        m.dst_block);
       ++r.stats.anti_messages;
-    else
+    } else {
+      PLSIM_TRACE_VMARK(tsn.lane(k), Send, cl.clock, m.msg.time, m.dst_block);
       ++r.stats.messages;
+    }
   };
 
   auto rollback = [&](std::uint32_t k, Tick t) {
@@ -145,14 +154,18 @@ VpResult run_hybrid_vp(const Circuit& c, const Stimulus& stim,
     if (cl.processed_bound <= t) return;
     if (aud) aud->on_rollback(k, t);
     double w = cost.rollback_fixed;
+    std::uint64_t rb_batches = 0;
     for (std::size_t i = 0; i < cl.blocks.size(); ++i) {
       const auto rs = rig.blocks[cl.blocks[i]]->rollback_to(t);
       w += rs.entries * cost.undo_replay;
       r.stats.rolled_back_batches += rs.batches;
+      rb_batches += rs.batches;
       auto& env = rig.env[cl.blocks[i]];
       while (cl.env_pos[i] > 0 && env[cl.env_pos[i] - 1].time >= t)
         --cl.env_pos[i];
     }
+    PLSIM_TRACE_VSPAN(tsn.lane(k), Rollback, cl.clock, cl.clock + w, t,
+                      static_cast<std::uint32_t>(rb_batches));
     cl.clock += w;
     r.busy += w;
     cl.processed_bound = t;
@@ -215,6 +228,7 @@ VpResult run_hybrid_vp(const Circuit& c, const Stimulus& stim,
     if (aud) aud->on_batch(k, nt);
     double max_member = 0.0;
     double send_work = 0.0;
+    std::uint32_t stepped = 0;  // member blocks that actually ran a batch
     std::vector<HbMsg> to_send;  // dispatched after the step cost is charged
     for (std::size_t i = 0; i < cl.blocks.size(); ++i) {
       const std::uint32_t b = cl.blocks[i];
@@ -232,6 +246,7 @@ VpResult run_hybrid_vp(const Circuit& c, const Stimulus& stim,
       outputs.clear();
       const BatchStats bs = rig.blocks[b]->process_batch(nt, externals, outputs);
       max_member = std::max(max_member, batch_cost(cost, bs, bopts.save));
+      ++stepped;
       for (const Message& m : outputs) {
         for (std::uint32_t dst : rig.routing.dests[m.gate]) {
           HbMsg hm{m, dst, (static_cast<std::uint64_t>(k) << 40) |
@@ -253,6 +268,7 @@ VpResult run_hybrid_vp(const Circuit& c, const Stimulus& stim,
     const double w =
         (max_member + send_work + cost.smp_barrier_cost(csize)) *
         cfg.noise(jitter[k]);
+    PLSIM_TRACE_VSPAN(tsn.lane(k), Eval, cl.clock, cl.clock + w, nt, stepped);
     cl.clock += w;
     r.busy += w * csize;  // every member processor occupies the step
     r.stats.barriers += csize;
@@ -278,6 +294,8 @@ VpResult run_hybrid_vp(const Circuit& c, const Stimulus& stim,
         if (aud) aud->on_inflight_remove(ev.msg.msg.time);
         cl.clock = std::max(cl.clock, ev.at) + cost.msg_recv;
         r.busy += cost.msg_recv;
+        PLSIM_TRACE_VMARK(tsn.lane(ev.target), Recv, cl.clock,
+                          ev.msg.msg.time, ev.msg.dst_block);
         deliver(ev.target, ev.msg);
         break;
       }
@@ -288,6 +306,8 @@ VpResult run_hybrid_vp(const Circuit& c, const Stimulus& stim,
         gvt = std::max(gvt, new_gvt);
         if (aud) aud->on_gvt(gvt);
         ++r.stats.gvt_rounds;
+        PLSIM_TRACE_VMARK(tsn.lane(0), GvtRound, ev.at, gvt,
+                          static_cast<std::uint32_t>(r.stats.gvt_rounds));
         for (std::uint32_t k = 0; k < n_clusters; ++k) {
           Cluster& cl = clusters[k];
           double w = cost.barrier_cost(n_clusters) + cost.gvt_per_proc;

@@ -14,6 +14,7 @@
 #include "core/environment.hpp"
 #include "logic/gates.hpp"
 #include "partition/partition.hpp"
+#include "trace/trace.hpp"
 #include "vp/vp.hpp"
 
 namespace plsim {
@@ -37,6 +38,11 @@ VpResult run_oblivious_vp(const Circuit& c, const Stimulus& stim,
   std::vector<std::uint32_t> dffs(n, 0);
   for (GateId ff : c.flip_flops()) ++dffs[p.block_of[ff]];
 
+  // The account is closed-form, so the trace shows one representative cycle:
+  // per block and level, the evaluation span and the barrier idle that the
+  // busiest block imposes on the others.
+  trace::Session tsn("oblivious-vp", n, trace::ClockKind::VirtualMilliUnits);
+
   double cycle_cost = 0.0, cycle_busy = 0.0;
   for (std::uint32_t lv = 1; lv <= depth; ++lv) {
     std::uint32_t maxb = 0, sum = 0;
@@ -44,7 +50,15 @@ VpResult run_oblivious_vp(const Circuit& c, const Stimulus& stim,
       maxb = std::max(maxb, per_level[lv][b]);
       sum += per_level[lv][b];
     }
-    cycle_cost += maxb * cost.eval + cost.barrier_cost(n);
+    const double level_delta = maxb * cost.eval + cost.barrier_cost(n);
+    const double level_end = cycle_cost + level_delta;
+    for (std::uint32_t b = 0; b < n; ++b) {
+      const double ev_end = cycle_cost + per_level[lv][b] * cost.eval;
+      PLSIM_TRACE_VSPAN(tsn.lane(b), Eval, cycle_cost, ev_end, lv,
+                        per_level[lv][b]);
+      PLSIM_TRACE_VSPAN(tsn.lane(b), BarrierWait, ev_end, level_end, lv, lv);
+    }
+    cycle_cost += level_delta;
     cycle_busy += sum * cost.eval;
   }
   std::uint32_t max_dff = 0, sum_dff = 0;
@@ -84,8 +98,12 @@ VpResult run_oblivious_vp(const Circuit& c, const Stimulus& stim,
         block_evals += per_level[lv][b];
       aud->on_eval(b, block_evals * n_cycles);
       aud->on_barrier(b, barriers_per_block);
+      aud->on_dff(b, static_cast<std::uint64_t>(dffs[b]) *
+                         stim.vectors.size());
     }
     aud->expect_evaluations(swept * n_cycles);
+    aud->expect_dff_samples(static_cast<std::uint64_t>(sum_dff) *
+                            stim.vectors.size());
     aud->finalize();
   }
   return r;

@@ -18,6 +18,7 @@
 #include "check/auditor.hpp"
 #include "core/block.hpp"
 #include "engines/common.hpp"
+#include "trace/trace.hpp"
 #include "util/rng.hpp"
 #include "vp/vp.hpp"
 
@@ -66,6 +67,11 @@ VpResult run_sync_vp(const Circuit& c, const Stimulus& stim,
   if (cfg.audit || Auditor::env_enabled())
     aud.emplace("sync-vp", n_blocks, horizon);
 
+  // Records are stamped on the modelled clock: the step's barrier pair and
+  // each block's compute interval land where the cost model puts them.
+  trace::Session tsn("sync-vp", n_blocks,
+                     trace::ClockKind::VirtualMilliUnits);
+
   auto block_next = [&](std::uint32_t b) {
     Tick mine = rig.blocks[b]->next_internal_time();
     if (env_pos[b] < rig.env[b].size())
@@ -87,9 +93,15 @@ VpResult run_sync_vp(const Circuit& c, const Stimulus& stim,
 
     std::fill(recv_work.begin(), recv_work.end(), 0.0);
     std::fill(compute.begin(), compute.end(), 0.0);
+    const double step_base = r.makespan;
+    const double work_base =
+        step_base + 2.0 * cost.barrier_cost(n_procs);
     for (std::uint32_t b = 0; b < n_blocks; ++b) {
       BlockSimulator& blk = *rig.blocks[b];
       const std::uint32_t pr = proc_of[b];
+      trace::Lane* tl = tsn.lane(b);
+      const double my_start = work_base + compute[pr];
+      std::uint32_t my_batches = 0;
       double w = 0.0;
       for (;;) {
         const Tick t = block_next(b);
@@ -110,6 +122,7 @@ VpResult run_sync_vp(const Circuit& c, const Stimulus& stim,
         if (aud) aud->on_batch(b, t);
         const BatchStats bs = blk.process_batch(t, externals, outputs);
         w += batch_cost(cost, bs, SaveMode::None);
+        ++my_batches;
         for (const Message& m : outputs) {
           for (std::uint32_t dst : rig.routing.dests[m.gate]) {
             staged[dst].push(m);
@@ -117,6 +130,7 @@ VpResult run_sync_vp(const Circuit& c, const Stimulus& stim,
               aud->on_send(b, m.time);
               aud->on_inflight_add(m.time);
             }
+            PLSIM_TRACE_VMARK(tl, Send, my_start + w, m.time, dst);
             w += cost.msg_send;
             recv_work[proc_of[dst]] += cost.msg_recv;
             ++r.stats.messages;
@@ -127,6 +141,9 @@ VpResult run_sync_vp(const Circuit& c, const Stimulus& stim,
         w *= cfg.noise(jitter[pr]);
         compute[pr] += w;
         block_load[b] += w;
+        PLSIM_TRACE_VSPAN(tl, BarrierWait, step_base, work_base, front, 0);
+        PLSIM_TRACE_VSPAN(tl, Eval, my_start, my_start + w, front,
+                          my_batches);
       }
     }
 

@@ -21,6 +21,7 @@
 #include "check/auditor.hpp"
 #include "core/block.hpp"
 #include "engines/common.hpp"
+#include "trace/trace.hpp"
 #include "util/rng.hpp"
 #include "vp/vp.hpp"
 
@@ -99,6 +100,9 @@ VpResult run_timewarp_vp(const Circuit& c, const Stimulus& stim,
   if (cfg.audit || Auditor::env_enabled())
     aud.emplace("timewarp-vp", n_blocks, horizon);
 
+  trace::Session tsn("timewarp-vp", n_blocks,
+                     trace::ClockKind::VirtualMilliUnits);
+
   auto local_min = [&](std::uint32_t b) -> Tick {
     const Lp& lp = lps[b];
     Tick t = rig.blocks[b]->next_internal_time();
@@ -141,6 +145,10 @@ VpResult run_timewarp_vp(const Circuit& c, const Stimulus& stim,
       else
         ++r.stats.messages;
       if (aud) aud->on_send(b, m.msg.time);
+      if (m.anti)
+        PLSIM_TRACE_VMARK(tsn.lane(b), AntiMsg, clock[pr], m.msg.time, dst);
+      else
+        PLSIM_TRACE_VMARK(tsn.lane(b), Send, clock[pr], m.msg.time, dst);
       if (proc_of[dst] == pr) {
         // Shared-memory neighbour: enqueue directly.
         clock[pr] += cost.event;
@@ -165,6 +173,8 @@ VpResult run_timewarp_vp(const Circuit& c, const Stimulus& stim,
     const auto rs = rig.blocks[b]->rollback_to(t);
     const double w = cost.rollback_fixed + rs.entries * cost.undo_replay +
                      static_cast<double>(rs.bytes) * cost.save_per_byte;
+    PLSIM_TRACE_VSPAN(tsn.lane(b), Rollback, clock[pr], clock[pr] + w, t,
+                      rs.batches);
     clock[pr] += w;
     r.busy += w;
     lp.processed_bound = t;
@@ -191,6 +201,7 @@ VpResult run_timewarp_vp(const Circuit& c, const Stimulus& stim,
   deliver = [&](std::uint32_t b, const TwVpMsg& m) {
     Lp& lp = lps[b];
     if (aud) aud->on_deliver(b, m.msg.time);
+    PLSIM_TRACE_VMARK(tsn.lane(b), Recv, clock[proc_of[b]], m.msg.time, 1);
     if (m.msg.time < lp.processed_bound) rollback(b, m.msg.time);
     if (!m.anti) {
       lp.input_queue.emplace(m.msg.time, m);
@@ -258,6 +269,8 @@ VpResult run_timewarp_vp(const Circuit& c, const Stimulus& stim,
         rig.blocks[best]->process_batch(nt, externals, outputs);
     lp.processed_bound = tick_add(nt, 1);
     const double w = batch_cost(cost, bs, bopts.save) * cfg.noise(jitter[pr]);
+    PLSIM_TRACE_VSPAN(tsn.lane(best), Eval, clock[pr], clock[pr] + w, nt,
+                      outputs.size());
     clock[pr] += w;
     r.busy += w;
 
@@ -312,6 +325,8 @@ VpResult run_timewarp_vp(const Circuit& c, const Stimulus& stim,
         gvt = std::max(gvt, new_gvt);
         if (aud) aud->on_gvt(gvt);
         ++r.stats.gvt_rounds;
+        PLSIM_TRACE_VMARK(tsn.lane(0), GvtRound, ev.at, gvt,
+                          r.stats.gvt_rounds);
         for (std::uint32_t pr = 0; pr < n_procs; ++pr) {
           double w = cost.barrier_cost(n_procs) + cost.gvt_per_proc;
           for (std::uint32_t b : lps_of[pr]) {

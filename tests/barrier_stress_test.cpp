@@ -84,6 +84,122 @@ TEST(BarrierStress, InfinityRoundsPropagateInfinity) {
     EXPECT_EQ(mismatches[t], 0u) << "thread " << t;
 }
 
+TEST(TreeBarrierStress, ReuseAcrossManyRoundsReducesEveryRound) {
+  // Same reuse hammering as the central barrier, but the combining tree has
+  // per-level hand-off nodes whose release/acquire pairing and monotonic
+  // round counters are the thing under test.
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint32_t kRounds = 4000;
+  TreeMinReduceBarrier barrier(kThreads);
+  std::vector<std::uint64_t> mismatches(kThreads, 0);
+  run_on_threads(kThreads, [&](unsigned tid) {
+    for (std::uint32_t round = 0; round < kRounds; ++round) {
+      const Tick mine = Tick((tid + round) % kThreads) + Tick(round) * 10;
+      const Tick expect = Tick(round) * 10;
+      if (barrier.arrive(tid, mine) != expect) ++mismatches[tid];
+    }
+  });
+  for (unsigned t = 0; t < kThreads; ++t)
+    EXPECT_EQ(mismatches[t], 0u) << "thread " << t;
+}
+
+TEST(TreeBarrierStress, OddAndNonPowerOfTwoPartyCounts) {
+  // 1, 3, 5 and 7 parties exercise the childless-winner levels of the tree
+  // (a winner whose partner index falls past the last party must not wait).
+  for (const unsigned parties : {1u, 3u, 5u, 7u}) {
+    constexpr std::uint32_t kRounds = 1200;
+    TreeMinReduceBarrier barrier(parties);
+    std::vector<std::uint64_t> mismatches(parties, 0);
+    run_on_threads(parties, [&](unsigned tid) {
+      for (std::uint32_t round = 0; round < kRounds; ++round) {
+        const Tick mine = Tick((tid + round) % parties) + Tick(round) * 10;
+        const Tick expect = Tick(round) * 10;
+        if (barrier.arrive(tid, mine) != expect) ++mismatches[tid];
+      }
+    });
+    for (unsigned t = 0; t < parties; ++t)
+      EXPECT_EQ(mismatches[t], 0u) << parties << " parties, thread " << t;
+  }
+}
+
+TEST(TreeBarrierStress, StaggeredArrivalsStillAgree) {
+  // Higher tids burn time before arriving, so the root regularly sits
+  // waiting on the full depth of the tree while losers park on the release
+  // epoch — the stale-result window if publication were misordered.
+  constexpr unsigned kThreads = 6;
+  constexpr std::uint32_t kRounds = 600;
+  TreeMinReduceBarrier barrier(kThreads);
+  std::vector<std::uint64_t> mismatches(kThreads, 0);
+  run_on_threads(kThreads, [&](unsigned tid) {
+    for (std::uint32_t round = 0; round < kRounds; ++round) {
+      for (unsigned spin = 0; spin < tid * 40; ++spin) yield_thread();
+      const Tick mine = Tick((tid + round) % kThreads) + Tick(round) * 10;
+      const Tick expect = Tick(round) * 10;
+      if (barrier.arrive(tid, mine) != expect) ++mismatches[tid];
+    }
+  });
+  for (unsigned t = 0; t < kThreads; ++t)
+    EXPECT_EQ(mismatches[t], 0u) << "thread " << t;
+}
+
+TEST(TreeBarrierStress, MatchesCentralBarrierEpisodeForEpisode) {
+  constexpr unsigned kThreads = 5;
+  constexpr std::uint32_t kRounds = 1000;
+  TreeMinReduceBarrier tree(kThreads);
+  MinReduceBarrier central(kThreads);
+  std::vector<std::uint64_t> mismatches(kThreads, 0);
+  run_on_threads(kThreads, [&](unsigned tid) {
+    for (std::uint32_t round = 0; round < kRounds; ++round) {
+      const Tick mine = Tick((tid + round) % kThreads) + Tick(round) * 10;
+      if (tree.arrive(tid, mine) != central.arrive(mine)) ++mismatches[tid];
+    }
+  });
+  for (unsigned t = 0; t < kThreads; ++t)
+    EXPECT_EQ(mismatches[t], 0u) << "thread " << t;
+}
+
+TEST(TreeBarrierStress, InfinityRoundsPropagateInfinity) {
+  constexpr unsigned kThreads = 3;
+  constexpr std::uint32_t kRounds = 800;
+  TreeMinReduceBarrier barrier(kThreads);
+  std::vector<std::uint64_t> mismatches(kThreads, 0);
+  run_on_threads(kThreads, [&](unsigned tid) {
+    for (std::uint32_t round = 0; round < kRounds; ++round)
+      if (barrier.arrive(tid, kTickInf) != kTickInf) ++mismatches[tid];
+  });
+  for (unsigned t = 0; t < kThreads; ++t)
+    EXPECT_EQ(mismatches[t], 0u) << "thread " << t;
+}
+
+TEST(GuardedStress, ReadersSeeConsistentSnapshotsUnderWriters) {
+  // Writers keep two counters in lockstep; readers (through the const
+  // overload) must never observe them out of sync.
+  struct Pair {
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+  };
+  constexpr unsigned kThreads = 6;  // even split: writers and readers
+  Guarded<Pair> state;
+  std::vector<std::uint64_t> torn(kThreads, 0);
+  run_on_threads(kThreads, [&](unsigned tid) {
+    if (tid % 2 == 0) {
+      for (int i = 0; i < 3000; ++i)
+        state.with([](Pair& p) {
+          ++p.a;
+          ++p.b;
+        });
+    } else {
+      const Guarded<Pair>& ro = state;
+      for (int i = 0; i < 3000; ++i)
+        ro.with([&](const Pair& p) {
+          if (p.a != p.b) ++torn[tid];
+        });
+    }
+  });
+  for (unsigned t = 0; t < kThreads; ++t)
+    EXPECT_EQ(torn[t], 0u) << "thread " << t;
+}
+
 TEST(BarrierStress, TwoBarrierAlternationKeepsPhasesSeparate) {
   // Engines alternate between two barriers (arrive/depart pairs); values
   // contributed to one phase must never bleed into the other's reduction.

@@ -318,6 +318,43 @@ TEST(AuditorNegative, BalancedEvaluationsPassConservation) {
   EXPECT_TRUE(aud.ok());
 }
 
+TEST(AuditorNegative, MissingDffSamplesBreakDffConservation) {
+  // Oblivious DFF conservation: every flip-flop samples exactly once per
+  // stimulus vector. A block that skips its DFF barrier phase under-counts.
+  Auditor aud("injected", 2, 100);
+  aud.on_dff(0, 6);
+  aud.on_dff(1, 3);
+  aud.expect_dff_samples(12);  // 3 samplings went missing
+  expect_violation(aud, "dff-conservation");
+}
+
+TEST(AuditorNegative, ExtraDffSamplesBreakDffConservation) {
+  // Double-clocking (a DFF sampled twice in one cycle) is as wrong as
+  // skipping — conservation is an equality, not a lower bound.
+  Auditor aud("injected", 1, 100);
+  aud.on_dff(0, 11);
+  aud.expect_dff_samples(10);
+  expect_violation(aud, "dff-conservation");
+}
+
+TEST(AuditorNegative, BalancedDffSamplesPassConservation) {
+  Auditor aud("injected", 2, 100);
+  aud.on_dff(0, 6);
+  aud.on_dff(1, 6);
+  aud.expect_dff_samples(12);
+  EXPECT_NO_THROW(aud.finalize());
+  EXPECT_TRUE(aud.ok());
+}
+
+TEST(AuditorNegative, DffCheckIsSkippedWithoutExpectation) {
+  // Engines that don't track DFF sampling (the event-driven families) never
+  // call expect_dff_samples; stray on_dff counts alone must not fail them.
+  Auditor aud("injected", 1, 100);
+  aud.on_dff(0, 4);
+  EXPECT_NO_THROW(aud.finalize());
+  EXPECT_TRUE(aud.ok());
+}
+
 TEST(AuditorNegative, BarrierArrivalSkewIsCaught) {
   // Every LP must arrive at every global barrier; a skew means an arrival
   // was lost (and the sweep read values unordered by the barrier).

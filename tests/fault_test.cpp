@@ -77,6 +77,49 @@ TEST(Fault, SerialAndParallelAgreeEverywhere) {
   }
 }
 
+TEST(Fault, CompiledAndInterpretiveKernelsAgreeEverywhere) {
+  // Differential test of the SimPlan-compiled good/faulty-machine sweep
+  // against the retained interpretive Circuit walk: identical detections,
+  // masks and evaluation counts on combinational and sequential circuits,
+  // for both the serial and the bit-parallel driver.
+  for (std::uint64_t seed : {4u, 5u, 6u}) {
+    RandomCircuitSpec spec;
+    spec.n_gates = 180;
+    spec.n_inputs = 12;
+    spec.dff_fraction = seed == 6 ? 0.12 : 0.0;
+    spec.seed = seed;
+    const Circuit c = random_circuit(spec);
+    const Stimulus s = random_stimulus(c, 25, 0.5, seed * 11);
+    const auto faults = enumerate_faults(c);
+
+    const FaultSimResult pc =
+        fault_simulate_parallel(c, s, faults, FaultKernel::Compiled);
+    const FaultSimResult pi =
+        fault_simulate_parallel(c, s, faults, FaultKernel::Interpretive);
+    EXPECT_EQ(pc.detected, pi.detected) << "seed " << seed;
+    EXPECT_EQ(pc.detected_mask, pi.detected_mask) << "seed " << seed;
+    EXPECT_EQ(pc.gate_evaluations, pi.gate_evaluations) << "seed " << seed;
+
+    const FaultSimResult sc =
+        fault_simulate_serial(c, s, faults, FaultKernel::Compiled);
+    const FaultSimResult si =
+        fault_simulate_serial(c, s, faults, FaultKernel::Interpretive);
+    EXPECT_EQ(sc.detected, si.detected) << "seed " << seed;
+    EXPECT_EQ(sc.detected_mask, si.detected_mask) << "seed " << seed;
+  }
+}
+
+TEST(Fault, KernelsAgreeOnFirstDetection) {
+  const Circuit c = ripple_adder(5);
+  const Stimulus s = random_stimulus(c, 30, 0.5, 13);
+  const auto faults = enumerate_faults(c);
+  const auto compiled =
+      fault_first_detection(c, s, faults, FaultKernel::Compiled);
+  const auto interp =
+      fault_first_detection(c, s, faults, FaultKernel::Interpretive);
+  EXPECT_EQ(compiled, interp);
+}
+
 TEST(Fault, ExhaustiveVectorsachieveFullCoverageOnAdder) {
   const Circuit c = ripple_adder(3);  // 7 inputs -> 128 vectors
   const Stimulus s = exhaustive_stimulus(c);

@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "core/environment.hpp"
 #include "netlist/builder.hpp"
@@ -141,6 +144,111 @@ TEST(Vcd, EmitsWellFormedDocument) {
     pos += 4;
   }
   EXPECT_EQ(vars, c.gate_count());
+}
+
+// Parse "$var wire 1 <id> <name> $end" declarations from a VCD document.
+std::vector<std::pair<std::string, std::string>> parse_vars(
+    const std::string& doc) {
+  std::vector<std::pair<std::string, std::string>> vars;
+  std::size_t pos = 0;
+  while ((pos = doc.find("$var wire 1 ", pos)) != std::string::npos) {
+    std::istringstream line(doc.substr(pos + 12));
+    std::string id, name;
+    line >> id >> name;
+    vars.emplace_back(id, name);
+    pos += 12;
+  }
+  return vars;
+}
+
+// Extract the initial-value id codes listed between $dumpvars and its $end.
+std::vector<std::string> parse_dumpvars(const std::string& doc) {
+  const std::size_t begin = doc.find("$dumpvars\n");
+  const std::size_t end = doc.find("$end", begin);
+  EXPECT_NE(begin, std::string::npos);
+  EXPECT_NE(end, std::string::npos);
+  std::istringstream body(doc.substr(begin + 10, end - begin - 10));
+  std::vector<std::string> ids;
+  std::string line;
+  while (std::getline(body, line))
+    if (!line.empty()) ids.push_back(line.substr(1));  // strip the 'x'
+  return ids;
+}
+
+TEST(Vcd, WideWatchlistGetsMultiCharIdsAndUniqueCodes) {
+  // The id alphabet has 94 printable characters; watching more signals than
+  // that forces vcd_id into multi-character codes, which must stay unique
+  // and be used consistently by the change records.
+  const Circuit c = scaled_circuit(200, 1);
+  ASSERT_GT(c.gate_count(), 100u);
+  std::vector<GateId> watched(100);
+  for (GateId g = 0; g < 100; ++g) watched[g] = g;
+  Trace trace = {{5, watched[99], Logic4::T}};
+  std::stringstream ss;
+  write_vcd(ss, c, trace, watched);
+  const std::string doc = ss.str();
+
+  const auto vars = parse_vars(doc);
+  ASSERT_EQ(vars.size(), watched.size());
+  std::set<std::string> ids, names;
+  std::size_t multi_char = 0;
+  for (const auto& [id, name] : vars) {
+    ids.insert(id);
+    names.insert(name);
+    if (id.size() > 1) ++multi_char;
+  }
+  EXPECT_EQ(ids.size(), watched.size()) << "id codes must be unique";
+  EXPECT_EQ(names.size(), watched.size()) << "names must be unique";
+  EXPECT_EQ(multi_char, watched.size() - 94);  // indices 94..99
+
+  // The change on signal index 99 must reference its (two-character) id.
+  const std::string id99 = vars[99].first;
+  EXPECT_EQ(id99.size(), 2u);
+  EXPECT_NE(doc.find("#5\n1" + id99), std::string::npos);
+}
+
+TEST(Vcd, DumpvarsCoversEveryWatchedSignalExactlyOnce) {
+  // Viewers take a signal's value as undefined until its first change; the
+  // $dumpvars block must therefore seed every declared signal with 'x'.
+  const Circuit c = scaled_circuit(150, 1);
+  std::stringstream ss;
+  write_vcd(ss, c, {});  // empty trace: only the initial dump
+  const std::string doc = ss.str();
+  const auto vars = parse_vars(doc);
+  ASSERT_EQ(vars.size(), c.gate_count());
+  std::set<std::string> declared;
+  for (const auto& [id, name] : vars) declared.insert(id);
+  const auto initial = parse_dumpvars(doc);
+  EXPECT_EQ(initial.size(), c.gate_count());
+  EXPECT_EQ(std::set<std::string>(initial.begin(), initial.end()), declared);
+}
+
+TEST(Vcd, CollidingNamesAreDisambiguated) {
+  // NetlistBuilder rejects duplicate explicit names, but an explicit name
+  // can still shadow an unnamed gate's "n<id>" fallback. The emitted names
+  // must be distinct or viewers merge the waveforms.
+  NetlistBuilder b;
+  const GateId a = b.add_input("a");
+  b.add_gate(GateType::Not, {a}, "n2");  // shadows gate 2's fallback name
+  const GateId anon2 = b.add_gate(GateType::Buf, {a});  // gate 2, unnamed
+  b.add_gate(GateType::Buf, {a}, "n4");  // shadows gate 4's fallback name
+  const GateId anon4 = b.add_gate(GateType::Buf, {a});  // gate 4, unnamed
+  b.mark_output(anon4);
+  const Circuit c = b.build();
+  ASSERT_EQ(anon2, 2u);
+  ASSERT_EQ(anon4, 4u);
+
+  std::stringstream ss;
+  write_vcd(ss, c, {});
+  const auto vars = parse_vars(ss.str());
+  ASSERT_EQ(vars.size(), c.gate_count());
+  std::set<std::string> names;
+  for (const auto& [id, name] : vars) names.insert(name);
+  EXPECT_EQ(names.size(), c.gate_count()) << "every emitted name is unique";
+  EXPECT_TRUE(names.count("n2"));
+  EXPECT_TRUE(names.count("n2_g2"));
+  EXPECT_TRUE(names.count("n4"));
+  EXPECT_TRUE(names.count("n4_g4"));
 }
 
 TEST(Vcd, WatchedSubsetOnly) {

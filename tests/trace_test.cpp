@@ -1,0 +1,287 @@
+// Tests for the event-tracing subsystem (src/trace): ring-buffer lane
+// semantics, environment parsing, file formats, and the critical-path
+// analyzer's bound over the real executors.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "netlist/generators.hpp"
+#include "partition/algorithms.hpp"
+#include "stim/stimulus.hpp"
+#include "trace/critical_path.hpp"
+#include "trace/trace.hpp"
+#include "vp/vp.hpp"
+
+namespace plsim {
+namespace {
+
+TEST(TraceLane, EmitsInOrder) {
+  trace::Lane lane(3, 16, std::chrono::steady_clock::now());
+  lane.emit(trace::Kind::Eval, 10, 25, 100, 7);
+  lane.emit(trace::Kind::Send, 30, 30, 110, 2);
+  const std::vector<trace::Record> recs = lane.drain();
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].start, 10u);
+  EXPECT_EQ(recs[0].dur, 15u);
+  EXPECT_EQ(recs[0].lp, 3u);
+  EXPECT_EQ(recs[0].tick, 100u);
+  EXPECT_EQ(recs[0].aux, 7u);
+  EXPECT_EQ(recs[0].kind, static_cast<std::uint16_t>(trace::Kind::Eval));
+  EXPECT_EQ(recs[1].dur, 0u) << "equal start/end is an instant event";
+  EXPECT_EQ(lane.dropped(), 0u);
+}
+
+TEST(TraceLane, RingWrapKeepsNewestRecords) {
+  trace::Lane lane(0, 4, std::chrono::steady_clock::now());
+  for (std::uint64_t i = 0; i < 10; ++i)
+    lane.emit(trace::Kind::Eval, i, i, i, 0);
+  EXPECT_EQ(lane.total(), 10u);
+  EXPECT_EQ(lane.dropped(), 6u);
+  const std::vector<trace::Record> recs = lane.drain();
+  ASSERT_EQ(recs.size(), 4u);
+  // Oldest survivor first: records 6, 7, 8, 9.
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(recs[i].tick, 6 + i);
+}
+
+TEST(TraceLane, BackwardsSpanClampsToInstant) {
+  trace::Lane lane(0, 4, std::chrono::steady_clock::now());
+  lane.emit(trace::Kind::Eval, 50, 40, 0, 0);
+  EXPECT_EQ(lane.drain()[0].dur, 0u);
+}
+
+TEST(TraceEnv, DisabledWhenUnset) {
+  ::unsetenv("PLSIM_TRACE");
+  EXPECT_FALSE(trace::env_config().enabled);
+}
+
+TEST(TraceEnv, ParsesPathAndCapacity) {
+  ::setenv("PLSIM_TRACE", "/tmp/out.bin:512", 1);
+  trace::EnvConfig cfg = trace::env_config();
+  EXPECT_TRUE(cfg.enabled);
+  EXPECT_EQ(cfg.path, "/tmp/out.bin");
+  EXPECT_EQ(cfg.cap, 512u);
+
+  ::setenv("PLSIM_TRACE", "/tmp/plain.json", 1);
+  cfg = trace::env_config();
+  EXPECT_TRUE(cfg.enabled);
+  EXPECT_EQ(cfg.path, "/tmp/plain.json");
+  EXPECT_EQ(cfg.cap, 16384u) << "no suffix keeps the default capacity";
+
+  // A non-numeric suffix after ':' belongs to the path.
+  ::setenv("PLSIM_TRACE", "/tmp/odd:name", 1);
+  cfg = trace::env_config();
+  EXPECT_TRUE(cfg.enabled);
+  EXPECT_EQ(cfg.path, "/tmp/odd:name");
+  ::unsetenv("PLSIM_TRACE");
+}
+
+TEST(TraceSession, DisabledSessionHandsOutNullLanes) {
+  ::unsetenv("PLSIM_TRACE");
+  trace::Session tsn("test-engine", 4);
+  EXPECT_FALSE(tsn.enabled());
+  EXPECT_EQ(tsn.lane(0), nullptr);
+  EXPECT_EQ(tsn.lane(99), nullptr);
+}
+
+TEST(TraceNumberedPath, LaterRunsGetDistinctNumberedNames) {
+  const std::string a = trace::numbered_path("/tmp/tr/x.bin");
+  const std::string b = trace::numbered_path("/tmp/tr/x.bin");
+  EXPECT_NE(a, b);
+  // Every non-first name is "<stem>.<n><ext>".
+  EXPECT_EQ(b.rfind("/tmp/tr/x.", 0), 0u);
+  EXPECT_EQ(b.substr(b.size() - 4), ".bin");
+}
+
+TEST(TraceRecorder, BinaryRoundTrip) {
+  trace::Recorder rec("unit", 2, 16, trace::ClockKind::VirtualMilliUnits);
+  rec.lane(0)->emit(trace::Kind::Eval, 1000, 2500, 42, 3);
+  rec.lane(1)->emit(trace::Kind::Rollback, 5000, 5600, 77, 9);
+  std::ostringstream os(std::ios::binary);
+  rec.write_binary(os);
+  const std::string buf = os.str();
+
+  ASSERT_GE(buf.size(), 8u + 4 * 4 + 4 + 2 * 8 + 2 * sizeof(trace::Record));
+  EXPECT_EQ(buf.substr(0, 8), "PLSTRC1\n");
+  auto u32 = [&buf](std::size_t off) {
+    std::uint32_t v;
+    std::memcpy(&v, buf.data() + off, 4);
+    return v;
+  };
+  auto u64 = [&buf](std::size_t off) {
+    std::uint64_t v;
+    std::memcpy(&v, buf.data() + off, 8);
+    return v;
+  };
+  EXPECT_EQ(u32(8), 1u) << "version";
+  EXPECT_EQ(u32(12), 1u) << "virtual clock flag";
+  ASSERT_EQ(u32(16), 4u) << "engine name length";
+  EXPECT_EQ(buf.substr(20, 4), "unit");
+  EXPECT_EQ(u32(24), 2u) << "lanes";
+  EXPECT_EQ(u64(28), 2u) << "records";
+  EXPECT_EQ(u64(36), 0u) << "dropped";
+  trace::Record r0;
+  std::memcpy(&r0, buf.data() + 44, sizeof(r0));
+  EXPECT_EQ(r0.start, 1000u);
+  EXPECT_EQ(r0.dur, 1500u);
+  EXPECT_EQ(r0.lp, 0u);
+  EXPECT_EQ(r0.tick, 42u);
+  EXPECT_EQ(r0.aux, 3u);
+  EXPECT_EQ(r0.kind, static_cast<std::uint16_t>(trace::Kind::Eval));
+}
+
+TEST(TraceRecorder, ChromeJsonShape) {
+  trace::Recorder rec("unit", 1, 16, trace::ClockKind::WallNs);
+  rec.lane(0)->emit(trace::Kind::Eval, 1000, 3000, 5, 1);   // span
+  rec.lane(0)->emit(trace::Kind::Send, 4000, 4000, 6, 2);   // instant
+  std::ostringstream os;
+  rec.write_chrome(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("plsim:unit"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos) << "span event";
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos) << "instant event";
+  EXPECT_NE(json.find("\"name\":\"eval\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"send\""), std::string::npos);
+  // Balanced braces/brackets — cheap structural sanity without a parser
+  // (the trace-enabled ctest config validates with python's json module).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+#if PLSIM_TRACE_ENABLED
+// Arming depends on the compiled-in hooks; under PLSIM_TRACING=OFF the
+// session stays disabled by design, so this test only exists when tracing
+// is compiled in.
+TEST(TraceSession, ArmedSessionWritesBinaryFile) {
+  const std::string path = ::testing::TempDir() + "plsim_trace_test.bin";
+  ::setenv("PLSIM_TRACE", (path + ":64").c_str(), 1);
+  std::string actual;  // numbered_path may rename (process-global counter)
+  {
+    trace::Session tsn("env-armed", 1);
+    ASSERT_TRUE(tsn.enabled());
+    PLSIM_TRACE_MARK(tsn.lane(0), GvtRound, 7, 1);
+    actual = tsn.path();
+  }  // destructor writes the file
+  ::unsetenv("PLSIM_TRACE");
+  std::ifstream is(actual, std::ios::binary);
+  ASSERT_TRUE(is.good()) << actual;
+  char magic[8] = {};
+  is.read(magic, 8);
+  EXPECT_EQ(std::string(magic, 8), "PLSTRC1\n");
+  std::remove(actual.c_str());
+}
+#else
+TEST(TraceSession, StaysDisabledWhenCompiledOut) {
+  const std::string path = ::testing::TempDir() + "plsim_trace_off.bin";
+  ::setenv("PLSIM_TRACE", (path + ":64").c_str(), 1);
+  {
+    trace::Session tsn("compiled-out", 1);
+    EXPECT_FALSE(tsn.enabled());
+    EXPECT_EQ(tsn.lane(0), nullptr);
+    PLSIM_TRACE_MARK(tsn.lane(0), GvtRound, 7, 1);  // must compile to nothing
+  }
+  ::unsetenv("PLSIM_TRACE");
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_FALSE(is.good()) << "no file may be written when tracing is off";
+}
+#endif
+
+TEST(TraceSession, WriteProducesParsableMagic) {
+  const std::string path = ::testing::TempDir() + "plsim_trace_magic.bin";
+  std::remove(path.c_str());
+  trace::Recorder rec("magic", 1, 8, trace::ClockKind::WallNs);
+  rec.lane(0)->emit(trace::Kind::Eval, 1, 2, 3, 4);
+  ASSERT_TRUE(rec.write(path));
+  std::ifstream is(path, std::ios::binary);
+  char magic[8] = {};
+  is.read(magic, 8);
+  EXPECT_EQ(std::string(magic, 8), "PLSTRC1\n");
+  std::remove(path.c_str());
+}
+
+// --- Critical path ---
+
+struct CpWorkload {
+  Circuit c;
+  Stimulus stim;
+  Partition p;
+};
+
+CpWorkload cp_workload() {
+  RandomCircuitSpec spec;
+  spec.n_gates = 600;
+  spec.n_inputs = 16;
+  spec.dff_fraction = 0.10;
+  spec.seed = 11;
+  Circuit c = random_circuit(spec);
+  Stimulus stim = random_stimulus(c, 12, 0.30, 5);
+  Partition p = partition_fm(c, 4, 1);
+  return {std::move(c), std::move(stim), std::move(p)};
+}
+
+TEST(CriticalPath, ProducesAPositiveBound) {
+  const CpWorkload w = cp_workload();
+  const CostModel cost;
+  const CriticalPathResult cp =
+      analyze_critical_path(w.c, w.stim, w.p, cost, 1.0);
+  EXPECT_GT(cp.cp_time, 0.0);
+  EXPECT_GT(cp.seq_work, 0.0);
+  EXPECT_GT(cp.bound_speedup, 0.0);
+  EXPECT_GT(cp.batches, 0u);
+  EXPECT_GE(cp.batches, cp.cp_batches);
+  EXPECT_LE(cp.cp_time, cp.seq_work)
+      << "the critical path can never exceed the total sequential work";
+}
+
+TEST(CriticalPath, ScalesLinearlyWithCostScale) {
+  const CpWorkload w = cp_workload();
+  const CostModel cost;
+  const CriticalPathResult full =
+      analyze_critical_path(w.c, w.stim, w.p, cost, 1.0);
+  const CriticalPathResult scaled =
+      analyze_critical_path(w.c, w.stim, w.p, cost, 0.9);
+  EXPECT_NEAR(scaled.cp_time, 0.9 * full.cp_time, 1e-9 * full.cp_time);
+  EXPECT_EQ(scaled.cp_batches, full.cp_batches);
+  EXPECT_EQ(scaled.batches, full.batches);
+}
+
+TEST(CriticalPath, BoundDominatesEveryExecutor) {
+  const CpWorkload w = cp_workload();
+  VpConfig cfg;
+  cfg.lazy_cancellation = true;
+  const SequentialCost seq = sequential_cost(w.c, w.stim, cfg.cost);
+  const CriticalPathResult cp = analyze_critical_path(
+      w.c, w.stim, w.p, cfg.cost, 1.0 - cfg.exec_jitter);
+  const double bound = cp.bound_speedup;
+  EXPECT_GE(bound,
+            seq.work / run_sync_vp(w.c, w.stim, w.p, cfg).makespan);
+  EXPECT_GE(bound,
+            seq.work / run_conservative_vp(w.c, w.stim, w.p, cfg).makespan);
+  EXPECT_GE(bound,
+            seq.work / run_timewarp_vp(w.c, w.stim, w.p, cfg).makespan);
+  EXPECT_GE(bound,
+            seq.work / run_hybrid_vp(w.c, w.stim, w.p, cfg).makespan);
+}
+
+TEST(CriticalPath, DeterministicAcrossRuns) {
+  const CpWorkload w = cp_workload();
+  const CostModel cost;
+  const CriticalPathResult a =
+      analyze_critical_path(w.c, w.stim, w.p, cost, 1.0);
+  const CriticalPathResult b =
+      analyze_critical_path(w.c, w.stim, w.p, cost, 1.0);
+  EXPECT_EQ(a.cp_time, b.cp_time);
+  EXPECT_EQ(a.batches, b.batches);
+  EXPECT_EQ(a.messages, b.messages);
+}
+
+}  // namespace
+}  // namespace plsim

@@ -48,6 +48,13 @@ comment `// plsim-lint: allow(<rule>)`):
                   there silently forfeits the compiled-plan speedup and splits
                   the semantics into two code paths.
 
+  trace-macro     Direct use of plsim::trace_detail:: helpers is confined to
+                  src/trace/. Instrumentation sites must go through the
+                  PLSIM_TRACE_SCOPE/MARK/VMARK/VSPAN macros — those are what
+                  compile to nothing under PLSIM_TRACING=OFF; a raw
+                  trace_detail call would survive the build flag and charge
+                  the hot path even in untraced builds.
+
 Usage: lint_plsim.py <repo-root>
 Exit status 0 when clean, 1 with file:line diagnostics otherwise.
 """
@@ -102,6 +109,8 @@ PLAN_EVAL = re.compile(
     r"\beval_gate[0-9]+\s*\("
     r"|\b(?:c|circuit|circuit_)\s*(?:\.|->)\s*fanins\s*\("
 )
+# Raw tracing internals outside the trace module itself.
+TRACE_DETAIL = re.compile(r"\btrace_detail\s*::")
 
 
 def strip_comments_and_strings(line):
@@ -140,6 +149,7 @@ def lint_file(path, rel, findings):
     in_tick_code = rel.startswith(
         ("src/core/", "src/engines/", "src/vp/", "src/event/", "src/seq/"))
     in_plan_code = rel == "src/core/block.cpp" or rel.startswith("src/engines/")
+    in_trace = rel.startswith("src/trace/")
     in_src = rel.startswith("src/")
 
     # Names of unordered containers declared anywhere in this file.
@@ -205,6 +215,14 @@ def lint_file(path, rel, findings):
             if m:
                 report(idx, "threading",
                        f"#include <{m.group(1)}> outside src/parallel/")
+
+        if in_src and not in_trace:
+            m = TRACE_DETAIL.search(code)
+            if m:
+                report(idx, "trace-macro",
+                       "raw trace_detail:: outside src/trace/ — use the "
+                       "PLSIM_TRACE_* macros so the call compiles out under "
+                       "PLSIM_TRACING=OFF")
 
         if in_src and not in_rng:
             m = RANDOMNESS.search(code)

@@ -1,0 +1,291 @@
+#!/usr/bin/env python3
+"""Summarize a plsim binary trace (magic PLSTRC1, written by src/trace).
+
+Usage:
+    trace_summary.py TRACE.bin [--lp N] [--histogram] [--timeline [N]]
+    trace_summary.py TRACE.bin --chrome OUT.json
+
+Default output: the file header, then a per-LP table (records, spans,
+time-in-state breakdown per record kind) and the aggregate time-in-state
+breakdown across all lanes. Optional views:
+
+  --timeline [N]   per-LP event timelines (first N records per LP, default
+                   20; 0 = all), in emission order
+  --histogram      rollback cascade depth histogram: antimessage records
+                   (aux = destination LP) are linked to the next rollback on
+                   that destination; chains of linked rollbacks form a
+                   cascade whose depth is counted
+  --lp N           restrict every view to one logical process
+  --chrome OUT     convert to Chrome/Perfetto trace-event JSON (load via
+                   chrome://tracing or https://ui.perfetto.dev)
+
+Times print as milliseconds for wall-clock traces and work units for
+virtual-platform traces (the header flags which clock produced the file).
+
+Exit status: 0 = ok, 2 = usage/format error.
+"""
+
+import argparse
+import json
+import os
+import struct
+import sys
+from collections import defaultdict
+
+MAGIC = b"PLSTRC1\n"
+RECORD = struct.Struct("<QIIQIHH")  # start, dur, lp, tick, aux, kind, pad
+
+KIND_NAMES = [
+    "eval", "send", "recv", "null-msg", "rollback",
+    "antimessage", "barrier-wait", "gvt-round", "blocked",
+]
+
+EVAL, SEND, RECV, NULLMSG, ROLLBACK, ANTIMSG, BARRIER, GVT, BLOCKED = range(9)
+
+
+def kind_name(k):
+    return KIND_NAMES[k] if k < len(KIND_NAMES) else f"kind{k}"
+
+
+def load(path):
+    """Parse the binary trace; returns (header dict, list of record tuples)."""
+    try:
+        with open(path, "rb") as f:
+            data = f.read()
+    except OSError as e:
+        sys.exit(f"trace_summary: cannot read {path}: {e}")
+    if data[:8] != MAGIC:
+        sys.exit(f"trace_summary: {path}: bad magic (not a plsim trace)")
+    off = 8
+
+    def u32():
+        nonlocal off
+        (v,) = struct.unpack_from("<I", data, off)
+        off += 4
+        return v
+
+    def u64():
+        nonlocal off
+        (v,) = struct.unpack_from("<Q", data, off)
+        off += 8
+        return v
+
+    try:
+        version = u32()
+        if version != 1:
+            sys.exit(f"trace_summary: {path}: unsupported version {version}")
+        flags = u32()
+        name_len = u32()
+        engine = data[off:off + name_len].decode("utf-8", "replace")
+        off += name_len
+        lanes = u32()
+        n_records = u64()
+        dropped = u64()
+        expected = off + n_records * RECORD.size
+        if expected > len(data):
+            sys.exit(f"trace_summary: {path}: truncated "
+                     f"({len(data)} bytes, need {expected})")
+        records = [RECORD.unpack_from(data, off + i * RECORD.size)
+                   for i in range(n_records)]
+    except struct.error as e:
+        sys.exit(f"trace_summary: {path}: truncated header: {e}")
+    header = {
+        "engine": engine,
+        "lanes": lanes,
+        "records": n_records,
+        "dropped": dropped,
+        "virtual_clock": bool(flags & 1),
+    }
+    return header, records
+
+
+def fmt_time(raw, virtual):
+    """Raw units are ns (wall) or milli-work-units (virtual)."""
+    if virtual:
+        return f"{raw / 1000.0:.3f}u"
+    return f"{raw / 1e6:.3f}ms"
+
+
+def per_lp_summary(records, virtual, only_lp=None):
+    by_lp = defaultdict(lambda: {"records": 0, "spans": 0,
+                                 "time": defaultdict(int),
+                                 "count": defaultdict(int)})
+    for start, dur, lp, tick, aux, kind, _pad in records:
+        if only_lp is not None and lp != only_lp:
+            continue
+        s = by_lp[lp]
+        s["records"] += 1
+        s["count"][kind] += 1
+        if dur > 0:
+            s["spans"] += 1
+            s["time"][kind] += dur
+    return by_lp
+
+
+def print_summary(header, records, only_lp):
+    virtual = header["virtual_clock"]
+    print(f"engine:  {header['engine']}")
+    print(f"clock:   {'virtual work units' if virtual else 'wall ns'}")
+    print(f"lanes:   {header['lanes']}")
+    print(f"records: {header['records']}"
+          + (f" (+{header['dropped']} dropped at ring wrap)"
+             if header["dropped"] else ""))
+    by_lp = per_lp_summary(records, virtual, only_lp)
+    if not by_lp:
+        print("no records")
+        return
+
+    print("\nper-LP time in state (spans only):")
+    total_time = defaultdict(int)
+    total_count = defaultdict(int)
+    for lp in sorted(by_lp):
+        s = by_lp[lp]
+        states = " ".join(
+            f"{kind_name(k)}={fmt_time(t, virtual)}"
+            for k, t in sorted(s["time"].items(), key=lambda kv: -kv[1]))
+        print(f"  lp {lp:4d}: {s['records']:7d} records "
+              f"({s['spans']} spans) {states}")
+        for k, t in s["time"].items():
+            total_time[k] += t
+        for k, n in s["count"].items():
+            total_count[k] += n
+
+    print("\naggregate:")
+    span_total = sum(total_time.values())
+    for k in sorted(total_time, key=lambda k: -total_time[k]):
+        share = 100.0 * total_time[k] / span_total if span_total else 0.0
+        print(f"  {kind_name(k):13s} {fmt_time(total_time[k], virtual):>14s} "
+              f"{share:5.1f}%  ({total_count[k]} records)")
+    for k in sorted(total_count):
+        if k not in total_time:
+            print(f"  {kind_name(k):13s} {'-':>14s}   -    "
+                  f"({total_count[k]} records)")
+
+
+def print_timeline(records, virtual, limit, only_lp):
+    by_lp = defaultdict(list)
+    for rec in records:
+        if only_lp is not None and rec[2] != only_lp:
+            continue
+        by_lp[rec[2]].append(rec)
+    for lp in sorted(by_lp):
+        recs = by_lp[lp]
+        shown = recs if limit == 0 else recs[:limit]
+        print(f"\nlp {lp} timeline ({len(shown)}/{len(recs)} records):")
+        for start, dur, _lp, tick, aux, kind, _pad in shown:
+            span = (f" +{fmt_time(dur, virtual)}" if dur > 0 else "")
+            print(f"  {fmt_time(start, virtual):>14s}{span:>12s} "
+                  f"{kind_name(kind):13s} tick={tick} aux={aux}")
+
+
+def cascade_histogram(records, only_lp=None):
+    """Rollback cascade depths.
+
+    An antimessage record on LP a with aux = destination LP b is linked to
+    the first rollback on b that follows it in time; if that rollback's own
+    antimessages trigger further rollbacks the links form a chain. The
+    histogram counts the depth of each maximal chain (a rollback with no
+    incoming antimessage link starts a cascade at depth 1).
+    """
+    rollbacks = sorted(
+        (r for r in records if r[5] == ROLLBACK
+         and (only_lp is None or r[2] == only_lp)),
+        key=lambda r: r[0])
+    antis = sorted((r for r in records if r[5] == ANTIMSG),
+                   key=lambda r: r[0])
+    by_dst = defaultdict(list)  # dst lp -> [(time, src lp)]
+    for start, _dur, lp, _tick, aux, _kind, _pad in antis:
+        by_dst[aux].append((start, lp))
+
+    # depth[rollback index] = 1 + depth of the rollback whose antimessage
+    # caused it (the latest antimessage into this LP before the rollback).
+    rb_by_lp = defaultdict(list)  # lp -> [(time, index)]
+    for i, r in enumerate(rollbacks):
+        rb_by_lp[r[2]].append((r[0], i))
+    depth = [1] * len(rollbacks)
+    for i, r in enumerate(rollbacks):
+        lp, t = r[2], r[0]
+        best = None
+        for at, src in by_dst.get(lp, ()):  # antis into this LP before t
+            if at <= t and (best is None or at > best[0]):
+                best = (at, src)
+        if best is None:
+            continue
+        # the causing rollback: latest rollback on the source LP at/before
+        # the antimessage's time
+        cause = None
+        for rt, ri in rb_by_lp.get(best[1], ()):
+            if rt <= best[0] and (cause is None or rt > cause[0]):
+                cause = (rt, ri)
+        if cause is not None and cause[1] != i:
+            depth[i] = depth[cause[1]] + 1
+
+    hist = defaultdict(int)
+    for d in depth:
+        hist[d] += 1
+    return hist
+
+
+def print_histogram(records, only_lp):
+    hist = cascade_histogram(records, only_lp)
+    print("\nrollback cascade depth histogram:")
+    if not hist:
+        print("  (no rollbacks)")
+        return
+    width = max(hist.values())
+    for d in sorted(hist):
+        bar = "#" * max(1, round(40 * hist[d] / width))
+        print(f"  depth {d:3d}: {hist[d]:7d} {bar}")
+
+
+def write_chrome(header, records, out_path):
+    events = [{"ph": "M", "pid": 0, "name": "process_name",
+               "args": {"name": f"plsim:{header['engine']}"}}]
+    for start, dur, lp, tick, aux, kind, _pad in records:
+        ev = {"pid": 0, "tid": lp, "ts": start / 1000.0,
+              "name": kind_name(kind), "args": {"tick": tick, "aux": aux}}
+        if dur > 0:
+            ev.update(ph="X", dur=dur / 1000.0)
+        else:
+            ev.update(ph="i", s="t")
+        events.append(ev)
+    doc = {"displayTimeUnit": "ms", "traceEvents": events}
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump(doc, f)
+    print(f"trace_summary: wrote {out_path} ({len(events) - 1} events)")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace")
+    ap.add_argument("--lp", type=int, default=None,
+                    help="restrict to one logical process")
+    ap.add_argument("--timeline", type=int, nargs="?", const=20,
+                    default=None, metavar="N",
+                    help="print per-LP timelines (N records per LP, 0=all)")
+    ap.add_argument("--histogram", action="store_true",
+                    help="rollback cascade depth histogram")
+    ap.add_argument("--chrome", metavar="OUT",
+                    help="convert to Chrome trace-event JSON and exit")
+    args = ap.parse_args()
+
+    header, records = load(args.trace)
+    if args.chrome:
+        write_chrome(header, records, args.chrome)
+        return 0
+    print_summary(header, records, args.lp)
+    if args.timeline is not None:
+        print_timeline(records, header["virtual_clock"], args.timeline,
+                       args.lp)
+    if args.histogram:
+        print_histogram(records, args.lp)
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Piping into `head` closes stdout early; that's not an error.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)
