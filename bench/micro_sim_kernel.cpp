@@ -8,6 +8,7 @@
 
 #include "bench_main.hpp"
 
+#include "analyze/opt.hpp"
 #include "netlist/generators.hpp"
 #include "seq/compiled.hpp"
 #include "seq/golden.hpp"
@@ -38,6 +39,33 @@ void BM_GoldenBlock(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * events);
 }
 BENCHMARK(BM_GoldenBlock);
+
+// Same golden run on the analyzer-optimized circuit (PlanOpt::Safe:
+// constant folding + structural hashing + dead-gate sweep) — the before /
+// after pair of EXPERIMENTS.md's optimization-reduction table.
+void BM_GoldenBlockOpt(benchmark::State& state) {
+  static const OptimizedCircuit opt = optimize_circuit(test_circuit(), {});
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const RunResult r = simulate_golden(opt.circuit, test_stim());
+    events = r.stats.wire_events;
+    benchmark::DoNotOptimize(r.final_values.data());
+  }
+  state.SetLabel(opt.stats.summary());
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_GoldenBlockOpt);
+
+// Cost of the optimization passes themselves (paid once per plan compile).
+void BM_OptimizeCircuit(benchmark::State& state) {
+  for (auto _ : state) {
+    const OptimizedCircuit o = optimize_circuit(test_circuit(), {});
+    benchmark::DoNotOptimize(o.old_to_new.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          test_circuit().gate_count());
+}
+BENCHMARK(BM_OptimizeCircuit);
 
 // The templated sequential kernel under each queue-selection knob value.
 void BM_GoldenQueue(benchmark::State& state) {

@@ -48,9 +48,14 @@ int main(int argc, char** argv) {
   std::cout << "events committed: " << golden.stats.wire_events
             << ", gate evaluations: " << golden.stats.evaluations << "\n";
 
-  // The same run on the synchronous parallel engine, two blocks.
+  // The same run on the synchronous parallel engine, two blocks. Netlist
+  // optimization off: this demo checks whole-vector bit-exactness against
+  // the golden run, which the optimizer's dead-gate sweep would relax to
+  // observable-signal equivalence.
   const Partition p = partition_fm(c, 2, /*seed=*/1);
-  const RunResult par = run_synchronous(c, stim, p);
+  EngineConfig qcfg;
+  qcfg.plan_opt = PlanOpt::None;
+  const RunResult par = run_synchronous(c, stim, p, qcfg);
   std::cout << "parallel run matches golden: "
             << (par.final_values == golden.final_values &&
                         par.wave.digest() == golden.wave.digest()

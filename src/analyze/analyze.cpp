@@ -1,0 +1,379 @@
+#include "analyze/analyze.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "analyze/opt.hpp"
+
+namespace plsim {
+namespace {
+
+std::string label(const std::string& name, GateId g) {
+  return name.empty() ? "#" + std::to_string(g) : name;
+}
+
+/// "a, b, c … and 4 more" — first few gate labels for a finding message.
+template <typename NameOf>
+std::string name_list(std::span<const GateId> gates, NameOf name_of,
+                      std::size_t max_names = 8) {
+  std::string s;
+  for (std::size_t i = 0; i < gates.size() && i < max_names; ++i) {
+    if (i) s += ", ";
+    s += label(name_of(gates[i]), gates[i]);
+  }
+  if (gates.size() > max_names)
+    s += " … and " + std::to_string(gates.size() - max_names) + " more";
+  return s;
+}
+
+void add_finding(AnalysisReport& r, std::string rule, Severity sev,
+                 std::string message, std::vector<GateId> gates = {}) {
+  r.findings.push_back(
+      Finding{std::move(rule), sev, std::move(message), std::move(gates)});
+}
+
+AnalyzeStats circuit_stats(const Circuit& c) {
+  AnalyzeStats s;
+  s.gates = c.gate_count();
+  s.inputs = c.primary_inputs().size();
+  s.outputs = c.primary_outputs().size();
+  s.dffs = c.flip_flops().size();
+  s.depth = c.depth();
+  for (GateId g = 0; g < c.gate_count(); ++g) {
+    s.by_type[static_cast<std::size_t>(c.type(g))]++;
+    s.edges += c.fanins(g).size();
+    s.max_fanout = std::max(s.max_fanout, c.fanouts(g).size());
+  }
+  s.avg_fanout = s.gates ? static_cast<double>(s.edges) /
+                               static_cast<double>(s.gates)
+                         : 0.0;
+  return s;
+}
+
+/// Circuit-level diagnostics (the netlist is known valid here).
+void circuit_findings(const Circuit& c, AnalysisReport& r) {
+  const std::size_t n = c.gate_count();
+  auto name_of = [&](GateId g) { return c.name(g); };
+
+  // Observability: backward reachability from the primary outputs through
+  // fanin edges (crossing DFFs — state someone reads is observable).
+  if (c.primary_outputs().empty()) {
+    add_finding(r, "no-outputs", Severity::Warning,
+                "circuit has no primary outputs; every gate is unobservable");
+  } else {
+    std::vector<std::uint8_t> obs(n, 0);
+    std::vector<GateId> stack;
+    for (GateId po : c.primary_outputs())
+      if (!obs[po]) {
+        obs[po] = 1;
+        stack.push_back(po);
+      }
+    while (!stack.empty()) {
+      const GateId g = stack.back();
+      stack.pop_back();
+      for (GateId f : c.fanins(g))
+        if (!obs[f]) {
+          obs[f] = 1;
+          stack.push_back(f);
+        }
+    }
+    std::vector<GateId> dark;
+    for (GateId g = 0; g < n; ++g)
+      if (!obs[g]) dark.push_back(g);
+    if (!dark.empty()) {
+      // Build messages before handing the gate list over: argument
+      // evaluation order is unspecified, so reading `dark` in one argument
+      // while moving it in another would race. Same pattern below.
+      std::string msg = std::to_string(dark.size()) +
+                        " gate(s) drive no primary output: " +
+                        name_list(dark, name_of);
+      add_finding(r, "unobservable", Severity::Warning, std::move(msg),
+                  std::move(dark));
+    }
+  }
+
+  // Constant propagation (Safe lattice): constant cones and constant-X
+  // sources. With the current gate library a constant-X output only arises
+  // from constants that themselves never commit, so this mostly fires on
+  // netlists repaired after floating-gate errors — but the lattice carries
+  // it uniformly.
+  {
+    OptOptions oo;
+    oo.level = PlanOpt::Safe;
+    const ConstFold fold = fold_constants(c, oo);
+    std::vector<GateId> constant, const_x;
+    for (GateId g = 0; g < n; ++g) {
+      if (!fold.is_const[g]) continue;
+      if (fold.value[g] == Logic4::X || fold.onset[g] == kTickInf)
+        const_x.push_back(g);
+      else if (c.type(g) != GateType::Const0 && c.type(g) != GateType::Const1)
+        constant.push_back(g);
+    }
+    if (!const_x.empty()) {
+      std::string msg = std::to_string(const_x.size()) +
+                        " gate(s) are stuck at X forever: " +
+                        name_list(const_x, name_of);
+      add_finding(r, "const-x", Severity::Warning, std::move(msg),
+                  std::move(const_x));
+    }
+    if (!constant.empty()) {
+      std::string msg = std::to_string(constant.size()) +
+                        " gate(s) evaluate to a compile-time constant: " +
+                        name_list(constant, name_of);
+      add_finding(r, "const-gate", Severity::Info, std::move(msg),
+                  std::move(constant));
+    }
+  }
+
+  // Structural duplicates: same (type, delay, substituted fanin tuple) —
+  // the gates the optimizer's structural-hashing pass would merge.
+  {
+    std::vector<GateId> repl(n);
+    for (GateId g = 0; g < n; ++g) repl[g] = g;
+    std::map<std::vector<std::uint64_t>, GateId> table;
+    std::vector<GateId> dups;
+    std::vector<std::uint64_t> key;
+    for (GateId g : c.level_order()) {
+      const GateType t = c.type(g);
+      if (t == GateType::Input || t == GateType::Dff) continue;
+      key.clear();
+      key.push_back(static_cast<std::uint64_t>(t));
+      key.push_back(c.delay(g));
+      key.push_back(t == GateType::Const0 || t == GateType::Const1
+                        ? c.const_onset(g)
+                        : 0);
+      const std::size_t fanin_start = key.size();
+      for (GateId f : c.fanins(g)) key.push_back(repl[f]);
+      switch (t) {
+        case GateType::And:
+        case GateType::Nand:
+        case GateType::Or:
+        case GateType::Nor:
+        case GateType::Xor:
+        case GateType::Xnor:
+          std::sort(key.begin() + static_cast<std::ptrdiff_t>(fanin_start),
+                    key.end());
+          break;
+        default:
+          break;
+      }
+      auto [it, inserted] = table.emplace(key, g);
+      if (!inserted) {
+        repl[g] = it->second;
+        dups.push_back(g);
+      }
+    }
+    if (!dups.empty()) {
+      std::string msg = std::to_string(dups.size()) +
+                        " structurally duplicate gate(s): " +
+                        name_list(dups, name_of);
+      add_finding(r, "duplicate-gate", Severity::Info, std::move(msg),
+                  std::move(dups));
+    }
+  }
+}
+
+}  // namespace
+
+std::string_view severity_name(Severity s) {
+  switch (s) {
+    case Severity::Info: return "info";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+std::size_t AnalysisReport::count(Severity s) const {
+  std::size_t k = 0;
+  for (const Finding& f : findings)
+    if (f.severity == s) ++k;
+  return k;
+}
+
+AnalysisReport analyze_netlist(const NetlistBuilder& b,
+                               std::string circuit_name) {
+  AnalysisReport r;
+  r.circuit = std::move(circuit_name);
+  const std::size_t n = b.gate_count();
+  auto name_of = [&](GateId g) { return b.name(g); };
+
+  if (n == 0) {
+    add_finding(r, "empty-netlist", Severity::Error,
+                "netlist has no gates");
+    return r;
+  }
+
+  // Gate-count / type statistics are available even pre-build.
+  r.stats.gates = n;
+  for (GateId g = 0; g < n; ++g) {
+    r.stats.by_type[static_cast<std::size_t>(b.type(g))]++;
+    switch (b.type(g)) {
+      case GateType::Input: r.stats.inputs++; break;
+      case GateType::Dff: r.stats.dffs++; break;
+      default: break;
+    }
+    if (b.is_output(g)) r.stats.outputs++;
+    r.stats.edges += b.fanins(g).size();
+  }
+
+  // Duplicate names.
+  {
+    std::unordered_map<std::string, GateId> first;
+    std::vector<GateId> dups;
+    for (GateId g = 0; g < n; ++g) {
+      if (b.name(g).empty()) continue;
+      auto [it, inserted] = first.emplace(b.name(g), g);
+      if (!inserted) dups.push_back(g);
+    }
+    if (!dups.empty()) {
+      // Build the message before handing the gate list over: argument
+      // evaluation order is unspecified, so the move may happen first.
+      std::string msg = std::to_string(dups.size()) +
+                        " gate(s) reuse an earlier gate's name: " +
+                        name_list(dups, name_of);
+      add_finding(r, "duplicate-name", Severity::Error, std::move(msg),
+                  std::move(dups));
+    }
+  }
+
+  // Dangling fanin references, floating gates, arity violations.
+  std::vector<GateId> dangling, floating, arity;
+  for (GateId g = 0; g < n; ++g) {
+    const auto fi = b.fanins(g);
+    const FaninArity ar = gate_arity(b.type(g));
+    bool has_dangling = false;
+    for (GateId f : fi)
+      if (f >= n) has_dangling = true;
+    if (has_dangling) dangling.push_back(g);
+    if (fi.empty() && ar.min > 0)
+      floating.push_back(g);
+    else if (!fi.empty()) {
+      const int k = static_cast<int>(fi.size());
+      if (k < ar.min || (ar.max >= 0 && k > ar.max)) arity.push_back(g);
+    }
+  }
+  if (!dangling.empty())
+    add_finding(r, "dangling-fanin", Severity::Error,
+                std::to_string(dangling.size()) +
+                    " gate(s) reference fanins that do not exist: " +
+                    name_list(dangling, name_of),
+                dangling);
+  if (!floating.empty())
+    add_finding(r, "floating-gate", Severity::Error,
+                std::to_string(floating.size()) +
+                    " non-source gate(s) have no fanins: " +
+                    name_list(floating, name_of),
+                floating);
+  if (!arity.empty())
+    add_finding(r, "arity", Severity::Error,
+                std::to_string(arity.size()) +
+                    " gate(s) have an illegal fanin count for their type: " +
+                    name_list(arity, name_of),
+                arity);
+
+  // Combinational cycle (reported with the full path through gate names).
+  {
+    const std::vector<GateId> cycle = b.find_combinational_cycle();
+    if (!cycle.empty()) {
+      std::string msg = "combinational cycle (feedback must pass through a "
+                        "DFF): ";
+      for (GateId g : cycle) msg += label(b.name(g), g) + " -> ";
+      msg += label(b.name(cycle.front()), cycle.front());
+      add_finding(r, "comb-cycle", Severity::Error, std::move(msg), cycle);
+    }
+  }
+
+  // Floating gates (and gates fed only by dangling references) can never
+  // produce a defined value: constant-X sources, reported here because the
+  // valid-circuit lattice below never sees these netlists.
+  if (!r.ok()) {
+    std::vector<GateId> stuck;
+    for (GateId g = 0; g < n; ++g) {
+      const auto fi = b.fanins(g);
+      const bool no_source_type = gate_arity(b.type(g)).min > 0;
+      const bool all_dangling =
+          !fi.empty() &&
+          std::all_of(fi.begin(), fi.end(), [&](GateId f) { return f >= n; });
+      if ((fi.empty() && no_source_type) || all_dangling) stuck.push_back(g);
+    }
+    if (!stuck.empty()) {
+      std::string msg = std::to_string(stuck.size()) +
+                        " gate(s) can never leave X (no defined driver): " +
+                        name_list(stuck, name_of);
+      add_finding(r, "const-x", Severity::Warning, std::move(msg),
+                  std::move(stuck));
+    }
+    return r;
+  }
+
+  // Valid netlist: build a throwaway copy and run the circuit-level rules.
+  NetlistBuilder copy = b;
+  const Circuit c = copy.build();
+  r.stats = circuit_stats(c);
+  circuit_findings(c, r);
+  return r;
+}
+
+AnalysisReport analyze_circuit(const Circuit& c, std::string circuit_name) {
+  AnalysisReport r;
+  r.circuit = std::move(circuit_name);
+  r.stats = circuit_stats(c);
+  circuit_findings(c, r);
+  return r;
+}
+
+JsonValue analysis_to_json(const AnalysisReport& r) {
+  JsonValue o = JsonValue::object();
+  o.set("circuit", r.circuit);
+  o.set("ok", r.ok());
+  o.set("errors", static_cast<std::uint64_t>(r.count(Severity::Error)));
+  o.set("warnings", static_cast<std::uint64_t>(r.count(Severity::Warning)));
+  o.set("infos", static_cast<std::uint64_t>(r.count(Severity::Info)));
+
+  JsonValue stats = JsonValue::object();
+  stats.set("gates", static_cast<std::uint64_t>(r.stats.gates));
+  stats.set("inputs", static_cast<std::uint64_t>(r.stats.inputs));
+  stats.set("outputs", static_cast<std::uint64_t>(r.stats.outputs));
+  stats.set("dffs", static_cast<std::uint64_t>(r.stats.dffs));
+  stats.set("edges", static_cast<std::uint64_t>(r.stats.edges));
+  stats.set("depth", static_cast<std::uint64_t>(r.stats.depth));
+  stats.set("max_fanout", static_cast<std::uint64_t>(r.stats.max_fanout));
+  stats.set("avg_fanout", r.stats.avg_fanout);
+  JsonValue by_type = JsonValue::object();
+  for (std::size_t t = 0; t < kGateTypeCount; ++t)
+    if (r.stats.by_type[t])
+      by_type.set(gate_type_name(static_cast<GateType>(t)),
+                  static_cast<std::uint64_t>(r.stats.by_type[t]));
+  stats.set("by_type", std::move(by_type));
+  o.set("stats", std::move(stats));
+
+  JsonValue findings = JsonValue::array();
+  for (const Finding& f : r.findings) {
+    JsonValue fo = JsonValue::object();
+    fo.set("rule", f.rule);
+    fo.set("severity", std::string(severity_name(f.severity)));
+    fo.set("count", static_cast<std::uint64_t>(f.gates.size()));
+    fo.set("message", f.message);
+    JsonValue gates = JsonValue::array();
+    for (std::size_t i = 0; i < f.gates.size() && i < 32; ++i)
+      gates.push_back(static_cast<std::uint64_t>(f.gates[i]));
+    fo.set("gates", std::move(gates));
+    findings.push_back(std::move(fo));
+  }
+  o.set("findings", std::move(findings));
+  return o;
+}
+
+JsonValue analysis_set_to_json(std::span<const AnalysisReport> reports) {
+  JsonValue o = JsonValue::object();
+  o.set("schema", "plsim-analyze-v1");
+  JsonValue circuits = JsonValue::array();
+  for (const AnalysisReport& r : reports)
+    circuits.push_back(analysis_to_json(r));
+  o.set("circuits", std::move(circuits));
+  return o;
+}
+
+}  // namespace plsim

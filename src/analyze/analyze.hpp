@@ -1,0 +1,69 @@
+#pragma once
+// Static netlist diagnostics: structural lint over a NetlistBuilder
+// (pre-build, so the malformed circuits Builder::build() rejects —
+// combinational cycles, dangling fanins, arity violations — are reported as
+// findings instead of a thrown first-error) or over a built Circuit
+// (unobservable logic, constant cones, constant-X sources, structural
+// duplicates, topology statistics). Findings are structured
+// (rule/severity/gates/message) and serialize to the `plsim-analyze-v1`
+// JSON schema consumed by tools/analyze_compare.py and the plsim_analyze
+// CLI.
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netlist/builder.hpp"
+#include "netlist/circuit.hpp"
+#include "util/json.hpp"
+
+namespace plsim {
+
+enum class Severity : std::uint8_t { Info, Warning, Error };
+std::string_view severity_name(Severity s);
+
+/// One diagnostic. Findings aggregate per rule: `gates` carries every gate
+/// involved (the full cycle path for comb-cycle, every unobservable gate,
+/// ...) and the message lists the first few by name.
+struct Finding {
+  std::string rule;
+  Severity severity = Severity::Info;
+  std::string message;
+  std::vector<GateId> gates;
+};
+
+/// Topology statistics (the fanout/level-depth numbers of the report).
+struct AnalyzeStats {
+  std::size_t gates = 0, inputs = 0, outputs = 0, dffs = 0, edges = 0;
+  std::uint32_t depth = 0;
+  std::size_t max_fanout = 0;
+  double avg_fanout = 0.0;
+  std::size_t by_type[kGateTypeCount] = {};
+};
+
+struct AnalysisReport {
+  std::string circuit;  ///< display name (file, builtin, ...)
+  std::vector<Finding> findings;
+  AnalyzeStats stats;
+
+  std::size_t count(Severity s) const;
+  /// No error-severity findings: Builder::build() would accept the netlist.
+  bool ok() const { return count(Severity::Error) == 0; }
+};
+
+/// Diagnose a netlist under construction. Tolerates everything build()
+/// rejects; when the netlist is actually valid this is equivalent to
+/// building it and running analyze_circuit.
+AnalysisReport analyze_netlist(const NetlistBuilder& b,
+                               std::string circuit_name = {});
+
+/// Diagnose a built (hence structurally valid) circuit.
+AnalysisReport analyze_circuit(const Circuit& c,
+                               std::string circuit_name = {});
+
+/// Serialize one report / a whole run (schema plsim-analyze-v1).
+JsonValue analysis_to_json(const AnalysisReport& r);
+JsonValue analysis_set_to_json(std::span<const AnalysisReport> reports);
+
+}  // namespace plsim

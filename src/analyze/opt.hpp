@@ -1,0 +1,131 @@
+#pragma once
+// Optimizing netlist passes: 4-valued constant propagation and folding,
+// structural hashing (CSE of identical type+fanin tuples) and dead-gate
+// elimination, producing a smaller equivalent Circuit plus an old->new
+// GateId translation table consumed by SimPlan compilation, partitioning,
+// stimulus binding and result merging (src/engines/common.cpp).
+//
+// Exactness contract (the reason the passes are structured the way they
+// are; the differential fuzz tests in tests/analyze_test.cpp check it):
+//
+//  PlanOpt::Safe — every transform preserves the committed waveform of
+//  every surviving gate bit-exactly under the event-driven 4-valued
+//  semantics:
+//   * Pure-constant-cone folding. If all fanins of a gate are statically
+//     constant, the gate's inputs only ever gain information (X -> F/T,
+//     each exactly once, at a statically known commit time), and every
+//     gate function is monotone in the Kleene information order — so the
+//     gate's output makes exactly one committed transition X -> v at a
+//     statically computable arrival time. The gate is rewritten to a
+//     constant carrying that time (Circuit::const_onset); the wire holds X
+//     until the onset and the environment announces v exactly then,
+//     reproducing the original wire event stream.
+//   * Structural hashing. Two gates with identical (type, delay, fanin
+//     tuple) — fanins compared after victim substitution, order-normalized
+//     only for commutative types — receive identical input event streams
+//     and therefore produce identical output streams; the victim's
+//     consumers are rewired to the representative.
+//   * Dead-gate elimination. Gates with no forward path to the keep-set
+//     (primary outputs, DFFs, primary inputs, watched signals, fault
+//     sites) cannot influence any kept gate.
+//
+//  PlanOpt::Aggressive adds transforms that are exact only under the
+//  settling assumption (the clock/stimulus period covers the longest
+//  combinational settling chain — the standard synchronous-design
+//  contract; violating it can legitimately change sampled values):
+//   * Controlling-value folds: a gate whose output is determined by its
+//     constant fanins alone (AND with a constant-F input, ...) even while
+//     other fanins vary. The recorded onset is the guaranteed-commit time
+//     (latest constant-fanin arrival + delay); transient wiggles of the
+//     original gate before that time are not reproduced.
+//   * Optimistic sequential constant propagation: DFFs whose D input
+//     provably settles to the reset value F before every sampling edge
+//     fold to Const0 (requires a known clock period).
+//
+// Fault-site opacity: gates listed in OptOptions::opaque are never folded,
+// never merged (in either role) and never removed, and no transform
+// assumes anything about their value — so forcing them to arbitrary values
+// (stuck-at fault injection) commutes with optimization and detection
+// counts are preserved exactly (src/fault runs a two-valued fully-settled
+// kernel, for which even Aggressive folds are exact).
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+
+namespace plsim {
+
+/// Plan-compile optimization level (EngineConfig::plan_opt). None keeps the
+/// circuit untouched — the golden/interpretive oracles always run at None so
+/// differential tests compare against unoptimized semantics.
+enum class PlanOpt : std::uint8_t { None, Safe, Aggressive };
+
+std::string_view plan_opt_name(PlanOpt o);
+/// Parse "none"/"safe"/"aggressive" (throws plsim::Error otherwise).
+PlanOpt plan_opt_from_name(std::string_view name);
+
+struct OptOptions {
+  PlanOpt level = PlanOpt::Safe;
+  /// Extra gates that must survive with their waveform intact (watched/VCD
+  /// signals). Primary inputs/outputs and DFFs are always kept.
+  std::span<const GateId> keep;
+  /// Fault-injection sites: kept AND fully opaque (see header comment).
+  std::span<const GateId> opaque;
+  /// Clock/stimulus period for Aggressive sequential analysis; 0 = unknown
+  /// (disables the DFF constant fixpoint).
+  Tick clock_period = 0;
+};
+
+/// Per-gate result of the constant-propagation lattice (also consumed by
+/// the diagnostics layer for const-gate / constant-X findings).
+struct ConstFold {
+  std::vector<std::uint8_t> is_const;  ///< statically constant output
+  std::vector<Logic4> value;           ///< folded value (may be X)
+  /// Tick at which the constant value is committed on the wire
+  /// (kTickInf: never — the output stays X forever).
+  std::vector<Tick> onset;
+};
+
+ConstFold fold_constants(const Circuit& c, const OptOptions& opts);
+
+struct OptStats {
+  std::size_t gates_before = 0;
+  std::size_t gates_after = 0;
+  std::size_t folded = 0;   ///< gates rewritten to onset-carrying constants
+  std::size_t merged = 0;   ///< structural-hash victims
+  std::size_t removed = 0;  ///< dead/unobservable gates eliminated
+  std::string summary() const;
+};
+
+struct OptimizedCircuit {
+  Circuit circuit;
+  /// old GateId -> new GateId. Merged victims map to their representative
+  /// (whose waveform is identical); eliminated gates map to kNoGate.
+  std::vector<GateId> old_to_new;
+  /// new GateId -> old GateId (the representative's original id).
+  std::vector<GateId> new_to_old;
+  /// Settled value of each *eliminated* gate: the folded constant for
+  /// folded-away gates, X for plain dead logic. X for survivors.
+  std::vector<Logic4> removed_value;
+  /// Commit tick of each eliminated folded constant (kTickInf otherwise).
+  /// Event-driven result merging reads the value only when the onset lies
+  /// inside the simulated horizon — before it the wire still held X.
+  std::vector<Tick> removed_onset;
+  OptStats stats;
+
+  bool changed() const {
+    return stats.folded + stats.merged + stats.removed > 0;
+  }
+};
+
+/// Run the pass pipeline (fold -> rewrite -> hash -> sweep -> renumber).
+/// The result's circuit is always valid; when changed() is false it is
+/// structurally identical to the input. Gate order (hence primary-input
+/// binding order and primary-output marking order) is preserved.
+OptimizedCircuit optimize_circuit(const Circuit& c,
+                                  const OptOptions& opts = {});
+
+}  // namespace plsim

@@ -10,14 +10,19 @@ std::vector<Message> environment_messages(const Circuit& c,
   // Constant drivers and DFF reset states announce themselves at t=0 so
   // cones fed only by them are evaluated at least once (a constant never
   // produces events, and a DFF that always re-samples 0 never does either).
+  // A constant synthesized by the analyzer's folding pass announces at its
+  // recorded onset instead of t=0, reproducing the folded cone's commit
+  // time exactly (the wire holds X until then, per Circuit::initial_value).
   for (GateId g = 0; g < c.gate_count(); ++g) {
     switch (c.type(g)) {
       case GateType::Const0:
+        msgs.push_back(Message{c.const_onset(g), g, Logic4::F});
+        break;
       case GateType::Dff:
         msgs.push_back(Message{0, g, Logic4::F});
         break;
       case GateType::Const1:
-        msgs.push_back(Message{0, g, Logic4::T});
+        msgs.push_back(Message{c.const_onset(g), g, Logic4::T});
         break;
       default:
         break;

@@ -8,21 +8,48 @@
 namespace plsim {
 
 BlockRig make_rig(const Circuit& c, const Stimulus& stim, const Partition& p,
-                  const BlockOptions& base) {
+                  const BlockOptions& base, PlanOpt opt,
+                  std::span<const GateId> keep) {
   validate_partition(c, p);
   BlockRig rig;
-  rig.routing = build_routing(c, p);
+  rig.horizon = base.horizon;
 
-  const auto owned = p.blocks(c);
-  const auto exported = p.exported(c);
-  rig.plan = SimPlan::build(c, owned, exported);
-  rig.blocks.reserve(p.n_blocks);
-  for (std::uint32_t b = 0; b < p.n_blocks; ++b)
+  // Optimize first, then remap the partition onto the survivors. The
+  // stimulus needs no rebinding: primary inputs always survive and keep
+  // their relative order, so positional binding is unchanged.
+  const Circuit* cc = &c;
+  Partition remapped;
+  const Partition* pp = &p;
+  if (opt != PlanOpt::None) {
+    OptOptions oo;
+    oo.level = opt;
+    oo.keep = keep;
+    oo.clock_period = base.clock_period;
+    OptimizedCircuit o = optimize_circuit(c, oo);
+    if (o.changed() && o.circuit.gate_count() >= p.n_blocks) {
+      rig.opt = std::make_shared<const OptimizedCircuit>(std::move(o));
+      remapped.n_blocks = p.n_blocks;
+      remapped.block_of.resize(rig.opt->circuit.gate_count());
+      for (GateId g = 0; g < rig.opt->circuit.gate_count(); ++g)
+        remapped.block_of[g] = p.block_of[rig.opt->new_to_old[g]];
+      fix_empty_blocks(rig.opt->circuit, remapped);
+      cc = &rig.opt->circuit;
+      pp = &remapped;
+    }
+  }
+
+  rig.routing = build_routing(*cc, *pp);
+
+  const auto owned = pp->blocks(*cc);
+  const auto exported = pp->exported(*cc);
+  rig.plan = SimPlan::build(*cc, owned, exported);
+  rig.blocks.reserve(pp->n_blocks);
+  for (std::uint32_t b = 0; b < pp->n_blocks; ++b)
     rig.blocks.push_back(std::make_unique<BlockSimulator>(rig.plan, b, base));
 
-  const std::vector<Message> env = environment_messages(c, stim);
-  rig.env.resize(p.n_blocks);
-  for (std::uint32_t b = 0; b < p.n_blocks; ++b)
+  const std::vector<Message> env = environment_messages(*cc, stim);
+  rig.env.resize(pp->n_blocks);
+  for (std::uint32_t b = 0; b < pp->n_blocks; ++b)
     for (const Message& m : env)
       if (rig.blocks[b]->in_scope(m.gate)) rig.env[b].push_back(m);
   return rig;
@@ -31,13 +58,32 @@ BlockRig make_rig(const Circuit& c, const Stimulus& stim, const Partition& p,
 RunResult merge_results(const Circuit& c, const BlockRig& rig,
                         bool record_trace) {
   RunResult r;
-  r.final_values.assign(c.gate_count(), Logic4::X);
+  const std::size_t n_run =
+      rig.opt ? rig.opt->circuit.gate_count() : c.gate_count();
+  std::vector<Logic4> values(n_run, Logic4::X);
   for (const auto& blk : rig.blocks) {
-    blk->harvest_values(r.final_values);
+    blk->harvest_values(values);
     r.wave.merge(blk->wave());
     r.stats.merge(blk->stats());
     if (record_trace)
       r.trace.insert(r.trace.end(), blk->trace().begin(), blk->trace().end());
+  }
+  if (rig.opt) {
+    const OptimizedCircuit& o = *rig.opt;
+    r.final_values.assign(c.gate_count(), Logic4::X);
+    for (GateId g = 0; g < c.gate_count(); ++g) {
+      const GateId ng = o.old_to_new[g];
+      if (ng != kNoGate)
+        r.final_values[g] = values[ng];
+      else if (o.removed_onset[g] < rig.horizon)
+        r.final_values[g] = o.removed_value[g];
+      // else: the folded constant would have committed past the horizon (or
+      // the gate was plain dead logic) — the wire still reads X.
+    }
+    if (record_trace)
+      for (ChangeRecord& cr : r.trace) cr.gate = o.new_to_old[cr.gate];
+  } else {
+    r.final_values = std::move(values);
   }
   if (record_trace) {
     std::sort(r.trace.begin(), r.trace.end(),

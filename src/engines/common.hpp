@@ -6,6 +6,7 @@
 #include <queue>
 #include <vector>
 
+#include "analyze/opt.hpp"
 #include "core/block.hpp"
 #include "core/types.hpp"
 #include "engines/routing.hpp"
@@ -33,12 +34,29 @@ struct BlockRig {
   /// Environment (stimulus) feed per block, sorted by time; consumed by index.
   std::vector<std::vector<Message>> env;
   Routing routing;
+  /// Non-null when make_rig ran the optimizer and it changed the netlist:
+  /// the plan/blocks/routing above live in opt->circuit's GateId space and
+  /// merge_results translates results back to the original circuit's ids.
+  std::shared_ptr<const OptimizedCircuit> opt;
+  /// Simulated horizon (BlockOptions::horizon), kept for translating folded
+  /// constants whose onset falls outside the run.
+  Tick horizon = 0;
 };
 
+/// Build the per-block machinery. With opt != None the circuit first goes
+/// through optimize_circuit (src/analyze); the partition is remapped onto
+/// the surviving gates (block assignment of each survivor is inherited from
+/// its original gate, then fix_empty_blocks). Optimization is skipped when
+/// it changes nothing or would leave fewer gates than blocks.
 BlockRig make_rig(const Circuit& c, const Stimulus& stim, const Partition& p,
-                  const BlockOptions& base);
+                  const BlockOptions& base, PlanOpt opt = PlanOpt::None,
+                  std::span<const GateId> keep = {});
 
 /// Merge per-block results into one RunResult (trace sorted by time/gate).
+/// Results are reported in the *original* circuit's GateId space: when the
+/// rig was optimized, final values of eliminated gates come from the
+/// translation table (folded constants inside the horizon; X otherwise) and
+/// trace records are mapped through new_to_old.
 RunResult merge_results(const Circuit& c, const BlockRig& rig,
                         bool record_trace);
 

@@ -28,7 +28,7 @@ RunResult run_conservative(const Circuit& c, const Stimulus& stim,
   bopts.horizon = stim.horizon();
   bopts.save = SaveMode::None;
   bopts.record_trace = cfg.record_trace;
-  BlockRig rig = make_rig(c, stim, p, bopts);
+  BlockRig rig = make_rig(c, stim, p, bopts, cfg.plan_opt, cfg.keep);
 
   const std::uint32_t n = p.n_blocks;
   const Tick horizon = bopts.horizon;

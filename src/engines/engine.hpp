@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "analyze/opt.hpp"
 #include "core/types.hpp"
 #include "netlist/circuit.hpp"
 #include "partition/partition.hpp"
@@ -16,6 +17,18 @@ namespace plsim {
 
 struct EngineConfig {
   bool record_trace = false;
+
+  /// Netlist optimization level applied at plan-compile time (src/analyze):
+  /// constant folding, structural hashing, dead-gate elimination. Safe (the
+  /// default) preserves the waveform of every surviving gate bit-exactly;
+  /// results for eliminated gates are reconstructed from the translation
+  /// table (folded constants) or read X (dead logic). Pass None to simulate
+  /// the netlist exactly as written — the golden/interpretive oracles and
+  /// the legacy paper experiments run at None.
+  PlanOpt plan_opt = PlanOpt::Safe;
+  /// Extra gates that must survive optimization with waveforms intact
+  /// (watched/VCD signals). Primary inputs/outputs and DFFs always survive.
+  std::vector<GateId> keep;
 
   /// Run the invariant auditor (src/check) alongside the engine: causality,
   /// GVT monotonicity/safety, CMB lookahead, message conservation, trace

@@ -24,6 +24,37 @@ namespace plsim {
 
 RunResult run_oblivious_parallel(const Circuit& c, const Stimulus& stim,
                                  const Partition& p, const EngineConfig& cfg) {
+  // Optimizing front end: sweep the optimized netlist, then translate the
+  // final values back. The oblivious engine fully settles every cycle, so
+  // the settled constant recorded for each eliminated folded gate is exact
+  // here regardless of its event-driven onset.
+  if (cfg.plan_opt != PlanOpt::None) {
+    validate_partition(c, p);
+    OptOptions oo;
+    oo.level = cfg.plan_opt;
+    oo.keep = cfg.keep;
+    oo.clock_period = stim.period;
+    OptimizedCircuit o = optimize_circuit(c, oo);
+    if (o.changed() && o.circuit.gate_count() >= p.n_blocks) {
+      Partition remapped;
+      remapped.n_blocks = p.n_blocks;
+      remapped.block_of.resize(o.circuit.gate_count());
+      for (GateId g = 0; g < o.circuit.gate_count(); ++g)
+        remapped.block_of[g] = p.block_of[o.new_to_old[g]];
+      fix_empty_blocks(o.circuit, remapped);
+      EngineConfig inner = cfg;
+      inner.plan_opt = PlanOpt::None;
+      RunResult r = run_oblivious_parallel(o.circuit, stim, remapped, inner);
+      std::vector<Logic4> values = std::move(r.final_values);
+      r.final_values.assign(c.gate_count(), Logic4::X);
+      for (GateId g = 0; g < c.gate_count(); ++g) {
+        const GateId ng = o.old_to_new[g];
+        r.final_values[g] = ng != kNoGate ? values[ng] : o.removed_value[g];
+      }
+      return r;
+    }
+  }
+
   WallTimer timer;
   validate_partition(c, p);
   const std::uint32_t n = p.n_blocks;

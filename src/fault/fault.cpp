@@ -1,5 +1,6 @@
 #include "fault/fault.hpp"
 
+#include <algorithm>
 #include <array>
 
 #include "logic/gates.hpp"
@@ -88,6 +89,38 @@ std::uint64_t run_forced(const Circuit& c, const SimPlan* sp,
   return detected_lanes;
 }
 
+/// Optimizer front end shared by the fault simulators: shrink the circuit
+/// with every fault site opaque and translate the fault list into the new
+/// GateId space. `active` is false when nothing changed (or opt == None),
+/// in which case callers fall through to the unoptimized path.
+struct OptFront {
+  OptimizedCircuit opt;
+  std::vector<Fault> faults;
+  bool active = false;
+};
+
+OptFront optimize_for_faults(const Circuit& c, std::span<const Fault> faults,
+                             PlanOpt level, Tick clock_period) {
+  OptFront fr;
+  if (level == PlanOpt::None) return fr;
+  std::vector<GateId> sites;
+  sites.reserve(faults.size());
+  for (const Fault& f : faults) sites.push_back(f.gate);
+  std::sort(sites.begin(), sites.end());
+  sites.erase(std::unique(sites.begin(), sites.end()), sites.end());
+  OptOptions oo;
+  oo.level = level;
+  oo.opaque = sites;
+  oo.clock_period = clock_period;
+  fr.opt = optimize_circuit(c, oo);
+  if (!fr.opt.changed()) return fr;
+  fr.active = true;
+  fr.faults.reserve(faults.size());
+  for (const Fault& f : faults)
+    fr.faults.push_back({fr.opt.old_to_new[f.gate], f.stuck_one});
+  return fr;
+}
+
 }  // namespace
 
 std::vector<Fault> enumerate_faults(const Circuit& c, bool collapse) {
@@ -107,7 +140,11 @@ std::vector<Fault> enumerate_faults(const Circuit& c, bool collapse) {
 
 FaultSimResult fault_simulate_serial(const Circuit& c, const Stimulus& stim,
                                      std::span<const Fault> faults,
-                                     FaultKernel kernel) {
+                                     FaultKernel kernel, PlanOpt opt) {
+  if (const OptFront fr = optimize_for_faults(c, faults, opt, stim.period);
+      fr.active)
+    return fault_simulate_serial(fr.opt.circuit, stim, fr.faults, kernel,
+                                 PlanOpt::None);
   FaultSimResult r;
   r.total = faults.size();
   r.detected_mask.assign(faults.size(), 0);
@@ -136,7 +173,11 @@ FaultSimResult fault_simulate_serial(const Circuit& c, const Stimulus& stim,
 
 FaultSimResult fault_simulate_parallel(const Circuit& c, const Stimulus& stim,
                                        std::span<const Fault> faults,
-                                       FaultKernel kernel) {
+                                       FaultKernel kernel, PlanOpt opt) {
+  if (const OptFront fr = optimize_for_faults(c, faults, opt, stim.period);
+      fr.active)
+    return fault_simulate_parallel(fr.opt.circuit, stim, fr.faults, kernel,
+                                   PlanOpt::None);
   FaultSimResult r;
   r.total = faults.size();
   r.detected_mask.assign(faults.size(), 0);
@@ -172,7 +213,11 @@ FaultSimResult fault_simulate_parallel(const Circuit& c, const Stimulus& stim,
 
 std::vector<std::int32_t> fault_first_detection(
     const Circuit& c, const Stimulus& stim, std::span<const Fault> faults,
-    FaultKernel kernel) {
+    FaultKernel kernel, PlanOpt opt) {
+  if (const OptFront fr = optimize_for_faults(c, faults, opt, stim.period);
+      fr.active)
+    return fault_first_detection(fr.opt.circuit, stim, fr.faults, kernel,
+                                 PlanOpt::None);
   PLSIM_CHECK(c.flip_flops().empty(),
               "fault_first_detection: combinational circuits only");
   std::vector<std::int32_t> first(faults.size(), -1);

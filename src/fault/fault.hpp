@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "analyze/opt.hpp"
 #include "netlist/circuit.hpp"
 #include "stim/stimulus.hpp"
 
@@ -48,20 +49,28 @@ struct FaultSimResult {
 };
 
 /// One full-circuit two-valued simulation per fault.
+///
+/// `opt` != None first shrinks the circuit through src/analyze with every
+/// fault site marked opaque (never folded, merged or removed), so forcing a
+/// site commutes with optimization and per-fault detection is preserved
+/// exactly — the kernels here are fully-settled two-valued sweeps, for
+/// which even Aggressive folds are exact.
 FaultSimResult fault_simulate_serial(const Circuit& c, const Stimulus& stim,
                                      std::span<const Fault> faults,
-                                     FaultKernel kernel = FaultKernel::Compiled);
+                                     FaultKernel kernel = FaultKernel::Compiled,
+                                     PlanOpt opt = PlanOpt::None);
 
 /// 63 faults per pass alongside the fault-free machine (lane 0).
 FaultSimResult fault_simulate_parallel(const Circuit& c, const Stimulus& stim,
                                        std::span<const Fault> faults,
-                                       FaultKernel kernel = FaultKernel::Compiled);
+                                       FaultKernel kernel = FaultKernel::Compiled,
+                                       PlanOpt opt = PlanOpt::None);
 
 /// For each fault, the index of the first vector that detects it, or -1.
 /// Combinational circuits only (vector effects are independent).
 std::vector<std::int32_t> fault_first_detection(
     const Circuit& c, const Stimulus& stim, std::span<const Fault> faults,
-    FaultKernel kernel = FaultKernel::Compiled);
+    FaultKernel kernel = FaultKernel::Compiled, PlanOpt opt = PlanOpt::None);
 
 /// Static test-set compaction for combinational circuits: keep only the
 /// vectors that are the first detector of at least one fault. Coverage of

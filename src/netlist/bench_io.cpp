@@ -27,7 +27,7 @@ struct PendingGate {
 
 }  // namespace
 
-Circuit parse_bench(std::istream& is) {
+NetlistBuilder parse_bench_builder(std::istream& is) {
   // Two passes over the token stream: first collect declarations, then
   // resolve names (OUTPUT/fanins may reference signals defined later).
   std::vector<std::string> input_names;
@@ -126,7 +126,17 @@ Circuit parse_bench(std::istream& is) {
     b.mark_output(it->second);
   }
 
+  return b;
+}
+
+Circuit parse_bench(std::istream& is) {
+  NetlistBuilder b = parse_bench_builder(is);
   return b.build();
+}
+
+NetlistBuilder parse_bench_builder_string(std::string_view text) {
+  std::istringstream is{std::string(text)};
+  return parse_bench_builder(is);
 }
 
 Circuit parse_bench_string(std::string_view text) {

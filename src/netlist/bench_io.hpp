@@ -13,6 +13,7 @@
 #include <string>
 #include <string_view>
 
+#include "netlist/builder.hpp"
 #include "netlist/circuit.hpp"
 
 namespace plsim {
@@ -20,6 +21,15 @@ namespace plsim {
 Circuit parse_bench(std::istream& is);
 Circuit parse_bench_string(std::string_view text);
 Circuit load_bench_file(const std::string& path);
+
+/// Parse into a NetlistBuilder *without* running build(): the validation
+/// hook for the static analyzer (src/analyze), which diagnoses exactly the
+/// malformed netlists build() rejects (combinational cycles, arity
+/// violations, ...) instead of throwing at the first one. Name-resolution
+/// errors (undefined signals, duplicate definitions, bad grammar) still
+/// throw plsim::Error with a line number — those have no netlist to return.
+NetlistBuilder parse_bench_builder(std::istream& is);
+NetlistBuilder parse_bench_builder_string(std::string_view text);
 
 void write_bench(std::ostream& os, const Circuit& c,
                  std::string_view title = {});

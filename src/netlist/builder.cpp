@@ -8,15 +8,88 @@
 
 namespace plsim {
 
+namespace {
+
+// "name" or "#id" when the netlist carried no name — for diagnostics.
+std::string proto_label(const std::string& name, GateId g) {
+  return name.empty() ? "#" + std::to_string(g) : name;
+}
+
+}  // namespace
+
 GateId NetlistBuilder::add_gate(GateType type, std::vector<GateId> fanins,
                                 std::string name) {
-  gates_.push_back(Proto{type, 1, std::move(fanins), std::move(name), false});
+  for (GateId f : fanins)
+    PLSIM_CHECK(f < gates_.size(),
+                "add_gate: fanin " + std::to_string(f) +
+                    " does not name an existing gate (create gates before "
+                    "referencing them; wire feedback with set_fanins)");
+  gates_.push_back(
+      Proto{type, 1, std::move(fanins), std::move(name), false, 0});
   return static_cast<GateId>(gates_.size() - 1);
 }
 
 void NetlistBuilder::set_fanins(GateId g, std::vector<GateId> fanins) {
   PLSIM_CHECK(g < gates_.size(), "set_fanins: no such gate");
+  for (GateId f : fanins)
+    PLSIM_CHECK(f < gates_.size(), "set_fanins: fanin " + std::to_string(f) +
+                                       " does not name an existing gate");
   gates_[g].fanins = std::move(fanins);
+}
+
+void NetlistBuilder::set_const_onset(GateId g, Tick onset) {
+  PLSIM_CHECK(g < gates_.size(), "set_const_onset: no such gate");
+  PLSIM_CHECK(gates_[g].type == GateType::Const0 ||
+                  gates_[g].type == GateType::Const1,
+              "set_const_onset: gate is not a constant");
+  gates_[g].const_onset = onset;
+}
+
+std::vector<GateId> NetlistBuilder::find_combinational_cycle() const {
+  // Iterative DFS over the combinational edges (fanin f -> gate g for every
+  // non-DFF g; dangling fanins are skipped so this also works on netlists
+  // analyze_netlist tolerates). Colors: 0 = white, 1 = on stack, 2 = done.
+  const std::size_t n = gates_.size();
+  std::vector<std::uint8_t> color(n, 0);
+  std::vector<GateId> parent(n, kNoGate);
+  struct Frame {
+    GateId g;
+    std::size_t next_fanin;
+  };
+  std::vector<Frame> stack;
+  for (GateId root = 0; root < n; ++root) {
+    if (color[root] != 0 || gates_[root].type == GateType::Dff) continue;
+    stack.push_back(Frame{root, 0});
+    color[root] = 1;
+    while (!stack.empty()) {
+      Frame& fr = stack.back();
+      const auto& fi = gates_[fr.g].fanins;
+      if (fr.next_fanin < fi.size()) {
+        const GateId f = fi[fr.next_fanin++];
+        if (f >= n || gates_[f].type == GateType::Dff) continue;
+        if (color[f] == 1) {
+          // Found a back edge g -> f: the cycle is f .. g along parents,
+          // reported in fanin-to-fanout order (f drives the next gate).
+          // parent[x] is a fanout of x, so walking parents from g up to f
+          // already lists the cycle in signal-flow order: g drives
+          // parent[g] drives ... drives f, and f drives g.
+          std::vector<GateId> cycle;
+          for (GateId x = fr.g; x != f; x = parent[x]) cycle.push_back(x);
+          cycle.push_back(f);
+          return cycle;
+        }
+        if (color[f] == 0) {
+          color[f] = 1;
+          parent[f] = fr.g;
+          stack.push_back(Frame{f, 0});
+        }
+      } else {
+        color[fr.g] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  return {};
 }
 
 void NetlistBuilder::set_delay(GateId g, std::uint32_t delay) {
@@ -121,9 +194,18 @@ Circuit NetlistBuilder::build() {
       if (--pending[s] == 0) ready.push(s);
     }
   }
-  PLSIM_CHECK(c.level_order_.size() == n,
-              "build: combinational cycle detected (feedback must pass "
-              "through a DFF)");
+  if (c.level_order_.size() != n) {
+    std::string msg =
+        "build: combinational cycle detected (feedback must pass through a "
+        "DFF)";
+    const std::vector<GateId> cycle = find_combinational_cycle();
+    if (!cycle.empty()) {
+      msg += ": ";
+      for (GateId g : cycle) msg += proto_label(gates_[g].name, g) + " -> ";
+      msg += proto_label(gates_[cycle.front()].name, cycle.front());
+    }
+    raise(msg);
+  }
   std::stable_sort(c.level_order_.begin(), c.level_order_.end(),
                    [&](GateId a, GateId b) { return c.levels_[a] < c.levels_[b]; });
   c.depth_ = 0;
@@ -131,6 +213,14 @@ Circuit NetlistBuilder::build() {
 
   c.min_delay_ = c.delays_.empty() ? 1 : *std::min_element(c.delays_.begin(),
                                                            c.delays_.end());
+
+  // Deferred constant onsets: only materialized when some onset is nonzero,
+  // so untouched circuits keep their zero-cost empty vector.
+  if (std::any_of(gates_.begin(), gates_.end(),
+                  [](const Proto& p) { return p.const_onset != 0; })) {
+    c.const_onsets_.reserve(n);
+    for (const auto& p : gates_) c.const_onsets_.push_back(p.const_onset);
+  }
 
   gates_.clear();
   output_order_.clear();

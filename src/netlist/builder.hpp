@@ -1,7 +1,19 @@
 #pragma once
 // Mutable netlist under construction; `build()` validates and freezes it into
 // an immutable Circuit.
+//
+// Fanin references are validated eagerly: add_gate/set_fanins reject GateIds
+// that do not name an already-created gate, so a dangling reference throws at
+// the construction site instead of surfacing as undefined behavior (or a
+// delayed build() error) later. Sequential feedback is wired by creating the
+// gates first and closing the loop with set_fanins.
+//
+// The read accessors (type/fanins/name/...) expose the in-progress netlist to
+// the static analyzer (src/analyze), which must be able to diagnose exactly
+// the malformed circuits build() rejects — a Circuit with a combinational
+// cycle can never exist.
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -12,7 +24,8 @@ namespace plsim {
 class NetlistBuilder {
  public:
   /// Create a gate. Fanins may be wired later with set_fanins (required for
-  /// sequential feedback). Name is optional but must be unique when given.
+  /// sequential feedback); each fanin must name an already-created gate.
+  /// Name is optional but must be unique when given.
   GateId add_gate(GateType type, std::vector<GateId> fanins = {},
                   std::string name = {});
 
@@ -23,6 +36,10 @@ class NetlistBuilder {
   void set_fanins(GateId g, std::vector<GateId> fanins);
   void set_delay(GateId g, std::uint32_t delay);
 
+  /// Deferred commit time for a Const0/Const1 gate (see
+  /// Circuit::const_onset). Only the analyzer's folding pass sets this.
+  void set_const_onset(GateId g, Tick onset);
+
   /// Declare `g` a primary output. Outputs keep their marking order in
   /// Circuit::primary_outputs() (bit order of arithmetic circuits relies on
   /// this); re-marking is idempotent.
@@ -30,9 +47,22 @@ class NetlistBuilder {
 
   std::size_t gate_count() const { return gates_.size(); }
 
-  /// Validate (arity, dangling references, single clock domain, acyclic
-  /// combinational core, delays >= 1) and produce the immutable circuit.
-  /// The builder is left empty afterwards.
+  // Read access to the netlist under construction, for diagnostics passes.
+  GateType type(GateId g) const { return gates_[g].type; }
+  std::uint32_t delay(GateId g) const { return gates_[g].delay; }
+  std::span<const GateId> fanins(GateId g) const { return gates_[g].fanins; }
+  const std::string& name(GateId g) const { return gates_[g].name; }
+  bool is_output(GateId g) const { return gates_[g].is_output; }
+  std::span<const GateId> output_order() const { return output_order_; }
+
+  /// A combinational cycle in the netlist as a closed gate path
+  /// [g0, g1, ..., gk, g0-again-implied] (feedback entering a DFF's D input
+  /// does not count); empty when the combinational core is acyclic. Shared
+  /// by build()'s error reporting and the analyzer's comb-cycle diagnostic.
+  std::vector<GateId> find_combinational_cycle() const;
+
+  /// Validate (arity, acyclic combinational core, unique names) and produce
+  /// the immutable circuit. The builder is left empty afterwards.
   Circuit build();
 
  private:
@@ -42,6 +72,7 @@ class NetlistBuilder {
     std::vector<GateId> fanins;
     std::string name;
     bool is_output = false;
+    Tick const_onset = 0;
   };
   std::vector<Proto> gates_;
   std::vector<GateId> output_order_;

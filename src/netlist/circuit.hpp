@@ -59,12 +59,44 @@ class Circuit {
   /// Gate name; empty if the netlist carried none.
   const std::string& name(GateId g) const { return names_[g]; }
 
+  /// Tick at which a Const0/Const1 gate's value is committed on its output
+  /// wire. Hand-written constants commit at 0 (the classic announce);
+  /// constants synthesized by the analyzer's folding pass (src/analyze)
+  /// carry the folded cone's arrival time so the event-driven waveform of
+  /// every surviving gate is reproduced bit-exactly. Non-constant gates and
+  /// circuits that never went through the optimizer always report 0.
+  Tick const_onset(GateId g) const {
+    return const_onsets_.empty() ? 0 : const_onsets_[g];
+  }
+
+  /// Initial wire value under the event-driven semantics: constants with a
+  /// deferred onset start unknown (they announce their value at
+  /// const_onset), plain Const0/DFF start F, plain Const1 starts T,
+  /// everything else X. Oblivious (fully-settled) executors keep using the
+  /// type-based plan_initial_value: a constant's settled value does not
+  /// depend on when it committed.
+  Logic4 initial_value(GateId g) const {
+    switch (types_[g]) {
+      case GateType::Const0:
+        return const_onset(g) ? Logic4::X : Logic4::F;
+      case GateType::Const1:
+        return const_onset(g) ? Logic4::X : Logic4::T;
+      case GateType::Dff:
+        return Logic4::F;
+      default:
+        return Logic4::X;
+    }
+  }
+
   /// Minimum combinational delay over all gates — the lookahead floor every
   /// conservative channel can rely on.
   std::uint32_t min_delay() const { return min_delay_; }
 
  private:
   friend class NetlistBuilder;
+  // The optimizer's result struct aggregates a Circuit (filled in from a
+  // builder); it needs the empty-circuit default construction.
+  friend struct OptimizedCircuit;
   Circuit() = default;
 
   std::vector<GateType> types_;
@@ -76,6 +108,7 @@ class Circuit {
   std::vector<std::uint32_t> levels_;
   std::vector<GateId> level_order_;
   std::vector<std::string> names_;
+  std::vector<Tick> const_onsets_;  ///< empty unless some onset is nonzero
   std::uint32_t depth_ = 0;
   std::uint32_t min_delay_ = 1;
 };

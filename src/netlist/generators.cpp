@@ -268,12 +268,19 @@ Circuit module_array(std::uint32_t n_modules, std::size_t gates_per_module,
     spec.seed = rng.next();
     const Circuit mod = random_circuit(spec);
     const std::string prefix = "m" + std::to_string(m) + "_";
+    // Copy gates first, wire fanins second: the module's DFF feedback edges
+    // point forward, which add_gate's eager bounds check rejects.
     for (GateId g = 0; g < mod.gate_count(); ++g) {
-      std::vector<GateId> fanins;
-      for (GateId f : mod.fanins(g)) fanins.push_back(base + f);
-      const GateId id = b.add_gate(mod.type(g), std::move(fanins),
-                                   prefix + mod.name(g));
+      const GateId id = b.add_gate(mod.type(g), {}, prefix + mod.name(g));
       b.set_delay(id, mod.delay(g));
+    }
+    for (GateId g = 0; g < mod.gate_count(); ++g) {
+      const auto fi = mod.fanins(g);
+      if (fi.empty()) continue;
+      std::vector<GateId> fanins;
+      fanins.reserve(fi.size());
+      for (GateId f : fi) fanins.push_back(base + f);
+      b.set_fanins(base + g, std::move(fanins));
     }
     for (GateId g : mod.primary_outputs()) b.mark_output(base + g);
   }

@@ -49,7 +49,9 @@ RunResult run_golden_kernel(const Circuit& c, const Stimulus& stim, Q queue) {
   std::vector<Logic4> values(c.gate_count(), Logic4::X);
   std::vector<Logic4> projected(c.gate_count(), Logic4::X);
   for (GateId g = 0; g < c.gate_count(); ++g) {
-    const Logic4 init = plan_initial_value(c.type(g));
+    // Per-gate initial value: analyzer-folded constants start X and
+    // announce at their onset via the environment stream.
+    const Logic4 init = c.initial_value(g);
     values[g] = init;
     projected[g] = init;
   }

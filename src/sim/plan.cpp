@@ -130,8 +130,10 @@ std::shared_ptr<const SimPlan> SimPlan::build(
         static_cast<std::uint32_t>(bp.fanout_locals.size());
 
     bp.init_values.resize(bp.n_local);
+    // Per-gate (not per-type) initial values: an analyzer-folded constant
+    // starts X and announces at its onset (Circuit::initial_value).
     for (std::uint32_t li = 0; li < bp.n_local; ++li)
-      bp.init_values[li] = plan_initial_value(c.type(bp.to_global[li]));
+      bp.init_values[li] = c.initial_value(bp.to_global[li]);
 
     if (!exported.empty()) {
       std::uint32_t lookahead = 1u << 30;

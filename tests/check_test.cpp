@@ -56,6 +56,7 @@ Workload make_workload(std::uint32_t blocks) {
 TEST(AuditorPositive, SynchronousEngineRunsCleanUnderAudit) {
   const Workload w = make_workload(4);
   EngineConfig cfg;
+  cfg.plan_opt = PlanOpt::None;  // bit-exact against the unoptimized golden
   cfg.audit = true;
   cfg.record_trace = true;  // exercises check_trace as well
   const RunResult r = run_synchronous(w.circuit, w.stim, w.partition, cfg);
@@ -66,6 +67,7 @@ TEST(AuditorPositive, SynchronousEngineRunsCleanUnderAudit) {
 TEST(AuditorPositive, SynchronousTimeBucketsRunCleanUnderAudit) {
   const Workload w = make_workload(3);
   EngineConfig cfg;
+  cfg.plan_opt = PlanOpt::None;  // bit-exact against the unoptimized golden
   cfg.audit = true;
   cfg.time_buckets = true;
   const RunResult r = run_synchronous(w.circuit, w.stim, w.partition, cfg);
@@ -76,6 +78,7 @@ TEST(AuditorPositive, SynchronousTimeBucketsRunCleanUnderAudit) {
 TEST(AuditorPositive, ConservativeEngineRunsCleanUnderAudit) {
   const Workload w = make_workload(4);
   EngineConfig cfg;
+  cfg.plan_opt = PlanOpt::None;  // bit-exact against the unoptimized golden
   cfg.audit = true;
   const RunResult r = run_conservative(w.circuit, w.stim, w.partition, cfg);
   EXPECT_EQ(r.final_values, w.golden.final_values);
@@ -85,6 +88,7 @@ TEST(AuditorPositive, ConservativeEngineRunsCleanUnderAudit) {
 TEST(AuditorPositive, TimeWarpAggressiveRunsCleanUnderAudit) {
   const Workload w = make_workload(4);
   EngineConfig cfg;
+  cfg.plan_opt = PlanOpt::None;  // bit-exact against the unoptimized golden
   cfg.audit = true;
   const RunResult r = run_timewarp(w.circuit, w.stim, w.partition, cfg);
   EXPECT_EQ(r.final_values, w.golden.final_values);
@@ -97,6 +101,7 @@ TEST(AuditorPositive, TimeWarpLazyWindowedRunsCleanUnderAudit) {
   // (the bug class this auditor was built to catch).
   const Workload w = make_workload(4);
   EngineConfig cfg;
+  cfg.plan_opt = PlanOpt::None;  // bit-exact against the unoptimized golden
   cfg.audit = true;
   cfg.lazy_cancellation = true;
   cfg.optimism_window = 25;
@@ -109,6 +114,7 @@ TEST(AuditorPositive, TimeWarpLazyWindowedRunsCleanUnderAudit) {
 TEST(AuditorPositive, ObliviousParallelRunsCleanUnderAudit) {
   const Workload w = make_workload(4);
   EngineConfig cfg;
+  cfg.plan_opt = PlanOpt::None;  // bit-exact against the unoptimized golden
   cfg.audit = true;
   // Oblivious semantics differ from event-driven golden (zero-delay cycles),
   // so only the clean-run property is asserted here; equivalence against the

@@ -25,9 +25,19 @@ struct Scenario {
 
 class EngineEquivalence : public ::testing::TestWithParam<Scenario> {};
 
+/// These suites pin the optimizer off: they assert bit-exact equality with
+/// the unoptimized golden oracle over *every* gate, including dead logic
+/// the optimizer is free to eliminate. Optimized runs are covered by the
+/// observable-signal differential suite in analyze_test.cpp.
+EngineConfig legacy_cfg() {
+  EngineConfig cfg;
+  cfg.plan_opt = PlanOpt::None;
+  return cfg;
+}
+
 RunResult run_engine(const std::string& name, const Circuit& c,
                      const Stimulus& s, const Partition& p,
-                     const EngineConfig& cfg = {}) {
+                     const EngineConfig& cfg = legacy_cfg()) {
   for (const auto& e : standard_engines())
     if (e.name == name) return e.run(c, s, p, cfg);
   throw Error("unknown engine " + name);
@@ -129,7 +139,7 @@ std::vector<EngineConfig> tw_configs() {
   for (SaveMode save : {SaveMode::Incremental, SaveMode::Full})
     for (bool lazy : {false, true})
       for (Tick window : {Tick(0), Tick(40)}) {
-        EngineConfig cfg;
+        EngineConfig cfg = legacy_cfg();
         cfg.save = save;
         cfg.lazy_cancellation = lazy;
         cfg.optimism_window = window;
@@ -162,7 +172,7 @@ TEST(ObliviousParallel, MatchesSequentialOblivious) {
   const ObliviousResult seq = simulate_oblivious(c, s);
   for (std::uint32_t blocks : {1u, 2u, 4u}) {
     const Partition p = partition_round_robin(c, blocks);
-    const RunResult par = run_oblivious_parallel(c, s, p, {});
+    const RunResult par = run_oblivious_parallel(c, s, p, legacy_cfg());
     EXPECT_EQ(par.final_values, seq.final_values) << blocks << " blocks";
     EXPECT_EQ(par.stats.evaluations, seq.evaluations);
   }
@@ -207,7 +217,7 @@ TEST_P(EngineFuzz, RandomCircuitMatchesGoldenUnderAudit) {
 
   const RunResult golden = simulate_golden(c, s);
 
-  EngineConfig cfg;
+  EngineConfig cfg = legacy_cfg();
   cfg.audit = true;
   cfg.lazy_cancellation = fz % 2 == 1;  // exercised by the timewarp engine
   cfg.optimism_window = fz % 5 == 0 ? Tick(30) : Tick(0);
@@ -235,7 +245,7 @@ TEST(EngineTraces, RecordedTracesAreIdenticalAcrossEngines) {
   gopts.record_trace = true;
   const RunResult golden = simulate_golden(c, s, gopts);
 
-  EngineConfig cfg;
+  EngineConfig cfg = legacy_cfg();
   cfg.record_trace = true;
   const Partition p = partition_round_robin(c, 3);
   for (const auto& e : standard_engines()) {

@@ -73,10 +73,16 @@ TEST(Builder, RejectsDuplicateNames) {
 }
 
 TEST(Builder, RejectsDanglingFanin) {
+  // Dangling references are rejected eagerly, at construction time.
   NetlistBuilder b;
   const GateId a = b.add_input();
-  b.add_gate(GateType::Buf, {static_cast<GateId>(a + 100)});
-  EXPECT_THROW(b.build(), Error);
+  EXPECT_THROW(b.add_gate(GateType::Buf, {static_cast<GateId>(a + 100)}),
+               Error);
+  const GateId buf = b.add_gate(GateType::Buf, {a});
+  EXPECT_THROW(b.set_fanins(buf, {static_cast<GateId>(a + 100)}), Error);
+  // A rejected call leaves the builder usable: the netlist still builds.
+  b.mark_output(buf);
+  EXPECT_EQ(b.build().gate_count(), 2u);
 }
 
 TEST(Builder, DelayValidation) {

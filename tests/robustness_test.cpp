@@ -90,7 +90,9 @@ TEST(FamilySweep, AllEnginesAgreeOnEveryCircuitFamily) {
     const Partition p = partition_fm(c, std::max(1u, blocks), 11);
 
     for (const auto& e : standard_engines()) {
-      const RunResult r = e.run(c, s, p, EngineConfig{});
+      EngineConfig cfg;
+      cfg.plan_opt = PlanOpt::None;  // bit-exact against the unoptimized golden
+      const RunResult r = e.run(c, s, p, cfg);
       EXPECT_EQ(r.final_values, golden.final_values) << e.name;
       EXPECT_EQ(r.wave.digest(), golden.wave.digest()) << e.name;
     }

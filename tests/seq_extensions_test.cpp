@@ -131,7 +131,8 @@ TEST(ThreadedTimeBuckets, MatchesGoldenAndCutsBarriers) {
   const Partition p = partition_fm(c, 4, 1);
 
   EngineConfig plain;
-  EngineConfig buckets;
+  plain.plan_opt = PlanOpt::None;  // bit-exact against the unoptimized golden
+  EngineConfig buckets = plain;
   buckets.time_buckets = true;
   const RunResult a = run_synchronous(c, s, p, plain);
   const RunResult w = run_synchronous(c, s, p, buckets);

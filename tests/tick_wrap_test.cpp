@@ -152,7 +152,9 @@ TEST(TickWrap, EnginesMatchGoldenWithHorizonNearTickMax) {
     SCOPED_TRACE(name);
     for (const auto& e : standard_engines()) {
       if (e.name != name) continue;
-      const RunResult r = e.run(c, s, p, EngineConfig{});
+      EngineConfig cfg;
+      cfg.plan_opt = PlanOpt::None;  // bit-exact against the unoptimized golden
+      const RunResult r = e.run(c, s, p, cfg);
       EXPECT_EQ(r.final_values, golden.final_values);
       EXPECT_EQ(r.wave.digest(), golden.wave.digest());
     }

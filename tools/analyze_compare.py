@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Compare two plsim-analyze-v1 reports (see tools/plsim_analyze.cpp).
+
+Usage: analyze_compare.py GOLDEN CURRENT [--tol REL]
+
+Circuits are joined by their "circuit" name; everything under each circuit
+(ok flag, severity counts, stats, findings, optimize block) is compared
+recursively. Numbers match within the relative tolerance (analyzer output
+is deterministic, so the default is effectively exact and the tolerance
+only absorbs float formatting of avg_fanout). Exit 0 on match, 1 on
+mismatch, 2 on bad input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "plsim-analyze-v1":
+        sys.exit(f"{path}: not a plsim-analyze-v1 report")
+    return {c["circuit"]: c for c in doc.get("circuits", [])}
+
+
+def diff(path, golden, current, tol, errors):
+    if isinstance(golden, dict) and isinstance(current, dict):
+        for key in sorted(set(golden) | set(current)):
+            if key not in golden:
+                errors.append(f"{path}.{key}: unexpected (not in golden)")
+            elif key not in current:
+                errors.append(f"{path}.{key}: missing")
+            else:
+                diff(f"{path}.{key}", golden[key], current[key], tol, errors)
+    elif isinstance(golden, list) and isinstance(current, list):
+        if len(golden) != len(current):
+            errors.append(
+                f"{path}: length {len(current)} != golden {len(golden)}")
+        for i, (g, c) in enumerate(zip(golden, current)):
+            diff(f"{path}[{i}]", g, c, tol, errors)
+    elif isinstance(golden, bool) or isinstance(current, bool):
+        if golden != current:
+            errors.append(f"{path}: {current} != golden {golden}")
+    elif isinstance(golden, (int, float)) and isinstance(current, (int, float)):
+        scale = max(abs(golden), abs(current), 1e-300)
+        if abs(golden - current) > tol * scale:
+            errors.append(f"{path}: {current} != golden {golden}")
+    elif golden != current:
+        errors.append(f"{path}: {current!r} != golden {golden!r}")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("golden")
+    ap.add_argument("current")
+    ap.add_argument("--tol", type=float, default=1e-9,
+                    help="relative tolerance for numeric fields")
+    args = ap.parse_args()
+
+    golden = load(args.golden)
+    current = load(args.current)
+    errors = []
+    for name in sorted(set(golden) | set(current)):
+        if name not in golden:
+            errors.append(f"{name}: circuit not in golden report")
+        elif name not in current:
+            errors.append(f"{name}: circuit missing from current report")
+        else:
+            diff(name, golden[name], current[name], args.tol, errors)
+
+    if errors:
+        print(f"analyze_compare: {len(errors)} mismatch(es)")
+        for e in errors:
+            print("  " + e)
+        return 1
+    print(f"analyze_compare: {len(golden)} circuit(s) match")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

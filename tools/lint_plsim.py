@@ -55,11 +55,29 @@ comment `// plsim-lint: allow(<rule>)`):
                   trace_detail call would survive the build flag and charge
                   the hot path even in untraced builds.
 
+  analyze-pass    Circuit construction/mutation (the NetlistBuilder type) is
+                  confined to src/netlist/ and src/analyze/: everything
+                  downstream of the analyzer consumes an immutable Circuit,
+                  so every structural rewrite flows through the audited
+                  analyze passes and their GateId translation tables instead
+                  of ad-hoc rebuilds that silently break stimulus binding
+                  and result merging.
+
+  header-selfcontained
+                  Every public header in src/ must compile standalone
+                  (`c++ -std=c++20 -fsyntax-only -I src header.hpp`): each
+                  header includes what it uses rather than leaning on its
+                  includers' include order. Skipped (with a notice) when no
+                  C++ compiler is on PATH.
+
 Usage: lint_plsim.py <repo-root>
 Exit status 0 when clean, 1 with file:line diagnostics otherwise.
 """
 
+import concurrent.futures
 import re
+import shutil
+import subprocess
 import sys
 from pathlib import Path
 
@@ -111,6 +129,8 @@ PLAN_EVAL = re.compile(
 )
 # Raw tracing internals outside the trace module itself.
 TRACE_DETAIL = re.compile(r"\btrace_detail\s*::")
+# The only route that builds or rewrites a Circuit.
+NETLIST_BUILDER = re.compile(r"\bNetlistBuilder\b")
 
 
 def strip_comments_and_strings(line):
@@ -150,6 +170,7 @@ def lint_file(path, rel, findings):
         ("src/core/", "src/engines/", "src/vp/", "src/event/", "src/seq/"))
     in_plan_code = rel == "src/core/block.cpp" or rel.startswith("src/engines/")
     in_trace = rel.startswith("src/trace/")
+    in_builder_code = rel.startswith(("src/netlist/", "src/analyze/"))
     in_src = rel.startswith("src/")
 
     # Names of unordered containers declared anywhere in this file.
@@ -224,6 +245,15 @@ def lint_file(path, rel, findings):
                        "PLSIM_TRACE_* macros so the call compiles out under "
                        "PLSIM_TRACING=OFF")
 
+        if in_src and not in_builder_code:
+            m = NETLIST_BUILDER.search(code)
+            if m:
+                report(idx, "analyze-pass",
+                       "NetlistBuilder outside src/netlist/+src/analyze/ — "
+                       "structural rewrites must go through the analyze "
+                       "passes (optimize_circuit) so GateId translation "
+                       "stays consistent")
+
         if in_src and not in_rng:
             m = RANDOMNESS.search(code)
             if m:
@@ -270,6 +300,39 @@ def lint_file(path, rel, findings):
                        "std::memory_order argument")
 
 
+def check_headers(root, headers, findings):
+    """header-selfcontained: syntax-check every src/ header standalone."""
+    compiler = shutil.which("c++") or shutil.which("g++") or \
+        shutil.which("clang++")
+    if compiler is None:
+        print("lint_plsim: no C++ compiler on PATH; "
+              "skipping header-selfcontained")
+        return
+
+    def compile_one(path):
+        rel = path.relative_to(root).as_posix()
+        if WAIVER_FILE.search(path.read_text(encoding="utf-8",
+                                             errors="replace")):
+            return None
+        proc = subprocess.run(
+            [compiler, "-std=c++20", "-fsyntax-only",
+             "-I", str(root / "src"), "-x", "c++", str(path)],
+            capture_output=True, text=True)
+        if proc.returncode != 0:
+            first = (proc.stderr.strip().splitlines() or ["(no output)"])[0]
+            return (f"{rel}:1: [header-selfcontained] does not compile "
+                    f"standalone: {first}")
+        return None
+
+    with concurrent.futures.ThreadPoolExecutor(max_workers=8) as pool:
+        for result in pool.map(compile_one, headers):
+            if result:
+                findings.append(result)
+
+
+WAIVER_FILE = re.compile(r"//\s*plsim-lint:\s*allow\(header-selfcontained\)")
+
+
 def main():
     if len(sys.argv) != 2:
         print("usage: lint_plsim.py <repo-root>", file=sys.stderr)
@@ -285,6 +348,8 @@ def main():
     )
     for path in files:
         lint_file(path, path.relative_to(root).as_posix(), findings)
+    check_headers(root, [p for p in files if p.suffix in {".hpp", ".hh", ".h"}],
+                  findings)
 
     if findings:
         print(f"lint_plsim: {len(findings)} finding(s):")

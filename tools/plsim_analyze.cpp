@@ -1,0 +1,267 @@
+// Netlist lint & optimization CLI over src/analyze.
+//
+//   plsim_analyze [options] <circuit>...
+//
+//   <circuit> is a builtin name (c17, s27), an ISCAS profile name (c880,
+//   s5378, ...), a path to a .bench file, or a generator spec:
+//       random:<gates>[:seed]    adder:<bits>      multiplier:<bits>
+//       counter:<bits>           modules:<n>[:seed]
+//
+//   --json <file|->      write the plsim-analyze-v1 report (golden-compared
+//                        in CI via tools/analyze_compare.py)
+//   --opt <level>        none | safe | aggressive (default safe) — level for
+//                        the optimize stats block and --measure
+//   --period <ticks>     clock period for aggressive sequential analysis
+//   --measure            also run the optimized vs. unoptimized simulation
+//                        and print eval-count / ns-per-vector reductions
+//
+// Exit status: 0 all circuits clean (warnings allowed), 1 any error-severity
+// finding (including parse errors), 2 usage.
+//
+// .bench files are parsed to a *builder* (not a built Circuit), so the
+// malformed netlists Builder::build() rejects — combinational cycles,
+// floating gates, arity violations — come out as structured findings with
+// the full gate path instead of a thrown first-error.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analyze/analyze.hpp"
+#include "analyze/opt.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/builtin.hpp"
+#include "netlist/generators.hpp"
+#include "seq/golden.hpp"
+#include "stim/stimulus.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+using namespace plsim;
+
+namespace {
+
+struct Options {
+  std::string json_path;  // empty = no JSON, "-" = stdout
+  PlanOpt opt = PlanOpt::Safe;
+  Tick period = 0;
+  bool measure = false;
+  /// Exit 0 even when error findings exist — for golden-compare runs whose
+  /// input set deliberately includes malformed netlists.
+  bool allow_errors = false;
+  std::vector<std::string> circuits;
+};
+
+/// Generator spec "kind:param[:seed]" -> circuit, or nullopt if `spec`
+/// doesn't look like one.
+std::optional<Circuit> generated_circuit(const std::string& spec) {
+  const auto c1 = spec.find(':');
+  if (c1 == std::string::npos) return std::nullopt;
+  const std::string kind = spec.substr(0, c1);
+  const auto c2 = spec.find(':', c1 + 1);
+  const std::string arg = spec.substr(c1 + 1, c2 == std::string::npos
+                                                  ? std::string::npos
+                                                  : c2 - c1 - 1);
+  const int param = std::stoi(arg);
+  const std::uint64_t seed =
+      c2 == std::string::npos ? 1 : std::stoull(spec.substr(c2 + 1));
+  if (kind == "random") return scaled_circuit(param, seed);
+  if (kind == "adder") return ripple_adder(param);
+  if (kind == "multiplier") return array_multiplier(param);
+  if (kind == "counter") return counter(param);
+  if (kind == "modules") return module_array(param, 200, seed);
+  return std::nullopt;
+}
+
+/// One analyzed circuit: the report plus, when structurally valid, the
+/// built Circuit for the optimize/measure stages.
+struct Analyzed {
+  AnalysisReport report;
+  std::optional<Circuit> circuit;
+};
+
+Analyzed analyze_one(const std::string& spec) {
+  Analyzed out;
+  try {
+    for (auto builtin : builtin_circuit_names())
+      if (spec == builtin) {
+        out.circuit = builtin_circuit(spec);
+        out.report = analyze_circuit(*out.circuit, spec);
+        return out;
+      }
+    for (const auto& prof : iscas_profiles())
+      if (spec == prof.name) {
+        out.circuit = iscas_profile_circuit(spec);
+        out.report = analyze_circuit(*out.circuit, spec);
+        return out;
+      }
+    if (std::optional<Circuit> gen = generated_circuit(spec)) {
+      out.circuit = std::move(*gen);
+      out.report = analyze_circuit(*out.circuit, spec);
+      return out;
+    }
+    // Report files under their basename so golden reports stay stable
+    // across checkouts.
+    const std::string display = std::filesystem::path(spec).filename();
+    std::ifstream is(spec);
+    PLSIM_CHECK(is.good(), "cannot open bench file: " + spec);
+    NetlistBuilder b = parse_bench_builder(is);
+    out.report = analyze_netlist(b, display);
+    if (out.report.ok()) out.circuit = b.build();
+  } catch (const std::exception& e) {
+    out.circuit.reset();
+    out.report.circuit = std::filesystem::path(spec).filename();
+    out.report.findings.push_back(
+        Finding{"parse-error", Severity::Error, e.what(), {}});
+  }
+  return out;
+}
+
+JsonValue opt_stats_json(PlanOpt level, const OptStats& st) {
+  JsonValue o = JsonValue::object();
+  o.set("level", std::string(plan_opt_name(level)));
+  o.set("gates_before", static_cast<std::uint64_t>(st.gates_before));
+  o.set("gates_after", static_cast<std::uint64_t>(st.gates_after));
+  o.set("folded", static_cast<std::uint64_t>(st.folded));
+  o.set("merged", static_cast<std::uint64_t>(st.merged));
+  o.set("removed", static_cast<std::uint64_t>(st.removed));
+  return o;
+}
+
+/// Minimum-of-3 golden-simulation wall time, seconds.
+double sim_seconds(const Circuit& c, const Stimulus& stim) {
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    const RunResult r = simulate_golden(c, stim);
+    best = std::min(best, r.wall_seconds);
+  }
+  return best;
+}
+
+void print_report(const AnalysisReport& r) {
+  std::cout << "== " << r.circuit << (r.ok() ? " (ok)" : " (ERRORS)") << ": "
+            << r.stats.gates << " gates, " << r.stats.inputs << " inputs, "
+            << r.stats.outputs << " outputs, " << r.stats.dffs
+            << " dffs, depth " << r.stats.depth << ", max fanout "
+            << r.stats.max_fanout << "\n";
+  for (const Finding& f : r.findings)
+    std::cout << "  [" << severity_name(f.severity) << "] " << f.rule << ": "
+              << f.message << "\n";
+}
+
+int run(const Options& opt) {
+  std::vector<AnalysisReport> reports;
+  std::vector<JsonValue> opt_blocks;  // parallel to reports; Null if none
+  Table measured({"circuit", "gates", "gates_opt", "evals", "evals_opt",
+                  "ns_per_vec", "ns_per_vec_opt"});
+  bool any_error = false;
+
+  for (const std::string& spec : opt.circuits) {
+    Analyzed a = analyze_one(spec);
+    print_report(a.report);
+    any_error |= !a.report.ok();
+
+    JsonValue opt_json;  // Null
+    if (a.circuit && opt.opt != PlanOpt::None) {
+      OptOptions oo;
+      oo.level = opt.opt;
+      oo.clock_period = opt.period;
+      const OptimizedCircuit optimized = optimize_circuit(*a.circuit, oo);
+      opt_json = opt_stats_json(opt.opt, optimized.stats);
+      std::cout << "  optimize[" << plan_opt_name(opt.opt) << "]: "
+                << optimized.stats.summary() << "\n";
+
+      if (opt.measure) {
+        const Circuit& c = *a.circuit;
+        const std::size_t cycles = 50;
+        const Stimulus stim = random_stimulus(c, cycles, 0.3, 7);
+        const RunResult before = simulate_golden(c, stim);
+        const RunResult after = simulate_golden(optimized.circuit, stim);
+        const double ns_before =
+            sim_seconds(c, stim) * 1e9 / static_cast<double>(cycles);
+        const double ns_after = sim_seconds(optimized.circuit, stim) * 1e9 /
+                                static_cast<double>(cycles);
+        measured.add_row({a.report.circuit, Table::fmt(c.gate_count()),
+                          Table::fmt(optimized.circuit.gate_count()),
+                          Table::fmt(before.stats.evaluations),
+                          Table::fmt(after.stats.evaluations),
+                          Table::fmt(ns_before), Table::fmt(ns_after)});
+      }
+    }
+    reports.push_back(std::move(a.report));
+    opt_blocks.push_back(std::move(opt_json));
+  }
+
+  if (opt.measure) {
+    std::cout << "\n";
+    measured.print(std::cout);
+  }
+
+  if (!opt.json_path.empty()) {
+    JsonValue o = JsonValue::object();
+    o.set("schema", "plsim-analyze-v1");
+    JsonValue circuits = JsonValue::array();
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      JsonValue cj = analysis_to_json(reports[i]);
+      if (opt_blocks[i].is_object())
+        cj.set("optimize", std::move(opt_blocks[i]));
+      circuits.push_back(std::move(cj));
+    }
+    o.set("circuits", std::move(circuits));
+    if (opt.json_path == "-") {
+      o.dump(std::cout);
+      std::cout << "\n";
+    } else {
+      std::ofstream os(opt.json_path);
+      PLSIM_CHECK(os.good(), "cannot write " + opt.json_path);
+      o.dump(os);
+      os << "\n";
+      std::cout << "report written to " << opt.json_path << "\n";
+    }
+  }
+  return any_error && !opt.allow_errors ? 1 : 0;
+}
+
+int usage() {
+  std::cerr
+      << "usage: plsim_analyze [--json <file|->] [--opt none|safe|aggressive]"
+         " [--period <ticks>] [--measure] <circuit>...\n"
+         "  <circuit>: builtin (c17, s27), ISCAS profile (c880, ...), .bench"
+         " path,\n             or generator spec random:<gates>[:seed],"
+         " adder:<bits>, multiplier:<bits>,\n             counter:<bits>,"
+         " modules:<n>[:seed]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--json" && i + 1 < argc)
+        opt.json_path = argv[++i];
+      else if (arg == "--opt" && i + 1 < argc)
+        opt.opt = plan_opt_from_name(argv[++i]);
+      else if (arg == "--period" && i + 1 < argc)
+        opt.period = std::stoull(argv[++i]);
+      else if (arg == "--measure")
+        opt.measure = true;
+      else if (arg == "--allow-errors")
+        opt.allow_errors = true;
+      else if (!arg.empty() && arg[0] == '-')
+        return usage();
+      else
+        opt.circuits.push_back(arg);
+    }
+    if (opt.circuits.empty()) return usage();
+    return run(opt);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
