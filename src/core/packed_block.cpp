@@ -1,0 +1,150 @@
+#include "core/packed_block.hpp"
+
+#include "util/error.hpp"
+
+namespace plsim {
+
+PackedBlockSimulator::PackedBlockSimulator(
+    std::shared_ptr<const PackedPlan> plan, std::uint32_t block,
+    const PackedBlockOptions& opts)
+    : plan_(std::move(plan)),
+      bp_(&plan_->plan().block(block)),
+      opts_(opts) {
+  PLSIM_CHECK(opts_.horizon > 0,
+              "PackedBlockSimulator: horizon must be positive");
+  PLSIM_CHECK(opts_.clock_period >= 1, "PackedBlockSimulator: bad period");
+
+  const auto init = plan_->block_init(block);
+  values_.assign(init.begin(), init.end());
+  projected_.assign(init.begin(), init.begin() + bp_->n_owned);
+  eval_mark_.assign(bp_->n_local, 0);
+  if (opts_.lane_waves) lane_waves_.resize(kPackedLanes);
+
+  if (!bp_->dffs.empty() && opts_.clock_period < opts_.horizon)
+    queue_.push(PEvent{opts_.clock_period, seq_counter_++, kNoGate, {}, 0,
+                       EventKind::Clock});
+}
+
+PackedWord PackedBlockSimulator::value(GateId g) const {
+  const std::uint32_t li = bp_->to_local[g];
+  PLSIM_CHECK(li != BlockPlan::kNotLocal,
+              "PackedBlockSimulator::value: gate not in scope");
+  return values_[li];
+}
+
+void PackedBlockSimulator::harvest_values(std::vector<PackedWord>& into) const {
+  for (std::uint32_t i = 0; i < bp_->n_owned; ++i)
+    into[bp_->to_global[i]] = values_[i];
+}
+
+void PackedBlockSimulator::schedule(Tick when, std::uint32_t li, PackedWord v,
+                                    std::uint64_t lanes, EventKind kind) {
+  if (when >= opts_.horizon) return;
+  queue_.push(PEvent{when, seq_counter_++, li, v, lanes, kind});
+}
+
+void PackedBlockSimulator::apply_wire(std::uint32_t li, PackedWord v,
+                                      std::uint64_t lanes, Tick t) {
+  values_[li] = v;
+  if (li < bp_->n_owned && opts_.lane_waves) {
+    // Only the lanes that actually changed carry a per-lane change record —
+    // exactly the events a scalar simulation of that lane would apply.
+    const GateId g = bp_->to_global[li];
+    std::uint64_t m = lanes;
+    while (m) {
+      const unsigned l = static_cast<unsigned>(__builtin_ctzll(m));
+      m &= m - 1;
+      lane_waves_[l].add(
+          g, t, static_cast<std::uint8_t>(packed_get_lane(v, l)));
+    }
+  }
+  for (std::uint32_t ls : bp_->fanouts(li)) {
+    if (eval_mark_[ls] != eval_epoch_) {
+      eval_mark_[ls] = eval_epoch_;
+      eval_list_.push_back(ls);
+    }
+  }
+}
+
+BatchStats PackedBlockSimulator::process_batch(
+    Tick t, std::span<const PackedMessage> externals,
+    std::vector<PackedMessage>& out) {
+  PLSIM_ASSERT(t < opts_.horizon);
+  PLSIM_ASSERT(t <= next_internal_time());
+
+  BatchStats bs;
+  const std::size_t out_before = out.size();
+
+  ++eval_epoch_;
+  eval_list_.clear();
+
+  scratch_.clear();
+  while (!queue_.empty() && queue_.top().time == t) {
+    scratch_.push_back(queue_.top());
+    queue_.pop();
+  }
+
+  // Phase A: clock edge — sample every owned DFF with pre-t word values.
+  bool clock_edge = false;
+  for (const PEvent& e : scratch_)
+    if (e.kind == EventKind::Clock) clock_edge = true;
+  if (clock_edge) {
+    for (std::size_t i = 0; i < bp_->dffs.size(); ++i) {
+      const std::uint32_t li = bp_->dffs[i];
+      // The packed plane cannot represent Z, so z_to_x is the identity here.
+      const PackedWord q = values_[bp_->dff_d[i]];
+      ++bs.dff_samples;
+      const std::uint64_t changed = packed_diff(q, projected_[li]);
+      if (changed) {
+        projected_[li] = q;
+        const BlockPlan::Rec& rec = bp_->recs[li];
+        const Tick when = tick_add(t, rec.delay);
+        schedule(when, li, q, changed, EventKind::Wire);
+        if (rec.exported && when < opts_.horizon)
+          out.push_back(PackedMessage{when, bp_->to_global[li], q, changed});
+      }
+    }
+    schedule(tick_add(t, opts_.clock_period), kNoGate, {}, 0, EventKind::Clock);
+  }
+
+  // Phase B: apply all wire changes at t.
+  for (const PEvent& e : scratch_) {
+    if (e.kind != EventKind::Wire) continue;
+    apply_wire(e.gate, e.value, e.lanes, t);
+    ++bs.wire_events;
+  }
+  for (const PackedMessage& m : externals) {
+    PLSIM_ASSERT(m.time == t);
+    const std::uint32_t li = bp_->to_local[m.gate];
+    PLSIM_ASSERT(li != BlockPlan::kNotLocal);
+    apply_wire(li, m.value, m.lanes, t);
+    ++bs.wire_events;
+  }
+
+  // Phase C: evaluate each affected owned gate once, word at a time.
+  for (const std::uint32_t li : eval_list_) {
+    const BlockPlan::Rec& rec = bp_->recs[li];
+    const PackedWord nv = packed_eval_gather(
+        rec.op, values_.data(), bp_->fanin_locals.data() + rec.fanin_off,
+        rec.fanin_count);
+    ++bs.evaluations;
+    const std::uint64_t changed = packed_diff(nv, projected_[li]);
+    if (changed) {
+      projected_[li] = nv;
+      const Tick when = tick_add(t, rec.delay);
+      schedule(when, li, nv, changed, EventKind::Wire);
+      if (rec.exported && when < opts_.horizon)
+        out.push_back(PackedMessage{when, bp_->to_global[li], nv, changed});
+    }
+  }
+
+  bs.messages_out = static_cast<std::uint32_t>(out.size() - out_before);
+  stats_.wire_events += bs.wire_events;
+  stats_.evaluations += bs.evaluations;
+  stats_.dff_samples += bs.dff_samples;
+  stats_.messages += bs.messages_out;
+  ++stats_.batches;
+  return bs;
+}
+
+}  // namespace plsim

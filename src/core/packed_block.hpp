@@ -1,0 +1,125 @@
+#pragma once
+// PackedBlockSimulator: the 64-lane packed counterpart of BlockSimulator —
+// event-driven evaluation of one block of a partitioned circuit where every
+// signal carries a PackedWord (64 independent 3-valued simulation lanes)
+// instead of one Logic4.
+//
+// It reproduces BlockSimulator's timestamp-batch semantics exactly, word at
+// a time:
+//   phase A  on a clock edge, every owned DFF samples its D word using
+//            pre-t values and schedules Q at t + delay(dff);
+//   phase B  all wire changes at t (internal events and external packed
+//            messages) are applied;
+//   phase C  affected owned combinational gates are evaluated once each
+//            through the packed word kernels; a word whose value changed in
+//            *any* lane is scheduled at t + delay(gate) (and exported as a
+//            PackedMessage when the gate is exported).
+//
+// Per-lane fidelity: an event's `lanes` mask records which lanes actually
+// changed relative to the projection at schedule time. Lanes outside the
+// mask are rewritten with their unchanged value (harmless — evaluation is a
+// pure function per lane), and only masked lanes contribute to the per-lane
+// waveform digests. This makes every lane of a packed run bit-identical —
+// values *and* WaveHash — to a scalar golden run of that lane's stimulus
+// (tests/packed_test.cpp, PackedGoldenLanes).
+//
+// No rollback support: the packed plane serves throughput-oriented
+// executors (sequential golden, synchronous-style multi-block drivers, the
+// oblivious engine, the fault simulator); optimistic engines keep the
+// scalar plane.
+
+#include <memory>
+#include <queue>
+#include <span>
+#include <vector>
+
+#include "core/block.hpp"
+#include "core/types.hpp"
+#include "event/event.hpp"
+#include "sim/packed.hpp"
+#include "sim/plan.hpp"
+#include "util/hash.hpp"
+
+namespace plsim {
+
+/// A time-stamped packed signal change crossing a block boundary. `lanes`
+/// marks the lanes whose value actually changed (see header comment).
+struct PackedMessage {
+  Tick time = 0;
+  GateId gate = kNoGate;
+  PackedWord value;
+  std::uint64_t lanes = kAllLanes;
+
+  friend bool operator==(const PackedMessage&, const PackedMessage&) = default;
+};
+
+struct PackedBlockOptions {
+  Tick clock_period = 10;
+  Tick horizon = 0;        ///< simulate changes strictly before this time
+  bool lane_waves = false; ///< maintain the 64 per-lane waveform digests
+};
+
+class PackedBlockSimulator {
+ public:
+  PackedBlockSimulator(std::shared_ptr<const PackedPlan> plan,
+                       std::uint32_t block, const PackedBlockOptions& opts);
+
+  /// Earliest pending internal event time (kTickInf if none).
+  Tick next_internal_time() const {
+    return queue_.empty() ? kTickInf : queue_.top().time;
+  }
+
+  /// Process the single timestamp batch at time t (same preconditions as
+  /// BlockSimulator::process_batch). Emitted messages are appended to `out`.
+  BatchStats process_batch(Tick t, std::span<const PackedMessage> externals,
+                           std::vector<PackedMessage>& out);
+
+  PackedWord value(GateId g) const;
+  bool in_scope(GateId g) const {
+    return bp_->to_local[g] != BlockPlan::kNotLocal;
+  }
+  void harvest_values(std::vector<PackedWord>& into) const;
+
+  /// Per-lane commutative waveform digests (empty unless opts.lane_waves).
+  std::span<const WaveHash> lane_waves() const { return lane_waves_; }
+  const EngineStats& stats() const { return stats_; }
+
+ private:
+  struct PEvent {
+    Tick time = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t gate = 0;  ///< local index (kNoGate for clock events)
+    PackedWord value;
+    std::uint64_t lanes = 0;
+    EventKind kind = EventKind::Wire;
+  };
+  struct Later {
+    bool operator()(const PEvent& a, const PEvent& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void schedule(Tick when, std::uint32_t li, PackedWord v, std::uint64_t lanes,
+                EventKind kind);
+  void apply_wire(std::uint32_t li, PackedWord v, std::uint64_t lanes, Tick t);
+
+  std::shared_ptr<const PackedPlan> plan_;
+  const BlockPlan* bp_;
+  PackedBlockOptions opts_;
+
+  std::vector<PackedWord> values_;     // by local index
+  std::vector<PackedWord> projected_;  // by local index (owned only)
+  std::priority_queue<PEvent, std::vector<PEvent>, Later> queue_;
+  std::uint64_t seq_counter_ = 0;
+
+  std::vector<PEvent> scratch_;
+  std::vector<std::uint32_t> eval_mark_;
+  std::uint32_t eval_epoch_ = 0;
+  std::vector<std::uint32_t> eval_list_;
+
+  std::vector<WaveHash> lane_waves_;
+  EngineStats stats_;
+};
+
+}  // namespace plsim

@@ -36,6 +36,14 @@ struct EngineConfig {
   /// Violations throw plsim::AuditViolation after the threads join.
   bool audit = false;
 
+  // --- Oblivious knobs ---
+  /// Evaluate on the 64-lane packed value plane (sim/packed.hpp): every lane
+  /// carries the broadcast stimulus and lane 0 is extracted at the end, so
+  /// results stay bit-identical to the scalar sweep (Z on a primary-input
+  /// wire is restored from the raw stimulus after the packed run, which
+  /// collapses Z to X internally). Honored by run_oblivious_parallel only.
+  bool packed_plane = false;
+
   // --- Synchronous knobs ---
   /// Bounded-window steps: process a full lookahead window of event times
   /// per barrier pair instead of a single time (paper §VI, Steinman/Noble).

@@ -16,6 +16,7 @@
 #include "logic/gates.hpp"
 #include "parallel/barrier.hpp"
 #include "parallel/threads.hpp"
+#include "sim/packed.hpp"
 #include "sim/plan.hpp"
 #include "trace/trace.hpp"
 #include "util/timer.hpp"
@@ -97,6 +98,109 @@ RunResult run_oblivious_parallel(const Circuit& c, const Stimulus& stim,
   std::vector<std::uint64_t> evals(n, 0), barriers(n, 0);
 
   trace::Session tsn("oblivious-parallel", n);
+
+  if (cfg.packed_plane) {
+    // Same sweep, word per signal: the stimulus is broadcast across all 64
+    // lanes and lane 0 is extracted afterwards, so knob-on results are
+    // bit-identical to the scalar sweep below (engine_equivalence_test).
+    std::vector<PackedWord> pv(sp.size());
+    for (std::uint32_t pi = 0; pi < sp.size(); ++pi)
+      pv[pi] = packed_broadcast(plan_initial_value(sp.gate(pi).op));
+    std::vector<PackedWord> pnext(sp.size(), packed_broadcast(Logic4::F));
+
+    run_on_threads(n, [&](unsigned b) {
+      trace::Lane* tl = tsn.lane(b);
+      for (std::size_t cycle = 0; cycle < stim.vectors.size() + 1; ++cycle) {
+        if (b == 0 && cycle < stim.vectors.size()) {
+          const auto& vec = stim.vectors[cycle];
+          for (std::size_t i = 0; i < pi_plan.size() && i < vec.size(); ++i)
+            pv[pi_plan[i]] = packed_broadcast(vec[i]);
+        }
+        {
+          PLSIM_TRACE_SCOPE(tl, BarrierWait, cycle,
+                            static_cast<std::uint32_t>(barriers[b]));
+          barrier.arrive(0);
+        }
+        ++barriers[b];
+        if (aud) {
+          aud->on_batch(b, cycle);
+          aud->on_barrier(b);
+        }
+        for (std::uint32_t lv = 1; lv <= depth; ++lv) {
+          {
+            PLSIM_TRACE_SCOPE(
+                tl, Eval, cycle,
+                static_cast<std::uint32_t>(schedule[lv][b].size()));
+            for (std::uint32_t pi : schedule[lv][b]) {
+              const PlanGate& rec = sp.gate(pi);
+              pv[pi] = packed_eval_gather(rec.op, pv.data(),
+                                          sp.fanins(rec).data(),
+                                          rec.fanin_count);
+              ++evals[b];
+            }
+          }
+          {
+            PLSIM_TRACE_SCOPE(tl, BarrierWait, cycle,
+                              static_cast<std::uint32_t>(barriers[b]));
+            barrier.arrive(0);
+          }
+          ++barriers[b];
+          if (aud) {
+            aud->on_eval(b, schedule[lv][b].size());
+            aud->on_barrier(b);
+          }
+        }
+        if (cycle < stim.vectors.size()) {
+          // The packed plane cannot represent Z, so z_to_x is the identity.
+          for (std::uint32_t ff : dff_of[b])
+            pnext[ff] = pv[sp.fanins(sp.gate(ff))[0]];
+          {
+            PLSIM_TRACE_SCOPE(tl, BarrierWait, cycle,
+                              static_cast<std::uint32_t>(barriers[b]));
+            barrier.arrive(0);
+          }
+          ++barriers[b];
+          if (aud) {
+            aud->on_dff(b, dff_of[b].size());
+            aud->on_barrier(b);
+          }
+          for (std::uint32_t ff : dff_of[b]) pv[ff] = pnext[ff];
+        }
+      }
+    });
+
+    RunResult r;
+    r.final_values.assign(c.gate_count(), Logic4::X);
+    for (std::uint32_t pi = 0; pi < sp.size(); ++pi)
+      r.final_values[sp.gate_of(pi)] = packed_get_lane(pv[pi], 0);
+    // The scalar sweep leaves raw stimulus values (Z included) on primary
+    // inputs; the packed plane lowered them to X, so restore from the source.
+    {
+      std::vector<Logic4> raw(pi_plan.size(), Logic4::X);
+      std::vector<bool> set(pi_plan.size(), false);
+      for (const auto& vec : stim.vectors)
+        for (std::size_t i = 0; i < pi_plan.size() && i < vec.size(); ++i) {
+          raw[i] = vec[i];
+          set[i] = true;
+        }
+      for (std::size_t i = 0; i < pi_plan.size(); ++i)
+        if (set[i]) r.final_values[sp.gate_of(pi_plan[i])] = raw[i];
+    }
+    for (std::uint32_t b = 0; b < n; ++b) {
+      r.stats.evaluations += evals[b];
+      r.stats.barriers += barriers[b];
+    }
+    r.wall_seconds = timer.seconds();
+    if (aud) {
+      std::uint64_t swept = 0;
+      for (std::uint32_t pi = 0; pi < sp.size(); ++pi)
+        if (sp.gate(pi).is_comb && sp.gate(pi).level > 0) ++swept;
+      aud->expect_evaluations(swept * (stim.vectors.size() + 1));
+      aud->expect_dff_samples(sp.dffs().size() * stim.vectors.size());
+      aud->finalize();
+    }
+    return r;
+  }
 
   run_on_threads(n, [&](unsigned b) {
     trace::Lane* tl = tsn.lane(b);

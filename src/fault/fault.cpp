@@ -1,9 +1,9 @@
 #include "fault/fault.hpp"
 
 #include <algorithm>
-#include <array>
 
-#include "logic/gates.hpp"
+#include "core/types.hpp"
+#include "sim/packed.hpp"
 #include "sim/plan.hpp"
 #include "util/error.hpp"
 
@@ -12,15 +12,17 @@ namespace {
 
 /// Two-valued levelized cycle simulation with per-gate lane forcing.
 /// force_mask[g] selects lanes whose value of gate g is overridden with
-/// force_value[g]. Returns PO lane words per cycle XORed against lane 0 —
-/// i.e. a difference indicator per lane — accumulated over all POs/cycles.
-/// When `per_cycle` is given, it also receives the per-cycle difference
-/// indicator.
+/// force_value[g] (the good machine always rides lane 0, so masks never
+/// include bit 0). Returns PO lane words per cycle XORed against the
+/// broadcast of lane 0 — i.e. a difference indicator per lane — accumulated
+/// over all POs/cycles. When `per_cycle` is given, it also receives the
+/// per-cycle difference indicator.
 ///
 /// `sp` selects the sweep machinery: non-null runs the compiled plan's flat
 /// gate records and CSR fanins (build_whole keeps plan index == GateId, so
 /// every array stays in GateId space); null walks the Circuit accessors —
-/// the retained interpretive reference.
+/// the retained interpretive reference. Both evaluate through
+/// packed2_eval_gather, the shared 2-valued word kernel.
 std::uint64_t run_forced(const Circuit& c, const SimPlan* sp,
                          const Stimulus& stim,
                          std::span<const std::uint64_t> force_mask,
@@ -29,22 +31,21 @@ std::uint64_t run_forced(const Circuit& c, const SimPlan* sp,
                          std::vector<std::uint64_t>* per_cycle = nullptr) {
   std::vector<std::uint64_t> values(c.gate_count(), 0);
   for (GateId g = 0; g < c.gate_count(); ++g)
-    if (c.type(g) == GateType::Const1) values[g] = ~0ull;
+    if (c.type(g) == GateType::Const1) values[g] = pack2_broadcast(Logic4::T);
 
   auto force = [&](GateId g) {
-    values[g] = (values[g] & ~force_mask[g]) | (force_value[g] & force_mask[g]);
+    values[g] = forced_word(values[g], force_mask[g], force_value[g]);
   };
   for (GateId g = 0; g < c.gate_count(); ++g)
     if (force_mask[g]) force(g);
 
   const auto pis = c.primary_inputs();
-  std::array<std::uint64_t, 64> fanin_vals;
   std::uint64_t detected_lanes = 0;
 
   std::vector<std::uint64_t> next_q(c.flip_flops().size());
   for (const auto& vec : stim.vectors) {
     for (std::size_t i = 0; i < pis.size() && i < vec.size(); ++i) {
-      values[pis[i]] = (vec[i] == Logic4::T) ? ~0ull : 0ull;
+      values[pis[i]] = pack2_broadcast(vec[i]);
       if (force_mask[pis[i]]) force(pis[i]);
     }
     if (sp != nullptr) {
@@ -52,9 +53,8 @@ std::uint64_t run_forced(const Circuit& c, const SimPlan* sp,
         const PlanGate& pg = sp->gate(g);
         if (!pg.is_comb) continue;
         const auto fi = sp->fanins(pg);
-        for (std::size_t k = 0; k < fi.size(); ++k)
-          fanin_vals[k] = values[fi[k]];
-        values[g] = eval_gate64(pg.op, {fanin_vals.data(), fi.size()});
+        values[g] = packed2_eval_gather(pg.op, values.data(), fi.data(),
+                                        fi.size());
         ++evals;
         if (force_mask[g]) force(g);
       }
@@ -62,20 +62,15 @@ std::uint64_t run_forced(const Circuit& c, const SimPlan* sp,
       for (GateId g : c.level_order()) {
         if (!is_combinational(c.type(g))) continue;
         const auto fi = c.fanins(g);
-        for (std::size_t k = 0; k < fi.size(); ++k)
-          fanin_vals[k] = values[fi[k]];
-        values[g] = eval_gate64(c.type(g), {fanin_vals.data(), fi.size()});
+        values[g] = packed2_eval_gather(c.type(g), values.data(), fi.data(),
+                                        fi.size());
         ++evals;
         if (force_mask[g]) force(g);
       }
     }
     std::uint64_t cycle_diff = 0;
-    for (GateId po : c.primary_outputs()) {
-      const std::uint64_t w = values[po];
-      // A lane differs from lane 0 iff its bit differs from bit 0.
-      const std::uint64_t ref = (w & 1ull) ? ~0ull : 0ull;
-      cycle_diff |= w ^ ref;
-    }
+    for (GateId po : c.primary_outputs())
+      cycle_diff |= values[po] ^ broadcast_lane0(values[po]);
     detected_lanes |= cycle_diff;
     if (per_cycle != nullptr) per_cycle->push_back(cycle_diff);
     const auto dffs = c.flip_flops();
@@ -89,10 +84,33 @@ std::uint64_t run_forced(const Circuit& c, const SimPlan* sp,
   return detected_lanes;
 }
 
+/// Observation tick of each stimulus vector: vector k applies at k * period
+/// and is observed one period later. Accumulated with the saturating
+/// tick_add so a period near kTickInf pins at kTickInf instead of wrapping.
+std::vector<Tick> observation_times(const Stimulus& stim) {
+  std::vector<Tick> obs(stim.vectors.size());
+  Tick t = 0;
+  for (std::size_t k = 0; k < stim.vectors.size(); ++k) {
+    t = tick_add(t, stim.period);
+    obs[k] = t;
+  }
+  return obs;
+}
+
+/// First cycle whose difference indicator has `bit` set, mapped to its
+/// observation tick (kTickInf when never set).
+Tick first_detection_time(std::span<const std::uint64_t> per_cycle,
+                          std::span<const Tick> obs, std::uint64_t bit) {
+  for (std::size_t k = 0; k < per_cycle.size(); ++k)
+    if (per_cycle[k] & bit) return obs[k];
+  return kTickInf;
+}
+
 /// Optimizer front end shared by the fault simulators: shrink the circuit
-/// with every fault site opaque and translate the fault list into the new
-/// GateId space. `active` is false when nothing changed (or opt == None),
-/// in which case callers fall through to the unoptimized path.
+/// with the whole fanin cone of every fault site opaque and translate the
+/// fault list into the new GateId space. `active` is false when nothing
+/// changed (or opt == None), in which case callers fall through to the
+/// unoptimized path.
 struct OptFront {
   OptimizedCircuit opt;
   std::vector<Fault> faults;
@@ -103,11 +121,30 @@ OptFront optimize_for_faults(const Circuit& c, std::span<const Fault> faults,
                              PlanOpt level, Tick clock_period) {
   OptFront fr;
   if (level == PlanOpt::None) return fr;
+  // Opaque closure: the whole fanin cone of every fault site. Marking only
+  // the sites is not enough — folding or merging a cone gate changes the
+  // values arriving at a forced site, which can flip per-fault detection.
+  // The opt-vs-None differential test (fault_test.cpp) audits this closure.
+  std::vector<std::uint8_t> in_cone(c.gate_count(), 0);
+  std::vector<GateId> work;
+  work.reserve(faults.size());
+  for (const Fault& f : faults)
+    if (!in_cone[f.gate]) {
+      in_cone[f.gate] = 1;
+      work.push_back(f.gate);
+    }
+  while (!work.empty()) {
+    const GateId g = work.back();
+    work.pop_back();
+    for (GateId f : c.fanins(g))
+      if (!in_cone[f]) {
+        in_cone[f] = 1;
+        work.push_back(f);
+      }
+  }
   std::vector<GateId> sites;
-  sites.reserve(faults.size());
-  for (const Fault& f : faults) sites.push_back(f.gate);
-  std::sort(sites.begin(), sites.end());
-  sites.erase(std::unique(sites.begin(), sites.end()), sites.end());
+  for (GateId g = 0; g < c.gate_count(); ++g)
+    if (in_cone[g]) sites.push_back(g);
   OptOptions oo;
   oo.level = level;
   oo.opaque = sites;
@@ -148,22 +185,27 @@ FaultSimResult fault_simulate_serial(const Circuit& c, const Stimulus& stim,
   FaultSimResult r;
   r.total = faults.size();
   r.detected_mask.assign(faults.size(), 0);
+  r.detection_time.assign(faults.size(), kTickInf);
+  const std::vector<Tick> obs = observation_times(stim);
 
   // One compile amortized over every per-fault pass.
   const std::shared_ptr<const SimPlan> plan =
       kernel == FaultKernel::Compiled ? SimPlan::build_whole(c) : nullptr;
   std::vector<std::uint64_t> mask(c.gate_count(), 0);
   std::vector<std::uint64_t> value(c.gate_count(), 0);
+  std::vector<std::uint64_t> per_cycle;
   for (std::size_t i = 0; i < faults.size(); ++i) {
     const Fault f = faults[i];
     // Lane 0 fault-free, lane 1 faulty; other lanes mirror lane 1 harmlessly.
-    mask[f.gate] = ~1ull;
-    value[f.gate] = f.stuck_one ? ~0ull : 0ull;
-    const std::uint64_t diff =
-        run_forced(c, plan.get(), stim, mask, value, r.gate_evaluations);
-    if (diff & 2ull) {
+    mask[f.gate] = kFaultLanes;
+    value[f.gate] = lanes_from_bool(f.stuck_one);
+    per_cycle.clear();
+    const std::uint64_t diff = run_forced(c, plan.get(), stim, mask, value,
+                                          r.gate_evaluations, &per_cycle);
+    if (diff & lane_mask(1)) {
       r.detected_mask[i] = 1;
       ++r.detected;
+      r.detection_time[i] = first_detection_time(per_cycle, obs, lane_mask(1));
     }
     mask[f.gate] = 0;
     value[f.gate] = 0;
@@ -181,29 +223,35 @@ FaultSimResult fault_simulate_parallel(const Circuit& c, const Stimulus& stim,
   FaultSimResult r;
   r.total = faults.size();
   r.detected_mask.assign(faults.size(), 0);
+  r.detection_time.assign(faults.size(), kTickInf);
+  const std::vector<Tick> obs = observation_times(stim);
 
   const std::shared_ptr<const SimPlan> plan =
       kernel == FaultKernel::Compiled ? SimPlan::build_whole(c) : nullptr;
   std::vector<std::uint64_t> mask(c.gate_count(), 0);
   std::vector<std::uint64_t> value(c.gate_count(), 0);
-  for (std::size_t base = 0; base < faults.size(); base += 63) {
-    const std::size_t group = std::min<std::size_t>(63, faults.size() - base);
+  std::vector<std::uint64_t> per_cycle;
+  for (std::size_t group_start = 0; group_start < faults.size(); group_start += 63) {
+    const std::size_t group = std::min<std::size_t>(63, faults.size() - group_start);
     for (std::size_t j = 0; j < group; ++j) {
-      const Fault f = faults[base + j];
-      const std::uint64_t bit = 1ull << (j + 1);
+      const Fault f = faults[group_start + j];
+      const std::uint64_t bit = lane_mask(static_cast<unsigned>(j + 1));
       mask[f.gate] |= bit;
       if (f.stuck_one) value[f.gate] |= bit;
     }
-    const std::uint64_t diff =
-        run_forced(c, plan.get(), stim, mask, value, r.gate_evaluations);
+    per_cycle.clear();
+    const std::uint64_t diff = run_forced(c, plan.get(), stim, mask, value,
+                                          r.gate_evaluations, &per_cycle);
     for (std::size_t j = 0; j < group; ++j) {
-      if (diff & (1ull << (j + 1))) {
-        r.detected_mask[base + j] = 1;
+      const std::uint64_t bit = lane_mask(static_cast<unsigned>(j + 1));
+      if (diff & bit) {
+        r.detected_mask[group_start + j] = 1;
         ++r.detected;
+        r.detection_time[group_start + j] = first_detection_time(per_cycle, obs, bit);
       }
     }
     for (std::size_t j = 0; j < group; ++j) {
-      const Fault f = faults[base + j];
+      const Fault f = faults[group_start + j];
       mask[f.gate] = 0;
       value[f.gate] = 0;
     }
@@ -226,26 +274,27 @@ std::vector<std::int32_t> fault_first_detection(
   std::vector<std::uint64_t> mask(c.gate_count(), 0);
   std::vector<std::uint64_t> value(c.gate_count(), 0);
   std::uint64_t evals = 0;
-  for (std::size_t base = 0; base < faults.size(); base += 63) {
-    const std::size_t group = std::min<std::size_t>(63, faults.size() - base);
+  for (std::size_t group_start = 0; group_start < faults.size(); group_start += 63) {
+    const std::size_t group = std::min<std::size_t>(63, faults.size() - group_start);
     for (std::size_t j = 0; j < group; ++j) {
-      const Fault f = faults[base + j];
-      const std::uint64_t bit = 1ull << (j + 1);
+      const Fault f = faults[group_start + j];
+      const std::uint64_t bit = lane_mask(static_cast<unsigned>(j + 1));
       mask[f.gate] |= bit;
       if (f.stuck_one) value[f.gate] |= bit;
     }
     std::vector<std::uint64_t> per_cycle;
     run_forced(c, plan.get(), stim, mask, value, evals, &per_cycle);
     for (std::size_t j = 0; j < group; ++j) {
+      const std::uint64_t bit = lane_mask(static_cast<unsigned>(j + 1));
       for (std::size_t k = 0; k < per_cycle.size(); ++k) {
-        if (per_cycle[k] & (1ull << (j + 1))) {
-          first[base + j] = static_cast<std::int32_t>(k);
+        if (per_cycle[k] & bit) {
+          first[group_start + j] = static_cast<std::int32_t>(k);
           break;
         }
       }
     }
     for (std::size_t j = 0; j < group; ++j) {
-      const Fault f = faults[base + j];
+      const Fault f = faults[group_start + j];
       mask[f.gate] = 0;
       value[f.gate] = 0;
     }

@@ -6,7 +6,10 @@
 // plsim implements the classic single-fault serial simulator and the
 // bit-parallel variant that packs the fault-free machine plus 63 faulty
 // machines into one 64-bit word per signal — experiment C10 measures the
-// resulting throughput gap.
+// resulting throughput gap. The good machine rides lane 0 and fault
+// machines ride lanes 1..63; the lane conventions and the 2-valued word
+// kernel live in sim/packed.hpp (kFaultLanes, lane_mask, broadcast_lane0,
+// forced_word, packed2_eval_gather).
 
 #include <cstdint>
 #include <span>
@@ -41,6 +44,11 @@ struct FaultSimResult {
   std::size_t total = 0;
   std::size_t detected = 0;
   std::vector<std::uint8_t> detected_mask;  ///< per fault index
+  /// Per fault: the tick at which the first detecting vector is observed
+  /// (end of that vector's cycle), or kTickInf when undetected. Cycle times
+  /// accumulate through the saturating tick_add, so a period near kTickInf
+  /// saturates instead of wrapping past the `>= horizon` clamps.
+  std::vector<Tick> detection_time;
   std::uint64_t gate_evaluations = 0;       ///< work metric for C10
   double coverage() const {
     return total ? static_cast<double>(detected) / static_cast<double>(total)
@@ -50,11 +58,14 @@ struct FaultSimResult {
 
 /// One full-circuit two-valued simulation per fault.
 ///
-/// `opt` != None first shrinks the circuit through src/analyze with every
-/// fault site marked opaque (never folded, merged or removed), so forcing a
-/// site commutes with optimization and per-fault detection is preserved
-/// exactly — the kernels here are fully-settled two-valued sweeps, for
-/// which even Aggressive folds are exact.
+/// `opt` != None first shrinks the circuit through src/analyze with the
+/// whole fanin cone of every fault site marked opaque (never folded, merged
+/// or removed) — not just the sites themselves: folding a cone gate would
+/// change the values arriving at a forced site and flip per-fault detection.
+/// With the cones preserved, forcing commutes with optimization and
+/// detection is exact (the opt-vs-None differential test audits this) — the
+/// kernels here are fully-settled two-valued sweeps, for which even
+/// Aggressive folds are exact.
 FaultSimResult fault_simulate_serial(const Circuit& c, const Stimulus& stim,
                                      std::span<const Fault> faults,
                                      FaultKernel kernel = FaultKernel::Compiled,

@@ -1,8 +1,6 @@
 #include "seq/compiled.hpp"
 
-#include <array>
-
-#include "logic/gates.hpp"
+#include "sim/packed.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -15,7 +13,7 @@ PackedVectors pack_stimulus(const Circuit& c, const Stimulus& s) {
   for (const auto& vec : s.vectors) {
     std::vector<std::uint64_t> row(n, 0);
     for (std::size_t i = 0; i < n && i < vec.size(); ++i)
-      row[i] = (vec[i] == Logic4::T) ? ~0ull : 0ull;
+      row[i] = lanes_from_bool(vec[i] == Logic4::T);
     out.push_back(std::move(row));
   }
   return out;
@@ -40,19 +38,16 @@ CompiledResult simulate_compiled(const Circuit& c, const PackedVectors& vecs,
   CompiledResult r;
   std::vector<std::uint64_t> values(c.gate_count(), 0);
   for (GateId g = 0; g < c.gate_count(); ++g)
-    if (c.type(g) == GateType::Const1) values[g] = ~0ull;
+    if (c.type(g) == GateType::Const1) values[g] = pack2_broadcast(Logic4::T);
 
   const auto pis = c.primary_inputs();
-  std::array<std::uint64_t, 64> fanin_vals;
 
   auto settle = [&] {
     for (GateId g : c.level_order()) {
       if (!is_combinational(c.type(g))) continue;
       const auto fi = c.fanins(g);
-      PLSIM_ASSERT(fi.size() <= fanin_vals.size());
-      for (std::size_t k = 0; k < fi.size(); ++k)
-        fanin_vals[k] = values[fi[k]];
-      values[g] = eval_gate64(c.type(g), {fanin_vals.data(), fi.size()});
+      values[g] = packed2_eval_gather(c.type(g), values.data(), fi.data(),
+                                      fi.size());
       ++r.evaluations;
     }
   };

@@ -1,0 +1,251 @@
+#include "seq/packed_sim.hpp"
+
+#include <algorithm>
+
+#include "sim/plan.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace plsim {
+
+std::vector<PackedMessage> packed_environment_messages(
+    const Circuit& c, const PackedStimulus& ps) {
+  std::vector<PackedMessage> msgs;
+  // Constants and DFF reset states announce themselves across every lane
+  // (scalar runs of each lane record these even when the wire already holds
+  // the announced value, so lanes = kAllLanes keeps per-lane digests exact).
+  for (GateId g = 0; g < c.gate_count(); ++g) {
+    switch (c.type(g)) {
+      case GateType::Const0:
+        msgs.push_back(PackedMessage{c.const_onset(g), g,
+                                     packed_broadcast(Logic4::F), kAllLanes});
+        break;
+      case GateType::Dff:
+        msgs.push_back(
+            PackedMessage{0, g, packed_broadcast(Logic4::F), kAllLanes});
+        break;
+      case GateType::Const1:
+        msgs.push_back(PackedMessage{c.const_onset(g), g,
+                                     packed_broadcast(Logic4::T), kAllLanes});
+        break;
+      default:
+        break;
+    }
+  }
+  const auto pis = c.primary_inputs();
+  std::vector<PackedWord> prev(pis.size(), packed_broadcast(Logic4::X));
+  for (std::size_t k = 0; k < ps.vectors.size(); ++k) {
+    const auto& vec = ps.vectors[k];
+    const Tick t = ps.period * static_cast<Tick>(k);
+    for (std::size_t i = 0; i < pis.size() && i < vec.size(); ++i) {
+      const std::uint64_t changed = packed_diff(vec[i], prev[i]);
+      if (changed) {
+        msgs.push_back(PackedMessage{t, pis[i], vec[i], changed});
+        prev[i] = vec[i];
+      }
+    }
+  }
+  std::stable_sort(msgs.begin(), msgs.end(),
+                   [](const PackedMessage& a, const PackedMessage& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return a.gate < b.gate;
+                   });
+  return msgs;
+}
+
+PackedRunResult simulate_packed_golden(const Circuit& c,
+                                       const PackedStimulus& ps,
+                                       const PackedGoldenOptions& opts) {
+  WallTimer timer;
+
+  PackedBlockOptions bopts;
+  bopts.clock_period = ps.period;
+  bopts.horizon = ps.horizon();
+  bopts.lane_waves = opts.lane_waves;
+  PackedBlockSimulator block(PackedPlan::build(SimPlan::build_whole(c)), 0,
+                             bopts);
+
+  const std::vector<PackedMessage> env = packed_environment_messages(c, ps);
+  std::size_t env_pos = 0;
+  std::vector<PackedMessage> externals;
+  std::vector<PackedMessage> out;  // stays empty: nothing is exported
+
+  for (;;) {
+    const Tick t_env = env_pos < env.size() ? env[env_pos].time : kTickInf;
+    const Tick t = std::min(t_env, block.next_internal_time());
+    if (t >= bopts.horizon || t == kTickInf) break;
+    externals.clear();
+    while (env_pos < env.size() && env[env_pos].time == t)
+      externals.push_back(env[env_pos++]);
+    block.process_batch(t, externals, out);
+  }
+
+  PackedRunResult r;
+  r.final_values.assign(c.gate_count(), packed_broadcast(Logic4::X));
+  block.harvest_values(r.final_values);
+  r.lane_waves.assign(block.lane_waves().begin(), block.lane_waves().end());
+  r.stats = block.stats();
+  r.wall_seconds = timer.seconds();
+  return r;
+}
+
+PackedRunResult simulate_packed_blocks(
+    const Circuit& c, const PackedStimulus& ps,
+    std::span<const std::vector<GateId>> owned,
+    const PackedGoldenOptions& opts) {
+  WallTimer timer;
+  const std::uint32_t n = static_cast<std::uint32_t>(owned.size());
+  PLSIM_CHECK(n >= 1, "simulate_packed_blocks: need at least one block");
+
+  // Exported set: every owned gate some other block consumes (as a fanin of
+  // a combinational gate or the D input of a DFF).
+  std::vector<std::uint32_t> owner(c.gate_count(), n);
+  for (std::uint32_t b = 0; b < n; ++b)
+    for (GateId g : owned[b]) owner[g] = b;
+  std::vector<std::vector<GateId>> exported(n);
+  {
+    std::vector<std::uint8_t> is_exported(c.gate_count(), 0);
+    for (GateId g = 0; g < c.gate_count(); ++g)
+      for (GateId f : c.fanins(g))
+        if (owner[f] < n && owner[f] != owner[g]) is_exported[f] = 1;
+    for (std::uint32_t b = 0; b < n; ++b)
+      for (GateId g : owned[b])
+        if (is_exported[g]) exported[b].push_back(g);
+  }
+
+  const auto pplan =
+      PackedPlan::build(SimPlan::build(c, owned, exported));
+  PackedBlockOptions bopts;
+  bopts.clock_period = ps.period;
+  bopts.horizon = ps.horizon();
+  bopts.lane_waves = opts.lane_waves;
+
+  std::vector<PackedBlockSimulator> blocks;
+  blocks.reserve(n);
+  for (std::uint32_t b = 0; b < n; ++b) blocks.emplace_back(pplan, b, bopts);
+
+  // Environment stream routed to every block that has the gate in scope.
+  const std::vector<PackedMessage> env = packed_environment_messages(c, ps);
+  std::vector<std::vector<PackedMessage>> env_of(n);
+  for (const PackedMessage& m : env)
+    for (std::uint32_t b = 0; b < n; ++b)
+      if (blocks[b].in_scope(m.gate)) env_of[b].push_back(m);
+
+  // Pending cross-block messages per destination, kept sorted by arrival
+  // time. Emission time only grows, but arrival time does not: a slow gate
+  // evaluated early can land *after* a fast gate evaluated later, so each
+  // message is insertion-sorted into the undelivered tail of its inbox.
+  std::vector<std::vector<PackedMessage>> inbox(n);
+  std::vector<std::size_t> env_pos(n, 0), inbox_pos(n, 0);
+
+  std::vector<PackedMessage> externals, out;
+  for (;;) {
+    Tick t = kTickInf;
+    for (std::uint32_t b = 0; b < n; ++b) {
+      t = std::min(t, blocks[b].next_internal_time());
+      if (env_pos[b] < env_of[b].size())
+        t = std::min(t, env_of[b][env_pos[b]].time);
+      if (inbox_pos[b] < inbox[b].size())
+        t = std::min(t, inbox[b][inbox_pos[b]].time);
+    }
+    if (t >= bopts.horizon || t == kTickInf) break;
+
+    out.clear();
+    for (std::uint32_t b = 0; b < n; ++b) {
+      externals.clear();
+      while (env_pos[b] < env_of[b].size() &&
+             env_of[b][env_pos[b]].time == t)
+        externals.push_back(env_of[b][env_pos[b]++]);
+      while (inbox_pos[b] < inbox[b].size() &&
+             inbox[b][inbox_pos[b]].time == t)
+        externals.push_back(inbox[b][inbox_pos[b]++]);
+      if (externals.empty() && blocks[b].next_internal_time() != t) continue;
+      blocks[b].process_batch(t, externals, out);
+    }
+    for (const PackedMessage& m : out)
+      for (std::uint32_t b = 0; b < n; ++b)
+        if (owner[m.gate] != b && blocks[b].in_scope(m.gate)) {
+          auto& box = inbox[b];
+          const auto it = std::upper_bound(
+              box.begin() + static_cast<std::ptrdiff_t>(inbox_pos[b]),
+              box.end(), m.time,
+              [](Tick when, const PackedMessage& pending) {
+                return when < pending.time;
+              });
+          box.insert(it, m);
+        }
+    // Same-time delivery order is emission order (upper_bound keeps it
+    // stable); messages at one time target distinct gates, and the per-lane
+    // wave digests are commutative, so that order is never observable.
+  }
+
+  PackedRunResult r;
+  r.final_values.assign(c.gate_count(), packed_broadcast(Logic4::X));
+  for (auto& blk : blocks) blk.harvest_values(r.final_values);
+  if (opts.lane_waves) {
+    r.lane_waves.assign(kPackedLanes, WaveHash{});
+    for (auto& blk : blocks)
+      for (unsigned l = 0; l < kPackedLanes; ++l)
+        r.lane_waves[l].merge(blk.lane_waves()[l]);
+  }
+  for (auto& blk : blocks) {
+    EngineStats s = blk.stats();
+    r.stats.merge(s);
+  }
+  r.wall_seconds = timer.seconds();
+  return r;
+}
+
+PackedObliviousResult simulate_packed_oblivious(const Circuit& c,
+                                                const PackedStimulus& ps,
+                                                bool keep_po_trace) {
+  PackedObliviousResult r;
+  const auto plan = SimPlan::build_whole(c);
+  const SimPlan& sp = *plan;
+  const auto pplan = PackedPlan::build(plan);
+
+  std::vector<PackedWord> values(pplan->whole_init().begin(),
+                                 pplan->whole_init().end());
+  const auto pis = c.primary_inputs();
+
+  auto settle = [&] {
+    for (std::uint32_t p : sp.level_order()) {
+      const PlanGate& rec = sp.gate(p);
+      if (!rec.is_comb) continue;
+      values[p] = packed_eval_gather(rec.op, values.data(),
+                                     sp.fanins(rec).data(), rec.fanin_count);
+      ++r.evaluations;
+    }
+  };
+
+  std::vector<PackedWord> next_q(c.flip_flops().size());
+  for (const auto& vec : ps.vectors) {
+    for (std::size_t i = 0; i < pis.size() && i < vec.size(); ++i)
+      values[pis[i]] = vec[i];
+    settle();
+    if (keep_po_trace) {
+      std::vector<PackedWord> pos;
+      pos.reserve(c.primary_outputs().size());
+      for (GateId g : c.primary_outputs()) pos.push_back(values[g]);
+      r.po_per_cycle.push_back(std::move(pos));
+    }
+    const auto dffs = c.flip_flops();
+    for (std::size_t i = 0; i < dffs.size(); ++i)
+      next_q[i] = values[c.fanins(dffs[i])[0]];  // z_to_x: identity here
+    for (std::size_t i = 0; i < dffs.size(); ++i) values[dffs[i]] = next_q[i];
+  }
+  settle();  // mirror the scalar sweep's final register propagation
+
+  r.final_values = std::move(values);
+  return r;
+}
+
+std::vector<Logic4> unpack_lane_values(std::span<const PackedWord> words,
+                                       unsigned lane) {
+  std::vector<Logic4> out(words.size(), Logic4::X);
+  for (std::size_t i = 0; i < words.size(); ++i)
+    out[i] = packed_get_lane(words[i], lane);
+  return out;
+}
+
+}  // namespace plsim

@@ -1,0 +1,81 @@
+#pragma once
+// Sequential executors for the 64-lane packed value plane (sim/packed.hpp):
+// the packed golden event-driven kernel, a multi-block packed driver over
+// PackedBlockSimulator, and the packed levelized (oblivious) sweep.
+//
+// Contract: lane b of a packed run is bit-identical — final values and
+// per-lane waveform digest — to a scalar golden run of lane b's stimulus,
+// for any circuit and any binary packed stimulus (X transients included;
+// the packed plane carries 3-valued words precisely so mid-run X agrees).
+// The differential harness in tests/packed_test.cpp checks all 64 lanes
+// against simulate_golden_interp across the fuzz corpus.
+//
+// Lowering caveat: the packed plane collapses Z to X (the policy in
+// sim/packed.hpp), so a stimulus that drives Z onto a primary input reads X
+// back on that wire; every downstream gate agrees regardless because gate
+// inputs apply z_to_x in the scalar plane too.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/packed_block.hpp"
+#include "core/types.hpp"
+#include "netlist/circuit.hpp"
+#include "sim/packed.hpp"
+#include "stim/stimulus.hpp"
+#include "util/hash.hpp"
+
+namespace plsim {
+
+/// Packed counterpart of environment_messages: constants announce at their
+/// onset and DFFs reset at t=0 across all lanes; a primary-input message is
+/// emitted whenever *any* lane changes, with `lanes` marking the changed
+/// subset. Sorted by (time, gate).
+std::vector<PackedMessage> packed_environment_messages(
+    const Circuit& c, const PackedStimulus& ps);
+
+struct PackedGoldenOptions {
+  bool lane_waves = false;  ///< maintain the 64 per-lane waveform digests
+};
+
+struct PackedRunResult {
+  std::vector<PackedWord> final_values;  ///< indexed by GateId
+  std::vector<WaveHash> lane_waves;      ///< [64] if requested, else empty
+  EngineStats stats;                     ///< word-level counters
+  double wall_seconds = 0.0;
+};
+
+/// Packed golden sequential simulation: one whole-circuit
+/// PackedBlockSimulator driven by the packed environment stream — the
+/// 64-lane analogue of simulate_golden.
+PackedRunResult simulate_packed_golden(const Circuit& c,
+                                       const PackedStimulus& ps,
+                                       const PackedGoldenOptions& opts = {});
+
+/// Multi-block packed simulation: one PackedBlockSimulator per `owned` block
+/// exchanging PackedMessages under a sequential global-time loop. Must agree
+/// word-for-word with simulate_packed_golden for any block decomposition.
+PackedRunResult simulate_packed_blocks(
+    const Circuit& c, const PackedStimulus& ps,
+    std::span<const std::vector<GateId>> owned,
+    const PackedGoldenOptions& opts = {});
+
+struct PackedObliviousResult {
+  std::vector<PackedWord> final_values;  ///< indexed by GateId; settled
+  std::uint64_t evaluations = 0;         ///< word evaluations (x64 lanes each)
+  std::vector<std::vector<PackedWord>> po_per_cycle;  ///< settled PO words
+};
+
+/// Packed levelized sweep with the zero-delay cycle semantics of
+/// simulate_oblivious; each lane matches the scalar oblivious sweep of that
+/// lane's stimulus.
+PackedObliviousResult simulate_packed_oblivious(const Circuit& c,
+                                                const PackedStimulus& ps,
+                                                bool keep_po_trace = false);
+
+/// Lift one lane of a packed value array back to scalar Logic4 values.
+std::vector<Logic4> unpack_lane_values(std::span<const PackedWord> words,
+                                       unsigned lane);
+
+}  // namespace plsim

@@ -1,0 +1,114 @@
+#include "sim/packed.hpp"
+
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace plsim {
+
+std::shared_ptr<const PackedPlan> PackedPlan::build(
+    std::shared_ptr<const SimPlan> plan) {
+  auto pp = std::make_shared<PackedPlan>();
+  pp->plan_ = std::move(plan);
+  const SimPlan& sp = *pp->plan_;
+  pp->whole_init_.resize(sp.size());
+  for (std::uint32_t pi = 0; pi < sp.size(); ++pi)
+    pp->whole_init_[pi] = packed_broadcast(plan_initial_value(sp.gate(pi).op));
+  pp->block_init_.resize(sp.n_blocks());
+  for (std::uint32_t b = 0; b < sp.n_blocks(); ++b) {
+    const BlockPlan& bp = sp.block(b);
+    auto& slice = pp->block_init_[b];
+    slice.resize(bp.init_values.size());
+    for (std::size_t li = 0; li < bp.init_values.size(); ++li)
+      slice[li] = packed_broadcast(bp.init_values[li]);
+  }
+  return pp;
+}
+
+PackedStimulus pack_broadcast(const Circuit& c, const Stimulus& s) {
+  PackedStimulus ps;
+  ps.period = s.period;
+  ps.vectors.reserve(s.vectors.size());
+  const std::size_t n = c.primary_inputs().size();
+  for (const auto& vec : s.vectors) {
+    std::vector<PackedWord> row(n);
+    for (std::size_t i = 0; i < n && i < vec.size(); ++i)
+      row[i] = packed_broadcast(vec[i]);
+    ps.vectors.push_back(std::move(row));
+  }
+  return ps;
+}
+
+PackedStimulus pack_lanes(const Circuit& c, std::span<const Stimulus> lanes) {
+  PLSIM_CHECK(!lanes.empty() && lanes.size() <= kPackedLanes,
+              "pack_lanes: need 1..64 lane stimuli");
+  for (const Stimulus& s : lanes) {
+    PLSIM_CHECK(s.period == lanes[0].period, "pack_lanes: period mismatch");
+    PLSIM_CHECK(s.vectors.size() == lanes[0].vectors.size(),
+                "pack_lanes: cycle-count mismatch");
+  }
+  PackedStimulus ps;
+  ps.period = lanes[0].period;
+  const std::size_t n = c.primary_inputs().size();
+  ps.vectors.reserve(lanes[0].vectors.size());
+  for (std::size_t k = 0; k < lanes[0].vectors.size(); ++k) {
+    std::vector<PackedWord> row(n);
+    for (unsigned l = 0; l < kPackedLanes; ++l) {
+      const Stimulus& s = lanes[l < lanes.size() ? l : 0];
+      const auto& vec = s.vectors[k];
+      for (std::size_t i = 0; i < n; ++i)
+        packed_set_lane(row[i], l, i < vec.size() ? vec[i] : Logic4::X);
+    }
+    ps.vectors.push_back(std::move(row));
+  }
+  return ps;
+}
+
+Stimulus unpack_lane(const Circuit& c, const PackedStimulus& ps,
+                     unsigned lane) {
+  PLSIM_CHECK(lane < kPackedLanes, "unpack_lane: lane out of range");
+  Stimulus s;
+  s.period = ps.period;
+  const std::size_t n = c.primary_inputs().size();
+  s.vectors.reserve(ps.vectors.size());
+  for (const auto& row : ps.vectors) {
+    std::vector<Logic4> vec(n, Logic4::X);
+    for (std::size_t i = 0; i < n && i < row.size(); ++i)
+      vec[i] = packed_get_lane(row[i], lane);
+    s.vectors.push_back(std::move(vec));
+  }
+  return s;
+}
+
+PackedStimulus random_packed_stimulus(const Circuit& c, std::size_t cycles,
+                                      double activity, std::uint64_t seed,
+                                      Tick period) {
+  PLSIM_CHECK(period >= 1, "random_packed_stimulus: period must be >= 1 tick");
+  const std::size_t n = c.primary_inputs().size();
+  PackedStimulus ps;
+  ps.period = period;
+  ps.vectors.assign(cycles, std::vector<PackedWord>(n));
+
+  // One whitened base key per call; each (signal, lane) stream then mixes
+  // its coordinates through the SplitMix64 finalizer. Sequentially
+  // incremented seeds (seed + lane) would place adjacent lanes on nearby
+  // generator states; the full mix makes every pair of lane streams
+  // statistically independent (asserted by the decorrelation test).
+  std::uint64_t sm = seed;
+  const std::uint64_t base = splitmix64_next(sm);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (unsigned l = 0; l < kPackedLanes; ++l) {
+      const std::uint64_t key =
+          mix64(base ^ mix64((static_cast<std::uint64_t>(i) << 32) |
+                             (static_cast<std::uint64_t>(l) + 1)));
+      Rng rng(key);
+      bool cur = rng.chance(0.5);
+      for (std::size_t k = 0; k < cycles; ++k) {
+        if (k > 0 && rng.chance(activity)) cur = !cur;
+        packed_set_lane(ps.vectors[k][i], l, logic4_from_bool(cur));
+      }
+    }
+  }
+  return ps;
+}
+
+}  // namespace plsim

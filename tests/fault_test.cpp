@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/types.hpp"
 #include "fault/fault.hpp"
 #include "netlist/builder.hpp"
 #include "netlist/builtin.hpp"
@@ -140,6 +141,95 @@ TEST(Fault, FirstDetectionIsConsistentWithDetection) {
     if (first[i] >= 0) {
       EXPECT_LT(first[i], static_cast<std::int32_t>(s.vectors.size()));
     }
+  }
+}
+
+TEST(Fault, DetectionTimeMatchesFirstDetectingVector) {
+  const Circuit c = ripple_adder(6);
+  const Stimulus s = random_stimulus(c, 40, 0.5, 5);
+  const auto faults = enumerate_faults(c);
+  const FaultSimResult serial = fault_simulate_serial(c, s, faults);
+  const FaultSimResult parallel = fault_simulate_parallel(c, s, faults);
+  const auto first = fault_first_detection(c, s, faults);
+
+  ASSERT_EQ(serial.detection_time.size(), faults.size());
+  EXPECT_EQ(serial.detection_time, parallel.detection_time);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    EXPECT_EQ(serial.detection_time[i] < kTickInf,
+              serial.detected_mask[i] != 0)
+        << i;
+    if (first[i] >= 0) {
+      // Vector k applies at k * period and is observed at the end of its
+      // cycle, (k + 1) * period.
+      EXPECT_EQ(serial.detection_time[i],
+                s.period * (static_cast<Tick>(first[i]) + 1))
+          << i;
+    }
+  }
+}
+
+TEST(Fault, DetectionTimeSaturatesNearTickInf) {
+  // Regression for the wrapping bug: with a period within a few ticks of
+  // kTickInf, the observation time of the second vector used to wrap past
+  // zero (2 * period mod 2^64 < period) and report a detection *earlier*
+  // than one on the first vector. The saturating tick_add pins it at
+  // kTickInf instead.
+  NetlistBuilder bld;
+  const GateId a = bld.add_input("a");
+  const GateId b = bld.add_input("b");
+  const GateId y = bld.add_gate(GateType::And, {a, b}, "y");
+  bld.mark_output(y);
+  const Circuit c = bld.build();
+
+  Stimulus s;
+  s.period = kTickInf - 5;
+  s.vectors = {{Logic4::F, Logic4::T},   // detects a/sa1 (and y/sa1)
+               {Logic4::T, Logic4::T}};  // first detection of a/sa0
+  const std::vector<Fault> faults = {{a, true}, {a, false}};
+  for (FaultKernel k : {FaultKernel::Compiled, FaultKernel::Interpretive}) {
+    for (const FaultSimResult& r : {fault_simulate_serial(c, s, faults, k),
+                                    fault_simulate_parallel(c, s, faults, k)}) {
+      ASSERT_EQ(r.detected, 2u);
+      // First vector's observation is representable...
+      EXPECT_EQ(r.detection_time[0], kTickInf - 5);
+      // ...the second saturates rather than wrapping to kTickInf - 9.
+      EXPECT_EQ(r.detection_time[1], kTickInf);
+    }
+  }
+}
+
+TEST(Fault, SafeOptimizationPreservesDetectionAcrossFuzzSweep) {
+  // The opaque-marking audit: plan_opt=Safe must keep the whole fanin cone
+  // of every fault site, so forcing commutes with optimization and the
+  // detection report is identical to the unoptimized run — across the same
+  // 20-circuit corpus the engine-equivalence suite fuzzes.
+  for (std::uint64_t fz = 0; fz < 20; ++fz) {
+    RandomCircuitSpec spec;
+    spec.n_gates = 120 + (fz * 97) % 400;
+    spec.n_inputs = 6 + (fz * 13) % 12;
+    spec.n_outputs = 6 + (fz * 7) % 12;
+    spec.dff_fraction = 0.04 + 0.012 * static_cast<double>(fz % 11);
+    spec.extra_fanin_p = 0.15 + 0.03 * static_cast<double>(fz % 7);
+    spec.delay_mode = fz % 2 ? DelayMode::Uniform : DelayMode::Unit;
+    spec.delay_spread = fz % 2 ? 2 + static_cast<std::uint32_t>(fz % 9) : 1;
+    spec.seed = fz * 0x9e3779b97f4a7c15ULL + 1;
+    const Circuit c = random_circuit(spec);
+    const std::size_t cycles = 12 + fz % 18;
+    const double activity = 0.25 + 0.05 * static_cast<double>(fz % 8);
+    const Stimulus s = random_stimulus(c, cycles, activity, fz * 31 + 7);
+    const auto faults = enumerate_faults(c);
+
+    const FaultSimResult plain = fault_simulate_parallel(
+        c, s, faults, FaultKernel::Compiled, PlanOpt::None);
+    const FaultSimResult safe = fault_simulate_parallel(
+        c, s, faults, FaultKernel::Compiled, PlanOpt::Safe);
+    EXPECT_EQ(plain.detected, safe.detected) << "fz=" << fz;
+    EXPECT_EQ(plain.detected_mask, safe.detected_mask) << "fz=" << fz;
+    EXPECT_EQ(plain.detection_time, safe.detection_time) << "fz=" << fz;
+
+    const FaultSimResult serial_safe = fault_simulate_serial(
+        c, s, faults, FaultKernel::Compiled, PlanOpt::Safe);
+    EXPECT_EQ(plain.detected_mask, serial_safe.detected_mask) << "fz=" << fz;
   }
 }
 

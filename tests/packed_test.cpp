@@ -1,0 +1,385 @@
+// The packed-plane correctness contract (sim/packed.hpp, seq/packed_sim.hpp):
+//
+//   1. Every 3-valued word kernel is exhaustively equal to eval_gate4,
+//      including Z inputs (which the lowering collapses to X).
+//   2. The 2-valued gather kernel is bit-identical to eval_gate64.
+//   3. Per-lane differential harness: each of the 64 lanes of a packed
+//      golden run — final values AND waveform digest — is bit-identical to
+//      a scalar interpretive golden run of that lane's stimulus, across the
+//      same 20-circuit fuzz corpus the engine-equivalence suite uses.
+//   4. The multi-block packed driver agrees word-for-word with the
+//      whole-circuit packed golden for any block decomposition.
+//   5. The packed levelized sweep matches the scalar oblivious sweep per
+//      lane (values and evaluation counts).
+//   6. The oblivious engine's packed_plane knob changes nothing observable,
+//      including raw Z values left on primary-input wires.
+//   7. random_packed_stimulus lanes are statistically decorrelated (the
+//      sequential-seed correlation bug this PR fixes).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "engines/engine.hpp"
+#include "logic/gates.hpp"
+#include "netlist/generators.hpp"
+#include "partition/algorithms.hpp"
+#include "seq/golden.hpp"
+#include "seq/oblivious.hpp"
+#include "seq/packed_sim.hpp"
+#include "sim/packed.hpp"
+#include "stim/stimulus.hpp"
+#include "util/rng.hpp"
+
+namespace plsim {
+namespace {
+
+constexpr Logic4 kAll4[4] = {Logic4::F, Logic4::T, Logic4::X, Logic4::Z};
+
+// ---------------------------------------------------------------------------
+// 1. 3-valued kernels vs eval_gate4, exhaustive over all 4-valued combos.
+// ---------------------------------------------------------------------------
+
+void check_kernel_exhaustive(GateType t, std::size_t arity) {
+  std::size_t total = 1;
+  for (std::size_t k = 0; k < arity; ++k) total *= 4;
+
+  for (std::size_t base = 0; base < total; base += kPackedLanes) {
+    std::vector<PackedWord> ins(arity);
+    for (unsigned lane = 0; lane < kPackedLanes; ++lane) {
+      std::size_t combo = (base + lane) % total;
+      for (std::size_t k = 0; k < arity; ++k) {
+        packed_set_lane(ins[k], lane, kAll4[combo % 4]);
+        combo /= 4;
+      }
+    }
+    const PackedWord out = packed_eval(t, ins);
+    EXPECT_EQ(out.v & out.x, 0u) << "invariant v & x == 0 violated";
+
+    for (unsigned lane = 0; lane < kPackedLanes; ++lane) {
+      std::size_t combo = (base + lane) % total;
+      std::vector<Logic4> scalar_ins(arity);
+      for (std::size_t k = 0; k < arity; ++k) {
+        scalar_ins[k] = kAll4[combo % 4];
+        combo /= 4;
+      }
+      const Logic4 expected = eval_gate4(t, scalar_ins);
+      EXPECT_EQ(packed_get_lane(out, lane), expected)
+          << "op=" << static_cast<int>(t) << " lane=" << lane
+          << " combo=" << (base + lane) % total;
+    }
+  }
+}
+
+TEST(PackedKernels, MatchEvalGate4Exhaustively) {
+  check_kernel_exhaustive(GateType::Buf, 1);
+  check_kernel_exhaustive(GateType::Not, 1);
+  for (GateType t : {GateType::And, GateType::Or, GateType::Xor,
+                     GateType::Nand, GateType::Nor, GateType::Xnor}) {
+    check_kernel_exhaustive(t, 2);
+    check_kernel_exhaustive(t, 3);  // exercises the left fold
+  }
+  check_kernel_exhaustive(GateType::Mux, 3);
+}
+
+TEST(PackedKernels, BroadcastAndLaneAccessorsRoundTrip) {
+  for (Logic4 v : kAll4) {
+    const PackedWord w = packed_broadcast(v);
+    EXPECT_EQ(w.v & w.x, 0u);
+    for (unsigned lane : {0u, 1u, 31u, 63u})
+      EXPECT_EQ(packed_get_lane(w, lane), z_to_x(v));
+  }
+  PackedWord w;  // starts all-F
+  packed_set_lane(w, 5, Logic4::T);
+  packed_set_lane(w, 6, Logic4::Z);
+  EXPECT_EQ(packed_get_lane(w, 5), Logic4::T);
+  EXPECT_EQ(packed_get_lane(w, 6), Logic4::X);  // Z lowered to X
+  EXPECT_EQ(packed_get_lane(w, 7), Logic4::F);
+}
+
+// ---------------------------------------------------------------------------
+// 2. 2-valued gather kernel vs eval_gate64 on random words.
+// ---------------------------------------------------------------------------
+
+TEST(PackedKernels, Packed2GatherMatchesEvalGate64) {
+  std::uint64_t state = 0x5eedULL;
+  const std::uint32_t iota[4] = {0, 1, 2, 3};
+  struct Case {
+    GateType t;
+    std::size_t lo, hi;  // arity range
+  };
+  const Case cases[] = {
+      {GateType::Buf, 1, 1},  {GateType::Not, 1, 1},
+      {GateType::And, 2, 4},  {GateType::Or, 2, 4},
+      {GateType::Xor, 2, 4},  {GateType::Nand, 2, 4},
+      {GateType::Nor, 2, 4},  {GateType::Xnor, 2, 4},
+      {GateType::Mux, 3, 3},
+  };
+  for (const Case& cs : cases) {
+    for (std::size_t n = cs.lo; n <= cs.hi; ++n) {
+      for (int trial = 0; trial < 64; ++trial) {
+        std::vector<std::uint64_t> ins(n);
+        for (auto& w : ins) w = splitmix64_next(state);
+        EXPECT_EQ(packed2_eval_gather(cs.t, ins.data(), iota, n),
+                  eval_gate64(cs.t, ins))
+            << "op=" << static_cast<int>(cs.t) << " arity=" << n;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz corpus: same derivation as the engine-equivalence suite.
+// ---------------------------------------------------------------------------
+
+struct FuzzCase {
+  Circuit circuit;
+  PackedStimulus stim;
+};
+
+FuzzCase make_fuzz_case(std::uint64_t fz) {
+  RandomCircuitSpec spec;
+  spec.n_gates = 120 + (fz * 97) % 400;
+  spec.n_inputs = 6 + (fz * 13) % 12;
+  spec.n_outputs = 6 + (fz * 7) % 12;
+  spec.dff_fraction = 0.04 + 0.012 * static_cast<double>(fz % 11);
+  spec.extra_fanin_p = 0.15 + 0.03 * static_cast<double>(fz % 7);
+  spec.delay_mode = fz % 2 ? DelayMode::Uniform : DelayMode::Unit;
+  spec.delay_spread = fz % 2 ? 2 + static_cast<std::uint32_t>(fz % 9) : 1;
+  spec.seed = fz * 0x9e3779b97f4a7c15ULL + 1;
+  Circuit c = random_circuit(spec);
+
+  const std::size_t cycles = 12 + fz % 18;
+  const double activity = 0.25 + 0.05 * static_cast<double>(fz % 8);
+  PackedStimulus ps = random_packed_stimulus(c, cycles, activity, fz * 31 + 7);
+  return {std::move(c), std::move(ps)};
+}
+
+// ---------------------------------------------------------------------------
+// 3. Per-lane differential harness against the interpretive oracle.
+// ---------------------------------------------------------------------------
+
+class PackedLaneFidelity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PackedLaneFidelity, EveryLaneMatchesScalarGoldenInterp) {
+  const auto [c, ps] = make_fuzz_case(GetParam());
+
+  PackedGoldenOptions opts;
+  opts.lane_waves = true;
+  const PackedRunResult packed = simulate_packed_golden(c, ps, opts);
+  ASSERT_EQ(packed.lane_waves.size(), kPackedLanes);
+
+  for (unsigned lane = 0; lane < kPackedLanes; ++lane) {
+    const Stimulus s = unpack_lane(c, ps, lane);
+    const RunResult golden = simulate_golden_interp(c, s);
+
+    EXPECT_EQ(unpack_lane_values(packed.final_values, lane),
+              golden.final_values)
+        << "final values diverge on lane " << lane;
+    EXPECT_EQ(packed.lane_waves[lane].digest(), golden.wave.digest())
+        << "waveform digest diverges on lane " << lane;
+    EXPECT_EQ(packed.lane_waves[lane].change_count(),
+              golden.wave.change_count())
+        << "waveform change count diverges on lane " << lane;
+    if (::testing::Test::HasFailure()) break;  // one lane's diff is enough
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, PackedLaneFidelity, ::testing::Range<std::uint64_t>(0, 20));
+
+// ---------------------------------------------------------------------------
+// 4. Multi-block packed driver vs whole-circuit packed golden.
+// ---------------------------------------------------------------------------
+
+TEST(PackedBlocks, MatchWholeCircuitGoldenAcrossDecompositions) {
+  for (std::uint64_t fz : {1ull, 5ull, 9ull, 14ull}) {
+    const auto [c, ps] = make_fuzz_case(fz);
+    PackedGoldenOptions opts;
+    opts.lane_waves = true;
+    const PackedRunResult whole = simulate_packed_golden(c, ps, opts);
+
+    const std::uint32_t n_blocks = 2 + static_cast<std::uint32_t>(fz % 5);
+    using Partitioner = Partition (*)(const Circuit&, std::uint32_t,
+                                      std::uint64_t);
+    const Partitioner partitioners[] = {
+        [](const Circuit& cc, std::uint32_t k, std::uint64_t seed) {
+          return partition_fm(cc, k, seed);
+        },
+        partition_strings,
+    };
+    for (Partitioner partitioner : partitioners) {
+      const Partition p = partitioner(c, n_blocks, fz + 3);
+      const auto owned = p.blocks(c);
+      const PackedRunResult split = simulate_packed_blocks(c, ps, owned, opts);
+
+      EXPECT_EQ(split.final_values, whole.final_values)
+          << "fz=" << fz << " blocks=" << n_blocks;
+      ASSERT_EQ(split.lane_waves.size(), kPackedLanes);
+      for (unsigned lane = 0; lane < kPackedLanes; ++lane) {
+        EXPECT_EQ(split.lane_waves[lane].digest(),
+                  whole.lane_waves[lane].digest())
+            << "fz=" << fz << " lane=" << lane;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 5. Packed oblivious sweep vs scalar oblivious sweep, per lane.
+// ---------------------------------------------------------------------------
+
+TEST(PackedOblivious, MatchesScalarSweepPerLane) {
+  for (std::uint64_t fz : {0ull, 3ull, 7ull, 12ull, 19ull}) {
+    const auto [c, ps] = make_fuzz_case(fz);
+    const PackedObliviousResult packed = simulate_packed_oblivious(c, ps);
+
+    for (unsigned lane : {0u, 1u, 17u, 63u}) {
+      const Stimulus s = unpack_lane(c, ps, lane);
+      const ObliviousResult scalar = simulate_oblivious(c, s);
+      EXPECT_EQ(unpack_lane_values(packed.final_values, lane),
+                scalar.final_values)
+          << "fz=" << fz << " lane=" << lane;
+      // One packed word evaluation covers what 64 scalar evaluations cover.
+      EXPECT_EQ(packed.evaluations, scalar.evaluations) << "fz=" << fz;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 6. Oblivious engine packed_plane knob: bit-identical results, Z included.
+// ---------------------------------------------------------------------------
+
+TEST(PackedEngineKnob, ObliviousEngineUnchangedByPackedPlane) {
+  RandomCircuitSpec spec;
+  spec.n_gates = 350;
+  spec.n_inputs = 12;
+  spec.n_outputs = 10;
+  spec.dff_fraction = 0.1;
+  spec.seed = 0xabcdef12;
+  const Circuit c = random_circuit(spec);
+  Stimulus s = random_stimulus(c, 18, 0.45, 991);
+  // Raw Z on a primary input: the packed plane lowers it to X internally and
+  // must restore the raw wire value on extraction.
+  s.vectors.back()[0] = Logic4::Z;
+  s.vectors[s.vectors.size() / 2][1] = Logic4::Z;
+
+  const Partition p = partition_fm(c, 3, 42);
+  for (PlanOpt opt : {PlanOpt::None, PlanOpt::Safe}) {
+    EngineConfig scalar_cfg;
+    scalar_cfg.plan_opt = opt;
+    EngineConfig packed_cfg = scalar_cfg;
+    packed_cfg.packed_plane = true;
+
+    const RunResult a = run_oblivious_parallel(c, s, p, scalar_cfg);
+    const RunResult b = run_oblivious_parallel(c, s, p, packed_cfg);
+    EXPECT_EQ(a.final_values, b.final_values)
+        << "plan_opt=" << static_cast<int>(opt);
+    EXPECT_EQ(a.stats.evaluations, b.stats.evaluations);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 7. random_packed_stimulus lane decorrelation.
+// ---------------------------------------------------------------------------
+
+TEST(PackedStimulusGen, LanesAreBinaryAndDecorrelated) {
+  RandomCircuitSpec spec;
+  spec.n_gates = 60;
+  spec.n_inputs = 8;
+  spec.seed = 77;
+  const Circuit c = random_circuit(spec);
+  const std::size_t n_pis = c.primary_inputs().size();
+  ASSERT_GE(n_pis, 8u);
+
+  const std::size_t cycles = 256;
+  // activity 0.5 makes consecutive cycles independent fair coins, so any
+  // residual correlation is the generator's fault, not the process's.
+  const PackedStimulus ps = random_packed_stimulus(c, cycles, 0.5, 2024);
+  ASSERT_EQ(ps.vectors.size(), cycles);
+
+  for (const auto& vec : ps.vectors)
+    for (const PackedWord& w : vec)
+      ASSERT_EQ(w.x, 0u) << "generator must emit binary lanes";
+
+  // Pairwise agreement between lane 0 and every other lane, and between
+  // adjacent lanes (the failure mode of sequentially-incremented seeds),
+  // over n_pis * cycles = 2048 bits per pair: expect ~0.5 each.
+  auto agreement = [&](unsigned la, unsigned lb) {
+    std::size_t agree = 0, total = 0;
+    for (const auto& vec : ps.vectors)
+      for (const PackedWord& w : vec) {
+        agree += packed_get_lane(w, la) == packed_get_lane(w, lb);
+        ++total;
+      }
+    return static_cast<double>(agree) / static_cast<double>(total);
+  };
+  for (unsigned lane = 1; lane < kPackedLanes; ++lane) {
+    const double a0 = agreement(0, lane);
+    EXPECT_GT(a0, 0.42) << "lane " << lane << " correlates with lane 0";
+    EXPECT_LT(a0, 0.58) << "lane " << lane << " anti-correlates with lane 0";
+    const double adj = agreement(lane - 1, lane);
+    EXPECT_GT(adj, 0.42) << "adjacent lanes " << lane - 1 << "," << lane;
+    EXPECT_LT(adj, 0.58) << "adjacent lanes " << lane - 1 << "," << lane;
+  }
+
+  // Distinct primary inputs must be decorrelated within one lane too.
+  for (unsigned lane : {0u, 31u, 63u}) {
+    std::size_t agree = 0, total = 0;
+    for (const auto& vec : ps.vectors)
+      for (std::size_t i = 0; i + 1 < vec.size(); ++i) {
+        agree += packed_get_lane(vec[i], lane) ==
+                 packed_get_lane(vec[i + 1], lane);
+        ++total;
+      }
+    const double a = static_cast<double>(agree) / static_cast<double>(total);
+    EXPECT_GT(a, 0.42) << "cross-signal correlation on lane " << lane;
+    EXPECT_LT(a, 0.58) << "cross-signal correlation on lane " << lane;
+  }
+
+  // The toggle rate must follow `activity` (here 0.2), not drift to 0.5.
+  const PackedStimulus slow = random_packed_stimulus(c, cycles, 0.2, 5150);
+  std::size_t toggles = 0, total = 0;
+  for (std::size_t k = 1; k < slow.vectors.size(); ++k)
+    for (std::size_t i = 0; i < slow.vectors[k].size(); ++i) {
+      const std::uint64_t diff =
+          packed_diff(slow.vectors[k][i], slow.vectors[k - 1][i]);
+      for (unsigned lane = 0; lane < kPackedLanes; ++lane)
+        toggles += (diff >> lane) & 1u;
+      total += kPackedLanes;
+    }
+  const double rate = static_cast<double>(toggles) / static_cast<double>(total);
+  EXPECT_GT(rate, 0.17);
+  EXPECT_LT(rate, 0.23);
+}
+
+// ---------------------------------------------------------------------------
+// pack/unpack round trips.
+// ---------------------------------------------------------------------------
+
+TEST(PackedStimulusGen, BroadcastAndUnpackRoundTrip) {
+  RandomCircuitSpec spec;
+  spec.n_gates = 40;
+  spec.n_inputs = 5;
+  spec.seed = 11;
+  const Circuit c = random_circuit(spec);
+  Stimulus s = random_stimulus(c, 9, 0.4, 303);
+  s.vectors[4][2] = Logic4::X;
+  s.vectors[5][0] = Logic4::Z;
+
+  const PackedStimulus ps = pack_broadcast(c, s);
+  ASSERT_EQ(ps.cycles(), s.vectors.size());
+  EXPECT_EQ(ps.period, s.period);
+  EXPECT_EQ(ps.horizon(), s.horizon());
+  for (unsigned lane : {0u, 42u, 63u}) {
+    const Stimulus back = unpack_lane(c, ps, lane);
+    ASSERT_EQ(back.vectors.size(), s.vectors.size());
+    for (std::size_t k = 0; k < s.vectors.size(); ++k)
+      for (std::size_t i = 0; i < s.vectors[k].size(); ++i)
+        EXPECT_EQ(back.vectors[k][i], z_to_x(s.vectors[k][i]));
+  }
+}
+
+}  // namespace
+}  // namespace plsim

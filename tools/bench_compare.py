@@ -10,14 +10,28 @@ tolerance; "wall" and top-level "phases" are host wall-clock measurements and
 are deliberately ignored. Missing or extra runs, missing or extra metric
 keys, and out-of-tolerance values are all reported and fail the comparison.
 
-Exit status: 0 = within tolerance, 1 = differences found, 2 = usage/IO error.
+A run without a "labels" object (the join key) is a hard input error, not a
+silently empty key: a truncated or hand-edited file must never pass by
+accidentally matching another label-less run. NaN never matches a number
+(NaN == NaN is fine — a metric that deterministically serializes NaN stays
+comparable).
+
+Exit status: 0 = within tolerance, 1 = differences found, 2 = usage/IO/schema
+error (unreadable file, bad schema, malformed run).
 """
 
 import argparse
 import json
+import math
 import sys
 
 SCHEMA = "plsim-bench-v1"
+
+
+def die(msg):
+    """Input/schema error: report and exit 2 (as documented)."""
+    print(f"bench_compare: {msg}", file=sys.stderr)
+    sys.exit(2)
 
 
 def load(path):
@@ -25,21 +39,29 @@ def load(path):
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
-        sys.exit(f"bench_compare: cannot read {path}: {e}")
+        die(f"cannot read {path}: {e}")
+    if not isinstance(doc, dict):
+        die(f"{path}: top level is {type(doc).__name__}, expected an object")
     if doc.get("schema") != SCHEMA:
-        sys.exit(
-            f"bench_compare: {path}: schema {doc.get('schema')!r}, "
-            f"expected {SCHEMA!r}"
-        )
+        die(f"{path}: schema {doc.get('schema')!r}, expected {SCHEMA!r}")
     if not isinstance(doc.get("runs"), list):
-        sys.exit(f"bench_compare: {path}: missing 'runs' array")
+        die(f"{path}: missing 'runs' array")
     return doc
 
 
-def run_key(run):
-    """Hashable identity of a run: its sorted label items."""
-    labels = run.get("labels", {})
-    return tuple(sorted(labels.items()))
+def run_key(run, path, index):
+    """Hashable identity of a run: its sorted label items. A run with no
+    labels object is malformed input — refuse it loudly rather than keying
+    it as {} and letting a truncated file slide through the comparison."""
+    if not isinstance(run, dict):
+        die(f"{path}: runs[{index}] is {type(run).__name__}, "
+            f"expected an object")
+    labels = run.get("labels")
+    if not isinstance(labels, dict):
+        die(f"{path}: runs[{index}]: missing 'labels' object "
+            f"(got {labels!r}) — every run needs its label join key")
+    return tuple(sorted((str(k), json.dumps(v, sort_keys=True))
+                        for k, v in labels.items()))
 
 
 def fmt_key(key):
@@ -48,11 +70,15 @@ def fmt_key(key):
 
 def index_runs(doc, path):
     runs = {}
-    for run in doc["runs"]:
-        key = run_key(run)
+    for i, run in enumerate(doc["runs"]):
+        key = run_key(run, path, i)
         if key in runs:
-            sys.exit(f"bench_compare: {path}: duplicate run labels {fmt_key(key)}")
-        runs[key] = run.get("metrics", {})
+            die(f"{path}: duplicate run labels {fmt_key(key)}")
+        metrics = run.get("metrics", {})
+        if not isinstance(metrics, dict):
+            die(f"{path}: run {fmt_key(key)}: 'metrics' is "
+                f"{type(metrics).__name__}, expected an object")
+        runs[key] = metrics
     return runs
 
 
@@ -60,6 +86,12 @@ def values_differ(a, b, tol):
     if type(a) is bool or type(b) is bool or not isinstance(a, (int, float)) \
             or not isinstance(b, (int, float)):
         return a != b
+    a_nan = isinstance(a, float) and math.isnan(a)
+    b_nan = isinstance(b, float) and math.isnan(b)
+    if a_nan or b_nan:
+        # NaN matches only NaN; comparing NaN against a number must fail,
+        # not fall through the (always-false) tolerance comparison below.
+        return a_nan != b_nan
     if a == b:
         return False
     return abs(a - b) > tol * max(abs(a), abs(b), 1e-300)
@@ -88,16 +120,18 @@ def main():
 
     for key in base:
         if key not in cand:
-            problems.append(f"run {fmt_key(key)}: missing from candidate")
+            problems.append(f"run {fmt_key(key)}: MISSING from candidate "
+                            f"({args.candidate})")
     for key in cand:
         if key not in base:
-            problems.append(f"run {fmt_key(key)}: not in baseline")
+            problems.append(f"run {fmt_key(key)}: not in baseline "
+                            f"({args.baseline})")
 
     for key in sorted(set(base) & set(cand)):
         bm, cm = base[key], cand[key]
         for name in bm:
             if name not in cm:
-                problems.append(f"run {fmt_key(key)}: metric {name!r} missing "
+                problems.append(f"run {fmt_key(key)}: metric {name!r} MISSING "
                                 f"from candidate")
         for name in cm:
             if name not in bm:

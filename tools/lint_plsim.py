@@ -28,10 +28,22 @@ comment `// plsim-lint: allow(<rule>)`):
 
   tick-add        Raw `+` on Tick-valued expressions (t + delay, frontier +
                   lookahead, front + window, ...) is banned in src/core/,
-                  src/engines/ and src/vp/: Tick is unsigned, so an addition
-                  near the horizon wraps to a small value and sails through
-                  every `>= horizon` clamp. Use the saturating
-                  plsim::tick_add (src/core/types.hpp) instead.
+                  src/engines/, src/vp/, src/event/, src/seq/ and src/fault/:
+                  Tick is unsigned, so an addition near the horizon wraps to
+                  a small value and sails through every `>= horizon` clamp
+                  (in src/fault it wraps detection timestamps). Use the
+                  saturating plsim::tick_add (src/core/types.hpp) instead.
+
+  packed-lane     Raw 64-lane word idioms (~0ull, ~1ull, 1ull << n) and
+                  direct eval_gate64 calls are banned in the lane-carrying
+                  modules (src/fault/, src/seq/, src/stim/, src/engines/,
+                  src/core/): all lane arithmetic goes through the named
+                  helpers of src/sim/packed.hpp (kAllLanes, kFaultLanes,
+                  lane_mask, lanes_from_bool, broadcast_lane0, forced_word,
+                  packed2_eval_gather) so the X-collapse and lane-0
+                  conventions live in one translation unit. src/event/ keeps
+                  its bitmap-summary words (different domain) and src/logic/
+                  keeps the eval_gate64 definition.
 
   memory-order    Atomic operations (.load/.store/.exchange/.fetch_*/
                   .compare_exchange_*) must spell out an explicit
@@ -127,6 +139,10 @@ PLAN_EVAL = re.compile(
     r"\beval_gate[0-9]+\s*\("
     r"|\b(?:c|circuit|circuit_)\s*(?:\.|->)\s*fanins\s*\("
 )
+# Raw 64-lane word idioms outside the packed kernel translation unit.
+PACKED_LANE = re.compile(
+    r"~\s*0ull\b|~\s*1ull\b|\b1ull\s*<<|\beval_gate64\s*\("
+)
 # Raw tracing internals outside the trace module itself.
 TRACE_DETAIL = re.compile(r"\btrace_detail\s*::")
 # The only route that builds or rewrites a Circuit.
@@ -167,7 +183,10 @@ def lint_file(path, rel, findings):
     in_rng = rel == "src/util/rng.hpp"
     in_engine_code = rel.startswith(("src/engines/", "src/vp/"))
     in_tick_code = rel.startswith(
-        ("src/core/", "src/engines/", "src/vp/", "src/event/", "src/seq/"))
+        ("src/core/", "src/engines/", "src/vp/", "src/event/", "src/seq/",
+         "src/fault/"))
+    in_lane_code = rel.startswith(
+        ("src/fault/", "src/seq/", "src/stim/", "src/engines/", "src/core/"))
     in_plan_code = rel == "src/core/block.cpp" or rel.startswith("src/engines/")
     in_trace = rel.startswith("src/trace/")
     in_builder_code = rel.startswith(("src/netlist/", "src/analyze/"))
@@ -217,6 +236,15 @@ def lint_file(path, rel, findings):
                 report(idx, "tick-add",
                        f"raw Tick addition '{m.group(0).strip()}' — unsigned "
                        "wrap near the horizon; use plsim::tick_add")
+
+        if in_lane_code:
+            m = PACKED_LANE.search(code)
+            if m:
+                report(idx, "packed-lane",
+                       f"raw lane idiom '{m.group(0).strip()}' outside "
+                       "sim/packed.hpp — use the named lane helpers "
+                       "(kAllLanes/kFaultLanes/lane_mask/lanes_from_bool/"
+                       "broadcast_lane0/forced_word/packed2_eval_gather)")
 
         if in_plan_code:
             m = PLAN_EVAL.search(code)

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Regression tests for bench_compare.py, run as a CTest test.
+
+Covers the exit-code contract (0 match / 1 difference / 2 bad input) and the
+truncated-JSON regressions: a candidate whose run lost its "labels" object
+must be a hard input error with a clear diagnostic, and a syntactically
+truncated file must exit 2, never compare clean.
+"""
+
+import json
+import math
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+TOOLS = Path(__file__).resolve().parent
+COMPARE = TOOLS / "bench_compare.py"
+
+
+def doc(runs, bench="demo"):
+    return {"schema": "plsim-bench-v1", "bench": bench, "runs": runs}
+
+
+def run(name="r0", metrics=None, labels=None):
+    return {
+        "labels": {"run": name} if labels is None else labels,
+        "metrics": {"evals": 100} if metrics is None else metrics,
+        "wall": {},
+    }
+
+
+class BenchCompareTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.n = 0
+
+    def tearDown(self):
+        self.dir.cleanup()
+
+    def write(self, content):
+        self.n += 1
+        path = Path(self.dir.name) / f"f{self.n}.json"
+        if isinstance(content, str):
+            path.write_text(content, encoding="utf-8")
+        else:
+            path.write_text(json.dumps(content), encoding="utf-8")
+        return path
+
+    def compare(self, baseline, candidate, *extra):
+        return subprocess.run(
+            [sys.executable, str(COMPARE), str(baseline), str(candidate),
+             *extra],
+            capture_output=True, text=True)
+
+    def test_identical_files_match(self):
+        d = doc([run("a"), run("b")])
+        p = self.compare(self.write(d), self.write(d))
+        self.assertEqual(p.returncode, 0, p.stdout + p.stderr)
+        self.assertIn("OK", p.stdout)
+
+    def test_metric_difference_exits_1(self):
+        base = self.write(doc([run("a", {"evals": 100})]))
+        cand = self.write(doc([run("a", {"evals": 150})]))
+        p = self.compare(base, cand)
+        self.assertEqual(p.returncode, 1, p.stdout + p.stderr)
+        self.assertIn("evals", p.stdout)
+
+    def test_dropped_run_is_reported_with_its_labels(self):
+        base = self.write(doc([run("a"), run("b")]))
+        cand = self.write(doc([run("a")]))  # run "b" truncated away
+        p = self.compare(base, cand)
+        self.assertEqual(p.returncode, 1, p.stdout + p.stderr)
+        self.assertIn("MISSING from candidate", p.stdout)
+        self.assertIn('run="b"', p.stdout)
+
+    def test_truncated_json_text_exits_2(self):
+        base = self.write(doc([run("a")]))
+        full = json.dumps(doc([run("a")]))
+        cand = self.write(full[: len(full) // 2])  # mid-document truncation
+        p = self.compare(base, cand)
+        self.assertEqual(p.returncode, 2, p.stdout + p.stderr)
+        self.assertIn("cannot read", p.stderr)
+
+    def test_run_missing_labels_is_hard_error(self):
+        # The truncated-labels regression: a run without its "labels" join
+        # key must be refused (exit 2, named run index), never keyed as {}.
+        base = self.write(doc([run("a")]))
+        cand = self.write(doc([{"metrics": {"evals": 100}, "wall": {}}]))
+        p = self.compare(base, cand)
+        self.assertEqual(p.returncode, 2, p.stdout + p.stderr)
+        self.assertIn("labels", p.stderr)
+        self.assertIn("runs[0]", p.stderr)
+
+    def test_two_label_less_runs_do_not_match_each_other(self):
+        # Before the fix both sides keyed as {} and compared clean.
+        d = doc([{"metrics": {"evals": 1}, "wall": {}}])
+        p = self.compare(self.write(d), self.write(d))
+        self.assertEqual(p.returncode, 2, p.stdout + p.stderr)
+
+    def test_wrong_schema_exits_2(self):
+        base = self.write(doc([run("a")]))
+        bad = self.write({"schema": "other", "runs": []})
+        p = self.compare(base, bad)
+        self.assertEqual(p.returncode, 2, p.stdout + p.stderr)
+
+    def test_missing_runs_array_exits_2(self):
+        base = self.write(doc([run("a")]))
+        bad = self.write({"schema": "plsim-bench-v1", "bench": "demo"})
+        p = self.compare(base, bad)
+        self.assertEqual(p.returncode, 2, p.stdout + p.stderr)
+
+    def test_nan_does_not_match_a_number(self):
+        base = self.write(doc([run("a", {"ratio": 2.5})]))
+        cand = self.write(
+            json.dumps(doc([run("a", {"ratio": math.nan})]))
+        )
+        p = self.compare(base, cand)
+        self.assertEqual(p.returncode, 1, p.stdout + p.stderr)
+        self.assertIn("ratio", p.stdout)
+
+    def test_nan_matches_nan(self):
+        d = json.dumps(doc([run("a", {"ratio": math.nan})]))
+        p = self.compare(self.write(d), self.write(d))
+        self.assertEqual(p.returncode, 0, p.stdout + p.stderr)
+
+    def test_tolerance_is_respected(self):
+        base = self.write(doc([run("a", {"wallish": 1.0})]))
+        cand = self.write(doc([run("a", {"wallish": 1.0005})]))
+        self.assertEqual(self.compare(base, cand).returncode, 1)
+        self.assertEqual(
+            self.compare(base, cand, "--tol", "1e-2").returncode, 0)
+
+    def test_missing_metric_key_exits_1(self):
+        base = self.write(doc([run("a", {"evals": 1, "events": 2})]))
+        cand = self.write(doc([run("a", {"evals": 1})]))
+        p = self.compare(base, cand)
+        self.assertEqual(p.returncode, 1, p.stdout + p.stderr)
+        self.assertIn("'events' MISSING", p.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()
