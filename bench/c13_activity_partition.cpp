@@ -1,0 +1,137 @@
+// C13 — the trace -> partition feedback loop, measured end to end: run the
+// F1 representative engines on the static FM partition with PLSIM_TRACE
+// armed, decode the captures into an activity profile, repartition on the
+// measured per-gate evaluation counts and per-net message counts, and rerun.
+// The paper's §III/§VI thesis is that *dynamic* load balance and *active*
+// cut traffic — not static gate counts — determine speedup; this harness
+// reports the deltas that thesis predicts: cut traffic weighted by measured
+// messages, conservative blocked time, synchronous barrier time, and the
+// modelled speedup, side by side for the static and the activity-weighted
+// partition of the same circuit.
+//
+// Everything runs on the virtual platform (deterministic virtual clocks),
+// so all metrics — including the blocked/barrier time decoded from the
+// trace captures — are bit-stable and golden-compared in CI.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_main.hpp"
+#include "netlist/generators.hpp"
+#include "partition/activity.hpp"
+#include "partition/algorithms.hpp"
+#include "stim/stimulus.hpp"
+#include "trace/trace.hpp"
+#include "util/table.hpp"
+#include "vp/vp.hpp"
+
+using namespace plsim;
+
+namespace {
+
+using VpRunner = VpResult (*)(const Circuit&, const Stimulus&,
+                              const Partition&, const VpConfig&);
+
+struct Family {
+  const char* name;
+  VpRunner run;
+};
+
+/// One VP run with tracing armed; decodes the capture it produced into an
+/// activity profile (per-gate counts + blocked/barrier units) and deletes
+/// the file.
+ActivityProfile traced_run(const Family& fam, const Circuit& c,
+                           const Stimulus& stim, const Partition& p,
+                           const VpConfig& cfg, const std::string& base,
+                           VpResult* out) {
+  const std::uint32_t before =
+      trace::run_counter().load(std::memory_order_relaxed);
+  ::setenv("PLSIM_TRACE", (base + ":262144").c_str(), 1);
+  *out = fam.run(c, stim, p, cfg);
+  ::unsetenv("PLSIM_TRACE");
+  const std::string path = trace::expected_numbered_path(base, before);
+  ActivityProfile prof = activity_from_trace(c, path);
+  std::remove(path.c_str());
+  return prof;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchDriver driver("c13_activity_partition", argc, argv);
+  constexpr std::uint32_t kProcs = 8;
+
+  // One representative point of the F1 sweep: same circuit family, stimulus
+  // and static partition as fig1_speedup_vs_size.cpp at size 2000.
+  const Circuit c = scaled_circuit(2000, /*seed=*/1);
+  const Stimulus stim = random_stimulus(c, 20, 0.25, 7);
+  const Partition fm = partition_fm(c, kProcs, 1);
+
+  VpConfig cfg;
+  cfg.lazy_cancellation = true;
+  const SequentialCost seq = sequential_cost(c, stim, cfg.cost);
+
+  const Family families[] = {{"sync", &run_sync_vp},
+                             {"conservative", &run_conservative_vp},
+                             {"timewarp", &run_timewarp_vp}};
+
+  std::cout << "C13: activity-weighted repartition, P = " << kProcs
+            << ", gates = " << c.gate_count() << " (virtual platform)\n\n";
+  Table table({"engine", "partition", "speedup", "cut_traffic", "messages",
+               "stall_units"});
+
+  for (const Family& fam : families) {
+    auto timed = driver.phase(fam.name);
+
+    // Pass 1: measured run on the static partition. Its own capture *is*
+    // the profile pass 2 repartitions on — the feedback loop uses the
+    // engine's real message pattern, not a presimulation estimate.
+    VpResult stat;
+    const ActivityProfile prof =
+        traced_run(fam, c, stim, fm, cfg, "c13_static.bin", &stat);
+    const auto w = compress_counts(prof.evals);
+    const auto nw = compress_counts(prof.messages);
+    const Partition ap = partition_with_activity(c, kProcs, 1, prof);
+
+    // Pass 2: rerun on the activity-weighted partition; decode its capture
+    // too so the blocked/barrier comparison is measured, not predicted.
+    VpResult act;
+    const ActivityProfile aprof =
+        traced_run(fam, c, stim, ap, cfg, "c13_activity.bin", &act);
+
+    const PartitionMetrics ms = evaluate_partition(c, fm, w, nw);
+    const PartitionMetrics ma = evaluate_partition(c, ap, w, nw);
+
+    const struct {
+      const char* partition;
+      const VpResult* r;
+      const ActivityProfile* p;
+      const PartitionMetrics* m;
+    } passes[] = {{"static", &stat, &prof, &ms},
+                  {"activity", &act, &aprof, &ma}};
+    for (const auto& pass : passes) {
+      const std::uint64_t stall =
+          pass.p->blocked_units + pass.p->barrier_units;
+      record_result(driver.run()
+                        .label("engine", fam.name)
+                        .label("partition", pass.partition)
+                        .metric("cut_edges", pass.m->cut_edges)
+                        .metric("cut_traffic", pass.m->cut_traffic)
+                        .metric("weighted_imbalance", pass.m->imbalance)
+                        .metric("blocked_units", pass.p->blocked_units)
+                        .metric("barrier_units", pass.p->barrier_units),
+                    *pass.r, seq.work);
+      table.add_row({fam.name, pass.partition,
+                     Table::fmt(seq.work / pass.r->makespan),
+                     Table::fmt(pass.m->cut_traffic),
+                     Table::fmt(pass.r->stats.messages), Table::fmt(stall)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\npaper: the activity partition carries less cut traffic "
+               "and stalls less; conservative engines gain the most\n";
+  return driver.finish();
+}

@@ -13,6 +13,7 @@
 
 #include "bench_main.hpp"
 #include "netlist/generators.hpp"
+#include "partition/activity.hpp"
 #include "partition/algorithms.hpp"
 #include "stim/stimulus.hpp"
 #include "util/table.hpp"
@@ -28,12 +29,24 @@ int main(int argc, char** argv) {
   std::cout << "F1: speedup vs circuit size, P = " << kProcs
             << " (virtual platform)\n\n";
   Table table({"gates", "events", "sync", "conservative", "optimistic"});
+  Table atable({"gates", "traffic", "traffic(act)", "sync(act)",
+                "conservative(act)", "optimistic(act)"});
 
   for (std::size_t size : sizes) {
     auto timed = driver.phase("run");
     const Circuit c = scaled_circuit(size, /*seed=*/1);
     const Stimulus stim = random_stimulus(c, 20, 0.25, 7);
     const Partition p = partition_fm(c, kProcs, 1);
+
+    // Trace -> partition feedback (paper §III/§VI): profile a short window,
+    // then repartition on the measured per-gate evaluation counts and
+    // per-net message counts before the measured run.
+    const ActivityProfile prof = profile_activity(c, stim, 8);
+    const Partition ap = partition_with_activity(c, kProcs, 1, prof);
+    const auto aw = compress_counts(prof.evals);
+    const auto anw = compress_counts(prof.messages);
+    const PartitionMetrics ms = evaluate_partition(c, p, aw, anw);
+    const PartitionMetrics ma = evaluate_partition(c, ap, aw, anw);
 
     // The surveyed optimistic implementations run optimized Time Warp
     // (incremental state saving + lazy cancellation; paper §IV/§V).
@@ -43,6 +56,9 @@ int main(int argc, char** argv) {
     const VpResult sync = run_sync_vp(c, stim, p, cfg);
     const VpResult cons = run_conservative_vp(c, stim, p, cfg);
     const VpResult tw = run_timewarp_vp(c, stim, p, cfg);
+    const VpResult async_ = run_sync_vp(c, stim, ap, cfg);
+    const VpResult acons = run_conservative_vp(c, stim, ap, cfg);
+    const VpResult atw = run_timewarp_vp(c, stim, ap, cfg);
 
     const std::uint64_t gates = size;
     record_result(driver.run()
@@ -60,14 +76,38 @@ int main(int argc, char** argv) {
                       .label("engine", "timewarp")
                       .metric("seq_events", seq.events),
                   tw, seq.work);
+    const struct {
+      const char* name;
+      const VpResult* r;
+    } activity_runs[] = {
+        {"sync", &async_}, {"conservative", &acons}, {"timewarp", &atw}};
+    for (const auto& ar : activity_runs) {
+      record_result(driver.run()
+                        .label("gates", gates)
+                        .label("engine", ar.name)
+                        .label("partition", "activity")
+                        .metric("seq_events", seq.events)
+                        .metric("cut_traffic_static", ms.cut_traffic)
+                        .metric("cut_traffic", ma.cut_traffic)
+                        .metric("cut_edges", ma.cut_edges),
+                    *ar.r, seq.work);
+    }
 
     table.add_row({Table::fmt(static_cast<std::uint64_t>(size)),
                    Table::fmt(seq.events),
                    Table::fmt(seq.work / sync.makespan),
                    Table::fmt(seq.work / cons.makespan),
                    Table::fmt(seq.work / tw.makespan)});
+    atable.add_row({Table::fmt(static_cast<std::uint64_t>(size)),
+                    Table::fmt(ms.cut_traffic), Table::fmt(ma.cut_traffic),
+                    Table::fmt(seq.work / async_.makespan),
+                    Table::fmt(seq.work / acons.makespan),
+                    Table::fmt(seq.work / atw.makespan)});
   }
   table.print(std::cout);
+  std::cout << "\nactivity-weighted repartition (profile 8 cycles, then "
+               "rerun):\n";
+  atable.print(std::cout);
   std::cout << "\npaper: conservative < 2x at all sizes; synchronous and "
                "optimistic rise with size toward ~4-8x at 10^4+ elements\n";
   return driver.finish();

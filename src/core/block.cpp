@@ -39,6 +39,7 @@ void BlockSimulator::init_from_plan() {
   values_.assign(bp_->init_values.begin(), bp_->init_values.end());
   projected_.assign(values_.begin(), values_.begin() + bp_->n_owned);
   eval_counts_.assign(bp_->n_owned, 0);
+  change_counts_.assign(bp_->n_owned, 0);
   eval_mark_.assign(bp_->n_local, 0);
 
   if (!bp_->dffs.empty() && opts_.clock_period < opts_.horizon) {
@@ -52,6 +53,13 @@ std::uint32_t BlockSimulator::eval_count(GateId g) const {
   PLSIM_CHECK(li != BlockPlan::kNotLocal && li < bp_->n_owned,
               "eval_count: gate not owned by this block");
   return eval_counts_[li];
+}
+
+std::uint32_t BlockSimulator::change_count(GateId g) const {
+  const std::uint32_t li = bp_->to_local[g];
+  PLSIM_CHECK(li != BlockPlan::kNotLocal && li < bp_->n_owned,
+              "change_count: gate not owned by this block");
+  return change_counts_[li];
 }
 
 Logic4 BlockSimulator::value(GateId g) const {
@@ -159,9 +167,9 @@ BatchStats BlockSimulator::process_batch(Tick t,
         const BlockPlan::Rec& rec = bp_->recs[li];
         const Tick when = tick_add(t, rec.delay);
         schedule(when, li, q, EventKind::Wire);
-        if (rec.exported && when < opts_.horizon) {
+        ++change_counts_[li];
+        if (rec.exported && when < opts_.horizon)
           out.push_back(Message{when, bp_->to_global[li], q});
-        }
       }
     }
     schedule(tick_add(t, opts_.clock_period), kNoGate, Logic4::X,
@@ -198,9 +206,9 @@ BatchStats BlockSimulator::process_batch(Tick t,
       projected_[li] = nv;
       const Tick when = tick_add(t, rec.delay);
       schedule(when, li, nv, EventKind::Wire);
-      if (rec.exported && when < opts_.horizon) {
+      ++change_counts_[li];
+      if (rec.exported && when < opts_.horizon)
         out.push_back(Message{when, bp_->to_global[li], nv});
-      }
     }
   }
 

@@ -120,6 +120,14 @@ class BlockSimulator {
   /// (paper §III). Counts work performed, including rolled-back work.
   std::uint32_t eval_count(GateId g) const;
 
+  /// Committed output changes of gate `g` (owned) — each is one potential
+  /// cross-block message should `g`'s net be cut, the per-net weight the
+  /// activity-weighted partitioners minimize. Deliberately counts *all*
+  /// changes, not just exported ones: a count of actual sends would be
+  /// biased by whatever partition produced it (interior hot nets would
+  /// look free to cut). Includes changes later cancelled by rollback.
+  std::uint32_t change_count(GateId g) const;
+
   /// Smallest gate delay among exported gates: the lookahead a conservative
   /// engine may promise on this block's outgoing channels.
   std::uint32_t export_lookahead() const { return bp_->export_lookahead; }
@@ -176,6 +184,7 @@ class BlockSimulator {
   std::vector<Logic4> values_;               // by local index
   std::vector<Logic4> projected_;            // by local index (owned only)
   std::vector<std::uint32_t> eval_counts_;   // by local index (owned only)
+  std::vector<std::uint32_t> change_counts_;    // by local index (owned only)
   LadderQueue queue_;                        // pooled, allocation-free hot path
   std::uint64_t seq_counter_ = 0;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/environment.hpp"
+#include "partition/activity.hpp"
 #include "partition/partition.hpp"
 
 namespace plsim {
@@ -93,6 +94,41 @@ RunResult merge_results(const Circuit& c, const BlockRig& rig,
               });
   }
   return r;
+}
+
+Partition activity_repartition(const Circuit& c, const Stimulus& stim,
+                               std::uint32_t n_blocks, std::size_t cycles,
+                               std::uint64_t seed) {
+  const ActivityProfile prof = profile_activity(c, stim, cycles);
+  return partition_with_activity(c, n_blocks, seed, prof);
+}
+
+void flush_block_activity(trace::Session& tsn, const BlockRig& rig) {
+  trace::Recorder* rec = tsn.recorder();
+  if (rec == nullptr) return;
+  for (std::uint32_t b = 0; b < rig.blocks.size(); ++b) {
+    const BlockSimulator& blk = *rig.blocks[b];
+    for (GateId g : blk.owned()) {
+      // Report in the original circuit's gate ids so a profile extracted
+      // from the trace lines up with the unoptimized netlist.
+      const GateId orig = rig.opt ? rig.opt->new_to_old[g] : g;
+      const std::uint32_t evals = blk.eval_count(g);
+      const std::uint32_t msgs = blk.change_count(g);
+      trace::Record r;
+      r.lp = b;
+      r.aux = orig;
+      if (evals > 0) {
+        r.tick = evals;
+        r.kind = static_cast<std::uint16_t>(trace::Kind::GateEval);
+        rec->add_extra(r);
+      }
+      if (msgs > 0) {
+        r.tick = msgs;
+        r.kind = static_cast<std::uint16_t>(trace::Kind::NetMsg);
+        rec->add_extra(r);
+      }
+    }
+  }
 }
 
 }  // namespace plsim

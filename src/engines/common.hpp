@@ -12,6 +12,7 @@
 #include "engines/routing.hpp"
 #include "partition/partition.hpp"
 #include "stim/stimulus.hpp"
+#include "trace/trace.hpp"
 
 namespace plsim {
 
@@ -59,5 +60,20 @@ BlockRig make_rig(const Circuit& c, const Stimulus& stim, const Partition& p,
 /// trace records are mapped through new_to_old.
 RunResult merge_results(const Circuit& c, const BlockRig& rig,
                         bool record_trace);
+
+/// First pass of the two-pass activity-feedback flow
+/// (EngineConfig::activity_feedback): golden pre-simulation over `cycles`
+/// stimulus vectors, then an activity-weighted multilevel repartition into
+/// `n_blocks` blocks with seed `seed`. Deterministic for fixed inputs.
+Partition activity_repartition(const Circuit& c, const Stimulus& stim,
+                               std::uint32_t n_blocks, std::size_t cycles,
+                               std::uint64_t seed);
+
+/// Append per-gate activity summary records (Kind::GateEval / Kind::NetMsg,
+/// original-circuit gate ids) to an armed trace session — the data
+/// activity_from_trace() feeds back into partitioning. Extras bypass the
+/// ring buffers, so call once per run after every worker joined; a no-op
+/// when the session is disarmed. Gates with zero activity are omitted.
+void flush_block_activity(trace::Session& tsn, const BlockRig& rig);
 
 }  // namespace plsim

@@ -36,6 +36,19 @@ struct EngineConfig {
   /// Violations throw plsim::AuditViolation after the threads join.
   bool audit = false;
 
+  /// Two-pass activity feedback (paper §III/§VI): before running, profile
+  /// the workload with a golden pre-simulation over `activity_cycles`
+  /// stimulus vectors and repartition with the measured per-gate evaluation
+  /// counts as vertex weights and per-net toggle counts as net weights
+  /// (activity-weighted multilevel, same block count, seed
+  /// `activity_seed`). The supplied partition is used only as the block
+  /// count's source; results stay bit-identical to any partition. Honored
+  /// by the synchronous, conservative and Time Warp engines (the oblivious
+  /// engine evaluates every gate regardless, so feedback cannot help it).
+  bool activity_feedback = false;
+  std::size_t activity_cycles = 8;  ///< profiling run length (stim vectors)
+  std::uint64_t activity_seed = 1;  ///< repartition seed
+
   // --- Oblivious knobs ---
   /// Evaluate on the 64-lane packed value plane (sim/packed.hpp): every lane
   /// carries the broadcast stimulus and lane 0 is extracted at the end, so

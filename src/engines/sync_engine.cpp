@@ -20,6 +20,15 @@ namespace plsim {
 
 RunResult run_synchronous(const Circuit& c, const Stimulus& stim,
                           const Partition& p, const EngineConfig& cfg) {
+  if (cfg.activity_feedback) {
+    const Partition ap = activity_repartition(c, stim, p.n_blocks,
+                                              cfg.activity_cycles,
+                                              cfg.activity_seed);
+    EngineConfig cfg2 = cfg;
+    cfg2.activity_feedback = false;
+    return run_synchronous(c, stim, ap, cfg2);
+  }
+
   WallTimer timer;
 
   BlockOptions bopts;
@@ -134,6 +143,8 @@ RunResult run_synchronous(const Circuit& c, const Stimulus& stim,
       aud->set_pending(b, inbox[b].drain(drained));
     }
   });
+
+  flush_block_activity(tsn, rig);
 
   RunResult r = merge_results(c, rig, cfg.record_trace);
   for (std::uint64_t bc : barrier_count) r.stats.barriers += bc;

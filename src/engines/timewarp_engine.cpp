@@ -89,6 +89,15 @@ struct LpState {
 
 RunResult run_timewarp(const Circuit& c, const Stimulus& stim,
                        const Partition& p, const EngineConfig& cfg) {
+  if (cfg.activity_feedback) {
+    const Partition ap = activity_repartition(c, stim, p.n_blocks,
+                                              cfg.activity_cycles,
+                                              cfg.activity_seed);
+    EngineConfig cfg2 = cfg;
+    cfg2.activity_feedback = false;
+    return run_timewarp(c, stim, ap, cfg2);
+  }
+
   WallTimer timer;
 
   BlockOptions bopts;
@@ -366,6 +375,8 @@ RunResult run_timewarp(const Circuit& c, const Stimulus& stim,
       aud->set_queue_left(b, queue_left[b]);
     }
   }
+
+  flush_block_activity(tsn, rig);
 
   RunResult r = merge_results(c, rig, cfg.record_trace);
   for (std::uint32_t b = 0; b < n; ++b) {

@@ -1,0 +1,144 @@
+#include "partition/activity.hpp"
+
+#include <algorithm>
+
+#include "core/block.hpp"
+#include "core/environment.hpp"
+#include "partition/algorithms.hpp"
+#include "sim/plan.hpp"
+#include "trace/reader.hpp"
+#include "util/error.hpp"
+
+namespace plsim {
+
+ActivityProfile profile_activity(const Circuit& c, const Stimulus& stim,
+                                 std::size_t cycles) {
+  Stimulus shortened = stim;
+  if (shortened.vectors.size() > cycles) shortened.vectors.resize(cycles);
+
+  BlockOptions bopts;
+  bopts.clock_period = shortened.period;
+  bopts.horizon = shortened.horizon();
+  bopts.save = SaveMode::None;
+  bopts.record_trace = true;  // committed value changes = potential messages
+  BlockSimulator block(SimPlan::build_whole(c), 0, bopts);
+
+  const std::vector<Message> env = environment_messages(c, shortened);
+  std::size_t env_pos = 0;
+  std::vector<Message> externals;
+  std::vector<Message> out;
+  for (;;) {
+    const Tick t_env = env_pos < env.size() ? env[env_pos].time : kTickInf;
+    const Tick t = std::min(t_env, block.next_internal_time());
+    if (t >= bopts.horizon || t == kTickInf) break;
+    externals.clear();
+    while (env_pos < env.size() && env[env_pos].time == t)
+      externals.push_back(env[env_pos++]);
+    block.process_batch(t, externals, out);
+  }
+
+  ActivityProfile prof;
+  prof.source = "presim";
+  prof.evals.assign(c.gate_count(), 0);
+  prof.messages.assign(c.gate_count(), 0);
+  for (GateId g = 0; g < c.gate_count(); ++g) prof.evals[g] = block.eval_count(g);
+  for (const ChangeRecord& r : block.trace()) ++prof.messages[r.gate];
+  return prof;
+}
+
+namespace {
+
+void accumulate_records(const Circuit& c, const trace::TraceFile& tf,
+                        const std::string& path, ActivityProfile& prof) {
+  for (const trace::Record& r : tf.records) {
+    switch (r.kind) {
+      case static_cast<std::uint16_t>(trace::Kind::GateEval):
+      case static_cast<std::uint16_t>(trace::Kind::NetMsg): {
+        PLSIM_CHECK(r.aux < c.gate_count(),
+                    "activity: trace '" + path + "' names gate " +
+                        std::to_string(r.aux) + " outside the circuit (" +
+                        std::to_string(c.gate_count()) +
+                        " gates) — wrong circuit for this capture?");
+        auto& dst =
+            r.kind == static_cast<std::uint16_t>(trace::Kind::GateEval)
+                ? prof.evals
+                : prof.messages;
+        dst[r.aux] += r.tick;  // counts ride in the tick field
+        break;
+      }
+      case static_cast<std::uint16_t>(trace::Kind::Blocked):
+        prof.blocked_units += r.dur;
+        break;
+      case static_cast<std::uint16_t>(trace::Kind::BarrierWait):
+        prof.barrier_units += r.dur;
+        break;
+      default:
+        break;  // timeline records other tools care about
+    }
+  }
+}
+
+}  // namespace
+
+ActivityProfile activity_from_trace(const Circuit& c,
+                                    const std::string& path) {
+  const std::string one[] = {path};
+  return activity_from_traces(c, one);
+}
+
+ActivityProfile activity_from_traces(const Circuit& c,
+                                     std::span<const std::string> paths) {
+  PLSIM_CHECK(!paths.empty(), "activity: no trace files given");
+  ActivityProfile prof;
+  prof.evals.assign(c.gate_count(), 0);
+  prof.messages.assign(c.gate_count(), 0);
+  bool first = true;
+  for (const std::string& path : paths) {
+    const trace::TraceFile tf = trace::read_trace_file(path);
+    if (first) {
+      prof.clock = tf.clock;
+      prof.source = tf.engine;
+      first = false;
+    } else {
+      // Per-gate counts are clock-free, but the blocked/barrier time sums
+      // are not: adding virtual work units to wall nanoseconds yields
+      // garbage, so refuse mixed captures outright (header flag, bit 0).
+      PLSIM_CHECK(
+          tf.clock == prof.clock,
+          "activity: clock-unit mismatch — '" + path + "' records " +
+              (tf.clock == trace::ClockKind::VirtualMilliUnits
+                   ? "virtual work units"
+                   : "wall nanoseconds") +
+              " but earlier captures record the other; aggregate only "
+              "traces from the same clock domain");
+      if (tf.engine != prof.source) prof.source += "+" + tf.engine;
+    }
+    accumulate_records(c, tf, path, prof);
+  }
+  return prof;
+}
+
+std::vector<std::uint32_t> compress_counts(
+    std::span<const std::uint64_t> counts) {
+  std::uint64_t maxc = 0;
+  for (std::uint64_t v : counts) maxc = std::max(maxc, v);
+  unsigned shift = 0;
+  while ((maxc >> shift) > 0xFFFFFFFFull) ++shift;
+  std::vector<std::uint32_t> out(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i)
+    out[i] = static_cast<std::uint32_t>(counts[i] >> shift);
+  return out;
+}
+
+Partition partition_with_activity(const Circuit& c, std::uint32_t k,
+                                  std::uint64_t seed,
+                                  const ActivityProfile& profile) {
+  PLSIM_CHECK(profile.evals.size() == c.gate_count() &&
+                  profile.messages.size() == c.gate_count(),
+              "partition_with_activity: profile size mismatch with circuit");
+  const std::vector<std::uint32_t> gw = compress_counts(profile.evals);
+  const std::vector<std::uint32_t> nw = compress_counts(profile.messages);
+  return partition_multilevel(c, k, seed, gw, nw);
+}
+
+}  // namespace plsim

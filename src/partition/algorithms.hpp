@@ -42,10 +42,14 @@ Partition partition_cones(const Circuit& c, std::uint32_t k);
 /// classic O(n^2) pass tractable on large netlists).
 Partition partition_kl(const Circuit& c, std::uint32_t k, std::uint64_t seed);
 
-/// Fiduccia-Mattheyses recursive bisection with gain buckets; `weights`
-/// drives the balance constraint (unit weights when empty).
+/// Fiduccia-Mattheyses recursive bisection with gain buckets. `weights`
+/// (per-gate activity) drives the balance constraint; `net_weights`
+/// (per-driver message/toggle counts) scales each net's gain-bucket
+/// contribution so the minimized cut is active traffic, not static edges.
+/// Unit weights when empty; non-empty spans must match the gate count.
 Partition partition_fm(const Circuit& c, std::uint32_t k, std::uint64_t seed,
-                       std::span<const std::uint32_t> weights = {});
+                       std::span<const std::uint32_t> weights = {},
+                       std::span<const std::uint32_t> net_weights = {});
 
 struct AnnealParams {
   double initial_temperature = 8.0;
@@ -69,6 +73,17 @@ Partition partition_annealing(const Circuit& c, std::uint32_t k,
 /// partitioning was moving toward. Usually the best cut on large netlists.
 Partition partition_multilevel(const Circuit& c, std::uint32_t k,
                                std::uint64_t seed);
+
+/// Activity-weighted multilevel bisection: `weights` (per-gate evaluation
+/// counts) become vertex weights that coarsening sums into supernodes, so
+/// balance tracks dynamic load at every level; `net_weights` (per-driver
+/// message counts) scale the edge weights that heavy-edge matching and
+/// refinement gains minimize. Uniform activity reproduces the unweighted
+/// result; non-empty spans must match the gate count (plsim::Error).
+Partition partition_multilevel(const Circuit& c, std::uint32_t k,
+                               std::uint64_t seed,
+                               std::span<const std::uint32_t> weights,
+                               std::span<const std::uint32_t> net_weights = {});
 
 /// Pre-simulation refinement (paper §III): rebalance `base` using measured
 /// per-gate evaluation frequencies, greedily moving boundary gates out of

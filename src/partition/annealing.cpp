@@ -14,12 +14,18 @@ Partition partition_annealing(const Circuit& c, std::uint32_t k,
                               std::uint64_t seed, const AnnealParams& params,
                               std::span<const std::uint32_t> weights) {
   PLSIM_CHECK(k >= 1, "partition_annealing: k must be >= 1");
+  PLSIM_CHECK(weights.empty() || weights.size() == c.gate_count(),
+              "partition_annealing: weight span size " +
+                  std::to_string(weights.size()) + " != gate count " +
+                  std::to_string(c.gate_count()));
   Rng rng(seed);
   Partition p = partition_random(c, k, rng.next());
   if (k == 1) return p;
 
+  // Widen before the add: 1 + uint32 wraps in 32-bit arithmetic at
+  // UINT32_MAX, zeroing a maximally hot gate's weight.
   auto gate_weight = [&](GateId g) -> std::uint64_t {
-    return weights.empty() ? 1 : 1 + weights[g];
+    return weights.empty() ? 1 : 1 + static_cast<std::uint64_t>(weights[g]);
   };
 
   std::vector<std::uint64_t> load(k, 0);

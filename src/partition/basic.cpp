@@ -37,6 +37,10 @@ Partition partition_round_robin(const Circuit& c, std::uint32_t k) {
 Partition partition_level_chunks(const Circuit& c, std::uint32_t k,
                                  std::span<const std::uint32_t> weights) {
   PLSIM_CHECK(k >= 1, "partition_level_chunks: k must be >= 1");
+  PLSIM_CHECK(weights.empty() || weights.size() == c.gate_count(),
+              "partition_level_chunks: weight span size " +
+                  std::to_string(weights.size()) + " != gate count " +
+                  std::to_string(c.gate_count()));
   std::uint64_t total = 0;
   for (GateId g = 0; g < c.gate_count(); ++g)
     total += weights.empty() ? 1 : weights[g];
@@ -158,10 +162,19 @@ Partition partition_cones(const Circuit& c, std::uint32_t k) {
 Partition refine_with_activity(const Circuit& c, Partition base,
                                std::span<const std::uint32_t> activity) {
   PLSIM_CHECK(activity.size() == c.gate_count(),
-              "refine_with_activity: activity size mismatch");
+              "refine_with_activity: activity span size " +
+                  std::to_string(activity.size()) + " != gate count " +
+                  std::to_string(c.gate_count()));
+  PLSIM_CHECK(base.block_of.size() == c.gate_count(),
+              "refine_with_activity: partition size " +
+                  std::to_string(base.block_of.size()) + " != gate count " +
+                  std::to_string(c.gate_count()));
   const std::uint32_t k = base.n_blocks;
-  // Weight 1 + activity so inactive gates still carry placement cost.
-  auto weight = [&](GateId g) -> std::uint64_t { return 1 + activity[g]; };
+  // Weight 1 + activity so inactive gates still carry placement cost; widen
+  // before the add so a UINT32_MAX count cannot wrap to zero weight.
+  auto weight = [&](GateId g) -> std::uint64_t {
+    return 1 + static_cast<std::uint64_t>(activity[g]);
+  };
 
   std::vector<std::uint64_t> load(k, 0);
   std::uint64_t total = 0;

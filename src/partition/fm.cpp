@@ -2,6 +2,15 @@
 // recursively for k-way partitioning. The hypergraph has one net per driving
 // gate: {driver} ∪ fanouts(driver) — cutting it models the one-to-many
 // message fanout of logic simulation.
+//
+// Activity weighting (paper §III/§VI): `weights` (per-gate evaluation
+// counts) drives the balance constraint, and `net_weights` (per-driver
+// message/toggle counts) scales each net's contribution to the gain
+// buckets, so the minimized objective is *active* cut traffic rather than
+// static cut size. Net weights are compressed to the small integer range
+// 1..8 to keep the bucket array bounded by the weighted cell degree; the
+// compression is a pure function of (weight, max weight), so uniform
+// activity degenerates to exactly the unweighted algorithm.
 
 #include <algorithm>
 #include <limits>
@@ -17,12 +26,16 @@ struct Hypergraph {
   // CSR: nets -> pins (local cell ids), and cells -> nets.
   std::vector<std::uint32_t> net_off, net_pins;
   std::vector<std::uint32_t> cell_off, cell_nets;
+  std::vector<int> net_w;  ///< compressed net weight, 1..8 (1 = unweighted)
   std::size_t n_cells = 0, n_nets = 0;
 };
 
+/// `net_scale[g]` is the compressed weight of the net driven by global gate
+/// g (all ones when the caller passes no activity).
 Hypergraph build_hypergraph(const Circuit& c,
                             std::span<const GateId> cells,
-                            std::span<const std::uint32_t> local_of) {
+                            std::span<const std::uint32_t> local_of,
+                            std::span<const int> net_scale) {
   Hypergraph h;
   h.n_cells = cells.size();
   std::vector<std::vector<std::uint32_t>> nets;
@@ -38,6 +51,7 @@ Hypergraph build_hypergraph(const Circuit& c,
       std::sort(pins.begin() + 1, pins.end());
       pins.erase(std::unique(pins.begin() + 1, pins.end()), pins.end());
       nets.push_back(std::move(pins));
+      h.net_w.push_back(net_scale.empty() ? 1 : net_scale[g]);
     }
   }
   h.n_nets = nets.size();
@@ -169,17 +183,24 @@ std::uint64_t fm_bisect(const Hypergraph& h,
       for (std::uint32_t k = h.net_off[net]; k < h.net_off[net + 1]; ++k)
         ++cnt[side[h.net_pins[k]]][net];
   };
+  // Weighted cut: each cut net costs its compressed activity weight.
   auto cut_size = [&] {
     std::uint64_t cut = 0;
     for (std::size_t net = 0; net < h.n_nets; ++net)
-      if (cnt[0][net] > 0 && cnt[1][net] > 0) ++cut;
+      if (cnt[0][net] > 0 && cnt[1][net] > 0)
+        cut += static_cast<std::uint64_t>(h.net_w[net]);
     return cut;
   };
 
+  // Bucket range bound: the weighted cell degree (sum of incident net
+  // weights), not the plain degree.
   int max_deg = 1;
-  for (std::size_t i = 0; i < n; ++i)
-    max_deg = std::max(max_deg,
-                       static_cast<int>(h.cell_off[i + 1] - h.cell_off[i]));
+  for (std::size_t i = 0; i < n; ++i) {
+    int wdeg = 0;
+    for (std::uint32_t k = h.cell_off[i]; k < h.cell_off[i + 1]; ++k)
+      wdeg += h.net_w[h.cell_nets[k]];
+    max_deg = std::max(max_deg, wdeg);
+  }
 
   recount();
   std::uint64_t best_cut = cut_size();
@@ -192,8 +213,8 @@ std::uint64_t fm_bisect(const Hypergraph& h,
       const std::uint8_t s = side[i];
       for (std::uint32_t k = h.cell_off[i]; k < h.cell_off[i + 1]; ++k) {
         const std::uint32_t net = h.cell_nets[k];
-        if (cnt[s][net] == 1) ++gain;
-        if (cnt[1 - s][net] == 0) --gain;
+        if (cnt[s][net] == 1) gain += h.net_w[net];
+        if (cnt[1 - s][net] == 0) gain -= h.net_w[net];
       }
       buckets.insert(static_cast<std::uint32_t>(i), gain);
     }
@@ -225,24 +246,25 @@ std::uint64_t fm_bisect(const Hypergraph& h,
       // Gain updates for critical nets (classic FM update rules).
       for (std::uint32_t k = h.cell_off[cell]; k < h.cell_off[cell + 1]; ++k) {
         const std::uint32_t net = h.cell_nets[k];
+        const int nw = h.net_w[net];
         if (cnt[to][net] == 0) {
           for (std::uint32_t p = h.net_off[net]; p < h.net_off[net + 1]; ++p)
-            if (!locked[h.net_pins[p]]) buckets.adjust(h.net_pins[p], +1);
+            if (!locked[h.net_pins[p]]) buckets.adjust(h.net_pins[p], +nw);
         } else if (cnt[to][net] == 1) {
           for (std::uint32_t p = h.net_off[net]; p < h.net_off[net + 1]; ++p) {
             const std::uint32_t u = h.net_pins[p];
-            if (!locked[u] && side[u] == to) buckets.adjust(u, -1);
+            if (!locked[u] && side[u] == to) buckets.adjust(u, -nw);
           }
         }
         --cnt[from][net];
         ++cnt[to][net];
         if (cnt[from][net] == 0) {
           for (std::uint32_t p = h.net_off[net]; p < h.net_off[net + 1]; ++p)
-            if (!locked[h.net_pins[p]]) buckets.adjust(h.net_pins[p], -1);
+            if (!locked[h.net_pins[p]]) buckets.adjust(h.net_pins[p], -nw);
         } else if (cnt[from][net] == 1) {
           for (std::uint32_t p = h.net_off[net]; p < h.net_off[net + 1]; ++p) {
             const std::uint32_t u = h.net_pins[p];
-            if (!locked[u] && side[u] == from) buckets.adjust(u, +1);
+            if (!locked[u] && side[u] == from) buckets.adjust(u, +nw);
           }
         }
       }
@@ -272,8 +294,9 @@ std::uint64_t fm_bisect(const Hypergraph& h,
 }
 
 void fm_recursive(const Circuit& c, std::span<const std::uint64_t> gate_weight,
-                  std::vector<GateId>& cells, std::uint32_t k,
-                  std::uint32_t first_block, Rng& rng, Partition& p) {
+                  std::span<const int> net_scale, std::vector<GateId>& cells,
+                  std::uint32_t k, std::uint32_t first_block, Rng& rng,
+                  Partition& p) {
   if (k == 1) {
     for (GateId g : cells) p.block_of[g] = first_block;
     return;
@@ -284,7 +307,7 @@ void fm_recursive(const Circuit& c, std::span<const std::uint64_t> gate_weight,
                                       static_cast<std::uint32_t>(-1));
   for (std::size_t i = 0; i < cells.size(); ++i)
     local_of[cells[i]] = static_cast<std::uint32_t>(i);
-  const Hypergraph h = build_hypergraph(c, cells, local_of);
+  const Hypergraph h = build_hypergraph(c, cells, local_of, net_scale);
 
   std::vector<std::uint64_t> w(cells.size());
   for (std::size_t i = 0; i < cells.size(); ++i) w[i] = gate_weight[cells[i]];
@@ -304,14 +327,15 @@ void fm_recursive(const Circuit& c, std::span<const std::uint64_t> gate_weight,
     right.push_back(left.back());
     left.pop_back();
   }
-  fm_recursive(c, gate_weight, left, k0, first_block, rng, p);
-  fm_recursive(c, gate_weight, right, k1, first_block + k0, rng, p);
+  fm_recursive(c, gate_weight, net_scale, left, k0, first_block, rng, p);
+  fm_recursive(c, gate_weight, net_scale, right, k1, first_block + k0, rng, p);
 }
 
 }  // namespace
 
 Partition partition_fm(const Circuit& c, std::uint32_t k, std::uint64_t seed,
-                       std::span<const std::uint32_t> weights) {
+                       std::span<const std::uint32_t> weights,
+                       std::span<const std::uint32_t> net_weights) {
   PLSIM_CHECK(k >= 1, "partition_fm: k must be >= 1");
   Rng rng(seed);
   Partition p;
@@ -321,13 +345,38 @@ Partition partition_fm(const Circuit& c, std::uint32_t k, std::uint64_t seed,
   std::vector<std::uint64_t> gw(c.gate_count(), 1);
   if (!weights.empty()) {
     PLSIM_CHECK(weights.size() == c.gate_count(),
-                "partition_fm: weight size mismatch");
-    for (GateId g = 0; g < c.gate_count(); ++g) gw[g] = 1 + weights[g];
+                "partition_fm: weight span size " +
+                    std::to_string(weights.size()) + " != gate count " +
+                    std::to_string(c.gate_count()));
+    // Widen before adding: 1 + uint32 near UINT32_MAX wraps in 32-bit
+    // arithmetic and would zero a maximally hot gate's weight.
+    for (GateId g = 0; g < c.gate_count(); ++g)
+      gw[g] = 1 + static_cast<std::uint64_t>(weights[g]);
+  }
+
+  // Compress per-driver net activity into 1..8 (see file comment). The map
+  // depends only on weight/maxw, so uniform activity yields a uniform scale
+  // and reproduces the unweighted partition exactly.
+  std::vector<int> nscale;
+  if (!net_weights.empty()) {
+    PLSIM_CHECK(net_weights.size() == c.gate_count(),
+                "partition_fm: net-weight span size " +
+                    std::to_string(net_weights.size()) + " != gate count " +
+                    std::to_string(c.gate_count()));
+    std::uint64_t maxw = 0;
+    for (std::uint32_t w : net_weights)
+      maxw = std::max<std::uint64_t>(maxw, w);
+    nscale.assign(c.gate_count(), 1);
+    if (maxw > 0)
+      for (GateId g = 0; g < c.gate_count(); ++g)
+        nscale[g] = 1 + static_cast<int>(
+                            static_cast<std::uint64_t>(net_weights[g]) * 7 /
+                            maxw);
   }
 
   std::vector<GateId> all(c.gate_count());
   for (GateId g = 0; g < c.gate_count(); ++g) all[g] = g;
-  fm_recursive(c, gw, all, k, 0, rng, p);
+  fm_recursive(c, gw, nscale, all, k, 0, rng, p);
   fix_empty_blocks(c, p);
   return p;
 }

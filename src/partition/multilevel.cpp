@@ -1,9 +1,19 @@
 // Multilevel graph bisection: coarsen by heavy-edge matching until the graph
 // is small, bisect the coarsest level, then uncoarsen while refining with a
 // boundary FM pass at every level. Operates on the undirected weighted gate
-// graph (edge weight = connection multiplicity); applied recursively for
-// k-way partitions.
+// graph (edge weight = connection multiplicity, scaled by the driver's net
+// activity when given); applied recursively for k-way partitions.
+//
+// Activity weighting (paper §III/§VI): per-gate evaluation counts become
+// vertex weights that flow through coarsening (supernodes sum their
+// constituents' weights, so the balance constraint at every level is the
+// *dynamic* load), and per-driver message counts scale the edge weights
+// that heavy-edge matching and refinement gains operate on. All weight
+// arithmetic is 64-bit: summed activity counts exceed 2^32 on million-event
+// runs. Coarsening must conserve both totals at every level — checked in
+// debug builds and under PLSIM_AUDIT.
 
+#include <cstdlib>
 #include <algorithm>
 #include <limits>
 #include <unordered_map>
@@ -15,30 +25,68 @@
 namespace plsim {
 namespace {
 
+/// Conservation-invariant checking: always in debug builds, and when the
+/// PLSIM_AUDIT environment variable is set (same convention as
+/// Auditor::env_enabled, inlined here to keep src/partition below src/check
+/// in the library graph).
+bool ml_audit_enabled() {
+#ifndef NDEBUG
+  return true;
+#else
+  static const bool on = [] {
+    const char* v = std::getenv("PLSIM_AUDIT");
+    return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+  }();
+  return on;
+#endif
+}
+
 struct MlGraph {
   // CSR adjacency with parallel edge weights; vertex weights for balance.
+  // 64-bit: vertex weights are summed activity counts and edge weights are
+  // activity-scaled multiplicities, both of which overflow 32 bits once
+  // supernodes aggregate hot gates.
   std::vector<std::uint32_t> off;
   std::vector<std::uint32_t> adj;
-  std::vector<std::uint32_t> wedge;
-  std::vector<std::uint32_t> wvert;
+  std::vector<std::uint64_t> wedge;
+  std::vector<std::uint64_t> wvert;
   std::size_t n() const { return wvert.size(); }
+
+  std::uint64_t total_vertex_weight() const {
+    std::uint64_t t = 0;
+    for (std::uint64_t w : wvert) t += w;
+    return t;
+  }
+  std::uint64_t total_edge_weight() const {
+    std::uint64_t t = 0;
+    for (std::uint64_t w : wedge) t += w;
+    return t;
+  }
 };
 
+/// `gate_w` / `net_w` are global-gate-indexed activity weights (empty =
+/// unit). Each fanin connection f -> cells[i] contributes the weight of the
+/// net driven by f.
 MlGraph from_circuit(const Circuit& c, std::span<const GateId> cells,
-                     std::span<const std::uint32_t> local_of) {
+                     std::span<const std::uint32_t> local_of,
+                     std::span<const std::uint64_t> gate_w,
+                     std::span<const std::uint64_t> net_w) {
   const std::size_t n = cells.size();
-  std::vector<std::unordered_map<std::uint32_t, std::uint32_t>> nbr(n);
+  std::vector<std::unordered_map<std::uint32_t, std::uint64_t>> nbr(n);
   for (std::size_t i = 0; i < n; ++i) {
     for (GateId f : c.fanins(cells[i])) {
       const std::uint32_t lf = local_of[f];
       if (lf != static_cast<std::uint32_t>(-1) && lf != i) {
-        ++nbr[i][lf];
-        ++nbr[lf][static_cast<std::uint32_t>(i)];
+        const std::uint64_t w = net_w.empty() ? 1 : net_w[f];
+        nbr[i][lf] += w;
+        nbr[lf][static_cast<std::uint32_t>(i)] += w;
       }
     }
   }
   MlGraph g;
-  g.wvert.assign(n, 1);
+  g.wvert.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    g.wvert[i] = gate_w.empty() ? 1 : gate_w[cells[i]];
   g.off.assign(n + 1, 0);
   for (std::size_t i = 0; i < n; ++i)
     g.off[i + 1] = g.off[i] + static_cast<std::uint32_t>(nbr[i].size());
@@ -69,7 +117,8 @@ MlGraph coarsen(const MlGraph& g, Rng& rng, std::vector<std::uint32_t>& map) {
   for (std::uint32_t v : order) {
     if (map[v] != static_cast<std::uint32_t>(-1)) continue;
     // Match with the unmatched neighbour of heaviest connecting weight.
-    std::uint32_t best = static_cast<std::uint32_t>(-1), bw = 0;
+    std::uint32_t best = static_cast<std::uint32_t>(-1);
+    std::uint64_t bw = 0;
     for (std::uint32_t e = g.off[v]; e < g.off[v + 1]; ++e) {
       const std::uint32_t u = g.adj[e];
       if (map[u] == static_cast<std::uint32_t>(-1) && g.wedge[e] > bw) {
@@ -82,15 +131,20 @@ MlGraph coarsen(const MlGraph& g, Rng& rng, std::vector<std::uint32_t>& map) {
     ++coarse;
   }
 
-  // Build the coarse graph.
-  std::vector<std::unordered_map<std::uint32_t, std::uint32_t>> nbr(coarse);
+  // Build the coarse graph. Edges absorbed inside a supernode leave the
+  // graph; everything else must survive weight-for-weight.
+  std::vector<std::unordered_map<std::uint32_t, std::uint64_t>> nbr(coarse);
   MlGraph cg;
+  std::uint64_t absorbed = 0;
   cg.wvert.assign(coarse, 0);
   for (std::size_t v = 0; v < n; ++v) {
     cg.wvert[map[v]] += g.wvert[v];
     for (std::uint32_t e = g.off[v]; e < g.off[v + 1]; ++e) {
       const std::uint32_t cu = map[g.adj[e]], cv = map[v];
-      if (cu != cv) nbr[cv][cu] += g.wedge[e];
+      if (cu != cv)
+        nbr[cv][cu] += g.wedge[e];
+      else
+        absorbed += g.wedge[e];
     }
   }
   cg.off.assign(coarse + 1, 0);
@@ -105,6 +159,15 @@ MlGraph coarsen(const MlGraph& g, Rng& rng, std::vector<std::uint32_t>& map) {
       cg.wedge[k] = w;
       ++k;
     }
+  }
+
+  if (ml_audit_enabled()) {
+    // Conservation invariants: a supernode weighs exactly what its
+    // constituents weighed, and cross-supernode edge weight is the fine
+    // total minus what the matching absorbed. A drop here silently
+    // unbalances every coarser level's partition.
+    PLSIM_ASSERT(cg.total_vertex_weight() == g.total_vertex_weight());
+    PLSIM_ASSERT(cg.total_edge_weight() + absorbed == g.total_edge_weight());
   }
   return cg;
 }
@@ -130,6 +193,60 @@ void refine(const MlGraph& g, double ratio, std::vector<std::uint8_t>& side) {
   const double target0 = ratio * static_cast<double>(total);
   const double tol = std::max<double>(static_cast<double>(maxw),
                                       0.03 * static_cast<double>(total));
+
+  // Balance restoration. The FM passes below only accept moves that LAND
+  // inside the tolerance window, so a partition that arrives outside it —
+  // the BFS base case can overshoot by most of a heavy supernode, and a
+  // projected coarse partition inherits imbalance the finer tolerance no
+  // longer covers — would be stuck forever. Walk it back first: repeatedly
+  // move the highest-gain vertex off the heavy side, accepting only moves
+  // that strictly shrink the imbalance, until the window is reached. Every
+  // quantity involved scales linearly with a uniform vertex-weight factor,
+  // so uniform activity still reproduces the unit-weight partition exactly
+  // (and with unit weights the overshoot is at most one vertex <= tol, so
+  // this loop does not fire on the historical golden circuits).
+  {
+    std::uint64_t w0 = side_weight(g, side, 0);
+    std::vector<std::int64_t> gain;
+    std::vector<std::uint8_t> moved;
+    while (static_cast<double>(w0) > target0 + tol ||
+           static_cast<double>(w0) < target0 - tol) {
+      if (gain.empty()) {
+        gain.assign(n, 0);
+        for (std::size_t v = 0; v < n; ++v)
+          for (std::uint32_t e = g.off[v]; e < g.off[v + 1]; ++e)
+            gain[v] += (side[g.adj[e]] != side[v])
+                           ? static_cast<std::int64_t>(g.wedge[e])
+                           : -static_cast<std::int64_t>(g.wedge[e]);
+        moved.assign(n, 0);
+      }
+      const std::uint8_t heavy = static_cast<double>(w0) > target0 ? 0 : 1;
+      const double gap = heavy == 0 ? static_cast<double>(w0) - target0
+                                    : target0 - static_cast<double>(w0);
+      std::uint32_t best = static_cast<std::uint32_t>(-1);
+      std::int64_t bg = std::numeric_limits<std::int64_t>::min();
+      for (std::size_t v = 0; v < n; ++v) {
+        if (moved[v] || side[v] != heavy) continue;
+        // Strictly shrink |w0 - target0|: oversized vertices that would
+        // overshoot past the mirror imbalance are skipped.
+        if (static_cast<double>(g.wvert[v]) >= 2.0 * gap) continue;
+        if (gain[v] > bg) {
+          bg = gain[v];
+          best = static_cast<std::uint32_t>(v);
+        }
+      }
+      if (best == static_cast<std::uint32_t>(-1)) break;
+      moved[best] = 1;
+      w0 = heavy == 0 ? w0 - g.wvert[best] : w0 + g.wvert[best];
+      side[best] = 1 - side[best];
+      for (std::uint32_t e = g.off[best]; e < g.off[best + 1]; ++e) {
+        const std::uint32_t u = g.adj[e];
+        gain[u] += (side[u] == side[best])
+                       ? -2 * static_cast<std::int64_t>(g.wedge[e])
+                       : 2 * static_cast<std::int64_t>(g.wedge[e]);
+      }
+    }
+  }
 
   for (int pass = 0; pass < 4; ++pass) {
     // Gains for all vertices (positive = moving reduces cut).
@@ -250,9 +367,10 @@ void ml_bisect(const MlGraph& g, double ratio, Rng& rng,
   refine(g, ratio, side);
 }
 
-void ml_recursive(const Circuit& c, std::vector<GateId>& cells,
-                  std::uint32_t k, std::uint32_t first_block, Rng& rng,
-                  Partition& p) {
+void ml_recursive(const Circuit& c, std::span<const std::uint64_t> gate_w,
+                  std::span<const std::uint64_t> net_w,
+                  std::vector<GateId>& cells, std::uint32_t k,
+                  std::uint32_t first_block, Rng& rng, Partition& p) {
   if (k == 1) {
     for (GateId g : cells) p.block_of[g] = first_block;
     return;
@@ -262,7 +380,7 @@ void ml_recursive(const Circuit& c, std::vector<GateId>& cells,
                                       static_cast<std::uint32_t>(-1));
   for (std::size_t i = 0; i < cells.size(); ++i)
     local_of[cells[i]] = static_cast<std::uint32_t>(i);
-  const MlGraph g = from_circuit(c, cells, local_of);
+  const MlGraph g = from_circuit(c, cells, local_of, gate_w, net_w);
   std::vector<std::uint8_t> side;
   ml_bisect(g, static_cast<double>(k0) / static_cast<double>(k), rng, side);
 
@@ -277,22 +395,53 @@ void ml_recursive(const Circuit& c, std::vector<GateId>& cells,
     right.push_back(left.back());
     left.pop_back();
   }
-  ml_recursive(c, left, k0, first_block, rng, p);
-  ml_recursive(c, right, k1, first_block + k0, rng, p);
+  ml_recursive(c, gate_w, net_w, left, k0, first_block, rng, p);
+  ml_recursive(c, gate_w, net_w, right, k1, first_block + k0, rng, p);
 }
 
 }  // namespace
 
 Partition partition_multilevel(const Circuit& c, std::uint32_t k,
                                std::uint64_t seed) {
+  return partition_multilevel(c, k, seed, {}, {});
+}
+
+Partition partition_multilevel(const Circuit& c, std::uint32_t k,
+                               std::uint64_t seed,
+                               std::span<const std::uint32_t> weights,
+                               std::span<const std::uint32_t> net_weights) {
   PLSIM_CHECK(k >= 1, "partition_multilevel: k must be >= 1");
+  PLSIM_CHECK(weights.empty() || weights.size() == c.gate_count(),
+              "partition_multilevel: weight span size " +
+                  std::to_string(weights.size()) + " != gate count " +
+                  std::to_string(c.gate_count()));
+  PLSIM_CHECK(net_weights.empty() || net_weights.size() == c.gate_count(),
+              "partition_multilevel: net-weight span size " +
+                  std::to_string(net_weights.size()) + " != gate count " +
+                  std::to_string(c.gate_count()));
   Rng rng(seed);
   Partition p;
   p.n_blocks = k;
   p.block_of.assign(c.gate_count(), 0);
+
+  // 1 + activity: inactive gates keep a placement cost (and edges of silent
+  // nets keep a tie-break weight), widened before the add so a UINT32_MAX
+  // count cannot wrap to zero.
+  std::vector<std::uint64_t> gw, nw;
+  if (!weights.empty()) {
+    gw.resize(c.gate_count());
+    for (GateId g = 0; g < c.gate_count(); ++g)
+      gw[g] = 1 + static_cast<std::uint64_t>(weights[g]);
+  }
+  if (!net_weights.empty()) {
+    nw.resize(c.gate_count());
+    for (GateId g = 0; g < c.gate_count(); ++g)
+      nw[g] = 1 + static_cast<std::uint64_t>(net_weights[g]);
+  }
+
   std::vector<GateId> all(c.gate_count());
   for (GateId g = 0; g < c.gate_count(); ++g) all[g] = g;
-  ml_recursive(c, all, k, 0, rng, p);
+  ml_recursive(c, gw, nw, all, k, 0, rng, p);
   fix_empty_blocks(c, p);
   return p;
 }

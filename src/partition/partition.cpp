@@ -57,21 +57,27 @@ void fix_empty_blocks(const Circuit& c, Partition& p) {
 }
 
 PartitionMetrics evaluate_partition(const Circuit& c, const Partition& p,
-                                    std::span<const std::uint32_t> weights) {
+                                    std::span<const std::uint32_t> weights,
+                                    std::span<const std::uint32_t> net_weights) {
+  PLSIM_CHECK(weights.empty() || weights.size() == c.gate_count(),
+              "evaluate_partition: weight span size mismatch with circuit");
+  PLSIM_CHECK(net_weights.empty() || net_weights.size() == c.gate_count(),
+              "evaluate_partition: net-weight span size mismatch with circuit");
+  PLSIM_CHECK(p.block_of.size() == c.gate_count(),
+              "evaluate_partition: partition size mismatch with circuit");
   PartitionMetrics m;
   std::vector<std::uint64_t> load(p.n_blocks, 0);
   for (GateId g = 0; g < c.gate_count(); ++g) {
     const std::uint64_t w = weights.empty() ? 1 : weights[g];
     load[p.block_of[g]] += w;
     m.total_weight += w;
-    bool crossing = false;
     for (GateId f : c.fanins(g)) {
       if (p.block_of[f] != p.block_of[g]) {
         ++m.cut_edges;
-        crossing = true;
+        // Traffic on a cut edge is however often its driver f toggles.
+        m.cut_traffic += net_weights.empty() ? 1 : net_weights[f];
       }
     }
-    (void)crossing;
   }
   for (GateId g = 0; g < c.gate_count(); ++g) {
     for (GateId s : c.fanouts(g)) {

@@ -36,6 +36,7 @@ void fix_empty_blocks(const Circuit& c, Partition& p);
 struct PartitionMetrics {
   std::uint64_t cut_edges = 0;   ///< fanin edges crossing block boundaries
   std::uint64_t cut_gates = 0;   ///< gates with at least one external sink
+  std::uint64_t cut_traffic = 0; ///< cut edges weighted by driver activity
   std::uint64_t total_weight = 0;
   std::uint64_t max_load = 0;
   std::uint64_t min_load = 0;
@@ -43,8 +44,12 @@ struct PartitionMetrics {
 };
 
 /// Load uses `weights` when given (e.g. pre-simulated evaluation frequency),
-/// unit gate weight otherwise.
-PartitionMetrics evaluate_partition(const Circuit& c, const Partition& p,
-                                    std::span<const std::uint32_t> weights = {});
+/// unit gate weight otherwise. `net_weights` (per-driver message counts)
+/// weights cut_traffic — with it empty, cut_traffic == cut_edges. Non-empty
+/// spans must match the gate count (throws plsim::Error otherwise).
+PartitionMetrics evaluate_partition(
+    const Circuit& c, const Partition& p,
+    std::span<const std::uint32_t> weights = {},
+    std::span<const std::uint32_t> net_weights = {});
 
 }  // namespace plsim

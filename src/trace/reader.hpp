@@ -1,0 +1,97 @@
+#pragma once
+// Reader for the compact binary trace format written by trace::Recorder
+// (magic "PLSTRC1\n"; see trace.hpp for the writer and record layout).
+//
+// This header is the ONLY sanctioned C++ route to parse a trace file —
+// everything downstream (the activity extractor, benches, tests) consumes
+// the decoded TraceFile so the byte-level format knowledge stays inside
+// src/trace (lint rule `trace-format`). Header-only because src/partition
+// sits below src/trace in the library graph: including this adds no link
+// edge.
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/error.hpp"
+
+namespace plsim {
+namespace trace {
+
+/// One decoded trace file: header fields plus all records (per-lane ring
+/// survivors in emission order, then the end-of-run extras).
+struct TraceFile {
+  std::string engine;               ///< engine name from the header
+  ClockKind clock = ClockKind::WallNs;  ///< which clock produced the times
+  std::uint32_t lanes = 0;          ///< lane (logical process) count
+  std::uint64_t dropped = 0;        ///< records evicted by ring wrap
+  std::vector<Record> records;
+};
+
+/// Decode a binary trace file. Throws plsim::Error on a missing file, bad
+/// magic, unsupported version, or truncated payload. Unknown record kinds
+/// are preserved verbatim (the Kind enum is append-only; newer writers may
+/// emit kinds this build does not name).
+inline TraceFile read_trace_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  PLSIM_CHECK(static_cast<bool>(is),
+              "trace reader: cannot open '" + path + "'");
+
+  char magic[8] = {};
+  is.read(magic, 8);
+  static constexpr char kMagic[8] = {'P', 'L', 'S', 'T', 'R', 'C', '1', '\n'};
+  PLSIM_CHECK(is.gcount() == 8 && std::equal(magic, magic + 8, kMagic),
+              "trace reader: '" + path + "' is not a plsim binary trace "
+              "(bad magic)");
+
+  auto get32 = [&is, &path]() {
+    std::uint32_t v = 0;
+    is.read(reinterpret_cast<char*>(&v), 4);
+    PLSIM_CHECK(is.gcount() == 4,
+                "trace reader: '" + path + "' truncated in header");
+    return v;
+  };
+  auto get64 = [&is, &path]() {
+    std::uint64_t v = 0;
+    is.read(reinterpret_cast<char*>(&v), 8);
+    PLSIM_CHECK(is.gcount() == 8,
+                "trace reader: '" + path + "' truncated in header");
+    return v;
+  };
+
+  const std::uint32_t version = get32();
+  PLSIM_CHECK(version == 1u,
+              "trace reader: '" + path + "' has unsupported version " +
+                  std::to_string(version));
+  const std::uint32_t flags = get32();
+
+  TraceFile out;
+  out.clock = (flags & 1u) != 0 ? ClockKind::VirtualMilliUnits
+                                : ClockKind::WallNs;
+  const std::uint32_t name_len = get32();
+  PLSIM_CHECK(name_len <= (1u << 20),
+              "trace reader: '" + path + "' has an implausible engine-name "
+              "length (corrupt header)");
+  out.engine.resize(name_len);
+  is.read(out.engine.data(), static_cast<std::streamsize>(name_len));
+  PLSIM_CHECK(is.gcount() == static_cast<std::streamsize>(name_len),
+              "trace reader: '" + path + "' truncated in engine name");
+  out.lanes = get32();
+  const std::uint64_t n_records = get64();
+  out.dropped = get64();
+
+  out.records.resize(static_cast<std::size_t>(n_records));
+  const std::streamsize want =
+      static_cast<std::streamsize>(n_records * sizeof(Record));
+  is.read(reinterpret_cast<char*>(out.records.data()), want);
+  PLSIM_CHECK(is.gcount() == want,
+              "trace reader: '" + path + "' truncated: header promises " +
+                  std::to_string(n_records) + " records");
+  return out;
+}
+
+}  // namespace trace
+}  // namespace plsim

@@ -57,13 +57,17 @@ enum class Kind : std::uint16_t {
   BarrierWait = 6,  ///< span waiting at a global barrier; aux = sequence no.
   GvtRound = 7,     ///< one GVT reduction round; aux = round no.
   Blocked = 8,      ///< CMB input wait (deadlock-prone idle); aux = 0
+  GateEval = 9,     ///< per-gate eval total; aux = gate id, tick = count
+  NetMsg = 10,      ///< per-driver committed changes (potential messages if
+                    ///< the net is cut); aux = gate, tick = n
 };
-inline constexpr std::uint16_t kKindCount = 9;
+inline constexpr std::uint16_t kKindCount = 11;
 
 inline const char* kind_name(std::uint16_t k) {
   static constexpr const char* names[kKindCount] = {
       "eval", "send", "recv", "null-msg", "rollback",
-      "antimessage", "barrier-wait", "gvt-round", "blocked"};
+      "antimessage", "barrier-wait", "gvt-round", "blocked",
+      "gate-eval", "net-msg"};
   return k < kKindCount ? names[k] : "unknown";
 }
 
@@ -158,6 +162,13 @@ class Recorder {
   ClockKind clock() const { return clock_; }
   const std::string& engine() const { return engine_; }
 
+  /// Append a summary record outside the per-lane rings. Extras bypass ring
+  /// capacity (never evicted, never counted as dropped) — the channel for
+  /// end-of-run aggregates like per-gate activity totals (GateEval/NetMsg),
+  /// emitted once after all workers joined. Not thread-safe: call only from
+  /// the session-owning thread, post-join.
+  void add_extra(const Record& r) { extras_.push_back(r); }
+
   /// Chrome/Perfetto when the path ends ".json", compact binary otherwise.
   /// Returns false (and stays silent) when the file cannot be opened —
   /// tracing must never turn a passing run into a failing one.
@@ -191,6 +202,7 @@ class Recorder {
       n += kept;
       dropped += l->dropped();
     }
+    n += extras_.size();
     put64(n);
     put64(dropped);
     for (const auto& l : lanes_) {
@@ -198,11 +210,14 @@ class Recorder {
       os.write(reinterpret_cast<const char*>(recs.data()),
                static_cast<std::streamsize>(recs.size() * sizeof(Record)));
     }
+    os.write(reinterpret_cast<const char*>(extras_.data()),
+             static_cast<std::streamsize>(extras_.size() * sizeof(Record)));
   }
 
   void write_chrome(std::ostream& os) const {
     // ts/dur are microseconds in the trace-event format; both clocks divide
-    // by 1000 (wall ns -> us, milli-units -> units).
+    // by 1000 (wall ns -> us, milli-units -> units). Extras (per-gate
+    // summary records) are not timeline events and stay binary-only.
     os << "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
     os << "{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\",\"args\":"
           "{\"name\":\"plsim:"
@@ -238,6 +253,7 @@ class Recorder {
   ClockKind clock_;
   std::chrono::steady_clock::time_point epoch_;
   std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<Record> extras_;
 };
 
 /// Parsed PLSIM_TRACE environment value.
@@ -273,12 +289,18 @@ inline EnvConfig env_config() {
   return cfg;
 }
 
-/// Process-wide run counter: the first traced run in a process writes the
-/// exact configured path; later runs get "<stem>.<n><ext>" so sweeps keep
-/// one valid file per run.
-inline std::string numbered_path(const std::string& base) {
+/// Process-wide traced-run counter backing numbered_path. Exposed so a
+/// harness arming PLSIM_TRACE around several runs can predict each file
+/// name (see expected_numbered_path) instead of globbing for it.
+inline std::atomic<std::uint32_t>& run_counter() {
   static std::atomic<std::uint32_t> counter{0};
-  const std::uint32_t n = counter.fetch_add(1u, std::memory_order_relaxed);
+  return counter;
+}
+
+/// The path the n-th traced run of this process writes (n from
+/// run_counter()): run 0 writes exactly `base`, later runs "<stem>.<n><ext>".
+inline std::string expected_numbered_path(const std::string& base,
+                                          std::uint32_t n) {
   if (n == 0) return base;
   const std::size_t slash = base.find_last_of('/');
   const std::size_t dot = base.find_last_of('.');
@@ -289,6 +311,15 @@ inline std::string numbered_path(const std::string& base) {
     ext = base.substr(dot);
   }
   return stem + "." + std::to_string(n) + ext;
+}
+
+/// Process-wide run numbering: the first traced run in a process writes the
+/// exact configured path; later runs get "<stem>.<n><ext>" so sweeps keep
+/// one valid file per run.
+inline std::string numbered_path(const std::string& base) {
+  const std::uint32_t n =
+      run_counter().fetch_add(1u, std::memory_order_relaxed);
+  return expected_numbered_path(base, n);
 }
 
 /// One engine run's trace, armed from the environment. Created at the top

@@ -321,6 +321,8 @@ VpResult run_conservative_vp(const Circuit& c, const Stimulus& stim,
   for (std::uint32_t pr = 0; pr < n_procs; ++pr)
     r.makespan = std::max(r.makespan, clock[pr]);
 
+  flush_block_activity(tsn, rig);
+
   RunResult merged = merge_results(c, rig, false);
   r.final_values = std::move(merged.final_values);
   r.wave_digest = merged.wave.digest();

@@ -218,6 +218,8 @@ VpResult run_sync_vp(const Circuit& c, const Stimulus& stim,
     }
   }
 
+  flush_block_activity(tsn, rig);
+
   RunResult merged = merge_results(c, rig, false);
   r.final_values = std::move(merged.final_values);
   r.wave_digest = merged.wave.digest();

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "netlist/builder.hpp"
 #include "netlist/builtin.hpp"
 #include "netlist/generators.hpp"
 #include "partition/algorithms.hpp"
@@ -136,6 +137,191 @@ TEST(Partition, ExportedSetsMatchDefinition) {
 TEST(Partition, MoreBlocksThanGatesThrows) {
   const Circuit c = builtin_circuit("c17");  // 11 gates
   EXPECT_THROW(partition_round_robin(c, 20), Error);
+}
+
+// --- Activity weighting (trace -> partition feedback) ---
+
+TEST(PartitionWeighted, UniformActivityReproducesUnweightedFm) {
+  // All comparisons in the FM bisection scale exactly under a uniform
+  // weight, so a flat activity profile must be a bit-for-bit no-op.
+  const Circuit c = scaled_circuit(900, 5);
+  const std::vector<std::uint32_t> flat_v(c.gate_count(), 6);
+  const std::vector<std::uint32_t> flat_n(c.gate_count(), 4);
+  for (std::uint32_t k : {2u, 4u, 8u}) {
+    const Partition plain = partition_fm(c, k, 3);
+    const Partition weighted = partition_fm(c, k, 3, flat_v, flat_n);
+    EXPECT_EQ(plain.block_of, weighted.block_of) << "k=" << k;
+  }
+}
+
+TEST(PartitionWeighted, UniformActivityReproducesUnweightedMultilevel) {
+  const Circuit c = scaled_circuit(900, 5);
+  const std::vector<std::uint32_t> flat_v(c.gate_count(), 9);
+  const std::vector<std::uint32_t> flat_n(c.gate_count(), 2);
+  for (std::uint32_t k : {2u, 4u, 8u}) {
+    const Partition plain = partition_multilevel(c, k, 3);
+    const Partition weighted = partition_multilevel(c, k, 3, flat_v, flat_n);
+    EXPECT_EQ(plain.block_of, weighted.block_of) << "k=" << k;
+  }
+}
+
+namespace {
+std::uint64_t partition_sig(const Partition& p) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a over block ids
+  for (std::uint32_t b : p.block_of) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+}  // namespace
+
+TEST(PartitionWeighted, UnweightedMultilevelMatchesPreWeightGoldens) {
+  // Differential goldens captured from the tree immediately before vertex/
+  // net weights were threaded through coarsening: the unit-weight path must
+  // produce byte-identical partitions, proving the weighted machinery is
+  // inert when no activity is supplied.
+  struct Golden {
+    std::uint32_t size, k;
+    std::uint64_t seed, sig, cut;
+  };
+  static constexpr Golden kGoldens[] = {
+      {300, 2, 1, 0x3c23162cbc45409dull, 69},
+      {300, 2, 7, 0x259e7248c125e92cull, 70},
+      {300, 4, 1, 0x42cc164f4730f23dull, 154},
+      {300, 4, 7, 0x5f38f5b8d2ec75b0ull, 151},
+      {300, 8, 1, 0x7167f3a43b070d84ull, 220},
+      {300, 8, 7, 0x416e8314e148e562ull, 214},
+      {600, 2, 1, 0xb6ca822c442bea7bull, 109},
+      {600, 2, 7, 0x50e5c03c81955077ull, 144},
+      {600, 4, 1, 0x04388d9a4afd1ffcull, 240},
+      {600, 4, 7, 0x815ad6b385f7cc93ull, 252},
+      {600, 8, 1, 0x93355e726778fd0aull, 360},
+      {600, 8, 7, 0x0f50f2ef6d137631ull, 374},
+      {1500, 2, 1, 0x83f064356c3b1100ull, 258},
+      {1500, 2, 7, 0xac0c887e133bc72cull, 258},
+      {1500, 4, 1, 0x9a2579b1395cf926ull, 413},
+      {1500, 4, 7, 0x18b029d6f8c25b65ull, 424},
+      {1500, 8, 1, 0xddbd548ee67d1ebfull, 622},
+      {1500, 8, 7, 0x276bbfdcf5f183e7ull, 652},
+  };
+  for (std::uint32_t size : {300u, 600u, 1500u}) {
+    const Circuit c = scaled_circuit(size, 1);
+    for (const Golden& g : kGoldens) {
+      if (g.size != size) continue;
+      const Partition p = partition_multilevel(c, g.k, g.seed);
+      EXPECT_EQ(partition_sig(p), g.sig)
+          << "size=" << g.size << " k=" << g.k << " seed=" << g.seed;
+      EXPECT_EQ(evaluate_partition(c, p).cut_edges, g.cut)
+          << "size=" << g.size << " k=" << g.k << " seed=" << g.seed;
+    }
+  }
+}
+
+TEST(PartitionWeighted, HotConeMigratesIntoOnePart) {
+  // A 32-leaf XOR reduction cone (63 gates) whose root feeds a 600-gate
+  // buffer chain. The cone carries 8x the per-gate activity of the chain
+  // (1 + 7 vs 1 + 0), so its weighted load is just under half the total:
+  // the balanced minimum cut keeps the cone intact on one side and slices
+  // the cold chain once, about 48 gates past the root. Hot nets carry the
+  // same skew so cutting inside the cone is 8x as expensive as cutting
+  // the chain.
+  NetlistBuilder b;
+  std::vector<GateId> level;
+  for (int i = 0; i < 32; ++i) level.push_back(b.add_input());
+  std::vector<GateId> cone = level;
+  while (level.size() > 1) {
+    std::vector<GateId> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      const GateId g = b.add_gate(GateType::Xor, {level[i], level[i + 1]});
+      next.push_back(g);
+      cone.push_back(g);
+    }
+    level = next;
+  }
+  GateId prev = level[0];
+  for (std::size_t i = 0; i < 600; ++i)
+    prev = b.add_gate(GateType::Buf, {prev});
+  b.mark_output(prev);
+  const Circuit c = b.build();
+
+  std::vector<std::uint32_t> weights(c.gate_count(), 0);
+  std::vector<std::uint32_t> net_weights(c.gate_count(), 0);
+  for (const GateId g : cone) {
+    weights[g] = 7;
+    net_weights[g] = 7;
+  }
+
+  const Partition p = partition_multilevel(c, 2, 1, weights, net_weights);
+  validate_partition(c, p);
+
+  // The hot cone lands whole in one part...
+  const std::uint32_t hot_part = p.block_of[cone.front()];
+  for (const GateId g : cone)
+    EXPECT_EQ(p.block_of[g], hot_part) << "hot-cone gate " << g << " split off";
+  // ...and the weighted load stays balanced: each side carries about half
+  // of the total measured activity (1 + w per gate, as the partitioners
+  // weigh it).
+  std::uint64_t load[2] = {0, 0};
+  for (std::size_t g = 0; g < c.gate_count(); ++g)
+    load[p.block_of[g]] += 1 + weights[g];
+  const std::uint64_t total = load[0] + load[1];
+  EXPECT_GE(std::min(load[0], load[1]) * 10, total * 3)
+      << "weighted loads " << load[0] << "/" << load[1];
+}
+
+TEST(PartitionWeighted, DeterministicForSeedWithWeights) {
+  const Circuit c = scaled_circuit(700, 9);
+  std::vector<std::uint32_t> w(c.gate_count()), nw(c.gate_count());
+  for (std::size_t g = 0; g < c.gate_count(); ++g) {
+    w[g] = static_cast<std::uint32_t>((g * 2654435761u) % 97);
+    nw[g] = static_cast<std::uint32_t>((g * 40503u) % 13);
+  }
+  const Partition a = partition_multilevel(c, 4, 5, w, nw);
+  const Partition b = partition_multilevel(c, 4, 5, w, nw);
+  EXPECT_EQ(a.block_of, b.block_of);
+  const Partition fa = partition_fm(c, 4, 5, w, nw);
+  const Partition fb = partition_fm(c, 4, 5, w, nw);
+  EXPECT_EQ(fa.block_of, fb.block_of);
+}
+
+TEST(PartitionWeighted, NearOverflowWeightsStayBalanced) {
+  // Regression for the uint32 wrap in the weighted-balance arithmetic:
+  // `1 + weights[g]` at weights[g] near 2^32 used to wrap to ~0 and starve
+  // one side of the balance constraint. With every gate at maximum weight
+  // the profile is uniform, so the result must equal the unweighted one —
+  // pre-fix, the wrapped sums instead collapsed the balance bound.
+  const Circuit c = scaled_circuit(400, 3);
+  const std::vector<std::uint32_t> huge(c.gate_count(), 0xFFFFFFFFu);
+  for (std::uint32_t k : {2u, 4u}) {
+    const Partition weighted = partition_fm(c, k, 1, huge);
+    validate_partition(c, weighted);
+    EXPECT_EQ(partition_fm(c, k, 1).block_of, weighted.block_of) << "k=" << k;
+    const Partition ml = partition_multilevel(c, k, 1, huge, huge);
+    validate_partition(c, ml);
+    EXPECT_EQ(partition_multilevel(c, k, 1).block_of, ml.block_of)
+        << "k=" << k;
+  }
+}
+
+TEST(PartitionWeighted, WrongSizeSpansThrow) {
+  const Circuit c = builtin_circuit("s27");
+  const std::vector<std::uint32_t> bad(c.gate_count() + 3, 1);
+  const std::vector<std::uint32_t> ok(c.gate_count(), 1);
+  EXPECT_THROW(partition_fm(c, 2, 1, bad), Error);
+  EXPECT_THROW(partition_fm(c, 2, 1, ok, bad), Error);
+  EXPECT_THROW(partition_multilevel(c, 2, 1, bad), Error);
+  EXPECT_THROW(partition_multilevel(c, 2, 1, ok, bad), Error);
+  EXPECT_THROW(partition_level_chunks(c, 2, bad), Error);
+  EXPECT_THROW(partition_annealing(c, 2, 1, {}, bad), Error);
+  EXPECT_THROW(refine_with_activity(c, partition_round_robin(c, 2), bad),
+               Error);
+  const Partition p = partition_round_robin(c, 2);
+  EXPECT_THROW(evaluate_partition(c, p, bad), Error);
+  EXPECT_THROW(evaluate_partition(c, p, ok, bad), Error);
+  // Empty spans stay legal everywhere (unit weights).
+  validate_partition(c, partition_fm(c, 2, 1, {}, {}));
+  validate_partition(c, partition_multilevel(c, 2, 1, {}, {}));
 }
 
 }  // namespace

@@ -67,6 +67,18 @@ comment `// plsim-lint: allow(<rule>)`):
                   trace_detail call would survive the build flag and charge
                   the hot path even in untraced builds.
 
+  trace-format    The binary trace container (the "PLSTRC1" magic, header
+                  layout, record packing) is parsed and emitted only in
+                  src/trace/ (the writer plus the header-only reader) and
+                  the two sanctioned tools, tools/trace_summary.py and
+                  tools/activity_from_trace.py. Any other file naming the
+                  magic is re-implementing the format and will silently
+                  drift when it evolves — consume trace::read_trace_file
+                  (C++) or the tools' JSON output instead. Unlike the other
+                  rules this one also scans bench/, tests/, tools/ and
+                  examples/, and Python files may waive it with
+                  `# plsim-lint: allow(trace-format)`.
+
   analyze-pass    Circuit construction/mutation (the NetlistBuilder type) is
                   confined to src/netlist/ and src/analyze/: everything
                   downstream of the analyzer consumes an immutable Circuit,
@@ -328,6 +340,53 @@ def lint_file(path, rel, findings):
                        "std::memory_order argument")
 
 
+# Files allowed to name the binary trace magic. lint_plsim.py itself is
+# exempt (the rule's implementation must spell the token it hunts).
+TRACE_FORMAT_ALLOWED = (
+    "src/trace/",
+    "tools/trace_summary.py",
+    "tools/activity_from_trace.py",
+    "tools/lint_plsim.py",
+)
+TRACE_FORMAT_WAIVER = re.compile(
+    r"(?://|#)\s*plsim-lint:\s*allow\(trace-format\)")
+
+
+def check_trace_format(root, findings):
+    """trace-format: the PLSTRC magic is confined to src/trace/ + the two
+    sanctioned tools. Scans wider than the other rules (bench/tests/tools/
+    examples, C++ and Python) because format re-implementations historically
+    grow in harnesses first. Matches raw lines: the magic only ever appears
+    inside string literals, which strip_comments_and_strings blanks out."""
+    exts = CXX_EXTS | {".py"}
+    scanned = 0
+    for sub in ("src", "bench", "tests", "tools", "examples"):
+        base = root / sub
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in exts or not path.is_file():
+                continue
+            rel = path.relative_to(root).as_posix()
+            if rel.startswith(TRACE_FORMAT_ALLOWED):
+                continue
+            scanned += 1
+            lines = path.read_text(encoding="utf-8",
+                                   errors="replace").splitlines()
+            for idx, line in enumerate(lines):
+                if "PLSTRC" not in line:
+                    continue
+                if any(TRACE_FORMAT_WAIVER.search(lines[j])
+                       for j in (idx, idx - 1) if 0 <= j < len(lines)):
+                    continue
+                findings.append(
+                    f"{rel}:{idx + 1}: [trace-format] trace container magic "
+                    "outside src/trace/ and the sanctioned tools — parse "
+                    "captures via trace::read_trace_file or "
+                    "tools/activity_from_trace.py, never by hand")
+    return scanned
+
+
 def check_headers(root, headers, findings):
     """header-selfcontained: syntax-check every src/ header standalone."""
     compiler = shutil.which("c++") or shutil.which("g++") or \
@@ -376,6 +435,7 @@ def main():
     )
     for path in files:
         lint_file(path, path.relative_to(root).as_posix(), findings)
+    check_trace_format(root, findings)
     check_headers(root, [p for p in files if p.suffix in {".hpp", ".hh", ".h"}],
                   findings)
 

@@ -1,9 +1,16 @@
 #!/usr/bin/env python3
-"""Summarize a plsim binary trace (magic PLSTRC1, written by src/trace).
+"""Summarize plsim binary traces (magic PLSTRC1, written by src/trace).
 
 Usage:
-    trace_summary.py TRACE.bin [--lp N] [--histogram] [--timeline [N]]
+    trace_summary.py TRACE.bin [MORE.bin ...] [--lp N] [--histogram]
+                     [--timeline [N]]
     trace_summary.py TRACE.bin --chrome OUT.json
+
+Several captures may be summarized together (records are concatenated,
+engine names joined with '+'), but only when they agree on the clock that
+produced them — the header flags whether times are wall nanoseconds or
+virtual work units, and mixing the two would add incommensurable numbers.
+A mismatch is reported clearly and exits with status 2.
 
 Default output: the file header, then a per-LP table (records, spans,
 time-in-state breakdown per record kind) and the aggregate time-in-state
@@ -38,9 +45,11 @@ RECORD = struct.Struct("<QIIQIHH")  # start, dur, lp, tick, aux, kind, pad
 KIND_NAMES = [
     "eval", "send", "recv", "null-msg", "rollback",
     "antimessage", "barrier-wait", "gvt-round", "blocked",
+    "gate-eval", "net-msg",
 ]
 
-EVAL, SEND, RECV, NULLMSG, ROLLBACK, ANTIMSG, BARRIER, GVT, BLOCKED = range(9)
+(EVAL, SEND, RECV, NULLMSG, ROLLBACK, ANTIMSG, BARRIER, GVT, BLOCKED,
+ GATE_EVAL, NET_MSG) = range(11)
 
 
 def kind_name(k):
@@ -96,6 +105,30 @@ def load(path):
         "dropped": dropped,
         "virtual_clock": bool(flags & 1),
     }
+    return header, records
+
+
+def load_all(paths):
+    """Load several captures into one (header, records) pair. Refuses to
+    aggregate traces from different clock domains: summed span times would
+    mix wall nanoseconds with virtual work units."""
+    header, records = load(paths[0])
+    for path in paths[1:]:
+        h, recs = load(path)
+        if h["virtual_clock"] != header["virtual_clock"]:
+            this = ("virtual work units" if h["virtual_clock"]
+                    else "wall nanoseconds")
+            print(f"trace_summary: clock-unit mismatch — '{path}' records "
+                  f"{this} but earlier captures record the other; "
+                  f"aggregate only traces from the same clock domain",
+                  file=sys.stderr)
+            sys.exit(2)
+        if h["engine"] not in header["engine"].split("+"):
+            header["engine"] += "+" + h["engine"]
+        header["lanes"] = max(header["lanes"], h["lanes"])
+        header["records"] += h["records"]
+        header["dropped"] += h["dropped"]
+        records.extend(recs)
     return header, records
 
 
@@ -257,7 +290,8 @@ def write_chrome(header, records, out_path):
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("trace")
+    ap.add_argument("traces", nargs="+", metavar="trace",
+                    help="binary captures (same clock domain)")
     ap.add_argument("--lp", type=int, default=None,
                     help="restrict to one logical process")
     ap.add_argument("--timeline", type=int, nargs="?", const=20,
@@ -269,7 +303,7 @@ def main():
                     help="convert to Chrome trace-event JSON and exit")
     args = ap.parse_args()
 
-    header, records = load(args.trace)
+    header, records = load_all(args.traces)
     if args.chrome:
         write_chrome(header, records, args.chrome)
         return 0
