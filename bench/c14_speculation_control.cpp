@@ -1,0 +1,208 @@
+// C14 — speculation control (ISSUE 9), measured on the virtual platform:
+//
+//   (A) Adaptive per-channel lookahead on the conservative engine. Classic
+//       CMB promises carry one global export lookahead; the adaptive variant
+//       (engines/lookahead.hpp) anchors each event root — pending wires,
+//       unreceived channel input, stimulus, the next clock edge — at its own
+//       per-channel distance table. The sweep runs register-boundary
+//       pipelines (Figure-1 sizes, one stage per block): every cut wire
+//       lands on a DFF D-pin, so no combinational receiving chain exists and
+//       promises jump to the next clock edge instead of crawling one gate
+//       delay per null round. The dense random F1 family is the measured
+//       opposite: its distance tables collapse to one tick everywhere
+//       (any-gate-to-any-gate cuts), leaving classic CMB no room — which is
+//       exactly the paper's point about conservative methods on unstructured
+//       circuits. Both runs are traced (PLSIM_TRACE) and decoded back into
+//       summed Blocked span time — idle-until-arrival plus null protocol
+//       service — so the reduction is *measured*, not predicted.
+//
+//   (B) Critical-path-guided Time Warp throttling. The causal-graph
+//       analyzer (trace/critical_path.hpp) exports per-LP slack and work;
+//       off-path LPs — positive slack and a work deficit against the
+//       heaviest LP — get a bounded optimism window and sparse checkpoints,
+//       on-path LPs run free. Measured on cone partitions of the two
+//       largest Figure-1 circuits, whose one overloaded block gates the
+//       makespan while the other seven race ahead and roll back; balanced
+//       FM partitions classify as all-on-path and the guidance is a no-op
+//       by construction (no regression risk).
+//
+// Everything is deterministic (virtual clocks, seeded jitter), so every
+// metric — including the trace-decoded blocked time — is golden-compared.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "bench_main.hpp"
+#include "netlist/generators.hpp"
+#include "partition/activity.hpp"
+#include "partition/algorithms.hpp"
+#include "stim/stimulus.hpp"
+#include "trace/critical_path.hpp"
+#include "trace/trace.hpp"
+#include "util/table.hpp"
+#include "vp/vp.hpp"
+
+using namespace plsim;
+
+namespace {
+
+/// Register-boundary partition of pipeline(width, stages): block s owns
+/// stage s's combinational cloud plus the *upstream* register row that
+/// feeds it, so every cross-block wire is a cloud-output-to-DFF-D-pin edge.
+/// Relies on the generator's deterministic gate order: inputs first, then
+/// per stage a 3*width-gate cloud followed by a width-gate DFF row.
+Partition stage_partition(const Circuit& c, std::uint32_t width,
+                          std::uint32_t stages) {
+  Partition p;
+  p.n_blocks = stages;
+  p.block_of.assign(c.gate_count(), 0);
+  const std::uint32_t per_stage = 4 * width;
+  for (GateId g = width; g < c.gate_count(); ++g) {
+    const std::uint32_t idx = g - width;
+    const std::uint32_t s = idx / per_stage;
+    p.block_of[g] = idx % per_stage < 3 * width
+                        ? s
+                        : std::min(s + 1, stages - 1);
+  }
+  return p;
+}
+
+/// One traced conservative VP run; returns the summed Blocked span time
+/// (virtual milli-units) decoded from the capture it produced.
+std::uint64_t traced_blocked_units(const Circuit& c, const Stimulus& stim,
+                                   const Partition& p, const VpConfig& cfg,
+                                   const std::string& base, VpResult* out) {
+  const std::uint32_t before =
+      trace::run_counter().load(std::memory_order_relaxed);
+  ::setenv("PLSIM_TRACE", (base + ":1048576").c_str(), 1);
+  *out = run_conservative_vp(c, stim, p, cfg);
+  ::unsetenv("PLSIM_TRACE");
+  const std::string path = trace::expected_numbered_path(base, before);
+  const ActivityProfile prof = activity_from_trace(c, path);
+  std::remove(path.c_str());
+  return prof.blocked_units;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchDriver driver("c14_speculation_control", argc, argv);
+  constexpr std::uint32_t kStages = 8;
+
+  VpConfig base;
+  base.lazy_cancellation = true;
+
+  // --- (A) conservative: classic vs adaptive lookahead, traced -------------
+  std::cout << "C14.A: conservative blocked time, classic vs adaptive "
+               "per-channel lookahead, register-boundary pipelines, P = "
+            << kStages << " (virtual platform, traced)\n\n";
+  Table atable({"gates", "blocked", "blocked(adapt)", "reduction", "nulls",
+                "nulls(adapt)", "speedup", "speedup(adapt)"});
+
+  for (std::uint32_t width : {16, 32, 64, 152}) {
+    auto timed = driver.phase("cons");
+    const Circuit c = pipeline(width, kStages, /*seed=*/1);
+    const Stimulus stim = random_stimulus(c, 20, 0.25, 7);
+    const Partition p = stage_partition(c, width, kStages);
+    const SequentialCost seq = sequential_cost(c, stim, base.cost);
+
+    VpConfig classic = base;
+    VpConfig adaptive = base;
+    adaptive.cons_adaptive_lookahead = true;
+
+    VpResult rc, ra;
+    const std::uint64_t bc =
+        traced_blocked_units(c, stim, p, classic, "c14_classic.bin", &rc);
+    const std::uint64_t ba =
+        traced_blocked_units(c, stim, p, adaptive, "c14_adaptive.bin", &ra);
+
+    const struct {
+      const char* variant;
+      const VpResult* r;
+      std::uint64_t blocked;
+    } passes[] = {{"classic", &rc, bc}, {"adaptive", &ra, ba}};
+    for (const auto& pass : passes) {
+      record_result(driver.run()
+                        .label("section", "cons_lookahead")
+                        .label("gates", static_cast<std::uint64_t>(c.gate_count()))
+                        .label("variant", pass.variant)
+                        .metric("blocked_units", pass.blocked),
+                    *pass.r, seq.work);
+    }
+    const double red = bc > 0 ? 1.0 - static_cast<double>(ba) / bc : 0.0;
+    atable.add_row({Table::fmt(static_cast<std::uint64_t>(c.gate_count())),
+                    Table::fmt(bc), Table::fmt(ba),
+                    Table::fmt(100.0 * red) + "%",
+                    Table::fmt(rc.stats.null_messages),
+                    Table::fmt(ra.stats.null_messages),
+                    Table::fmt(seq.work / rc.makespan),
+                    Table::fmt(seq.work / ra.makespan)});
+  }
+  atable.print(std::cout);
+
+  // --- (B) Time Warp: free vs critical-path-guided throttle ----------------
+  std::cout << "\nC14.B: Time Warp rollbacks, free vs critical-path-guided "
+               "throttle (off-path LPs: bounded window + sparse "
+               "checkpoints), cone partitions\n\n";
+  Table btable({"gates", "rollbacks", "rollbacks(cp)", "undone",
+                "undone(cp)", "speedup", "speedup(cp)", "bound"});
+
+  for (std::size_t size : {10000, 40000}) {
+    auto timed = driver.phase("tw");
+    const Circuit c = scaled_circuit(size, /*seed=*/1);
+    const Stimulus stim = random_stimulus(c, 20, 0.25, 7);
+    const Partition p = partition_cones(c, kStages);
+    const SequentialCost seq = sequential_cost(c, stim, base.cost);
+
+    // Per-LP slack + work from the causal-graph replay; off-path LPs get a
+    // one-clock-period window and 4-batch checkpoints.
+    const CriticalPathResult cp =
+        analyze_critical_path(c, stim, p, base.cost);
+    const CpGuidance g =
+        derive_cp_guidance(cp, /*window=*/stim.period,
+                           /*save_interval=*/4, /*slack_threshold=*/0.25);
+
+    VpConfig guided = base;
+    guided.lp_optimism = g.lp_optimism;
+    guided.lp_save_interval = g.lp_save_interval;
+
+    VpResult rf = run_timewarp_vp(c, stim, p, base);
+    VpResult rg = run_timewarp_vp(c, stim, p, guided);
+
+    std::uint64_t throttled = 0;
+    for (Tick w : g.lp_optimism) throttled += w > 0 ? 1 : 0;
+
+    const struct {
+      const char* variant;
+      const VpResult* r;
+    } passes[] = {{"free", &rf}, {"cp_guided", &rg}};
+    for (const auto& pass : passes) {
+      record_result(driver.run()
+                        .label("section", "tw_throttle")
+                        .label("gates", static_cast<std::uint64_t>(size))
+                        .label("variant", pass.variant)
+                        .metric("bound_speedup", cp.bound_speedup)
+                        .metric("throttled_lps", throttled)
+                        .metric("rolled_back_batches",
+                                pass.r->stats.rolled_back_batches),
+                    *pass.r, seq.work);
+    }
+    btable.add_row({Table::fmt(static_cast<std::uint64_t>(size)),
+                    Table::fmt(rf.stats.rollbacks),
+                    Table::fmt(rg.stats.rollbacks),
+                    Table::fmt(rf.stats.rolled_back_batches),
+                    Table::fmt(rg.stats.rolled_back_batches),
+                    Table::fmt(seq.work / rf.makespan),
+                    Table::fmt(seq.work / rg.makespan),
+                    Table::fmt(cp.bound_speedup)});
+  }
+  btable.print(std::cout);
+  std::cout << "\npaper: adaptive lookahead turns register-boundary cuts "
+               "into clock-period promises and cuts traced blocked time; "
+               "slack+work-guided throttling trades uncommittable "
+               "speculation for less rolled-back work at identical "
+               "makespan\n";
+  return driver.finish();
+}

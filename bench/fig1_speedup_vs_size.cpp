@@ -15,7 +15,9 @@
 #include "netlist/generators.hpp"
 #include "partition/activity.hpp"
 #include "partition/algorithms.hpp"
+#include "partition/schedule.hpp"
 #include "stim/stimulus.hpp"
+#include "trace/critical_path.hpp"
 #include "util/table.hpp"
 #include "vp/vp.hpp"
 
@@ -31,6 +33,7 @@ int main(int argc, char** argv) {
   Table table({"gates", "events", "sync", "conservative", "optimistic"});
   Table atable({"gates", "traffic", "traffic(act)", "sync(act)",
                 "conservative(act)", "optimistic(act)"});
+  Table stable({"gates", "conservative(sched)", "optimistic(cp)", "bound"});
 
   for (std::size_t size : sizes) {
     auto timed = driver.phase("run");
@@ -59,6 +62,22 @@ int main(int argc, char** argv) {
     const VpResult async_ = run_sync_vp(c, stim, ap, cfg);
     const VpResult acons = run_conservative_vp(c, stim, ap, cfg);
     const VpResult atw = run_timewarp_vp(c, stim, ap, cfg);
+
+    // Speculation-control series (ISSUE 9): conservative on the
+    // cache-schedule-ordered partition with adaptive per-channel lookahead,
+    // and Time Warp throttled by critical-path slack (off-path LPs get a
+    // bounded optimism window and sparse checkpoints).
+    const Partition sp = schedule_partition(c, p);
+    VpConfig scfg = cfg;
+    scfg.cons_adaptive_lookahead = true;
+    const VpResult scons = run_conservative_vp(c, stim, sp, scfg);
+    const CriticalPathResult cp = analyze_critical_path(c, stim, p, cfg.cost);
+    const CpGuidance guide =
+        derive_cp_guidance(cp, 2 * stim.period, 4, 0.25);
+    VpConfig tcfg = cfg;
+    tcfg.lp_optimism = guide.lp_optimism;
+    tcfg.lp_save_interval = guide.lp_save_interval;
+    const VpResult ttw = run_timewarp_vp(c, stim, p, tcfg);
 
     const std::uint64_t gates = size;
     record_result(driver.run()
@@ -92,6 +111,19 @@ int main(int argc, char** argv) {
                         .metric("cut_edges", ma.cut_edges),
                     *ar.r, seq.work);
     }
+    record_result(driver.run()
+                      .label("gates", gates)
+                      .label("engine", "conservative")
+                      .label("variant", "scheduled_adaptive")
+                      .metric("seq_events", seq.events),
+                  scons, seq.work);
+    record_result(driver.run()
+                      .label("gates", gates)
+                      .label("engine", "timewarp")
+                      .label("variant", "cp_guided")
+                      .metric("seq_events", seq.events)
+                      .metric("bound_speedup", cp.bound_speedup),
+                  ttw, seq.work);
 
     table.add_row({Table::fmt(static_cast<std::uint64_t>(size)),
                    Table::fmt(seq.events),
@@ -103,11 +135,18 @@ int main(int argc, char** argv) {
                     Table::fmt(seq.work / async_.makespan),
                     Table::fmt(seq.work / acons.makespan),
                     Table::fmt(seq.work / atw.makespan)});
+    stable.add_row({Table::fmt(static_cast<std::uint64_t>(size)),
+                    Table::fmt(seq.work / scons.makespan),
+                    Table::fmt(seq.work / ttw.makespan),
+                    Table::fmt(cp.bound_speedup)});
   }
   table.print(std::cout);
   std::cout << "\nactivity-weighted repartition (profile 8 cycles, then "
                "rerun):\n";
   atable.print(std::cout);
+  std::cout << "\nspeculation control (scheduled + adaptive-lookahead "
+               "conservative; critical-path-throttled Time Warp):\n";
+  stable.print(std::cout);
   std::cout << "\npaper: conservative < 2x at all sizes; synchronous and "
                "optimistic rise with size toward ~4-8x at 10^4+ elements\n";
   return driver.finish();

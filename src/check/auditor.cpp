@@ -121,15 +121,20 @@ void Auditor::on_lookahead(std::uint32_t lp, Tick lookahead) {
               "conservative channel lookahead must be >= 1 tick");
 }
 
-void Auditor::on_promise(std::uint32_t lp, Tick promise) {
+void Auditor::on_promise(std::uint32_t lp, std::uint32_t dst, Tick promise) {
   LpSlot& s = lps_[lp];
-  if (promise < s.last_promise) {
-    std::ostringstream os;
-    os << "promise " << promise << " regresses below earlier promise "
-       << s.last_promise;
-    violation("promise-monotonicity", lp, promise, os.str());
+  for (auto& [d, last] : s.last_promise) {
+    if (d != dst) continue;
+    if (promise < last) {
+      std::ostringstream os;
+      os << "promise " << promise << " to lp " << dst
+         << " regresses below earlier promise " << last;
+      violation("promise-monotonicity", lp, promise, os.str());
+    }
+    last = promise;
+    return;
   }
-  s.last_promise = promise;
+  s.last_promise.emplace_back(dst, promise);
 }
 
 void Auditor::on_send(std::uint32_t lp, Tick t, std::uint64_t copies) {

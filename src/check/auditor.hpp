@@ -104,8 +104,11 @@ class Auditor {
   void on_rollback(std::uint32_t lp, Tick to);
   /// Conservative channel lookahead for `lp` (must be >= 1 tick).
   void on_lookahead(std::uint32_t lp, Tick lookahead);
-  /// Conservative promise (null-message timestamp) emitted by `lp`.
-  void on_promise(std::uint32_t lp, Tick promise);
+  /// Conservative promise (null-message timestamp) emitted by `lp` on its
+  /// channel to `dst`. Promises are per-channel nondecreasing; with adaptive
+  /// lookahead different channels of one LP legitimately carry different
+  /// promises, so monotonicity is checked per (lp, dst).
+  void on_promise(std::uint32_t lp, std::uint32_t dst, Tick promise);
   /// `copies` messages carrying time t entered the transport from `lp`.
   void on_send(std::uint32_t lp, Tick t, std::uint64_t copies = 1);
   /// `copies` messages left the transport at `lp`.
@@ -164,7 +167,9 @@ class Auditor {
   // setup/finalize); padded so neighbouring LPs never share a cache line.
   struct alignas(64) LpSlot {
     Tick lvt = 0;             ///< next batch must be >= lvt
-    Tick last_promise = 0;    ///< conservative promises are nondecreasing
+    /// Last promise per destination (linear-scanned; conservative fan-out
+    /// per LP is small). Promises are nondecreasing per channel.
+    std::vector<std::pair<std::uint32_t, Tick>> last_promise;
     std::uint64_t sent = 0;
     std::uint64_t delivered = 0;
     std::uint64_t enqueued = 0;

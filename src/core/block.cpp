@@ -26,7 +26,33 @@ BlockSimulator::BlockSimulator(std::shared_ptr<const SimPlan> plan,
       save_(opts.save) {
   PLSIM_CHECK(opts_.horizon > 0, "BlockSimulator: horizon must be positive");
   PLSIM_CHECK(opts_.clock_period >= 1, "BlockSimulator: bad clock period");
+  PLSIM_CHECK(!opts_.track_lookahead || save_ == SaveMode::None,
+              "BlockSimulator: track_lookahead requires SaveMode::None");
   init_from_plan();
+}
+
+void BlockSimulator::set_save_interval(std::uint32_t k) {
+  PLSIM_CHECK(k >= 1, "set_save_interval: interval must be >= 1");
+  PLSIM_CHECK(k == 1 || save_ == SaveMode::Incremental,
+              "set_save_interval: sparse checkpoints are Incremental-only");
+  save_interval_ = k;
+}
+
+Tick BlockSimulator::next_wire_time() {
+  PLSIM_CHECK(opts_.track_lookahead,
+              "next_wire_time: track_lookahead is off");
+  // Lazy prune: batches are processed in increasing time order and gate
+  // delays are >= 1, so every heap entry <= last_processed_ is stale.
+  while (!wire_heap_.empty() && wire_heap_.top() <= last_processed_)
+    wire_heap_.pop();
+  return wire_heap_.empty() ? kTickInf : wire_heap_.top();
+}
+
+Tick BlockSimulator::next_clock_time() const {
+  if (bp_->dffs.empty()) return kTickInf;
+  const Tick base = last_processed_ - (last_processed_ % opts_.clock_period);
+  const Tick next = tick_add(base, opts_.clock_period);
+  return next >= opts_.horizon ? kTickInf : next;
 }
 
 BlockSimulator::BlockSimulator(const Circuit& circuit,
@@ -87,6 +113,7 @@ void BlockSimulator::log_projected(std::uint32_t li, Logic4 old_value) {
 void BlockSimulator::schedule(Tick when, std::uint32_t li, Logic4 v,
                               EventKind kind) {
   if (when >= opts_.horizon) return;
+  if (opts_.track_lookahead && kind == EventKind::Wire) wire_heap_.push(when);
   const Event e{when, li, v, kind, seq_counter_++};
   queue_.push(e);
   if (save_ == SaveMode::Incremental)
@@ -140,6 +167,8 @@ BatchStats BlockSimulator::process_batch(Tick t,
   if (save_ == SaveMode::Full) take_full_snapshot(t);
 
   BatchStats bs;
+  bs.checkpoint = batch_counter_ % save_interval_ == 0;
+  ++batch_counter_;
   const std::size_t out_before = out.size();
 
   ++eval_epoch_;
@@ -230,6 +259,7 @@ BatchStats BlockSimulator::process_batch(Tick t,
   stats_.messages += bs.messages_out;
   ++stats_.batches;
 
+  last_processed_ = t;
   in_batch_ = false;
   return bs;
 }

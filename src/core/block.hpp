@@ -28,7 +28,9 @@
 //            emitted immediately as a Message when the gate is exported.
 // Phase ordering makes the result independent of message arrival order.
 
+#include <functional>
 #include <memory>
+#include <queue>
 #include <span>
 #include <vector>
 
@@ -45,6 +47,10 @@ struct BlockOptions {
   Tick horizon = 0;        ///< simulate changes strictly before this time
   SaveMode save = SaveMode::None;
   bool record_trace = false;
+  /// Maintain next_wire_time()/next_clock_time() for adaptive conservative
+  /// lookahead. Requires SaveMode::None: rollback re-inserts events without
+  /// updating the wire-time heap, so the two are mutually exclusive.
+  bool track_lookahead = false;
 };
 
 /// Per-batch work counters, the currency of the virtual-platform cost model.
@@ -55,6 +61,10 @@ struct BatchStats {
   std::uint32_t messages_out = 0;
   std::uint64_t save_bytes = 0;
   std::uint32_t undo_entries = 0;
+  /// False when a sparse-checkpoint interval (set_save_interval > 1) skipped
+  /// this batch's fixed checkpoint cost. Cost-model accounting only: the
+  /// incremental undo log itself is always written, so rollback stays exact.
+  bool checkpoint = true;
 };
 
 class BlockSimulator {
@@ -132,6 +142,21 @@ class BlockSimulator {
   /// engine may promise on this block's outgoing channels.
   std::uint32_t export_lookahead() const { return bp_->export_lookahead; }
 
+  /// Checkpoint every k-th batch in the modelled cost (BatchStats.checkpoint);
+  /// k > 1 requires SaveMode::Incremental. The undo log is unaffected.
+  void set_save_interval(std::uint32_t k);
+
+  /// Earliest pending *wire* event time (kTickInf if none) — the clock-free
+  /// internal frontier that anchors adaptive lookahead's wire_dist term.
+  /// Requires BlockOptions::track_lookahead.
+  Tick next_wire_time();
+
+  /// Time of the next clock edge this block will process (kTickInf when the
+  /// block has no DFFs or the next edge falls at/after the horizon). Derived
+  /// from the last processed batch time: valid for conservative execution,
+  /// which processes batches in increasing time order.
+  Tick next_clock_time() const;
+
   std::span<const GateId> owned() const {
     return {bp_->to_global.data(), bp_->n_owned};
   }
@@ -187,6 +212,15 @@ class BlockSimulator {
   std::vector<std::uint32_t> change_counts_;    // by local index (owned only)
   LadderQueue queue_;                        // pooled, allocation-free hot path
   std::uint64_t seq_counter_ = 0;
+
+  // Adaptive-lookahead tracking (track_lookahead only): min-heap of pending
+  // wire-event times, lazily pruned against the last processed batch time.
+  std::priority_queue<Tick, std::vector<Tick>, std::greater<>> wire_heap_;
+  Tick last_processed_ = 0;
+
+  // Sparse-checkpoint accounting (cost model only; see BatchStats.checkpoint).
+  std::uint32_t save_interval_ = 1;
+  std::uint32_t batch_counter_ = 0;
 
   std::vector<Event> scratch_;               // popped events of current batch
 

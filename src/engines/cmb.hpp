@@ -59,6 +59,29 @@ class CmbOutChannel {
     return out;
   }
 
+  /// Adaptive-lookahead variant: release against an externally computed
+  /// promise (already a sound per-channel bound, e.g. the max of the classic
+  /// promise and the ChannelBounds distance terms). Adaptive bounds are not
+  /// monotone turn over turn — the wire frontier can drop when a nearer
+  /// event is scheduled — so the effective promise is clamped to never
+  /// regress below what was already promised, keeping the channel's
+  /// nondecreasing-timestamp contract intact.
+  Released release_at(Tick promise, Tick horizon) {
+    Released out;
+    const Tick eff = std::max(std::min(promise, horizon), promised_);
+    while (!buffer_.empty() && buffer_.top().time <= eff) {
+      out.real.push_back(buffer_.top());
+      buffer_.pop();
+    }
+    if (eff > promised_) {
+      promised_ = eff;
+      if (out.real.empty() || out.real.back().time < eff)
+        out.send_null = true;
+      out.promise = eff;
+    }
+    return out;
+  }
+
   /// Earliest buffered (unreleased) message timestamp; kTickInf if none.
   /// Deadlock detection must include these — the global minimum pending
   /// event may be sitting in a sender's buffer.

@@ -5,6 +5,7 @@
 #include "core/environment.hpp"
 #include "partition/activity.hpp"
 #include "partition/partition.hpp"
+#include "partition/schedule.hpp"
 
 namespace plsim {
 
@@ -87,6 +88,7 @@ RunResult merge_results(const Circuit& c, const BlockRig& rig,
     r.final_values = std::move(values);
   }
   if (record_trace) {
+    // plsim-lint: allow(block-order) — trace time order, not a block order
     std::sort(r.trace.begin(), r.trace.end(),
               [](const ChangeRecord& a, const ChangeRecord& b) {
                 if (a.time != b.time) return a.time < b.time;
@@ -101,6 +103,19 @@ Partition activity_repartition(const Circuit& c, const Stimulus& stim,
                                std::uint64_t seed) {
   const ActivityProfile prof = profile_activity(c, stim, cycles);
   return partition_with_activity(c, n_blocks, seed, prof);
+}
+
+Partition prepare_partition(const Circuit& c, const Stimulus& stim,
+                            const Partition& p, const EngineConfig& cfg) {
+  if (cfg.activity_feedback) {
+    const ActivityProfile prof = profile_activity(c, stim, cfg.activity_cycles);
+    Partition ap = partition_with_activity(c, p.n_blocks, cfg.activity_seed,
+                                           prof);
+    if (cfg.schedule_blocks)
+      ap = schedule_partition(c, ap, compress_counts(prof.messages));
+    return ap;
+  }
+  return schedule_partition(c, p);
 }
 
 void flush_block_activity(trace::Session& tsn, const BlockRig& rig) {

@@ -9,6 +9,7 @@
 #include "analyze/opt.hpp"
 #include "core/block.hpp"
 #include "core/types.hpp"
+#include "engines/engine.hpp"
 #include "engines/routing.hpp"
 #include "partition/partition.hpp"
 #include "stim/stimulus.hpp"
@@ -68,6 +69,14 @@ RunResult merge_results(const Circuit& c, const BlockRig& rig,
 Partition activity_repartition(const Circuit& c, const Stimulus& stim,
                                std::uint32_t n_blocks, std::size_t cycles,
                                std::uint64_t seed);
+
+/// First pass shared by every engine's partition-shaping driver: apply
+/// activity feedback (when cfg.activity_feedback) and/or cache-aware block
+/// scheduling (when cfg.schedule_blocks; activity-weighted when both are
+/// on). The caller reruns itself on the returned partition with both flags
+/// cleared. Deterministic for fixed inputs.
+Partition prepare_partition(const Circuit& c, const Stimulus& stim,
+                            const Partition& p, const EngineConfig& cfg);
 
 /// Append per-gate activity summary records (Kind::GateEval / Kind::NetMsg,
 /// original-circuit gate ids) to an armed trace session — the data

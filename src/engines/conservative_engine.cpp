@@ -12,6 +12,7 @@
 #include "engines/cmb.hpp"
 #include "engines/common.hpp"
 #include "engines/engine.hpp"
+#include "engines/lookahead.hpp"
 #include "parallel/mailbox.hpp"
 #include "parallel/threads.hpp"
 #include "trace/trace.hpp"
@@ -21,13 +22,24 @@ namespace plsim {
 
 RunResult run_conservative(const Circuit& c, const Stimulus& stim,
                            const Partition& p, const EngineConfig& cfg) {
-  if (cfg.activity_feedback) {
-    const Partition ap = activity_repartition(c, stim, p.n_blocks,
-                                              cfg.activity_cycles,
-                                              cfg.activity_seed);
+  validate_engine_config(cfg, p.n_blocks, "conservative");
+  if (cfg.cp_guided) {
+    // A conservative promise cannot soundly use critical-path slack (it must
+    // hold for every execution), so cp_guided maps to the sound attacks on
+    // the same blocked time: adaptive per-channel lookahead plus cache-aware
+    // block scheduling.
+    EngineConfig cfg2 = cfg;
+    cfg2.cp_guided = false;
+    cfg2.adaptive_lookahead = true;
+    cfg2.schedule_blocks = true;
+    return run_conservative(c, stim, p, cfg2);
+  }
+  if (cfg.activity_feedback || cfg.schedule_blocks) {
+    const Partition p2 = prepare_partition(c, stim, p, cfg);
     EngineConfig cfg2 = cfg;
     cfg2.activity_feedback = false;
-    return run_conservative(c, stim, ap, cfg2);
+    cfg2.schedule_blocks = false;
+    return run_conservative(c, stim, p2, cfg2);
   }
 
   WallTimer timer;
@@ -37,7 +49,12 @@ RunResult run_conservative(const Circuit& c, const Stimulus& stim,
   bopts.horizon = stim.horizon();
   bopts.save = SaveMode::None;
   bopts.record_trace = cfg.record_trace;
+  bopts.track_lookahead = cfg.adaptive_lookahead;
   BlockRig rig = make_rig(c, stim, p, bopts, cfg.plan_opt, cfg.keep);
+
+  std::optional<ChannelBounds> bounds;
+  if (cfg.adaptive_lookahead)
+    bounds.emplace(build_channel_bounds(*rig.plan, rig.routing));
 
   const std::uint32_t n = p.n_blocks;
   const Tick horizon = bopts.horizon;
@@ -122,8 +139,49 @@ RunResult run_conservative(const Circuit& c, const Stimulus& stim,
       if (!in.staged_empty())
         frontier = std::min(frontier, in.staged_top_time());
 
+      // Per-root frontiers for the adaptive per-channel bounds: each event
+      // root — pending internal events, staged + unreceived channel input,
+      // future stimulus, the next clock edge — pairs with its own static
+      // distance to the destination instead of collapsing into one
+      // block-wide frontier + minimum chain.
+      Tick next_wire = kTickInf;
+      Tick in_low = kTickInf;
+      Tick env_next = kTickInf;
+      Tick next_clock = kTickInf;
+      if (bounds) {
+        next_wire = blk.next_wire_time();
+        in_low = safe;
+        if (!in.staged_empty()) in_low = std::min(in_low, in.staged_top_time());
+        if (env_pos < env.size()) env_next = env[env_pos].time;
+        next_clock = blk.next_clock_time();
+      }
+
       for (CmbOutChannel& ch : outs) {
-        auto rel = ch.release(frontier, horizon);
+        CmbOutChannel::Released rel;
+        if (bounds) {
+          const Tick classic =
+              std::min(horizon, tick_add(frontier, blk.export_lookahead()));
+          Tick adaptive = kTickInf;
+          const Tick wd = bounds->wire(b, ch.dst());
+          if (wd != kTickInf && next_wire != kTickInf)
+            adaptive = std::min(adaptive, tick_add(next_wire, wd));
+          const Tick rv = bounds->recv(b, ch.dst());
+          if (rv != kTickInf && in_low != kTickInf)
+            adaptive = std::min(adaptive, tick_add(in_low, rv));
+          const Tick ed = bounds->env(b, ch.dst());
+          if (ed != kTickInf && env_next != kTickInf)
+            adaptive = std::min(adaptive, tick_add(env_next, ed));
+          const Tick cd = bounds->clock(b, ch.dst());
+          if (cd != kTickInf && next_clock != kTickInf)
+            adaptive = std::min(adaptive, tick_add(next_clock, cd));
+          // adaptive == kTickInf means no chain can ever message dst (e.g. a
+          // channel that exists only for a primary input, which travels via
+          // the environment): promise the horizon outright.
+          rel = ch.release_at(std::max(classic, std::min(adaptive, horizon)),
+                              horizon);
+        } else {
+          rel = ch.release(frontier, horizon);
+        }
         sendbuf.clear();
         for (const Message& m : rel.real) {
           sendbuf.push_back(CmbMsg{m, b, false});
@@ -135,7 +193,7 @@ RunResult run_conservative(const Circuit& c, const Stimulus& stim,
               CmbMsg{Message{rel.promise, kNoGate, Logic4::X}, b, true});
           ++nulls[b];
           if (aud) {
-            aud->on_promise(b, rel.promise);
+            aud->on_promise(b, ch.dst(), rel.promise);
             aud->on_send(b, rel.promise);
           }
           PLSIM_TRACE_MARK(tl, NullMsg, rel.promise, ch.dst());

@@ -49,6 +49,21 @@ struct EngineConfig {
   std::size_t activity_cycles = 8;  ///< profiling run length (stim vectors)
   std::uint64_t activity_seed = 1;  ///< repartition seed
 
+  /// Cache-aware block scheduling (src/partition/schedule.hpp): renumber the
+  /// partition's blocks along the cut-structure schedule before building the
+  /// rig, so blocks sharing boundary nets get adjacent SimPlan value slices.
+  /// Composes with activity_feedback (the schedule is then weighted by the
+  /// profiled per-net traffic). Results are bit-exact either way; the block
+  /// schedule itself is deterministic (see BlockSchedule::digest).
+  bool schedule_blocks = false;
+
+  // --- Conservative knobs ---
+  /// Adaptive lookahead: promise each channel max(classic, per-channel
+  /// structural distance bound) — see engines/lookahead.hpp. Bit-exact;
+  /// cuts null messages and blocked waits when exported gates sit deep in
+  /// the source block or the near-term frontier is only a clock edge.
+  bool adaptive_lookahead = false;
+
   // --- Oblivious knobs ---
   /// Evaluate on the 64-lane packed value plane (sim/packed.hpp): every lane
   /// carries the broadcast stimulus and lane 0 is extracted at the end, so
@@ -68,7 +83,35 @@ struct EngineConfig {
   bool lazy_cancellation = false;  ///< Gafni's lazy cancellation (§IV)
   std::uint32_t gvt_interval = 64; ///< batches between GVT reductions
   Tick optimism_window = 0;        ///< LVT may lead GVT by at most this (0 = unbounded)
+  /// Per-LP optimism windows overriding optimism_window ([n_blocks]; entry 0
+  /// = that LP is unbounded). Mutually exclusive with a global window.
+  std::vector<Tick> lp_optimism;
+  /// Modelled checkpoint interval in batches (Incremental only; cost-model
+  /// accounting — the undo log stays dense so rollback is exact).
+  std::uint32_t save_interval = 1;
+  /// Per-LP checkpoint intervals overriding save_interval ([n_blocks]).
+  std::vector<std::uint32_t> lp_save_interval;
+
+  // --- Critical-path-guided speculation control (two-pass driver) ---
+  /// Analyze the critical path first, then rerun with per-LP slack steering
+  /// speculation: off-path LPs (relative slack > cp_slack_threshold) get a
+  /// bounded optimism window (cp_window) and sparse checkpoints
+  /// (cp_save_interval); on-path LPs run unthrottled. For the conservative
+  /// engine this maps to adaptive_lookahead + schedule_blocks (a
+  /// conservative promise cannot soundly use slack, but the structural
+  /// bounds attack the same blocked time).
+  bool cp_guided = false;
+  Tick cp_window = 32;
+  std::uint32_t cp_save_interval = 4;
+  double cp_slack_threshold = 0.25;
 };
+
+/// Reject contradictory knob combinations with a structured plsim::Error
+/// (message prefixed "EngineConfig[<engine>]") instead of letting them
+/// silently misbehave. Called by every threaded engine on entry; `n_blocks`
+/// checks per-LP vector sizes.
+void validate_engine_config(const EngineConfig& cfg, std::uint32_t n_blocks,
+                            const char* engine);
 
 /// Synchronous (global-clock) engine: barrier per distinct event time.
 RunResult run_synchronous(const Circuit& c, const Stimulus& stim,

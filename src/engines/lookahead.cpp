@@ -1,0 +1,104 @@
+#include "engines/lookahead.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace plsim {
+
+ChannelBounds build_channel_bounds(const SimPlan& sp, const Routing& routing) {
+  const std::uint32_t n = routing.n_blocks;
+  PLSIM_CHECK(sp.n_blocks() == n, "build_channel_bounds: plan/routing mismatch");
+  ChannelBounds cb;
+  cb.n_blocks = n;
+  cb.wire_dist.assign(static_cast<std::size_t>(n) * n, kTickInf);
+  cb.recv_dist.assign(static_cast<std::size_t>(n) * n, kTickInf);
+  cb.env_dist.assign(static_cast<std::size_t>(n) * n, kTickInf);
+  cb.clock_dist.assign(static_cast<std::size_t>(n) * n, kTickInf);
+
+  // Entry classification: which owned gates can an event root first reach?
+  // Bit 0 (recv): the gate consumes a remote, channel-carried driver —
+  // anything but inputs and constants, whose changes travel through the
+  // environment stream, never as channel messages. Bit 1 (env): the gate
+  // consumes an environment-driven gate (primary input, constant onset, or a
+  // DFF's t=0 initial value, all delivered directly to every consuming
+  // block).
+  std::vector<std::uint8_t> entry(sp.size(), 0);
+  for (std::uint32_t pi = 0; pi < sp.size(); ++pi) {
+    const PlanGate& pg = sp.gate(pi);
+    const bool env_carried =
+        pg.op == GateType::Input || pg.op == GateType::Const0 ||
+        pg.op == GateType::Const1;
+    const bool env_driver = env_carried || pg.op == GateType::Dff;
+    for (const std::uint32_t u : sp.fanouts(pg)) {
+      std::uint8_t bits = 0;
+      if (!env_carried && sp.block_of(u) != sp.block_of(pi)) bits |= 1;
+      if (env_driver) bits |= 2;
+      entry[u] |= bits;
+    }
+  }
+
+  // D[pi] = min delay from "gate pi evaluates at t" to "a message to dst is
+  // emitted", kTickInf when no owned chain from pi reaches dst. Computed in
+  // decreasing level order so every owned combinational consumer is done
+  // before its producer (comb levels are strictly increasing along fanout).
+  std::vector<Tick> dist(sp.size(), kTickInf);
+  std::vector<std::uint32_t> comb;   // owned evaluable gates, by block
+  std::vector<std::uint32_t> sinks;  // owned DFF plan indices, by block
+  for (std::uint32_t b = 0; b < n; ++b) {
+    comb.clear();
+    sinks.clear();
+    for (std::uint32_t pi = 0; pi < sp.size(); ++pi) {
+      if (sp.block_of(pi) != b) continue;
+      const PlanGate& pg = sp.gate(pi);
+      if (pg.op == GateType::Dff) sinks.push_back(pi);
+      // Gates with no fanins (inputs, constants, DFF outputs) are never the
+      // first gate *evaluated* by a wire event; their changes arrive via the
+      // environment or the clock and are bounded by those terms instead.
+      if (pg.is_comb != 0 && pg.fanin_count > 0) comb.push_back(pi);
+    }
+    // plsim-lint: allow(block-order) — DP evaluation order, not a block order
+    std::stable_sort(comb.begin(), comb.end(),
+                     [&](std::uint32_t a, std::uint32_t c) {
+                       return sp.gate(a).level > sp.gate(c).level;
+                     });
+    for (std::uint32_t dst = 0; dst < n; ++dst) {
+      if (dst == b || !routing.has_channel(b, dst)) continue;
+      // Continuation of a change at plan index pi: 0 if pi itself is
+      // messaged to dst, else the cheapest owned comb consumer's D.
+      auto chain_from = [&](std::uint32_t pi) {
+        const auto& d = routing.dests[sp.gate_of(pi)];
+        Tick chain =
+            std::binary_search(d.begin(), d.end(), dst) ? 0 : kTickInf;
+        for (const std::uint32_t u : sp.fanouts(sp.gate(pi)))
+          if (sp.block_of(u) == b) chain = std::min(chain, dist[u]);
+        return chain;
+      };
+      for (const std::uint32_t pi : comb) dist[pi] = kTickInf;
+      Tick wd = kTickInf, rv = kTickInf, ed = kTickInf;
+      for (const std::uint32_t pi : comb) {
+        const Tick chain = chain_from(pi);
+        if (chain != kTickInf)
+          dist[pi] = tick_add(sp.gate(pi).delay, chain);
+        wd = std::min(wd, dist[pi]);
+        if (dist[pi] == kTickInf) continue;
+        if (entry[pi] & 1) rv = std::min(rv, dist[pi]);
+        if (entry[pi] & 2) ed = std::min(ed, dist[pi]);
+      }
+      const std::size_t at = static_cast<std::size_t>(b) * n + dst;
+      cb.wire_dist[at] = wd;
+      cb.recv_dist[at] = rv;
+      cb.env_dist[at] = ed;
+      Tick cd = kTickInf;
+      for (const std::uint32_t pi : sinks) {
+        const Tick chain = chain_from(pi);
+        if (chain != kTickInf)
+          cd = std::min(cd, tick_add(sp.gate(pi).delay, chain));
+      }
+      cb.clock_dist[at] = cd;
+    }
+  }
+  return cb;
+}
+
+}  // namespace plsim

@@ -1,0 +1,92 @@
+#pragma once
+// Adaptive conservative lookahead: static per-channel distance bounds.
+//
+// The classic null-message protocol promises `frontier + lookahead` where
+// lookahead is one global minimum gate delay per source block. That bound is
+// loose twice over: (1) it charges every channel the same distance even when
+// the gates exported to a particular destination sit several logic levels
+// deep, and (2) it anchors at the block's full frontier even when the
+// individual event sources — pending internal events, unreceived channel
+// input, future stimulus, the next clock edge — each have a known, and
+// usually much longer, distance to that destination.
+//
+// build_channel_bounds() computes, per (src, dst) channel, four static
+// distances over the source block's owned subgraph:
+//
+//   wire_dist:  the minimum delay sum of any combinational chain that starts
+//               at a gate evaluation (triggered by some wire event) and ends
+//               at a gate whose change is messaged to dst.
+//   recv_dist:  the same minimum restricted to chains entered at a
+//               boundary-receiving gate — an owned gate with a remote,
+//               channel-carried fanin. Unreceived (and staged) channel input
+//               can only reach dst through these gates, and an FM-style
+//               min-cut partition leaves few of them, typically far from the
+//               dst-facing boundary, so recv_dist >> wire_dist is common.
+//   env_dist:   the minimum for chains entered at a consumer of an
+//               environment-driven gate (primary input, constant, or DFF
+//               initial value — all delivered to every consuming block
+//               directly, never through channels).
+//   clock_dist: the minimum for chains rooted at a DFF clock sampling (the
+//               DFF's own delay plus the cheapest exported-to-dst
+//               continuation).
+//
+// At run time the engine promises
+//
+//   max(frontier + lookahead,                 // classic, always sound
+//       min(next_wire  + wire_dist,           // pending internal events
+//           in_low     + recv_dist,           // staged + unreceived input
+//           env_next   + env_dist,            // future stimulus vectors
+//           next_clock + clock_dist))         // clock-rooted chains
+//
+// where in_low = min(channel-safe time, staged message time). Every message
+// the block will ever send to dst descends from one of those four roots, so
+// each term is a sound lower bound and the max with the classic promise
+// stays sound. The split is what makes the bound bite: the classic promise
+// (and the collapsed frontier_nc + wire_dist form) anchors every root at the
+// *global* earliest event with the *block-wide* shortest chain, while the
+// null-message fixpoint is paced by the channel-input term alone — promises
+// now advance by recv_dist per null round instead of one minimum gate delay.
+//
+// kTickInf in any table means "no such chain": a channel that only exists
+// because a primary input fans out across the cut (input changes travel via
+// the environment, never as channel messages) gets kTickInf in all tables
+// and can be promised the horizon outright.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+#include "engines/routing.hpp"
+#include "sim/plan.hpp"
+
+namespace plsim {
+
+/// Static per-channel lower bounds on message distance, indexed
+/// [src * n_blocks + dst]; kTickInf = no chain of that root reaches dst.
+struct ChannelBounds {
+  std::uint32_t n_blocks = 0;
+  std::vector<Tick> wire_dist;
+  std::vector<Tick> recv_dist;
+  std::vector<Tick> env_dist;
+  std::vector<Tick> clock_dist;
+
+  Tick wire(std::uint32_t src, std::uint32_t dst) const {
+    return wire_dist[static_cast<std::size_t>(src) * n_blocks + dst];
+  }
+  Tick recv(std::uint32_t src, std::uint32_t dst) const {
+    return recv_dist[static_cast<std::size_t>(src) * n_blocks + dst];
+  }
+  Tick env(std::uint32_t src, std::uint32_t dst) const {
+    return env_dist[static_cast<std::size_t>(src) * n_blocks + dst];
+  }
+  Tick clock(std::uint32_t src, std::uint32_t dst) const {
+    return clock_dist[static_cast<std::size_t>(src) * n_blocks + dst];
+  }
+};
+
+/// One DP per (block, channel) over the block's owned combinational gates in
+/// decreasing level order. Both `sp` and `routing` must come from the same
+/// (possibly optimizer-remapped) circuit/partition pair — i.e. the rig's.
+ChannelBounds build_channel_bounds(const SimPlan& sp, const Routing& routing);
+
+}  // namespace plsim

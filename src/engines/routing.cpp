@@ -16,6 +16,7 @@ Routing build_routing(const Circuit& c, const Partition& p) {
       const std::uint32_t b = p.block_of[s];
       if (b != owner) d.push_back(b);
     }
+    // plsim-lint: allow(block-order) — destination-list dedup, not an order
     std::sort(d.begin(), d.end());
     d.erase(std::unique(d.begin(), d.end()), d.end());
     for (std::uint32_t b : d)

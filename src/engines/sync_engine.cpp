@@ -20,13 +20,13 @@ namespace plsim {
 
 RunResult run_synchronous(const Circuit& c, const Stimulus& stim,
                           const Partition& p, const EngineConfig& cfg) {
-  if (cfg.activity_feedback) {
-    const Partition ap = activity_repartition(c, stim, p.n_blocks,
-                                              cfg.activity_cycles,
-                                              cfg.activity_seed);
+  validate_engine_config(cfg, p.n_blocks, "synchronous");
+  if (cfg.activity_feedback || cfg.schedule_blocks) {
+    const Partition p2 = prepare_partition(c, stim, p, cfg);
     EngineConfig cfg2 = cfg;
     cfg2.activity_feedback = false;
-    return run_synchronous(c, stim, ap, cfg2);
+    cfg2.schedule_blocks = false;
+    return run_synchronous(c, stim, p2, cfg2);
   }
 
   WallTimer timer;

@@ -19,6 +19,7 @@
 #include "engines/common.hpp"
 #include "engines/engine.hpp"
 #include "parallel/guarded.hpp"
+#include "trace/critical_path.hpp"
 #include "parallel/mailbox.hpp"
 #include "parallel/threads.hpp"
 #include "trace/trace.hpp"
@@ -89,13 +90,26 @@ struct LpState {
 
 RunResult run_timewarp(const Circuit& c, const Stimulus& stim,
                        const Partition& p, const EngineConfig& cfg) {
-  if (cfg.activity_feedback) {
-    const Partition ap = activity_repartition(c, stim, p.n_blocks,
-                                              cfg.activity_cycles,
-                                              cfg.activity_seed);
+  validate_engine_config(cfg, p.n_blocks, "timewarp");
+  // Partition shaping first (it renumbers block ids), critical-path guidance
+  // second (its per-LP vectors must index the final block ids).
+  if (cfg.activity_feedback || cfg.schedule_blocks) {
+    const Partition p2 = prepare_partition(c, stim, p, cfg);
     EngineConfig cfg2 = cfg;
     cfg2.activity_feedback = false;
-    return run_timewarp(c, stim, ap, cfg2);
+    cfg2.schedule_blocks = false;
+    return run_timewarp(c, stim, p2, cfg2);
+  }
+  if (cfg.cp_guided) {
+    const CriticalPathResult cp = analyze_critical_path(c, stim, p,
+                                                        CostModel{});
+    const CpGuidance guide = derive_cp_guidance(
+        cp, cfg.cp_window, cfg.cp_save_interval, cfg.cp_slack_threshold);
+    EngineConfig cfg2 = cfg;
+    cfg2.cp_guided = false;
+    cfg2.lp_optimism = guide.lp_optimism;
+    cfg2.lp_save_interval = guide.lp_save_interval;
+    return run_timewarp(c, stim, p, cfg2);
   }
 
   WallTimer timer;
@@ -106,6 +120,11 @@ RunResult run_timewarp(const Circuit& c, const Stimulus& stim,
   bopts.save = cfg.save == SaveMode::None ? SaveMode::Incremental : cfg.save;
   bopts.record_trace = cfg.record_trace;
   BlockRig rig = make_rig(c, stim, p, bopts, cfg.plan_opt, cfg.keep);
+  if (!cfg.lp_save_interval.empty() || cfg.save_interval > 1)
+    for (std::uint32_t b = 0; b < p.n_blocks; ++b)
+      rig.blocks[b]->set_save_interval(cfg.lp_save_interval.empty()
+                                           ? cfg.save_interval
+                                           : cfg.lp_save_interval[b]);
 
   const std::uint32_t n = p.n_blocks;
   const Tick horizon = bopts.horizon;
@@ -129,17 +148,33 @@ RunResult run_timewarp(const Circuit& c, const Stimulus& stim,
     if (tid == n) {
       trace::Lane* gl = tsn.lane(n);
       std::uint64_t rounds = 0;
+      std::vector<PublishedRec> snap(n);
       for (;;) {
+        // Two sweeps, seqlock style. The slots are read one at a time, so a
+        // single sweep is a staggered cut: two messages crossing it in
+        // opposite directions leave compensating +1/-1 count errors and the
+        // aggregate sent == recv test matches with a straggler still in
+        // flight. The counters are monotone, so if every slot shows the same
+        // counts in both sweeps they were constant over the whole gap between
+        // the sweeps, and the reads are equivalent to one instantaneous
+        // snapshot taken in that gap.
+        for (std::uint32_t b = 0; b < n; ++b)
+          published[b].rec.with([&](const PublishedRec& pub) {
+            snap[b] = pub;
+          });
         Tick min_time = kTickInf;
         std::uint64_t sent = 0, recv = 0;
-        for (std::uint32_t b = 0; b < n; ++b) {
+        bool stable = true;
+        for (std::uint32_t b = 0; b < n && stable; ++b) {
           published[b].rec.with([&](const PublishedRec& pub) {
+            stable = pub.sent == snap[b].sent &&
+                     pub.received == snap[b].received;
             min_time = std::min(min_time, pub.min_time);
             sent += pub.sent;
             recv += pub.received;
           });
         }
-        if (sent == recv) {
+        if (stable && sent == recv) {
           // Consistent cut: no message is in flight, so min_time is a valid
           // lower bound on all future processing.
           ++rounds;
@@ -174,21 +209,26 @@ RunResult run_timewarp(const Circuit& c, const Stimulus& stim,
     std::vector<std::vector<TwMsg>> outbuf(n);
 
     auto publish = [&](std::uint64_t d_sent, std::uint64_t d_recv) {
-      // Flush before updating the record: a sent-count must never be
-      // published for a message that is not yet visible in its mailbox, or
-      // the GVT coordinator could see a matched cut with messages in flight.
-      for (std::uint32_t dst = 0; dst < n; ++dst) {
-        if (!outbuf[dst].empty()) {
-          inbox[dst].push_many(outbuf[dst]);
-          outbuf[dst].clear();
-        }
-      }
+      // Count before flushing (Samadi's rule): the sent-count must be
+      // published before the messages become visible in any mailbox. That
+      // way `sent` over-approximates and `received` under-approximates the
+      // messages actually delivered at every instant, so an instantaneous
+      // sent == recv reading really does mean nothing is in flight. The
+      // opposite order opens a window where a receiver has drained and
+      // counted a message whose send is still unpublished, and the
+      // coordinator can match a cut with a straggler in flight.
       const Tick lm = lp.local_min(horizon);
       published[b].rec.with([&](PublishedRec& pub) {
         pub.min_time = lm;
         pub.sent += d_sent;
         pub.received += d_recv;
       });
+      for (std::uint32_t dst = 0; dst < n; ++dst) {
+        if (!outbuf[dst].empty()) {
+          inbox[dst].push_many(outbuf[dst]);
+          outbuf[dst].clear();
+        }
+      }
     };
 
     auto send = [&](const TwMsg& m) {
@@ -301,9 +341,10 @@ RunResult run_timewarp(const Circuit& c, const Stimulus& stim,
       }
       if (lazy_pushed > 0) publish(lazy_pushed, 0);
 
+      const Tick window = cfg.lp_optimism.empty() ? cfg.optimism_window
+                                                  : cfg.lp_optimism[b];
       const bool throttled =
-          cfg.optimism_window > 0 && nt > current_gvt &&
-          nt - current_gvt > cfg.optimism_window;
+          window > 0 && nt > current_gvt && nt - current_gvt > window;
 
       if (nt >= horizon || throttled) {
         // Nothing (allowed) to do: wait for messages or a GVT advance.

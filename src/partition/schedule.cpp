@@ -1,0 +1,106 @@
+#include "partition/schedule.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace plsim {
+
+namespace {
+
+constexpr std::uint32_t kNoBlockSel = 0xffffffffu;
+
+// FNV-1a over the order words, byte by byte.
+std::uint64_t order_digest(const std::vector<std::uint32_t>& order) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const std::uint32_t v : order) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      h ^= (v >> shift) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+BlockSchedule build_block_schedule(const Circuit& c, const Partition& p,
+                                   std::span<const std::uint32_t> activity) {
+  validate_partition(c, p);
+  PLSIM_CHECK(activity.empty() || activity.size() == c.gate_count(),
+              "build_block_schedule: activity size mismatch");
+  const std::uint32_t n = p.n_blocks;
+
+  // Symmetric block adjacency: w(a, b) accumulates the activity (or 1) of
+  // every gate with a cross-block fanout between a and b. Dests are deduped
+  // per gate so a multi-fanout net counts once per (gate, block) pair, the
+  // same granularity at which the engines emit one message per exported gate.
+  std::vector<std::uint64_t> w(static_cast<std::size_t>(n) * n, 0);
+  std::vector<std::uint32_t> dsts;
+  for (GateId g = 0; g < c.gate_count(); ++g) {
+    const std::uint32_t a = p.block_of[g];
+    dsts.clear();
+    for (const GateId s : c.fanouts(g)) {
+      const std::uint32_t b = p.block_of[s];
+      if (b != a) dsts.push_back(b);
+    }
+    std::sort(dsts.begin(), dsts.end());
+    dsts.erase(std::unique(dsts.begin(), dsts.end()), dsts.end());
+    const std::uint64_t act = activity.empty() ? 1 : activity[g];
+    for (const std::uint32_t b : dsts) {
+      w[static_cast<std::size_t>(a) * n + b] += act;
+      w[static_cast<std::size_t>(b) * n + a] += act;
+    }
+  }
+
+  std::vector<std::uint64_t> total(n, 0);
+  for (std::uint32_t a = 0; a < n; ++a)
+    for (std::uint32_t b = 0; b < n; ++b)
+      total[a] += w[static_cast<std::size_t>(a) * n + b];
+
+  // Greedy heaviest chain. All ties break toward the lowest block id, so the
+  // schedule is a pure function of (circuit, partition, activity).
+  BlockSchedule s;
+  s.order.reserve(n);
+  std::vector<std::uint8_t> used(n, 0);
+  auto heaviest_unused = [&](const std::uint64_t* row) {
+    std::uint32_t best = kNoBlockSel;
+    std::uint64_t best_w = 0;
+    for (std::uint32_t b = 0; b < n; ++b) {
+      if (used[b]) continue;
+      const std::uint64_t wb = row == nullptr ? total[b] : row[b];
+      if (best == kNoBlockSel || wb > best_w) {
+        best = b;
+        best_w = wb;
+      }
+    }
+    return row != nullptr && best_w == 0 ? kNoBlockSel : best;
+  };
+  while (s.order.size() < n) {
+    std::uint32_t next = kNoBlockSel;
+    if (!s.order.empty()) {
+      const std::uint32_t tail = s.order.back();
+      next = heaviest_unused(&w[static_cast<std::size_t>(tail) * n]);
+    }
+    if (next == kNoBlockSel) next = heaviest_unused(nullptr);
+    used[next] = 1;
+    s.order.push_back(next);
+  }
+  s.digest = order_digest(s.order);
+  return s;
+}
+
+Partition schedule_partition(const Circuit& c, const Partition& p,
+                             std::span<const std::uint32_t> activity) {
+  const BlockSchedule s = build_block_schedule(c, p, activity);
+  std::vector<std::uint32_t> new_of_old(p.n_blocks);
+  for (std::uint32_t i = 0; i < p.n_blocks; ++i) new_of_old[s.order[i]] = i;
+  Partition q;
+  q.n_blocks = p.n_blocks;
+  q.block_of.resize(p.block_of.size());
+  for (std::size_t g = 0; g < p.block_of.size(); ++g)
+    q.block_of[g] = new_of_old[p.block_of[g]];
+  return q;
+}
+
+}  // namespace plsim

@@ -1,0 +1,61 @@
+#pragma once
+// Cache-aware block scheduling (ISSUE 9): a static evaluation order over the
+// partition's blocks, computed once from the cut structure (optionally
+// activity-weighted), such that blocks sharing boundary nets run
+// back-to-back.
+//
+// Why ordering matters: SimPlan assigns plan indices block by block
+// (partition-first renumbering), so each block's slice of any plan-indexed
+// array is dense. Renumbering the *blocks* along the schedule makes
+// schedule-adjacent blocks occupy adjacent value slices — the boundary nets
+// two communicating blocks share are then likely still cache-resident when
+// the second block of the pair runs, and the per-tick sweep of a worker's
+// blocks walks plan memory nearly monotonically instead of hopping.
+//
+// This is the only module allowed to order blocks (lint rule `block-order`):
+// engines consume a scheduled Partition from schedule_partition() and keep
+// their own loops in plain block-id order, which after renumbering *is* the
+// schedule. Results are bit-exact under any ordering — the schedule is purely
+// a locality optimization — and the order is deterministic for fixed inputs
+// (ties break toward the lowest block id), which the schedule-determinism
+// tests pin down across worker counts.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+#include "partition/partition.hpp"
+
+namespace plsim {
+
+/// A block evaluation order plus a digest for determinism tests.
+struct BlockSchedule {
+  /// Blocks in schedule order: order[i] is the i-th block to run.
+  std::vector<std::uint32_t> order;
+  /// FNV-1a over the order bytes — byte-identical schedules have equal
+  /// digests, so tests can compare schedules across runs/worker counts
+  /// without serializing them.
+  std::uint64_t digest = 0;
+};
+
+/// Compute the schedule for (c, p): greedy heaviest-chain ordering on the
+/// symmetric block adjacency graph whose edge weight (a, b) sums, over every
+/// gate of a with a fanout in b (and vice versa), the gate's activity —
+/// `activity` is a per-gate message/toggle count (compress_counts of an
+/// ActivityProfile), or empty for unit weights (static cut edges). The chain
+/// starts at the most-connected block and always appends the unvisited block
+/// most heavily connected to the current tail (falling back to the
+/// most-connected unvisited block when the tail has no unvisited neighbour).
+BlockSchedule build_block_schedule(const Circuit& c, const Partition& p,
+                                   std::span<const std::uint32_t> activity = {});
+
+/// Renumber p's blocks along the schedule: block order[i] becomes block i, so
+/// schedule-adjacent blocks get consecutive ids and — through SimPlan's
+/// partition-first renumbering — memory-adjacent value slices. The gate->
+/// block assignment (and therefore every result) is unchanged up to block
+/// labels. Feed the *returned* partition to make_rig / the VP executors.
+Partition schedule_partition(const Circuit& c, const Partition& p,
+                             std::span<const std::uint32_t> activity = {});
+
+}  // namespace plsim

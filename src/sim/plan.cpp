@@ -23,8 +23,10 @@ std::shared_ptr<const SimPlan> SimPlan::build(
   sp.plan_of_.assign(n, kUnassigned);
   sp.gate_of_.reserve(n);
   sp.block_of_.reserve(n);
+  sp.slice_begin_.reserve(owned.size() + 1);
   for (std::size_t b = 0; b < owned.size(); ++b) {
     PLSIM_CHECK(!owned[b].empty(), "SimPlan: empty block");
+    sp.slice_begin_.push_back(static_cast<std::uint32_t>(sp.gate_of_.size()));
     for (GateId g : owned[b]) {
       PLSIM_CHECK(g < n, "SimPlan: gate id out of range");
       PLSIM_CHECK(sp.plan_of_[g] == kUnassigned, "SimPlan: gate owned twice");
@@ -33,6 +35,7 @@ std::shared_ptr<const SimPlan> SimPlan::build(
       sp.block_of_.push_back(static_cast<std::uint32_t>(b));
     }
   }
+  sp.slice_begin_.push_back(static_cast<std::uint32_t>(sp.gate_of_.size()));
   for (GateId g = 0; g < n; ++g) {
     if (sp.plan_of_[g] != kUnassigned) continue;
     sp.plan_of_[g] = static_cast<std::uint32_t>(sp.gate_of_.size());

@@ -136,6 +136,12 @@ class SimPlan {
 
   const BlockPlan& block(std::uint32_t b) const { return blocks_[b]; }
 
+  /// Block b's owned gates occupy the contiguous plan-index slice
+  /// [slice_begin(b), slice_begin(b + 1)) — the partition-first renumbering
+  /// guarantee the cache-aware block scheduler (partition/schedule.hpp)
+  /// exploits: consecutive block ids mean adjacent value slices.
+  std::uint32_t slice_begin(std::uint32_t b) const { return slice_begin_[b]; }
+
  private:
   SimPlan() = default;
 
@@ -148,6 +154,7 @@ class SimPlan {
   std::vector<std::uint32_t> block_of_;     // plan index -> block / kNoBlock
   std::vector<std::uint32_t> level_order_;
   std::vector<std::uint32_t> dffs_;
+  std::vector<std::uint32_t> slice_begin_;  // [n_blocks + 1]
   std::vector<BlockPlan> blocks_;
 };
 

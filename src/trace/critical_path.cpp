@@ -6,6 +6,7 @@
 
 #include "core/block.hpp"
 #include "engines/common.hpp"
+#include "util/error.hpp"
 #include "vp/vp.hpp"
 
 namespace plsim {
@@ -49,6 +50,7 @@ CriticalPathResult analyze_critical_path(const Circuit& c,
   // and the chain length that produced it.
   std::vector<double> block_ready(n_blocks, 0.0);
   std::vector<std::uint64_t> block_chain(n_blocks, 0);
+  std::vector<double> lp_work(n_blocks, 0.0);
 
   CriticalPathResult res;
   std::vector<Message> externals, outputs;
@@ -95,8 +97,9 @@ CriticalPathResult analyze_critical_path(const Circuit& c,
       outputs.clear();
       const BatchStats bs =
           rig.blocks[b]->process_batch(front, externals, outputs);
-      const double finish =
-          dep_ready + cost_scale * batch_cost(cost, bs, SaveMode::None);
+      const double bcost = cost_scale * batch_cost(cost, bs, SaveMode::None);
+      lp_work[b] += bcost;
+      const double finish = dep_ready + bcost;
       block_ready[b] = finish;
       block_chain[b] = dep_chain + 1;
       ++res.batches;
@@ -115,9 +118,58 @@ CriticalPathResult analyze_critical_path(const Circuit& c,
       res.cp_batches = block_chain[b];
     }
   }
+  res.lp_finish = block_ready;
+  res.lp_slack.resize(n_blocks);
+  for (std::uint32_t b = 0; b < n_blocks; ++b)
+    res.lp_slack[b] = res.cp_time - block_ready[b];
+  res.lp_work = std::move(lp_work);
   res.seq_work = sequential_cost(c, stim, cost).work;
   res.bound_speedup = res.cp_time > 0.0 ? res.seq_work / res.cp_time : 0.0;
   return res;
+}
+
+CpGuidance derive_cp_guidance(const CriticalPathResult& cp, Tick window,
+                              std::uint32_t save_interval,
+                              double slack_threshold) {
+  PLSIM_CHECK(window >= 1, "derive_cp_guidance: window must be >= 1");
+  PLSIM_CHECK(save_interval >= 1,
+              "derive_cp_guidance: save interval must be >= 1");
+  const std::size_t n = cp.lp_slack.size();
+  CpGuidance g;
+  g.lp_optimism.assign(n, 0);
+  g.lp_save_interval.assign(n, 1);
+  if (cp.cp_time <= 0.0) return g;
+  double max_work = 0.0, total_work = 0.0;
+  for (const double w : cp.lp_work) {
+    max_work = std::max(max_work, w);
+    total_work += w;
+  }
+  // The work-deficit margin only makes sense when the heaviest LP genuinely
+  // gates the makespan: require it to carry at least twice its fair share.
+  // On a balanced partition the work ratios are noise (every LP hovers near
+  // the mean) and throttling any of them just adds stalls.
+  const bool imbalanced =
+      !cp.lp_work.empty() &&
+      max_work * static_cast<double>(cp.lp_work.size()) >= 2.0 * total_work;
+  for (std::size_t b = 0; b < n; ++b) {
+    // Finish-time margin: the LP's last batch completes well before the
+    // critical path ends. Rare on streaming stimulus, where every block
+    // keeps batching until the horizon and finish times converge.
+    const bool slack_margin = cp.lp_slack[b] / cp.cp_time > slack_threshold;
+    // Work-deficit margin: the LP carries meaningfully less load than the
+    // dominant one. That LP gates the makespan, so light LPs (any positive
+    // slack confirms they are not the gater) can absorb a bounded optimism
+    // window without moving it.
+    const bool work_margin =
+        imbalanced && b < cp.lp_work.size() && max_work > 0.0 &&
+        cp.lp_slack[b] > 0.0 &&
+        cp.lp_work[b] < (1.0 - slack_threshold) * max_work;
+    if (slack_margin || work_margin) {
+      g.lp_optimism[b] = window;
+      g.lp_save_interval[b] = save_interval;
+    }
+  }
+  return g;
 }
 
 }  // namespace plsim

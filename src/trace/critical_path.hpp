@@ -25,6 +25,7 @@
 // match what the engines execute), so it costs one sequential simulation.
 
 #include <cstdint>
+#include <vector>
 
 #include "netlist/circuit.hpp"
 #include "partition/partition.hpp"
@@ -48,7 +49,47 @@ struct CriticalPathResult {
   std::uint64_t cp_batches = 0;
   /// Messages crossing blocks (the edges that could serialize execution).
   std::uint64_t messages = 0;
+  /// Per-block earliest finish of the block's last batch on the idealized
+  /// machine ([n_blocks]; 0 for blocks that never ran a batch).
+  std::vector<double> lp_finish;
+  /// cp_time - lp_finish[b]: how far block b sits off the critical path. An
+  /// LP with large slack can be delayed (throttled, checkpointed sparsely)
+  /// by up to its slack without moving the makespan bound.
+  std::vector<double> lp_slack;
+  /// Per-block total batch cost ([n_blocks]): the block's own modelled work,
+  /// ignoring dependencies. On streaming stimulus every block runs batches
+  /// right up to the horizon, so finish times (and with them lp_slack)
+  /// converge even when the load is wildly unequal — the work vector is what
+  /// still exposes that imbalance.
+  std::vector<double> lp_work;
 };
+
+/// Per-LP speculation-control knobs derived from critical-path slack, in the
+/// format EngineConfig/VpConfig::lp_optimism / lp_save_interval consume.
+struct CpGuidance {
+  /// Optimism window per LP: 0 = unthrottled (on or near the critical path),
+  /// `window` ticks for off-path LPs.
+  std::vector<Tick> lp_optimism;
+  /// Checkpoint interval per LP: 1 for on-path LPs, `save_interval` batches
+  /// for off-path LPs (their deeper rollbacks are affordable — they have
+  /// slack to burn — so the saved per-batch fixed cost is a net win).
+  std::vector<std::uint32_t> lp_save_interval;
+};
+
+/// Classify each LP as off-path when it clears either margin:
+///   - finish slack:  lp_slack / cp_time > slack_threshold, or
+///   - work deficit:  lp_slack > 0 and lp_work < (1 - slack_threshold) *
+///     max(lp_work) — the LP carries meaningfully less load than the
+///     heaviest LP, which gates the makespan regardless of what the light
+///     LPs speculate. Applied only when that heaviest LP carries at least
+///     twice its fair share of the total work: on balanced partitions the
+///     work ratios are noise and the margin stays off.
+/// Off-path LPs get (window, save_interval); the rest run unthrottled with
+/// per-batch checkpoints. On a balanced partition neither margin fires and
+/// the guidance is a no-op, so the default threshold is safe everywhere.
+CpGuidance derive_cp_guidance(const CriticalPathResult& cp, Tick window,
+                              std::uint32_t save_interval,
+                              double slack_threshold);
 
 /// Replay (c, stim, p) and return the critical-path bound. Batches are
 /// costed at `cost_scale` times their modelled cost; pass `1.0 -

@@ -20,6 +20,7 @@
 #include "core/block.hpp"
 #include "engines/cmb.hpp"
 #include "engines/common.hpp"
+#include "engines/lookahead.hpp"
 #include "trace/trace.hpp"
 #include "util/rng.hpp"
 #include "vp/vp.hpp"
@@ -48,7 +49,12 @@ VpResult run_conservative_vp(const Circuit& c, const Stimulus& stim,
   bopts.clock_period = stim.period;
   bopts.horizon = stim.horizon();
   bopts.save = SaveMode::None;
+  bopts.track_lookahead = cfg.cons_adaptive_lookahead;
   BlockRig rig = make_rig(c, stim, p, bopts);
+
+  std::optional<ChannelBounds> bounds;
+  if (cfg.cons_adaptive_lookahead)
+    bounds.emplace(build_channel_bounds(*rig.plan, rig.routing));
 
   const std::uint32_t n_blocks = p.n_blocks;
   const Tick horizon = bopts.horizon;
@@ -161,8 +167,46 @@ VpResult run_conservative_vp(const Circuit& c, const Stimulus& stim,
     if (!lp.in.staged_empty())
       frontier = std::min(frontier, lp.in.staged_top_time());
 
+    // Per-root frontiers for the adaptive per-channel bounds (mirrors
+    // engines/conservative_engine.cpp): each event root pairs with its own
+    // static distance to the destination instead of collapsing into one
+    // block-wide frontier + minimum chain.
+    Tick next_wire = kTickInf;
+    Tick in_low = kTickInf;
+    Tick env_next = kTickInf;
+    Tick next_clock = kTickInf;
+    if (bounds) {
+      next_wire = blk.next_wire_time();
+      in_low = safe;
+      if (!lp.in.staged_empty())
+        in_low = std::min(in_low, lp.in.staged_top_time());
+      if (lp.env_pos < env.size()) env_next = env[lp.env_pos].time;
+      next_clock = blk.next_clock_time();
+    }
+
     for (CmbOutChannel& ch : lp.outs) {
-      auto rel = ch.release(frontier, horizon);
+      CmbOutChannel::Released rel;
+      if (bounds) {
+        const Tick classic =
+            std::min(horizon, tick_add(frontier, blk.export_lookahead()));
+        Tick adaptive = kTickInf;
+        const Tick wd = bounds->wire(b, ch.dst());
+        if (wd != kTickInf && next_wire != kTickInf)
+          adaptive = std::min(adaptive, tick_add(next_wire, wd));
+        const Tick rv = bounds->recv(b, ch.dst());
+        if (rv != kTickInf && in_low != kTickInf)
+          adaptive = std::min(adaptive, tick_add(in_low, rv));
+        const Tick ed = bounds->env(b, ch.dst());
+        if (ed != kTickInf && env_next != kTickInf)
+          adaptive = std::min(adaptive, tick_add(env_next, ed));
+        const Tick cd = bounds->clock(b, ch.dst());
+        if (cd != kTickInf && next_clock != kTickInf)
+          adaptive = std::min(adaptive, tick_add(next_clock, cd));
+        rel = ch.release_at(std::max(classic, std::min(adaptive, horizon)),
+                            horizon);
+      } else {
+        rel = ch.release(frontier, horizon);
+      }
       const bool local = proc_of[ch.dst()] == pr;
       for (const Message& m : rel.real) {
         did = true;
@@ -188,7 +232,7 @@ VpResult run_conservative_vp(const Circuit& c, const Stimulus& stim,
             wire_mult[static_cast<std::size_t>(b) * n_blocks + ch.dst()];
         const CmbMsg nm{Message{rel.promise, kNoGate, Logic4::X}, b, true};
         if (aud) {
-          aud->on_promise(b, rel.promise);
+          aud->on_promise(b, ch.dst(), rel.promise);
           aud->on_send(b, rel.promise);
         }
         PLSIM_TRACE_VMARK(tsn.lane(b), NullMsg, clock[pr], rel.promise,
@@ -236,7 +280,16 @@ VpResult run_conservative_vp(const Circuit& c, const Stimulus& stim,
       const std::uint32_t pr = proc_of[a.dst];
       const double handle =
           a.msg.null ? null_cost(a.msg.src, a.dst) : cost.msg_recv;
-      if (a.at > clock[pr]) {
+      if (a.msg.null) {
+        // Null service is protocol overhead, not useful progress: charge the
+        // whole stretch — idle until the null arrived plus the time spent
+        // digesting it — as blocked time. A dense null crawl otherwise hides
+        // its cost as busy work, and the traced blocked time undercounts
+        // exactly when the protocol hurts most.
+        PLSIM_TRACE_VSPAN(tsn.lane(a.dst), Blocked, clock[pr],
+                          std::max(clock[pr], a.at) + handle, a.msg.msg.time,
+                          a.msg.src);
+      } else if (a.at > clock[pr]) {
         // The processor sat idle until the arrival: modelled blocked time.
         PLSIM_TRACE_VSPAN(tsn.lane(a.dst), Blocked, clock[pr], a.at,
                           a.msg.msg.time, a.msg.src);

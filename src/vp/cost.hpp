@@ -70,6 +70,9 @@ struct CostModel {
   double undo_replay = 1.66;      ///< undoing one log entry (was 0.20)
   double gvt_per_proc = 24.9;     ///< GVT reduction per processor (was 3.0)
   double fossil_per_batch = 0.415;///< fossil collection per batch (was 0.05)
+  /// A throttled processor checking its optimism window and going back to
+  /// sleep until the next GVT round — one queue peek plus a compare.
+  double throttle_poll = 4.15;
 
   double barrier_cost(std::uint32_t procs) const;
   double smp_barrier_cost(std::uint32_t procs) const;

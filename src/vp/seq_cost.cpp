@@ -41,7 +41,11 @@ double batch_cost(const CostModel& cost, const BatchStats& bs, SaveMode save) {
   double w = cost.batch_overhead + bs.wire_events * cost.event +
              bs.evaluations * cost.eval + bs.dff_samples * cost.dff_sample;
   if (save == SaveMode::Incremental) {
-    w += cost.save_fixed + bs.undo_entries * cost.undo_per_entry;
+    // Sparse checkpointing (set_save_interval > 1) skips the fixed
+    // state-saving charge on non-checkpoint batches; the incremental log
+    // entries themselves are still written (rollback stays exact).
+    w += bs.undo_entries * cost.undo_per_entry;
+    if (bs.checkpoint) w += cost.save_fixed;
   } else if (save == SaveMode::Full) {
     w += cost.save_fixed + static_cast<double>(bs.save_bytes) * cost.save_per_byte;
   }

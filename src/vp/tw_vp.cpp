@@ -65,6 +65,21 @@ VpResult run_timewarp_vp(const Circuit& c, const Stimulus& stim,
   const Tick horizon = bopts.horizon;
   const CostModel& cost = cfg.cost;
 
+  PLSIM_CHECK(cfg.lp_optimism.empty() || cfg.lp_optimism.size() == n_blocks,
+              "VpConfig: lp_optimism size does not match the partition");
+  PLSIM_CHECK(
+      cfg.lp_save_interval.empty() || cfg.lp_save_interval.size() == n_blocks,
+      "VpConfig: lp_save_interval size does not match the partition");
+  if (!cfg.lp_save_interval.empty() || cfg.save_interval > 1)
+    for (std::uint32_t b = 0; b < n_blocks; ++b)
+      rig.blocks[b]->set_save_interval(cfg.lp_save_interval.empty()
+                                           ? cfg.save_interval
+                                           : cfg.lp_save_interval[b]);
+  // Per-LP optimism window; 0 = unbounded.
+  auto lp_window = [&cfg](std::uint32_t b) -> Tick {
+    return cfg.lp_optimism.empty() ? cfg.optimism_window : cfg.lp_optimism[b];
+  };
+
   std::uint32_t n_procs = 0;
   const std::vector<std::uint32_t> proc_of =
       cfg.resolve_mapping(n_blocks, n_procs);
@@ -239,20 +254,36 @@ VpResult run_timewarp_vp(const Circuit& c, const Stimulus& stim,
       }
     }
 
-    // Lowest-timestamp-first LP scheduling.
+    // Lowest-timestamp-first LP scheduling among the unthrottled. An LP
+    // whose next batch is beyond its optimism window past GVT is skipped —
+    // with per-LP windows a throttled low-timestamp LP lets a higher
+    // (unthrottled) neighbour on the same processor run instead.
     std::uint32_t best = kNoGate;
     Tick best_nt = horizon;
+    bool throttled_seen = false;
     for (std::uint32_t b : lps_of[pr]) {
       const Tick nt = local_min(b);
+      if (nt >= horizon) continue;
+      const Tick window = lp_window(b);
+      if (window > 0 && nt > gvt && nt - gvt > window) {
+        throttled_seen = true;
+        continue;
+      }
       if (nt < best_nt) {
         best_nt = nt;
         best = b;
       }
     }
-    if (best == kNoGate || best_nt >= horizon) return;  // idle
-    if (cfg.optimism_window > 0 && best_nt > gvt &&
-        best_nt - gvt > cfg.optimism_window)
-      return;  // throttled until the next GVT round
+    if (best == kNoGate) {
+      if (throttled_seen) {
+        // All runnable LPs are throttled: the processor pays a poll and
+        // sleeps until the next GVT round re-wakes it (GVT advancing is the
+        // only thing that can unthrottle an LP here).
+        clock[pr] += cost.throttle_poll;
+        r.busy += cost.throttle_poll;
+      }
+      return;  // idle (or throttled until the next GVT round)
+    }
 
     Lp& lp = lps[best];
     const Tick nt = best_nt;

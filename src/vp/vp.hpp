@@ -88,6 +88,11 @@ struct VpConfig {
   /// block-pair channel (the aggregated "modern" variant). Safe times are
   /// identical either way; only the null traffic volume differs.
   bool cons_wire_channels = true;
+  /// Adaptive per-channel lookahead (engines/lookahead.hpp): promises carry
+  /// the per-destination shortest residual delay chain instead of one global
+  /// export lookahead, shrinking modelled blocked time. Results stay exact —
+  /// only the promise (null-message) schedule changes.
+  bool cons_adaptive_lookahead = false;
 
   // --- Hybrid (hierarchical) knobs ---
   /// Blocks per cluster for run_hybrid_vp: each cluster is an SMP node whose
@@ -103,6 +108,18 @@ struct VpConfig {
   SaveMode save = SaveMode::Incremental;
   bool lazy_cancellation = false;
   Tick optimism_window = 0;      ///< 0 = unbounded optimism
+  /// Per-LP optimism windows (critical-path throttling): empty = use the
+  /// uniform optimism_window; otherwise one window per block, 0 = unbounded.
+  /// Off-critical-path LPs get small windows, on-path LPs run free.
+  std::vector<Tick> lp_optimism;
+  /// Charge state saving (save_fixed) only every k-th batch — sparse
+  /// checkpointing in the *cost model*; the real undo log stays dense so
+  /// rollback remains exact. 1 = save every batch (classic).
+  std::uint32_t save_interval = 1;
+  /// Per-LP sparse-checkpoint intervals: empty = uniform save_interval.
+  /// Throttled (high-slack) LPs rarely roll back, so they can afford longer
+  /// state-saving intervals.
+  std::vector<std::uint32_t> lp_save_interval;
   double gvt_period = 1500.0;    ///< virtual time units between GVT rounds
 };
 

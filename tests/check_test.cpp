@@ -272,9 +272,19 @@ TEST(AuditorNegative, NonPositiveLookaheadIsCaught) {
 
 TEST(AuditorNegative, PromiseRegressionIsCaught) {
   Auditor aud("injected", 1, 100);
-  aud.on_promise(0, 40);
-  aud.on_promise(0, 35);  // null-message promises must be nondecreasing
+  aud.on_promise(0, 1, 40);
+  aud.on_promise(0, 1, 35);  // promises must be nondecreasing per channel
   expect_violation(aud, "promise-monotonicity");
+}
+
+TEST(AuditorNegative, PromisesAreTrackedPerChannel) {
+  // Adaptive lookahead legitimately promises different times on different
+  // channels of the same LP; only a regression on one channel is an error.
+  Auditor aud("injected", 1, 100);
+  aud.on_promise(0, 1, 40);
+  aud.on_promise(0, 2, 35);  // different destination: not a regression
+  aud.finalize();            // no violation
+  EXPECT_TRUE(aud.ok());
 }
 
 TEST(AuditorNegative, LostMessageBreaksConservation) {

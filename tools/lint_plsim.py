@@ -79,6 +79,15 @@ comment `// plsim-lint: allow(<rule>)`):
                   examples/, and Python files may waive it with
                   `# plsim-lint: allow(trace-format)`.
 
+  block-order     Ad-hoc ordering (std::sort/stable_sort/partial_sort/
+                  nth_element) is banned in src/engines/ and src/vp/: block
+                  evaluation order is owned by src/partition/schedule.* (the
+                  cache-aware scheduler), and engines must consume the
+                  scheduled Partition's block ids as-is so the schedule stays
+                  deterministic and testable. Sorts with a different purpose
+                  (trace time order, DP evaluation order) carry an explicit
+                  waiver.
+
   analyze-pass    Circuit construction/mutation (the NetlistBuilder type) is
                   confined to src/netlist/ and src/analyze/: everything
                   downstream of the analyzer consumes an immutable Circuit,
@@ -157,6 +166,9 @@ PACKED_LANE = re.compile(
 )
 # Raw tracing internals outside the trace module itself.
 TRACE_DETAIL = re.compile(r"\btrace_detail\s*::")
+# Ad-hoc ordering in engine code; block ordering lives in partition/schedule.
+BLOCK_ORDER = re.compile(
+    r"\bstd::(?:stable_sort|sort|partial_sort|nth_element)\s*\(")
 # The only route that builds or rewrites a Circuit.
 NETLIST_BUILDER = re.compile(r"\bNetlistBuilder\b")
 
@@ -300,6 +312,14 @@ def lint_file(path, rel, findings):
                 report(idx, "randomness",
                        "raw randomness outside src/util/rng.hpp — use the "
                        "seeded plsim::Rng")
+
+        if in_engine_code:
+            m = BLOCK_ORDER.search(code)
+            if m:
+                report(idx, "block-order",
+                       f"'{m.group(0).strip('(').strip()}' in engine code — "
+                       "block ordering is owned by src/partition/schedule.*; "
+                       "waive explicitly if this sort orders something else")
 
         if in_engine_code and unordered_names:
             m = RANGE_FOR.search(code)

@@ -5,6 +5,7 @@ Usage:
     trace_summary.py TRACE.bin [MORE.bin ...] [--lp N] [--histogram]
                      [--timeline [N]]
     trace_summary.py TRACE.bin --chrome OUT.json
+    trace_summary.py --selftest
 
 Several captures may be summarized together (records are concatenated,
 engine names joined with '+'), but only when they agree on the clock that
@@ -13,8 +14,11 @@ virtual work units, and mixing the two would add incommensurable numbers.
 A mismatch is reported clearly and exits with status 2.
 
 Default output: the file header, then a per-LP table (records, spans,
-time-in-state breakdown per record kind) and the aggregate time-in-state
-breakdown across all lanes. Optional views:
+time-in-state breakdown per record kind), a per-LP slack table (the
+critical-path residual: how long each LP sat finished while the slowest
+lane was still working — the signal the critical-path-guided speculation
+throttle consumes), and the aggregate time-in-state breakdown across all
+lanes. Optional views:
 
   --timeline [N]   per-LP event timelines (first N records per LP, default
                    20; 0 = all), in emission order
@@ -63,6 +67,11 @@ def load(path):
             data = f.read()
     except OSError as e:
         sys.exit(f"trace_summary: cannot read {path}: {e}")
+    return parse(data, path)
+
+
+def parse(data, path):
+    """Parse one in-memory capture (the selftest feeds synthetic bytes)."""
     if data[:8] != MAGIC:
         sys.exit(f"trace_summary: {path}: bad magic (not a plsim trace)")
     off = 8
@@ -155,6 +164,42 @@ def per_lp_summary(records, virtual, only_lp=None):
     return by_lp
 
 
+def lp_slack(records, only_lp=None):
+    """Per-LP critical-path residual.
+
+    finish[lp] = max(start + dur) over the LP's timeline records; the overall
+    end is the latest finish across all lanes. slack[lp] = overall_end -
+    finish[lp]: zero for the lane that determined the run's length (the
+    critical path), positive for lanes that sat done while it worked. The
+    end-of-run activity summary records (gate-eval / net-msg) carry counters,
+    not times, and are excluded.
+
+    Returns (slack dict, overall_end).
+    """
+    finish = {}
+    for start, dur, lp, _tick, _aux, kind, _pad in records:
+        if only_lp is not None and lp != only_lp:
+            continue
+        if kind in (GATE_EVAL, NET_MSG):
+            continue
+        end = start + dur
+        if end > finish.get(lp, 0):
+            finish[lp] = end
+    overall = max(finish.values(), default=0)
+    return {lp: overall - f for lp, f in finish.items()}, overall
+
+
+def print_slack(records, virtual, only_lp):
+    slack, overall = lp_slack(records, only_lp)
+    if not slack:
+        return
+    print(f"\nper-LP slack (critical-path residual; run ends at "
+          f"{fmt_time(overall, virtual)}):")
+    for lp in sorted(slack):
+        tag = "  <- critical path" if slack[lp] == 0 else ""
+        print(f"  lp {lp:4d}: slack={fmt_time(slack[lp], virtual):>14s}{tag}")
+
+
 def print_summary(header, records, only_lp):
     virtual = header["virtual_clock"]
     print(f"engine:  {header['engine']}")
@@ -182,6 +227,8 @@ def print_summary(header, records, only_lp):
             total_time[k] += t
         for k, n in s["count"].items():
             total_count[k] += n
+
+    print_slack(records, virtual, only_lp)
 
     print("\naggregate:")
     span_total = sum(total_time.values())
@@ -288,9 +335,74 @@ def write_chrome(header, records, out_path):
     print(f"trace_summary: wrote {out_path} ({len(events) - 1} events)")
 
 
+def make_trace(engine, virtual, records, lanes=1):
+    """Assemble a binary capture in memory (selftest helper)."""
+    import io
+    buf = io.BytesIO()
+    buf.write(MAGIC)
+    buf.write(struct.pack("<II", 1, 1 if virtual else 0))
+    name = engine.encode()
+    buf.write(struct.pack("<I", len(name)))
+    buf.write(name)
+    buf.write(struct.pack("<I", lanes))
+    buf.write(struct.pack("<QQ", len(records), 0))
+    for r in records:
+        buf.write(RECORD.pack(*r))
+    return buf.getvalue()
+
+
+def selftest():
+    rec = lambda kind, lp, start, dur=0, tick=0, aux=0: (
+        start, dur, lp, tick, aux, kind, 0)
+    # Three lanes: lp0 works until 100, lp1 until 60, lp2 until 85. The
+    # slack table must pin lp0 to the critical path (slack 0) and report
+    # each other lane's residual against the common end.
+    blob = make_trace("timewarp-vp", True, [
+        rec(EVAL, 0, 10, dur=90, tick=5),
+        rec(EVAL, 1, 0, dur=40, tick=3),
+        rec(BLOCKED, 1, 40, dur=20),
+        rec(EVAL, 2, 5, dur=80, tick=7),
+        rec(SEND, 2, 70, tick=9, aux=1),       # mark: dur 0, ends at 70
+        rec(GATE_EVAL, 1, 0, tick=999, aux=4), # summary: must not move ends
+    ], lanes=3)
+    header, records = parse(blob, "synthetic")
+    assert header["engine"] == "timewarp-vp" and header["lanes"] == 3
+    assert header["virtual_clock"] and header["records"] == 6
+
+    slack, overall = lp_slack(records)
+    assert overall == 100, overall
+    assert slack == {0: 0, 1: 40, 2: 15}, slack
+    # --lp restriction: a lone lane is its own critical path.
+    slack1, overall1 = lp_slack(records, only_lp=1)
+    assert overall1 == 60 and slack1 == {1: 0}, (slack1, overall1)
+
+    # Time-in-state sums feed the same table the slack rows extend.
+    by_lp = per_lp_summary(records, True)
+    assert by_lp[1]["time"][EVAL] == 40 and by_lp[1]["time"][BLOCKED] == 20
+    assert by_lp[2]["spans"] == 1 and by_lp[2]["records"] == 2
+
+    # Truncated payloads must be a hard error, not a short read.
+    try:
+        parse(blob[:-8], "truncated")
+    except SystemExit:
+        pass
+    else:
+        raise AssertionError("truncation not detected")
+    # And so must a foreign magic.
+    try:
+        parse(b"NOTATRACE" + blob, "bad-magic")
+    except SystemExit:
+        pass
+    else:
+        raise AssertionError("bad magic not detected")
+
+    print("trace_summary: selftest ok")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("traces", nargs="+", metavar="trace",
+    ap.add_argument("traces", nargs="*", metavar="trace",
                     help="binary captures (same clock domain)")
     ap.add_argument("--lp", type=int, default=None,
                     help="restrict to one logical process")
@@ -301,7 +413,13 @@ def main():
                     help="rollback cascade depth histogram")
     ap.add_argument("--chrome", metavar="OUT",
                     help="convert to Chrome trace-event JSON and exit")
+    ap.add_argument("--selftest", action="store_true",
+                    help="run the built-in regression checks and exit")
     args = ap.parse_args()
+    if args.selftest:
+        return selftest()
+    if not args.traces:
+        ap.error("no trace files given (or use --selftest)")
 
     header, records = load_all(args.traces)
     if args.chrome:
