@@ -4,57 +4,90 @@
 
 #include "core/environment.hpp"
 #include "partition/activity.hpp"
+#include "util/error.hpp"
 #include "partition/partition.hpp"
 #include "partition/schedule.hpp"
 
 namespace plsim {
 
-BlockRig make_rig(const Circuit& c, const Stimulus& stim, const Partition& p,
-                  const BlockOptions& base, PlanOpt opt,
-                  std::span<const GateId> keep) {
+CompiledRig compile_rig(const Circuit& c, const Partition& p,
+                        Tick clock_period, PlanOpt opt,
+                        std::span<const GateId> keep) {
   validate_partition(c, p);
-  BlockRig rig;
-  rig.horizon = base.horizon;
+  CompiledRig cr;
+  cr.source = p;
 
   // Optimize first, then remap the partition onto the survivors. The
   // stimulus needs no rebinding: primary inputs always survive and keep
   // their relative order, so positional binding is unchanged.
   const Circuit* cc = &c;
-  Partition remapped;
   const Partition* pp = &p;
   if (opt != PlanOpt::None) {
     OptOptions oo;
     oo.level = opt;
     oo.keep = keep;
-    oo.clock_period = base.clock_period;
+    oo.clock_period = clock_period;
     OptimizedCircuit o = optimize_circuit(c, oo);
     if (o.changed() && o.circuit.gate_count() >= p.n_blocks) {
-      rig.opt = std::make_shared<const OptimizedCircuit>(std::move(o));
-      remapped.n_blocks = p.n_blocks;
-      remapped.block_of.resize(rig.opt->circuit.gate_count());
-      for (GateId g = 0; g < rig.opt->circuit.gate_count(); ++g)
-        remapped.block_of[g] = p.block_of[rig.opt->new_to_old[g]];
-      fix_empty_blocks(rig.opt->circuit, remapped);
-      cc = &rig.opt->circuit;
-      pp = &remapped;
+      cr.opt = std::make_shared<const OptimizedCircuit>(std::move(o));
+      cr.partition.n_blocks = p.n_blocks;
+      cr.partition.block_of.resize(cr.opt->circuit.gate_count());
+      for (GateId g = 0; g < cr.opt->circuit.gate_count(); ++g)
+        cr.partition.block_of[g] = p.block_of[cr.opt->new_to_old[g]];
+      fix_empty_blocks(cr.opt->circuit, cr.partition);
+      cc = &cr.opt->circuit;
+      pp = &cr.partition;
     }
   }
+  if (cr.opt == nullptr) cr.partition = p;
 
-  rig.routing = build_routing(*cc, *pp);
+  cr.routing = build_routing(*cc, *pp);
+  cr.plan = SimPlan::build(*cc, pp->blocks(*cc), pp->exported(*cc));
+  return cr;
+}
 
-  const auto owned = pp->blocks(*cc);
-  const auto exported = pp->exported(*cc);
-  rig.plan = SimPlan::build(*cc, owned, exported);
-  rig.blocks.reserve(pp->n_blocks);
-  for (std::uint32_t b = 0; b < pp->n_blocks; ++b)
+BlockRig instantiate_rig(const Circuit& c, const Stimulus& stim,
+                         const CompiledRig& compiled,
+                         const BlockOptions& base) {
+  BlockRig rig;
+  rig.horizon = base.horizon;
+  rig.plan = compiled.plan;
+  rig.routing = compiled.routing;
+  rig.opt = compiled.opt;
+
+  const Circuit& cc = compiled.opt ? compiled.opt->circuit : c;
+  const std::uint32_t n = compiled.partition.n_blocks;
+  rig.blocks.reserve(n);
+  for (std::uint32_t b = 0; b < n; ++b)
     rig.blocks.push_back(std::make_unique<BlockSimulator>(rig.plan, b, base));
 
-  const std::vector<Message> env = environment_messages(*cc, stim);
-  rig.env.resize(pp->n_blocks);
-  for (std::uint32_t b = 0; b < pp->n_blocks; ++b)
+  const std::vector<Message> env = environment_messages(cc, stim);
+  rig.env.resize(n);
+  for (std::uint32_t b = 0; b < n; ++b)
     for (const Message& m : env)
       if (rig.blocks[b]->in_scope(m.gate)) rig.env[b].push_back(m);
   return rig;
+}
+
+BlockRig make_rig(const Circuit& c, const Stimulus& stim, const Partition& p,
+                  const BlockOptions& base, PlanOpt opt,
+                  std::span<const GateId> keep) {
+  return instantiate_rig(c, stim,
+                         compile_rig(c, p, base.clock_period, opt, keep),
+                         base);
+}
+
+BlockRig build_rig(const Circuit& c, const Stimulus& stim, const Partition& p,
+                   const BlockOptions& base, const EngineConfig& cfg) {
+  if (cfg.compiled == nullptr)
+    return make_rig(c, stim, p, base, cfg.plan_opt, cfg.keep);
+  const CompiledRig& cr = *cfg.compiled;
+  if (cr.plan == nullptr) raise("EngineConfig::compiled rig has no plan");
+  if (cr.source.n_blocks != p.n_blocks ||
+      cr.source.block_of != p.block_of)
+    raise("EngineConfig::compiled was built for a different partition than "
+          "the one passed to the engine");
+  return instantiate_rig(c, stim, cr, base);
 }
 
 RunResult merge_results(const Circuit& c, const BlockRig& rig,

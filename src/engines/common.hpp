@@ -45,14 +45,54 @@ struct BlockRig {
   Tick horizon = 0;
 };
 
+/// The stimulus-independent (and therefore cacheable) half of a BlockRig:
+/// everything make_rig produces that depends only on the circuit, the
+/// partition and the compile knobs. Immutable once built and freely shared
+/// across concurrent runs — the unit the service's plan cache keeps hot.
+struct CompiledRig {
+  /// The compiled evaluation plan, shared read-only across engine threads.
+  std::shared_ptr<const SimPlan> plan;
+  Routing routing;
+  /// Non-null when the optimizer ran and changed the netlist; plan/routing
+  /// and `partition` then live in opt->circuit's GateId space.
+  std::shared_ptr<const OptimizedCircuit> opt;
+  /// Plan-space partition (remapped + fix_empty_blocks when optimized).
+  Partition partition;
+  /// The partition the caller compiled against, in the original circuit's
+  /// GateId space — what must be passed back to run_* alongside this rig.
+  Partition source;
+};
+
+/// Compile the reusable half: optimize (opt != None), remap the partition
+/// onto the survivors, build routing and the SimPlan. `clock_period` feeds
+/// the optimizer's folding pass, so it is a compile-time input (part of the
+/// cache key), not a per-run knob.
+CompiledRig compile_rig(const Circuit& c, const Partition& p,
+                        Tick clock_period, PlanOpt opt = PlanOpt::None,
+                        std::span<const GateId> keep = {});
+
+/// Instantiate the per-run half on a compiled rig: fresh BlockSimulators
+/// and per-block environment feeds for this stimulus. Cheap relative to
+/// compile_rig — this is all a warm-cache service job pays.
+BlockRig instantiate_rig(const Circuit& c, const Stimulus& stim,
+                         const CompiledRig& compiled,
+                         const BlockOptions& base);
+
 /// Build the per-block machinery. With opt != None the circuit first goes
 /// through optimize_circuit (src/analyze); the partition is remapped onto
 /// the surviving gates (block assignment of each survivor is inherited from
 /// its original gate, then fix_empty_blocks). Optimization is skipped when
 /// it changes nothing or would leave fewer gates than blocks.
+/// Equivalent to instantiate_rig over a throwaway compile_rig.
 BlockRig make_rig(const Circuit& c, const Stimulus& stim, const Partition& p,
                   const BlockOptions& base, PlanOpt opt = PlanOpt::None,
                   std::span<const GateId> keep = {});
+
+/// The rig path shared by the threaded engines: reuse cfg.compiled when the
+/// caller supplied one (checking it was compiled for `p` and this clock
+/// period), otherwise compile-and-instantiate in one go via make_rig.
+BlockRig build_rig(const Circuit& c, const Stimulus& stim, const Partition& p,
+                   const BlockOptions& base, const EngineConfig& cfg);
 
 /// Merge per-block results into one RunResult (trace sorted by time/gate).
 /// Results are reported in the *original* circuit's GateId space: when the

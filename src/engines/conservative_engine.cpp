@@ -50,7 +50,7 @@ RunResult run_conservative(const Circuit& c, const Stimulus& stim,
   bopts.save = SaveMode::None;
   bopts.record_trace = cfg.record_trace;
   bopts.track_lookahead = cfg.adaptive_lookahead;
-  BlockRig rig = make_rig(c, stim, p, bopts, cfg.plan_opt, cfg.keep);
+  BlockRig rig = build_rig(c, stim, p, bopts, cfg);
 
   std::optional<ChannelBounds> bounds;
   if (cfg.adaptive_lookahead)

@@ -4,6 +4,7 @@
 // (one thread per block) and must reproduce the golden simulator's results
 // bit-exactly.
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,8 @@
 #include "stim/stimulus.hpp"
 
 namespace plsim {
+
+struct CompiledRig;  // engines/common.hpp
 
 struct EngineConfig {
   bool record_trace = false;
@@ -29,6 +32,17 @@ struct EngineConfig {
   /// Extra gates that must survive optimization with waveforms intact
   /// (watched/VCD signals). Primary inputs/outputs and DFFs always survive.
   std::vector<GateId> keep;
+
+  /// Precompiled evaluation rig (engines/common.hpp) built by compile_rig
+  /// for exactly this circuit/partition/plan_opt/keep/clock_period. When
+  /// set, the engine skips optimization, routing and plan compilation and
+  /// instantiates its blocks straight from it — the hot-cache path of the
+  /// simulation service (src/server). plan_opt and keep are then ignored
+  /// (they were baked in at compile time), and the partition passed to the
+  /// engine must be the rig's source partition. Incompatible with the
+  /// partition-reshaping drivers (activity_feedback, schedule_blocks,
+  /// cp_guided) — validate_engine_config rejects those combinations.
+  std::shared_ptr<const CompiledRig> compiled;
 
   /// Run the invariant auditor (src/check) alongside the engine: causality,
   /// GVT monotonicity/safety, CMB lookahead, message conservation, trace

@@ -36,7 +36,7 @@ RunResult run_synchronous(const Circuit& c, const Stimulus& stim,
   bopts.horizon = stim.horizon();
   bopts.save = SaveMode::None;
   bopts.record_trace = cfg.record_trace;
-  BlockRig rig = make_rig(c, stim, p, bopts, cfg.plan_opt, cfg.keep);
+  BlockRig rig = build_rig(c, stim, p, bopts, cfg);
 
   const std::uint32_t n = p.n_blocks;
   MinReduceBarrier time_barrier(n);

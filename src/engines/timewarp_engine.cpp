@@ -119,7 +119,7 @@ RunResult run_timewarp(const Circuit& c, const Stimulus& stim,
   bopts.horizon = stim.horizon();
   bopts.save = cfg.save == SaveMode::None ? SaveMode::Incremental : cfg.save;
   bopts.record_trace = cfg.record_trace;
-  BlockRig rig = make_rig(c, stim, p, bopts, cfg.plan_opt, cfg.keep);
+  BlockRig rig = build_rig(c, stim, p, bopts, cfg);
   if (!cfg.lp_save_interval.empty() || cfg.save_interval > 1)
     for (std::uint32_t b = 0; b < p.n_blocks; ++b)
       rig.blocks[b]->set_save_interval(cfg.lp_save_interval.empty()

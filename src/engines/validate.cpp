@@ -28,6 +28,23 @@ void validate_engine_config(const EngineConfig& cfg, std::uint32_t n_blocks,
     reject(engine, "activity_feedback with packed_plane: no engine honors "
                    "both (packed_plane is oblivious-only and the oblivious "
                    "engine cannot use activity feedback)");
+  // A precompiled rig froze circuit, partition and plan at compile time;
+  // any driver that reshapes the partition afterwards would run the plan on
+  // a partition it was not compiled for.
+  if (cfg.compiled && cfg.activity_feedback)
+    reject(engine, "a precompiled rig cannot be combined with "
+                   "activity_feedback (the repartition would invalidate "
+                   "the compiled plan); compile against the repartitioned "
+                   "blocks instead");
+  if (cfg.compiled && cfg.schedule_blocks)
+    reject(engine, "a precompiled rig cannot be combined with "
+                   "schedule_blocks (the block renumbering would invalidate "
+                   "the compiled plan); schedule before compiling instead");
+  if (cfg.compiled && cfg.cp_guided)
+    reject(engine, "a precompiled rig cannot be combined with cp_guided "
+                   "(the guided rerun reshapes per-LP knobs around a fresh "
+                   "analysis pass); derive lp_optimism/lp_save_interval "
+                   "first and pass them explicitly");
   if (cfg.cp_guided && !cfg.lp_optimism.empty())
     reject(engine, "cp_guided derives lp_optimism; supplying both is "
                    "contradictory");

@@ -1,0 +1,76 @@
+#pragma once
+// Monitor<T>: Guarded<T> plus a condition variable — the sanctioned
+// blocking-coordination primitive for code outside src/parallel/ (the lint
+// pass bans raw std::condition_variable elsewhere, same as std::mutex).
+//
+// Guarded<T> covers "touch shared state"; Monitor<T> covers "touch shared
+// state and wait until it says something". The service's bounded admission
+// queue, the plan cache's single-flight compile dedup, and graceful
+// shutdown draining are all built on it.
+
+#include <condition_variable>
+#include <mutex>
+#include <type_traits>
+#include <utility>
+
+namespace plsim {
+
+template <typename T>
+class Monitor {
+ public:
+  Monitor() = default;
+  explicit Monitor(T initial) : value_(std::move(initial)) {}
+
+  /// Run `f(value)` under the lock, then wake every waiter (any mutation may
+  /// satisfy somebody's predicate; wakeups here are rare and cheap relative
+  /// to a simulation job, so we do not ask callers to say who to wake).
+  ///
+  /// notify_all runs while the mutex is still held — deliberately. A waiter
+  /// whose wait_then return is the last use of this Monitor may destroy it
+  /// immediately after waking (e.g. a stack-local response slot); holding
+  /// the lock through the notify means no waiter can observe the mutated
+  /// state and return before the notifier is done touching the object.
+  template <typename F>
+  decltype(auto) with(F&& f) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if constexpr (std::is_void_v<decltype(f(value_))>) {
+      std::forward<F>(f)(value_);
+      cv_.notify_all();
+    } else {
+      decltype(auto) result = std::forward<F>(f)(value_);
+      cv_.notify_all();
+      return result;
+    }
+  }
+
+  /// Read-only access: no notification.
+  template <typename F>
+  decltype(auto) peek(F&& f) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return std::forward<F>(f)(value_);
+  }
+
+  /// Block until `pred(value)` holds, then run `f(value)` under the same
+  /// lock hold (so the predicate cannot be invalidated in between) and wake
+  /// waiters. Returns whatever `f` returns.
+  template <typename Pred, typename F>
+  decltype(auto) wait_then(Pred&& pred, F&& f) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return pred(value_); });
+    if constexpr (std::is_void_v<decltype(f(value_))>) {
+      std::forward<F>(f)(value_);
+      cv_.notify_all();
+    } else {
+      decltype(auto) result = std::forward<F>(f)(value_);
+      cv_.notify_all();
+      return result;
+    }
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  T value_{};
+};
+
+}  // namespace plsim

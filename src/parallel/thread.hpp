@@ -1,0 +1,44 @@
+#pragma once
+// JoinThread: a movable join-on-destroy thread handle, the sanctioned way
+// for long-lived subsystems (the service's worker pool and acceptor loop)
+// to own threads. run_on_threads covers fork-join engine execution; this
+// covers threads whose lifetime is an object's lifetime. Raw std::thread
+// stays confined to src/parallel/ by the lint pass.
+
+#include <thread>
+#include <utility>
+
+namespace plsim {
+
+class JoinThread {
+ public:
+  JoinThread() = default;
+
+  template <typename F, typename... Args>
+  explicit JoinThread(F&& f, Args&&... args)
+      : thread_(std::forward<F>(f), std::forward<Args>(args)...) {}
+
+  JoinThread(JoinThread&& other) noexcept : thread_(std::move(other.thread_)) {}
+  JoinThread& operator=(JoinThread&& other) noexcept {
+    if (this != &other) {
+      join();
+      thread_ = std::move(other.thread_);
+    }
+    return *this;
+  }
+  JoinThread(const JoinThread&) = delete;
+  JoinThread& operator=(const JoinThread&) = delete;
+
+  ~JoinThread() { join(); }
+
+  bool joinable() const { return thread_.joinable(); }
+
+  void join() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  std::thread thread_;
+};
+
+}  // namespace plsim

@@ -1,0 +1,170 @@
+#pragma once
+// SingleFlightLru<V>: the concurrency core of the service's hot caches —
+// the compiled-plan cache and the circuit cache (src/server/service.hpp).
+//
+// Semantics under concurrent get_or_compute on one key:
+//   - exactly ONE caller runs the compute function (the "single flight");
+//     every other caller blocks on the Monitor until the value lands and
+//     then shares it (counted as `joined` hits);
+//   - the compute runs OUTSIDE the lock, so a slow compile of one key never
+//     blocks hits/misses on other keys;
+//   - if the compute throws, the in-flight marker is removed, the error
+//     propagates to the flight leader, and exactly one waiter is promoted
+//     to retry (the rest keep waiting) — a transient failure does not
+//     poison the key.
+//
+// Eviction is strict LRU over *completed* entries (an in-flight compile is
+// never evicted; capacity can therefore be transiently exceeded by the
+// number of concurrent distinct-key compiles). Values must be cheap to copy
+// — in practice shared_ptr to immutable compile results.
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "parallel/monitor.hpp"
+#include "util/error.hpp"
+
+namespace plsim {
+
+struct CacheCounters {
+  std::uint64_t hits = 0;       ///< value was resident
+  std::uint64_t misses = 0;     ///< this caller ran the compute
+  std::uint64_t joined = 0;     ///< waited on another caller's compute
+  std::uint64_t evictions = 0;  ///< LRU entries dropped under pressure
+};
+
+template <typename V>
+class SingleFlightLru {
+ public:
+  /// `capacity` = max completed entries kept; 0 disables caching entirely
+  /// (every get_or_compute computes, nothing is stored).
+  explicit SingleFlightLru(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Look up `key`, computing it with `fn` on a miss. `was_resident`, when
+  /// given, reports whether this caller got a ready value without computing
+  /// (a hit or a join).
+  V get_or_compute(std::uint64_t key, const std::function<V()>& fn,
+                   bool* was_resident = nullptr) {
+    if (capacity_ == 0) {
+      if (was_resident != nullptr) *was_resident = false;
+      state_.with([](State& s) { ++s.counters.misses; });
+      return fn();
+    }
+    enum class Role { Hit, Leader, Joiner };
+    bool waited = false;  // a Hit after waiting counts as a join
+    for (;;) {
+      V ready{};
+      const Role role = state_.wait_then(
+          [&](State& s) {
+            // Wait only while THIS key is in flight; everything else is
+            // decidable immediately.
+            auto it = s.entries.find(key);
+            return it == s.entries.end() || !it->second.in_flight;
+          },
+          [&](State& s) -> Role {
+            auto it = s.entries.find(key);
+            if (it != s.entries.end() && !it->second.in_flight) {
+              ++(waited ? s.counters.joined : s.counters.hits);
+              it->second.last_use = ++s.tick;
+              ready = it->second.value;
+              return Role::Hit;
+            }
+            if (it == s.entries.end()) {
+              Entry e;
+              e.in_flight = true;
+              s.entries.emplace(key, std::move(e));
+              ++s.counters.misses;
+              return Role::Leader;
+            }
+            return Role::Joiner;
+          });
+      if (role == Role::Hit) {
+        if (was_resident != nullptr) *was_resident = true;
+        return ready;
+      }
+      if (role == Role::Joiner) {  // re-wait; the leader will publish
+        waited = true;
+        continue;
+      }
+
+      V value{};
+      try {
+        value = fn();  // outside the lock: other keys stay unblocked
+      } catch (...) {
+        // Drop the in-flight marker: the first woken waiter finds the key
+        // absent and promotes itself to the new flight leader (the others
+        // see it in flight again and resume waiting).
+        state_.with([&](State& s) { s.entries.erase(key); });
+        throw;
+      }
+      state_.with([&](State& s) {
+        Entry& e = s.entries[key];
+        e.in_flight = false;
+        e.value = value;
+        e.last_use = ++s.tick;
+        evict_over_capacity(s);
+      });
+      if (was_resident != nullptr) *was_resident = false;
+      return value;
+    }
+  }
+
+  CacheCounters counters() const {
+    return state_.peek([](const State& s) { return s.counters; });
+  }
+
+  /// Completed entries currently resident.
+  std::size_t size() const {
+    return state_.peek([](const State& s) {
+      std::size_t n = 0;
+      for (const auto& [k, e] : s.entries)
+        if (!e.in_flight) ++n;
+      return n;
+    });
+  }
+
+  bool contains(std::uint64_t key) const {
+    return state_.peek([&](const State& s) {
+      auto it = s.entries.find(key);
+      return it != s.entries.end() && !it->second.in_flight;
+    });
+  }
+
+ private:
+  struct Entry {
+    V value{};
+    std::uint64_t last_use = 0;
+    bool in_flight = false;
+  };
+  struct State {
+    std::unordered_map<std::uint64_t, Entry> entries;
+    std::uint64_t tick = 0;
+    CacheCounters counters;
+  };
+
+  void evict_over_capacity(State& s) {
+    for (;;) {
+      std::size_t completed = 0;
+      std::uint64_t oldest_key = 0, oldest_use = 0;
+      bool have = false;
+      for (const auto& [k, e] : s.entries) {
+        if (e.in_flight) continue;
+        ++completed;
+        if (!have || e.last_use < oldest_use) {
+          have = true;
+          oldest_key = k;
+          oldest_use = e.last_use;
+        }
+      }
+      if (completed <= capacity_) return;
+      s.entries.erase(oldest_key);
+      ++s.counters.evictions;
+    }
+  }
+
+  const std::size_t capacity_;
+  mutable Monitor<State> state_;
+};
+
+}  // namespace plsim

@@ -1,0 +1,81 @@
+#include "server/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace plsim {
+
+ServiceClient::ServiceClient(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path))
+    raise("ServiceClient: bad socket path: " + socket_path);
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0)
+    raise("ServiceClient: socket(): " + std::string(std::strerror(errno)));
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    raise("ServiceClient: connect(" + socket_path + "): " + err);
+  }
+}
+
+ServiceClient::~ServiceClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+ServiceClient::ServiceClient(ServiceClient&& other) noexcept
+    : fd_(other.fd_), decoder_(std::move(other.decoder_)) {
+  other.fd_ = -1;
+}
+
+void ServiceClient::send(const JobRequest& req) {
+  send_raw(encode_frame(serialize_request(req)));
+}
+
+void ServiceClient::send_raw(const std::string& bytes) {
+  if (fd_ < 0) raise("ServiceClient: not connected");
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      raise("ServiceClient: send(): " + std::string(std::strerror(errno)));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+JobResponse ServiceClient::receive() {
+  if (fd_ < 0) raise("ServiceClient: not connected");
+  std::string payload;
+  char buf[4096];
+  while (!decoder_.next(payload)) {
+    if (decoder_.corrupt()) raise("ServiceClient: corrupt response stream");
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) raise("ServiceClient: daemon closed the connection");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      raise("ServiceClient: recv(): " + std::string(std::strerror(errno)));
+    }
+    decoder_.feed({buf, static_cast<std::size_t>(n)});
+  }
+  return parse_response(payload);
+}
+
+JobResponse ServiceClient::call(const JobRequest& req) {
+  send(req);
+  return receive();
+}
+
+}  // namespace plsim

@@ -1,0 +1,49 @@
+#pragma once
+// Client side of the service protocol: connect to a plsimd Unix socket,
+// send plsim-job-v1 frames, read plsim-result-v1 frames. The load
+// generator (tools/plsim_load) and the socket tests talk to the daemon
+// exclusively through this class, keeping raw socket calls confined to
+// src/server/ (lint rule socket-confine).
+
+#include <cstdint>
+#include <string>
+
+#include "server/protocol.hpp"
+#include "util/frame.hpp"
+
+namespace plsim {
+
+class ServiceClient {
+ public:
+  /// Connects immediately; throws plsim::Error when the daemon is not
+  /// listening on `socket_path`.
+  explicit ServiceClient(const std::string& socket_path);
+  ~ServiceClient();
+
+  ServiceClient(ServiceClient&& other) noexcept;
+  ServiceClient& operator=(ServiceClient&&) = delete;
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  /// One request/response round trip. Throws plsim::Error on transport
+  /// failure (daemon died, stream corrupt); service-level failures come
+  /// back as structured !ok responses, not exceptions.
+  JobResponse call(const JobRequest& req);
+
+  /// Pipelining: queue a request without waiting...
+  void send(const JobRequest& req);
+  /// ...and collect responses in request order.
+  JobResponse receive();
+
+  /// Write raw bytes to the stream, framing and all — the malformed-input
+  /// tests exercise the server's corrupt-peer handling through this.
+  void send_raw(const std::string& bytes);
+
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace plsim

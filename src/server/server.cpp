@@ -1,0 +1,142 @@
+#include "server/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/frame.hpp"
+
+namespace plsim {
+namespace {
+
+/// Bounded-wait poll so blocked I/O re-checks the stop flag periodically.
+constexpr int kPollMillis = 100;
+
+bool write_all(int fd, const std::string& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    // MSG_NOSIGNAL: a peer that hung up must surface as an error return,
+    // not a process-wide SIGPIPE.
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+UnixServer::UnixServer(Service& service, std::string socket_path)
+    : service_(service), path_(std::move(socket_path)) {
+  if (path_.empty()) raise("UnixServer: empty socket path");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path_.size() >= sizeof(addr.sun_path))
+    raise("UnixServer: socket path too long: " + path_);
+  std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) raise("UnixServer: socket(): " + std::string(std::strerror(errno)));
+  ::unlink(path_.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    raise("UnixServer: bind(" + path_ + "): " + err);
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(path_.c_str());
+    raise("UnixServer: listen(" + path_ + "): " + err);
+  }
+  acceptor_ = JoinThread([this] { accept_loop(); });
+}
+
+UnixServer::~UnixServer() { stop(); }
+
+void UnixServer::stop() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) {
+    acceptor_.join();
+    return;
+  }
+  acceptor_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  ::unlink(path_.c_str());
+  conn_threads_.with([](std::vector<JoinThread>& threads) {
+    for (JoinThread& t : threads) t.join();
+    threads.clear();
+  });
+}
+
+void UnixServer::accept_loop() {
+  for (;;) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int rc = ::poll(&pfd, 1, kPollMillis);
+    if (stopping_.load(std::memory_order_acquire)) return;
+    if (rc <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return;  // listener closed
+    }
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    conn_threads_.with([&](std::vector<JoinThread>& threads) {
+      threads.emplace_back([this, fd] { serve_connection(fd); });
+    });
+  }
+}
+
+void UnixServer::serve_connection(int fd) {
+  FrameDecoder decoder;
+  char buf[4096];
+  std::string payload;
+  bool alive = true;
+  while (alive) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int rc = ::poll(&pfd, 1, kPollMillis);
+    if (stopping_.load(std::memory_order_acquire)) break;
+    if (rc <= 0) continue;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n == 0) break;  // peer closed
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    decoder.feed({buf, static_cast<std::size_t>(n)});
+    while (alive && decoder.next(payload)) {
+      JobRequest req;
+      JobResponse parse_err;
+      JobResponse resp;
+      if (parse_job_request(payload, req, parse_err))
+        resp = service_.run(req);
+      else
+        resp = parse_err;
+      if (!write_all(fd, encode_frame(serialize_response(resp))))
+        alive = false;
+    }
+    if (decoder.corrupt()) break;  // unframeable stream: drop the peer
+  }
+  ::close(fd);
+}
+
+}  // namespace plsim

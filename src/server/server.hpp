@@ -1,0 +1,60 @@
+#pragma once
+// Unix-domain-socket transport for the simulation service: accepts
+// connections on a filesystem socket path and speaks length-prefixed
+// plsim-job-v1 frames (util/frame.hpp), one response frame per request
+// frame, in order, pipelining allowed.
+//
+// This is the ONLY daemon-side file that touches sockets (lint rule
+// socket-confine). The execution semantics all live in server/service.hpp;
+// a connection thread just decodes frames, calls Service::run (the bounded
+// worker-pool path) and writes the response back.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "parallel/guarded.hpp"
+#include "parallel/thread.hpp"
+#include "server/service.hpp"
+
+namespace plsim {
+
+class UnixServer {
+ public:
+  /// Binds and listens immediately (throws plsim::Error on failure; an
+  /// existing socket file at `socket_path` is unlinked first) and starts
+  /// the acceptor thread.
+  UnixServer(Service& service, std::string socket_path);
+  ~UnixServer();  ///< stop()
+
+  UnixServer(const UnixServer&) = delete;
+  UnixServer& operator=(const UnixServer&) = delete;
+
+  const std::string& socket_path() const { return path_; }
+
+  /// Stop accepting, close the listener, unlink the socket file and join
+  /// every connection thread. Safe to call twice. Does NOT shut the
+  /// Service down — the daemon sequences service.begin_shutdown()/drain()
+  /// around this for graceful termination.
+  void stop();
+
+  /// Connections accepted so far (diagnostics).
+  std::uint64_t connections() const {
+    return connections_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  Service& service_;
+  const std::string path_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> connections_{0};
+  Guarded<std::vector<JoinThread>> conn_threads_;
+  JoinThread acceptor_;
+};
+
+}  // namespace plsim

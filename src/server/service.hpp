@@ -1,0 +1,142 @@
+#pragma once
+// The persistent simulation service (transport-free core of plsimd).
+//
+// A Service owns two content-addressed hot caches and a sharded worker
+// pool:
+//
+//   circuit cache:  CircuitSpec content_key -> parsed Circuit + its
+//                   structural circuit_hash (util/circuit_hash.hpp);
+//   plan cache:     (circuit_hash, blocks, partition_seed, plan_opt,
+//                   period) -> CompiledRig (engines/common.hpp) — the
+//                   partition + optimization + routing + SimPlan compile
+//                   that dominates cold-job latency. Warm jobs instantiate
+//                   fresh BlockSimulators on the shared immutable rig and
+//                   skip compilation entirely.
+//
+// Both caches are SingleFlightLru (server/cache.hpp): concurrent cold jobs
+// on one key trigger exactly one compile. Jobs are dispatched to
+// `shards` independent worker groups by the circuit spec's content key, so
+// repeat jobs for one circuit land on the same bounded admission queue;
+// a full queue rejects with a structured Overloaded error rather than
+// buffering without bound. Results are bit-identical to the batch path
+// (run_* on a freshly built rig) by construction — the compiled rig is the
+// same object the batch path would build, reused instead of rebuilt.
+//
+// No sockets here: transport lives in server/server.hpp (daemon side) and
+// server/client.hpp (client side).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "engines/common.hpp"
+#include "parallel/guarded.hpp"
+#include "parallel/monitor.hpp"
+#include "parallel/thread.hpp"
+#include "server/cache.hpp"
+#include "server/protocol.hpp"
+#include "util/timer.hpp"
+
+namespace plsim {
+
+struct ServiceConfig {
+  std::uint32_t shards = 2;
+  std::uint32_t workers_per_shard = 2;
+  std::size_t queue_capacity = 64;  ///< per shard; 0 = reject everything
+  std::size_t plan_cache_capacity = 32;
+  std::size_t circuit_cache_capacity = 64;
+};
+
+enum class Admit {
+  Accepted,      ///< queued; the callback will fire exactly once
+  Overloaded,    ///< shard queue full — back off and retry
+  ShuttingDown,  ///< service no longer admits work
+};
+
+struct ServiceMetrics {
+  std::uint64_t jobs_ok = 0;
+  std::uint64_t jobs_failed = 0;       ///< executed but returned !ok
+  std::uint64_t rejected_overload = 0;
+  std::uint64_t rejected_shutdown = 0;
+  std::uint64_t max_queue_depth = 0;   ///< high-water mark over all shards
+  CacheCounters plan_cache;
+  CacheCounters circuit_cache;
+};
+
+class Service {
+ public:
+  explicit Service(const ServiceConfig& cfg);
+  ~Service();  ///< begin_shutdown + drain + join
+
+  /// Admit a job. On Accepted, `done` fires exactly once from a worker
+  /// thread (possibly before submit returns). On rejection, `done` is NOT
+  /// called — the caller builds the rejection response (or use
+  /// reject_response).
+  Admit submit(JobRequest req, std::function<void(JobResponse)> done);
+
+  /// Convenience: submit and block for the response; rejections come back
+  /// as structured error responses instead of callbacks.
+  JobResponse run(const JobRequest& req);
+
+  /// Execute inline on the calling thread, bypassing queue and workers
+  /// (cold/warm latency measurement without scheduling noise). Shares the
+  /// caches with the pool path.
+  JobResponse execute_now(const JobRequest& req);
+
+  /// Stop admitting (submit returns ShuttingDown); queued and in-flight
+  /// jobs still complete — the CI graceful-shutdown check.
+  void begin_shutdown();
+  /// Block until every queue is empty and no job is in flight.
+  void drain();
+
+  /// Hold all workers before their next dequeue / release them — makes
+  /// queue-full rejection deterministic in tests and benches.
+  void pause();
+  void resume();
+
+  ServiceMetrics metrics() const;
+  const ServiceConfig& config() const { return cfg_; }
+
+  /// The rejection response submit()'s non-Accepted outcomes correspond to.
+  static JobResponse reject_response(const JobRequest& req, Admit outcome);
+
+ private:
+  struct Job {
+    JobRequest req;
+    std::function<void(JobResponse)> done;
+    WallTimer queued;  ///< measures admission-to-dispatch wait
+  };
+  struct ShardState {
+    std::vector<Job> queue;  // FIFO: pop from front
+    std::size_t in_flight = 0;
+    bool stopping = false;
+    bool paused = false;
+  };
+  struct Shard {
+    Monitor<ShardState> state;
+    std::vector<JoinThread> workers;
+  };
+
+  void worker_loop(Shard& shard);
+  JobResponse execute(const JobRequest& req);
+
+  struct CircuitEntry {
+    std::shared_ptr<const Circuit> circuit;
+    std::uint64_t hash = 0;
+  };
+  std::shared_ptr<const CircuitEntry> resolve_circuit(const CircuitSpec& spec);
+
+  const ServiceConfig cfg_;
+  SingleFlightLru<std::shared_ptr<const CircuitEntry>> circuits_;
+  SingleFlightLru<std::shared_ptr<const CompiledRig>> plans_;
+  struct Counts {
+    std::uint64_t jobs_ok = 0, jobs_failed = 0;
+    std::uint64_t rejected_overload = 0, rejected_shutdown = 0;
+    std::uint64_t max_queue_depth = 0;
+  };
+  Guarded<Counts> counts_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace plsim

@@ -1,0 +1,83 @@
+#include "util/circuit_hash.hpp"
+
+#include <cstddef>
+#include <vector>
+
+#include "util/hash.hpp"
+
+namespace plsim {
+namespace {
+
+// Domain-separation seeds so a gate's type can never be confused with its
+// delay, a PI position with a PO position, and so on.
+constexpr std::uint64_t kSeedGate = 0x636972637568617ull;   // "circuha"
+constexpr std::uint64_t kSeedInput = 0x7069706f735f5f31ull;
+constexpr std::uint64_t kSeedOutput = 0x706f706f735f5f32ull;
+
+}  // namespace
+
+std::uint64_t circuit_hash(const Circuit& c, std::span<const GateId> watched) {
+  const std::size_t n = c.gate_count();
+
+  std::vector<std::uint8_t> is_watched(n, 0);
+  for (const GateId g : watched)
+    if (g < n) is_watched[g] = 1;
+
+  // Local fingerprint: everything about a gate except its wiring.
+  std::vector<std::uint64_t> base(n);
+  for (GateId g = 0; g < n; ++g) {
+    std::uint64_t h = kSeedGate;
+    h = hash_combine(h, static_cast<std::uint64_t>(c.type(g)));
+    h = hash_combine(h, c.delay(g));
+    h = hash_combine(h, c.fanins(g).size());
+    h = hash_combine(h, c.const_onset(g));
+    h = hash_combine(h, (c.is_primary_output(g) ? 1u : 0u) |
+                            (is_watched[g] ? 2u : 0u));
+    base[g] = h;
+  }
+  // PI/PO *positions* are semantic (stimulus columns and result readout are
+  // positional), so they are part of the local fingerprint even though raw
+  // GateIds are not.
+  {
+    const auto pis = c.primary_inputs();
+    for (std::size_t i = 0; i < pis.size(); ++i)
+      base[pis[i]] = hash_combine(base[pis[i]], kSeedInput + i);
+    const auto pos = c.primary_outputs();
+    for (std::size_t i = 0; i < pos.size(); ++i)
+      base[pos[i]] = hash_combine(base[pos[i]], kSeedOutput + i);
+  }
+
+  // Wiring propagation. Within a round, a combinational gate folds in its
+  // fanins' fingerprints from the *same* round (they sit at lower levels, so
+  // level order has already produced them); a flip-flop's D fanin can sit
+  // anywhere in the graph, so it folds in the *previous* round's value. One
+  // round is the fixpoint for the combinational DAG; each extra round pushes
+  // structural information one register stage further around feedback loops.
+  std::vector<std::uint64_t> cur = base;
+  std::vector<std::uint64_t> next(n);
+  const unsigned rounds = c.is_sequential() ? 1 + kCircuitHashSeqRounds : 1;
+  for (unsigned r = 0; r < rounds; ++r) {
+    for (const GateId g : c.level_order()) {
+      std::uint64_t h = base[g];
+      if (c.type(g) == GateType::Dff) {
+        for (const GateId f : c.fanins(g)) h = hash_combine(h, cur[f]);
+      } else {
+        for (const GateId f : c.fanins(g)) h = hash_combine(h, next[f]);
+      }
+      next[g] = h;
+    }
+    cur.swap(next);
+  }
+
+  // Commutative reduction — the step that erases gate numbering.
+  std::uint64_t sum = 0;
+  for (GateId g = 0; g < n; ++g) sum += cur[g];
+  std::uint64_t digest = hash_combine(sum, n);
+  digest = hash_combine(digest, c.primary_inputs().size());
+  digest = hash_combine(digest, c.primary_outputs().size());
+  digest = hash_combine(digest, c.flip_flops().size());
+  if (digest == 0) digest = kSeedGate;  // keep 0 free as "no hash"
+  return digest;
+}
+
+}  // namespace plsim

@@ -1,0 +1,42 @@
+#pragma once
+// Stable 64-bit content hash of a Circuit — the cache key of the service's
+// hot SimPlan cache (src/sim/plan_cache.hpp, src/server) and a convenient
+// stable key for golden files.
+//
+// The hash is *structural*: it covers gate types, delays, ordered fanin
+// wiring, primary-input/-output order, const onsets and the watched set,
+// but deliberately not GateId numbering or gate names. Building the same
+// netlist with a different gate insertion order (or different names)
+// therefore produces the same hash, while changing any gate's type, delay
+// or wiring changes it — exactly the invariance a content-addressed compile
+// cache needs (tests/circuit_hash_test.cpp pins both directions).
+//
+// Implementation: a per-gate structural fingerprint is propagated through
+// the combinational DAG in level order (one sweep reaches the DAG fixpoint
+// because every combinational fanin sits at a lower level), then refined
+// through kSeqRounds extra rounds so wiring *through* flip-flop feedback
+// also contributes. The circuit hash is the commutative sum of the final
+// per-gate fingerprints mixed with the global counts, so it is independent
+// of the order gates are visited or numbered. Like any 64-bit content hash
+// this is collision-resistant in the birthday-bound sense, not
+// cryptographically; sequential structure more than kSeqRounds registers
+// deep contributes via local content only.
+
+#include <cstdint>
+#include <span>
+
+#include "netlist/circuit.hpp"
+
+namespace plsim {
+
+/// Rounds of flip-flop feedback refinement (see header comment).
+inline constexpr unsigned kCircuitHashSeqRounds = 3;
+
+/// Structural content hash. `watched` marks extra observed gates (the
+/// engine keep-set); it participates structurally, i.e. watching the "same"
+/// gate of two differently-numbered builds of one netlist yields the same
+/// hash. Never returns 0, so 0 is usable as a "no hash" sentinel.
+std::uint64_t circuit_hash(const Circuit& c,
+                           std::span<const GateId> watched = {});
+
+}  // namespace plsim

@@ -1,0 +1,87 @@
+#pragma once
+// Length-prefixed message framing for the simulation service protocol
+// (src/server, schema plsim-job-v1): each frame is a 4-byte little-endian
+// payload length followed by that many payload bytes (UTF-8 JSON).
+//
+// Pure byte-buffer layer on purpose — no sockets here (socket code is
+// confined to src/server/ by the lint pass), so framing is unit-testable
+// without a file descriptor and reusable by any transport. The incremental
+// FrameDecoder accepts arbitrarily fragmented input (a socket read may end
+// mid-header or mid-payload) and enforces a maximum frame size so a
+// corrupted or adversarial length prefix cannot make the daemon allocate
+// unbounded memory.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace plsim {
+
+/// Frames larger than this are a protocol error (the daemon rejects the
+/// connection rather than buffering them). Generous: a multi-megabyte
+/// inline .bench netlist fits with two orders of magnitude to spare.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u * 1024 * 1024;
+
+inline constexpr std::size_t kFrameHeaderBytes = 4;
+
+/// Serialize one frame: header + payload, ready to write to a transport.
+inline std::string encode_frame(std::string_view payload) {
+  const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  out.push_back(static_cast<char>(n & 0xFF));
+  out.push_back(static_cast<char>((n >> 8) & 0xFF));
+  out.push_back(static_cast<char>((n >> 16) & 0xFF));
+  out.push_back(static_cast<char>((n >> 24) & 0xFF));
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+/// Incremental decoder: feed() transport bytes as they arrive, next() pops
+/// complete frames in order. Distinguishes "need more bytes" from "stream
+/// is malformed" (oversized length prefix).
+class FrameDecoder {
+ public:
+  /// Append raw transport bytes to the internal buffer.
+  void feed(std::string_view bytes) { buf_.append(bytes.data(), bytes.size()); }
+
+  /// True once an oversized length prefix has been seen; the stream cannot
+  /// be resynchronized and the connection should be dropped.
+  bool corrupt() const { return corrupt_; }
+
+  /// Pop the next complete frame's payload into `payload`. Returns false
+  /// when no complete frame is buffered (or the stream is corrupt).
+  bool next(std::string& payload) {
+    if (corrupt_ || buf_.size() - pos_ < kFrameHeaderBytes) return false;
+    const auto* p = reinterpret_cast<const unsigned char*>(buf_.data() + pos_);
+    const std::uint32_t n = static_cast<std::uint32_t>(p[0]) |
+                            (static_cast<std::uint32_t>(p[1]) << 8) |
+                            (static_cast<std::uint32_t>(p[2]) << 16) |
+                            (static_cast<std::uint32_t>(p[3]) << 24);
+    if (n > kMaxFrameBytes) {
+      corrupt_ = true;
+      return false;
+    }
+    if (buf_.size() - pos_ < kFrameHeaderBytes + n) return false;
+    payload.assign(buf_, pos_ + kFrameHeaderBytes, n);
+    pos_ += kFrameHeaderBytes + n;
+    // Compact once the consumed prefix dominates, amortizing the copy.
+    if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+      buf_.erase(0, pos_);
+      pos_ = 0;
+    }
+    return true;
+  }
+
+  /// Bytes buffered but not yet consumed (diagnostics).
+  std::size_t pending_bytes() const { return buf_.size() - pos_; }
+
+ private:
+  std::string buf_;
+  std::size_t pos_ = 0;
+  bool corrupt_ = false;
+};
+
+}  // namespace plsim

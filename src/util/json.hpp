@@ -1,15 +1,17 @@
 #pragma once
 // Minimal dependency-free JSON value + writer for the benchmark metrics
-// layer (BENCH_*.json). Write-only on purpose: the consumer side lives in
-// tools/bench_compare.py, which has a real parser. Objects preserve
-// insertion order so emitted files are byte-stable across runs, and doubles
-// are printed with shortest-round-trip formatting so a value survives a
-// write/parse/write cycle bit-for-bit.
+// layer (BENCH_*.json) and the service protocol (src/server). Objects
+// preserve insertion order so emitted files are byte-stable across runs,
+// and doubles are printed with shortest-round-trip formatting so a value
+// survives a write/parse/write cycle bit-for-bit. The matching parser lives
+// in util/json_parse.hpp (added for plsim-job-v1 request decoding); the
+// bench-comparison consumer side remains tools/bench_compare.py.
 
 #include <charconv>
 #include <cstdint>
 #include <memory>
 #include <ostream>
+#include <span>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -72,6 +74,80 @@ class JsonValue {
     return kind_ == Kind::Array ? items_.size() : members_.size();
   }
   bool empty() const { return size() == 0; }
+
+  // --- Read access (the parser side of the protocol layer) ---
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const {
+    if (kind_ != Kind::Object) return nullptr;
+    for (const auto& [k, v] : members_)
+      if (k == key) return &v;
+    return nullptr;
+  }
+
+  /// Array elements (empty span unless an array).
+  std::span<const JsonValue> items() const {
+    return kind_ == Kind::Array ? std::span<const JsonValue>(items_)
+                                : std::span<const JsonValue>();
+  }
+  /// Object members in insertion order (empty unless an object).
+  std::span<const std::pair<std::string, JsonValue>> members() const {
+    return kind_ == Kind::Object
+               ? std::span<const std::pair<std::string, JsonValue>>(members_)
+               : std::span<const std::pair<std::string, JsonValue>>();
+  }
+
+  bool is_string() const { return kind_ == Kind::String; }
+  bool is_bool() const { return kind_ == Kind::Bool; }
+  bool is_null() const { return kind_ == Kind::Null; }
+  bool is_number() const {
+    return kind_ == Kind::Int || kind_ == Kind::Uint || kind_ == Kind::Double;
+  }
+
+  /// Typed reads with a fallback. Numeric reads convert between the three
+  /// numeric kinds (Int/Uint/Double) so callers need not care which one the
+  /// parser produced; they never coerce strings or bools.
+  const std::string& as_string(const std::string& fallback) const {
+    return kind_ == Kind::String ? string_ : fallback;
+  }
+  bool as_bool(bool fallback) const {
+    return kind_ == Kind::Bool ? bool_ : fallback;
+  }
+  double as_double(double fallback) const {
+    switch (kind_) {
+      case Kind::Double: return double_;
+      case Kind::Int: return static_cast<double>(int_);
+      case Kind::Uint: return static_cast<double>(uint_);
+      default: return fallback;
+    }
+  }
+  std::uint64_t as_uint(std::uint64_t fallback) const {
+    switch (kind_) {
+      case Kind::Uint: return uint_;
+      case Kind::Int:
+        return int_ >= 0 ? static_cast<std::uint64_t>(int_) : fallback;
+      case Kind::Double:
+        return double_ >= 0 && double_ == static_cast<double>(
+                                              static_cast<std::uint64_t>(double_))
+                   ? static_cast<std::uint64_t>(double_)
+                   : fallback;
+      default: return fallback;
+    }
+  }
+  std::int64_t as_int(std::int64_t fallback) const {
+    switch (kind_) {
+      case Kind::Int: return int_;
+      case Kind::Uint:
+        return uint_ <= 0x7fffffffffffffffull
+                   ? static_cast<std::int64_t>(uint_)
+                   : fallback;
+      case Kind::Double:
+        return double_ == static_cast<double>(static_cast<std::int64_t>(double_))
+                   ? static_cast<std::int64_t>(double_)
+                   : fallback;
+      default: return fallback;
+    }
+  }
 
   void dump(std::ostream& os, int indent = 2) const { write(os, indent, 0); }
   std::string dump(int indent = 2) const {

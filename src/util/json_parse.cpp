@@ -1,0 +1,266 @@
+#include "util/json_parse.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace plsim {
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::size_t max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  JsonValue parse_document() {
+    skip_ws();
+    JsonValue v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    raise("json: " + what + " at offset " + std::to_string(pos_));
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  void expect(char c) {
+    if (eof() || peek() != c)
+      fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value(std::size_t depth) {
+    if (depth > max_depth_) fail("nesting deeper than limit");
+    if (eof()) fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return JsonValue(parse_string());
+      case 't':
+        if (consume_literal("true")) return JsonValue(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return JsonValue(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return JsonValue(nullptr);
+        fail("invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object(std::size_t depth) {
+    expect('{');
+    JsonValue obj = JsonValue::object();
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    for (;;) {
+      skip_ws();
+      if (eof() || peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      if (obj.find(key) != nullptr) fail("duplicate object key '" + key + "'");
+      skip_ws();
+      expect(':');
+      skip_ws();
+      obj.set(key, parse_value(depth + 1));
+      skip_ws();
+      if (eof()) fail("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return obj;
+    }
+  }
+
+  JsonValue parse_array(std::size_t depth) {
+    expect('[');
+    JsonValue arr = JsonValue::array();
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    for (;;) {
+      skip_ws();
+      arr.push_back(parse_value(depth + 1));
+      skip_ws();
+      if (eof()) fail("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return arr;
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9')
+        v |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        v |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        v |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else
+        fail("invalid \\u escape digit");
+    }
+    return v;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (eof()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("raw control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (eof()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          const std::uint32_t cp = parse_hex4();
+          // Surrogate pairs are rejected rather than miscoded: nothing in
+          // the plsim-job-v1 vocabulary needs astral-plane characters.
+          if (cp >= 0xD800 && cp <= 0xDFFF)
+            fail("surrogate \\u escape unsupported");
+          if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default: fail("invalid escape character");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    const std::size_t int_start = pos_;
+    bool digits = false;
+    while (!eof() && peek() >= '0' && peek() <= '9') {
+      ++pos_;
+      digits = true;
+    }
+    if (!digits) fail("invalid number");
+    if (pos_ - int_start > 1 && text_[int_start] == '0')
+      fail("leading zero in number");
+    bool integral = true;
+    if (!eof() && peek() == '.') {
+      integral = false;
+      ++pos_;
+      bool frac = false;
+      while (!eof() && peek() >= '0' && peek() <= '9') {
+        ++pos_;
+        frac = true;
+      }
+      if (!frac) fail("digits required after decimal point");
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      integral = false;
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      bool exp = false;
+      while (!eof() && peek() >= '0' && peek() <= '9') {
+        ++pos_;
+        exp = true;
+      }
+      if (!exp) fail("digits required in exponent");
+    }
+    const std::string_view tok = text_.substr(start, pos_ - start);
+    if (integral) {
+      if (tok[0] == '-') {
+        std::int64_t iv = 0;
+        const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), iv);
+        if (res.ec == std::errc() && res.ptr == tok.data() + tok.size())
+          return JsonValue(iv);
+      } else {
+        std::uint64_t uv = 0;
+        const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), uv);
+        if (res.ec == std::errc() && res.ptr == tok.data() + tok.size())
+          return JsonValue(uv);
+      }
+      // Integer out of 64-bit range: fall through to double.
+    }
+    double dv = 0.0;
+    const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), dv);
+    if (res.ec != std::errc() || res.ptr != tok.data() + tok.size())
+      fail("unparseable number");
+    return JsonValue(dv);
+  }
+
+  std::string_view text_;
+  std::size_t max_depth_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue json_parse(std::string_view text, std::size_t max_depth) {
+  return Parser(text, max_depth).parse_document();
+}
+
+bool json_try_parse(std::string_view text, JsonValue& out, std::string& error,
+                    std::size_t max_depth) {
+  try {
+    out = json_parse(text, max_depth);
+    return true;
+  } catch (const Error& e) {
+    error = e.what();
+    return false;
+  }
+}
+
+}  // namespace plsim

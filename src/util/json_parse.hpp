@@ -1,0 +1,28 @@
+#pragma once
+// Recursive-descent JSON parser producing util/json.hpp JsonValue trees —
+// the decode side of the service protocol (plsim-job-v1, src/server).
+//
+// Deliberately strict where it matters for a network-facing daemon:
+// bounded nesting depth (stack safety against adversarial frames), full
+// input must be consumed (no trailing garbage), duplicate object keys are
+// rejected (a job whose "engine" appears twice must not silently take the
+// second), and \uXXXX escapes outside the BMP-without-surrogates range are
+// rejected rather than miscoded. Numbers parse as Int/Uint when they are
+// exact integers and Double otherwise, matching what the writer emits.
+
+#include <string>
+#include <string_view>
+
+#include "util/json.hpp"
+
+namespace plsim {
+
+/// Parse `text` as one JSON document. Throws plsim::Error with a byte
+/// offset on malformed input. `max_depth` bounds array/object nesting.
+JsonValue json_parse(std::string_view text, std::size_t max_depth = 64);
+
+/// Non-throwing variant: returns false and fills `error` on failure.
+bool json_try_parse(std::string_view text, JsonValue& out, std::string& error,
+                    std::size_t max_depth = 64);
+
+}  // namespace plsim

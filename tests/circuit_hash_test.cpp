@@ -1,0 +1,150 @@
+// util/circuit_hash.hpp: the structural fingerprint behind the service's
+// content-addressed plan cache. The hash must ignore construction artifacts
+// (gate insertion order, names) and catch every structural edit (types,
+// delays, wiring, PI/PO positions, watched sets) — including wiring
+// differences visible only through multiple flip-flop crossings.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "netlist/builder.hpp"
+#include "netlist/builtin.hpp"
+#include "netlist/generators.hpp"
+#include "util/circuit_hash.hpp"
+
+namespace plsim {
+namespace {
+
+// a, b -> g1 = AND(a, b) -> g2 = OR(a, g1), g2 is the PO. Built in natural
+// order.
+Circuit small_forward() {
+  NetlistBuilder b;
+  const GateId a = b.add_input("a");
+  const GateId bb = b.add_input("b");
+  const GateId g1 = b.add_gate(GateType::And, {a, bb}, "g1");
+  const GateId g2 = b.add_gate(GateType::Or, {a, g1}, "g2");
+  b.mark_output(g2);
+  return b.build();
+}
+
+// The same netlist with the internal gates created in the opposite order
+// (g2 first, wired up afterwards), so every internal GateId differs.
+Circuit small_permuted() {
+  NetlistBuilder b;
+  const GateId a = b.add_input("a");
+  const GateId bb = b.add_input("b");
+  const GateId g2 = b.add_gate(GateType::Or, {}, "g2");
+  const GateId g1 = b.add_gate(GateType::And, {a, bb}, "g1");
+  b.set_fanins(g2, {a, g1});
+  b.mark_output(g2);
+  return b.build();
+}
+
+TEST(CircuitHash, InsertionOrderInvariant) {
+  EXPECT_EQ(circuit_hash(small_forward()), circuit_hash(small_permuted()));
+}
+
+TEST(CircuitHash, NamesDoNotMatter) {
+  NetlistBuilder b;
+  const GateId a = b.add_input("renamed_a");
+  const GateId bb = b.add_input("renamed_b");
+  const GateId g1 = b.add_gate(GateType::And, {a, bb}, "x7");
+  const GateId g2 = b.add_gate(GateType::Or, {a, g1}, "x9");
+  b.mark_output(g2);
+  EXPECT_EQ(circuit_hash(small_forward()), circuit_hash(b.build()));
+}
+
+TEST(CircuitHash, TypeSensitive) {
+  NetlistBuilder b;
+  const GateId a = b.add_input("a");
+  const GateId bb = b.add_input("b");
+  const GateId g1 = b.add_gate(GateType::Nand, {a, bb}, "g1");  // was And
+  const GateId g2 = b.add_gate(GateType::Or, {a, g1}, "g2");
+  b.mark_output(g2);
+  EXPECT_NE(circuit_hash(small_forward()), circuit_hash(b.build()));
+}
+
+TEST(CircuitHash, DelaySensitive) {
+  NetlistBuilder b;
+  const GateId a = b.add_input("a");
+  const GateId bb = b.add_input("b");
+  const GateId g1 = b.add_gate(GateType::And, {a, bb}, "g1");
+  const GateId g2 = b.add_gate(GateType::Or, {a, g1}, "g2");
+  b.set_delay(g1, 5);
+  b.mark_output(g2);
+  EXPECT_NE(circuit_hash(small_forward()), circuit_hash(b.build()));
+}
+
+TEST(CircuitHash, WiringSensitive) {
+  // Swap one fanin: g2 = OR(b, g1) instead of OR(a, g1).
+  NetlistBuilder b;
+  const GateId a = b.add_input("a");
+  const GateId bb = b.add_input("b");
+  const GateId g1 = b.add_gate(GateType::And, {a, bb}, "g1");
+  const GateId g2 = b.add_gate(GateType::Or, {bb, g1}, "g2");
+  b.mark_output(g2);
+  EXPECT_NE(circuit_hash(small_forward()), circuit_hash(b.build()));
+}
+
+TEST(CircuitHash, InputPositionSensitive) {
+  // Same structure, but the PIs appear in the opposite positional order —
+  // stimulus generation keys on PI position, so the hash must differ.
+  NetlistBuilder b;
+  const GateId bb = b.add_input("b");
+  const GateId a = b.add_input("a");
+  const GateId g1 = b.add_gate(GateType::And, {a, bb}, "g1");
+  const GateId g2 = b.add_gate(GateType::Or, {a, g1}, "g2");
+  b.mark_output(g2);
+  EXPECT_NE(circuit_hash(small_forward()), circuit_hash(b.build()));
+}
+
+TEST(CircuitHash, WatchedSetSensitive) {
+  const Circuit c = small_forward();
+  const std::vector<GateId> watched = {2};  // g1
+  EXPECT_NE(circuit_hash(c), circuit_hash(c, watched));
+  EXPECT_EQ(circuit_hash(c, watched), circuit_hash(c, watched));
+}
+
+// Two circuits whose gate-local fingerprints form identical multisets and
+// whose wiring differs only behind TWO flip-flop crossings: x and y
+// (different delays) feed d1/d2 straight or swapped, and the PO reads d1
+// through a second register d3. After one propagation round d3 has folded
+// only d1's *base* (identical in both variants, so the commutative digest
+// agrees); only the extra sequential rounds (kCircuitHashSeqRounds) carry
+// the x-vs-y difference across both registers into the PO.
+Circuit cross_dff(bool swapped) {
+  NetlistBuilder b;
+  const GateId a = b.add_input("a");
+  const GateId bb = b.add_input("b");
+  const GateId x = b.add_gate(GateType::And, {a, bb}, "x");
+  const GateId y = b.add_gate(GateType::And, {a, bb}, "y");
+  b.set_delay(y, 3);
+  const GateId d1 = b.add_gate(GateType::Dff, {swapped ? y : x}, "d1");
+  b.add_gate(GateType::Dff, {swapped ? x : y}, "d2");
+  const GateId d3 = b.add_gate(GateType::Dff, {d1}, "d3");
+  const GateId out = b.add_gate(GateType::Buf, {d3}, "out");
+  b.mark_output(out);
+  return b.build();
+}
+
+TEST(CircuitHash, SeesThroughFlipFlopBoundary) {
+  static_assert(kCircuitHashSeqRounds >= 1,
+                "sequential circuits need extra propagation rounds");
+  EXPECT_NE(circuit_hash(cross_dff(false)), circuit_hash(cross_dff(true)));
+}
+
+TEST(CircuitHash, StableAcrossCallsAndNonZero) {
+  for (const char* name : {"c17", "s27"}) {
+    const Circuit c = builtin_circuit(name);
+    const std::uint64_t h = circuit_hash(c);
+    EXPECT_NE(h, 0u) << name;
+    EXPECT_EQ(h, circuit_hash(c)) << name;
+  }
+  const Circuit g = scaled_circuit(2000, 3);
+  EXPECT_NE(circuit_hash(g), 0u);
+  EXPECT_NE(circuit_hash(g), circuit_hash(scaled_circuit(2000, 4)));
+}
+
+}  // namespace
+}  // namespace plsim

@@ -1,0 +1,111 @@
+// util/json_parse.hpp + util/frame.hpp: the strict JSON reader and the
+// length-prefixed framing underneath the service protocol. The parser must
+// round-trip everything JsonValue::dump emits and reject the malformed
+// inputs a hostile or buggy peer can send; the decoder must reassemble
+// frames from arbitrary byte fragmentation and flag impossible headers.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/frame.hpp"
+#include "util/json.hpp"
+#include "util/json_parse.hpp"
+
+namespace plsim {
+namespace {
+
+TEST(JsonParse, RoundTripsDumpOutput) {
+  JsonValue doc = JsonValue::object();
+  doc.set("schema", JsonValue(std::string("plsim-job-v1")));
+  doc.set("count", JsonValue(std::uint64_t{42}));
+  doc.set("negative", JsonValue(std::int64_t{-7}));
+  doc.set("ratio", JsonValue(0.25));
+  doc.set("flag", JsonValue(true));
+  doc.set("nothing", JsonValue());
+  JsonValue arr = JsonValue::array();
+  arr.push_back(JsonValue(std::uint64_t{1}));
+  arr.push_back(JsonValue(std::string("two\n\"quoted\"")));
+  doc.set("list", std::move(arr));
+
+  const JsonValue parsed = json_parse(doc.dump());
+  ASSERT_TRUE(parsed.is_object());
+  EXPECT_EQ(parsed.find("schema")->as_string(""), "plsim-job-v1");
+  EXPECT_EQ(parsed.find("count")->as_uint(0), 42u);
+  EXPECT_EQ(parsed.find("negative")->as_int(0), -7);
+  EXPECT_DOUBLE_EQ(parsed.find("ratio")->as_double(0.0), 0.25);
+  EXPECT_TRUE(parsed.find("flag")->as_bool(false));
+  EXPECT_TRUE(parsed.find("nothing")->is_null());
+  const JsonValue* list = parsed.find("list");
+  ASSERT_TRUE(list != nullptr && list->is_array());
+  EXPECT_EQ(list->items().size(), 2u);
+  EXPECT_EQ(list->items()[1].as_string(""), "two\n\"quoted\"");
+}
+
+TEST(JsonParse, AcceptsEscapesAndUnicode) {
+  const JsonValue v =
+      json_parse(R"({"s": "tab\t slash\/ unicode\u0041\u00e9"})");
+  EXPECT_EQ(v.find("s")->as_string(""), "tab\t slash/ unicodeA\xc3\xa9");
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  const char* bad[] = {
+      "",                        // empty
+      "{",                       // unterminated object
+      "[1, 2,]",                 // trailing comma
+      "{\"a\": 1} trailing",     // garbage after the document
+      "{\"a\": 1, \"a\": 2}",    // duplicate key
+      "\"\\ud800\"",             // lone surrogate
+      "{'a': 1}",                // single quotes
+      "01",                      // leading zero
+      "nul",                     // truncated literal
+      "{\"a\": +1}",             // explicit plus
+  };
+  for (const char* doc : bad)
+    EXPECT_THROW((void)json_parse(doc), Error) << doc;
+}
+
+TEST(JsonParse, RejectsExcessiveNesting) {
+  std::string deep;
+  for (int i = 0; i < 1000; ++i) deep += "[";
+  for (int i = 0; i < 1000; ++i) deep += "]";
+  EXPECT_THROW((void)json_parse(deep), Error);
+}
+
+TEST(Frame, EncodesLengthPrefix) {
+  const std::string frame = encode_frame("abc");
+  ASSERT_EQ(frame.size(), 7u);
+  EXPECT_EQ(static_cast<unsigned char>(frame[0]), 3u);  // little-endian
+  EXPECT_EQ(frame.substr(4), "abc");
+}
+
+TEST(Frame, DecodesAcrossArbitraryFragmentation) {
+  const std::string stream =
+      encode_frame("first") + encode_frame("") + encode_frame("third");
+  // Feed one byte at a time: the decoder must reassemble all three frames.
+  FrameDecoder decoder;
+  std::vector<std::string> out;
+  std::string payload;
+  for (const char c : stream) {
+    decoder.feed({&c, 1});
+    while (decoder.next(payload)) out.push_back(payload);
+  }
+  EXPECT_FALSE(decoder.corrupt());
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], "first");
+  EXPECT_EQ(out[1], "");
+  EXPECT_EQ(out[2], "third");
+}
+
+TEST(Frame, FlagsOversizedHeaderAsCorrupt) {
+  FrameDecoder decoder;
+  decoder.feed(std::string("\xff\xff\xff\xff", 4));
+  std::string payload;
+  EXPECT_FALSE(decoder.next(payload));
+  EXPECT_TRUE(decoder.corrupt());
+}
+
+}  // namespace
+}  // namespace plsim

@@ -1,0 +1,110 @@
+// server/cache.hpp: the SingleFlightLru behind the service's circuit and
+// plan caches — LRU eviction under capacity pressure, single-flight compile
+// dedup (N concurrent threads on one cold key run the compute exactly once),
+// failure recovery, and the hit/miss/eviction counters the service surfaces.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "parallel/guarded.hpp"
+#include "parallel/threads.hpp"
+#include "server/cache.hpp"
+#include "util/error.hpp"
+
+namespace plsim {
+namespace {
+
+TEST(SingleFlightLru, HitMissCounters) {
+  SingleFlightLru<int> cache(4);
+  bool resident = true;
+  EXPECT_EQ(cache.get_or_compute(1, [] { return 10; }, &resident), 10);
+  EXPECT_FALSE(resident);
+  EXPECT_EQ(cache.get_or_compute(1, [] { return 99; }, &resident), 10);
+  EXPECT_TRUE(resident);
+  const CacheCounters c = cache.counters();
+  EXPECT_EQ(c.misses, 1u);
+  EXPECT_EQ(c.hits, 1u);
+  EXPECT_EQ(c.evictions, 0u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(SingleFlightLru, EvictsLeastRecentlyUsed) {
+  SingleFlightLru<int> cache(2);
+  (void)cache.get_or_compute(1, [] { return 1; });
+  (void)cache.get_or_compute(2, [] { return 2; });
+  // Touch key 1 so key 2 becomes the LRU entry...
+  (void)cache.get_or_compute(1, [] { return -1; });
+  // ...and the third insert evicts 2, not 1.
+  (void)cache.get_or_compute(3, [] { return 3; });
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+  EXPECT_EQ(cache.counters().evictions, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+
+  // The evicted key recomputes: a fresh miss, not a hit.
+  EXPECT_EQ(cache.get_or_compute(2, [] { return 22; }), 22);
+  EXPECT_EQ(cache.counters().misses, 4u);
+}
+
+TEST(SingleFlightLru, CapacityZeroNeverCaches) {
+  SingleFlightLru<int> cache(0);
+  int runs = 0;
+  for (int i = 0; i < 3; ++i)
+    (void)cache.get_or_compute(7, [&] { return ++runs; });
+  EXPECT_EQ(runs, 3);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(SingleFlightLru, ConcurrentColdKeyComputesOnce) {
+  constexpr unsigned kThreads = 8;
+  SingleFlightLru<std::string> cache(4);
+  Guarded<int> compute_calls;
+  Guarded<int> wrong_values;
+  run_on_threads(kThreads, [&](unsigned) {
+    const std::string v = cache.get_or_compute(42, [&] {
+      compute_calls.with([](int& n) { ++n; });
+      return std::string("compiled");
+    });
+    if (v != "compiled") wrong_values.with([](int& n) { ++n; });
+  });
+  compute_calls.with([](int& n) { EXPECT_EQ(n, 1); });
+  wrong_values.with([](int& n) { EXPECT_EQ(n, 0); });
+  const CacheCounters c = cache.counters();
+  EXPECT_EQ(c.misses, 1u);
+  // Everyone else either joined the in-flight compute or hit the finished
+  // entry; either way nobody compiled twice.
+  EXPECT_EQ(c.hits + c.joined, kThreads - 1);
+}
+
+TEST(SingleFlightLru, FailedComputeRetries) {
+  SingleFlightLru<int> cache(4);
+  EXPECT_THROW(
+      (void)cache.get_or_compute(5, []() -> int { raise("compile failed"); }),
+      Error);
+  EXPECT_FALSE(cache.contains(5));
+  // The failure left no poisoned entry: the next caller computes fresh.
+  EXPECT_EQ(cache.get_or_compute(5, [] { return 55; }), 55);
+  EXPECT_EQ(cache.counters().misses, 2u);
+}
+
+TEST(SingleFlightLru, ConcurrentDistinctKeysAllComplete) {
+  SingleFlightLru<unsigned> cache(64);
+  Guarded<unsigned> sum;
+  run_on_threads(8, [&](unsigned tid) {
+    for (unsigned k = 0; k < 16; ++k) {
+      const unsigned v =
+          cache.get_or_compute(k, [&] { return k * 10; });
+      sum.with([&](unsigned& s) { s += v + tid * 0; });
+    }
+  });
+  unsigned total = 0;
+  sum.with([&](unsigned& s) { total = s; });
+  EXPECT_EQ(total, 8u * (0 + 15) * 16 / 2 * 10);
+  EXPECT_EQ(cache.size(), 16u);
+  EXPECT_EQ(cache.counters().misses, 16u);
+}
+
+}  // namespace
+}  // namespace plsim

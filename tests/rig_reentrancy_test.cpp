@@ -1,0 +1,140 @@
+// Rig construction re-entrancy (ISSUE 10 satellite): the service's worker
+// pool compiles and instantiates rigs for DIFFERENT circuits concurrently,
+// so compile_rig / instantiate_rig / the run_* drivers must not share
+// mutable state behind the caller's back. Eight distinct circuits run
+// through the full pipeline on eight threads at once — engine choice
+// rotating sync/conservative/timewarp — and every digest must match its
+// sequentially-computed reference. Run under -fsanitize=thread (the CI
+// sanitizer matrix) this doubles as a data-race hunt.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "engines/common.hpp"
+#include "engines/engine.hpp"
+#include "netlist/generators.hpp"
+#include "parallel/guarded.hpp"
+#include "parallel/threads.hpp"
+#include "partition/algorithms.hpp"
+#include "stim/stimulus.hpp"
+
+namespace plsim {
+namespace {
+
+constexpr unsigned kCircuits = 8;
+
+struct Case {
+  Circuit circuit;
+  Stimulus stim;
+  Partition partition;
+  const char* engine;
+};
+
+Case make_case(unsigned i) {
+  Circuit circuit = scaled_circuit(600 + 150 * i, /*seed=*/i + 1);
+  Stimulus stim = random_stimulus(circuit, 5, 0.25, i + 3);
+  Partition partition = partition_multilevel(circuit, 2 + i % 3, /*seed=*/1);
+  const char* engine =
+      i % 3 == 0 ? "sync" : i % 3 == 1 ? "conservative" : "timewarp";
+  return Case{std::move(circuit), std::move(stim), std::move(partition),
+              engine};
+}
+
+std::uint64_t run_case(const Case& cs, const EngineConfig& cfg) {
+  RunResult r;
+  if (cs.engine[0] == 's')
+    r = run_synchronous(cs.circuit, cs.stim, cs.partition, cfg);
+  else if (cs.engine[0] == 'c')
+    r = run_conservative(cs.circuit, cs.stim, cs.partition, cfg);
+  else
+    r = run_timewarp(cs.circuit, cs.stim, cs.partition, cfg);
+  return r.wave.digest();
+}
+
+TEST(RigReentrancy, EightCircuitsConcurrently) {
+  std::vector<Case> cases;
+  std::vector<std::uint64_t> reference;
+  for (unsigned i = 0; i < kCircuits; ++i) {
+    cases.push_back(make_case(i));
+    reference.push_back(run_case(cases.back(), EngineConfig{}));
+  }
+
+  // Three rounds so threads overlap compile, instantiate and run phases of
+  // different circuits in shifting alignments.
+  for (int round = 0; round < 3; ++round) {
+    Guarded<std::vector<std::uint64_t>> digests;
+    digests.with([](std::vector<std::uint64_t>& v) {
+      v.assign(kCircuits, 0);
+    });
+    run_on_threads(kCircuits, [&](unsigned tid) {
+      const std::uint64_t d = run_case(cases[tid], EngineConfig{});
+      digests.with([&](std::vector<std::uint64_t>& v) { v[tid] = d; });
+    });
+    digests.with([&](std::vector<std::uint64_t>& v) {
+      for (unsigned i = 0; i < kCircuits; ++i)
+        EXPECT_EQ(v[i], reference[i]) << "circuit " << i << " round " << round;
+    });
+  }
+}
+
+TEST(RigReentrancy, SharedCompiledRigAcrossThreads) {
+  // The service's warm path: ONE CompiledRig instantiated by many threads at
+  // once. The rig is immutable after compile_rig; only the per-run
+  // BlockSimulators may be thread-local.
+  const Circuit c = scaled_circuit(1200, 5);
+  const Stimulus stim = random_stimulus(c, 5, 0.25, 7);
+  const Partition p = partition_multilevel(c, 4, 1);
+  const auto rig = std::make_shared<const CompiledRig>(
+      compile_rig(c, p, stim.period, PlanOpt::Safe));
+
+  EngineConfig cfg;
+  cfg.plan_opt = PlanOpt::Safe;
+  cfg.compiled = rig;
+  const std::uint64_t expect =
+      run_synchronous(c, stim, rig->source, cfg).wave.digest();
+
+  Guarded<std::uint64_t> mismatches;
+  run_on_threads(kCircuits, [&](unsigned tid) {
+    EngineConfig local = cfg;
+    const RunResult r =
+        tid % 2 == 0 ? run_synchronous(c, stim, rig->source, local)
+                     : run_conservative(c, stim, rig->source, local);
+    if (r.wave.digest() != expect)
+      mismatches.with([](std::uint64_t& n) { ++n; });
+  });
+  mismatches.with([](std::uint64_t& n) { EXPECT_EQ(n, 0u); });
+}
+
+TEST(RigReentrancy, CompileWhileRunning) {
+  // Compilation of new circuits concurrent with execution of others — the
+  // exact mix a half-warm service sees.
+  std::vector<Case> cases;
+  for (unsigned i = 0; i < kCircuits; ++i) cases.push_back(make_case(i));
+  std::vector<std::uint64_t> reference;
+  for (const Case& cs : cases)
+    reference.push_back(run_case(cs, EngineConfig{}));
+
+  Guarded<std::uint64_t> mismatches;
+  run_on_threads(kCircuits, [&](unsigned tid) {
+    if (tid % 2 == 0) {
+      // Compile-heavy lane: fresh compile_rig each iteration.
+      for (int it = 0; it < 2; ++it) {
+        const Case& cs = cases[tid];
+        const CompiledRig rig =
+            compile_rig(cs.circuit, cs.partition, cs.stim.period);
+        if (rig.plan == nullptr)
+          mismatches.with([](std::uint64_t& n) { ++n; });
+      }
+    } else {
+      for (int it = 0; it < 2; ++it)
+        if (run_case(cases[tid], EngineConfig{}) != reference[tid])
+          mismatches.with([](std::uint64_t& n) { ++n; });
+    }
+  });
+  mismatches.with([](std::uint64_t& n) { EXPECT_EQ(n, 0u); });
+}
+
+}  // namespace
+}  // namespace plsim

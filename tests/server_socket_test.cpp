@@ -1,0 +1,136 @@
+// server/server.hpp + server/client.hpp: the Unix-domain-socket transport.
+// Round trips real jobs through a live listener, checks pipelined requests
+// come back in order, and verifies a malformed byte stream drops only the
+// offending peer — the next client connects and is served normally.
+//
+// Raw socket calls live in ServiceClient; this file goes through it
+// exclusively (lint rule socket-confine).
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "server/client.hpp"
+#include "server/server.hpp"
+#include "server/service.hpp"
+#include "util/error.hpp"
+#include "util/frame.hpp"
+
+namespace plsim {
+namespace {
+
+std::string temp_socket_path(const char* tag) {
+  return "/tmp/plsim_test_" + std::string(tag) + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+JobRequest tiny_job(std::uint64_t id, const char* engine = "sync") {
+  JobRequest req;
+  req.id = id;
+  req.circuit.kind = CircuitSpec::Kind::Builtin;
+  req.circuit.builtin = "c17";
+  req.engine = engine;
+  req.blocks = 2;
+  req.stimulus.cycles = 4;
+  return req;
+}
+
+TEST(UnixServer, RoundTripAndCacheWarming) {
+  const std::string path = temp_socket_path("roundtrip");
+  Service service(ServiceConfig{});
+  UnixServer server(service, path);
+
+  ServiceClient client(path);
+  const JobResponse cold = client.call(tiny_job(1));
+  ASSERT_TRUE(cold.ok) << cold.error;
+  EXPECT_EQ(cold.id, 1u);
+  EXPECT_EQ(cold.cache, "miss");
+  EXPECT_FALSE(cold.final_values.empty());
+  EXPECT_NE(cold.circuit_hash, 0u);
+
+  const JobResponse warm = client.call(tiny_job(2));
+  ASSERT_TRUE(warm.ok);
+  EXPECT_EQ(warm.id, 2u);
+  EXPECT_EQ(warm.cache, "hit");
+  EXPECT_EQ(warm.wave_digest, cold.wave_digest);
+
+  server.stop();
+  std::remove(path.c_str());
+}
+
+TEST(UnixServer, PipelinedRequestsAnswerInOrder) {
+  const std::string path = temp_socket_path("pipeline");
+  Service service(ServiceConfig{});
+  UnixServer server(service, path);
+
+  ServiceClient client(path);
+  for (std::uint64_t id = 0; id < 5; ++id) client.send(tiny_job(id));
+  for (std::uint64_t id = 0; id < 5; ++id) {
+    const JobResponse resp = client.receive();
+    ASSERT_TRUE(resp.ok) << resp.error;
+    EXPECT_EQ(resp.id, id);
+  }
+  server.stop();
+  std::remove(path.c_str());
+}
+
+TEST(UnixServer, MalformedJsonGetsStructuredBadRequest) {
+  const std::string path = temp_socket_path("badjson");
+  Service service(ServiceConfig{});
+  UnixServer server(service, path);
+
+  // A well-framed payload that is not a plsim-job-v1 document must come
+  // back as a BadRequest response, not a dropped connection.
+  ServiceClient client(path);
+  client.send_raw(encode_frame("{\"schema\": \"not-a-job\"}"));
+  const JobResponse resp = client.receive();
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.code, JobErrorCode::BadRequest);
+
+  // The connection survives: a real job on the same socket still runs.
+  const JobResponse good = client.call(tiny_job(9));
+  EXPECT_TRUE(good.ok) << good.error;
+
+  server.stop();
+  std::remove(path.c_str());
+}
+
+TEST(UnixServer, CorruptFramingDropsOnlyThatPeer) {
+  const std::string path = temp_socket_path("corrupt");
+  Service service(ServiceConfig{});
+  UnixServer server(service, path);
+
+  {
+    // An impossible frame header (length > kMaxFrameBytes) corrupts the
+    // stream; the server hangs up on this peer.
+    ServiceClient bad(path);
+    bad.send_raw(std::string("\xff\xff\xff\xff", 4));
+    EXPECT_THROW((void)bad.receive(), Error);
+  }
+
+  // A fresh client is unaffected.
+  ServiceClient good(path);
+  EXPECT_TRUE(good.call(tiny_job(3)).ok);
+
+  server.stop();
+  std::remove(path.c_str());
+}
+
+TEST(UnixServer, StopUnblocksAndUnlinksSocket) {
+  const std::string path = temp_socket_path("stop");
+  Service service(ServiceConfig{});
+  {
+    UnixServer server(service, path);
+    ServiceClient client(path);
+    EXPECT_TRUE(client.call(tiny_job(1)).ok);
+    server.stop();
+    server.stop();  // idempotent
+  }
+  // The socket file is gone; connecting again must fail.
+  EXPECT_THROW(ServiceClient reconnect(path), Error);
+}
+
+}  // namespace
+}  // namespace plsim

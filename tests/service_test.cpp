@@ -1,0 +1,210 @@
+// server/service.hpp: the transport-free service core. The load-bearing
+// claim is bit-identical results — a job answered from the hot plan cache
+// must produce exactly the waveform, final values and counters the batch
+// path (fresh compile, run_*) produces. Plus admission control: bounded
+// queues reject with Overloaded, shutdown rejects with ShuttingDown while
+// queued work still drains.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engines/engine.hpp"
+#include "logic/value.hpp"
+#include "netlist/generators.hpp"
+#include "parallel/guarded.hpp"
+#include "parallel/threads.hpp"
+#include "partition/algorithms.hpp"
+#include "server/service.hpp"
+#include "stim/stimulus.hpp"
+
+namespace plsim {
+namespace {
+
+JobRequest scaled_job(const std::string& engine, std::uint64_t gates,
+                      std::uint64_t circuit_seed) {
+  JobRequest req;
+  req.circuit.kind = CircuitSpec::Kind::Generator;
+  req.circuit.generator = "scaled";
+  req.circuit.gates = gates;
+  req.circuit.seed = circuit_seed;
+  req.engine = engine;
+  req.blocks = 4;
+  req.stimulus.cycles = 6;
+  req.stimulus.seed = 3;
+  return req;
+}
+
+/// The batch path for the same job: same generator, stimulus, partition and
+/// engine configuration, compiled fresh with no service in sight.
+RunResult batch_reference(const JobRequest& req) {
+  const Circuit c = scaled_circuit(req.circuit.gates, req.circuit.seed);
+  const Stimulus stim =
+      random_stimulus(c, req.stimulus.cycles, req.stimulus.activity,
+                      req.stimulus.seed, req.stimulus.period);
+  const Partition p = partition_multilevel(c, req.blocks, req.partition_seed);
+  EngineConfig cfg;
+  cfg.plan_opt = req.plan_opt;
+  if (req.engine == "sync") return run_synchronous(c, stim, p, cfg);
+  if (req.engine == "conservative") return run_conservative(c, stim, p, cfg);
+  return run_timewarp(c, stim, p, cfg);
+}
+
+TEST(Service, ResultsMatchBatchPathColdAndWarm) {
+  Service service(ServiceConfig{});
+  std::uint64_t circuit_seed = 11;
+  for (const char* engine : {"sync", "conservative", "timewarp"}) {
+    // Distinct circuit per engine so each sees a genuinely cold cache
+    // (compiled rigs are engine-independent and would otherwise be shared —
+    // see CompiledRigSharedAcrossEngines below).
+    const JobRequest req = scaled_job(engine, 1500, circuit_seed++);
+    const RunResult batch = batch_reference(req);
+    std::string batch_finals;
+    for (const Logic4 v : batch.final_values)
+      batch_finals.push_back(to_char(v));
+
+    const JobResponse cold = service.execute_now(req);
+    ASSERT_TRUE(cold.ok) << engine << ": " << cold.error;
+    EXPECT_EQ(cold.cache, "miss") << engine;
+    EXPECT_EQ(cold.wave_digest, batch.wave.digest()) << engine;
+    EXPECT_EQ(cold.final_values, batch_finals) << engine;
+
+    // The warm run reuses the compiled rig; it must be indistinguishable.
+    const JobResponse warm = service.execute_now(req);
+    ASSERT_TRUE(warm.ok) << engine;
+    EXPECT_EQ(warm.cache, "hit") << engine;
+    EXPECT_EQ(warm.wave_digest, batch.wave.digest()) << engine;
+    EXPECT_EQ(warm.final_values, batch_finals) << engine;
+  }
+}
+
+TEST(Service, CompiledRigSharedAcrossEngines) {
+  // The plan-cache key has no engine component on purpose: the compiled rig
+  // (partition + optimize + routing + plan) is engine-independent, so a rig
+  // compiled for a sync job warms conservative and timewarp jobs on the same
+  // circuit too — and each engine still reproduces its own batch result.
+  Service service(ServiceConfig{});
+  ASSERT_EQ(service.execute_now(scaled_job("sync", 1500, 21)).cache, "miss");
+  for (const char* engine : {"conservative", "timewarp"}) {
+    const JobRequest req = scaled_job(engine, 1500, 21);
+    const JobResponse resp = service.execute_now(req);
+    ASSERT_TRUE(resp.ok) << engine << ": " << resp.error;
+    EXPECT_EQ(resp.cache, "hit") << engine;
+    EXPECT_EQ(resp.wave_digest, batch_reference(req).wave.digest()) << engine;
+  }
+  EXPECT_EQ(service.metrics().plan_cache.misses, 1u);
+}
+
+TEST(Service, CacheBypassStillMatches) {
+  Service service(ServiceConfig{});
+  JobRequest req = scaled_job("sync", 1200, 13);
+  req.use_cache = false;
+  const JobResponse resp = service.execute_now(req);
+  ASSERT_TRUE(resp.ok) << resp.error;
+  EXPECT_EQ(resp.cache, "bypass");
+  EXPECT_EQ(resp.wave_digest, batch_reference(req).wave.digest());
+  EXPECT_EQ(service.metrics().plan_cache.misses, 0u);
+}
+
+TEST(Service, BadRequestIsStructured) {
+  Service service(ServiceConfig{});
+  JobRequest req = scaled_job("sync", 800, 1);
+  req.blocks = 0;  // validate_engine_config / partitioning must reject
+  req.circuit.kind = CircuitSpec::Kind::Builtin;
+  req.circuit.builtin = "no_such_circuit";
+  const JobResponse resp = service.execute_now(req);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_NE(resp.code, JobErrorCode::None);
+  EXPECT_FALSE(resp.error.empty());
+}
+
+TEST(Service, QueueFullRejectsWithOverloaded) {
+  ServiceConfig cfg;
+  cfg.shards = 1;
+  cfg.workers_per_shard = 1;
+  cfg.queue_capacity = 3;
+  Service service(cfg);
+  service.pause();  // no dequeues: the queue depth is fully deterministic
+
+  Guarded<std::vector<std::uint64_t>> completed;
+  const auto on_done = [&completed](JobResponse r) {
+    completed.with([&](std::vector<std::uint64_t>& v) { v.push_back(r.id); });
+  };
+  std::uint64_t accepted = 0, overloaded = 0;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    JobRequest req = scaled_job("sync", 600, 2);
+    req.id = i;
+    const Admit a = service.submit(req, on_done);
+    (a == Admit::Accepted ? accepted : overloaded) += 1;
+    if (a == Admit::Overloaded) {
+      const JobResponse r = Service::reject_response(req, a);
+      EXPECT_FALSE(r.ok);
+      EXPECT_EQ(r.code, JobErrorCode::Overloaded);
+      EXPECT_EQ(r.id, i);
+    }
+  }
+  EXPECT_EQ(accepted, cfg.queue_capacity);
+  EXPECT_EQ(overloaded, 8 - cfg.queue_capacity);
+
+  service.resume();
+  service.drain();
+  completed.with([&](std::vector<std::uint64_t>& v) {
+    EXPECT_EQ(v.size(), accepted);  // every accepted job completed
+  });
+  const ServiceMetrics m = service.metrics();
+  EXPECT_EQ(m.rejected_overload, overloaded);
+  EXPECT_EQ(m.jobs_ok, accepted);
+}
+
+TEST(Service, ShutdownRejectsNewWorkButDrainsQueued) {
+  ServiceConfig cfg;
+  cfg.shards = 1;
+  cfg.workers_per_shard = 1;
+  cfg.queue_capacity = 8;
+  Service service(cfg);
+  service.pause();
+
+  Guarded<std::uint64_t> completed;
+  const auto on_done = [&completed](JobResponse) {
+    completed.with([](std::uint64_t& n) { ++n; });
+  };
+  for (int i = 0; i < 3; ++i)
+    ASSERT_EQ(service.submit(scaled_job("sync", 600, 2), on_done),
+              Admit::Accepted);
+
+  service.begin_shutdown();
+  EXPECT_EQ(service.submit(scaled_job("sync", 600, 2), on_done),
+            Admit::ShuttingDown);
+  // run() surfaces the rejection as a structured response, not a hang.
+  const JobResponse rejected = service.run(scaled_job("sync", 600, 2));
+  EXPECT_FALSE(rejected.ok);
+  EXPECT_EQ(rejected.code, JobErrorCode::ShuttingDown);
+
+  // Shutdown overrides pause: the three queued jobs still drain.
+  service.drain();
+  completed.with([](std::uint64_t& n) { EXPECT_EQ(n, 3u); });
+  EXPECT_EQ(service.metrics().rejected_shutdown, 2u);
+}
+
+TEST(Service, ShardedRunUnderConcurrencyStaysDeterministic) {
+  ServiceConfig cfg;
+  cfg.shards = 2;
+  cfg.workers_per_shard = 2;
+  Service service(cfg);
+  const JobRequest req = scaled_job("conservative", 1000, 17);
+  const std::uint64_t expect = service.execute_now(req).wave_digest;
+
+  Guarded<std::uint64_t> mismatches;
+  run_on_threads(4, [&](unsigned) {
+    for (int i = 0; i < 5; ++i) {
+      const JobResponse r = service.run(req);
+      if (!r.ok || r.wave_digest != expect)
+        mismatches.with([](std::uint64_t& n) { ++n; });
+    }
+  });
+  mismatches.with([](std::uint64_t& n) { EXPECT_EQ(n, 0u); });
+}
+
+}  // namespace
+}  // namespace plsim

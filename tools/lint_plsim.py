@@ -96,6 +96,15 @@ comment `// plsim-lint: allow(<rule>)`):
                   of ad-hoc rebuilds that silently break stimulus binding
                   and result merging.
 
+  socket-confine  Raw socket code — the <sys/socket.h>/<sys/un.h> headers,
+                  ::socket/::bind/::listen/::accept/::connect/::recv/::send
+                  calls, sockaddr_un — is confined to src/server/ and the two
+                  service binaries (tools/plsimd.cpp, tools/plsim_load.cpp).
+                  Everything else, tests and benches included, talks to the
+                  daemon through ServiceClient/UnixServer so the transport
+                  surface stays small and auditable. Scans src/, bench/,
+                  tests/, tools/ and examples/ like trace-format.
+
   header-selfcontained
                   Every public header in src/ must compile standalone
                   (`c++ -std=c++20 -fsyntax-only -I src header.hpp`): each
@@ -407,6 +416,69 @@ def check_trace_format(root, findings):
     return scanned
 
 
+# Files allowed to touch the socket layer directly. The two service binaries
+# in practice only use UnixServer/ServiceClient, but they own the daemon's
+# transport and may legitimately need e.g. poll-on-fd glue.
+SOCKET_CONFINE_ALLOWED = (
+    "src/server/",
+    "tools/plsimd.cpp",
+    "tools/plsim_load.cpp",
+    "tools/lint_plsim.py",
+)
+SOCKET_USE = re.compile(
+    r"#\s*include\s*<sys/(?:socket|un)\.h>"
+    r"|::\s*(?:socket|bind|listen|accept|connect|recv|recvfrom|send|sendto"
+    r"|getsockopt|setsockopt)\s*\("
+    r"|\bsockaddr_un\b"
+)
+SOCKET_CONFINE_WAIVER = re.compile(
+    r"(?://|#)\s*plsim-lint:\s*allow\(socket-confine\)")
+
+
+def check_socket_confine(root, findings):
+    """socket-confine: raw socket code stays in src/server/ + the service
+    binaries. Scans the same wide set as trace-format — a test or bench that
+    opens its own socket bypasses the framing/shutdown semantics the server
+    types encode."""
+    exts = CXX_EXTS | {".py"}
+    for sub in ("src", "bench", "tests", "tools", "examples"):
+        base = root / sub
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in exts or not path.is_file():
+                continue
+            rel = path.relative_to(root).as_posix()
+            if rel.startswith(SOCKET_CONFINE_ALLOWED):
+                continue
+            lines = path.read_text(encoding="utf-8",
+                                   errors="replace").splitlines()
+            in_block = False
+            for idx, raw in enumerate(lines):
+                line = raw
+                if in_block:
+                    end = line.find("*/")
+                    if end < 0:
+                        continue
+                    line = line[end + 2:]
+                    in_block = False
+                if "/*" in line and "*/" not in line[line.find("/*"):]:
+                    line = line[:line.find("/*")]
+                    in_block = True
+                code = strip_comments_and_strings(line)
+                m = SOCKET_USE.search(code)
+                if not m:
+                    continue
+                if any(SOCKET_CONFINE_WAIVER.search(lines[j])
+                       for j in (idx, idx - 1) if 0 <= j < len(lines)):
+                    continue
+                findings.append(
+                    f"{rel}:{idx + 1}: [socket-confine] raw socket code "
+                    f"'{m.group(0).strip()}' outside src/server/ and the "
+                    "service binaries — go through "
+                    "ServiceClient/UnixServer instead")
+
+
 def check_headers(root, headers, findings):
     """header-selfcontained: syntax-check every src/ header standalone."""
     compiler = shutil.which("c++") or shutil.which("g++") or \
@@ -456,6 +528,7 @@ def main():
     for path in files:
         lint_file(path, path.relative_to(root).as_posix(), findings)
     check_trace_format(root, findings)
+    check_socket_confine(root, findings)
     check_headers(root, [p for p in files if p.suffix in {".hpp", ".hh", ".h"}],
                   findings)
 

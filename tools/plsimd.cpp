@@ -1,0 +1,127 @@
+// plsimd — the persistent simulation daemon (ISSUE: plsim as a service).
+//
+// Keeps compiled SimPlans hot in the Service's LRU caches across jobs and
+// serves plsim-job-v1 frames over a Unix domain socket:
+//
+//   plsimd --socket /tmp/plsim.sock [--shards N] [--workers N]
+//          [--queue N] [--plan-cache N] [--circuit-cache N] [--grace SEC]
+//
+// Graceful shutdown (SIGTERM/SIGINT): stop admitting new jobs — clients get
+// structured "shutting_down" rejections — drain queued and in-flight jobs,
+// hold the socket open for --grace seconds so late clients see the
+// rejection instead of a connection error, then close the transport and
+// print a final metrics JSON document on stdout (exit 0).
+
+#include <poll.h>
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "server/server.hpp"
+#include "server/service.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket PATH [--shards N] [--workers N]\n"
+               "          [--queue N] [--plan-cache N] [--circuit-cache N]\n"
+               "          [--grace SECONDS]\n",
+               argv0);
+  std::exit(2);
+}
+
+std::uint64_t arg_u64(int argc, char** argv, int& i) {
+  if (i + 1 >= argc) usage(argv[0]);
+  return std::strtoull(argv[++i], nullptr, 10);
+}
+
+plsim::JsonValue cache_json(const plsim::CacheCounters& c) {
+  plsim::JsonValue v = plsim::JsonValue::object();
+  v.set("hits", plsim::JsonValue(c.hits));
+  v.set("misses", plsim::JsonValue(c.misses));
+  v.set("joined", plsim::JsonValue(c.joined));
+  v.set("evictions", plsim::JsonValue(c.evictions));
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  plsim::ServiceConfig cfg;
+  std::uint64_t grace_seconds = 2;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--socket" && i + 1 < argc)
+      socket_path = argv[++i];
+    else if (arg == "--shards")
+      cfg.shards = static_cast<std::uint32_t>(arg_u64(argc, argv, i));
+    else if (arg == "--workers")
+      cfg.workers_per_shard =
+          static_cast<std::uint32_t>(arg_u64(argc, argv, i));
+    else if (arg == "--queue")
+      cfg.queue_capacity = arg_u64(argc, argv, i);
+    else if (arg == "--plan-cache")
+      cfg.plan_cache_capacity = arg_u64(argc, argv, i);
+    else if (arg == "--circuit-cache")
+      cfg.circuit_cache_capacity = arg_u64(argc, argv, i);
+    else if (arg == "--grace")
+      grace_seconds = arg_u64(argc, argv, i);
+    else
+      usage(argv[0]);
+  }
+  if (socket_path.empty()) usage(argv[0]);
+
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+
+  try {
+    plsim::Service service(cfg);
+    plsim::UnixServer server(service, socket_path);
+    std::fprintf(stderr,
+                 "plsimd: listening on %s (%u shards x %u workers, queue "
+                 "%zu, plan cache %zu)\n",
+                 socket_path.c_str(), cfg.shards, cfg.workers_per_shard,
+                 cfg.queue_capacity, cfg.plan_cache_capacity);
+
+    while (g_stop == 0) ::poll(nullptr, 0, 100);
+
+    std::fprintf(stderr, "plsimd: shutdown requested, draining\n");
+    service.begin_shutdown();
+    service.drain();
+    // Grace window: the listener stays up so stragglers get structured
+    // shutting_down rejections rather than ECONNREFUSED.
+    for (std::uint64_t i = 0; i < grace_seconds * 10; ++i)
+      ::poll(nullptr, 0, 100);
+    server.stop();
+
+    const plsim::ServiceMetrics m = service.metrics();
+    plsim::JsonValue doc = plsim::JsonValue::object();
+    doc.set("schema", plsim::JsonValue(std::string("plsimd-metrics-v1")));
+    doc.set("jobs_ok", plsim::JsonValue(m.jobs_ok));
+    doc.set("jobs_failed", plsim::JsonValue(m.jobs_failed));
+    doc.set("rejected_overload", plsim::JsonValue(m.rejected_overload));
+    doc.set("rejected_shutdown", plsim::JsonValue(m.rejected_shutdown));
+    doc.set("max_queue_depth", plsim::JsonValue(m.max_queue_depth));
+    doc.set("connections", plsim::JsonValue(server.connections()));
+    doc.set("plan_cache", cache_json(m.plan_cache));
+    doc.set("circuit_cache", cache_json(m.circuit_cache));
+    std::cout << doc.dump() << "\n";
+    std::fprintf(stderr, "plsimd: drained, exiting\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "plsimd: %s\n", e.what());
+    return 1;
+  }
+}
